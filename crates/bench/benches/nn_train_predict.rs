@@ -1,0 +1,88 @@
+//! §VIII overhead study: training and prediction time of the selected model.
+//!
+//! The paper reports ≈ 25 s to train model 1 (200 epochs, 12 000 entries,
+//! Keras on CPU/GPU) and ≈ 50 ms to predict. Absolute numbers differ on
+//! this from-scratch CPU stack; the benches pin down *our* overheads and
+//! the relative cost of the model families.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use geomancy_core::dataset::forecasting_dataset;
+use geomancy_core::models::{build_model, ModelId};
+use geomancy_nn::init::seeded_rng;
+use geomancy_nn::loss::Loss;
+use geomancy_nn::optimizer::Sgd;
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+use geomancy_trace::features::Z;
+
+fn synthetic_records(n: u64) -> Vec<AccessRecord> {
+    (0..n)
+        .map(|i| AccessRecord {
+            access_number: i,
+            fid: FileId(i % 24),
+            fsid: DeviceId((i % 6) as u32),
+            rb: 1_000_000 + (i % 17) * 50_000,
+            wb: 0,
+            ots: i * 2,
+            otms: ((i * 37) % 1000) as u16,
+            cts: i * 2 + 1,
+            ctms: ((i * 53) % 1000) as u16,
+        })
+        .collect()
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let records = synthetic_records(2_000);
+    let dense = forecasting_dataset(&records, 1, 16, 0);
+    let windowed = forecasting_dataset(&records, 8, 16, 0);
+    let mut group = c.benchmark_group("train_one_epoch_2k_records");
+    group.sample_size(10);
+    for (label, id) in [
+        ("model1_dense", 1u8),
+        ("model12_lstm", 12u8),
+        ("model18_simplernn", 18u8),
+    ] {
+        let ds = if ModelId::new(id).is_recurrent() { &windowed } else { &dense };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = seeded_rng(0);
+                    (
+                        build_model(ModelId::new(id), Z, 8, &mut rng),
+                        Sgd::new(0.05),
+                    )
+                },
+                |(mut net, mut opt)| {
+                    let mut row = 0;
+                    while row < ds.inputs.rows() {
+                        let end = (row + 64).min(ds.inputs.rows());
+                        let bx = ds.inputs.slice_rows(row..end);
+                        let by = ds.targets.slice_rows(row..end);
+                        net.train_batch(&bx, &by, Loss::MeanSquaredError, &mut opt);
+                        row = end;
+                    }
+                    net
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let records = synthetic_records(2_000);
+    let dense = forecasting_dataset(&records, 1, 16, 0);
+    let mut rng = seeded_rng(0);
+    let mut net = build_model(ModelId::new(1), Z, 8, &mut rng);
+    let test = dense.inputs.slice_rows(0..400);
+    c.bench_function("model1_predict_400_rows", |b| b.iter(|| net.predict(&test)));
+    // The per-layout prediction of the live engine: 24 files x 6 devices.
+    let candidates = dense.inputs.slice_rows(0..144);
+    c.bench_function("model1_predict_one_layout_24x6", |b| {
+        b.iter(|| net.predict(&candidates))
+    });
+}
+
+criterion_group!(benches, bench_train_epoch, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Policy decision cost: how long one layout computation takes for each
+//! placement policy, including Geomancy's full retrain + predict cycle
+//! (the §VIII "26.5 seconds to train and predict a new layout" bound).
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use geomancy_core::drl::DrlConfig;
+use geomancy_core::policy::{
+    GeomancyDynamic, Lfu, Lru, PlacementPolicy, PolicyContext, RandomDynamic,
+};
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::cluster::{FileMeta, Layout};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+struct Fixture {
+    db: ReplayDb,
+    files: BTreeMap<FileId, FileMeta>,
+    layout: Layout,
+    devices: Vec<DeviceId>,
+}
+
+fn fixture() -> Fixture {
+    let mut db = ReplayDb::new();
+    for i in 0..12_000u64 {
+        let dev = ((i / 15) % 6) as u32;
+        let dur_ms = 100 + (dev as u64) * 60;
+        db.insert(
+            i,
+            AccessRecord {
+                access_number: i,
+                fid: FileId(i % 24),
+                fsid: DeviceId(dev),
+                rb: 1_000_000,
+                wb: 0,
+                ots: i,
+                otms: 0,
+                cts: i + dur_ms / 1000,
+                ctms: (dur_ms % 1000) as u16,
+            },
+        );
+    }
+    let mut files = BTreeMap::new();
+    let mut layout = Layout::new();
+    for i in 0..24u64 {
+        files.insert(
+            FileId(i),
+            FileMeta {
+                size: 100_000_000,
+                path: format!("f{i}"),
+            },
+        );
+        layout.insert(FileId(i), DeviceId((i % 6) as u32));
+    }
+    Fixture {
+        db,
+        files,
+        layout,
+        devices: (0..6).map(DeviceId).collect(),
+    }
+}
+
+fn context(f: &Fixture) -> PolicyContext<'_> {
+    PolicyContext {
+        db: &f.db,
+        files: &f.files,
+        devices: &f.devices,
+        current_layout: &f.layout,
+        lookback: 4_000,
+        now: (20_000, 0),
+        free_bytes: f.devices.iter().map(|&d| (d, u64::MAX)).collect(),
+    }
+}
+
+fn bench_baseline_policies(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("policy_decision");
+    group.bench_function("lru", |b| {
+        let mut p = Lru;
+        b.iter(|| p.update(&context(&f)))
+    });
+    group.bench_function("lfu", |b| {
+        let mut p = Lfu;
+        b.iter(|| p.update(&context(&f)))
+    });
+    group.bench_function("random_dynamic", |b| {
+        let mut p = RandomDynamic::new(0);
+        b.iter(|| p.update(&context(&f)))
+    });
+    group.finish();
+}
+
+fn bench_geomancy_cycle(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("policy_decision");
+    group.sample_size(10);
+    group.bench_function("geomancy_retrain_and_layout", |b| {
+        let mut p = GeomancyDynamic::with_config(
+            DrlConfig {
+                train_window: 800,
+                epochs: 10,
+                smoothing_window: 8,
+                ..DrlConfig::default()
+            },
+            0.1,
+        );
+        b.iter(|| p.update(&context(&f)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_policies, bench_geomancy_cycle);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! ReplayDB microbenches: ingest and the §V-E training-batch query. The
+//! paper quotes ≈ 3 ms to ship a batch into the database.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+fn record(i: u64) -> AccessRecord {
+    AccessRecord {
+        access_number: i,
+        fid: FileId(i % 24),
+        fsid: DeviceId((i % 6) as u32),
+        rb: 1_000_000,
+        wb: 0,
+        ots: i,
+        otms: 0,
+        cts: i + 1,
+        ctms: 0,
+    }
+}
+
+fn populated(n: u64) -> ReplayDb {
+    let mut db = ReplayDb::new();
+    for i in 0..n {
+        db.insert(i, record(i));
+    }
+    db
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("replaydb_insert_batch_of_64", |b| {
+        let batch: Vec<AccessRecord> = (0..64).map(record).collect();
+        b.iter_batched(
+            || populated(10_000),
+            |mut db| {
+                db.insert_batch(u64::MAX / 2, &batch);
+                db
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let db = populated(50_000);
+    c.bench_function("replaydb_recent_per_device_x2000", |b| {
+        b.iter(|| db.recent_per_device(2_000))
+    });
+    c.bench_function("replaydb_recent_4000", |b| b.iter(|| db.recent(4_000)));
+    c.bench_function("replaydb_access_counts_4000", |b| {
+        b.iter(|| db.access_counts(4_000))
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let db = populated(10_000);
+    c.bench_function("replaydb_json_snapshot_10k", |b| {
+        b.iter(|| geomancy_replaydb::to_json(&db).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_queries, bench_persistence);
+criterion_main!(benches);

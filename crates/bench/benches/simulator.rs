@@ -1,0 +1,97 @@
+//! Simulator microbenches: per-access and per-migration cost of the Bluesky
+//! substrate (the reproduction's stand-in for real I/O).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use geomancy_sim::bluesky::{bluesky_system, Mount};
+use geomancy_sim::cluster::FileMeta;
+use geomancy_sim::record::FileId;
+
+fn bench_access(c: &mut Criterion) {
+    let mut system = bluesky_system(1);
+    for i in 0..24u64 {
+        system
+            .add_file(
+                FileId(i),
+                FileMeta {
+                    size: 50_000_000,
+                    path: format!("bench/f{i}.root"),
+                },
+                Mount::ALL[(i % 6) as usize].device_id(),
+            )
+            .unwrap();
+    }
+    let mut i = 0u64;
+    c.bench_function("simulated_read_access", |b| {
+        b.iter(|| {
+            let fid = FileId(i % 24);
+            i += 1;
+            system.read_file(fid, None).unwrap()
+        })
+    });
+}
+
+fn bench_migration(c: &mut Criterion) {
+    c.bench_function("simulated_file_migration", |b| {
+        b.iter_batched(
+            || {
+                let mut system = bluesky_system(2);
+                system
+                    .add_file(
+                        FileId(0),
+                        FileMeta {
+                            size: 500_000_000,
+                            path: "bench/big.root".into(),
+                        },
+                        Mount::UsbTmp.device_id(),
+                    )
+                    .unwrap();
+                system
+            },
+            |mut system| system.move_file(FileId(0), Mount::File0.device_id()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_full_workload_run(c: &mut Criterion) {
+    use geomancy_trace::belle2::Belle2Workload;
+    let mut group = c.benchmark_group("workload");
+    group.sample_size(10);
+    group.bench_function("one_belle2_run_24_files", |b| {
+        b.iter_batched(
+            || {
+                let mut system = bluesky_system(3);
+                let workload = Belle2Workload::new(3);
+                for (i, f) in workload.files().iter().enumerate() {
+                    system
+                        .add_file(
+                            f.fid,
+                            FileMeta {
+                                size: f.size,
+                                path: f.path.clone(),
+                            },
+                            Mount::ALL[i % 6].device_id(),
+                        )
+                        .unwrap();
+                }
+                (system, workload)
+            },
+            |(mut system, mut workload)| {
+                for op in workload.next_run() {
+                    if op.write {
+                        system.write_file(op.fid, op.bytes).unwrap();
+                    } else {
+                        system.read_file(op.fid, op.bytes).unwrap();
+                    }
+                }
+                system
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_access, bench_migration, bench_full_workload_run);
+criterion_main!(benches);

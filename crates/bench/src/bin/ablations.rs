@@ -1,0 +1,152 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. moving-average smoothing window (§V-E),
+//! 2. ε-exploration rate (§V-H, paper: 10 %),
+//! 3. move cadence (§VI, paper: every 5 runs),
+//! 4. the §V-G MAE prediction adjustment on/off.
+//!
+//! Run with `cargo run -p geomancy-bench --bin ablations --release`.
+
+use geomancy_bench::output::{print_table, write_json};
+use geomancy_bench::scenarios::{experiment_config, live_drl_config};
+use geomancy_core::drl::DrlConfig;
+use geomancy_core::experiment::run_policy_experiment;
+use geomancy_core::policy::GeomancyDynamic;
+
+fn run(config_seed: u64, drl: DrlConfig, exploration: f64, move_every: usize) -> (f64, f64) {
+    run_policy(
+        config_seed,
+        GeomancyDynamic::with_config(drl, exploration),
+        move_every,
+    )
+}
+
+fn run_policy(config_seed: u64, policy: GeomancyDynamic, move_every: usize) -> (f64, f64) {
+    let mut config = experiment_config(config_seed);
+    config.move_every_runs = move_every;
+    let mut policy = policy;
+    let result = run_policy_experiment(&mut policy, &config);
+    (result.avg_throughput / 1e9, result.std_throughput / 1e9)
+}
+
+fn main() {
+    let seed = 99;
+    let base_cadence = experiment_config(seed).move_every_runs;
+    println!("Ablation study (Geomancy dynamic, one knob at a time)");
+    let mut json = serde_json::Map::new();
+
+    // 1. Smoothing window.
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for window in [1usize, 8, 32] {
+        let drl = DrlConfig {
+            smoothing_window: window,
+            ..live_drl_config(seed)
+        };
+        println!("smoothing window {window}…");
+        let (avg, std) = run(seed, drl, 0.1, base_cadence);
+        rows.push(vec![window.to_string(), format!("{avg:.2}"), format!("{std:.2}")]);
+        entries.push(serde_json::json!({"window": window, "avg_gbps": avg, "std_gbps": std}));
+    }
+    print_table(
+        "Ablation 1 — moving-average smoothing (paper uses a short window; 1 = off)",
+        &["window", "avg GB/s", "std GB/s"],
+        &rows,
+    );
+    json.insert("smoothing".into(), serde_json::Value::Array(entries));
+
+    // 2. Exploration rate.
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for rate in [0.0, 0.1, 0.5] {
+        println!("exploration rate {rate}…");
+        let (avg, std) = run(seed, live_drl_config(seed), rate, base_cadence);
+        rows.push(vec![format!("{rate}"), format!("{avg:.2}"), format!("{std:.2}")]);
+        entries.push(serde_json::json!({"rate": rate, "avg_gbps": avg, "std_gbps": std}));
+    }
+    print_table(
+        "Ablation 2 — ε-exploration rate (paper: 0.1)",
+        &["rate", "avg GB/s", "std GB/s"],
+        &rows,
+    );
+    json.insert("exploration".into(), serde_json::Value::Array(entries));
+
+    // 3. Move cadence.
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for cadence in [base_cadence.saturating_sub(base_cadence / 2).max(1), base_cadence, base_cadence * 3] {
+        println!("move cadence: every {cadence} runs…");
+        let (avg, std) = run(seed, live_drl_config(seed), 0.1, cadence);
+        rows.push(vec![cadence.to_string(), format!("{avg:.2}"), format!("{std:.2}")]);
+        entries.push(serde_json::json!({"every_runs": cadence, "avg_gbps": avg, "std_gbps": std}));
+    }
+    print_table(
+        "Ablation 3 — move cadence (paper: every 5 runs; moving much more or less often hurts)",
+        &["every N runs", "avg GB/s", "std GB/s"],
+        &rows,
+    );
+    json.insert("cadence".into(), serde_json::Value::Array(entries));
+
+    // 4a. Per-decision move cap (paper observes at most 14 files moved).
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for cap in [4usize, 14, 24] {
+        println!("move cap {cap}…");
+        let policy =
+            GeomancyDynamic::with_config(live_drl_config(seed), 0.1).with_move_cap(cap);
+        let (avg, std) = run_policy(seed, policy, base_cadence);
+        rows.push(vec![cap.to_string(), format!("{avg:.2}"), format!("{std:.2}")]);
+        entries.push(serde_json::json!({"cap": cap, "avg_gbps": avg, "std_gbps": std}));
+    }
+    print_table(
+        "Ablation 4a — per-decision move cap (paper: at most 14 files per movement)",
+        &["cap", "avg GB/s", "std GB/s"],
+        &rows,
+    );
+    json.insert("move_cap".into(), serde_json::Value::Array(entries));
+
+    // 4b. Per-file move cooldown ("adding a cool down period after file
+    // movement increased performance benefits", §VI).
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for cooldown in [0u64, 2, 4] {
+        println!("cooldown {cooldown} rounds…");
+        let policy =
+            GeomancyDynamic::with_config(live_drl_config(seed), 0.1).with_cooldown(cooldown);
+        let (avg, std) = run_policy(seed, policy, base_cadence);
+        rows.push(vec![cooldown.to_string(), format!("{avg:.2}"), format!("{std:.2}")]);
+        entries.push(serde_json::json!({"rounds": cooldown, "avg_gbps": avg, "std_gbps": std}));
+    }
+    print_table(
+        "Ablation 4b — per-file move cooldown (§VI: a cooldown increases the benefit)",
+        &["rounds", "avg GB/s", "std GB/s"],
+        &rows,
+    );
+    json.insert("cooldown".into(), serde_json::Value::Array(entries));
+
+    // 5. Target transform: linear vs log-space throughput modeling.
+    let mut rows = Vec::new();
+    let mut entries = Vec::new();
+    for log in [false, true] {
+        let drl = DrlConfig {
+            log_targets: log,
+            ..live_drl_config(seed)
+        };
+        println!("log targets {log}…");
+        let (avg, std) = run(seed, drl, 0.1, base_cadence);
+        rows.push(vec![
+            if log { "ln(1+tp)" } else { "linear" }.to_string(),
+            format!("{avg:.2}"),
+            format!("{std:.2}"),
+        ]);
+        entries.push(serde_json::json!({"log_targets": log, "avg_gbps": avg, "std_gbps": std}));
+    }
+    print_table(
+        "Ablation 5 — target space (linear MSE concentrates on the fast tail, where placement gains live)",
+        &["targets", "avg GB/s", "std GB/s"],
+        &rows,
+    );
+    json.insert("target_space".into(), serde_json::Value::Array(entries));
+
+    write_json("ablations", &serde_json::Value::Object(json));
+}

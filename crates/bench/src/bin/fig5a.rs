@@ -1,0 +1,136 @@
+//! Figure 5a — Experiment 1: Geomancy dynamic vs the dynamic baselines
+//! (LRU, MRU, LFU, random dynamic) on the live (simulated) Bluesky system.
+//!
+//! Each policy runs over three seeds; the summary reports per-seed and
+//! cross-seed mean throughput (the substrate's regime storms make a single
+//! seed noisy, so the reproduction averages where the paper ran once).
+//!
+//! Run with `cargo run -p geomancy-bench --bin fig5a --release`.
+//! `GEOMANCY_SEED=n` pins a single seed; `GEOMANCY_FAST=1` shrinks scale.
+
+use geomancy_bench::output::{fast_mode, print_table, sparkline, write_json};
+use geomancy_bench::scenarios::{experiment_config, live_drl_config};
+use geomancy_core::experiment::{run_policy_experiment, ExperimentResult};
+use geomancy_core::policy::{GeomancyDynamic, Lfu, Lru, Mru, PlacementPolicy, RandomDynamic};
+
+fn seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("GEOMANCY_SEED") {
+        return vec![s.parse().expect("GEOMANCY_SEED must be an integer")];
+    }
+    if fast_mode() {
+        vec![21]
+    } else {
+        vec![21, 42, 77]
+    }
+}
+
+const POLICY_NAMES: [&str; 5] = ["LRU", "MRU", "LFU", "Random dynamic", "Geomancy"];
+
+fn make_policy(name: &str, seed: u64) -> Box<dyn PlacementPolicy> {
+    match name {
+        "LRU" => Box::new(Lru),
+        "MRU" => Box::new(Mru),
+        "LFU" => Box::new(Lfu),
+        "Random dynamic" => Box::new(RandomDynamic::new(seed.wrapping_add(5))),
+        "Geomancy" => Box::new(GeomancyDynamic::with_config(live_drl_config(seed), 0.1)),
+        other => unreachable!("unknown policy {other}"),
+    }
+}
+
+fn main() {
+    let seeds = seeds();
+    let base = experiment_config(seeds[0]);
+    println!(
+        "Figure 5a — Experiment 1: dynamic policies, {} runs x {} seeds, moves every {} runs",
+        base.runs,
+        seeds.len(),
+        base.move_every_runs
+    );
+
+    // results[policy][seed]
+    let mut results: Vec<Vec<ExperimentResult>> = Vec::new();
+    for name in POLICY_NAMES {
+        let mut per_seed = Vec::new();
+        for &seed in &seeds {
+            println!("running {name} (seed {seed})…");
+            let mut config = experiment_config(seed);
+            config.seed = seed;
+            let mut policy = make_policy(name, seed);
+            per_seed.push(run_policy_experiment(policy.as_mut(), &config));
+        }
+        results.push(per_seed);
+    }
+
+    println!("\nThroughput over access number (first seed):");
+    for per_seed in &results {
+        let r = &per_seed[0];
+        let tps: Vec<f64> = r.smoothed_series(200).iter().map(|p| p.throughput).collect();
+        println!("{}", sparkline(&r.policy, &tps, 60));
+    }
+
+    let geomancy = results.last().expect("geomancy ran");
+    let moves = &geomancy[0].movements;
+    if !moves.is_empty() {
+        println!("\nGeomancy data movements, first seed (access number: files moved):");
+        let bars: Vec<String> = moves
+            .iter()
+            .map(|m| format!("{}:{}", m.at_access, m.files_moved))
+            .collect();
+        println!("  {}", bars.join("  "));
+        let max_moved = moves.iter().map(|m| m.files_moved).max().unwrap_or(0);
+        println!("  at most {max_moved} files per movement (paper: 1-14 files, at most 14)");
+    }
+
+    let mean =
+        |rs: &[ExperimentResult]| rs.iter().map(|r| r.avg_throughput).sum::<f64>() / rs.len() as f64;
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|per_seed| {
+            let mut row = vec![per_seed[0].policy.clone()];
+            for r in per_seed {
+                row.push(format!("{:.2}", r.avg_throughput / 1e9));
+            }
+            row.push(format!("{:.2}", mean(per_seed) / 1e9));
+            row
+        })
+        .collect();
+    let mut headers: Vec<String> = vec!["policy".to_string()];
+    headers.extend(seeds.iter().map(|s| format!("seed {s} GB/s")));
+    headers.push("mean GB/s".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("Experiment 1 summary", &header_refs, &rows);
+
+    let geomancy_mean = mean(geomancy);
+    let (best_name, best_mean) = results[..results.len() - 1]
+        .iter()
+        .map(|rs| (rs[0].policy.clone(), mean(rs)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("baselines ran");
+    let gain = (geomancy_mean / best_mean - 1.0) * 100.0;
+    println!(
+        "\nGeomancy vs best baseline ({best_name}): {gain:+.1} % across {} seed(s) \
+         (paper: ≥ +11 %, LFU the closest contender)",
+        seeds.len()
+    );
+
+    write_json(
+        "fig5a_experiment1",
+        &serde_json::json!({
+            "runs": base.runs,
+            "seeds": seeds,
+            "policies": results.iter().map(|per_seed| serde_json::json!({
+                "name": per_seed[0].policy,
+                "per_seed_gbps": per_seed.iter().map(|r| r.avg_throughput / 1e9).collect::<Vec<_>>(),
+                "mean_gbps": mean(per_seed) / 1e9,
+                "std_gbps_first_seed": per_seed[0].std_throughput / 1e9,
+                "movements_first_seed": per_seed[0].movements.iter().map(|m| serde_json::json!({
+                    "at_access": m.at_access, "files_moved": m.files_moved
+                })).collect::<Vec<_>>(),
+                "series_bucketed_first_seed": per_seed[0].bucketed_series(100).iter().map(|p| serde_json::json!({
+                    "access": p.access_number, "gbps": p.throughput / 1e9
+                })).collect::<Vec<_>>(),
+            })).collect::<Vec<_>>(),
+            "geomancy_gain_vs_best_baseline_pct": gain,
+        }),
+    );
+}

@@ -1,0 +1,119 @@
+//! Figure 5b — Experiment 2: Geomancy dynamic vs the static baselines
+//! (even spread, random static, Geomancy static one-shot placement).
+//!
+//! Each policy runs over three seeds; the summary reports per-seed and
+//! cross-seed mean throughput.
+//!
+//! Run with `cargo run -p geomancy-bench --bin fig5b --release`.
+//! `GEOMANCY_SEED=n` pins a single seed; `GEOMANCY_FAST=1` shrinks scale.
+
+use geomancy_bench::output::{fast_mode, print_table, sparkline, write_json};
+use geomancy_bench::scenarios::{experiment_config, live_drl_config};
+use geomancy_core::experiment::{run_policy_experiment, ExperimentResult};
+use geomancy_core::policy::{
+    GeomancyDynamic, GeomancyStatic, PlacementPolicy, RandomStatic, SpreadStatic,
+};
+
+fn seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("GEOMANCY_SEED") {
+        return vec![s.parse().expect("GEOMANCY_SEED must be an integer")];
+    }
+    if fast_mode() {
+        vec![33]
+    } else {
+        vec![33, 42, 77]
+    }
+}
+
+const POLICY_NAMES: [&str; 4] = ["Spread static", "Random static", "Geomancy static", "Geomancy"];
+
+fn make_policy(name: &str, seed: u64) -> Box<dyn PlacementPolicy> {
+    match name {
+        "Spread static" => Box::new(SpreadStatic::new()),
+        "Random static" => Box::new(RandomStatic::new(seed.wrapping_add(9))),
+        "Geomancy static" => Box::new(GeomancyStatic::with_config(live_drl_config(seed))),
+        "Geomancy" => Box::new(GeomancyDynamic::with_config(live_drl_config(seed), 0.1)),
+        other => unreachable!("unknown policy {other}"),
+    }
+}
+
+fn main() {
+    let seeds = seeds();
+    let base = experiment_config(seeds[0]);
+    println!(
+        "Figure 5b — Experiment 2: static baselines vs Geomancy, {} runs x {} seeds",
+        base.runs,
+        seeds.len()
+    );
+
+    let mut results: Vec<Vec<ExperimentResult>> = Vec::new();
+    for name in POLICY_NAMES {
+        let mut per_seed = Vec::new();
+        for &seed in &seeds {
+            println!("running {name} (seed {seed})…");
+            let mut config = experiment_config(seed);
+            config.seed = seed;
+            let mut policy = make_policy(name, seed);
+            per_seed.push(run_policy_experiment(policy.as_mut(), &config));
+        }
+        results.push(per_seed);
+    }
+
+    println!("\nThroughput over access number (first seed):");
+    for per_seed in &results {
+        let r = &per_seed[0];
+        let tps: Vec<f64> = r.smoothed_series(200).iter().map(|p| p.throughput).collect();
+        println!("{}", sparkline(&r.policy, &tps, 60));
+    }
+
+    let mean =
+        |rs: &[ExperimentResult]| rs.iter().map(|r| r.avg_throughput).sum::<f64>() / rs.len() as f64;
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|per_seed| {
+            let mut row = vec![per_seed[0].policy.clone()];
+            for r in per_seed {
+                row.push(format!("{:.2}", r.avg_throughput / 1e9));
+            }
+            row.push(format!("{:.2}", mean(per_seed) / 1e9));
+            row
+        })
+        .collect();
+    let mut headers: Vec<String> = vec!["policy".to_string()];
+    headers.extend(seeds.iter().map(|s| format!("seed {s} GB/s")));
+    headers.push("mean GB/s".to_string());
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("Experiment 2 summary", &header_refs, &rows);
+
+    let geomancy_mean = mean(results.last().expect("geomancy ran"));
+    let vs = |name: &str| {
+        results
+            .iter()
+            .find(|rs| rs[0].policy == name)
+            .map(|rs| (geomancy_mean / mean(rs) - 1.0) * 100.0)
+    };
+    if let Some(gain) = vs("Random static") {
+        println!("\nGeomancy vs random static: {gain:+.1} % (paper: +24 %)");
+    }
+    if let Some(gain) = vs("Geomancy static") {
+        println!("Geomancy vs Geomancy static: {gain:+.1} % (paper: +30 %)");
+    }
+
+    write_json(
+        "fig5b_experiment2",
+        &serde_json::json!({
+            "runs": base.runs,
+            "seeds": seeds,
+            "policies": results.iter().map(|per_seed| serde_json::json!({
+                "name": per_seed[0].policy,
+                "per_seed_gbps": per_seed.iter().map(|r| r.avg_throughput / 1e9).collect::<Vec<_>>(),
+                "mean_gbps": mean(per_seed) / 1e9,
+                "series_bucketed_first_seed": per_seed[0].bucketed_series(100).iter().map(|p| serde_json::json!({
+                    "access": p.access_number, "gbps": p.throughput / 1e9
+                })).collect::<Vec<_>>(),
+            })).collect::<Vec<_>>(),
+            "gain_vs_random_static_pct": vs("Random static"),
+            "gain_vs_geomancy_static_pct": vs("Geomancy static"),
+        }),
+    );
+}

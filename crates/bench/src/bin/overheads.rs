@@ -1,0 +1,161 @@
+//! §VIII overhead study as a single table: training time, prediction time,
+//! ReplayDB ingest, and the full retrain-and-layout cycle, measured inline
+//! (Criterion gives the rigorous versions; this prints the paper-style
+//! summary in seconds).
+//!
+//! Run with `cargo run -p geomancy-bench --bin overheads --release`.
+
+use std::time::Instant;
+
+use geomancy_bench::output::{print_table, write_json};
+use geomancy_core::dataset::forecasting_dataset;
+use geomancy_core::drl::{DrlConfig, DrlEngine, PlacementQuery};
+use geomancy_core::models::{build_model, ModelId};
+use geomancy_nn::init::seeded_rng;
+use geomancy_nn::loss::Loss;
+use geomancy_nn::optimizer::Sgd;
+use geomancy_nn::training::{train, DataSplit, TrainConfig};
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+use geomancy_trace::features::Z;
+
+fn synthetic_records(n: u64) -> Vec<AccessRecord> {
+    (0..n)
+        .map(|i| AccessRecord {
+            access_number: i,
+            fid: FileId(i % 24),
+            fsid: DeviceId(((i / 15) % 6) as u32),
+            rb: 1_000_000 + (i % 17) * 50_000,
+            wb: 0,
+            ots: i * 2,
+            otms: ((i * 37) % 1000) as u16,
+            cts: i * 2 + 1,
+            ctms: ((i * 53) % 1000) as u16,
+        })
+        .collect()
+}
+
+fn main() {
+    println!("§VIII overhead study (paper values in parentheses)");
+    let records = synthetic_records(12_000);
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+
+    // 1. Model 1 full training run: 200 epochs on 12 000 entries.
+    let ds = forecasting_dataset(&records, 1, 4, 0);
+    let split = DataSplit::split_60_20_20(ds.inputs.clone(), ds.targets.clone());
+    let mut rng = seeded_rng(0);
+    let mut net = build_model(ModelId::new(1), Z, 8, &mut rng);
+    let mut opt = Sgd::new(0.05);
+    let report = train(
+        &mut net,
+        &mut opt,
+        &split,
+        &TrainConfig {
+            epochs: 200,
+            batch_size: 64,
+            loss: Loss::MeanSquaredError,
+            patience: None,
+        },
+    );
+    rows.push(vec![
+        "model 1 train, 200 epochs x 12k entries".into(),
+        format!("{:.2} s", report.training_time.as_secs_f64()),
+        "≈ 25 s (Keras)".into(),
+    ]);
+    json.insert(
+        "train_200x12k_s".into(),
+        serde_json::json!(report.training_time.as_secs_f64()),
+    );
+    rows.push(vec![
+        "model 1 predict, full test partition".into(),
+        format!("{:.2} ms", report.prediction_time.as_secs_f64() * 1e3),
+        "≈ 50 ms".into(),
+    ]);
+    json.insert(
+        "predict_test_ms".into(),
+        serde_json::json!(report.prediction_time.as_secs_f64() * 1e3),
+    );
+
+    // 2. ReplayDB batch ingest (the paper's ~3 ms includes a network hop).
+    let mut db = ReplayDb::new();
+    let batch: Vec<AccessRecord> = synthetic_records(64);
+    let start = Instant::now();
+    for i in 0..100u64 {
+        let shifted: Vec<AccessRecord> = batch
+            .iter()
+            .map(|r| AccessRecord {
+                access_number: r.access_number + i * 64,
+                ots: r.ots + i * 200,
+                cts: r.cts + i * 200,
+                ..*r
+            })
+            .collect();
+        db.insert_batch(i * 200_000_000, &shifted);
+    }
+    let per_batch_us = start.elapsed().as_secs_f64() / 100.0 * 1e6;
+    rows.push(vec![
+        "ReplayDB 64-record batch ingest".into(),
+        format!("{per_batch_us:.1} µs"),
+        "≈ 3 ms (incl. network hop)".into(),
+    ]);
+    json.insert("db_batch_ingest_us".into(), serde_json::json!(per_batch_us));
+
+    // 3. The full online cycle: retrain + rank every file at every device.
+    let mut full_db = ReplayDb::new();
+    for (i, r) in synthetic_records(12_000).into_iter().enumerate() {
+        full_db.insert(i as u64 * 1_000_000, r);
+    }
+    let mut engine = DrlEngine::new(DrlConfig {
+        train_window: 1_000,
+        epochs: 40,
+        smoothing_window: 1,
+        ..DrlConfig::default()
+    });
+    let start = Instant::now();
+    engine.retrain(&full_db).expect("data suffices");
+    let retrain_s = start.elapsed().as_secs_f64();
+    let devices: Vec<DeviceId> = (0..6).map(DeviceId).collect();
+    let start = Instant::now();
+    for fid in 0..24u64 {
+        let _ = engine.rank_locations(
+            &PlacementQuery {
+                fid: FileId(fid),
+                read_bytes: 500_000_000,
+                write_bytes: 0,
+                now_secs: 24_000,
+                now_ms: 0,
+            },
+            &devices,
+        );
+    }
+    let layout_ms = start.elapsed().as_secs_f64() * 1e3;
+    rows.push(vec![
+        "online retrain (40 epochs, live window)".into(),
+        format!("{retrain_s:.3} s"),
+        "part of the 26.5 s bound".into(),
+    ]);
+    rows.push(vec![
+        "layout prediction (24 files x 6 devices)".into(),
+        format!("{layout_ms:.2} ms"),
+        "48.2 ms (13-feature GPU model)".into(),
+    ]);
+    rows.push(vec![
+        "full retrain + layout cycle".into(),
+        format!("{:.3} s", retrain_s + layout_ms / 1e3),
+        "≤ 26.5 s".into(),
+    ]);
+    json.insert("online_retrain_s".into(), serde_json::json!(retrain_s));
+    json.insert("layout_prediction_ms".into(), serde_json::json!(layout_ms));
+
+    print_table(
+        "Overheads (measured vs paper)",
+        &["operation", "measured", "paper"],
+        &rows,
+    );
+    println!(
+        "\nAbsolute speedups come from the tiny network and the in-process stack;\n\
+         the ordering (training ≫ prediction ≫ ingest) matches the paper."
+    );
+    write_json("overheads", &serde_json::Value::Object(json));
+}

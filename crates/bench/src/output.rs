@@ -1,0 +1,129 @@
+//! Report formatting and result persistence shared by the table/figure
+//! binaries.
+
+use std::path::{Path, PathBuf};
+
+/// Prints an ASCII table with a header row.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Renders a throughput series as a fixed-width ASCII sparkline block so
+/// figure shapes are visible in a terminal.
+pub fn sparkline(label: &str, values: &[f64], width: usize) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return format!("{label}: (empty)");
+    }
+    // Downsample to `width` buckets.
+    let bucket = (values.len() as f64 / width as f64).max(1.0);
+    let mut sampled = Vec::with_capacity(width);
+    let mut i = 0.0;
+    while (i as usize) < values.len() && sampled.len() < width {
+        let start = i as usize;
+        let end = ((i + bucket) as usize).min(values.len()).max(start + 1);
+        sampled.push(values[start..end].iter().sum::<f64>() / (end - start) as f64);
+        i += bucket;
+    }
+    let min = sampled.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = sampled.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = (max - min).max(1e-12);
+    let chars: String = sampled
+        .iter()
+        .map(|&v| {
+            let idx = (((v - min) / range) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)]
+        })
+        .collect();
+    format!("{label:<18} {chars}  [{:.2}, {:.2}] GB/s", min / 1e9, max / 1e9)
+}
+
+/// Directory where binaries drop machine-readable results.
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .join("results");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Writes a JSON value under `results/<name>.json`, reporting the path.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let path = results_dir().join(format!("{name}.json"));
+    match std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Whether fast (smoke-test) mode is requested via `GEOMANCY_FAST=1`.
+pub fn fast_mode() -> bool {
+    std::env::var("GEOMANCY_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Formats bytes/second as the paper's GB/s cells.
+pub fn gbps(bytes_per_sec: f64) -> String {
+    format!("{:.2}", bytes_per_sec / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_has_requested_width() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let line = sparkline("test", &values, 40);
+        let glyphs: usize = line.chars().filter(|c| "▁▂▃▄▅▆▇█".contains(*c)).count();
+        assert_eq!(glyphs, 40);
+    }
+
+    #[test]
+    fn sparkline_empty_is_graceful() {
+        assert!(sparkline("x", &[], 10).contains("empty"));
+    }
+
+    #[test]
+    fn gbps_formats() {
+        assert_eq!(gbps(4.98e9), "4.98");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_panic() {
+        print_table("t", &["a", "b"], &[vec!["1".into()]]);
+    }
+}

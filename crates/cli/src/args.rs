@@ -1,0 +1,201 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// First positional argument (the subcommand).
+    pub command: Option<String>,
+    /// `--key value` pairs; a flag without a value maps to `"true"`.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Errors from argument parsing or typed lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// An option was given twice.
+    Duplicate(String),
+    /// A positional argument appeared after options.
+    UnexpectedPositional(String),
+    /// A required option is missing.
+    Missing(String),
+    /// An option's value failed to parse.
+    Invalid {
+        /// Option name.
+        key: String,
+        /// Offending value.
+        value: String,
+        /// Expected type.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Duplicate(k) => write!(f, "option --{k} given more than once"),
+            ArgError::UnexpectedPositional(v) => write!(f, "unexpected argument {v:?}"),
+            ArgError::Missing(k) => write!(f, "missing required option --{k}"),
+            ArgError::Invalid { key, value, expected } => {
+                write!(f, "--{key} expects {expected}, got {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] on duplicate options or stray positionals.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                args.command = iter.next();
+            }
+        }
+        while let Some(token) = iter.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                if args.options.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError::Duplicate(key.to_string()));
+                }
+            } else {
+                return Err(ArgError::UnexpectedPositional(token));
+            }
+        }
+        Ok(args)
+    }
+
+    /// String option with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::Missing`] when absent.
+    pub fn str_required(&self, key: &str) -> Result<String, ArgError> {
+        self.options
+            .get(key)
+            .cloned()
+            .ok_or_else(|| ArgError::Missing(key.to_string()))
+    }
+
+    /// Integer option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::Invalid`] when present but unparsable.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                key: key.to_string(),
+                value: v.clone(),
+                expected: "an integer",
+            }),
+        }
+    }
+
+    /// Boolean flag (present without value, or `--key true/false`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::Invalid`] when present but not a boolean.
+    pub fn flag(&self, key: &str) -> Result<bool, ArgError> {
+        match self.options.get(key) {
+            None => Ok(false),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                key: key.to_string(),
+                value: v.clone(),
+                expected: "true or false",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let args = parse(&["simulate", "--seed", "7", "--runs", "10"]).unwrap();
+        assert_eq!(args.command.as_deref(), Some("simulate"));
+        assert_eq!(args.u64_or("seed", 0).unwrap(), 7);
+        assert_eq!(args.u64_or("runs", 0).unwrap(), 10);
+        assert_eq!(args.u64_or("absent", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn bare_flag_is_true() {
+        let args = parse(&["simulate", "--verbose"]).unwrap();
+        assert!(args.flag("verbose").unwrap());
+        assert!(!args.flag("quiet").unwrap());
+    }
+
+    #[test]
+    fn no_command_is_allowed() {
+        let args = parse(&["--help"]).unwrap();
+        assert_eq!(args.command, None);
+        assert!(args.flag("help").unwrap());
+    }
+
+    #[test]
+    fn duplicate_option_rejected() {
+        assert_eq!(
+            parse(&["x", "--a", "1", "--a", "2"]),
+            Err(ArgError::Duplicate("a".into()))
+        );
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert!(matches!(
+            parse(&["x", "--a", "1", "stray"]),
+            // "stray" is consumed as --a's... no: --a takes "1", then "stray"
+            // is a stray positional.
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_integer_reported() {
+        let args = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(matches!(args.u64_or("n", 0), Err(ArgError::Invalid { .. })));
+    }
+
+    #[test]
+    fn required_string() {
+        let args = parse(&["x", "--path", "/tmp/t.csv"]).unwrap();
+        assert_eq!(args.str_required("path").unwrap(), "/tmp/t.csv");
+        assert_eq!(args.str_required("nope"), Err(ArgError::Missing("nope".into())));
+    }
+
+    #[test]
+    fn display_messages_are_concise() {
+        assert_eq!(
+            ArgError::Missing("seed".into()).to_string(),
+            "missing required option --seed"
+        );
+    }
+}

@@ -1,0 +1,454 @@
+//! CLI subcommand implementations.
+
+use std::error::Error;
+
+use geomancy_core::experiment::{run_policy_experiment, ExperimentConfig, PinAll};
+use geomancy_core::models::{build_model, ModelId};
+use geomancy_core::policy::{
+    GeomancyDynamic, GeomancyStatic, Lfu, Lru, Mru, PlacementPolicy, RandomDynamic, RandomStatic,
+    SpreadStatic,
+};
+use geomancy_core::drl::DrlConfig;
+use geomancy_nn::init::seeded_rng;
+use geomancy_sim::bluesky::Mount;
+use geomancy_trace::features::Z;
+use geomancy_trace::stats::{mean_std, pearson};
+
+use crate::args::Args;
+
+/// Usage text printed by `geomancy help` / `--help`.
+pub const USAGE: &str = "\
+geomancy — RL-driven data layout optimization (ISPASS 2020 reproduction)
+
+USAGE:
+    geomancy <COMMAND> [--option value]...
+
+COMMANDS:
+    simulate    Run a placement policy on the simulated Bluesky system
+                  --policy NAME   geomancy|geomancy-static|lru|mru|lfu|
+                                  random|random-static|spread|pin-<mount>
+                                  (default geomancy)
+                  --seed N        experiment seed (default 7)
+                  --runs N        measured workload runs (default 15)
+                  --files N       workload file count (default 24)
+                  --warmup N      warm-up accesses (default 2000)
+                  --cadence N     move every N runs (default 5)
+                  --trace PATH    export the throughput series as CSV
+                  --report        print a performance report afterwards
+                  --save-db PATH  save the gathered ReplayDB as JSON
+    analyze     Summarize an access-record CSV trace
+                  --trace PATH    CSV produced by `simulate --trace`
+    models      List the 23 Table I architectures
+                  --z N           features per row (default 6)
+    train       Train one Table I model on simulated telemetry
+                  --model N       Table I model number (default 1)
+                  --records N     records per mount (default 2000)
+                  --epochs N      training epochs (default 200)
+                  --mount NAME    mount to model (default people)
+                  --checkpoint P  save the trained model as JSON
+    help        Print this message
+";
+
+/// Builds the policy named on the command line.
+///
+/// # Errors
+///
+/// Returns a descriptive error for unknown policy names.
+pub fn make_policy(name: &str, seed: u64) -> Result<Box<dyn PlacementPolicy>, String> {
+    let drl = DrlConfig {
+        train_window: 800,
+        epochs: 30,
+        smoothing_window: 8,
+        seed,
+        ..DrlConfig::default()
+    };
+    Ok(match name {
+        "geomancy" => Box::new(GeomancyDynamic::with_config(drl, 0.1)),
+        "geomancy-static" => Box::new(GeomancyStatic::with_config(drl)),
+        "lru" => Box::new(Lru),
+        "mru" => Box::new(Mru),
+        "lfu" => Box::new(Lfu),
+        "random" => Box::new(RandomDynamic::new(seed)),
+        "random-static" => Box::new(RandomStatic::new(seed)),
+        "spread" => Box::new(SpreadStatic::new()),
+        other => {
+            if let Some(mount_name) = other.strip_prefix("pin-") {
+                let mount = Mount::ALL
+                    .iter()
+                    .find(|m| m.name().eq_ignore_ascii_case(mount_name))
+                    .ok_or_else(|| format!("unknown mount {mount_name:?} in {other:?}"))?;
+                Box::new(PinAll::new(*mount))
+            } else {
+                return Err(format!(
+                    "unknown policy {other:?} (try geomancy, lru, lfu, mru, random, spread, pin-file0)"
+                ));
+            }
+        }
+    })
+}
+
+/// `geomancy simulate`.
+///
+/// # Errors
+///
+/// Returns an error for bad options or trace-export failures.
+pub fn simulate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let seed = args.u64_or("seed", 7)?;
+    let config = ExperimentConfig {
+        seed,
+        warmup_accesses: args.u64_or("warmup", 2_000)? as usize,
+        runs: args.u64_or("runs", 15)? as usize,
+        move_every_runs: args.u64_or("cadence", 5)? as usize,
+        lookback: 4_000,
+        transfer_budget: None,
+        file_count: args.u64_or("files", 24)? as usize,
+        inter_run_gap_secs: 5.0,
+        early_retrain_on_drift: false,
+    };
+    let policy_name = args.str_or("policy", "geomancy");
+    let mut policy = make_policy(&policy_name, seed)?;
+    println!(
+        "running {} for {} runs (seed {seed}, {} files)…",
+        policy.name(),
+        config.runs,
+        config.file_count
+    );
+    let result = run_policy_experiment(policy.as_mut(), &config);
+    println!(
+        "\n{}: {:.2} ± {:.2} GB/s over {} accesses, {} layout changes",
+        result.policy,
+        result.avg_throughput / 1e9,
+        result.std_throughput / 1e9,
+        result.series.len(),
+        result.movements.len(),
+    );
+    println!("per-mount usage:");
+    for (mount, fraction) in &result.usage_fraction {
+        println!("  {mount:>7}: {:.1} %", fraction * 100.0);
+    }
+    if args.flag("report")? {
+        let report = geomancy_core::report::PerformanceReport::build(&result.db, 4_000, 8);
+        println!("\n{}", report.render());
+    }
+    if let Some(path) = args.options.get("save-db") {
+        geomancy_replaydb::save(&result.db, path)?;
+        println!("wrote ReplayDB snapshot to {path}");
+    }
+    if let Some(path) = args.options.get("trace") {
+        // Re-derive records from the series is lossy; export the per-access
+        // series as CSV of (access, throughput) instead.
+        let mut out = String::from("access_number,throughput_bytes_per_sec\n");
+        for p in &result.series {
+            out.push_str(&format!("{},{:.0}\n", p.access_number, p.throughput));
+        }
+        std::fs::write(path, out)?;
+        println!("wrote throughput series to {path}");
+    }
+    Ok(())
+}
+
+/// `geomancy analyze`.
+///
+/// # Errors
+///
+/// Returns an error when the trace cannot be read or is empty.
+pub fn analyze(args: &Args) -> Result<(), Box<dyn Error>> {
+    let path = args.str_required("trace")?;
+    let records = geomancy_trace::io::load_csv(&path)?;
+    if records.is_empty() {
+        return Err(format!("trace {path} holds no records").into());
+    }
+    println!("{}: {} records", path, records.len());
+    // Per-device summary.
+    let mut by_device: std::collections::BTreeMap<u32, Vec<f64>> = Default::default();
+    for r in &records {
+        by_device.entry(r.fsid.0).or_default().push(r.throughput());
+    }
+    println!("\nper-device throughput:");
+    for (dev, tps) in &by_device {
+        let (mean, std) = mean_std(tps);
+        println!(
+            "  dev{dev}: {:>8.3} ± {:>8.3} MB/s over {} accesses",
+            mean / 1e6,
+            std / 1e6,
+            tps.len()
+        );
+    }
+    // Feature correlations (the Figure 4 analysis on this trace).
+    let tp: Vec<f64> = records.iter().map(|r| r.throughput()).collect();
+    println!("\nfeature correlation with throughput:");
+    type Extract = fn(&geomancy_sim::record::AccessRecord) -> f64;
+    let features: [(&str, Extract); 6] = [
+        ("rb", |r| r.rb as f64),
+        ("wb", |r| r.wb as f64),
+        ("ots", |r| r.ots as f64),
+        ("otms", |r| r.otms as f64),
+        ("fid", |r| r.fid.0 as f64),
+        ("fsid", |r| r.fsid.0 as f64),
+    ];
+    for (name, extract) in &features {
+        let xs: Vec<f64> = records.iter().map(extract).collect();
+        println!("  {name:>5}: {:+.3}", pearson(&xs, &tp));
+    }
+    Ok(())
+}
+
+/// `geomancy models`.
+///
+/// # Errors
+///
+/// Returns an error for bad options.
+pub fn models(args: &Args) -> Result<(), Box<dyn Error>> {
+    let z = args.u64_or("z", Z as u64)? as usize;
+    println!("Table I architectures at Z = {z}:");
+    for id in ModelId::all() {
+        let mut rng = seeded_rng(0);
+        let net = build_model(id, z, 8, &mut rng);
+        println!(
+            "  {:>8}  {:>7} params  {}",
+            id.to_string(),
+            net.param_count(),
+            net.describe()
+        );
+    }
+    Ok(())
+}
+
+/// `geomancy train`.
+///
+/// # Errors
+///
+/// Returns an error for bad options or checkpoint-write failures.
+pub fn train_model(args: &Args) -> Result<(), Box<dyn Error>> {
+    use geomancy_core::dataset::forecasting_dataset;
+    use geomancy_nn::loss::Loss;
+    use geomancy_nn::optimizer::Sgd;
+    use geomancy_nn::training::{train, DataSplit, TrainConfig};
+    use geomancy_sim::bluesky::bluesky_system;
+    use geomancy_sim::cluster::FileMeta;
+    use geomancy_sim::record::DeviceId;
+    use geomancy_trace::belle2::Belle2Workload;
+
+    let model_number = args.u64_or("model", 1)? as u8;
+    let id = ModelId::new(model_number);
+    let per_mount = args.u64_or("records", 2_000)? as usize;
+    let epochs = args.u64_or("epochs", 200)? as usize;
+    let mount_name = args.str_or("mount", "people");
+    let mount = Mount::ALL
+        .iter()
+        .find(|m| m.name().eq_ignore_ascii_case(&mount_name))
+        .ok_or_else(|| format!("unknown mount {mount_name:?}"))?;
+
+    println!("gathering {per_mount} records from {mount}…");
+    let mut system = bluesky_system(7);
+    let mut workload = Belle2Workload::new(7);
+    for (i, f) in workload.files().iter().enumerate() {
+        system.add_file(
+            f.fid,
+            FileMeta { size: f.size, path: f.path.clone() },
+            DeviceId((i % 6) as u32),
+        )?;
+    }
+    let mut records = Vec::new();
+    while records.len() < per_mount {
+        for op in workload.next_run() {
+            let rec = system.read_file(op.fid, op.bytes)?;
+            if rec.fsid == mount.device_id() {
+                records.push(rec);
+            }
+            if records.len() >= per_mount {
+                break;
+            }
+        }
+        system.idle(3.0);
+    }
+
+    let timesteps = 8;
+    let window = if id.is_recurrent() { timesteps } else { 1 };
+    let ds = forecasting_dataset(&records, window, 4, 0);
+    let split = DataSplit::split_60_20_20(ds.inputs.clone(), ds.targets.clone());
+    let mut rng = seeded_rng(args.u64_or("seed", 0)?);
+    let mut net = build_model(id, Z, timesteps, &mut rng);
+    println!("training {id}: {} ({} params, {epochs} epochs)…", net.describe(), net.param_count());
+    let mut opt = Sgd::new(0.05);
+    let report = train(
+        &mut net,
+        &mut opt,
+        &split,
+        &TrainConfig {
+            epochs,
+            batch_size: 64,
+            loss: Loss::MeanSquaredError,
+            patience: None,
+        },
+    );
+    println!(
+        "test error {} over {} samples ({:.2}s training, {:.2}ms prediction)",
+        report.error_cell(),
+        split.test.0.rows(),
+        report.training_time.as_secs_f64(),
+        report.prediction_time.as_secs_f64() * 1e3,
+    );
+    if let Some(path) = args.options.get("checkpoint") {
+        // Rebuild the architecture as a spec so the checkpoint is portable.
+        let spec = model_spec(id, Z, timesteps);
+        let json = spec.checkpoint(&net).to_json()?;
+        std::fs::write(path, json)?;
+        println!("checkpoint written to {path}");
+    }
+    Ok(())
+}
+
+/// Mirrors [`build_model`]'s architecture as a serializable spec.
+fn model_spec(id: ModelId, z: usize, timesteps: usize) -> geomancy_nn::spec::NetworkSpec {
+    use geomancy_nn::activation::Activation;
+    use geomancy_nn::spec::{LayerSpec, NetworkSpec};
+    // Derive the layer list from a freshly built network's description: we
+    // rebuild via the sizes the constructors use. Simplest robust approach:
+    // walk the built network's describe() — but widths are embedded in the
+    // constructors, so reconstruct from the same match the builder uses by
+    // probing a built instance layer by layer.
+    let mut rng = seeded_rng(0);
+    let net = build_model(id, z, timesteps, &mut rng);
+    // describe() yields entries like "96 (Dense) ReLU" / "6 (GRU) ReLU".
+    let mut layers = Vec::new();
+    let mut input = if id.is_recurrent() { z * timesteps } else { z };
+    for cell in net.describe().split(", ") {
+        let mut parts = cell.split(' ');
+        let width: usize = parts.next().expect("width").parse().expect("numeric width");
+        let kind = parts.next().expect("kind");
+        let act = match parts.next().expect("activation") {
+            "ReLU" => Activation::ReLU,
+            "Linear" => Activation::Linear,
+            "Sigmoid" => Activation::Sigmoid,
+            other => panic!("unknown activation {other}"),
+        };
+        let layer = match kind {
+            "(Dense)" => LayerSpec::Dense { input, output: width, activation: act },
+            "(SimpleRNN)" => LayerSpec::SimpleRnn { features: z, hidden: width, timesteps, activation: act },
+            "(LSTM)" => LayerSpec::Lstm { features: z, hidden: width, timesteps, activation: act },
+            "(GRU)" => LayerSpec::Gru { features: z, hidden: width, timesteps, activation: act },
+            other => panic!("unknown layer kind {other}"),
+        };
+        input = width;
+        layers.push(layer);
+    }
+    NetworkSpec::new(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_known_policy_constructs() {
+        for name in [
+            "geomancy",
+            "geomancy-static",
+            "lru",
+            "mru",
+            "lfu",
+            "random",
+            "random-static",
+            "spread",
+            "pin-file0",
+            "pin-USBtmp",
+        ] {
+            let policy = make_policy(name, 0).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!policy.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error() {
+        assert!(make_policy("definitely-not-a-policy", 0).is_err());
+        assert!(make_policy("pin-nonexistent", 0).is_err());
+    }
+
+    #[test]
+    fn model_spec_matches_builder_for_every_model() {
+        for id in ModelId::all() {
+            let spec = model_spec(id, 6, 4);
+            let mut rng = seeded_rng(1);
+            let built = spec.build(&mut rng);
+            let mut rng2 = seeded_rng(1);
+            let reference = build_model(id, 6, 4, &mut rng2);
+            assert_eq!(built.describe(), reference.describe(), "{id}");
+            assert_eq!(built.param_count(), reference.param_count(), "{id}");
+        }
+    }
+
+    #[test]
+    fn train_command_with_checkpoint() {
+        let dir = std::env::temp_dir().join("geomancy_cli_train_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("model.json");
+        let args = Args::parse(
+            [
+                "train", "--model", "11", "--records", "300", "--epochs", "10", "--mount",
+                "USBtmp", "--checkpoint", ckpt.to_str().unwrap(),
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        train_model(&args).unwrap();
+        let json = std::fs::read_to_string(&ckpt).unwrap();
+        let restored = geomancy_nn::spec::Checkpoint::from_json(&json).unwrap();
+        let _net = restored.restore();
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn models_command_lists_everything() {
+        let args = Args::default();
+        models(&args).unwrap();
+    }
+
+    #[test]
+    fn simulate_tiny_run_end_to_end() {
+        let args = Args::parse(
+            [
+                "simulate", "--policy", "spread", "--runs", "2", "--files", "4", "--warmup",
+                "150", "--cadence", "1", "--seed", "3",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        simulate(&args).unwrap();
+    }
+
+    #[test]
+    fn analyze_round_trips_a_generated_trace() {
+        use geomancy_sim::bluesky::bluesky_system;
+        use geomancy_sim::cluster::FileMeta;
+        use geomancy_sim::record::FileId;
+        let mut system = bluesky_system(3);
+        system
+            .add_file(
+                FileId(0),
+                FileMeta {
+                    size: 1_000_000,
+                    path: "cli/a.root".into(),
+                },
+                Mount::Tmp.device_id(),
+            )
+            .unwrap();
+        let records: Vec<_> = (0..20)
+            .map(|_| system.read_file(FileId(0), None).unwrap())
+            .collect();
+        let dir = std::env::temp_dir().join("geomancy_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        geomancy_trace::io::save_csv(&path, &records).unwrap();
+        let args = Args::parse(
+            ["analyze", "--trace", path.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        analyze(&args).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

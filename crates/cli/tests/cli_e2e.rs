@@ -1,0 +1,109 @@
+//! End-to-end tests of the `geomancy` binary via the compiled executable.
+
+use std::process::Command;
+
+fn geomancy() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_geomancy"))
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = geomancy().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("simulate"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = geomancy().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("COMMANDS"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = geomancy().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown command"));
+}
+
+#[test]
+fn unknown_policy_reports_error() {
+    let out = geomancy()
+        .args(["simulate", "--policy", "nope", "--runs", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown policy"));
+}
+
+#[test]
+fn models_lists_all_23() {
+    let out = geomancy().arg("models").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Model 1 "));
+    assert!(stdout.contains("Model 23"));
+    assert!(stdout.contains("LSTM"));
+}
+
+#[test]
+fn simulate_trace_report_analyze_pipeline() {
+    let dir = std::env::temp_dir().join("geomancy_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db_path = dir.join("replay.json");
+
+    // Simulate a tiny run, saving the ReplayDB.
+    let out = geomancy()
+        .args([
+            "simulate",
+            "--policy",
+            "spread",
+            "--runs",
+            "2",
+            "--files",
+            "4",
+            "--warmup",
+            "150",
+            "--seed",
+            "11",
+            "--report",
+            "--save-db",
+            db_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Spread static"));
+    assert!(stdout.contains("Performance report"));
+    assert!(db_path.exists());
+
+    // Convert the snapshot to a record CSV and analyze it.
+    let db = geomancy_replaydb::load(&db_path).unwrap();
+    let records: Vec<_> = db.records().map(|s| s.record).collect();
+    let csv_path = dir.join("trace.csv");
+    geomancy_trace::io::save_csv(&csv_path, &records).unwrap();
+    let out = geomancy()
+        .args(["analyze", "--trace", csv_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("per-device throughput"));
+    assert!(stdout.contains("feature correlation"));
+
+    std::fs::remove_file(&db_path).ok();
+    std::fs::remove_file(&csv_path).ok();
+}
+
+#[test]
+fn analyze_missing_file_fails_cleanly() {
+    let out = geomancy()
+        .args(["analyze", "--trace", "/definitely/not/here.csv"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,217 @@
+//! The Action Checker (§V-H): the last sanity check before a movement.
+//!
+//! "The Action Checker removes any invalid storage devices. … In case all
+//! storage devices are invalid, a random movement is performed. … Overall
+//! random decision are used by Geomancy 10 % of the runs to keep an updated
+//! list of storage availability."
+
+use geomancy_sim::record::DeviceId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why the checker selected the device it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionKind {
+    /// The highest-predicted valid device was chosen.
+    Predicted,
+    /// An ε-exploration random choice was made among valid devices.
+    Exploration,
+    /// Every candidate was invalid, so a random device was chosen to keep
+    /// discovering the system.
+    RandomFallback,
+}
+
+/// The checked decision for one file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckedAction {
+    /// Destination device.
+    pub device: DeviceId,
+    /// Predicted throughput at the destination (`None` for random picks of
+    /// devices that had no prediction).
+    pub predicted_throughput: Option<f64>,
+    /// How the decision was made.
+    pub kind: ActionKind,
+}
+
+/// Validates and finalizes per-file placement decisions.
+///
+/// # Examples
+///
+/// ```
+/// use geomancy_core::action::{ActionChecker, ActionKind};
+/// use geomancy_sim::record::DeviceId;
+///
+/// let mut checker = ActionChecker::with_exploration(0, 0.0);
+/// let ranked = vec![(DeviceId(0), 1.0e9), (DeviceId(1), 2.0e9)];
+/// // Device 1 predicts faster and is valid: it wins.
+/// let action = checker.check(&ranked, |_| true);
+/// assert_eq!(action.device, DeviceId(1));
+/// assert_eq!(action.kind, ActionKind::Predicted);
+/// ```
+#[derive(Debug)]
+pub struct ActionChecker {
+    exploration_rate: f64,
+    rng: StdRng,
+    decisions: u64,
+    explorations: u64,
+}
+
+impl ActionChecker {
+    /// Creates a checker with the paper's 10 % exploration rate.
+    pub fn new(seed: u64) -> Self {
+        Self::with_exploration(seed, 0.1)
+    }
+
+    /// Creates a checker with a custom exploration rate (ablation knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_exploration(seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "exploration rate must be in [0, 1]");
+        ActionChecker {
+            exploration_rate: rate,
+            rng: StdRng::seed_from_u64(seed),
+            decisions: 0,
+            explorations: 0,
+        }
+    }
+
+    /// The configured exploration rate.
+    pub fn exploration_rate(&self) -> f64 {
+        self.exploration_rate
+    }
+
+    /// Total decisions made.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Decisions that were random (exploration or fallback).
+    pub fn explorations(&self) -> u64 {
+        self.explorations
+    }
+
+    /// Checks one file's ranked predictions.
+    ///
+    /// `ranked` is the DRL engine's `(device, predicted throughput)` list;
+    /// `is_valid` reports whether the device can currently accept the file
+    /// (online, capacity, permissions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranked` is empty.
+    pub fn check(
+        &mut self,
+        ranked: &[(DeviceId, f64)],
+        mut is_valid: impl FnMut(DeviceId) -> bool,
+    ) -> CheckedAction {
+        assert!(!ranked.is_empty(), "no candidates to check");
+        self.decisions += 1;
+        let valid: Vec<(DeviceId, f64)> = ranked
+            .iter()
+            .copied()
+            .filter(|(d, _)| is_valid(*d))
+            .collect();
+        if valid.is_empty() {
+            // All invalid: random movement to keep learning the system.
+            self.explorations += 1;
+            let pick = ranked[self.rng.gen_range(0..ranked.len())].0;
+            return CheckedAction {
+                device: pick,
+                predicted_throughput: None,
+                kind: ActionKind::RandomFallback,
+            };
+        }
+        if self.rng.gen_bool(self.exploration_rate) {
+            self.explorations += 1;
+            let (device, tp) = valid[self.rng.gen_range(0..valid.len())];
+            return CheckedAction {
+                device,
+                predicted_throughput: Some(tp),
+                kind: ActionKind::Exploration,
+            };
+        }
+        let (device, tp) = valid
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty valid set");
+        CheckedAction {
+            device,
+            predicted_throughput: Some(tp),
+            kind: ActionKind::Predicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranked() -> Vec<(DeviceId, f64)> {
+        vec![
+            (DeviceId(0), 100.0),
+            (DeviceId(1), 500.0),
+            (DeviceId(2), 300.0),
+        ]
+    }
+
+    #[test]
+    fn picks_highest_valid_prediction() {
+        let mut checker = ActionChecker::with_exploration(0, 0.0);
+        let action = checker.check(&ranked(), |_| true);
+        assert_eq!(action.device, DeviceId(1));
+        assert_eq!(action.kind, ActionKind::Predicted);
+        assert_eq!(action.predicted_throughput, Some(500.0));
+    }
+
+    #[test]
+    fn invalid_devices_are_filtered() {
+        let mut checker = ActionChecker::with_exploration(0, 0.0);
+        let action = checker.check(&ranked(), |d| d != DeviceId(1));
+        assert_eq!(action.device, DeviceId(2));
+    }
+
+    #[test]
+    fn all_invalid_falls_back_to_random() {
+        let mut checker = ActionChecker::with_exploration(0, 0.0);
+        let action = checker.check(&ranked(), |_| false);
+        assert_eq!(action.kind, ActionKind::RandomFallback);
+        assert!(action.predicted_throughput.is_none());
+        assert!(ranked().iter().any(|(d, _)| *d == action.device));
+    }
+
+    #[test]
+    fn exploration_rate_is_roughly_honored() {
+        let mut checker = ActionChecker::new(42); // 10 %
+        for _ in 0..2000 {
+            let _ = checker.check(&ranked(), |_| true);
+        }
+        let rate = checker.explorations() as f64 / checker.decisions() as f64;
+        assert!((0.06..=0.14).contains(&rate), "observed exploration rate {rate}");
+    }
+
+    #[test]
+    fn full_exploration_never_picks_deterministically() {
+        let mut checker = ActionChecker::with_exploration(7, 1.0);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(checker.check(&ranked(), |_| true).device);
+        }
+        assert!(seen.len() > 1, "exploration never varied");
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidates")]
+    fn empty_candidates_panic() {
+        let mut checker = ActionChecker::new(0);
+        let _ = checker.check(&[], |_| true);
+    }
+
+    #[test]
+    #[should_panic(expected = "exploration rate")]
+    fn invalid_rate_panics() {
+        let _ = ActionChecker::with_exploration(0, 1.5);
+    }
+}

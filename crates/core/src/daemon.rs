@@ -1,0 +1,297 @@
+//! The Interface Daemon (§V-A): "a networking middleware that allows
+//! parallel requests to be sent between the target system, Geomancy, and
+//! internally within Geomancy."
+//!
+//! The daemon owns the ReplayDB behind a message channel: monitoring agents
+//! push record batches, the DRL engine pulls training batches, and both can
+//! do so concurrently from different threads. In the paper the hops are
+//! network sockets; here they are crossbeam channels with the same ordered
+//! request/response contract.
+
+use std::collections::BTreeMap;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use geomancy_replaydb::db::LayoutEvent;
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::record::{AccessRecord, DeviceId};
+
+/// Requests the daemon accepts.
+enum Request {
+    StoreBatch {
+        timestamp_micros: u64,
+        records: Vec<AccessRecord>,
+    },
+    RecordLayoutEvent(LayoutEvent),
+    QueryRecentPerDevice {
+        x: usize,
+        reply: Sender<BTreeMap<DeviceId, Vec<AccessRecord>>>,
+    },
+    QueryLen {
+        reply: Sender<usize>,
+    },
+    Snapshot {
+        reply: Sender<ReplayDb>,
+    },
+    Shutdown,
+}
+
+/// Errors returned by [`DaemonClient`] calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonGone;
+
+impl std::fmt::Display for DaemonGone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("interface daemon has shut down")
+    }
+}
+
+impl std::error::Error for DaemonGone {}
+
+/// A cloneable handle for talking to the daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonClient {
+    sender: Sender<Request>,
+}
+
+impl DaemonClient {
+    /// Stores a batch of records ingested at one timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonGone`] if the daemon has shut down.
+    pub fn store_batch(
+        &self,
+        timestamp_micros: u64,
+        records: Vec<AccessRecord>,
+    ) -> Result<(), DaemonGone> {
+        self.sender
+            .send(Request::StoreBatch {
+                timestamp_micros,
+                records,
+            })
+            .map_err(|_| DaemonGone)
+    }
+
+    /// Records a layout event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonGone`] if the daemon has shut down.
+    pub fn record_layout_event(&self, event: LayoutEvent) -> Result<(), DaemonGone> {
+        self.sender
+            .send(Request::RecordLayoutEvent(event))
+            .map_err(|_| DaemonGone)
+    }
+
+    /// The §V-E training-batch query, answered by the daemon thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonGone`] if the daemon has shut down.
+    pub fn recent_per_device(
+        &self,
+        x: usize,
+    ) -> Result<BTreeMap<DeviceId, Vec<AccessRecord>>, DaemonGone> {
+        let (reply, rx) = bounded(1);
+        self.sender
+            .send(Request::QueryRecentPerDevice { x, reply })
+            .map_err(|_| DaemonGone)?;
+        rx.recv().map_err(|_| DaemonGone)
+    }
+
+    /// Number of stored records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonGone`] if the daemon has shut down.
+    pub fn len(&self) -> Result<usize, DaemonGone> {
+        let (reply, rx) = bounded(1);
+        self.sender
+            .send(Request::QueryLen { reply })
+            .map_err(|_| DaemonGone)?;
+        rx.recv().map_err(|_| DaemonGone)
+    }
+
+    /// Whether the database is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonGone`] if the daemon has shut down.
+    pub fn is_empty(&self) -> Result<bool, DaemonGone> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Full copy of the database (used by the DRL engine for a retrain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonGone`] if the daemon has shut down.
+    pub fn snapshot(&self) -> Result<ReplayDb, DaemonGone> {
+        let (reply, rx) = bounded(1);
+        self.sender
+            .send(Request::Snapshot { reply })
+            .map_err(|_| DaemonGone)?;
+        rx.recv().map_err(|_| DaemonGone)
+    }
+}
+
+/// The daemon: a thread owning the ReplayDB.
+#[derive(Debug)]
+pub struct InterfaceDaemon {
+    handle: Option<JoinHandle<ReplayDb>>,
+    sender: Sender<Request>,
+}
+
+impl InterfaceDaemon {
+    /// Spawns the daemon thread around an (optionally pre-seeded) database.
+    pub fn spawn(db: ReplayDb) -> Self {
+        let (sender, receiver) = unbounded::<Request>();
+        let handle = std::thread::spawn(move || {
+            let mut db = db;
+            while let Ok(request) = receiver.recv() {
+                match request {
+                    Request::StoreBatch {
+                        timestamp_micros,
+                        records,
+                    } => db.insert_batch(timestamp_micros, &records),
+                    Request::RecordLayoutEvent(event) => db.record_layout_event(event),
+                    Request::QueryRecentPerDevice { x, reply } => {
+                        let _ = reply.send(db.recent_per_device(x));
+                    }
+                    Request::QueryLen { reply } => {
+                        let _ = reply.send(db.len());
+                    }
+                    Request::Snapshot { reply } => {
+                        let _ = reply.send(db.clone());
+                    }
+                    Request::Shutdown => break,
+                }
+            }
+            db
+        });
+        InterfaceDaemon {
+            handle: Some(handle),
+            sender,
+        }
+    }
+
+    /// Creates a client handle.
+    pub fn client(&self) -> DaemonClient {
+        DaemonClient {
+            sender: self.sender.clone(),
+        }
+    }
+
+    /// Stops the daemon and returns the final database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon thread itself panicked.
+    pub fn shutdown(mut self) -> ReplayDb {
+        let _ = self.sender.send(Request::Shutdown);
+        self.handle
+            .take()
+            .expect("daemon already shut down")
+            .join()
+            .expect("daemon thread panicked")
+    }
+}
+
+impl Drop for InterfaceDaemon {
+    fn drop(&mut self) {
+        let _ = self.sender.send(Request::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::record::FileId;
+
+    fn rec(n: u64, dev: u32) -> AccessRecord {
+        AccessRecord {
+            access_number: n,
+            fid: FileId(n),
+            fsid: DeviceId(dev),
+            rb: 10,
+            wb: 0,
+            ots: n,
+            otms: 0,
+            cts: n + 1,
+            ctms: 0,
+        }
+    }
+
+    #[test]
+    fn store_and_query_round_trip() {
+        let daemon = InterfaceDaemon::spawn(ReplayDb::new());
+        let client = daemon.client();
+        client.store_batch(0, vec![rec(0, 0), rec(1, 1)]).unwrap();
+        assert_eq!(client.len().unwrap(), 2);
+        let per_device = client.recent_per_device(10).unwrap();
+        assert_eq!(per_device.len(), 2);
+        let db = daemon.shutdown();
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn parallel_writers_all_land() {
+        let daemon = InterfaceDaemon::spawn(ReplayDb::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let client = daemon.client();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    client
+                        // All threads share timestamp 0 so ordering is valid.
+                        .store_batch(0, vec![rec(t * 1000 + i, (t % 2) as u32)])
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let client = daemon.client();
+        assert_eq!(client.len().unwrap(), 200);
+    }
+
+    #[test]
+    fn snapshot_is_a_copy() {
+        let daemon = InterfaceDaemon::spawn(ReplayDb::new());
+        let client = daemon.client();
+        client.store_batch(0, vec![rec(0, 0)]).unwrap();
+        let snap = client.snapshot().unwrap();
+        client.store_batch(1, vec![rec(1, 0)]).unwrap();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(client.len().unwrap(), 2);
+    }
+
+    #[test]
+    fn client_errors_after_shutdown() {
+        let daemon = InterfaceDaemon::spawn(ReplayDb::new());
+        let client = daemon.client();
+        let _ = daemon.shutdown();
+        assert_eq!(client.len(), Err(DaemonGone));
+        assert!(!DaemonGone.to_string().is_empty());
+    }
+
+    #[test]
+    fn layout_events_flow_through() {
+        let daemon = InterfaceDaemon::spawn(ReplayDb::new());
+        let client = daemon.client();
+        client
+            .record_layout_event(LayoutEvent {
+                timestamp_micros: 1,
+                at_access: 7,
+                movements: vec![],
+            })
+            .unwrap();
+        let db = daemon.shutdown();
+        assert_eq!(db.layout_events().len(), 1);
+    }
+}

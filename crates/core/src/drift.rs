@@ -1,0 +1,205 @@
+//! Performance-drift detection.
+//!
+//! Geomancy's premise is that it "reacts to drops in performance"; the
+//! paper retrains on a fixed cadence. This extension watches per-device
+//! throughput for departures from a reference window so a deployment can
+//! trigger an early retrain when a mount's behaviour shifts (a storm
+//! starts, hardware degrades) instead of waiting out the cadence.
+
+use std::collections::BTreeMap;
+
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::record::DeviceId;
+use geomancy_trace::stats::mean_std;
+
+/// Drift verdict for one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceDrift {
+    /// Mean throughput over the reference window, bytes/second.
+    pub reference_mean: f64,
+    /// Mean throughput over the recent window, bytes/second.
+    pub recent_mean: f64,
+    /// `(recent - reference) / reference`; negative = slowdown.
+    pub relative_change: f64,
+    /// Whether the change exceeds the detector's threshold.
+    pub drifted: bool,
+}
+
+/// Watches per-device throughput for regime changes.
+///
+/// # Examples
+///
+/// ```
+/// use geomancy_core::drift::DriftDetector;
+/// use geomancy_replaydb::ReplayDb;
+/// use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+///
+/// // 200 fast accesses, then 50 much slower ones: drift.
+/// let mut db = ReplayDb::new();
+/// for i in 0..250u64 {
+///     let dur_ms = if i < 200 { 200 } else { 500 };
+///     db.insert(i, AccessRecord {
+///         access_number: i, fid: FileId(0), fsid: DeviceId(0),
+///         rb: 1_000_000, wb: 0,
+///         ots: i * 2, otms: 0,
+///         cts: i * 2, ctms: dur_ms,
+///     });
+/// }
+/// let detector = DriftDetector { reference_window: 200, recent_window: 50, threshold: 0.4 };
+/// assert!(detector.any_drift(&db));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DriftDetector {
+    /// Accesses in the (older) reference window, per device.
+    pub reference_window: usize,
+    /// Accesses in the (newest) comparison window, per device.
+    pub recent_window: usize,
+    /// Relative change magnitude that counts as drift (e.g. `0.4` = ±40 %).
+    pub threshold: f64,
+}
+
+impl Default for DriftDetector {
+    fn default() -> Self {
+        DriftDetector {
+            reference_window: 600,
+            recent_window: 150,
+            threshold: 0.4,
+        }
+    }
+}
+
+impl DriftDetector {
+    /// Evaluates every device with enough history. Devices with fewer than
+    /// `reference_window / 2` reference accesses are skipped (verdicts on
+    /// thin history are noise).
+    pub fn evaluate(&self, db: &ReplayDb) -> BTreeMap<DeviceId, DeviceDrift> {
+        let mut verdicts = BTreeMap::new();
+        for device in db.devices_seen() {
+            let all = db.recent_for_device(device, self.reference_window + self.recent_window);
+            if all.len() < self.recent_window + self.reference_window / 2 {
+                continue;
+            }
+            let split = all.len() - self.recent_window;
+            let reference: Vec<f64> = all[..split].iter().map(|r| r.throughput()).collect();
+            let recent: Vec<f64> = all[split..].iter().map(|r| r.throughput()).collect();
+            let (ref_mean, _) = mean_std(&reference);
+            let (rec_mean, _) = mean_std(&recent);
+            if ref_mean <= 0.0 {
+                continue;
+            }
+            let relative_change = (rec_mean - ref_mean) / ref_mean;
+            verdicts.insert(
+                device,
+                DeviceDrift {
+                    reference_mean: ref_mean,
+                    recent_mean: rec_mean,
+                    relative_change,
+                    drifted: relative_change.abs() >= self.threshold,
+                },
+            );
+        }
+        verdicts
+    }
+
+    /// Whether any device has drifted — the "retrain now" signal.
+    pub fn any_drift(&self, db: &ReplayDb) -> bool {
+        self.evaluate(db).values().any(|v| v.drifted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::record::{AccessRecord, FileId};
+
+    /// `n` accesses on one device at `before` B/s, then `m` at `after` B/s.
+    fn shifting_db(n: u64, before_ms: u64, m: u64, after_ms: u64) -> ReplayDb {
+        let mut db = ReplayDb::new();
+        for i in 0..(n + m) {
+            let dur = if i < n { before_ms } else { after_ms };
+            db.insert(
+                i,
+                AccessRecord {
+                    access_number: i,
+                    fid: FileId(0),
+                    fsid: DeviceId(0),
+                    rb: 1_000_000,
+                    wb: 0,
+                    ots: i * 2,
+                    otms: 0,
+                    cts: i * 2 + dur / 1000,
+                    ctms: (dur % 1000) as u16,
+                },
+            );
+        }
+        db
+    }
+
+    fn detector() -> DriftDetector {
+        DriftDetector {
+            reference_window: 200,
+            recent_window: 50,
+            threshold: 0.4,
+        }
+    }
+
+    #[test]
+    fn stable_throughput_is_not_drift() {
+        let db = shifting_db(250, 200, 0, 0);
+        let verdicts = detector().evaluate(&db);
+        let v = verdicts[&DeviceId(0)];
+        assert!(!v.drifted, "{v:?}");
+        assert!(v.relative_change.abs() < 0.01);
+    }
+
+    #[test]
+    fn halved_throughput_is_drift() {
+        // 200 ms accesses, then 50 recent at 500 ms (2.5x slower).
+        let db = shifting_db(200, 200, 50, 500);
+        let verdicts = detector().evaluate(&db);
+        let v = verdicts[&DeviceId(0)];
+        assert!(v.drifted, "{v:?}");
+        assert!(v.relative_change < -0.4);
+        assert!(detector().any_drift(&db));
+    }
+
+    #[test]
+    fn speedup_is_also_drift() {
+        let db = shifting_db(200, 500, 50, 200);
+        let v = detector().evaluate(&db)[&DeviceId(0)];
+        assert!(v.drifted);
+        assert!(v.relative_change > 0.4);
+    }
+
+    #[test]
+    fn thin_history_is_skipped() {
+        let db = shifting_db(30, 200, 10, 500);
+        assert!(detector().evaluate(&db).is_empty());
+        assert!(!detector().any_drift(&db));
+    }
+
+    #[test]
+    fn devices_are_evaluated_independently() {
+        let mut db = shifting_db(200, 200, 50, 500); // device 0 drifts
+        // Device 1: stable throughput throughout.
+        for i in 0..250u64 {
+            db.insert(
+                1_000_000 + i,
+                AccessRecord {
+                    access_number: 10_000 + i,
+                    fid: FileId(1),
+                    fsid: DeviceId(1),
+                    rb: 1_000_000,
+                    wb: 0,
+                    ots: 100_000 + i * 2,
+                    otms: 0,
+                    cts: 100_000 + i * 2,
+                    ctms: 300,
+                },
+            );
+        }
+        let verdicts = detector().evaluate(&db);
+        assert!(verdicts[&DeviceId(0)].drifted);
+        assert!(!verdicts[&DeviceId(1)].drifted);
+    }
+}

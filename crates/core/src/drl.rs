@@ -1,0 +1,446 @@
+//! The Deep Reinforcement Learning engine (§V).
+//!
+//! The engine re-trains a neural network on the most recent ReplayDB
+//! records, then predicts "the throughput of accessing a piece of data at
+//! every potential location it can exist" by building a batch of rows where
+//! "every row only \[has\] the location varying" (§V-C). The increase in
+//! observed workload throughput after applying a layout is the reward that
+//! flows back in as fresh training data on the next retrain cycle.
+
+use geomancy_nn::loss::Loss;
+use geomancy_nn::matrix::Matrix;
+use geomancy_nn::metrics::RelativeError;
+use geomancy_nn::network::Sequential;
+use geomancy_nn::optimizer::Sgd;
+use geomancy_nn::training::{train, DataSplit, TrainConfig};
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+use geomancy_trace::features::{MinMaxNormalizer, ScalarNormalizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adjust::PredictionAdjuster;
+use crate::dataset::{placement_dataset_with, PLACEMENT_Z};
+use crate::models::{build_model, ModelId};
+
+/// Configuration of the DRL engine.
+#[derive(Debug, Clone)]
+pub struct DrlConfig {
+    /// Table I model number (paper's choice: 1).
+    pub model: u8,
+    /// Most recent accesses pulled per device for a retrain (the paper's
+    /// "X"; 12 000 total entries in the offline study).
+    pub train_window: usize,
+    /// Epochs per retrain. The offline study uses 200; online retrains use
+    /// fewer because they happen every few workload runs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Moving-average window applied to throughput targets (§V-E).
+    pub smoothing_window: usize,
+    /// Window length for recurrent models (unused by dense models).
+    pub timesteps: usize,
+    /// Apply the §V-G MAE-based prediction adjustment.
+    pub adjust_predictions: bool,
+    /// Model throughput in `ln(1 + tp)` space. Off by default: linear MSE
+    /// concentrates capacity on the high-throughput tail, which is exactly
+    /// where placement gains live; the log option exists for ablation.
+    pub log_targets: bool,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for DrlConfig {
+    fn default() -> Self {
+        DrlConfig {
+            model: 1,
+            train_window: 2_000,
+            epochs: 40,
+            learning_rate: 0.05,
+            batch_size: 64,
+            smoothing_window: 16,
+            timesteps: 8,
+            adjust_predictions: true,
+            log_targets: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Summary of one retrain cycle.
+#[derive(Debug, Clone)]
+pub struct RetrainOutcome {
+    /// Samples the network was trained on.
+    pub samples: usize,
+    /// Validation relative-error statistics.
+    pub validation_error: RelativeError,
+    /// Whether the model hit the divergence condition.
+    pub diverged: bool,
+    /// Wall-clock training time.
+    pub training_time: std::time::Duration,
+}
+
+/// A "what would the throughput be" query for one file.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementQuery {
+    /// File being placed.
+    pub fid: FileId,
+    /// Bytes the next access is expected to read.
+    pub read_bytes: u64,
+    /// Bytes the next access is expected to write.
+    pub write_bytes: u64,
+    /// Current time, seconds part.
+    pub now_secs: u64,
+    /// Current time, millisecond part.
+    pub now_ms: u16,
+}
+
+/// The DRL engine: network, normalizers, and prediction adjustment.
+pub struct DrlEngine {
+    config: DrlConfig,
+    net: Sequential,
+    feature_norm: Option<MinMaxNormalizer>,
+    target_norm: Option<ScalarNormalizer>,
+    log_targets: bool,
+    adjuster: PredictionAdjuster,
+    retrains: u64,
+}
+
+impl std::fmt::Debug for DrlEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DrlEngine")
+            .field("model", &self.config.model)
+            .field("architecture", &self.net.describe())
+            .field("retrains", &self.retrains)
+            .field("trained", &self.is_trained())
+            .finish()
+    }
+}
+
+impl DrlEngine {
+    /// Creates an engine with freshly initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured model number is outside 1–23 or is a
+    /// recurrent model (the live engine predicts per-candidate rows, which
+    /// requires a row-shaped dense model; the paper likewise deploys the
+    /// dense model 1).
+    pub fn new(config: DrlConfig) -> Self {
+        let id = ModelId::new(config.model);
+        assert!(
+            !id.is_recurrent(),
+            "the live placement engine requires a dense model (1-11)"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let net = build_model(id, PLACEMENT_Z, config.timesteps, &mut rng);
+        DrlEngine {
+            config,
+            net,
+            feature_norm: None,
+            target_norm: None,
+            log_targets: false,
+            adjuster: PredictionAdjuster::identity(),
+            retrains: 0,
+        }
+    }
+
+    /// Whether at least one retrain has completed.
+    pub fn is_trained(&self) -> bool {
+        self.retrains > 0
+    }
+
+    /// Number of retrain cycles run.
+    pub fn retrains(&self) -> u64 {
+        self.retrains
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &DrlConfig {
+        &self.config
+    }
+
+    /// The current prediction adjuster (for inspection/ablation).
+    pub fn adjuster(&self) -> PredictionAdjuster {
+        self.adjuster
+    }
+
+    /// Pulls the training window from the ReplayDB: the most recent
+    /// `train_window` accesses for each device, merged back into access
+    /// order.
+    fn training_records(&self, db: &ReplayDb) -> Vec<AccessRecord> {
+        let mut records: Vec<AccessRecord> = db
+            .recent_per_device(self.config.train_window)
+            .into_values()
+            .flatten()
+            .collect();
+        records.sort_by_key(|r| r.access_number);
+        records
+    }
+
+    /// Re-trains the network on the most recent ReplayDB contents (§V-A:
+    /// "the DRL engine re-trains a neural network using the most recent
+    /// values stored in the ReplayDB").
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when the database holds too few records to form a
+    /// 60/20/20 split (fewer than 5).
+    pub fn retrain(&mut self, db: &ReplayDb) -> Option<RetrainOutcome> {
+        let records = self.training_records(db);
+        if records.len() < 5 {
+            return None;
+        }
+        let ds = placement_dataset_with(
+            &records,
+            self.config.smoothing_window,
+            self.config.log_targets,
+        );
+        let split = DataSplit::split_60_20_20(ds.inputs.clone(), ds.targets.clone());
+        let mut opt = Sgd::new(self.config.learning_rate);
+        let report = train(
+            &mut self.net,
+            &mut opt,
+            &split,
+            &TrainConfig {
+                epochs: self.config.epochs,
+                batch_size: self.config.batch_size,
+                loss: Loss::MeanSquaredError,
+                patience: None,
+            },
+        );
+        // Calibrate the §V-G adjustment on the validation partition, in
+        // *linear* (bytes/second) space regardless of the target transform.
+        let val_pred_raw = self.net.predict(&split.validation.0);
+        let to_linear = |m: &Matrix| m.map(|v| ds.denormalize_target(v));
+        let val_error = RelativeError::compute(
+            &to_linear(&val_pred_raw),
+            &to_linear(&split.validation.1),
+        );
+        self.adjuster = if self.config.adjust_predictions {
+            PredictionAdjuster::from_error(&val_error)
+        } else {
+            PredictionAdjuster::identity()
+        };
+        self.feature_norm = Some(ds.feature_norm);
+        self.target_norm = Some(ds.target_norm);
+        self.log_targets = ds.log_targets;
+        self.retrains += 1;
+        Some(RetrainOutcome {
+            samples: split.train.0.rows(),
+            validation_error: val_error,
+            diverged: report.diverged,
+            training_time: report.training_time,
+        })
+    }
+
+    /// Predicts the throughput (bytes/second, adjusted) `query`'s next
+    /// access would see at each of `candidates` — §V-F's per-location
+    /// prediction structure, including the file's current location among
+    /// the rows. Returns `(device, predicted throughput)` in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`DrlEngine::retrain`].
+    pub fn rank_locations(
+        &mut self,
+        query: &PlacementQuery,
+        candidates: &[DeviceId],
+    ) -> Vec<(DeviceId, f64)> {
+        let feature_norm = self
+            .feature_norm
+            .as_ref()
+            .expect("rank_locations called before retrain");
+        let target_norm = self.target_norm.as_ref().expect("normalizer missing");
+        assert!(!candidates.is_empty(), "no candidate locations");
+        let mut inputs = Matrix::zeros(candidates.len(), PLACEMENT_Z);
+        for (i, dev) in candidates.iter().enumerate() {
+            let mut row = [
+                query.read_bytes as f64,
+                query.write_bytes as f64,
+                query.now_secs as f64,
+                query.now_ms as f64,
+                query.fid.0 as f64,
+                dev.0 as f64,
+            ];
+            feature_norm.normalize(&mut row);
+            // Queries are asked at "now", which lies just past the training
+            // window; clamp into the trained range so the ReLU tower
+            // interpolates instead of extrapolating the time trend.
+            for v in &mut row {
+                *v = v.clamp(0.0, 1.0);
+            }
+            inputs.set_row(i, &row);
+        }
+        let pred = self.net.predict(&inputs);
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &dev)| {
+                let normalized = pred[(i, 0)];
+                // A non-finite output (a degenerate retrain) carries no
+                // information: treat it as zero expected throughput so the
+                // Action Checker can still rank the finite candidates.
+                let tp = if normalized.is_finite() {
+                    let v = target_norm.denormalize(normalized);
+                    if self.log_targets {
+                        v.exp_m1().max(0.0)
+                    } else {
+                        v.max(0.0)
+                    }
+                } else {
+                    0.0
+                };
+                (dev, self.adjuster.adjust(tp))
+            })
+            .collect()
+    }
+
+    /// Convenience: the candidate with the highest adjusted prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful retrain or with no candidates.
+    pub fn best_location(
+        &mut self,
+        query: &PlacementQuery,
+        candidates: &[DeviceId],
+    ) -> (DeviceId, f64) {
+        self.rank_locations(query, candidates)
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("no candidates")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::record::DeviceId;
+
+    /// Builds a ReplayDB where device 1 is consistently ~4x faster than
+    /// device 0.
+    fn biased_db(n: u64) -> ReplayDb {
+        let mut db = ReplayDb::new();
+        for i in 0..n {
+            let dev = (i % 2) as u32;
+            let dt_ms: u64 = if dev == 0 { 400 } else { 100 };
+            let open_ms = i * 1000;
+            let close_ms = open_ms + dt_ms;
+            db.insert(
+                i,
+                AccessRecord {
+                    access_number: i,
+                    fid: FileId(i % 4),
+                    fsid: DeviceId(dev),
+                    rb: 1_000_000,
+                    wb: 0,
+                    ots: open_ms / 1000,
+                    otms: (open_ms % 1000) as u16,
+                    cts: close_ms / 1000,
+                    ctms: (close_ms % 1000) as u16,
+                },
+            );
+        }
+        db
+    }
+
+    fn engine() -> DrlEngine {
+        DrlEngine::new(DrlConfig {
+            epochs: 80,
+            smoothing_window: 4,
+            ..DrlConfig::default()
+        })
+    }
+
+    #[test]
+    fn retrain_on_empty_db_returns_none() {
+        let mut e = engine();
+        assert!(e.retrain(&ReplayDb::new()).is_none());
+        assert!(!e.is_trained());
+    }
+
+    #[test]
+    fn retrain_learns_and_reports() {
+        let db = biased_db(600);
+        let mut e = engine();
+        let outcome = e.retrain(&db).expect("enough data");
+        assert!(e.is_trained());
+        assert_eq!(e.retrains(), 1);
+        assert!(outcome.samples > 100);
+        assert!(!outcome.diverged, "model diverged: {:?}", outcome.validation_error);
+    }
+
+    #[test]
+    fn engine_prefers_the_faster_device() {
+        let db = biased_db(600);
+        let mut e = engine();
+        e.retrain(&db).unwrap();
+        let query = PlacementQuery {
+            fid: FileId(1),
+            read_bytes: 1_000_000,
+            write_bytes: 0,
+            now_secs: 700,
+            now_ms: 0,
+        };
+        let (best, tp) = e.best_location(&query, &[DeviceId(0), DeviceId(1)]);
+        assert_eq!(best, DeviceId(1), "picked slower device (tp={tp})");
+        assert!(tp > 0.0);
+    }
+
+    #[test]
+    fn rank_includes_every_candidate_in_order() {
+        let db = biased_db(400);
+        let mut e = engine();
+        e.retrain(&db).unwrap();
+        let query = PlacementQuery {
+            fid: FileId(0),
+            read_bytes: 500_000,
+            write_bytes: 0,
+            now_secs: 500,
+            now_ms: 0,
+        };
+        let ranked = e.rank_locations(&query, &[DeviceId(1), DeviceId(0)]);
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, DeviceId(1));
+        assert_eq!(ranked[1].0, DeviceId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before retrain")]
+    fn rank_before_retrain_panics() {
+        let mut e = engine();
+        let query = PlacementQuery {
+            fid: FileId(0),
+            read_bytes: 1,
+            write_bytes: 0,
+            now_secs: 0,
+            now_ms: 0,
+        };
+        let _ = e.rank_locations(&query, &[DeviceId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense model")]
+    fn recurrent_model_rejected_for_live_engine() {
+        let _ = DrlEngine::new(DrlConfig {
+            model: 12,
+            ..DrlConfig::default()
+        });
+    }
+
+    #[test]
+    fn adjustment_can_be_disabled() {
+        let db = biased_db(400);
+        let mut e = DrlEngine::new(DrlConfig {
+            adjust_predictions: false,
+            epochs: 20,
+            smoothing_window: 4,
+            ..DrlConfig::default()
+        });
+        e.retrain(&db).unwrap();
+        assert_eq!(e.adjuster().mae_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,629 @@
+//! Experiment drivers reproducing §VI's three experiments.
+//!
+//! - [`run_policy_experiment`] — Experiments 1 & 2: one policy steering the
+//!   BELLE II workload on the simulated Bluesky node (Figures 5a/5b).
+//! - [`PinAll`] — the all-files-on-one-mount runs of Experiment 2/Table IV.
+//! - [`run_dual_workload_experiment`] — Experiment 3: a second, untuned
+//!   workload appears mid-run and Geomancy must adapt (Figure 6).
+
+use std::collections::BTreeMap;
+
+use geomancy_replaydb::db::LayoutEvent;
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::agents::ControlAgent;
+use geomancy_sim::bluesky::{bluesky_system, Mount};
+use geomancy_sim::cluster::{FileMeta, Layout, StorageSystem};
+use geomancy_sim::record::{DeviceId, FileId};
+use geomancy_trace::belle2::{Belle2Workload, WorkloadOp};
+use geomancy_trace::stats::{mean_std, moving_average};
+
+use crate::policy::{PlacementPolicy, PolicyContext};
+
+/// Configuration shared by the experiment drivers.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Simulator and workload seed.
+    pub seed: u64,
+    /// Telemetry gathered before the measured phase ("BELLE 2 is run until
+    /// Geomancy's monitoring agents can capture 10 000 accesses").
+    pub warmup_accesses: usize,
+    /// Workload runs in the measured phase.
+    pub runs: usize,
+    /// Policy cadence: recompute the layout every this many runs (paper: 5).
+    pub move_every_runs: usize,
+    /// Recent records the baselines consult.
+    pub lookback: usize,
+    /// Per-round transfer budget for the control agent (`None` = unlimited).
+    pub transfer_budget: Option<u64>,
+    /// Number of workload files (paper: 24).
+    pub file_count: usize,
+    /// Idle seconds between workload runs.
+    pub inter_run_gap_secs: f64,
+    /// Also recompute the layout between cadence points when the drift
+    /// detector flags a per-device regime change (extension; off by
+    /// default — the paper uses a fixed cadence). Only meaningful with
+    /// dynamic policies: a static policy would spend its one placement on
+    /// the first drift.
+    pub early_retrain_on_drift: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 0,
+            warmup_accesses: 10_000,
+            runs: 45,
+            move_every_runs: 5,
+            lookback: 4_000,
+            transfer_budget: None,
+            file_count: 24,
+            inter_run_gap_secs: 5.0,
+            early_retrain_on_drift: false,
+        }
+    }
+}
+
+/// One point of a throughput series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Access number (the paper's x-axis).
+    pub access_number: u64,
+    /// Observed throughput of this access, bytes/second.
+    pub throughput: f64,
+}
+
+/// A cluster of file movements applied at one decision point (the bars under
+/// Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovementCluster {
+    /// Access number at which the layout was applied.
+    pub at_access: u64,
+    /// Files moved.
+    pub files_moved: usize,
+}
+
+/// Outcome of one policy experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Policy name.
+    pub policy: String,
+    /// Per-access throughput during the measured phase.
+    pub series: Vec<ThroughputPoint>,
+    /// Movement clusters at each decision point.
+    pub movements: Vec<MovementCluster>,
+    /// Mean throughput over the measured phase, bytes/second.
+    pub avg_throughput: f64,
+    /// Population standard deviation of the series.
+    pub std_throughput: f64,
+    /// Fraction of measured accesses served by each mount (Table IV usage).
+    pub usage_fraction: BTreeMap<String, f64>,
+    /// Mean observed throughput per mount during the measured phase.
+    pub per_mount_throughput: BTreeMap<String, (f64, f64)>,
+    /// The telemetry gathered during the whole run (warm-up + measured),
+    /// for post-hoc analysis and reporting.
+    pub db: ReplayDb,
+}
+
+impl ExperimentResult {
+    /// Buckets the series into averages of `bucket` consecutive accesses
+    /// (for plotting / figure regeneration).
+    pub fn bucketed_series(&self, bucket: usize) -> Vec<ThroughputPoint> {
+        assert!(bucket > 0, "bucket must be non-zero");
+        self.series
+            .chunks(bucket)
+            .map(|chunk| ThroughputPoint {
+                access_number: chunk[chunk.len() / 2].access_number,
+                throughput: chunk.iter().map(|p| p.throughput).sum::<f64>() / chunk.len() as f64,
+            })
+            .collect()
+    }
+
+    /// Moving-average-smoothed copy of the series.
+    pub fn smoothed_series(&self, window: usize) -> Vec<ThroughputPoint> {
+        let tps: Vec<f64> = self.series.iter().map(|p| p.throughput).collect();
+        let smooth = moving_average(&tps, window);
+        self.series
+            .iter()
+            .zip(smooth)
+            .map(|(p, s)| ThroughputPoint {
+                access_number: p.access_number,
+                throughput: s,
+            })
+            .collect()
+    }
+}
+
+/// Places every file on one mount and never moves it — the Experiment 2 /
+/// Table IV "all data on a single storage point" baseline.
+#[derive(Debug)]
+pub struct PinAll {
+    device: DeviceId,
+    name: String,
+    placed: bool,
+}
+
+impl PinAll {
+    /// Pins all files to `mount`.
+    pub fn new(mount: Mount) -> Self {
+        PinAll {
+            device: mount.device_id(),
+            name: mount.name().to_string(),
+            placed: false,
+        }
+    }
+}
+
+impl PlacementPolicy for PinAll {
+    fn name(&self) -> String {
+        format!("All on {}", self.name)
+    }
+
+    fn update(&mut self, ctx: &PolicyContext<'_>) -> Option<Layout> {
+        if self.placed {
+            return None;
+        }
+        self.placed = true;
+        Some(ctx.files.keys().map(|&fid| (fid, self.device)).collect())
+    }
+}
+
+/// Shared driver state for a workload attached to a system.
+struct Bench {
+    system: StorageSystem,
+    db: ReplayDb,
+    control: ControlAgent,
+}
+
+impl Bench {
+    fn new(config: &ExperimentConfig) -> (Self, Belle2Workload) {
+        let mut system = bluesky_system(config.seed);
+        let workload = Belle2Workload::with_params(config.seed.wrapping_add(1), config.file_count, 0);
+        place_files_spread(&mut system, &workload);
+        (
+            Bench {
+                system,
+                db: ReplayDb::new(),
+                control: ControlAgent::new(config.transfer_budget),
+            },
+            workload,
+        )
+    }
+
+    /// Executes one workload op, logging telemetry; returns the throughput.
+    fn execute(&mut self, op: &WorkloadOp) -> f64 {
+        let record = if op.write {
+            self.system.write_file(op.fid, op.bytes)
+        } else {
+            self.system.read_file(op.fid, op.bytes)
+        }
+        .expect("workload references a registered file");
+        self.db.insert(self.system.clock().now_micros(), record);
+        record.throughput()
+    }
+
+    fn context<'a>(
+        &'a self,
+        files: &'a BTreeMap<FileId, FileMeta>,
+        devices: &'a [DeviceId],
+        layout: &'a Layout,
+        lookback: usize,
+    ) -> PolicyContext<'a> {
+        let free_bytes = self
+            .system
+            .devices()
+            .iter()
+            .map(|d| (d.id(), d.spec().capacity.saturating_sub(d.used_bytes())))
+            .collect();
+        PolicyContext {
+            db: &self.db,
+            files,
+            devices,
+            current_layout: layout,
+            lookback,
+            now: self.system.clock().now_secs_ms(),
+            free_bytes,
+        }
+    }
+}
+
+/// Warm-up phase: run the workload while shuffling the layout between runs
+/// (the paper's *dynamic random* telemetry, which Geomancy static trains
+/// on). Shuffling breaks the file↔device confound so location effects are
+/// identifiable, and it exercises every mount. Afterwards the layout is
+/// reset to the even spread so every policy starts identically.
+fn warmup(bench: &mut Bench, workload: &mut Belle2Workload, config: &ExperimentConfig) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x57A2_4D00);
+    while bench.db.len() < config.warmup_accesses {
+        for op in workload.next_run() {
+            bench.execute(&op);
+            if bench.db.len() >= config.warmup_accesses {
+                break;
+            }
+        }
+        bench.system.idle(config.inter_run_gap_secs);
+        let devices = bench.system.online_devices();
+        let shuffled: Layout = bench
+            .system
+            .files()
+            .keys()
+            .map(|&fid| (fid, devices[rng.gen_range(0..devices.len())]))
+            .collect();
+        let _ = bench.system.apply_layout(&shuffled);
+    }
+    let device_count = bench.system.devices().len();
+    let spread: Layout = bench
+        .system
+        .files()
+        .keys()
+        .enumerate()
+        .map(|(i, &fid)| (fid, DeviceId((i % device_count) as u32)))
+        .collect();
+    let _ = bench.system.apply_layout(&spread);
+}
+
+/// Registers the workload's files spread evenly across all mounts — the
+/// common starting layout of every experiment.
+fn place_files_spread(system: &mut StorageSystem, workload: &Belle2Workload) {
+    let device_count = system.devices().len();
+    for (i, file) in workload.files().iter().enumerate() {
+        let device = DeviceId((i % device_count) as u32);
+        system
+            .add_file(
+                file.fid,
+                FileMeta {
+                    size: file.size,
+                    path: file.path.clone(),
+                },
+                device,
+            )
+            .expect("initial spread placement fits");
+    }
+}
+
+/// Runs one placement policy through warm-up plus the measured phase and
+/// collects its throughput series (Experiments 1 and 2).
+pub fn run_policy_experiment(
+    policy: &mut dyn PlacementPolicy,
+    config: &ExperimentConfig,
+) -> ExperimentResult {
+    let (mut bench, mut workload) = Bench::new(config);
+    let files: BTreeMap<FileId, FileMeta> = bench.system.files().clone();
+
+    // Warm-up: gather dynamic-random telemetry so every policy starts with
+    // location-diverse history.
+    warmup(&mut bench, &mut workload, config);
+
+    // Measured phase.
+    let mut series = Vec::new();
+    let mut movements = Vec::new();
+    let mut usage: BTreeMap<DeviceId, u64> = BTreeMap::new();
+    let mut per_mount_tp: BTreeMap<DeviceId, Vec<f64>> = BTreeMap::new();
+    let measured_start = bench.system.access_count();
+    for run in 0..config.runs {
+        for op in workload.next_run() {
+            let location = bench.system.location_of(op.fid).expect("file registered");
+            let tp = bench.execute(&op);
+            let access_number = bench.system.access_count() - 1;
+            series.push(ThroughputPoint {
+                access_number: access_number - measured_start,
+                throughput: tp,
+            });
+            *usage.entry(location).or_insert(0) += 1;
+            per_mount_tp.entry(location).or_default().push(tp);
+        }
+        bench.system.idle(config.inter_run_gap_secs);
+
+        let cadence_due = (run + 1) % config.move_every_runs == 0;
+        let drift_due = !cadence_due
+            && config.early_retrain_on_drift
+            && crate::drift::DriftDetector::default().any_drift(&bench.db);
+        if cadence_due || drift_due {
+            let online = bench.system.online_devices();
+            let layout = bench.system.layout();
+            let new_layout = {
+                let ctx = bench.context(&files, &online, &layout, config.lookback);
+                policy.update(&ctx)
+            };
+            if let Some(new_layout) = new_layout {
+                let (moved, _errors) = bench.control.apply(&mut bench.system, &new_layout);
+                let at_access = bench.system.access_count() - measured_start;
+                bench.db.record_layout_event(LayoutEvent {
+                    timestamp_micros: bench.system.clock().now_micros(),
+                    at_access,
+                    movements: moved.clone(),
+                });
+                movements.push(MovementCluster {
+                    at_access,
+                    files_moved: moved.len(),
+                });
+            }
+        }
+    }
+
+    let tps: Vec<f64> = series.iter().map(|p| p.throughput).collect();
+    let (avg, std) = mean_std(&tps);
+    let total = tps.len() as f64;
+    let mount_name = |d: DeviceId| {
+        bench
+            .system
+            .device(d)
+            .map(|dev| dev.name().to_string())
+            .unwrap_or_else(|_| d.to_string())
+    };
+    ExperimentResult {
+        policy: policy.name(),
+        series,
+        movements,
+        avg_throughput: avg,
+        std_throughput: std,
+        usage_fraction: usage
+            .iter()
+            .map(|(&d, &n)| (mount_name(d), n as f64 / total))
+            .collect(),
+        per_mount_throughput: per_mount_tp
+            .iter()
+            .map(|(&d, tps)| (mount_name(d), mean_std(tps)))
+            .collect(),
+        db: bench.db,
+    }
+}
+
+/// Outcome of Experiment 3: throughput series of the tuned workload and of
+/// the untuned duplicate that joins mid-run.
+#[derive(Debug, Clone)]
+pub struct DualWorkloadResult {
+    /// Series of the Geomancy-tuned workload.
+    pub tuned: Vec<ThroughputPoint>,
+    /// Series of the untuned duplicate (starts at `onset_access`).
+    pub untuned: Vec<ThroughputPoint>,
+    /// Access number at which the duplicate workload started.
+    pub onset_access: u64,
+    /// Movement clusters of the tuned workload.
+    pub movements: Vec<MovementCluster>,
+    /// Final placement of the tuned workload's files.
+    pub final_tuned_layout: Layout,
+}
+
+/// Runs Experiment 3: the tuned BELLE II workload runs alone, then an
+/// untuned duplicate on a disjoint file set joins, changing the contention
+/// picture; Geomancy keeps retuning the first workload (Figure 6).
+pub fn run_dual_workload_experiment(
+    policy: &mut dyn PlacementPolicy,
+    config: &ExperimentConfig,
+    solo_runs: usize,
+) -> DualWorkloadResult {
+    let (mut bench, mut workload_a) = Bench::new(config);
+    let mut workload_b =
+        Belle2Workload::with_params(config.seed.wrapping_add(2), config.file_count, 1000);
+    // The duplicate workload parks its data on three of the six mounts
+    // (var, tmp, pic) and never moves it — so its arrival changes the
+    // contention picture in a way a layout change can route around.
+    const DUPLICATE_MOUNTS: [u32; 3] = [1, 2, 4];
+    for (i, file) in workload_b.files().iter().enumerate() {
+        bench
+            .system
+            .add_file(
+                file.fid,
+                FileMeta {
+                    size: file.size,
+                    path: file.path.clone(),
+                },
+                DeviceId(DUPLICATE_MOUNTS[i % DUPLICATE_MOUNTS.len()]),
+            )
+            .expect("duplicate workload placement fits");
+    }
+    let tuned_files: BTreeMap<FileId, FileMeta> = workload_a
+        .files()
+        .iter()
+        .map(|f| {
+            (
+                f.fid,
+                FileMeta {
+                    size: f.size,
+                    path: f.path.clone(),
+                },
+            )
+        })
+        .collect();
+
+    // Warm-up on the tuned workload alone (dynamic-random shuffling).
+    warmup(&mut bench, &mut workload_a, config);
+
+    let measured_start = bench.system.access_count();
+    let mut tuned = Vec::new();
+    let mut untuned = Vec::new();
+    let mut movements = Vec::new();
+    let mut onset_access = 0;
+    for run in 0..config.runs {
+        let ops_a = workload_a.next_run();
+        let dual = run >= solo_runs;
+        if dual && onset_access == 0 {
+            onset_access = bench.system.access_count() - measured_start;
+        }
+        if dual {
+            // Interleave the two workloads op-by-op. The simulator
+            // serializes accesses, so true concurrency is modeled as ambient
+            // load: while one stream accesses a device, the other stream's
+            // current device carries the concurrent-stream load.
+            const CONCURRENT_LOAD: f64 = 4.0;
+            let ops_b = workload_b.next_run();
+            let mut ia = ops_a.iter();
+            let mut ib = ops_b.iter();
+            loop {
+                let mut progressed = false;
+                let next_a = ia.next();
+                let next_b = ib.next();
+                if let Some(op) = next_a {
+                    // Workload B is concurrently hammering its next target.
+                    if let Some(b_op) = next_b {
+                        if let Ok(dev) = bench.system.location_of(b_op.fid) {
+                            bench.system.set_ambient_load(dev, CONCURRENT_LOAD);
+                        }
+                    }
+                    let tp = bench.execute(op);
+                    bench.system.clear_ambient_load();
+                    tuned.push(ThroughputPoint {
+                        access_number: bench.system.access_count() - 1 - measured_start,
+                        throughput: tp,
+                    });
+                    progressed = true;
+                }
+                if let Some(op) = next_b {
+                    if let Some(a_op) = next_a {
+                        if let Ok(dev) = bench.system.location_of(a_op.fid) {
+                            bench.system.set_ambient_load(dev, CONCURRENT_LOAD);
+                        }
+                    }
+                    let tp = bench.execute(op);
+                    bench.system.clear_ambient_load();
+                    untuned.push(ThroughputPoint {
+                        access_number: bench.system.access_count() - 1 - measured_start,
+                        throughput: tp,
+                    });
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        } else {
+            for op in &ops_a {
+                let tp = bench.execute(op);
+                tuned.push(ThroughputPoint {
+                    access_number: bench.system.access_count() - 1 - measured_start,
+                    throughput: tp,
+                });
+            }
+        }
+        bench.system.idle(config.inter_run_gap_secs);
+
+        if (run + 1) % config.move_every_runs == 0 {
+            let online = bench.system.online_devices();
+            let layout = bench.system.layout();
+            let new_layout = {
+                let ctx = bench.context(&tuned_files, &online, &layout, config.lookback);
+                policy.update(&ctx)
+            };
+            if let Some(new_layout) = new_layout {
+                let (moved, _errors) = bench.control.apply(&mut bench.system, &new_layout);
+                movements.push(MovementCluster {
+                    at_access: bench.system.access_count() - measured_start,
+                    files_moved: moved.len(),
+                });
+            }
+        }
+    }
+
+    let final_tuned_layout: Layout = bench
+        .system
+        .layout()
+        .into_iter()
+        .filter(|(fid, _)| tuned_files.contains_key(fid))
+        .collect();
+    DualWorkloadResult {
+        tuned,
+        untuned,
+        onset_access,
+        movements,
+        final_tuned_layout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{RandomDynamic, SpreadStatic};
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 11,
+            warmup_accesses: 300,
+            runs: 6,
+            move_every_runs: 2,
+            lookback: 500,
+            transfer_budget: None,
+            file_count: 6,
+            inter_run_gap_secs: 1.0,
+            early_retrain_on_drift: false,
+        }
+    }
+
+    #[test]
+    fn spread_static_experiment_produces_series() {
+        let mut policy = SpreadStatic::new();
+        let result = run_policy_experiment(&mut policy, &tiny_config());
+        assert!(!result.series.is_empty());
+        assert!(result.avg_throughput > 0.0);
+        assert_eq!(result.policy, "Spread static");
+        // Usage fractions sum to 1.
+        let total: f64 = result.usage_fraction.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_policy_triggers_movement_clusters() {
+        let mut policy = RandomDynamic::new(3);
+        let result = run_policy_experiment(&mut policy, &tiny_config());
+        // 6 runs, cadence 2 → 3 decision points.
+        assert_eq!(result.movements.len(), 3);
+    }
+
+    #[test]
+    fn pin_all_runs_only_on_one_mount() {
+        let mut policy = PinAll::new(Mount::UsbTmp);
+        let result = run_policy_experiment(&mut policy, &tiny_config());
+        // After the first decision point every access goes to USBtmp; the
+        // overall usage there must dominate.
+        let usb = result.usage_fraction.get("USBtmp").copied().unwrap_or(0.0);
+        assert!(usb > 0.5, "USBtmp usage {usb}");
+    }
+
+    #[test]
+    fn bucketed_series_shrinks() {
+        let mut policy = SpreadStatic::new();
+        let result = run_policy_experiment(&mut policy, &tiny_config());
+        let bucketed = result.bucketed_series(50);
+        assert!(bucketed.len() < result.series.len());
+        assert!(bucketed.iter().all(|p| p.throughput > 0.0));
+    }
+
+    #[test]
+    fn dual_workload_untuned_starts_at_onset() {
+        let mut policy = RandomDynamic::new(9);
+        let cfg = tiny_config();
+        let result = run_dual_workload_experiment(&mut policy, &cfg, 3);
+        assert!(!result.tuned.is_empty());
+        assert!(!result.untuned.is_empty());
+        assert!(result.onset_access > 0);
+        let first_untuned = result.untuned.first().unwrap().access_number;
+        assert!(first_untuned >= result.onset_access);
+    }
+
+    #[test]
+    fn drift_trigger_adds_decision_points() {
+        // The same run with drift-triggered retraining can only have at
+        // least as many layout decisions as the cadence-only run.
+        let base = tiny_config();
+        let cadence_only = {
+            let mut policy = RandomDynamic::new(3);
+            run_policy_experiment(&mut policy, &base).movements.len()
+        };
+        let with_drift = {
+            let mut config = tiny_config();
+            config.early_retrain_on_drift = true;
+            let mut policy = RandomDynamic::new(3);
+            run_policy_experiment(&mut policy, &config).movements.len()
+        };
+        assert!(with_drift >= cadence_only, "{with_drift} < {cadence_only}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_static_experiment() {
+        let run = || {
+            let mut policy = SpreadStatic::new();
+            run_policy_experiment(&mut policy, &tiny_config()).avg_throughput
+        };
+        assert_eq!(run(), run());
+    }
+}

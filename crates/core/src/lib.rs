@@ -1,0 +1,91 @@
+//! # geomancy-core
+//!
+//! The core of the Geomancy reproduction (ISPASS 2020): the DRL engine that
+//! learns where data should live, the Action Checker that sanity-checks its
+//! movements, the Interface Daemon that brokers telemetry, the 23 Table I
+//! model architectures, the baseline placement policies of §VI, and the
+//! experiment drivers that regenerate the paper's figures.
+//!
+//! ## Architecture (paper §V-A)
+//!
+//! ```text
+//! target system (geomancy-sim)           Geomancy (this crate)
+//!  ├─ monitoring agents ──batches──▶ Interface Daemon ──▶ ReplayDB
+//!  └─ control agents   ◀──layouts── Action Checker ◀── DRL engine
+//! ```
+//!
+//! # Examples
+//!
+//! Train the engine on gathered telemetry and ask where a file should go:
+//!
+//! ```
+//! use geomancy_core::drl::{DrlConfig, DrlEngine, PlacementQuery};
+//! use geomancy_replaydb::ReplayDb;
+//! use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+//!
+//! let mut db = ReplayDb::new();
+//! for i in 0..600u64 {
+//!     // Accesses arrive in per-device streaks, like real workload scans.
+//!     let dev = ((i / 10) % 2) as u32;
+//!     let ms = if dev == 0 { 400 } else { 100 };
+//!     db.insert(i, AccessRecord {
+//!         access_number: i,
+//!         fid: FileId(i % 4),
+//!         fsid: DeviceId(dev),
+//!         rb: 1_000_000, wb: 0,
+//!         ots: i, otms: 0,
+//!         cts: i + ms / 1000, ctms: (ms % 1000) as u16,
+//!     });
+//! }
+//! let mut engine = DrlEngine::new(DrlConfig {
+//!     epochs: 80,
+//!     smoothing_window: 4,
+//!     ..DrlConfig::default()
+//! });
+//! engine.retrain(&db).expect("enough telemetry");
+//! let query = PlacementQuery {
+//!     fid: FileId(0),
+//!     read_bytes: 1_000_000,
+//!     write_bytes: 0,
+//!     now_secs: 200,
+//!     now_ms: 0,
+//! };
+//! let (best, _tp) = engine.best_location(&query, &[DeviceId(0), DeviceId(1)]);
+//! assert_eq!(best, DeviceId(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod action;
+pub mod adjust;
+pub mod config;
+pub mod daemon;
+pub mod dataset;
+pub mod drift;
+pub mod drl;
+pub mod experiment;
+pub mod models;
+pub mod policy;
+pub mod registry;
+pub mod report;
+pub mod scheduler;
+
+pub use action::{ActionChecker, ActionKind, CheckedAction};
+pub use config::{ConfigError, GeomancyConfig};
+pub use adjust::PredictionAdjuster;
+pub use daemon::{DaemonClient, InterfaceDaemon};
+pub use drift::{DeviceDrift, DriftDetector};
+pub use drl::{DrlConfig, DrlEngine, PlacementQuery, RetrainOutcome};
+pub use experiment::{
+    run_dual_workload_experiment, run_policy_experiment, DualWorkloadResult, ExperimentConfig,
+    ExperimentResult, MovementCluster, PinAll, ThroughputPoint,
+};
+pub use models::{build_model, ModelId};
+pub use registry::{LocationRegistry, StoragePoint};
+pub use report::PerformanceReport;
+pub use scheduler::{GapPrediction, GapScheduler, ScheduledMove};
+pub use policy::{
+    GeomancyDynamic, GeomancyStatic, Lfu, Lru, Mru, PlacementPolicy, PolicyContext,
+    RandomDynamic, RandomStatic, SpreadStatic,
+};

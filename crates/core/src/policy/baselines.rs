@@ -1,0 +1,353 @@
+//! The baseline placement policies of §VI: LRU, MRU, LFU, random
+//! (static and dynamic), and the even-spread static baseline.
+
+use geomancy_sim::cluster::Layout;
+use geomancy_sim::record::FileId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{group_assign, rank_devices_by_throughput, PlacementPolicy, PolicyContext};
+
+/// Splits managed files into `(ordered, unused)` given a priority map; files
+/// absent from the map are "unused" and end up on the slowest device.
+fn order_files_by<K: Ord + Copy>(
+    ctx: &PolicyContext<'_>,
+    priority: &std::collections::BTreeMap<FileId, K>,
+    descending: bool,
+) -> (Vec<FileId>, Vec<FileId>) {
+    let mut used: Vec<(FileId, K)> = Vec::new();
+    let mut unused = Vec::new();
+    for &fid in ctx.files.keys() {
+        match priority.get(&fid) {
+            Some(&k) => used.push((fid, k)),
+            None => unused.push(fid),
+        }
+    }
+    used.sort_by(|a, b| if descending { b.1.cmp(&a.1) } else { a.1.cmp(&b.1) });
+    (used.into_iter().map(|(f, _)| f).collect(), unused)
+}
+
+/// LRU: "the least recently used files move to the slowest storage device,
+/// and the most recently used files move to the fastest storage devices".
+#[derive(Debug, Default)]
+pub struct Lru;
+
+impl PlacementPolicy for Lru {
+    fn name(&self) -> String {
+        "LRU".to_string()
+    }
+
+    fn update(&mut self, ctx: &PolicyContext<'_>) -> Option<Layout> {
+        let devices = rank_devices_by_throughput(ctx.db, ctx.devices, ctx.lookback);
+        let recency = ctx.db.last_access_numbers(ctx.lookback);
+        let (ordered, unused) = order_files_by(ctx, &recency, true);
+        Some(group_assign(&ordered, &unused, &devices))
+    }
+}
+
+/// MRU (Chou *et al.*): "places the most recently used files on the slowest
+/// storage devices" — beneficial for looping sequential scans.
+#[derive(Debug, Default)]
+pub struct Mru;
+
+impl PlacementPolicy for Mru {
+    fn name(&self) -> String {
+        "MRU".to_string()
+    }
+
+    fn update(&mut self, ctx: &PolicyContext<'_>) -> Option<Layout> {
+        let mut devices = rank_devices_by_throughput(ctx.db, ctx.devices, ctx.lookback);
+        devices.reverse(); // most recently used → slowest
+        let recency = ctx.db.last_access_numbers(ctx.lookback);
+        let (ordered, unused) = order_files_by(ctx, &recency, true);
+        // Unused files still belong on the slowest device, which is now the
+        // *first* entry of the reversed ranking — group_assign puts unused on
+        // the last entry, so pass the fastest-last ordering for them via the
+        // ordered path and handle unused explicitly.
+        let mut layout = group_assign(&ordered, &[], &devices);
+        if let Some(&slowest) = devices.first() {
+            for fid in unused {
+                layout.insert(fid, slowest);
+            }
+        }
+        Some(layout)
+    }
+}
+
+/// LFU (Gupta *et al.*): "places heavily accessed files on fast nodes and
+/// lower accessed files on slower nodes".
+#[derive(Debug, Default)]
+pub struct Lfu;
+
+impl PlacementPolicy for Lfu {
+    fn name(&self) -> String {
+        "LFU".to_string()
+    }
+
+    fn update(&mut self, ctx: &PolicyContext<'_>) -> Option<Layout> {
+        let devices = rank_devices_by_throughput(ctx.db, ctx.devices, ctx.lookback);
+        let counts = ctx.db.access_counts(ctx.lookback);
+        let (ordered, unused) = order_files_by(ctx, &counts, true);
+        Some(group_assign(&ordered, &unused, &devices))
+    }
+}
+
+/// Random static: "we randomly shuffle the locations of every file …
+/// the files are never moved again once they are moved the first time."
+#[derive(Debug)]
+pub struct RandomStatic {
+    rng: StdRng,
+    placed: bool,
+}
+
+impl RandomStatic {
+    /// Creates the policy with a shuffle seed.
+    pub fn new(seed: u64) -> Self {
+        RandomStatic {
+            rng: StdRng::seed_from_u64(seed),
+            placed: false,
+        }
+    }
+}
+
+impl PlacementPolicy for RandomStatic {
+    fn name(&self) -> String {
+        "Random static".to_string()
+    }
+
+    fn update(&mut self, ctx: &PolicyContext<'_>) -> Option<Layout> {
+        if self.placed {
+            return None;
+        }
+        self.placed = true;
+        let mut layout = Layout::new();
+        for &fid in ctx.files.keys() {
+            let device = ctx.devices[self.rng.gen_range(0..ctx.devices.len())];
+            layout.insert(fid, device);
+        }
+        Some(layout)
+    }
+}
+
+/// Random dynamic: "shuffles the locations of the data between several runs
+/// of the workload".
+#[derive(Debug)]
+pub struct RandomDynamic {
+    rng: StdRng,
+}
+
+impl RandomDynamic {
+    /// Creates the policy with a shuffle seed.
+    pub fn new(seed: u64) -> Self {
+        RandomDynamic {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl PlacementPolicy for RandomDynamic {
+    fn name(&self) -> String {
+        "Random dynamic".to_string()
+    }
+
+    fn update(&mut self, ctx: &PolicyContext<'_>) -> Option<Layout> {
+        let mut layout = Layout::new();
+        for &fid in ctx.files.keys() {
+            let device = ctx.devices[self.rng.gen_range(0..ctx.devices.len())];
+            layout.insert(fid, device);
+        }
+        Some(layout)
+    }
+}
+
+/// The "basic spread policy (evenly across all available mounts)" used as
+/// the common starting point; round-robin by file order, applied once.
+#[derive(Debug, Default)]
+pub struct SpreadStatic {
+    placed: bool,
+}
+
+impl SpreadStatic {
+    /// Creates the spread policy.
+    pub fn new() -> Self {
+        SpreadStatic::default()
+    }
+}
+
+impl PlacementPolicy for SpreadStatic {
+    fn name(&self) -> String {
+        "Spread static".to_string()
+    }
+
+    fn update(&mut self, ctx: &PolicyContext<'_>) -> Option<Layout> {
+        if self.placed {
+            return None;
+        }
+        self.placed = true;
+        let mut layout = Layout::new();
+        for (i, &fid) in ctx.files.keys().enumerate() {
+            layout.insert(fid, ctx.devices[i % ctx.devices.len()]);
+        }
+        Some(layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_replaydb::ReplayDb;
+    use geomancy_sim::cluster::FileMeta;
+    use geomancy_sim::record::{AccessRecord, DeviceId};
+    use std::collections::BTreeMap;
+
+    /// Two devices (0 slow, 1 fast), four files; files 0,1 recently/heavily
+    /// used, file 2 older/lighter, file 3 never accessed.
+    fn fixture() -> (ReplayDb, BTreeMap<FileId, FileMeta>) {
+        let mut db = ReplayDb::new();
+        let mut n = 0u64;
+        let mut push = |db: &mut ReplayDb, fid: u64, dev: u32, n: &mut u64| {
+            let rb = if dev == 0 { 100 } else { 1000 };
+            db.insert(
+                *n,
+                AccessRecord {
+                    access_number: *n,
+                    fid: FileId(fid),
+                    fsid: DeviceId(dev),
+                    rb,
+                    wb: 0,
+                    ots: *n,
+                    otms: 0,
+                    cts: *n + 1,
+                    ctms: 0,
+                },
+            );
+            *n += 1;
+        };
+        push(&mut db, 2, 0, &mut n); // file 2: oldest
+        for _ in 0..3 {
+            push(&mut db, 0, 1, &mut n);
+        }
+        for _ in 0..2 {
+            push(&mut db, 1, 0, &mut n);
+        }
+        let mut files = BTreeMap::new();
+        for i in 0..4 {
+            files.insert(
+                FileId(i),
+                FileMeta {
+                    size: 100,
+                    path: format!("f{i}"),
+                },
+            );
+        }
+        (db, files)
+    }
+
+    fn ctx<'a>(
+        db: &'a ReplayDb,
+        files: &'a BTreeMap<FileId, FileMeta>,
+        devices: &'a [DeviceId],
+        layout: &'a Layout,
+    ) -> PolicyContext<'a> {
+        PolicyContext {
+            db,
+            files,
+            devices,
+            current_layout: layout,
+            lookback: 100,
+            now: (10, 0),
+            free_bytes: devices.iter().map(|&d| (d, u64::MAX)).collect(),
+        }
+    }
+
+    const DEVICES: [DeviceId; 2] = [DeviceId(0), DeviceId(1)];
+
+    #[test]
+    fn lru_puts_most_recent_on_fastest() {
+        let (db, files) = fixture();
+        let layout = Layout::new();
+        let c = ctx(&db, &files, &DEVICES, &layout);
+        let out = Lru.update(&c).unwrap();
+        // Most recent file is 1 (accessed last), fastest device is 1.
+        assert_eq!(out[&FileId(1)], DeviceId(1));
+        // Never-used file 3 goes to the slowest device (0).
+        assert_eq!(out[&FileId(3)], DeviceId(0));
+    }
+
+    #[test]
+    fn mru_puts_most_recent_on_slowest() {
+        let (db, files) = fixture();
+        let layout = Layout::new();
+        let c = ctx(&db, &files, &DEVICES, &layout);
+        let out = Mru.update(&c).unwrap();
+        assert_eq!(out[&FileId(1)], DeviceId(0));
+        // Unused file still on the slowest device.
+        assert_eq!(out[&FileId(3)], DeviceId(0));
+    }
+
+    #[test]
+    fn lfu_puts_most_accessed_on_fastest() {
+        let (db, files) = fixture();
+        let layout = Layout::new();
+        let c = ctx(&db, &files, &DEVICES, &layout);
+        let out = Lfu.update(&c).unwrap();
+        // File 0 has 3 accesses — the most.
+        assert_eq!(out[&FileId(0)], DeviceId(1));
+        assert_eq!(out[&FileId(3)], DeviceId(0));
+    }
+
+    #[test]
+    fn random_static_places_once() {
+        let (db, files) = fixture();
+        let layout = Layout::new();
+        let c = ctx(&db, &files, &DEVICES, &layout);
+        let mut p = RandomStatic::new(1);
+        assert!(p.update(&c).is_some());
+        assert!(p.update(&c).is_none());
+    }
+
+    #[test]
+    fn random_dynamic_keeps_placing_and_varies() {
+        let (db, files) = fixture();
+        let layout = Layout::new();
+        let c = ctx(&db, &files, &DEVICES, &layout);
+        let mut p = RandomDynamic::new(5);
+        let layouts: Vec<Layout> = (0..10).map(|_| p.update(&c).unwrap()).collect();
+        assert!(layouts.windows(2).any(|w| w[0] != w[1]), "never reshuffled");
+    }
+
+    #[test]
+    fn spread_covers_all_devices_evenly() {
+        let (db, files) = fixture();
+        let layout = Layout::new();
+        let c = ctx(&db, &files, &DEVICES, &layout);
+        let mut p = SpreadStatic::new();
+        let out = p.update(&c).unwrap();
+        let on0 = out.values().filter(|&&d| d == DeviceId(0)).count();
+        let on1 = out.values().filter(|&&d| d == DeviceId(1)).count();
+        assert_eq!(on0, 2);
+        assert_eq!(on1, 2);
+        assert!(p.update(&c).is_none());
+    }
+
+    #[test]
+    fn all_policies_cover_every_file() {
+        let (db, files) = fixture();
+        let layout = Layout::new();
+        let c = ctx(&db, &files, &DEVICES, &layout);
+        let mut policies: Vec<Box<dyn PlacementPolicy>> = vec![
+            Box::new(Lru),
+            Box::new(Mru),
+            Box::new(Lfu),
+            Box::new(RandomStatic::new(0)),
+            Box::new(RandomDynamic::new(0)),
+            Box::new(SpreadStatic::new()),
+        ];
+        for p in &mut policies {
+            let out = p.update(&c).unwrap();
+            for fid in files.keys() {
+                assert!(out.contains_key(fid), "{} missed {fid}", p.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Placement policies: Geomancy itself plus every baseline of §VI.
+
+mod baselines;
+mod geomancy;
+
+pub use baselines::{Lfu, Lru, Mru, RandomDynamic, RandomStatic, SpreadStatic};
+pub use geomancy::{GeomancyDynamic, GeomancyStatic};
+
+use std::collections::BTreeMap;
+
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::cluster::{FileMeta, Layout};
+use geomancy_sim::record::{DeviceId, FileId};
+
+/// Everything a policy may consult when computing a layout.
+#[derive(Debug)]
+pub struct PolicyContext<'a> {
+    /// Performance history.
+    pub db: &'a ReplayDb,
+    /// Files under management.
+    pub files: &'a BTreeMap<FileId, FileMeta>,
+    /// Candidate devices (online), in id order.
+    pub devices: &'a [DeviceId],
+    /// Current placement.
+    pub current_layout: &'a Layout,
+    /// How many recent records to consult for rankings.
+    pub lookback: usize,
+    /// Current simulated time as `(seconds, milliseconds)`.
+    pub now: (u64, u16),
+    /// Free bytes per device, for capacity validity checks.
+    pub free_bytes: BTreeMap<DeviceId, u64>,
+}
+
+/// A data-placement policy.
+///
+/// Called at every decision point (for Geomancy: every five workload runs);
+/// static policies return a layout once and `None` afterwards, dynamic
+/// policies return a fresh layout each time.
+pub trait PlacementPolicy {
+    /// Human-readable policy name as used in the figures.
+    fn name(&self) -> String;
+
+    /// Computes a new layout, or `None` to leave data where it is.
+    fn update(&mut self, ctx: &PolicyContext<'_>) -> Option<Layout>;
+}
+
+/// Ranks devices fastest-first by their mean observed throughput over the
+/// most recent records ("this experiment starts by taking the current total
+/// average throughput at each storage device using data collected in the
+/// ReplayDB"). Devices with no history sort last, in id order.
+pub fn rank_devices_by_throughput(
+    db: &ReplayDb,
+    devices: &[DeviceId],
+    lookback: usize,
+) -> Vec<DeviceId> {
+    let mut ranked: Vec<(DeviceId, Option<f64>)> = devices
+        .iter()
+        .map(|&d| (d, db.mean_device_throughput(d, lookback)))
+        .collect();
+    ranked.sort_by(|a, b| match (a.1, b.1) {
+        (Some(x), Some(y)) => y.total_cmp(&x),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => a.0.cmp(&b.0),
+    });
+    ranked.into_iter().map(|(d, _)| d).collect()
+}
+
+/// Divides `files_in_priority_order` evenly across `devices_fastest_first`:
+/// the first group lands on the first device and so on; leftovers (and any
+/// `unused` files) go to the slowest device, per §VI's group-assignment
+/// description.
+pub fn group_assign(
+    files_in_priority_order: &[FileId],
+    unused: &[FileId],
+    devices_fastest_first: &[DeviceId],
+) -> Layout {
+    let mut layout = Layout::new();
+    if devices_fastest_first.is_empty() {
+        return layout;
+    }
+    let slowest = *devices_fastest_first.last().expect("non-empty devices");
+    let n_dev = devices_fastest_first.len();
+    let group = (files_in_priority_order.len() / n_dev).max(1);
+    for (i, &fid) in files_in_priority_order.iter().enumerate() {
+        let dev_idx = i / group;
+        let device = if dev_idx < n_dev {
+            devices_fastest_first[dev_idx]
+        } else {
+            slowest
+        };
+        layout.insert(fid, device);
+    }
+    for &fid in unused {
+        layout.insert(fid, slowest);
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::record::AccessRecord;
+
+    fn db_with_speeds() -> ReplayDb {
+        // Device 0: 100 B/s, device 1: 1000 B/s, device 2: no data.
+        let mut db = ReplayDb::new();
+        for i in 0..10u64 {
+            let dev = (i % 2) as u32;
+            let rb = if dev == 0 { 100 } else { 1000 };
+            db.insert(
+                i,
+                AccessRecord {
+                    access_number: i,
+                    fid: FileId(i),
+                    fsid: DeviceId(dev),
+                    rb,
+                    wb: 0,
+                    ots: i,
+                    otms: 0,
+                    cts: i + 1,
+                    ctms: 0,
+                },
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn ranking_orders_fastest_first_and_unknown_last() {
+        let db = db_with_speeds();
+        let ranked =
+            rank_devices_by_throughput(&db, &[DeviceId(0), DeviceId(1), DeviceId(2)], 100);
+        assert_eq!(ranked, vec![DeviceId(1), DeviceId(0), DeviceId(2)]);
+    }
+
+    #[test]
+    fn group_assign_even_division() {
+        let files: Vec<FileId> = (0..6).map(FileId).collect();
+        let devices = vec![DeviceId(0), DeviceId(1), DeviceId(2)];
+        let layout = group_assign(&files, &[], &devices);
+        assert_eq!(layout[&FileId(0)], DeviceId(0));
+        assert_eq!(layout[&FileId(1)], DeviceId(0));
+        assert_eq!(layout[&FileId(2)], DeviceId(1));
+        assert_eq!(layout[&FileId(5)], DeviceId(2));
+    }
+
+    #[test]
+    fn group_assign_leftovers_go_to_slowest() {
+        let files: Vec<FileId> = (0..7).map(FileId).collect();
+        let devices = vec![DeviceId(0), DeviceId(1), DeviceId(2)];
+        let layout = group_assign(&files, &[], &devices);
+        // Group size 7/3 = 2; files 6 overflows past the last device.
+        assert_eq!(layout[&FileId(6)], DeviceId(2));
+    }
+
+    #[test]
+    fn group_assign_unused_files_go_to_slowest() {
+        let layout = group_assign(
+            &[FileId(0)],
+            &[FileId(9)],
+            &[DeviceId(0), DeviceId(1)],
+        );
+        assert_eq!(layout[&FileId(9)], DeviceId(1));
+    }
+
+    #[test]
+    fn group_assign_empty_devices_yields_empty_layout() {
+        let layout = group_assign(&[FileId(0)], &[], &[]);
+        assert!(layout.is_empty());
+    }
+}

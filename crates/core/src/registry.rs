@@ -1,0 +1,205 @@
+//! Location registry and file-location configuration (§V-F).
+//!
+//! "Before any predictions are made, any potential storage points that the
+//! file can be put on are refreshed and saved as a configuration file", and
+//! "at the beginning of each run, the workload requests the current
+//! locations of the files from a configuration file that Geomancy
+//! configures after any data movement."
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use geomancy_sim::cluster::{Layout, StorageSystem};
+use geomancy_sim::record::{DeviceId, FileId};
+use serde::{Deserialize, Serialize};
+
+/// One candidate storage point as recorded in the registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoragePoint {
+    /// Device id.
+    pub device: DeviceId,
+    /// Mount name.
+    pub name: String,
+    /// Whether the device was reachable at refresh time.
+    pub online: bool,
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Free bytes at refresh time.
+    pub free: u64,
+}
+
+/// The refreshed set of candidate storage points plus the current file
+/// placement — the configuration file Geomancy and the workload share.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LocationRegistry {
+    /// Candidate storage points, in device-id order.
+    pub storage_points: Vec<StoragePoint>,
+    /// Current file → device assignment.
+    pub layout: BTreeMap<FileId, DeviceId>,
+    /// Simulated microseconds of the last refresh.
+    pub refreshed_at_micros: u64,
+}
+
+impl LocationRegistry {
+    /// Builds a registry snapshot from the live system.
+    pub fn refresh(system: &StorageSystem) -> Self {
+        LocationRegistry {
+            storage_points: system
+                .devices()
+                .iter()
+                .map(|d| StoragePoint {
+                    device: d.id(),
+                    name: d.name().to_string(),
+                    online: d.is_online(),
+                    capacity: d.spec().capacity,
+                    free: d.spec().capacity.saturating_sub(d.used_bytes()),
+                })
+                .collect(),
+            layout: system.layout(),
+            refreshed_at_micros: system.clock().now_micros(),
+        }
+    }
+
+    /// Devices a file of `size` bytes can currently be placed on ("whatever
+    /// prediction a neural network makes is constrained by where the file
+    /// can go").
+    pub fn candidates_for(&self, size: u64) -> Vec<DeviceId> {
+        self.storage_points
+            .iter()
+            .filter(|p| p.online && p.free >= size)
+            .map(|p| p.device)
+            .collect()
+    }
+
+    /// The workload-facing lookup: where does `fid` currently live?
+    pub fn location_of(&self, fid: FileId) -> Option<DeviceId> {
+        self.layout.get(&fid).copied()
+    }
+
+    /// Updates the layout after a movement round.
+    pub fn record_layout(&mut self, layout: &Layout) {
+        self.layout = layout.clone();
+    }
+
+    /// Serializes to a JSON configuration string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` if serialization fails.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a JSON configuration string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json::Error` on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the configuration file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error (serialization of this type cannot fail).
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let json = self.to_json().expect("registry is always serializable");
+        std::fs::write(path, json)
+    }
+
+    /// Reads a configuration file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error wrapping both read and parse failures.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::bluesky::{bluesky_system, Mount};
+    use geomancy_sim::cluster::FileMeta;
+
+    fn system_with_file() -> StorageSystem {
+        let mut system = bluesky_system(5);
+        system
+            .add_file(
+                FileId(1),
+                FileMeta {
+                    size: 1_000_000,
+                    path: "reg/test.root".into(),
+                },
+                Mount::Tmp.device_id(),
+            )
+            .unwrap();
+        system
+    }
+
+    #[test]
+    fn refresh_captures_all_devices_and_layout() {
+        let system = system_with_file();
+        let registry = LocationRegistry::refresh(&system);
+        assert_eq!(registry.storage_points.len(), 6);
+        assert_eq!(registry.location_of(FileId(1)), Some(Mount::Tmp.device_id()));
+        let tmp = &registry.storage_points[Mount::Tmp.device_id().0 as usize];
+        assert_eq!(tmp.name, "tmp");
+        assert_eq!(tmp.free, tmp.capacity - 1_000_000);
+    }
+
+    #[test]
+    fn offline_devices_are_excluded_from_candidates() {
+        let mut system = system_with_file();
+        system.device_mut(Mount::Pic.device_id()).unwrap().set_online(false);
+        let registry = LocationRegistry::refresh(&system);
+        let candidates = registry.candidates_for(1000);
+        assert!(!candidates.contains(&Mount::Pic.device_id()));
+        assert_eq!(candidates.len(), 5);
+    }
+
+    #[test]
+    fn oversized_files_have_fewer_candidates() {
+        let system = system_with_file();
+        let registry = LocationRegistry::refresh(&system);
+        // Larger than USBtmp's 1 TB capacity but fits everywhere else.
+        let candidates = registry.candidates_for(2_000_000_000_000);
+        assert!(!candidates.contains(&Mount::UsbTmp.device_id()));
+        assert!(candidates.contains(&Mount::File0.device_id()));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let system = system_with_file();
+        let registry = LocationRegistry::refresh(&system);
+        let restored = LocationRegistry::from_json(&registry.to_json().unwrap()).unwrap();
+        assert_eq!(restored, registry);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let system = system_with_file();
+        let registry = LocationRegistry::refresh(&system);
+        let dir = std::env::temp_dir().join("geomancy_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("locations.json");
+        registry.save(&path).unwrap();
+        let restored = LocationRegistry::load(&path).unwrap();
+        assert_eq!(restored, registry);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_layout_updates_lookup() {
+        let system = system_with_file();
+        let mut registry = LocationRegistry::refresh(&system);
+        let mut layout = Layout::new();
+        layout.insert(FileId(1), Mount::File0.device_id());
+        registry.record_layout(&layout);
+        assert_eq!(registry.location_of(FileId(1)), Some(Mount::File0.device_id()));
+    }
+}

@@ -1,0 +1,303 @@
+//! Operational performance reports: what an administrator reads to see
+//! what Geomancy has been doing — per-device trends, the hottest files,
+//! and the movement history with its cost.
+
+use std::collections::BTreeMap;
+
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::record::{DeviceId, FileId};
+use geomancy_trace::stats::mean_std;
+
+/// Per-device summary over a report window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSummary {
+    /// Device.
+    pub device: DeviceId,
+    /// Accesses observed in the window.
+    pub accesses: usize,
+    /// Mean observed throughput, bytes/second.
+    pub mean_throughput: f64,
+    /// Population standard deviation of throughput.
+    pub std_throughput: f64,
+    /// Total bytes served in the window.
+    pub bytes_served: u64,
+    /// Throughput trend: mean of the window's second half minus its first
+    /// half, as a fraction of the first half (positive = improving).
+    pub trend: f64,
+}
+
+/// Per-file summary over a report window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileSummary {
+    /// File.
+    pub fid: FileId,
+    /// Accesses in the window.
+    pub accesses: usize,
+    /// Total bytes moved for this file.
+    pub bytes: u64,
+    /// Mean observed throughput, bytes/second.
+    pub mean_throughput: f64,
+}
+
+/// Movement-history summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MovementSummary {
+    /// Layout changes recorded.
+    pub layout_changes: usize,
+    /// Total files moved.
+    pub files_moved: usize,
+    /// Total bytes migrated.
+    pub bytes_moved: u64,
+    /// Total seconds spent in transfers.
+    pub transfer_secs: f64,
+}
+
+/// A full report over the most recent `window` records.
+///
+/// # Examples
+///
+/// ```
+/// use geomancy_core::report::PerformanceReport;
+/// use geomancy_replaydb::ReplayDb;
+/// use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+///
+/// let mut db = ReplayDb::new();
+/// db.insert(0, AccessRecord {
+///     access_number: 0, fid: FileId(1), fsid: DeviceId(0),
+///     rb: 1024, wb: 0, ots: 0, otms: 0, cts: 1, ctms: 0,
+/// });
+/// let report = PerformanceReport::build(&db, 100, 5);
+/// assert_eq!(report.devices.len(), 1);
+/// assert!(report.render().contains("dev0"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceReport {
+    /// Records the report covers.
+    pub window: usize,
+    /// Devices, busiest first.
+    pub devices: Vec<DeviceSummary>,
+    /// Hottest files (by access count), capped at `top_files`.
+    pub hot_files: Vec<FileSummary>,
+    /// Movement history.
+    pub movements: MovementSummary,
+}
+
+impl PerformanceReport {
+    /// Builds a report from the `window` most recent records, keeping the
+    /// `top_files` most-accessed files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn build(db: &ReplayDb, window: usize, top_files: usize) -> Self {
+        assert!(window > 0, "report window must be non-zero");
+        let records = db.recent(window);
+        let mut per_device: BTreeMap<DeviceId, Vec<f64>> = BTreeMap::new();
+        let mut device_bytes: BTreeMap<DeviceId, u64> = BTreeMap::new();
+        let mut per_file: BTreeMap<FileId, (usize, u64, f64)> = BTreeMap::new();
+        for r in &records {
+            per_device.entry(r.fsid).or_default().push(r.throughput());
+            *device_bytes.entry(r.fsid).or_insert(0) += r.bytes();
+            let entry = per_file.entry(r.fid).or_insert((0, 0, 0.0));
+            entry.0 += 1;
+            entry.1 += r.bytes();
+            entry.2 += r.throughput();
+        }
+        let mut devices: Vec<DeviceSummary> = per_device
+            .into_iter()
+            .map(|(device, tps)| {
+                let (mean, std) = mean_std(&tps);
+                let half = tps.len() / 2;
+                let trend = if half > 0 {
+                    let (first, _) = mean_std(&tps[..half]);
+                    let (second, _) = mean_std(&tps[half..]);
+                    if first > 0.0 {
+                        (second - first) / first
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.0
+                };
+                DeviceSummary {
+                    device,
+                    accesses: tps.len(),
+                    mean_throughput: mean,
+                    std_throughput: std,
+                    bytes_served: device_bytes[&device],
+                    trend,
+                }
+            })
+            .collect();
+        devices.sort_by_key(|d| std::cmp::Reverse(d.accesses));
+
+        let mut hot_files: Vec<FileSummary> = per_file
+            .into_iter()
+            .map(|(fid, (accesses, bytes, tp_sum))| FileSummary {
+                fid,
+                accesses,
+                bytes,
+                mean_throughput: tp_sum / accesses.max(1) as f64,
+            })
+            .collect();
+        hot_files.sort_by_key(|f| std::cmp::Reverse(f.accesses));
+        hot_files.truncate(top_files);
+
+        let mut movements = MovementSummary::default();
+        for event in db.layout_events() {
+            movements.layout_changes += 1;
+            movements.files_moved += event.movements.len();
+            for m in &event.movements {
+                movements.bytes_moved += m.bytes;
+                movements.transfer_secs += m.cost_secs;
+            }
+        }
+
+        PerformanceReport {
+            window: records.len(),
+            devices,
+            hot_files,
+            movements,
+        }
+    }
+
+    /// Renders the report as human-readable text.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "Performance report over the last {} accesses", self.window);
+        let _ = writeln!(out, "\ndevices (busiest first):");
+        for d in &self.devices {
+            let _ = writeln!(
+                out,
+                "  {:>6}: {:>6} accesses, {:>8.3} ± {:>8.3} MB/s, {:>8.1} MB served, trend {:+.1} %",
+                d.device.to_string(),
+                d.accesses,
+                d.mean_throughput / 1e6,
+                d.std_throughput / 1e6,
+                d.bytes_served as f64 / 1e6,
+                d.trend * 100.0,
+            );
+        }
+        let _ = writeln!(out, "\nhottest files:");
+        for f in &self.hot_files {
+            let _ = writeln!(
+                out,
+                "  {:>7}: {:>5} accesses, {:>8.1} MB, {:>8.3} MB/s avg",
+                f.fid.to_string(),
+                f.accesses,
+                f.bytes as f64 / 1e6,
+                f.mean_throughput / 1e6,
+            );
+        }
+        let m = &self.movements;
+        let _ = writeln!(
+            out,
+            "\nmovements: {} layout changes, {} files, {:.1} MB in {:.2} s of transfer",
+            m.layout_changes,
+            m.files_moved,
+            m.bytes_moved as f64 / 1e6,
+            m.transfer_secs,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_replaydb::db::LayoutEvent;
+    use geomancy_sim::record::{AccessRecord, MovementRecord};
+
+    fn db_with(n: u64) -> ReplayDb {
+        let mut db = ReplayDb::new();
+        for i in 0..n {
+            let dev = (i % 2) as u32;
+            // Device 1 speeds up in the second half.
+            let dur_ms = if dev == 1 && i > n / 2 { 100 } else { 200 };
+            db.insert(
+                i,
+                AccessRecord {
+                    access_number: i,
+                    fid: FileId(i % 3),
+                    fsid: DeviceId(dev),
+                    rb: 1_000_000,
+                    wb: 0,
+                    ots: i,
+                    otms: 0,
+                    cts: i + dur_ms / 1000,
+                    ctms: (dur_ms % 1000) as u16,
+                },
+            );
+        }
+        db.record_layout_event(LayoutEvent {
+            timestamp_micros: n,
+            at_access: n,
+            movements: vec![MovementRecord {
+                fid: FileId(0),
+                from: DeviceId(0),
+                to: DeviceId(1),
+                bytes: 5_000_000,
+                cost_secs: 0.25,
+                at_access: n,
+            }],
+        });
+        db
+    }
+
+    #[test]
+    fn report_covers_devices_and_files() {
+        let db = db_with(100);
+        let report = PerformanceReport::build(&db, 1000, 2);
+        assert_eq!(report.window, 100);
+        assert_eq!(report.devices.len(), 2);
+        assert_eq!(report.hot_files.len(), 2);
+        let total: usize = report.devices.iter().map(|d| d.accesses).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn improving_device_shows_positive_trend() {
+        let db = db_with(200);
+        let report = PerformanceReport::build(&db, 1000, 3);
+        let dev1 = report
+            .devices
+            .iter()
+            .find(|d| d.device == DeviceId(1))
+            .unwrap();
+        assert!(dev1.trend > 0.2, "trend {}", dev1.trend);
+        let dev0 = report
+            .devices
+            .iter()
+            .find(|d| d.device == DeviceId(0))
+            .unwrap();
+        assert!(dev0.trend.abs() < 0.05, "trend {}", dev0.trend);
+    }
+
+    #[test]
+    fn movement_totals_accumulate() {
+        let db = db_with(10);
+        let report = PerformanceReport::build(&db, 100, 3);
+        assert_eq!(report.movements.layout_changes, 1);
+        assert_eq!(report.movements.files_moved, 1);
+        assert_eq!(report.movements.bytes_moved, 5_000_000);
+        assert!((report.movements.transfer_secs - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_files_are_capped_and_sorted() {
+        let db = db_with(99); // fids 0..3, fid 0 gets 33 accesses
+        let report = PerformanceReport::build(&db, 1000, 1);
+        assert_eq!(report.hot_files.len(), 1);
+        assert!(report.hot_files[0].accesses >= 33);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_devices() {
+        let db = db_with(20);
+        let text = PerformanceReport::build(&db, 100, 3).render();
+        assert!(text.contains("devices"));
+        assert!(text.contains("dev0"));
+        assert!(text.contains("movements"));
+    }
+}

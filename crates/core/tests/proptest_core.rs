@@ -1,0 +1,192 @@
+//! Property-based tests of core invariants: the Action Checker, dataset
+//! assembly, prediction adjustment, and baseline layout completeness.
+
+use std::collections::BTreeMap;
+
+use geomancy_core::action::{ActionChecker, ActionKind};
+use geomancy_core::adjust::PredictionAdjuster;
+use geomancy_core::dataset::{placement_dataset_with, PLACEMENT_Z};
+use geomancy_core::policy::{group_assign, Lfu, Lru, Mru, PlacementPolicy, PolicyContext};
+use geomancy_nn::metrics::RelativeError;
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::cluster::{FileMeta, Layout};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+use proptest::prelude::*;
+
+fn ranked_candidates() -> impl Strategy<Value = Vec<(DeviceId, f64)>> {
+    proptest::collection::vec(0.0..1e10f64, 1..8).prop_map(|tps| {
+        tps.into_iter()
+            .enumerate()
+            .map(|(i, tp)| (DeviceId(i as u32), tp))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn checker_always_returns_a_candidate_device(
+        ranked in ranked_candidates(),
+        seed in 0u64..1000,
+        valid_mask in 0u8..=255,
+    ) {
+        let mut checker = ActionChecker::new(seed);
+        let action = checker.check(&ranked, |d| valid_mask & (1 << (d.0 % 8)) != 0);
+        prop_assert!(ranked.iter().any(|(d, _)| *d == action.device));
+    }
+
+    #[test]
+    fn checker_with_zero_exploration_picks_the_valid_argmax(
+        ranked in ranked_candidates(),
+        seed in 0u64..1000,
+    ) {
+        let mut checker = ActionChecker::with_exploration(seed, 0.0);
+        let action = checker.check(&ranked, |_| true);
+        let best = ranked
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        prop_assert_eq!(action.device, best.0);
+        prop_assert_eq!(action.kind, ActionKind::Predicted);
+    }
+
+    #[test]
+    fn checker_never_picks_invalid_unless_all_invalid(
+        ranked in ranked_candidates(),
+        seed in 0u64..1000,
+        invalid in 0u32..8,
+    ) {
+        prop_assume!(ranked.len() > 1);
+        let mut checker = ActionChecker::new(seed);
+        let action = checker.check(&ranked, |d| d.0 != invalid);
+        if ranked.iter().any(|(d, _)| d.0 != invalid) {
+            prop_assert_ne!(action.device.0, invalid);
+        }
+    }
+
+    #[test]
+    fn adjuster_preserves_candidate_ordering(
+        mean in 0.0..500.0f64,
+        signed in -100.0..100.0f64,
+        a in 0.0..1e9f64,
+        b in 0.0..1e9f64,
+    ) {
+        let adj = PredictionAdjuster::from_error(&RelativeError {
+            mean,
+            std_dev: 1.0,
+            signed_mean: signed,
+        });
+        if a < b {
+            prop_assert!(adj.adjust(a) <= adj.adjust(b));
+        }
+        prop_assert!(adj.adjust(a) >= 0.0);
+    }
+
+    #[test]
+    fn placement_dataset_is_sane_for_arbitrary_traces(
+        specs in proptest::collection::vec((0u64..10, 0u32..6, 1u64..1_000_000_000, 1u64..5_000), 2..60),
+        smoothing in 1usize..20,
+        log in proptest::bool::ANY,
+    ) {
+        let records: Vec<AccessRecord> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(fid, dev, rb, dur_ms))| AccessRecord {
+                access_number: i as u64,
+                fid: FileId(fid),
+                fsid: DeviceId(dev),
+                rb,
+                wb: 0,
+                ots: i as u64 * 10,
+                otms: 0,
+                cts: i as u64 * 10 + dur_ms / 1000,
+                ctms: (dur_ms % 1000) as u16,
+            })
+            .collect();
+        let ds = placement_dataset_with(&records, smoothing, log);
+        prop_assert_eq!(ds.len(), records.len());
+        prop_assert_eq!(ds.inputs.cols(), PLACEMENT_Z);
+        for &v in ds.inputs.as_slice() {
+            prop_assert!(v.is_finite());
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        for &v in ds.targets.as_slice() {
+            prop_assert!(v.is_finite());
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // Denormalizing any target must give a non-negative throughput.
+        for &v in ds.targets.as_slice() {
+            prop_assert!(ds.denormalize_target(v) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn group_assign_covers_every_file(
+        n_files in 1usize..40,
+        n_unused in 0usize..10,
+        n_devices in 1usize..8,
+    ) {
+        let files: Vec<FileId> = (0..n_files as u64).map(FileId).collect();
+        let unused: Vec<FileId> = (100..100 + n_unused as u64).map(FileId).collect();
+        let devices: Vec<DeviceId> = (0..n_devices as u32).map(DeviceId).collect();
+        let layout = group_assign(&files, &unused, &devices);
+        prop_assert_eq!(layout.len(), n_files + n_unused);
+        for fid in files.iter().chain(&unused) {
+            let device = layout[fid];
+            prop_assert!(devices.contains(&device));
+        }
+    }
+
+    #[test]
+    fn baseline_policies_assign_only_candidate_devices(
+        specs in proptest::collection::vec((0u64..8, 0u32..4), 5..60),
+        n_devices in 1usize..5,
+    ) {
+        let mut db = ReplayDb::new();
+        for (i, &(fid, dev)) in specs.iter().enumerate() {
+            db.insert(
+                i as u64,
+                AccessRecord {
+                    access_number: i as u64,
+                    fid: FileId(fid),
+                    fsid: DeviceId(dev % n_devices as u32),
+                    rb: 1000,
+                    wb: 0,
+                    ots: i as u64,
+                    otms: 0,
+                    cts: i as u64 + 1,
+                    ctms: 0,
+                },
+            );
+        }
+        let mut files = BTreeMap::new();
+        for i in 0..8u64 {
+            files.insert(
+                FileId(i),
+                FileMeta {
+                    size: 100,
+                    path: format!("f{i}"),
+                },
+            );
+        }
+        let devices: Vec<DeviceId> = (0..n_devices as u32).map(DeviceId).collect();
+        let layout = Layout::new();
+        let ctx = PolicyContext {
+            db: &db,
+            files: &files,
+            devices: &devices,
+            current_layout: &layout,
+            lookback: 100,
+            now: (1000, 0),
+            free_bytes: devices.iter().map(|&d| (d, u64::MAX)).collect(),
+        };
+        let mut policies: Vec<Box<dyn PlacementPolicy>> =
+            vec![Box::new(Lru), Box::new(Mru), Box::new(Lfu)];
+        for p in &mut policies {
+            let out = p.update(&ctx).expect("baselines always produce a layout");
+            prop_assert_eq!(out.len(), files.len());
+            for device in out.values() {
+                prop_assert!(devices.contains(device), "{} placed on unknown device", p.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Activation functions and their derivatives.
+//!
+//! The paper uses ReLU (outputs stay non-negative, matching throughput) and
+//! Linear on output heads; Sigmoid and Tanh back the LSTM/GRU gates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::matrix::Matrix;
+
+/// An activation function applied element-wise to a layer's pre-activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit: `max(0, x)`.
+    ReLU,
+    /// Identity: `x`.
+    Linear,
+    /// Logistic sigmoid: `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    pub fn apply_scalar(self, x: f64) -> f64 {
+        match self {
+            Activation::ReLU => x.max(0.0),
+            Activation::Linear => x,
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated output* `y = f(x)`.
+    ///
+    /// Using the output (rather than the input) lets layers cache only their
+    /// activations: for every supported function the derivative is cheap to
+    /// recover from `y` (e.g. sigmoid' = y(1-y)).
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::ReLU => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Linear => 1.0,
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+
+    /// Applies the activation element-wise to a matrix.
+    pub fn apply(self, m: &Matrix) -> Matrix {
+        m.map(|x| self.apply_scalar(x))
+    }
+
+    /// Element-wise derivative matrix computed from the activated output.
+    pub fn derivative(self, output: &Matrix) -> Matrix {
+        output.map(|y| self.derivative_from_output(y))
+    }
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::ReLU => "ReLU",
+            Activation::Linear => "Linear",
+            Activation::Sigmoid => "Sigmoid",
+            Activation::Tanh => "Tanh",
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::ReLU.apply_scalar(-3.0), 0.0);
+        assert_eq!(Activation::ReLU.apply_scalar(2.5), 2.5);
+    }
+
+    #[test]
+    fn linear_is_identity() {
+        for x in [-2.0, 0.0, 7.5] {
+            assert_eq!(Activation::Linear.apply_scalar(x), x);
+            assert_eq!(Activation::Linear.derivative_from_output(x), 1.0);
+        }
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply_scalar(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply_scalar(100.0) <= 1.0);
+        assert!(s.apply_scalar(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn sigmoid_derivative_matches_numeric() {
+        let s = Activation::Sigmoid;
+        let x = 0.7;
+        let eps = 1e-6;
+        let numeric = (s.apply_scalar(x + eps) - s.apply_scalar(x - eps)) / (2.0 * eps);
+        let analytic = s.derivative_from_output(s.apply_scalar(x));
+        assert!((numeric - analytic).abs() < 1e-8);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_numeric() {
+        let t = Activation::Tanh;
+        let x = -0.3;
+        let eps = 1e-6;
+        let numeric = (t.apply_scalar(x + eps) - t.apply_scalar(x - eps)) / (2.0 * eps);
+        let analytic = t.derivative_from_output(t.apply_scalar(x));
+        assert!((numeric - analytic).abs() < 1e-8);
+    }
+
+    #[test]
+    fn relu_derivative_from_output() {
+        // The output of ReLU is never negative, so the subgradient at output 0
+        // is taken as 0 and any positive output maps to slope 1.
+        assert_eq!(Activation::ReLU.derivative_from_output(0.0), 0.0);
+        assert_eq!(Activation::ReLU.derivative_from_output(3.0), 1.0);
+    }
+
+    #[test]
+    fn matrix_apply_matches_scalar() {
+        let m = Matrix::from_rows(&[&[-1.0, 2.0]]);
+        let y = Activation::ReLU.apply(&m);
+        assert_eq!(y, Matrix::from_rows(&[&[0.0, 2.0]]));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(Activation::ReLU.to_string(), "ReLU");
+        assert_eq!(Activation::Linear.to_string(), "Linear");
+    }
+}

@@ -1,0 +1,117 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Strategy used to draw initial weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U(-l, l)` with `l = sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// The default for sigmoid/tanh-gated layers.
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-l, l)` with `l = sqrt(6 / fan_in)`.
+    ///
+    /// Preferred for ReLU layers.
+    HeUniform,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `rows x cols` matrix using `rng`.
+    ///
+    /// `rows` is treated as fan-in and `cols` as fan-out, matching the
+    /// convention `output = input · W` used by every layer in this crate.
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::XavierUniform => {
+                let limit = (6.0 / (rows + cols) as f64).sqrt();
+                uniform(rows, cols, limit, rng)
+            }
+            Init::HeUniform => {
+                let limit = (6.0 / rows.max(1) as f64).sqrt();
+                uniform(rows, cols, limit, rng)
+            }
+        }
+    }
+}
+
+fn uniform(rows: usize, cols: usize, limit: f64, rng: &mut StdRng) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-limit..=limit))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Creates a deterministic RNG for reproducible experiments.
+///
+/// # Examples
+///
+/// ```
+/// let mut a = geomancy_nn::init::seeded_rng(7);
+/// let mut b = geomancy_nn::init::seeded_rng(7);
+/// use rand::Rng;
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = seeded_rng(1);
+        let w = Init::XavierUniform.sample(10, 20, &mut rng);
+        let limit = (6.0 / 30.0_f64).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+        assert_eq!(w.shape(), (10, 20));
+    }
+
+    #[test]
+    fn he_within_limit() {
+        let mut rng = seeded_rng(2);
+        let w = Init::HeUniform.sample(8, 4, &mut rng);
+        let limit = (6.0 / 8.0_f64).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = seeded_rng(3);
+        let w = Init::Zeros.sample(3, 3, &mut rng);
+        assert!(w.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        let wa = Init::XavierUniform.sample(4, 4, &mut a);
+        let wb = Init::XavierUniform.sample(4, 4, &mut b);
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let wa = Init::XavierUniform.sample(4, 4, &mut a);
+        let wb = Init::XavierUniform.sample(4, 4, &mut b);
+        assert_ne!(wa, wb);
+    }
+
+    #[test]
+    fn xavier_not_all_equal() {
+        let mut rng = seeded_rng(9);
+        let w = Init::XavierUniform.sample(5, 5, &mut rng);
+        let first = w.as_slice()[0];
+        assert!(w.as_slice().iter().any(|&x| x != first));
+    }
+}

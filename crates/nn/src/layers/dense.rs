@@ -1,0 +1,183 @@
+//! Fully connected layer: `y = act(x · W + b)`.
+
+use rand::rngs::StdRng;
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// A fully connected (dense) layer.
+///
+/// # Examples
+///
+/// ```
+/// use geomancy_nn::activation::Activation;
+/// use geomancy_nn::init::seeded_rng;
+/// use geomancy_nn::layers::{Dense, Layer};
+/// use geomancy_nn::matrix::Matrix;
+///
+/// let mut rng = seeded_rng(0);
+/// let mut layer = Dense::new(3, 2, Activation::ReLU, &mut rng);
+/// let out = layer.forward(&Matrix::zeros(4, 3));
+/// assert_eq!(out.shape(), (4, 2));
+/// ```
+#[derive(Debug)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    activation: Activation,
+    input: Option<Matrix>,
+    output: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He initialization for ReLU and Xavier
+    /// otherwise, and zero biases.
+    pub fn new(input_size: usize, output_size: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        let init = match activation {
+            Activation::ReLU => Init::HeUniform,
+            _ => Init::XavierUniform,
+        };
+        Dense {
+            weight: Param::new(init.sample(input_size, output_size, rng), "dense.w"),
+            bias: Param::new(Matrix::zeros(1, output_size), "dense.b"),
+            activation,
+            input: None,
+            output: None,
+        }
+    }
+
+    /// Creates a dense layer from explicit weights (used by tests and
+    /// deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not a `1 x weight.cols()` row vector.
+    pub fn from_weights(weight: Matrix, bias: Matrix, activation: Activation) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weight.cols(), "bias width must match weight output");
+        Dense {
+            weight: Param::new(weight, "dense.w"),
+            bias: Param::new(bias, "dense.b"),
+            activation,
+            input: None,
+            output: None,
+        }
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let pre = input.dot(&self.weight.value).add_row_broadcast(&self.bias.value);
+        let out = self.activation.apply(&pre);
+        self.input = Some(input.clone());
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("backward called before forward");
+        let output = self.output.as_ref().expect("backward called before forward");
+        // dL/d(pre-activation) = dL/dy ⊙ f'(y)
+        let grad_pre = grad_output.hadamard(&self.activation.derivative(output));
+        self.weight.accumulate(&input.transpose().dot(&grad_pre));
+        self.bias.accumulate(&grad_pre.sum_rows());
+        grad_pre.dot(&self.weight.value.transpose())
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn input_size(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    fn output_size(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    fn describe(&self) -> String {
+        format!("{} (Dense) {}", self.output_size(), self.activation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn forward_known_values() {
+        let w = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = Matrix::row_vector(&[0.5, -10.0]);
+        let mut layer = Dense::from_weights(w, b, Activation::ReLU);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let y = layer.forward(&x);
+        // pre = [1+3+0.5, 2+3-10] = [4.5, -5] → ReLU → [4.5, 0]
+        assert_eq!(y, Matrix::from_rows(&[&[4.5, 0.0]]));
+    }
+
+    #[test]
+    fn backward_gradient_shapes() {
+        let mut rng = seeded_rng(0);
+        let mut layer = Dense::new(4, 3, Activation::Linear, &mut rng);
+        let x = Matrix::filled(2, 4, 0.1);
+        let _ = layer.forward(&x);
+        let gin = layer.backward(&Matrix::filled(2, 3, 1.0));
+        assert_eq!(gin.shape(), (2, 4));
+        assert_eq!(layer.params()[0].grad.shape(), (4, 3));
+        assert_eq!(layer.params()[1].grad.shape(), (1, 3));
+    }
+
+    #[test]
+    fn linear_layer_weight_gradient_is_xt_dot_g() {
+        let w = Matrix::zeros(2, 1);
+        let b = Matrix::zeros(1, 1);
+        let mut layer = Dense::from_weights(w, b, Activation::Linear);
+        let x = Matrix::from_rows(&[&[3.0, 5.0]]);
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&Matrix::from_rows(&[&[2.0]]));
+        assert_eq!(layer.params()[0].grad, Matrix::from_rows(&[&[6.0], &[10.0]]));
+        assert_eq!(layer.params()[1].grad, Matrix::from_rows(&[&[2.0]]));
+    }
+
+    #[test]
+    fn relu_blocks_gradient_for_inactive_units() {
+        let w = Matrix::from_rows(&[&[1.0, -1.0]]);
+        let b = Matrix::row_vector(&[0.0, 0.0]);
+        let mut layer = Dense::from_weights(w, b, Activation::ReLU);
+        let x = Matrix::from_rows(&[&[2.0]]); // pre = [2, -2] → y = [2, 0]
+        let _ = layer.forward(&x);
+        let gin = layer.backward(&Matrix::from_rows(&[&[1.0, 1.0]]));
+        // Only the first unit is active, so dL/dx = 1 * w[0][0] = 1.
+        assert_eq!(gin, Matrix::from_rows(&[&[1.0]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut rng = seeded_rng(0);
+        let mut layer = Dense::new(2, 2, Activation::ReLU, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn describe_matches_paper_notation() {
+        let mut rng = seeded_rng(0);
+        let layer = Dense::new(6, 96, Activation::ReLU, &mut rng);
+        assert_eq!(layer.describe(), "96 (Dense) ReLU");
+        assert_eq!(layer.param_count(), 6 * 96 + 96);
+    }
+}

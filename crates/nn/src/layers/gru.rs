@@ -1,0 +1,269 @@
+//! Gated Recurrent Unit layer with full backpropagation through time.
+
+use rand::rngs::StdRng;
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    z: Matrix,
+    r: Matrix,
+    /// Candidate hidden state `h̃`.
+    cand: Matrix,
+}
+
+/// A GRU layer (`Z (GRU) ReLU` rows of Table I).
+///
+/// Update (`z`) and reset (`r`) gates use the logistic sigmoid; the candidate
+/// activation is configurable (the paper uses ReLU). The layer consumes a
+/// flattened window of `timesteps * features` values per row and emits the
+/// final hidden state:
+///
+/// ```text
+/// z_t = σ(x·Wxz + h·Whz + bz)
+/// r_t = σ(x·Wxr + h·Whr + br)
+/// h̃_t = φ(x·Wxh + (r ⊙ h)·Whh + bh)
+/// h_t = (1 - z) ⊙ h_{t-1} + z ⊙ h̃_t
+/// ```
+#[derive(Debug)]
+pub struct Gru {
+    // Order: update (z), reset (r), candidate (h).
+    wx: [Param; 3],
+    wh: [Param; 3],
+    b: [Param; 3],
+    activation: Activation,
+    features: usize,
+    timesteps: usize,
+    hidden: usize,
+    cache: Vec<StepCache>,
+}
+
+const GATE_NAMES: [&str; 3] = ["z", "r", "h"];
+
+impl Gru {
+    /// Creates a GRU layer over windows of `timesteps` rows of `features`
+    /// values each, with `hidden` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        features: usize,
+        hidden: usize,
+        timesteps: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(features > 0 && hidden > 0 && timesteps > 0, "dimensions must be non-zero");
+        let wx = GATE_NAMES.map(|n| {
+            Param::new(
+                Init::XavierUniform.sample(features, hidden, rng),
+                format!("gru.wx_{n}"),
+            )
+        });
+        let wh = GATE_NAMES.map(|n| {
+            Param::new(
+                Init::XavierUniform.sample(hidden, hidden, rng),
+                format!("gru.wh_{n}"),
+            )
+        });
+        let b = GATE_NAMES.map(|n| Param::new(Matrix::zeros(1, hidden), format!("gru.b_{n}")));
+        Gru {
+            wx,
+            wh,
+            b,
+            activation,
+            features,
+            timesteps,
+            hidden,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Number of hidden units.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_size(),
+            "Gru expects {} columns ({} timesteps x {} features)",
+            self.input_size(),
+            self.timesteps,
+            self.features
+        );
+        let batch = input.rows();
+        self.cache.clear();
+        let mut h = Matrix::zeros(batch, self.hidden);
+        for t in 0..self.timesteps {
+            let x = input.slice_cols(t * self.features..(t + 1) * self.features);
+            let z = Activation::Sigmoid.apply(
+                &x.dot(&self.wx[0].value)
+                    .add(&h.dot(&self.wh[0].value))
+                    .add_row_broadcast(&self.b[0].value),
+            );
+            let r = Activation::Sigmoid.apply(
+                &x.dot(&self.wx[1].value)
+                    .add(&h.dot(&self.wh[1].value))
+                    .add_row_broadcast(&self.b[1].value),
+            );
+            let cand = self.activation.apply(
+                &x.dot(&self.wx[2].value)
+                    .add(&r.hadamard(&h).dot(&self.wh[2].value))
+                    .add_row_broadcast(&self.b[2].value),
+            );
+            let h_next = z
+                .map(|v| 1.0 - v)
+                .hadamard(&h)
+                .add(&z.hadamard(&cand));
+            self.cache.push(StepCache {
+                x,
+                h_prev: h,
+                z,
+                r,
+                cand,
+            });
+            h = h_next;
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert!(!self.cache.is_empty(), "backward called before forward");
+        let batch = grad_output.rows();
+        let mut grad_input = Matrix::zeros(batch, self.input_size());
+        let mut dh = grad_output.clone();
+        for t in (0..self.timesteps).rev() {
+            let step = &self.cache[t];
+            // h_t = (1 - z) ⊙ h_prev + z ⊙ h̃
+            let dz = dh.hadamard(&step.cand.sub(&step.h_prev));
+            let dcand = dh.hadamard(&step.z);
+            let mut dh_prev = dh.hadamard(&step.z.map(|v| 1.0 - v));
+            let dz_pre = dz.hadamard(&Activation::Sigmoid.derivative(&step.z));
+            let dcand_pre = dcand.hadamard(&self.activation.derivative(&step.cand));
+            // Candidate depends on (r ⊙ h_prev).
+            let d_rh = dcand_pre.dot(&self.wh[2].value.transpose());
+            let dr = d_rh.hadamard(&step.h_prev);
+            dh_prev.add_assign(&d_rh.hadamard(&step.r));
+            let dr_pre = dr.hadamard(&Activation::Sigmoid.derivative(&step.r));
+
+            let xt = step.x.transpose();
+            let ht = step.h_prev.transpose();
+            let rh_t = step.r.hadamard(&step.h_prev).transpose();
+            let pres = [&dz_pre, &dr_pre, &dcand_pre];
+            let mut dx = Matrix::zeros(batch, self.features);
+            #[allow(clippy::needless_range_loop)] // k indexes three parallel arrays
+            for k in 0..3 {
+                self.wx[k].accumulate(&xt.dot(pres[k]));
+                let recurrent_input = if k == 2 { &rh_t } else { &ht };
+                self.wh[k].accumulate(&recurrent_input.dot(pres[k]));
+                self.b[k].accumulate(&pres[k].sum_rows());
+                dx.add_assign(&pres[k].dot(&self.wx[k].value.transpose()));
+                if k != 2 {
+                    dh_prev.add_assign(&pres[k].dot(&self.wh[k].value.transpose()));
+                }
+            }
+            for row in 0..batch {
+                for col in 0..self.features {
+                    grad_input[(row, t * self.features + col)] = dx[(row, col)];
+                }
+            }
+            dh = dh_prev;
+        }
+        grad_input
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.wx.iter().chain(&self.wh).chain(&self.b).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.wx
+            .iter_mut()
+            .chain(&mut self.wh)
+            .chain(&mut self.b)
+            .collect()
+    }
+
+    fn input_size(&self) -> usize {
+        self.features * self.timesteps
+    }
+
+    fn output_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn describe(&self) -> String {
+        format!("{} (GRU) {}", self.hidden, self.activation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn forward_output_shape() {
+        let mut rng = seeded_rng(0);
+        let mut layer = Gru::new(6, 6, 4, Activation::Tanh, &mut rng);
+        let out = layer.forward(&Matrix::zeros(3, 24));
+        assert_eq!(out.shape(), (3, 6));
+    }
+
+    #[test]
+    fn zero_input_keeps_zero_hidden_with_tanh() {
+        let mut rng = seeded_rng(1);
+        let mut layer = Gru::new(2, 3, 5, Activation::Tanh, &mut rng);
+        let out = layer.forward(&Matrix::zeros(1, 10));
+        // h̃ = tanh(0) = 0 and h_prev = 0, so every update keeps h = 0.
+        assert!(out.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn backward_shapes_and_param_count() {
+        let mut rng = seeded_rng(2);
+        let mut layer = Gru::new(3, 5, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::filled(2, 6, 0.2);
+        let _ = layer.forward(&x);
+        let gin = layer.backward(&Matrix::filled(2, 5, 1.0));
+        assert_eq!(gin.shape(), (2, 6));
+        // 3 gates x (3x5 + 5x5 + 1x5) parameters.
+        assert_eq!(layer.param_count(), 3 * (15 + 25 + 5));
+    }
+
+    #[test]
+    fn hidden_stays_bounded_with_tanh() {
+        let mut rng = seeded_rng(3);
+        let mut layer = Gru::new(2, 4, 8, Activation::Tanh, &mut rng);
+        let x = Matrix::filled(1, 16, 3.0);
+        let out = layer.forward(&x);
+        // h is a convex combination of previous h and tanh candidate.
+        assert!(out.as_slice().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut rng = seeded_rng(4);
+        let mut layer = Gru::new(2, 2, 2, Activation::Tanh, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn describe_matches_paper_notation() {
+        let mut rng = seeded_rng(5);
+        let layer = Gru::new(6, 6, 4, Activation::ReLU, &mut rng);
+        assert_eq!(layer.describe(), "6 (GRU) ReLU");
+    }
+}

@@ -1,0 +1,270 @@
+//! Long Short-Term Memory layer with full backpropagation through time.
+
+use rand::rngs::StdRng;
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// Per-timestep values cached by the forward pass for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    i: Matrix,
+    f: Matrix,
+    o: Matrix,
+    g: Matrix,
+    /// Activated cell state `φ(c_t)`.
+    a: Matrix,
+}
+
+/// An LSTM layer (`Z (LSTM) ReLU` rows of Table I).
+///
+/// Input/forget/output gates use the logistic sigmoid; the candidate and the
+/// cell-output activation use the layer's configured activation (the paper
+/// trains LSTMs with ReLU there). The layer consumes a flattened window of
+/// `timesteps * features` values per row and emits the final hidden state.
+#[derive(Debug)]
+pub struct Lstm {
+    // Gate weights: input (i), forget (f), output (o), candidate (g).
+    wx: [Param; 4],
+    wh: [Param; 4],
+    b: [Param; 4],
+    activation: Activation,
+    features: usize,
+    timesteps: usize,
+    hidden: usize,
+    cache: Vec<StepCache>,
+}
+
+const GATE_NAMES: [&str; 4] = ["i", "f", "o", "g"];
+
+impl Lstm {
+    /// Creates an LSTM layer over windows of `timesteps` rows of `features`
+    /// values each, with `hidden` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        features: usize,
+        hidden: usize,
+        timesteps: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(features > 0 && hidden > 0 && timesteps > 0, "dimensions must be non-zero");
+        let wx = GATE_NAMES.map(|n| {
+            Param::new(
+                Init::XavierUniform.sample(features, hidden, rng),
+                format!("lstm.wx_{n}"),
+            )
+        });
+        let wh = GATE_NAMES.map(|n| {
+            Param::new(
+                Init::XavierUniform.sample(hidden, hidden, rng),
+                format!("lstm.wh_{n}"),
+            )
+        });
+        let b = GATE_NAMES.map(|n| {
+            // Forget-gate bias starts at 1.0 (standard trick) so early
+            // training does not wipe the cell state.
+            let init = if n == "f" { 1.0 } else { 0.0 };
+            Param::new(Matrix::filled(1, hidden, init), format!("lstm.b_{n}"))
+        });
+        Lstm {
+            wx,
+            wh,
+            b,
+            activation,
+            features,
+            timesteps,
+            hidden,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Number of hidden units.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn gate(&self, idx: usize, x: &Matrix, h: &Matrix, act: Activation) -> Matrix {
+        let pre = x
+            .dot(&self.wx[idx].value)
+            .add(&h.dot(&self.wh[idx].value))
+            .add_row_broadcast(&self.b[idx].value);
+        act.apply(&pre)
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_size(),
+            "Lstm expects {} columns ({} timesteps x {} features)",
+            self.input_size(),
+            self.timesteps,
+            self.features
+        );
+        let batch = input.rows();
+        self.cache.clear();
+        let mut h = Matrix::zeros(batch, self.hidden);
+        let mut c = Matrix::zeros(batch, self.hidden);
+        for t in 0..self.timesteps {
+            let x = input.slice_cols(t * self.features..(t + 1) * self.features);
+            let i = self.gate(0, &x, &h, Activation::Sigmoid);
+            let f = self.gate(1, &x, &h, Activation::Sigmoid);
+            let o = self.gate(2, &x, &h, Activation::Sigmoid);
+            let g = self.gate(3, &x, &h, self.activation);
+            let c_next = f.hadamard(&c).add(&i.hadamard(&g));
+            let a = self.activation.apply(&c_next);
+            let h_next = o.hadamard(&a);
+            self.cache.push(StepCache {
+                x,
+                h_prev: h,
+                c_prev: c,
+                i,
+                f,
+                o,
+                g,
+                a,
+            });
+            h = h_next;
+            c = c_next;
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert!(!self.cache.is_empty(), "backward called before forward");
+        let batch = grad_output.rows();
+        let mut grad_input = Matrix::zeros(batch, self.input_size());
+        let mut dh = grad_output.clone();
+        let mut dc = Matrix::zeros(batch, self.hidden);
+        for t in (0..self.timesteps).rev() {
+            let step = &self.cache[t];
+            // h_t = o ⊙ φ(c_t)
+            let do_gate = dh.hadamard(&step.a);
+            dc.add_assign(&dh.hadamard(&step.o).hadamard(&self.activation.derivative(&step.a)));
+            // c_t = f ⊙ c_{t-1} + i ⊙ g
+            let df = dc.hadamard(&step.c_prev);
+            let di = dc.hadamard(&step.g);
+            let dg = dc.hadamard(&step.i);
+            let dc_prev = dc.hadamard(&step.f);
+            let dz = [
+                di.hadamard(&Activation::Sigmoid.derivative(&step.i)),
+                df.hadamard(&Activation::Sigmoid.derivative(&step.f)),
+                do_gate.hadamard(&Activation::Sigmoid.derivative(&step.o)),
+                dg.hadamard(&self.activation.derivative(&step.g)),
+            ];
+            let xt = step.x.transpose();
+            let ht = step.h_prev.transpose();
+            let mut dx = Matrix::zeros(batch, self.features);
+            let mut dh_prev = Matrix::zeros(batch, self.hidden);
+            #[allow(clippy::needless_range_loop)] // k indexes four parallel arrays
+            for k in 0..4 {
+                self.wx[k].accumulate(&xt.dot(&dz[k]));
+                self.wh[k].accumulate(&ht.dot(&dz[k]));
+                self.b[k].accumulate(&dz[k].sum_rows());
+                dx.add_assign(&dz[k].dot(&self.wx[k].value.transpose()));
+                dh_prev.add_assign(&dz[k].dot(&self.wh[k].value.transpose()));
+            }
+            for r in 0..batch {
+                for cidx in 0..self.features {
+                    grad_input[(r, t * self.features + cidx)] = dx[(r, cidx)];
+                }
+            }
+            dh = dh_prev;
+            dc = dc_prev;
+        }
+        grad_input
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.wx.iter().chain(&self.wh).chain(&self.b).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.wx
+            .iter_mut()
+            .chain(&mut self.wh)
+            .chain(&mut self.b)
+            .collect()
+    }
+
+    fn input_size(&self) -> usize {
+        self.features * self.timesteps
+    }
+
+    fn output_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn describe(&self) -> String {
+        format!("{} (LSTM) {}", self.hidden, self.activation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn forward_output_shape() {
+        let mut rng = seeded_rng(0);
+        let mut layer = Lstm::new(6, 6, 4, Activation::Tanh, &mut rng);
+        let out = layer.forward(&Matrix::zeros(3, 24));
+        assert_eq!(out.shape(), (3, 6));
+    }
+
+    #[test]
+    fn backward_shapes_and_param_count() {
+        let mut rng = seeded_rng(1);
+        let mut layer = Lstm::new(3, 5, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::filled(2, 6, 0.2);
+        let _ = layer.forward(&x);
+        let gin = layer.backward(&Matrix::filled(2, 5, 1.0));
+        assert_eq!(gin.shape(), (2, 6));
+        // 4 gates x (3x5 + 5x5 + 1x5) parameters.
+        assert_eq!(layer.param_count(), 4 * (15 + 25 + 5));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = seeded_rng(2);
+        let layer = Lstm::new(2, 3, 2, Activation::Tanh, &mut rng);
+        let bf = layer.params().into_iter().find(|p| p.name == "lstm.b_f").unwrap();
+        assert!(bf.value.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn hidden_stays_bounded_with_tanh() {
+        let mut rng = seeded_rng(3);
+        let mut layer = Lstm::new(2, 4, 6, Activation::Tanh, &mut rng);
+        let x = Matrix::filled(1, 12, 5.0);
+        let out = layer.forward(&x);
+        assert!(out.as_slice().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut rng = seeded_rng(4);
+        let mut layer = Lstm::new(2, 2, 2, Activation::Tanh, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn describe_matches_paper_notation() {
+        let mut rng = seeded_rng(5);
+        let layer = Lstm::new(6, 6, 4, Activation::ReLU, &mut rng);
+        assert_eq!(layer.describe(), "6 (LSTM) ReLU");
+    }
+}

@@ -1,0 +1,65 @@
+//! Network layers: dense and the three recurrent families from Table I.
+
+mod dense;
+mod gru;
+mod lstm;
+mod simple_rnn;
+
+pub use dense::Dense;
+pub use gru::Gru;
+pub use lstm::Lstm;
+pub use simple_rnn::SimpleRnn;
+
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// A differentiable layer of a [`Sequential`](crate::network::Sequential)
+/// network.
+///
+/// `forward` caches whatever intermediate state the matching `backward` call
+/// needs; callers must pair them one-to-one (forward, then backward on the
+/// same batch). Gradients accumulate into the layer's [`Param`]s and are
+/// consumed by an [`Optimizer`](crate::optimizer::Optimizer).
+pub trait Layer: Send {
+    /// Computes the layer output for a `batch x input_size` matrix and caches
+    /// the intermediates required by [`Layer::backward`].
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Propagates `grad_output` (`batch x output_size`) backwards, returning
+    /// the gradient with respect to the layer input and accumulating
+    /// parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Layer::forward`].
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// The layer's trainable parameters.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable access to the layer's trainable parameters, in the same order
+    /// as [`Layer::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Width of an input row.
+    fn input_size(&self) -> usize;
+
+    /// Width of an output row.
+    fn output_size(&self) -> usize;
+
+    /// Short human-readable description, e.g. `"96 (Dense) ReLU"`, mirroring
+    /// the notation of the paper's Table I.
+    fn describe(&self) -> String;
+
+    /// Resets all accumulated gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+}

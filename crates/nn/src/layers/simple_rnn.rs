@@ -1,0 +1,216 @@
+//! Simple (Elman) recurrent layer with full backpropagation through time.
+
+use rand::rngs::StdRng;
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::layers::Layer;
+use crate::matrix::Matrix;
+use crate::param::Param;
+
+/// The base recurrent structure from the paper's Table I (`SimpleRNN`).
+///
+/// The layer consumes a window of `timesteps` feature rows flattened into one
+/// input row of width `timesteps * features`, and emits the final hidden
+/// state: `h_t = act(x_t · Wx + h_{t-1} · Wh + b)`.
+#[derive(Debug)]
+pub struct SimpleRnn {
+    wx: Param,
+    wh: Param,
+    bias: Param,
+    activation: Activation,
+    features: usize,
+    timesteps: usize,
+    hidden: usize,
+    /// Cached per-timestep inputs (`timesteps` matrices of `batch x features`).
+    cached_inputs: Vec<Matrix>,
+    /// Cached hidden states `h_0..h_T` (`timesteps + 1` matrices).
+    cached_hidden: Vec<Matrix>,
+}
+
+impl SimpleRnn {
+    /// Creates a SimpleRNN layer over windows of `timesteps` rows of
+    /// `features` values each, with `hidden` recurrent units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        features: usize,
+        hidden: usize,
+        timesteps: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(features > 0 && hidden > 0 && timesteps > 0, "dimensions must be non-zero");
+        let init = match activation {
+            Activation::ReLU => Init::HeUniform,
+            _ => Init::XavierUniform,
+        };
+        SimpleRnn {
+            wx: Param::new(init.sample(features, hidden, rng), "rnn.wx"),
+            // Recurrent weights use Xavier regardless of activation; He-scaled
+            // recurrent matrices explode over long windows with ReLU.
+            wh: Param::new(Init::XavierUniform.sample(hidden, hidden, rng), "rnn.wh"),
+            bias: Param::new(Matrix::zeros(1, hidden), "rnn.b"),
+            activation,
+            features,
+            timesteps,
+            hidden,
+            cached_inputs: Vec::new(),
+            cached_hidden: Vec::new(),
+        }
+    }
+
+    /// Number of recurrent units.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    /// Window length in timesteps.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    fn split_timestep(&self, input: &Matrix, t: usize) -> Matrix {
+        input.slice_cols(t * self.features..(t + 1) * self.features)
+    }
+}
+
+impl Layer for SimpleRnn {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_size(),
+            "SimpleRnn expects {} columns ({} timesteps x {} features)",
+            self.input_size(),
+            self.timesteps,
+            self.features
+        );
+        let batch = input.rows();
+        self.cached_inputs.clear();
+        self.cached_hidden.clear();
+        let mut h = Matrix::zeros(batch, self.hidden);
+        self.cached_hidden.push(h.clone());
+        for t in 0..self.timesteps {
+            let x_t = self.split_timestep(input, t);
+            let pre = x_t
+                .dot(&self.wx.value)
+                .add(&h.dot(&self.wh.value))
+                .add_row_broadcast(&self.bias.value);
+            h = self.activation.apply(&pre);
+            self.cached_inputs.push(x_t);
+            self.cached_hidden.push(h.clone());
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        assert!(
+            !self.cached_hidden.is_empty(),
+            "backward called before forward"
+        );
+        let batch = grad_output.rows();
+        let mut grad_input = Matrix::zeros(batch, self.input_size());
+        let mut dh = grad_output.clone();
+        for t in (0..self.timesteps).rev() {
+            let h_t = &self.cached_hidden[t + 1];
+            let h_prev = &self.cached_hidden[t];
+            let x_t = &self.cached_inputs[t];
+            let grad_pre = dh.hadamard(&self.activation.derivative(h_t));
+            self.wx.accumulate(&x_t.transpose().dot(&grad_pre));
+            self.wh.accumulate(&h_prev.transpose().dot(&grad_pre));
+            self.bias.accumulate(&grad_pre.sum_rows());
+            let dx = grad_pre.dot(&self.wx.value.transpose());
+            for r in 0..batch {
+                for c in 0..self.features {
+                    grad_input[(r, t * self.features + c)] = dx[(r, c)];
+                }
+            }
+            dh = grad_pre.dot(&self.wh.value.transpose());
+        }
+        grad_input
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.bias]
+    }
+
+    fn input_size(&self) -> usize {
+        self.features * self.timesteps
+    }
+
+    fn output_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn describe(&self) -> String {
+        format!("{} (SimpleRNN) {}", self.hidden, self.activation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn forward_output_shape() {
+        let mut rng = seeded_rng(0);
+        let mut layer = SimpleRnn::new(6, 6, 4, Activation::Tanh, &mut rng);
+        let out = layer.forward(&Matrix::zeros(3, 24));
+        assert_eq!(out.shape(), (3, 6));
+    }
+
+    #[test]
+    fn zero_input_zero_bias_gives_zero_hidden_with_tanh() {
+        let mut rng = seeded_rng(1);
+        let mut layer = SimpleRnn::new(2, 3, 5, Activation::Tanh, &mut rng);
+        let out = layer.forward(&Matrix::zeros(1, 10));
+        assert!(out.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn single_timestep_matches_dense_math() {
+        // With one timestep and zero initial hidden state, the RNN reduces to
+        // a dense layer with weights Wx.
+        let mut rng = seeded_rng(2);
+        let mut layer = SimpleRnn::new(2, 2, 1, Activation::Linear, &mut rng);
+        let wx = layer.params()[0].value.clone();
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y, x.dot(&wx));
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut rng = seeded_rng(3);
+        let mut layer = SimpleRnn::new(3, 4, 5, Activation::Tanh, &mut rng);
+        let x = Matrix::filled(2, 15, 0.1);
+        let _ = layer.forward(&x);
+        let gin = layer.backward(&Matrix::filled(2, 4, 1.0));
+        assert_eq!(gin.shape(), (2, 15));
+        assert_eq!(layer.params()[0].grad.shape(), (3, 4));
+        assert_eq!(layer.params()[1].grad.shape(), (4, 4));
+        assert_eq!(layer.params()[2].grad.shape(), (1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut rng = seeded_rng(4);
+        let mut layer = SimpleRnn::new(2, 2, 2, Activation::Tanh, &mut rng);
+        let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn describe_matches_paper_notation() {
+        let mut rng = seeded_rng(5);
+        let layer = SimpleRnn::new(6, 6, 4, Activation::ReLU, &mut rng);
+        assert_eq!(layer.describe(), "6 (SimpleRNN) ReLU");
+    }
+}

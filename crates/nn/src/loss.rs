@@ -1,0 +1,114 @@
+//! Loss functions for regression training.
+
+use crate::matrix::Matrix;
+
+/// Loss function used by the training loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loss {
+    /// Mean squared error: `mean((pred - target)^2)`.
+    MeanSquaredError,
+    /// Mean absolute error: `mean(|pred - target|)`.
+    MeanAbsoluteError,
+}
+
+impl Loss {
+    /// Scalar loss over a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the batch is empty.
+    pub fn compute(self, prediction: &Matrix, target: &Matrix) -> f64 {
+        assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
+        assert!(!prediction.is_empty(), "loss over empty batch");
+        let n = prediction.len() as f64;
+        match self {
+            Loss::MeanSquaredError => {
+                prediction.zip(target, |p, t| (p - t) * (p - t)).sum() / n
+            }
+            Loss::MeanAbsoluteError => prediction.zip(target, |p, t| (p - t).abs()).sum() / n,
+        }
+    }
+
+    /// Gradient of the loss with respect to the prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the batch is empty.
+    pub fn gradient(self, prediction: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
+        assert!(!prediction.is_empty(), "loss over empty batch");
+        let n = prediction.len() as f64;
+        match self {
+            Loss::MeanSquaredError => prediction.zip(target, |p, t| 2.0 * (p - t) / n),
+            Loss::MeanAbsoluteError => prediction.zip(target, |p, t| {
+                if p > t {
+                    1.0 / n
+                } else if p < t {
+                    -1.0 / n
+                } else {
+                    0.0
+                }
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::row_vector(&[1.0, 2.0]);
+        let t = Matrix::row_vector(&[0.0, 4.0]);
+        // ((1)^2 + (2)^2) / 2 = 2.5
+        assert!((Loss::MeanSquaredError.compute(&p, &t) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        let p = Matrix::row_vector(&[1.0, 2.0]);
+        let t = Matrix::row_vector(&[0.0, 4.0]);
+        assert!((Loss::MeanAbsoluteError.compute(&p, &t) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_loss_at_target() {
+        let p = Matrix::row_vector(&[3.0, -1.0]);
+        assert_eq!(Loss::MeanSquaredError.compute(&p, &p), 0.0);
+        assert_eq!(Loss::MeanAbsoluteError.compute(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_numeric() {
+        let p = Matrix::row_vector(&[1.0, -2.0, 0.5]);
+        let t = Matrix::row_vector(&[0.5, 1.0, 0.5]);
+        let g = Loss::MeanSquaredError.gradient(&p, &t);
+        let eps = 1e-6;
+        for k in 0..3 {
+            let mut plus = p.clone();
+            plus.as_mut_slice()[k] += eps;
+            let mut minus = p.clone();
+            minus.as_mut_slice()[k] -= eps;
+            let numeric = (Loss::MeanSquaredError.compute(&plus, &t)
+                - Loss::MeanSquaredError.compute(&minus, &t))
+                / (2.0 * eps);
+            assert!((numeric - g.as_slice()[k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mae_gradient_sign() {
+        let p = Matrix::row_vector(&[2.0, -2.0]);
+        let t = Matrix::row_vector(&[0.0, 0.0]);
+        let g = Loss::MeanAbsoluteError.gradient(&p, &t);
+        assert!(g.as_slice()[0] > 0.0);
+        assert!(g.as_slice()[1] < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss shape mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = Loss::MeanSquaredError.compute(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+}

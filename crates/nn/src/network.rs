@@ -1,0 +1,275 @@
+//! Sequential container composing layers into a trainable network.
+
+use crate::layers::Layer;
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::optimizer::Optimizer;
+
+/// A feed-forward stack of layers trained with backpropagation.
+///
+/// # Examples
+///
+/// ```
+/// use geomancy_nn::activation::Activation;
+/// use geomancy_nn::init::seeded_rng;
+/// use geomancy_nn::layers::Dense;
+/// use geomancy_nn::loss::Loss;
+/// use geomancy_nn::matrix::Matrix;
+/// use geomancy_nn::network::Sequential;
+/// use geomancy_nn::optimizer::Sgd;
+///
+/// let mut rng = seeded_rng(1);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(2, 8, Activation::ReLU, &mut rng));
+/// net.push(Dense::new(8, 1, Activation::Linear, &mut rng));
+///
+/// let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+/// let y = Matrix::from_rows(&[&[0.0], &[2.0]]);
+/// let mut opt = Sgd::new(0.05);
+/// for _ in 0..200 {
+///     net.train_batch(&x, &y, Loss::MeanSquaredError, &mut opt);
+/// }
+/// let loss = Loss::MeanSquaredError.compute(&net.predict(&x), &y);
+/// assert!(loss < 0.05);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("architecture", &self.describe())
+            .field("param_count", &self.param_count())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the end of the stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's input width does not match the previous layer's
+    /// output width.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        if let Some(last) = self.layers.last() {
+            assert_eq!(
+                last.output_size(),
+                layer.input_size(),
+                "layer input {} does not match previous output {}",
+                layer.input_size(),
+                last.output_size()
+            );
+        }
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Width of an input row; `None` for an empty network.
+    pub fn input_size(&self) -> Option<usize> {
+        self.layers.first().map(|l| l.input_size())
+    }
+
+    /// Width of an output row; `None` for an empty network.
+    pub fn output_size(&self) -> Option<usize> {
+        self.layers.last().map(|l| l.output_size())
+    }
+
+    /// Runs a forward pass (also caching intermediates for a backward pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty or the input width is wrong.
+    pub fn predict(&mut self, input: &Matrix) -> Matrix {
+        assert!(!self.layers.is_empty(), "cannot predict with an empty network");
+        let mut out = input.clone();
+        for layer in &mut self.layers {
+            out = layer.forward(&out);
+        }
+        out
+    }
+
+    /// Runs one forward/backward/update cycle over a batch and returns the
+    /// batch loss *before* the update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty or shapes are inconsistent.
+    pub fn train_batch(
+        &mut self,
+        input: &Matrix,
+        target: &Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        let prediction = self.predict(input);
+        let loss_value = loss.compute(&prediction, target);
+        let mut grad = loss.gradient(&prediction, target);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        let mut params: Vec<&mut crate::param::Param> = self
+            .layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect();
+        optimizer.step(&mut params);
+        loss_value
+    }
+
+    /// Computes loss and gradients without applying an optimizer step.
+    ///
+    /// Gradients accumulate into the layers' parameters; callers that only
+    /// want the loss should follow with [`Sequential::zero_grad`]. Exposed
+    /// for gradient-checking tests and custom training loops.
+    pub fn backward_only(&mut self, input: &Matrix, target: &Matrix, loss: Loss) -> f64 {
+        let prediction = self.predict(input);
+        let loss_value = loss.compute(&prediction, target);
+        let mut grad = loss.gradient(&prediction, target);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        loss_value
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Mutable access to every parameter, layer by layer.
+    pub fn params_mut(&mut self) -> Vec<&mut crate::param::Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Architecture description in the paper's Table I notation, e.g.
+    /// `"96 (Dense) ReLU, 48 (Dense) ReLU, 1 (Dense) Linear"`.
+    pub fn describe(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.describe())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// Snapshot of all parameter values (for persistence or rollback).
+    pub fn export_weights(&self) -> Vec<Matrix> {
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(|p| p.value.clone())
+            .collect()
+    }
+
+    /// Restores parameter values from [`Sequential::export_weights`] output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length or any shape does not match.
+    pub fn import_weights(&mut self, weights: &[Matrix]) {
+        let mut params = self.params_mut();
+        assert_eq!(params.len(), weights.len(), "weight snapshot length mismatch");
+        for (p, w) in params.iter_mut().zip(weights) {
+            assert_eq!(p.value.shape(), w.shape(), "weight snapshot shape mismatch");
+            p.value = w.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::seeded_rng;
+    use crate::layers::Dense;
+    use crate::optimizer::Sgd;
+
+    fn two_layer() -> Sequential {
+        let mut rng = seeded_rng(7);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 4, Activation::ReLU, &mut rng));
+        net.push(Dense::new(4, 1, Activation::Linear, &mut rng));
+        net
+    }
+
+    #[test]
+    fn predict_shape() {
+        let mut net = two_layer();
+        let y = net.predict(&Matrix::zeros(5, 3));
+        assert_eq!(y.shape(), (5, 1));
+        assert_eq!(net.input_size(), Some(3));
+        assert_eq!(net.output_size(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match previous output")]
+    fn mismatched_layers_panic() {
+        let mut rng = seeded_rng(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 4, Activation::ReLU, &mut rng));
+        net.push(Dense::new(5, 1, Activation::Linear, &mut rng));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut net = two_layer();
+        let x = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let mut opt = Sgd::new(0.05);
+        let first = net.train_batch(&x, &y, Loss::MeanSquaredError, &mut opt);
+        let mut last = first;
+        for _ in 0..300 {
+            last = net.train_batch(&x, &y, Loss::MeanSquaredError, &mut opt);
+        }
+        assert!(last < first * 0.1, "loss {last} did not drop from {first}");
+    }
+
+    #[test]
+    fn export_import_round_trips() {
+        let mut net = two_layer();
+        let x = Matrix::filled(1, 3, 0.5);
+        let before = net.predict(&x);
+        let snapshot = net.export_weights();
+        // Perturb.
+        let mut opt = Sgd::new(0.5);
+        let y = Matrix::filled(1, 1, 10.0);
+        net.train_batch(&x, &y, Loss::MeanSquaredError, &mut opt);
+        assert_ne!(net.predict(&x), before);
+        net.import_weights(&snapshot);
+        assert_eq!(net.predict(&x), before);
+    }
+
+    #[test]
+    fn describe_lists_layers_in_order() {
+        let net = two_layer();
+        assert_eq!(net.describe(), "4 (Dense) ReLU, 1 (Dense) Linear");
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", two_layer()).is_empty());
+    }
+}

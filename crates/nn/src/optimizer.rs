@@ -1,0 +1,204 @@
+//! Gradient-descent optimizers.
+//!
+//! The paper trains every Table I model with standard gradient descent and
+//! notes that Adam gave *worse* relative error on their data — both are
+//! provided so the comparison can be reproduced.
+
+use crate::param::Param;
+
+/// An optimization algorithm that updates parameters from accumulated
+/// gradients.
+///
+/// Implementations assume they are stepped with the same parameter list (same
+/// order, same shapes) on every call, which `Sequential` guarantees.
+pub trait Optimizer: Send {
+    /// Applies one update step to `params` and clears their gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f64;
+}
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    learning_rate: f64,
+    clip: Option<f64>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not positive.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Sgd {
+            learning_rate,
+            clip: Some(1.0),
+        }
+    }
+
+    /// Sets (or disables, with `None`) per-element gradient clipping.
+    pub fn with_clip(mut self, clip: Option<f64>) -> Self {
+        self.clip = clip;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let mut g = p.grad.clone();
+            if let Some(c) = self.clip {
+                g.clip_inplace(c);
+            }
+            let update = g.scale(-self.learning_rate);
+            p.value.add_assign(&update);
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    learning_rate: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    t: u64,
+    /// First/second moment estimates per parameter, lazily initialized on the
+    /// first step (flattened to match each parameter's buffer).
+    moments: Vec<(Vec<f64>, Vec<f64>)>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `learning_rate` is not positive.
+    pub fn new(learning_rate: f64) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            t: 0,
+            moments: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.moments.is_empty() {
+            self.moments = params
+                .iter()
+                .map(|p| (vec![0.0; p.len()], vec![0.0; p.len()]))
+                .collect();
+        }
+        assert_eq!(
+            self.moments.len(),
+            params.len(),
+            "optimizer stepped with a different parameter list"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (p, (m, v)) in params.iter_mut().zip(&mut self.moments) {
+            assert_eq!(p.len(), m.len(), "parameter shape changed between steps");
+            let values = p.value.as_mut_slice();
+            let grads = p.grad.as_slice();
+            for i in 0..values.len() {
+                let g = grads[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                values[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn param_with_grad(value: f64, grad: f64) -> Param {
+        let mut p = Param::new(Matrix::filled(1, 1, value), "p");
+        p.grad = Matrix::filled(1, 1, grad);
+        p
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let mut p = param_with_grad(1.0, 0.5);
+        let mut opt = Sgd::new(0.1).with_clip(None);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] - 0.95).abs() < 1e-12);
+        assert_eq!(p.grad.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn sgd_clips_large_gradients() {
+        let mut p = param_with_grad(0.0, 100.0);
+        let mut opt = Sgd::new(0.1); // default clip 1.0
+        opt.step(&mut [&mut p]);
+        assert!((p.value.as_slice()[0] + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_first_step_is_learning_rate_sized() {
+        let mut p = param_with_grad(0.0, 0.3);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        // With bias correction the first step is ≈ lr in the gradient direction.
+        assert!((p.value.as_slice()[0] + 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // Minimize f(x) = (x - 3)^2 by feeding gradient 2(x-3).
+        let mut p = Param::new(Matrix::filled(1, 1, 0.0), "x");
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            let x = p.value.as_slice()[0];
+            p.grad = Matrix::filled(1, 1, 2.0 * (x - 3.0));
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.as_slice()[0] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = Param::new(Matrix::filled(1, 1, 10.0), "x");
+        let mut opt = Sgd::new(0.1).with_clip(None);
+        for _ in 0..200 {
+            let x = p.value.as_slice()[0];
+            p.grad = Matrix::filled(1, 1, 2.0 * (x - 3.0));
+            opt.step(&mut [&mut p]);
+        }
+        assert!((p.value.as_slice()[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn zero_learning_rate_panics() {
+        let _ = Sgd::new(0.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Training harness: the 60/20/20 split, epoch loop, and timing used to
+//! produce the paper's Tables II and III.
+
+use std::time::{Duration, Instant};
+
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::metrics::{is_diverged, RelativeError};
+use crate::network::Sequential;
+use crate::optimizer::Optimizer;
+
+/// A dataset partitioned the way the paper trains every model: "the training
+/// set of data is represented by 60% of the available data. The next 20% …
+/// is used in validation. The final 20% … is used as a test set."
+#[derive(Debug, Clone)]
+pub struct DataSplit {
+    /// Training inputs/targets (first 60 %).
+    pub train: (Matrix, Matrix),
+    /// Validation inputs/targets (next 20 %).
+    pub validation: (Matrix, Matrix),
+    /// Test inputs/targets (final 20 %).
+    pub test: (Matrix, Matrix),
+}
+
+impl DataSplit {
+    /// Splits `(inputs, targets)` into 60/20/20 contiguous partitions.
+    ///
+    /// The partitions are contiguous (not shuffled) because the data is a
+    /// time series: shuffling would leak future accesses into training.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts differ or fewer than 5 rows are provided.
+    pub fn split_60_20_20(inputs: Matrix, targets: Matrix) -> Self {
+        assert_eq!(inputs.rows(), targets.rows(), "input/target row mismatch");
+        assert!(inputs.rows() >= 5, "need at least 5 rows to split 60/20/20");
+        let n = inputs.rows();
+        let train_end = n * 60 / 100;
+        let val_end = n * 80 / 100;
+        DataSplit {
+            train: (
+                inputs.slice_rows(0..train_end),
+                targets.slice_rows(0..train_end),
+            ),
+            validation: (
+                inputs.slice_rows(train_end..val_end),
+                targets.slice_rows(train_end..val_end),
+            ),
+            test: (inputs.slice_rows(val_end..n), targets.slice_rows(val_end..n)),
+        }
+    }
+
+    /// Total number of rows across all partitions.
+    pub fn len(&self) -> usize {
+        self.train.0.rows() + self.validation.0.rows() + self.test.0.rows()
+    }
+
+    /// Whether the split holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Configuration of one training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training partition (paper: 200).
+    pub epochs: usize,
+    /// Mini-batch size; the full partition is used when larger than it.
+    pub batch_size: usize,
+    /// Loss minimized during training.
+    pub loss: Loss,
+    /// Stop early when validation loss fails to improve for this many epochs
+    /// (`None` disables early stopping, matching the paper's fixed 200).
+    pub patience: Option<usize>,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 200,
+            batch_size: 64,
+            loss: Loss::MeanSquaredError,
+            patience: None,
+        }
+    }
+}
+
+/// Outcome of a training run, mirroring the columns of Table II.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Wall-clock time spent in the epoch loop.
+    pub training_time: Duration,
+    /// Wall-clock time of a single full-test-set prediction pass.
+    pub prediction_time: Duration,
+    /// Loss on the training partition per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Validation loss after the final epoch.
+    pub validation_loss: f64,
+    /// Absolute relative error statistics on the held-out test partition.
+    pub test_error: RelativeError,
+    /// Whether the model hit the paper's "Diverged" condition on the test set.
+    pub diverged: bool,
+    /// Number of epochs actually run (differs from config under early stop).
+    pub epochs_run: usize,
+}
+
+impl TrainReport {
+    /// Table II-style row: `MARE ± σ` or `Diverged`.
+    pub fn error_cell(&self) -> String {
+        if self.diverged {
+            "Diverged".to_string()
+        } else {
+            self.test_error.to_string()
+        }
+    }
+}
+
+/// Trains `network` on `split.train`, validating each epoch, then evaluates
+/// on `split.test`, reproducing the paper's per-model measurement protocol.
+///
+/// # Panics
+///
+/// Panics if the network is empty or shapes are inconsistent with the split.
+pub fn train(
+    network: &mut Sequential,
+    optimizer: &mut dyn Optimizer,
+    split: &DataSplit,
+    config: &TrainConfig,
+) -> TrainReport {
+    let (train_x, train_y) = &split.train;
+    let (val_x, val_y) = &split.validation;
+    let (test_x, test_y) = &split.test;
+    assert!(train_x.rows() > 0, "empty training partition");
+
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut best_val = f64::INFINITY;
+    let mut stale = 0usize;
+    let mut epochs_run = 0usize;
+    let start = Instant::now();
+    for _ in 0..config.epochs {
+        epochs_run += 1;
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        let bs = config.batch_size.max(1);
+        let mut row = 0;
+        while row < train_x.rows() {
+            let end = (row + bs).min(train_x.rows());
+            let bx = train_x.slice_rows(row..end);
+            let by = train_y.slice_rows(row..end);
+            epoch_loss += network.train_batch(&bx, &by, config.loss, optimizer);
+            batches += 1;
+            row = end;
+        }
+        epoch_losses.push(epoch_loss / batches.max(1) as f64);
+        if let Some(patience) = config.patience {
+            let val_loss = config.loss.compute(&network.predict(val_x), val_y);
+            if val_loss + 1e-12 < best_val {
+                best_val = val_loss;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= patience {
+                    break;
+                }
+            }
+        }
+    }
+    let training_time = start.elapsed();
+    network.zero_grad();
+
+    let validation_loss = config.loss.compute(&network.predict(val_x), val_y);
+
+    let pred_start = Instant::now();
+    let test_pred = network.predict(test_x);
+    let prediction_time = pred_start.elapsed();
+
+    let diverged = is_diverged(&test_pred, test_y);
+    let test_error = RelativeError::compute(&test_pred, test_y);
+    TrainReport {
+        training_time,
+        prediction_time,
+        epoch_losses,
+        validation_loss,
+        test_error,
+        diverged,
+        epochs_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::seeded_rng;
+    use crate::layers::Dense;
+    use crate::optimizer::Sgd;
+
+    fn linear_dataset(n: usize) -> (Matrix, Matrix) {
+        // y = 2*a + 3*b with a, b in [0, 1].
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let a = (i % 10) as f64 / 10.0;
+            let b = (i % 7) as f64 / 7.0;
+            xs.extend_from_slice(&[a, b]);
+            ys.push(2.0 * a + 3.0 * b + 0.5);
+        }
+        (
+            Matrix::from_vec(n, 2, xs),
+            Matrix::from_vec(n, 1, ys),
+        )
+    }
+
+    #[test]
+    fn split_proportions() {
+        let (x, y) = linear_dataset(100);
+        let split = DataSplit::split_60_20_20(x, y);
+        assert_eq!(split.train.0.rows(), 60);
+        assert_eq!(split.validation.0.rows(), 20);
+        assert_eq!(split.test.0.rows(), 20);
+        assert_eq!(split.len(), 100);
+    }
+
+    #[test]
+    fn split_partitions_are_disjoint_and_ordered() {
+        let (x, y) = linear_dataset(10);
+        let split = DataSplit::split_60_20_20(x.clone(), y);
+        assert_eq!(split.train.0.row(0), x.row(0));
+        assert_eq!(split.validation.0.row(0), x.row(6));
+        assert_eq!(split.test.0.row(0), x.row(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5 rows")]
+    fn tiny_split_panics() {
+        let (x, y) = linear_dataset(3);
+        let _ = DataSplit::split_60_20_20(x, y);
+    }
+
+    #[test]
+    fn train_learns_linear_function() {
+        let (x, y) = linear_dataset(200);
+        let split = DataSplit::split_60_20_20(x, y);
+        let mut rng = seeded_rng(11);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 16, Activation::ReLU, &mut rng));
+        net.push(Dense::new(16, 1, Activation::Linear, &mut rng));
+        let mut opt = Sgd::new(0.05);
+        let report = train(
+            &mut net,
+            &mut opt,
+            &split,
+            &TrainConfig {
+                epochs: 150,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(!report.diverged);
+        assert!(
+            report.test_error.mean < 10.0,
+            "test MARE too high: {}",
+            report.test_error
+        );
+        assert_eq!(report.epochs_run, 150);
+        let first = report.epoch_losses.first().copied().unwrap();
+        let last = report.epoch_losses.last().copied().unwrap();
+        assert!(last < first);
+    }
+
+    #[test]
+    fn early_stopping_halts_before_epoch_budget() {
+        let (x, y) = linear_dataset(100);
+        let split = DataSplit::split_60_20_20(x, y);
+        let mut rng = seeded_rng(12);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 4, Activation::Linear, &mut rng));
+        net.push(Dense::new(4, 1, Activation::Linear, &mut rng));
+        let mut opt = Sgd::new(0.05);
+        let report = train(
+            &mut net,
+            &mut opt,
+            &split,
+            &TrainConfig {
+                epochs: 5000,
+                patience: Some(5),
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.epochs_run < 5000);
+    }
+
+    #[test]
+    fn error_cell_formats_divergence() {
+        let report = TrainReport {
+            training_time: Duration::from_secs(1),
+            prediction_time: Duration::from_millis(5),
+            epoch_losses: vec![1.0],
+            validation_loss: 1.0,
+            test_error: RelativeError {
+                mean: 400.0,
+                std_dev: 10.0,
+                signed_mean: 0.0,
+            },
+            diverged: true,
+            epochs_run: 1,
+        };
+        assert_eq!(report.error_cell(), "Diverged");
+    }
+}

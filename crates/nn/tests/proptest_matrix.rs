@@ -1,0 +1,95 @@
+//! Property-based tests of the matrix algebra backing backpropagation.
+
+use geomancy_nn::matrix::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with values in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involutive(m in matrix(4, 7)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit(m in matrix(5, 5)) {
+        let i = Matrix::identity(5);
+        prop_assert_eq!(m.dot(&i), m.clone());
+        prop_assert_eq!(i.dot(&m), m);
+    }
+
+    #[test]
+    fn addition_commutes(a in matrix(3, 4), b in matrix(3, 4)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn hadamard_commutes(a in matrix(3, 4), b in matrix(3, 4)) {
+        prop_assert_eq!(a.hadamard(&b), b.hadamard(&a));
+    }
+
+    #[test]
+    fn sub_of_self_is_zero(a in matrix(2, 6)) {
+        let z = a.sub(&a);
+        prop_assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn dot_distributes_over_addition(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let left = a.dot(&b.add(&c));
+        let right = a.dot(&b).add(&a.dot(&c));
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-9, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_dot(a in matrix(3, 4), b in matrix(4, 2)) {
+        let lhs = a.dot(&b).transpose();
+        let rhs = b.transpose().dot(&a.transpose());
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scale_is_linear(a in matrix(3, 3), s in -5.0..5.0f64) {
+        let doubled = a.scale(s).scale(2.0);
+        let direct = a.scale(2.0 * s);
+        for (l, r) in doubled.as_slice().iter().zip(direct.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sum_rows_preserves_total(a in matrix(4, 5)) {
+        prop_assert!((a.sum_rows().sum() - a.sum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_bounds_all_elements(mut a in matrix(3, 3), limit in 0.1..5.0f64) {
+        a.clip_inplace(limit);
+        prop_assert!(a.as_slice().iter().all(|&x| x.abs() <= limit + 1e-12));
+    }
+
+    #[test]
+    fn slice_rows_then_vstack_round_trips(a in matrix(6, 3), split in 1usize..5) {
+        let top = a.slice_rows(0..split);
+        let bottom = a.slice_rows(split..6);
+        prop_assert_eq!(top.vstack(&bottom), a);
+    }
+
+    #[test]
+    fn row_broadcast_adds_exactly_bias(a in matrix(3, 4), bias in matrix(1, 4)) {
+        let out = a.add_row_broadcast(&bias);
+        for r in 0..3 {
+            for c in 0..4 {
+                prop_assert!((out[(r, c)] - a[(r, c)] - bias[(0, c)]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of activations, losses, and metrics.
+
+use geomancy_nn::activation::Activation;
+use geomancy_nn::loss::Loss;
+use geomancy_nn::matrix::Matrix;
+use geomancy_nn::metrics::RelativeError;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn relu_is_non_negative_and_monotone(a in -100.0..100.0f64, b in -100.0..100.0f64) {
+        let r = Activation::ReLU;
+        prop_assert!(r.apply_scalar(a) >= 0.0);
+        if a <= b {
+            prop_assert!(r.apply_scalar(a) <= r.apply_scalar(b));
+        }
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(a in -50.0..50.0f64, b in -50.0..50.0f64) {
+        let s = Activation::Sigmoid;
+        let ya = s.apply_scalar(a);
+        prop_assert!((0.0..=1.0).contains(&ya));
+        if a < b {
+            prop_assert!(ya <= s.apply_scalar(b));
+        }
+    }
+
+    #[test]
+    fn tanh_is_odd(x in -20.0..20.0f64) {
+        let t = Activation::Tanh;
+        prop_assert!((t.apply_scalar(-x) + t.apply_scalar(x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_derivatives_are_finite_and_bounded(x in -30.0..30.0f64) {
+        for act in [Activation::ReLU, Activation::Linear, Activation::Sigmoid, Activation::Tanh] {
+            let y = act.apply_scalar(x);
+            let d = act.derivative_from_output(y);
+            prop_assert!(d.is_finite());
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&d), "{act:?} derivative {d}");
+        }
+    }
+
+    #[test]
+    fn mse_is_non_negative_and_zero_iff_equal(
+        p in proptest::collection::vec(-100.0..100.0f64, 1..20),
+    ) {
+        let pred = Matrix::row_vector(&p);
+        prop_assert_eq!(Loss::MeanSquaredError.compute(&pred, &pred), 0.0);
+        let shifted = pred.map(|x| x + 1.0);
+        prop_assert!(Loss::MeanSquaredError.compute(&pred, &shifted) > 0.0);
+    }
+
+    #[test]
+    fn mse_is_symmetric(
+        pairs in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..10),
+    ) {
+        let p: Vec<f64> = pairs.iter().map(|x| x.0).collect();
+        let t: Vec<f64> = pairs.iter().map(|x| x.1).collect();
+        let a = Matrix::row_vector(&p);
+        let b = Matrix::row_vector(&t);
+        let ab = Loss::MeanSquaredError.compute(&a, &b);
+        let ba = Loss::MeanSquaredError.compute(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_upper_bounds_are_sane(
+        vals in proptest::collection::vec(0.1..100.0f64, 2..20),
+        scale in 0.5..2.0f64,
+    ) {
+        // Scaling predictions by a constant factor yields a relative error
+        // of exactly |1 - scale| on every element.
+        let target = Matrix::row_vector(&vals);
+        let pred = target.scale(scale);
+        let err = RelativeError::compute(&pred, &target);
+        prop_assert!((err.mean - (1.0 - scale).abs() * 100.0).abs() < 1e-6);
+        prop_assert!(err.std_dev < 1e-6);
+    }
+
+    #[test]
+    fn relative_error_is_scale_invariant(
+        vals in proptest::collection::vec(0.1..100.0f64, 2..20),
+        factor in 0.1..10.0f64,
+    ) {
+        // Multiplying both predictions and targets by the same factor must
+        // not change relative error — the property that justifies training
+        // on max-scaled targets.
+        let target = Matrix::row_vector(&vals);
+        let pred = target.map(|x| x * 1.1);
+        let e1 = RelativeError::compute(&pred, &target);
+        let e2 = RelativeError::compute(&pred.scale(factor), &target.scale(factor));
+        prop_assert!((e1.mean - e2.mean).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! # geomancy-replaydb
+//!
+//! The ReplayDB of the Geomancy reproduction (ISPASS 2020): an append-only,
+//! timestamp-indexed store of performance records "located outside the
+//! target system", from which the DRL engine requests "the X most recent
+//! accesses for each of the storage devices" as training batches.
+//!
+//! The paper backs this component with SQLite; this crate provides the same
+//! query contract over an in-memory log with JSON snapshots ([`persist`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use geomancy_replaydb::ReplayDb;
+//! use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+//!
+//! let mut db = ReplayDb::new();
+//! db.insert(0, AccessRecord {
+//!     access_number: 0,
+//!     fid: FileId(1),
+//!     fsid: DeviceId(0),
+//!     rb: 1024, wb: 0,
+//!     ots: 0, otms: 0, cts: 1, ctms: 0,
+//! });
+//! let batch = db.recent_per_device(100);
+//! assert_eq!(batch[&DeviceId(0)].len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod db;
+pub mod persist;
+pub mod wal;
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+pub use db::{LayoutEvent, ReplayDb, StoredRecord};
+pub use persist::{from_json, load, save, to_json, PersistError};
+pub use wal::{recover, WalWriter};
+
+/// A thread-safe handle to a shared ReplayDB, for deployments where the
+/// interface daemon and the DRL engine run on separate threads.
+pub type SharedReplayDb = Arc<RwLock<ReplayDb>>;
+
+/// Creates an empty shared database.
+pub fn shared() -> SharedReplayDb {
+    Arc::new(RwLock::new(ReplayDb::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+    #[test]
+    fn shared_db_is_usable_across_threads() {
+        let db = shared();
+        let writer = db.clone();
+        let handle = std::thread::spawn(move || {
+            let mut guard = writer.write();
+            guard.insert(
+                0,
+                AccessRecord {
+                    access_number: 0,
+                    fid: FileId(1),
+                    fsid: DeviceId(0),
+                    rb: 10,
+                    wb: 0,
+                    ots: 0,
+                    otms: 0,
+                    cts: 1,
+                    ctms: 0,
+                },
+            );
+        });
+        handle.join().unwrap();
+        assert_eq!(db.read().len(), 1);
+    }
+}

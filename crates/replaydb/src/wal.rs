@@ -1,0 +1,243 @@
+//! Write-ahead persistence: an append-only record log on disk.
+//!
+//! JSON snapshots ([`crate::persist`]) rewrite the whole database; the WAL
+//! appends each batch as it arrives — the durability mode a live
+//! deployment wants (the paper's SQLite plays this role). One JSON object
+//! per line; recovery replays the file and tolerates a truncated tail
+//! (a crash mid-append loses at most the final line).
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use geomancy_sim::record::AccessRecord;
+use serde::{Deserialize, Serialize};
+
+use crate::db::ReplayDb;
+use crate::persist::PersistError;
+
+/// One WAL line: a record and its ingest timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct WalEntry {
+    t: u64,
+    r: AccessRecord,
+}
+
+/// An open write-ahead log.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    appended: u64,
+}
+
+impl WalWriter {
+    /// Opens (creating or appending to) the log at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be opened.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(WalWriter {
+            path,
+            writer: BufWriter::new(file),
+            appended: 0,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Entries appended through this writer.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or serialization error.
+    pub fn append(&mut self, timestamp_micros: u64, record: AccessRecord) -> Result<(), PersistError> {
+        let line = serde_json::to_string(&WalEntry {
+            t: timestamp_micros,
+            r: record,
+        })?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// Appends a batch sharing one timestamp.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or serialization error.
+    pub fn append_batch(
+        &mut self,
+        timestamp_micros: u64,
+        records: &[AccessRecord],
+    ) -> Result<(), PersistError> {
+        for &r in records {
+            self.append(timestamp_micros, r)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered lines to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the flush fails.
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+/// Replays a WAL into a fresh [`ReplayDb`]. A malformed or truncated final
+/// line (crash mid-append) is tolerated; malformed lines elsewhere are
+/// errors. Returns the database and the number of entries replayed.
+///
+/// # Errors
+///
+/// Returns an I/O error, or a format error for corruption before the tail.
+pub fn recover(path: impl AsRef<Path>) -> Result<(ReplayDb, u64), PersistError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut db = ReplayDb::new();
+    let mut replayed = 0u64;
+    let mut pending_error: Option<serde_json::Error> = None;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A parse failure is only acceptable on the *last* non-empty line.
+        if let Some(e) = pending_error.take() {
+            return Err(PersistError::Format(e));
+        }
+        match serde_json::from_str::<WalEntry>(&line) {
+            Ok(entry) => {
+                db.insert(entry.t, entry.r);
+                replayed += 1;
+            }
+            Err(e) => pending_error = Some(e),
+        }
+    }
+    // A trailing partial line is dropped silently (crash tolerance).
+    Ok((db, replayed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::record::{DeviceId, FileId};
+
+    fn rec(n: u64) -> AccessRecord {
+        AccessRecord {
+            access_number: n,
+            fid: FileId(n % 3),
+            fsid: DeviceId((n % 2) as u32),
+            rb: 100 + n,
+            wb: 0,
+            ots: n,
+            otms: 0,
+            cts: n + 1,
+            ctms: 0,
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("geomancy_wal_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let path = temp_path("roundtrip.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = WalWriter::open(&path).unwrap();
+            for n in 0..10 {
+                wal.append(n, rec(n)).unwrap();
+            }
+            wal.flush().unwrap();
+            assert_eq!(wal.appended(), 10);
+        }
+        let (db, replayed) = recover(&path).unwrap();
+        assert_eq!(replayed, 10);
+        assert_eq!(db.len(), 10);
+        assert_eq!(db.recent(1)[0].access_number, 9);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopening_appends_rather_than_truncates() {
+        let path = temp_path("reopen.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = WalWriter::open(&path).unwrap();
+            wal.append_batch(0, &[rec(0), rec(1)]).unwrap();
+            wal.flush().unwrap();
+        }
+        {
+            let mut wal = WalWriter::open(&path).unwrap();
+            wal.append(1, rec(2)).unwrap();
+            wal.flush().unwrap();
+        }
+        let (db, replayed) = recover(&path).unwrap();
+        assert_eq!(replayed, 3);
+        assert_eq!(db.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated() {
+        let path = temp_path("truncated.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = WalWriter::open(&path).unwrap();
+            wal.append(0, rec(0)).unwrap();
+            wal.append(1, rec(1)).unwrap();
+            wal.flush().unwrap();
+        }
+        // Simulate a crash mid-append: chop the file mid-line.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &contents[..contents.len() - 20]).unwrap();
+        let (db, replayed) = recover(&path).unwrap();
+        assert_eq!(replayed, 1);
+        assert_eq!(db.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_before_tail_is_an_error() {
+        let path = temp_path("corrupt.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = WalWriter::open(&path).unwrap();
+            wal.append(0, rec(0)).unwrap();
+            wal.flush().unwrap();
+        }
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.insert_str(0, "not json at all\n");
+        std::fs::write(&path, contents).unwrap();
+        assert!(matches!(recover(&path), Err(PersistError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            recover("/nonexistent/geomancy/file.wal"),
+            Err(PersistError::Io(_))
+        ));
+    }
+}

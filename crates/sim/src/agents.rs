@@ -1,0 +1,240 @@
+//! Monitoring and control agents (§V-A).
+//!
+//! "Each monitoring agent only measures the performance of one storage
+//! device … individually communicating all collected metrics to Geomancy."
+//! The agents here mirror that split: a [`MonitoringAgent`] buffers the
+//! records of a single device and releases them in batches (the paper
+//! groups accesses to lower transfer overhead); a [`ControlAgent`] executes
+//! layout changes against the system with a per-round transfer budget so
+//! migrations cannot monopolize the network.
+
+use crate::cluster::{Layout, StorageSystem};
+use crate::error::SimError;
+use crate::record::{AccessRecord, DeviceId, MovementRecord};
+
+/// Buffers the telemetry of one storage device.
+#[derive(Debug, Clone)]
+pub struct MonitoringAgent {
+    device: DeviceId,
+    buffer: Vec<AccessRecord>,
+    batch_size: usize,
+    total_observed: u64,
+}
+
+impl MonitoringAgent {
+    /// Creates an agent for `device` that releases records in batches of
+    /// `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(device: DeviceId, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        MonitoringAgent {
+            device,
+            buffer: Vec::new(),
+            batch_size,
+            total_observed: 0,
+        }
+    }
+
+    /// Device this agent watches.
+    pub fn device(&self) -> DeviceId {
+        self.device
+    }
+
+    /// Lifetime number of records observed.
+    pub fn total_observed(&self) -> u64 {
+        self.total_observed
+    }
+
+    /// Offers a record; the agent keeps it only if it belongs to its device.
+    /// Returns a full batch when one is ready.
+    pub fn observe(&mut self, record: &AccessRecord) -> Option<Vec<AccessRecord>> {
+        if record.fsid != self.device {
+            return None;
+        }
+        self.buffer.push(*record);
+        self.total_observed += 1;
+        if self.buffer.len() >= self.batch_size {
+            Some(std::mem::take(&mut self.buffer))
+        } else {
+            None
+        }
+    }
+
+    /// Drains whatever is buffered, full batch or not.
+    pub fn drain(&mut self) -> Vec<AccessRecord> {
+        std::mem::take(&mut self.buffer)
+    }
+
+    /// Number of records currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+/// Executes layout updates with a per-round byte budget.
+#[derive(Debug, Clone)]
+pub struct ControlAgent {
+    /// Maximum bytes the agent will move in one round (`None` = unlimited).
+    transfer_budget: Option<u64>,
+}
+
+impl ControlAgent {
+    /// Creates a control agent with an optional per-round transfer budget.
+    ///
+    /// "Geomancy limits how often and how much data can be transferred at
+    /// once without creating a bottleneck in the network."
+    pub fn new(transfer_budget: Option<u64>) -> Self {
+        ControlAgent { transfer_budget }
+    }
+
+    /// The configured budget.
+    pub fn transfer_budget(&self) -> Option<u64> {
+        self.transfer_budget
+    }
+
+    /// Applies `layout` to `system`, skipping moves once the byte budget is
+    /// spent. Returns performed movements and any per-file errors.
+    pub fn apply(
+        &self,
+        system: &mut StorageSystem,
+        layout: &Layout,
+    ) -> (Vec<MovementRecord>, Vec<SimError>) {
+        let mut moved = Vec::new();
+        let mut errors = Vec::new();
+        let mut spent: u64 = 0;
+        for (&fid, &target) in layout {
+            match system.location_of(fid) {
+                Ok(current) if current == target => continue,
+                Ok(_) => {
+                    let size = system.files().get(&fid).map(|m| m.size).unwrap_or(0);
+                    if let Some(budget) = self.transfer_budget {
+                        if spent.saturating_add(size) > budget {
+                            continue;
+                        }
+                    }
+                    match system.move_file(fid, target) {
+                        Ok(m) => {
+                            spent += m.bytes;
+                            moved.push(m);
+                        }
+                        Err(e) => errors.push(e),
+                    }
+                }
+                Err(e) => errors.push(e),
+            }
+        }
+        (moved, errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::FileMeta;
+    use crate::device::DeviceSpec;
+    use crate::record::FileId;
+    use crate::traffic::Constant;
+
+    fn record(fsid: u32, n: u64) -> AccessRecord {
+        AccessRecord {
+            access_number: n,
+            fid: FileId(1),
+            fsid: DeviceId(fsid),
+            rb: 10,
+            wb: 0,
+            ots: 0,
+            otms: 0,
+            cts: 1,
+            ctms: 0,
+        }
+    }
+
+    #[test]
+    fn agent_ignores_other_devices() {
+        let mut agent = MonitoringAgent::new(DeviceId(0), 4);
+        assert!(agent.observe(&record(1, 0)).is_none());
+        assert_eq!(agent.pending(), 0);
+        assert_eq!(agent.total_observed(), 0);
+    }
+
+    #[test]
+    fn agent_batches_its_device() {
+        let mut agent = MonitoringAgent::new(DeviceId(0), 3);
+        assert!(agent.observe(&record(0, 0)).is_none());
+        assert!(agent.observe(&record(0, 1)).is_none());
+        let batch = agent.observe(&record(0, 2)).expect("batch should be full");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(agent.pending(), 0);
+        assert_eq!(agent.total_observed(), 3);
+    }
+
+    #[test]
+    fn drain_returns_partial_batch() {
+        let mut agent = MonitoringAgent::new(DeviceId(0), 10);
+        let _ = agent.observe(&record(0, 0));
+        let drained = agent.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(agent.pending(), 0);
+    }
+
+    fn two_device_system() -> StorageSystem {
+        StorageSystem::builder()
+            .device(
+                DeviceSpec::new("a", 1e9, 1e9, 0.0, 1_000_000_000, 0.0, 0.0),
+                Box::new(Constant(0.0)),
+            )
+            .device(
+                DeviceSpec::new("b", 1e9, 1e9, 0.0, 1_000_000_000, 0.0, 0.0),
+                Box::new(Constant(0.0)),
+            )
+            .build()
+    }
+
+    #[test]
+    fn control_agent_applies_layout() {
+        let mut sys = two_device_system();
+        sys.add_file(
+            FileId(1),
+            FileMeta {
+                size: 100,
+                path: "f".into(),
+            },
+            DeviceId(0),
+        )
+        .unwrap();
+        let mut layout = Layout::new();
+        layout.insert(FileId(1), DeviceId(1));
+        let agent = ControlAgent::new(None);
+        let (moved, errors) = agent.apply(&mut sys, &layout);
+        assert_eq!(moved.len(), 1);
+        assert!(errors.is_empty());
+        assert_eq!(sys.location_of(FileId(1)).unwrap(), DeviceId(1));
+    }
+
+    #[test]
+    fn control_agent_respects_budget() {
+        let mut sys = two_device_system();
+        for i in 0..4 {
+            sys.add_file(
+                FileId(i),
+                FileMeta {
+                    size: 100,
+                    path: format!("f{i}"),
+                },
+                DeviceId(0),
+            )
+            .unwrap();
+        }
+        let mut layout = Layout::new();
+        for i in 0..4 {
+            layout.insert(FileId(i), DeviceId(1));
+        }
+        // Budget of 250 bytes fits only two 100-byte files.
+        let agent = ControlAgent::new(Some(250));
+        let (moved, _) = agent.apply(&mut sys, &layout);
+        assert_eq!(moved.len(), 2);
+    }
+}

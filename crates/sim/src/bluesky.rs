@@ -1,0 +1,344 @@
+//! Preset model of PNNL's Bluesky node — the live system of the paper's
+//! evaluation (§III).
+//!
+//! Six mounts with distinct personalities:
+//!
+//! | Mount   | Backing            | Character |
+//! |---------|--------------------|-----------|
+//! | people  | NFS over 10 GbE    | shared home; heaviest external traffic, long stalls |
+//! | var     | RAID 1             | modest, moderately shared |
+//! | tmp     | RAID 1             | modest, lightly shared |
+//! | file0   | RAID 5             | fastest reads, large read/write imbalance, high variance |
+//! | pic     | Lustre             | fast but heavily shared |
+//! | USBtmp  | external USB HDD   | slowest, almost private, very stable |
+//!
+//! Bandwidth constants are chosen so the *averages observed under load*
+//! land near the paper's Table IV (file0 ≈ 7.6 GB/s, pic ≈ 2.0, people ≈
+//! 1.7, tmp ≈ 1.65, var ≈ 1.26, USBtmp ≈ 0.63 GB/s) while preserving the
+//! ordering and the RAID-5 write penalty that trips up LRU (§VII).
+
+use crate::cluster::{StorageSystem, StorageSystemBuilder};
+use crate::device::DeviceSpec;
+use crate::record::DeviceId;
+use crate::traffic::{Bursty, Composite, Constant, Diurnal, TrafficModel};
+
+const GB: f64 = 1e9;
+const TB: u64 = 1_000_000_000_000;
+
+/// Index of each Bluesky mount in the builder (and thus its [`DeviceId`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mount {
+    /// NFS home directory.
+    People,
+    /// RAID 1 temporary mount.
+    Var,
+    /// RAID 1 temporary mount.
+    Tmp,
+    /// RAID 5 mount — the fast one.
+    File0,
+    /// Lustre file system.
+    Pic,
+    /// Externally mounted USB HDD.
+    UsbTmp,
+}
+
+impl Mount {
+    /// All mounts in device-id order.
+    pub const ALL: [Mount; 6] = [
+        Mount::People,
+        Mount::Var,
+        Mount::Tmp,
+        Mount::File0,
+        Mount::Pic,
+        Mount::UsbTmp,
+    ];
+
+    /// The mount's [`DeviceId`] in a system built by [`bluesky_system`].
+    pub fn device_id(self) -> DeviceId {
+        DeviceId(self as u32)
+    }
+
+    /// Mount name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mount::People => "people",
+            Mount::Var => "var",
+            Mount::Tmp => "tmp",
+            Mount::File0 => "file0",
+            Mount::Pic => "pic",
+            Mount::UsbTmp => "USBtmp",
+        }
+    }
+}
+
+impl std::fmt::Display for Mount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn people_spec() -> (DeviceSpec, Box<dyn TrafficModel>) {
+    (
+        DeviceSpec::new("people", 3.2 * GB, 2.4 * GB, 0.002, 20 * TB, 2.5, 0.18),
+        Box::new(Composite(vec![
+            Box::new(Diurnal {
+                base: 0.15,
+                amplitude: 0.8,
+                period_secs: 600.0,
+                phase_secs: 0.0,
+            }),
+            // Heavy storms: other users running I/O-heavy jobs on the shared
+            // home server.
+            Box::new(Bursty {
+                seed: 0xB1E5,
+                window_secs: 45.0,
+                burst_probability: 0.35,
+                magnitude_min: 1.0,
+                magnitude_max: 4.0,
+            }),
+            // Slow regime shifts: other users' multi-hour I/O campaigns.
+            // These are what make *adaptive* placement pay off — a layout
+            // tuned before a campaign starts is stale once it lands.
+            Box::new(Bursty {
+                seed: 0xB1E5_0002,
+                window_secs: 1_800.0,
+                burst_probability: 0.4,
+                magnitude_min: 1.0,
+                magnitude_max: 2.5,
+            }),
+        ])),
+    )
+}
+
+fn var_spec() -> (DeviceSpec, Box<dyn TrafficModel>) {
+    (
+        DeviceSpec::new("var", 1.9 * GB, 1.5 * GB, 0.0008, 2 * TB, 2.0, 0.12),
+        Box::new(Composite(vec![
+            Box::new(Constant(0.1)),
+            Box::new(Bursty {
+                seed: 0x7A2,
+                window_secs: 60.0,
+                burst_probability: 0.2,
+                magnitude_min: 0.3,
+                magnitude_max: 1.2,
+            }),
+            Box::new(Bursty {
+                seed: 0x7A2_0002,
+                window_secs: 2_100.0,
+                burst_probability: 0.3,
+                magnitude_min: 0.8,
+                magnitude_max: 2.0,
+            }),
+        ])),
+    )
+}
+
+fn tmp_spec() -> (DeviceSpec, Box<dyn TrafficModel>) {
+    (
+        DeviceSpec::new("tmp", 2.4 * GB, 1.9 * GB, 0.0008, 2 * TB, 2.0, 0.12),
+        Box::new(Composite(vec![
+            Box::new(Constant(0.05)),
+            Box::new(Bursty {
+                seed: 0x73,
+                window_secs: 70.0,
+                burst_probability: 0.15,
+                magnitude_min: 0.2,
+                magnitude_max: 1.0,
+            }),
+            Box::new(Bursty {
+                seed: 0x73_0002,
+                window_secs: 1_500.0,
+                burst_probability: 0.25,
+                magnitude_min: 0.8,
+                magnitude_max: 2.0,
+            }),
+        ])),
+    )
+}
+
+fn file0_spec() -> (DeviceSpec, Box<dyn TrafficModel>) {
+    (
+        // RAID 5: stellar reads, writes pay the parity penalty — the
+        // "large imbalance between read- and write-speeds" the paper says
+        // defeats LRU.
+        DeviceSpec::new("file0", 10.5 * GB, 2.2 * GB, 0.0004, 50 * TB, 5.0, 0.25),
+        Box::new(Composite(vec![
+            Box::new(Constant(0.02)),
+            // Rare but violent bursts give file0 its huge variance
+            // (Table IV: 7.61 ± 13.73 GB/s).
+            Box::new(Bursty {
+                seed: 0xF11E,
+                window_secs: 120.0,
+                burst_probability: 0.08,
+                magnitude_min: 2.0,
+                magnitude_max: 6.0,
+            }),
+        ])),
+    )
+}
+
+fn pic_spec() -> (DeviceSpec, Box<dyn TrafficModel>) {
+    (
+        DeviceSpec::new("pic", 4.2 * GB, 3.4 * GB, 0.0015, 100 * TB, 3.0, 0.2),
+        Box::new(Composite(vec![
+            Box::new(Diurnal {
+                base: 0.2,
+                amplitude: 0.6,
+                period_secs: 900.0,
+                phase_secs: 300.0,
+            }),
+            Box::new(Bursty {
+                seed: 0x91C,
+                window_secs: 50.0,
+                burst_probability: 0.3,
+                magnitude_min: 0.8,
+                magnitude_max: 3.0,
+            }),
+            Box::new(Bursty {
+                seed: 0x91C_0002,
+                window_secs: 2_400.0,
+                burst_probability: 0.35,
+                magnitude_min: 1.0,
+                magnitude_max: 2.5,
+            }),
+        ])),
+    )
+}
+
+fn usbtmp_spec() -> (DeviceSpec, Box<dyn TrafficModel>) {
+    (
+        DeviceSpec::new("USBtmp", 0.72 * GB, 0.55 * GB, 0.006, TB, 1.5, 0.06),
+        Box::new(Constant(0.05)),
+    )
+}
+
+/// Builds the six-mount Bluesky system with the given noise seed.
+///
+/// # Examples
+///
+/// ```
+/// use geomancy_sim::bluesky::{bluesky_system, Mount};
+///
+/// let sys = bluesky_system(42);
+/// assert_eq!(sys.devices().len(), 6);
+/// assert_eq!(sys.device(Mount::File0.device_id()).unwrap().name(), "file0");
+/// ```
+pub fn bluesky_system(seed: u64) -> StorageSystem {
+    bluesky_builder().seed(seed).build()
+}
+
+/// The Bluesky device set as a builder, for callers that want to tweak it.
+pub fn bluesky_builder() -> StorageSystemBuilder {
+    let mut b = StorageSystem::builder();
+    for mount in Mount::ALL {
+        let (spec, traffic) = match mount {
+            Mount::People => people_spec(),
+            Mount::Var => var_spec(),
+            Mount::Tmp => tmp_spec(),
+            Mount::File0 => file0_spec(),
+            Mount::Pic => pic_spec(),
+            Mount::UsbTmp => usbtmp_spec(),
+        };
+        b = b.device(spec, traffic);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::FileMeta;
+    use crate::record::FileId;
+
+    #[test]
+    fn six_mounts_in_declared_order() {
+        let sys = bluesky_system(0);
+        let names: Vec<&str> = sys.devices().iter().map(|d| d.name()).collect();
+        assert_eq!(names, ["people", "var", "tmp", "file0", "pic", "USBtmp"]);
+    }
+
+    #[test]
+    fn mount_ids_match_positions() {
+        let sys = bluesky_system(0);
+        for mount in Mount::ALL {
+            assert_eq!(sys.device(mount.device_id()).unwrap().name(), mount.name());
+        }
+    }
+
+    #[test]
+    fn file0_fastest_usbtmp_slowest_uncontended() {
+        let sys = bluesky_system(0);
+        let read_bw = |m: Mount| sys.device(m.device_id()).unwrap().spec().read_bandwidth;
+        for m in Mount::ALL {
+            if m != Mount::File0 {
+                assert!(read_bw(Mount::File0) > read_bw(m), "file0 not fastest vs {m}");
+            }
+            if m != Mount::UsbTmp {
+                assert!(read_bw(Mount::UsbTmp) < read_bw(m), "USBtmp not slowest vs {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn file0_has_raid5_write_penalty() {
+        let sys = bluesky_system(0);
+        let spec = sys.device(Mount::File0.device_id()).unwrap().spec().clone();
+        assert!(
+            spec.read_bandwidth / spec.write_bandwidth > 3.0,
+            "expected read/write imbalance on RAID-5"
+        );
+    }
+
+    #[test]
+    fn throughput_ordering_under_light_use() {
+        let mut sys = bluesky_system(3);
+        // One small file per mount, read once each (light load so external
+        // traffic dominates less).
+        for (i, m) in Mount::ALL.iter().enumerate() {
+            sys.add_file(
+                FileId(i as u64),
+                FileMeta {
+                    size: 50_000_000,
+                    path: format!("f{i}.root"),
+                },
+                m.device_id(),
+            )
+            .unwrap();
+        }
+        let mut tp = Vec::new();
+        for (i, m) in Mount::ALL.iter().enumerate() {
+            // Average several reads to dampen noise.
+            let mean: f64 = (0..5)
+                .map(|_| sys.read_file(FileId(i as u64), None).unwrap().throughput())
+                .sum::<f64>()
+                / 5.0;
+            tp.push((*m, mean));
+        }
+        let file0 = tp.iter().find(|(m, _)| *m == Mount::File0).unwrap().1;
+        let usb = tp.iter().find(|(m, _)| *m == Mount::UsbTmp).unwrap().1;
+        for (m, v) in &tp {
+            if *m != Mount::File0 {
+                assert!(file0 > *v, "file0 {file0:.3e} not fastest vs {m} {v:.3e}");
+            }
+            if *m != Mount::UsbTmp {
+                assert!(usb < *v, "USBtmp {usb:.3e} not slowest vs {m} {v:.3e}");
+            }
+        }
+    }
+
+    #[test]
+    fn people_sees_heavier_external_traffic_than_usbtmp() {
+        let mut sys = bluesky_system(1);
+        let mut people_total = 0.0;
+        let mut usb_total = 0.0;
+        for _ in 0..500 {
+            sys.idle(7.0);
+            people_total += sys.external_load(Mount::People.device_id()).unwrap();
+            usb_total += sys.external_load(Mount::UsbTmp.device_id()).unwrap();
+        }
+        assert!(
+            people_total > usb_total * 3.0,
+            "people {people_total} should dwarf USBtmp {usb_total}"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Simulated wall clock with millisecond resolution.
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically advancing simulated clock.
+///
+/// Time is tracked in integer microseconds so repeated small advances never
+/// lose precision; accessors convert to the second/millisecond split the
+/// paper's records use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SimClock {
+    micros: u64,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        SimClock { micros: 0 }
+    }
+
+    /// Creates a clock at an arbitrary starting epoch, in seconds.
+    pub fn starting_at_secs(secs: u64) -> Self {
+        SimClock {
+            micros: secs * 1_000_000,
+        }
+    }
+
+    /// Current time in seconds as a float.
+    pub fn now_secs(&self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// Current time in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// Current time split into `(seconds, millisecond remainder)` — the
+    /// `(ts, tms)` encoding the paper's records use.
+    pub fn now_secs_ms(&self) -> (u64, u16) {
+        let ms_total = self.micros / 1000;
+        ((ms_total / 1000), (ms_total % 1000) as u16)
+    }
+
+    /// Advances the clock by a (non-negative, finite) number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or infinite.
+    pub fn advance_secs(&mut self, secs: f64) {
+        assert!(secs.is_finite() && secs >= 0.0, "clock must advance forward");
+        self.micros += (secs * 1e6).round() as u64;
+    }
+
+    /// Advances the clock by whole microseconds.
+    pub fn advance_micros(&mut self, micros: u64) {
+        self.micros += micros;
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = SimClock::new();
+        assert_eq!(c.now_micros(), 0);
+        assert_eq!(c.now_secs_ms(), (0, 0));
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = SimClock::new();
+        c.advance_secs(1.5);
+        c.advance_secs(0.25);
+        assert!((c.now_secs() - 1.75).abs() < 1e-9);
+        assert_eq!(c.now_secs_ms(), (1, 750));
+    }
+
+    #[test]
+    fn sub_millisecond_advances_do_not_vanish() {
+        let mut c = SimClock::new();
+        for _ in 0..1000 {
+            c.advance_secs(0.0001); // 100 µs each
+        }
+        assert!((c.now_secs() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn starting_epoch() {
+        let c = SimClock::starting_at_secs(1_500_000_000);
+        assert_eq!(c.now_secs_ms(), (1_500_000_000, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "advance forward")]
+    fn negative_advance_panics() {
+        SimClock::new().advance_secs(-1.0);
+    }
+}

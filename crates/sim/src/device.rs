@@ -1,0 +1,335 @@
+//! Storage device performance model.
+//!
+//! Each device has uncontended read/write bandwidths, a per-access latency,
+//! and two contention inputs: *external* load (other users, from a
+//! [`TrafficModel`](crate::traffic::TrafficModel)) and *self* load (recent
+//! utilization by the monitored workload itself). Effective bandwidth is
+//!
+//! ```text
+//! eff = base / (1 + self_sensitivity·utilization + external_load) · noise
+//! ```
+//!
+//! so cramming every file onto the fastest mount saturates it — the trade-off
+//! Geomancy's model has to learn (§VII: "if we were to move all files onto
+//! files0, its performance would suffer greatly").
+
+use rand::rngs::StdRng;
+use rand_distr_normal::sample_standard_normal;
+
+use crate::record::DeviceId;
+
+/// Static description of a storage device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Mount name, e.g. `"file0"`.
+    pub name: String,
+    /// Uncontended sequential read bandwidth, bytes/second.
+    pub read_bandwidth: f64,
+    /// Uncontended sequential write bandwidth, bytes/second.
+    pub write_bandwidth: f64,
+    /// Fixed per-access setup latency, seconds.
+    pub latency_secs: f64,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// How sharply the device degrades under its own utilization
+    /// (dimensionless multiplier on the utilization fraction).
+    pub self_sensitivity: f64,
+    /// Standard deviation of multiplicative log-normal bandwidth noise.
+    pub noise_sigma: f64,
+}
+
+impl DeviceSpec {
+    /// Convenience constructor with validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bandwidth, latency, or capacity is non-positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        read_bandwidth: f64,
+        write_bandwidth: f64,
+        latency_secs: f64,
+        capacity: u64,
+        self_sensitivity: f64,
+        noise_sigma: f64,
+    ) -> Self {
+        assert!(read_bandwidth > 0.0 && write_bandwidth > 0.0, "bandwidths must be positive");
+        assert!(latency_secs >= 0.0, "latency must be non-negative");
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(self_sensitivity >= 0.0 && noise_sigma >= 0.0, "sensitivities must be non-negative");
+        DeviceSpec {
+            name: name.into(),
+            read_bandwidth,
+            write_bandwidth,
+            latency_secs,
+            capacity,
+            self_sensitivity,
+            noise_sigma,
+        }
+    }
+}
+
+/// Runtime state of a storage device.
+#[derive(Debug, Clone)]
+pub struct Device {
+    id: DeviceId,
+    spec: DeviceSpec,
+    used_bytes: u64,
+    online: bool,
+    /// Exponentially decaying accumulator of busy seconds.
+    busy_accum: f64,
+    /// Simulated time of the last busy-accumulator update.
+    busy_updated_at: f64,
+    /// Decay time constant for the utilization tracker, seconds.
+    utilization_tau: f64,
+    /// Lifetime bytes served (reads + writes), for usage accounting.
+    bytes_served: u64,
+}
+
+impl Device {
+    /// Creates an online, empty device.
+    pub fn new(id: DeviceId, spec: DeviceSpec) -> Self {
+        Device {
+            id,
+            spec,
+            used_bytes: 0,
+            online: true,
+            busy_accum: 0.0,
+            busy_updated_at: 0.0,
+            utilization_tau: 20.0,
+            bytes_served: 0,
+        }
+    }
+
+    /// Device identifier.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// Static spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Mount name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Whether the device is currently reachable (Action Checker input).
+    pub fn is_online(&self) -> bool {
+        self.online
+    }
+
+    /// Marks the device online/offline (fault injection).
+    pub fn set_online(&mut self, online: bool) {
+        self.online = online;
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Lifetime bytes served (for Table IV's usage column).
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
+    /// Whether `bytes` more would still fit.
+    pub fn has_capacity_for(&self, bytes: u64) -> bool {
+        self.used_bytes.saturating_add(bytes) <= self.spec.capacity
+    }
+
+    /// Accounts for a file placed on the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file does not fit.
+    pub fn place_bytes(&mut self, bytes: u64) {
+        assert!(self.has_capacity_for(bytes), "device {} over capacity", self.spec.name);
+        self.used_bytes += bytes;
+    }
+
+    /// Accounts for a file removed from the device.
+    pub fn remove_bytes(&mut self, bytes: u64) {
+        self.used_bytes = self.used_bytes.saturating_sub(bytes);
+    }
+
+    /// Fraction of recent time the device was busy serving the monitored
+    /// workload, decayed to simulated time `t_secs`. Always `>= 0`.
+    pub fn utilization(&self, t_secs: f64) -> f64 {
+        let dt = (t_secs - self.busy_updated_at).max(0.0);
+        let decayed = self.busy_accum * (-dt / self.utilization_tau).exp();
+        decayed / self.utilization_tau
+    }
+
+    /// Records `busy_secs` of service ending at time `t_secs`.
+    pub fn record_busy(&mut self, t_secs: f64, busy_secs: f64) {
+        let dt = (t_secs - self.busy_updated_at).max(0.0);
+        self.busy_accum = self.busy_accum * (-dt / self.utilization_tau).exp() + busy_secs.max(0.0);
+        self.busy_updated_at = t_secs;
+    }
+
+    /// Contention denominator at `t_secs` under `external_load`.
+    fn contention(&self, t_secs: f64, external_load: f64) -> f64 {
+        1.0 + self.spec.self_sensitivity * self.utilization(t_secs) + external_load.max(0.0)
+    }
+
+    /// Effective read bandwidth (no noise), bytes/second.
+    pub fn effective_read_bandwidth(&self, t_secs: f64, external_load: f64) -> f64 {
+        self.spec.read_bandwidth / self.contention(t_secs, external_load)
+    }
+
+    /// Effective write bandwidth (no noise), bytes/second.
+    pub fn effective_write_bandwidth(&self, t_secs: f64, external_load: f64) -> f64 {
+        self.spec.write_bandwidth / self.contention(t_secs, external_load)
+    }
+
+    /// Computes the service time of an access of `rb` read and `wb` written
+    /// bytes starting at `t_secs` under `external_load`, applies bandwidth
+    /// noise, and updates the utilization tracker and served-bytes counter.
+    ///
+    /// Returns the total seconds from open to close.
+    pub fn serve(
+        &mut self,
+        rb: u64,
+        wb: u64,
+        t_secs: f64,
+        external_load: f64,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let noise = if self.spec.noise_sigma > 0.0 {
+            (self.spec.noise_sigma * sample_standard_normal(rng)).exp()
+        } else {
+            1.0
+        };
+        let read_bw = self.effective_read_bandwidth(t_secs, external_load) * noise;
+        let write_bw = self.effective_write_bandwidth(t_secs, external_load) * noise;
+        let transfer = rb as f64 / read_bw + wb as f64 / write_bw;
+        let total = self.spec.latency_secs + transfer;
+        self.record_busy(t_secs + total, total);
+        self.bytes_served += rb + wb;
+        total
+    }
+}
+
+/// Minimal standard-normal sampler (Box–Muller) so the crate only needs the
+/// `rand` core API. Lives in a private module to keep the namespace clean.
+mod rand_distr_normal {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Draws one standard normal variate via Box–Muller.
+    pub fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec::new("test", 1e9, 5e8, 0.001, 10_000_000_000, 2.0, 0.0)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn uncontended_bandwidth_equals_base() {
+        let d = Device::new(DeviceId(0), spec());
+        assert!((d.effective_read_bandwidth(0.0, 0.0) - 1e9).abs() < 1e-3);
+        assert!((d.effective_write_bandwidth(0.0, 0.0) - 5e8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn external_load_halves_bandwidth() {
+        let d = Device::new(DeviceId(0), spec());
+        assert!((d.effective_read_bandwidth(0.0, 1.0) - 5e8).abs() < 1e-3);
+    }
+
+    #[test]
+    fn service_time_includes_latency_and_transfer() {
+        let mut d = Device::new(DeviceId(0), spec());
+        // 1e9 bytes read at 1e9 B/s = 1 s + 1 ms latency.
+        let t = d.serve(1_000_000_000, 0, 0.0, 0.0, &mut rng());
+        assert!((t - 1.001).abs() < 1e-9);
+        assert_eq!(d.bytes_served(), 1_000_000_000);
+    }
+
+    #[test]
+    fn utilization_rises_with_service_and_decays() {
+        let mut d = Device::new(DeviceId(0), spec());
+        let _ = d.serve(1_000_000_000, 0, 0.0, 0.0, &mut rng());
+        let busy_now = d.utilization(1.001);
+        assert!(busy_now > 0.0);
+        let later = d.utilization(1.001 + 100.0);
+        assert!(later < busy_now * 0.1, "utilization failed to decay: {later}");
+    }
+
+    #[test]
+    fn hammering_a_device_slows_it_down() {
+        let mut d = Device::new(DeviceId(0), spec());
+        let mut r = rng();
+        let first = d.serve(100_000_000, 0, 0.0, 0.0, &mut r);
+        let mut t = first;
+        let mut last = first;
+        for _ in 0..20 {
+            last = d.serve(100_000_000, 0, t, 0.0, &mut r);
+            t += last;
+        }
+        assert!(last > first * 1.2, "no self-contention: first {first}, last {last}");
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let mut d = Device::new(DeviceId(0), spec());
+        assert!(d.has_capacity_for(10_000_000_000));
+        d.place_bytes(9_000_000_000);
+        assert!(!d.has_capacity_for(2_000_000_000));
+        d.remove_bytes(5_000_000_000);
+        assert_eq!(d.used_bytes(), 4_000_000_000);
+        assert!(d.has_capacity_for(2_000_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn overfilling_panics() {
+        let mut d = Device::new(DeviceId(0), spec());
+        d.place_bytes(20_000_000_000);
+    }
+
+    #[test]
+    fn online_toggle() {
+        let mut d = Device::new(DeviceId(0), spec());
+        assert!(d.is_online());
+        d.set_online(false);
+        assert!(!d.is_online());
+    }
+
+    #[test]
+    fn noise_perturbs_service_time() {
+        let mut noisy_spec = spec();
+        noisy_spec.noise_sigma = 0.2;
+        let mut d1 = Device::new(DeviceId(0), noisy_spec.clone());
+        let mut d2 = Device::new(DeviceId(0), noisy_spec);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let t1 = d1.serve(1_000_000, 0, 0.0, 0.0, &mut r1);
+        let t2 = d2.serve(1_000_000, 0, 0.0, 0.0, &mut r2);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidths must be positive")]
+    fn invalid_spec_panics() {
+        let _ = DeviceSpec::new("bad", 0.0, 1.0, 0.0, 1, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulator error type.
+
+use crate::record::{DeviceId, FileId};
+
+/// Errors returned by [`StorageSystem`](crate::cluster::StorageSystem)
+/// operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The file id is not registered in the system.
+    UnknownFile(FileId),
+    /// The device id is not part of the system.
+    UnknownDevice(DeviceId),
+    /// The target device is offline.
+    DeviceOffline(DeviceId),
+    /// The target device cannot hold the file.
+    InsufficientCapacity {
+        /// Device that was asked to hold the file.
+        device: DeviceId,
+        /// Bytes that did not fit.
+        needed: u64,
+    },
+    /// A file with this id already exists.
+    DuplicateFile(FileId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownFile(fid) => write!(f, "unknown file {fid}"),
+            SimError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            SimError::DeviceOffline(d) => write!(f, "device {d} is offline"),
+            SimError::InsufficientCapacity { device, needed } => {
+                write!(f, "device {device} cannot hold {needed} more bytes")
+            }
+            SimError::DuplicateFile(fid) => write!(f, "file {fid} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = SimError::UnknownFile(FileId(3));
+        assert_eq!(e.to_string(), "unknown file file3");
+        let e = SimError::InsufficientCapacity {
+            device: DeviceId(1),
+            needed: 10,
+        };
+        assert!(e.to_string().contains("cannot hold 10"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::UnknownDevice(DeviceId(9)));
+        assert!(!e.to_string().is_empty());
+    }
+}

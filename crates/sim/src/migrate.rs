@@ -1,0 +1,281 @@
+//! Incremental (chunked) file migration — the paper's §VI future work
+//! ("Currently Geomancy moves whole files in one movement; however, in the
+//! future, we will incrementally move a file to address parallel accesses").
+//!
+//! A [`ChunkedMigration`] copies a file chunk by chunk; between chunks the
+//! workload keeps reading the source copy, and the migration can be
+//! abandoned at any point without losing the file. Only once every chunk
+//! has landed does the placement flip to the destination.
+
+use crate::cluster::StorageSystem;
+use crate::error::SimError;
+use crate::record::{DeviceId, FileId, MovementRecord};
+
+/// State of an in-progress chunked migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationState {
+    /// Chunks remain to be copied.
+    InProgress,
+    /// All chunks copied; placement flipped to the destination.
+    Complete,
+    /// Abandoned; the source copy remains authoritative.
+    Aborted,
+}
+
+/// A file migration that proceeds one chunk at a time.
+#[derive(Debug)]
+pub struct ChunkedMigration {
+    fid: FileId,
+    to: DeviceId,
+    chunk_bytes: u64,
+    copied: u64,
+    total: u64,
+    cost_secs: f64,
+    state: MigrationState,
+}
+
+impl ChunkedMigration {
+    /// Plans a migration of `fid` to `to` in chunks of `chunk_bytes`.
+    ///
+    /// The destination is validated and the file's size reserved up front,
+    /// so the copy cannot fail mid-way for capacity reasons.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown files/devices, offline destinations, or lack of
+    /// capacity at the destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_bytes` is zero.
+    pub fn start(
+        system: &mut StorageSystem,
+        fid: FileId,
+        to: DeviceId,
+        chunk_bytes: u64,
+    ) -> Result<Self, SimError> {
+        assert!(chunk_bytes > 0, "chunk size must be non-zero");
+        let from = system.location_of(fid)?;
+        let total = system.files().get(&fid).ok_or(SimError::UnknownFile(fid))?.size;
+        if to == from {
+            return Ok(ChunkedMigration {
+                fid,
+                to,
+                chunk_bytes,
+                copied: total,
+                total,
+                cost_secs: 0.0,
+                state: MigrationState::Complete,
+            });
+        }
+        {
+            let dest = system.device(to)?;
+            if !dest.is_online() {
+                return Err(SimError::DeviceOffline(to));
+            }
+            if !dest.has_capacity_for(total) {
+                return Err(SimError::InsufficientCapacity {
+                    device: to,
+                    needed: total,
+                });
+            }
+        }
+        // Reserve space at the destination for the in-flight copy.
+        system.device_mut(to)?.place_bytes(total);
+        Ok(ChunkedMigration {
+            fid,
+            to,
+            chunk_bytes,
+            copied: 0,
+            total,
+            cost_secs: 0.0,
+            state: MigrationState::InProgress,
+        })
+    }
+
+    /// File being migrated.
+    pub fn fid(&self) -> FileId {
+        self.fid
+    }
+
+    /// Bytes copied so far.
+    pub fn copied(&self) -> u64 {
+        self.copied
+    }
+
+    /// Total bytes to copy.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction complete in `[0, 1]`.
+    pub fn progress(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.copied as f64 / self.total as f64
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> MigrationState {
+        self.state
+    }
+
+    /// Copies the next chunk, advancing the system clock by its transfer
+    /// time. On the final chunk the placement flips to the destination and
+    /// a [`MovementRecord`] is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownFile`] if the file vanished mid-flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the migration completed or aborted.
+    pub fn step(&mut self, system: &mut StorageSystem) -> Result<Option<MovementRecord>, SimError> {
+        assert_eq!(
+            self.state,
+            MigrationState::InProgress,
+            "step called on a finished migration"
+        );
+        let from = system.location_of(self.fid)?;
+        let chunk = self.chunk_bytes.min(self.total - self.copied);
+        let cost = system.transfer_cost(from, self.to, chunk)?;
+        self.cost_secs += cost;
+        self.copied += chunk;
+        if self.copied >= self.total {
+            // Flip placement: release the source copy, keep the reserved
+            // destination copy.
+            system.device_mut(from)?.remove_bytes(self.total);
+            let record = system.finish_reserved_move(self.fid, from, self.to, self.total, self.cost_secs)?;
+            self.state = MigrationState::Complete;
+            return Ok(Some(record));
+        }
+        Ok(None)
+    }
+
+    /// Abandons the migration, releasing the reserved destination space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownDevice`] if the destination vanished.
+    pub fn abort(&mut self, system: &mut StorageSystem) -> Result<(), SimError> {
+        if self.state == MigrationState::InProgress {
+            system.device_mut(self.to)?.remove_bytes(self.total);
+            self.state = MigrationState::Aborted;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::FileMeta;
+    use crate::device::DeviceSpec;
+    use crate::traffic::Constant;
+
+    fn system() -> StorageSystem {
+        StorageSystem::builder()
+            .device(
+                DeviceSpec::new("a", 1e9, 1e9, 0.001, 10_000_000_000, 0.0, 0.0),
+                Box::new(Constant(0.0)),
+            )
+            .device(
+                DeviceSpec::new("b", 1e9, 1e9, 0.001, 10_000_000_000, 0.0, 0.0),
+                Box::new(Constant(0.0)),
+            )
+            .build()
+    }
+
+    fn add_file(system: &mut StorageSystem, size: u64) {
+        system
+            .add_file(
+                FileId(0),
+                FileMeta {
+                    size,
+                    path: "m/file.root".into(),
+                },
+                DeviceId(0),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn chunked_move_completes_and_flips_placement() {
+        let mut sys = system();
+        add_file(&mut sys, 10_000_000);
+        let mut migration =
+            ChunkedMigration::start(&mut sys, FileId(0), DeviceId(1), 3_000_000).unwrap();
+        let mut finished = None;
+        let mut steps = 0;
+        while migration.state() == MigrationState::InProgress {
+            finished = migration.step(&mut sys).unwrap();
+            steps += 1;
+        }
+        assert_eq!(steps, 4); // ceil(10 MB / 3 MB)
+        let record = finished.expect("final step returns the record");
+        assert_eq!(record.bytes, 10_000_000);
+        assert!(record.cost_secs > 0.0);
+        assert_eq!(sys.location_of(FileId(0)).unwrap(), DeviceId(1));
+        assert_eq!(sys.device(DeviceId(0)).unwrap().used_bytes(), 0);
+        assert_eq!(sys.device(DeviceId(1)).unwrap().used_bytes(), 10_000_000);
+    }
+
+    #[test]
+    fn source_remains_readable_mid_migration() {
+        let mut sys = system();
+        add_file(&mut sys, 10_000_000);
+        let mut migration =
+            ChunkedMigration::start(&mut sys, FileId(0), DeviceId(1), 4_000_000).unwrap();
+        let _ = migration.step(&mut sys).unwrap();
+        assert_eq!(migration.state(), MigrationState::InProgress);
+        // File still served from the source.
+        let record = sys.read_file(FileId(0), None).unwrap();
+        assert_eq!(record.fsid, DeviceId(0));
+        assert!((0.0..1.0).contains(&migration.progress()));
+    }
+
+    #[test]
+    fn abort_releases_reserved_space() {
+        let mut sys = system();
+        add_file(&mut sys, 10_000_000);
+        let mut migration =
+            ChunkedMigration::start(&mut sys, FileId(0), DeviceId(1), 4_000_000).unwrap();
+        let _ = migration.step(&mut sys).unwrap();
+        migration.abort(&mut sys).unwrap();
+        assert_eq!(migration.state(), MigrationState::Aborted);
+        assert_eq!(sys.location_of(FileId(0)).unwrap(), DeviceId(0));
+        assert_eq!(sys.device(DeviceId(1)).unwrap().used_bytes(), 0);
+    }
+
+    #[test]
+    fn capacity_is_reserved_up_front() {
+        let mut sys = StorageSystem::builder()
+            .device(
+                DeviceSpec::new("a", 1e9, 1e9, 0.0, 10_000_000_000, 0.0, 0.0),
+                Box::new(Constant(0.0)),
+            )
+            .device(
+                DeviceSpec::new("tiny", 1e9, 1e9, 0.0, 5_000_000, 0.0, 0.0),
+                Box::new(Constant(0.0)),
+            )
+            .build();
+        add_file(&mut sys, 10_000_000);
+        assert!(matches!(
+            ChunkedMigration::start(&mut sys, FileId(0), DeviceId(1), 1_000_000),
+            Err(SimError::InsufficientCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn moving_to_same_device_is_instantly_complete() {
+        let mut sys = system();
+        add_file(&mut sys, 1_000_000);
+        let migration =
+            ChunkedMigration::start(&mut sys, FileId(0), DeviceId(0), 1_000).unwrap();
+        assert_eq!(migration.state(), MigrationState::Complete);
+        assert_eq!(migration.progress(), 1.0);
+    }
+}

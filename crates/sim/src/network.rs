@@ -1,0 +1,185 @@
+//! Shared migration network.
+//!
+//! The paper is explicit that movement must not starve the network:
+//! "Geomancy limits how often and how much data can be transferred at once
+//! without creating a bottleneck in the network for other workloads which
+//! is caused by the transfer cost outweighing the benefits." This module
+//! models the shared link migrations ride on: a fixed-bandwidth fabric
+//! that serializes concurrent transfers and reports when a planned batch
+//! would exceed a utilization budget.
+
+use serde::{Deserialize, Serialize};
+
+/// A shared network link with finite bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use geomancy_sim::network::NetworkFabric;
+///
+/// let mut link = NetworkFabric::ten_gbe(); // 1.25 GB/s
+/// let (start, finish) = link.enqueue_transfer(0.0, 2_500_000_000);
+/// assert_eq!(start, 0.0);
+/// assert!((finish - 2.0).abs() < 1e-9);
+/// // A second transfer queues behind the first.
+/// assert!(!link.is_idle(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkFabric {
+    /// Link bandwidth in bytes/second.
+    bandwidth: f64,
+    /// Simulated time at which the link frees up.
+    busy_until_secs: f64,
+    /// Lifetime bytes carried.
+    bytes_carried: u64,
+}
+
+impl NetworkFabric {
+    /// Creates an idle fabric with the given bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `bandwidth` is positive and finite.
+    pub fn new(bandwidth: f64) -> Self {
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive"
+        );
+        NetworkFabric {
+            bandwidth,
+            busy_until_secs: 0.0,
+            bytes_carried: 0,
+        }
+    }
+
+    /// A 10 GbE link (the paper's NFS uplink): ≈ 1.25 GB/s.
+    pub fn ten_gbe() -> Self {
+        NetworkFabric::new(1.25e9)
+    }
+
+    /// Link bandwidth, bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Lifetime bytes carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Whether the link is idle at `now_secs`.
+    pub fn is_idle(&self, now_secs: f64) -> bool {
+        self.busy_until_secs <= now_secs
+    }
+
+    /// Seconds until the link frees up, from `now_secs`.
+    pub fn backlog_secs(&self, now_secs: f64) -> f64 {
+        (self.busy_until_secs - now_secs).max(0.0)
+    }
+
+    /// Enqueues a transfer of `bytes` starting no earlier than `now_secs`;
+    /// returns `(start, finish)` times. Transfers serialize behind any
+    /// backlog.
+    pub fn enqueue_transfer(&mut self, now_secs: f64, bytes: u64) -> (f64, f64) {
+        let start = self.busy_until_secs.max(now_secs);
+        let finish = start + bytes as f64 / self.bandwidth;
+        self.busy_until_secs = finish;
+        self.bytes_carried += bytes;
+        (start, finish)
+    }
+
+    /// Whether carrying `bytes` more, starting at `now_secs`, would keep the
+    /// link's total backlog within `max_backlog_secs` — the admission test a
+    /// control agent runs before a migration round.
+    pub fn admits(&self, now_secs: f64, bytes: u64, max_backlog_secs: f64) -> bool {
+        self.backlog_secs(now_secs) + bytes as f64 / self.bandwidth <= max_backlog_secs
+    }
+}
+
+/// Plans which of `moves` (as `(bytes)` sizes, in priority order) can ride
+/// the fabric now without exceeding `max_backlog_secs`; returns the indexes
+/// admitted. Greedy in order — matching the gain-ranked ordering the policy
+/// produces.
+pub fn admit_moves(
+    fabric: &NetworkFabric,
+    now_secs: f64,
+    move_sizes: &[u64],
+    max_backlog_secs: f64,
+) -> Vec<usize> {
+    let mut admitted = Vec::new();
+    let mut shadow = *fabric;
+    for (i, &bytes) in move_sizes.iter().enumerate() {
+        if shadow.admits(now_secs, bytes, max_backlog_secs) {
+            shadow.enqueue_transfer(now_secs, bytes);
+            admitted.push(i);
+        }
+    }
+    admitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_link_transfers_at_line_rate() {
+        let mut fabric = NetworkFabric::new(1e9);
+        let (start, finish) = fabric.enqueue_transfer(10.0, 2_000_000_000);
+        assert_eq!(start, 10.0);
+        assert!((finish - 12.0).abs() < 1e-9);
+        assert_eq!(fabric.bytes_carried(), 2_000_000_000);
+    }
+
+    #[test]
+    fn transfers_serialize_behind_backlog() {
+        let mut fabric = NetworkFabric::new(1e9);
+        let (_, first_finish) = fabric.enqueue_transfer(0.0, 1_000_000_000);
+        let (second_start, second_finish) = fabric.enqueue_transfer(0.0, 1_000_000_000);
+        assert_eq!(second_start, first_finish);
+        assert!((second_finish - 2.0).abs() < 1e-9);
+        assert!(!fabric.is_idle(1.5));
+        assert!(fabric.is_idle(2.5));
+    }
+
+    #[test]
+    fn backlog_decays_with_time() {
+        let mut fabric = NetworkFabric::new(1e9);
+        fabric.enqueue_transfer(0.0, 3_000_000_000);
+        assert!((fabric.backlog_secs(0.0) - 3.0).abs() < 1e-9);
+        assert!((fabric.backlog_secs(2.0) - 1.0).abs() < 1e-9);
+        assert_eq!(fabric.backlog_secs(10.0), 0.0);
+    }
+
+    #[test]
+    fn admission_respects_budget() {
+        let fabric = NetworkFabric::new(1e9);
+        assert!(fabric.admits(0.0, 900_000_000, 1.0));
+        assert!(!fabric.admits(0.0, 1_100_000_000, 1.0));
+    }
+
+    #[test]
+    fn admit_moves_is_greedy_in_order() {
+        let fabric = NetworkFabric::new(1e9);
+        // Budget 2 s = 2 GB. Sizes: 1.5 GB, 1 GB, 0.4 GB → admit #0, skip
+        // #1 (would exceed), admit #2.
+        let admitted = admit_moves(
+            &fabric,
+            0.0,
+            &[1_500_000_000, 1_000_000_000, 400_000_000],
+            2.0,
+        );
+        assert_eq!(admitted, vec![0, 2]);
+    }
+
+    #[test]
+    fn ten_gbe_preset() {
+        let fabric = NetworkFabric::ten_gbe();
+        assert!((fabric.bandwidth() - 1.25e9).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = NetworkFabric::new(0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! RAID geometry: derive array-level bandwidth from member-disk speeds.
+//!
+//! Three of Bluesky's six mounts are arrays (`var`/`tmp` RAID 1, `file0`
+//! RAID 5). Their defining behaviour in the paper is the read/write
+//! asymmetry — "placement policies like LRU have difficulty dealing with
+//! nodes — such as the RAID-5 node — that have large imbalance between
+//! read- and write-speeds" — which falls out of the geometry: RAID 5 reads
+//! stripe across all members but writes pay the read-modify-write parity
+//! penalty.
+
+use crate::device::DeviceSpec;
+
+/// RAID level of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaidLevel {
+    /// Striping, no redundancy: reads and writes scale with all members.
+    Raid0,
+    /// Mirroring: reads scale with members, writes are limited to one
+    /// member's speed (every member writes every block).
+    Raid1,
+    /// Block-striped parity: reads scale with `n - 1` members; small writes
+    /// pay the read-modify-write penalty (4 I/Os per write).
+    Raid5,
+    /// Double parity: reads scale with `n - 2`; writes pay 6 I/Os.
+    Raid6,
+}
+
+impl RaidLevel {
+    /// Minimum member count for the level.
+    pub fn min_members(self) -> usize {
+        match self {
+            RaidLevel::Raid0 => 1,
+            RaidLevel::Raid1 => 2,
+            RaidLevel::Raid5 => 3,
+            RaidLevel::Raid6 => 4,
+        }
+    }
+
+    /// Members' worth of capacity lost to redundancy.
+    pub fn capacity_overhead(self, members: usize) -> usize {
+        match self {
+            RaidLevel::Raid0 => 0,
+            RaidLevel::Raid1 => members - 1,
+            RaidLevel::Raid5 => 1,
+            RaidLevel::Raid6 => 2,
+        }
+    }
+}
+
+/// A RAID array built from identical member disks.
+///
+/// # Examples
+///
+/// ```
+/// use geomancy_sim::raid::{RaidArray, RaidLevel};
+///
+/// // Six 200 MB/s disks in RAID 5: 1 GB/s reads, 250 MB/s writes —
+/// // the 4x imbalance that defeats LRU in the paper.
+/// let array = RaidArray::new(RaidLevel::Raid5, 6, 200e6, 4_000_000_000_000, 0.004);
+/// assert_eq!(array.read_bandwidth(), 1000e6);
+/// assert_eq!(array.write_bandwidth(), 250e6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaidArray {
+    /// RAID level.
+    pub level: RaidLevel,
+    /// Number of member disks.
+    pub members: usize,
+    /// Sequential bandwidth of one member, bytes/second.
+    pub member_bandwidth: f64,
+    /// Capacity of one member, bytes.
+    pub member_capacity: u64,
+    /// Seek/setup latency of one member, seconds.
+    pub member_latency: f64,
+}
+
+impl RaidArray {
+    /// Creates an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is below the level's minimum or parameters are
+    /// non-positive.
+    pub fn new(
+        level: RaidLevel,
+        members: usize,
+        member_bandwidth: f64,
+        member_capacity: u64,
+        member_latency: f64,
+    ) -> Self {
+        assert!(
+            members >= level.min_members(),
+            "{level:?} needs at least {} members, got {members}",
+            level.min_members()
+        );
+        assert!(member_bandwidth > 0.0, "member bandwidth must be positive");
+        assert!(member_capacity > 0, "member capacity must be positive");
+        assert!(member_latency >= 0.0, "member latency must be non-negative");
+        RaidArray {
+            level,
+            members,
+            member_bandwidth,
+            member_capacity,
+            member_latency,
+        }
+    }
+
+    /// Array-level sequential read bandwidth.
+    pub fn read_bandwidth(&self) -> f64 {
+        let n = self.members as f64;
+        match self.level {
+            RaidLevel::Raid0 => n * self.member_bandwidth,
+            // Mirrors can serve reads from every copy.
+            RaidLevel::Raid1 => n * self.member_bandwidth,
+            RaidLevel::Raid5 => (n - 1.0) * self.member_bandwidth,
+            RaidLevel::Raid6 => (n - 2.0) * self.member_bandwidth,
+        }
+    }
+
+    /// Array-level write bandwidth (the paper's RAID-5 pain point).
+    pub fn write_bandwidth(&self) -> f64 {
+        let n = self.members as f64;
+        match self.level {
+            RaidLevel::Raid0 => n * self.member_bandwidth,
+            // Every mirror writes every block.
+            RaidLevel::Raid1 => self.member_bandwidth,
+            // Read-modify-write: 4 member I/Os per logical write, spread
+            // over the stripe.
+            RaidLevel::Raid5 => (n - 1.0) * self.member_bandwidth / 4.0,
+            RaidLevel::Raid6 => (n - 2.0) * self.member_bandwidth / 6.0,
+        }
+    }
+
+    /// Usable capacity after redundancy.
+    pub fn usable_capacity(&self) -> u64 {
+        let lost = self.level.capacity_overhead(self.members) as u64;
+        (self.members as u64 - lost) * self.member_capacity
+    }
+
+    /// Converts the array into a [`DeviceSpec`] with the given contention
+    /// personality.
+    pub fn to_device_spec(
+        &self,
+        name: impl Into<String>,
+        self_sensitivity: f64,
+        noise_sigma: f64,
+    ) -> DeviceSpec {
+        DeviceSpec::new(
+            name,
+            self.read_bandwidth(),
+            self.write_bandwidth(),
+            self.member_latency,
+            self.usable_capacity(),
+            self_sensitivity,
+            noise_sigma,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> (f64, u64, f64) {
+        (200e6, 4_000_000_000_000, 0.004) // 200 MB/s, 4 TB, 4 ms
+    }
+
+    #[test]
+    fn raid0_scales_linearly_both_ways() {
+        let (bw, cap, lat) = disk();
+        let array = RaidArray::new(RaidLevel::Raid0, 4, bw, cap, lat);
+        assert_eq!(array.read_bandwidth(), 4.0 * bw);
+        assert_eq!(array.write_bandwidth(), 4.0 * bw);
+        assert_eq!(array.usable_capacity(), 4 * cap);
+    }
+
+    #[test]
+    fn raid1_reads_scale_writes_do_not() {
+        let (bw, cap, lat) = disk();
+        let array = RaidArray::new(RaidLevel::Raid1, 2, bw, cap, lat);
+        assert_eq!(array.read_bandwidth(), 2.0 * bw);
+        assert_eq!(array.write_bandwidth(), bw);
+        assert_eq!(array.usable_capacity(), cap);
+    }
+
+    #[test]
+    fn raid5_has_the_papers_read_write_imbalance() {
+        let (bw, cap, lat) = disk();
+        let array = RaidArray::new(RaidLevel::Raid5, 6, bw, cap, lat);
+        assert_eq!(array.read_bandwidth(), 5.0 * bw);
+        assert_eq!(array.write_bandwidth(), 5.0 * bw / 4.0);
+        // Read/write ratio of 4 — "large imbalance between read- and
+        // write-speeds".
+        assert!((array.read_bandwidth() / array.write_bandwidth() - 4.0).abs() < 1e-9);
+        assert_eq!(array.usable_capacity(), 5 * cap);
+    }
+
+    #[test]
+    fn raid6_is_slower_to_write_than_raid5() {
+        let (bw, cap, lat) = disk();
+        let r5 = RaidArray::new(RaidLevel::Raid5, 6, bw, cap, lat);
+        let r6 = RaidArray::new(RaidLevel::Raid6, 6, bw, cap, lat);
+        assert!(r6.write_bandwidth() < r5.write_bandwidth());
+        assert!(r6.read_bandwidth() < r5.read_bandwidth());
+        assert!(r6.usable_capacity() < r5.usable_capacity());
+    }
+
+    #[test]
+    fn device_spec_conversion_carries_geometry() {
+        let (bw, cap, lat) = disk();
+        let array = RaidArray::new(RaidLevel::Raid5, 6, bw, cap, lat);
+        let spec = array.to_device_spec("file0", 5.0, 0.25);
+        assert_eq!(spec.read_bandwidth, array.read_bandwidth());
+        assert_eq!(spec.write_bandwidth, array.write_bandwidth());
+        assert_eq!(spec.capacity, array.usable_capacity());
+        assert_eq!(spec.name, "file0");
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least 3 members")]
+    fn raid5_requires_three_members() {
+        let (bw, cap, lat) = disk();
+        let _ = RaidArray::new(RaidLevel::Raid5, 2, bw, cap, lat);
+    }
+}

@@ -1,0 +1,163 @@
+//! Access records: the telemetry the monitoring agents emit.
+//!
+//! Each record carries exactly the six features the paper selects from the
+//! EOS logs (§V-D) — bytes read/written, open/close timestamps split into
+//! second and millisecond parts — plus the file and filesystem identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a storage device (the paper's `fsid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Identifier of a file (the paper's `fid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u64);
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+/// One monitored file access, from open to close.
+///
+/// Throughput is *derived*, not stored, via [`AccessRecord::throughput`] —
+/// exactly the `Tp_i` formula of §V-C.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessRecord {
+    /// Monotone access sequence number ("we represent the progression of
+    /// time using access number since the file access time window is not
+    /// constant").
+    pub access_number: u64,
+    /// File accessed.
+    pub fid: FileId,
+    /// Device the file lived on during the access.
+    pub fsid: DeviceId,
+    /// Bytes read (`rb`).
+    pub rb: u64,
+    /// Bytes written (`wb`).
+    pub wb: u64,
+    /// Open timestamp, whole seconds (`ots`).
+    pub ots: u64,
+    /// Open timestamp, millisecond remainder (`otms`).
+    pub otms: u16,
+    /// Close timestamp, whole seconds (`cts`).
+    pub cts: u64,
+    /// Close timestamp, millisecond remainder (`ctms`).
+    pub ctms: u16,
+}
+
+impl AccessRecord {
+    /// The paper's throughput formula:
+    ///
+    /// ```text
+    /// Tp = (rb + wb) / ((cts + ctms/1000) - (ots + otms/1000))
+    /// ```
+    ///
+    /// in bytes per second. Returns `0.0` when the interval is non-positive
+    /// (a degenerate record), so callers never divide by zero.
+    pub fn throughput(&self) -> f64 {
+        let open = self.ots as f64 + self.otms as f64 / 1000.0;
+        let close = self.cts as f64 + self.ctms as f64 / 1000.0;
+        let dt = close - open;
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        (self.rb + self.wb) as f64 / dt
+    }
+
+    /// Duration of the access in seconds (close − open), clamped at zero.
+    pub fn duration_secs(&self) -> f64 {
+        let open = self.ots as f64 + self.otms as f64 / 1000.0;
+        let close = self.cts as f64 + self.ctms as f64 / 1000.0;
+        (close - open).max(0.0)
+    }
+
+    /// Total bytes moved by the access.
+    pub fn bytes(&self) -> u64 {
+        self.rb + self.wb
+    }
+}
+
+/// A completed file migration, used for overhead accounting and the
+/// "files moved" bars under Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MovementRecord {
+    /// File moved.
+    pub fid: FileId,
+    /// Source device.
+    pub from: DeviceId,
+    /// Destination device.
+    pub to: DeviceId,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Wall-clock (simulated) seconds the transfer took.
+    pub cost_secs: f64,
+    /// Access number at which the movement happened.
+    pub at_access: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(rb: u64, wb: u64, open_ms: u64, close_ms: u64) -> AccessRecord {
+        AccessRecord {
+            access_number: 0,
+            fid: FileId(1),
+            fsid: DeviceId(0),
+            rb,
+            wb,
+            ots: open_ms / 1000,
+            otms: (open_ms % 1000) as u16,
+            cts: close_ms / 1000,
+            ctms: (close_ms % 1000) as u16,
+        }
+    }
+
+    #[test]
+    fn throughput_formula() {
+        // 1000 bytes over 0.5 s = 2000 B/s.
+        let r = record(600, 400, 1_000, 1_500);
+        assert!((r.throughput() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_spans_second_boundary() {
+        // 1 MB over 1.25 s.
+        let r = record(1_000_000, 0, 900, 2_150);
+        assert!((r.throughput() - 800_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_duration_gives_zero_throughput() {
+        let r = record(100, 0, 1_000, 1_000);
+        assert_eq!(r.throughput(), 0.0);
+    }
+
+    #[test]
+    fn negative_duration_gives_zero_throughput() {
+        let r = record(100, 0, 2_000, 1_000);
+        assert_eq!(r.throughput(), 0.0);
+        assert_eq!(r.duration_secs(), 0.0);
+    }
+
+    #[test]
+    fn bytes_sums_reads_and_writes() {
+        let r = record(10, 32, 0, 1);
+        assert_eq!(r.bytes(), 42);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(DeviceId(3).to_string(), "dev3");
+        assert_eq!(FileId(9).to_string(), "file9");
+    }
+}

@@ -1,0 +1,228 @@
+//! External traffic generators.
+//!
+//! The Bluesky mounts are shared: "the home NFS storage server can have long
+//! latencies of several hours if other users run I/O heavy workloads". Each
+//! device carries a traffic model describing the load other users place on
+//! it over time. Load is a dimensionless contention factor: an effective
+//! bandwidth of `base / (1 + load)`.
+//!
+//! All models are *pure functions of simulated time* (burst schedules are
+//! derived by hashing the time window), so a run is exactly reproducible and
+//! the load can be queried at any instant without stepping state.
+
+use std::fmt::Debug;
+
+/// A source of external load on one storage device.
+pub trait TrafficModel: Send + Sync + Debug {
+    /// Contention factor at `t_secs` of simulated time. Always `>= 0`;
+    /// `0.0` means the device is otherwise idle.
+    fn load_at(&self, t_secs: f64) -> f64;
+}
+
+/// Constant background load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant(pub f64);
+
+impl TrafficModel for Constant {
+    fn load_at(&self, _t_secs: f64) -> f64 {
+        self.0.max(0.0)
+    }
+}
+
+/// Smooth diurnal swing: load oscillates between `base` and
+/// `base + amplitude` with the given period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diurnal {
+    /// Minimum load.
+    pub base: f64,
+    /// Peak-to-trough swing added on top of `base`.
+    pub amplitude: f64,
+    /// Oscillation period in seconds.
+    pub period_secs: f64,
+    /// Phase offset in seconds.
+    pub phase_secs: f64,
+}
+
+impl TrafficModel for Diurnal {
+    fn load_at(&self, t_secs: f64) -> f64 {
+        let angle = (t_secs + self.phase_secs) / self.period_secs * std::f64::consts::TAU;
+        (self.base + self.amplitude * 0.5 * (1.0 - angle.cos())).max(0.0)
+    }
+}
+
+/// Randomly scheduled storms of heavy use (other users launching I/O-heavy
+/// jobs). Time is cut into fixed windows; each window independently hosts a
+/// burst with probability `burst_probability`, with a magnitude drawn from
+/// `[magnitude_min, magnitude_max]`. Schedules depend only on `seed`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bursty {
+    /// Deterministic schedule seed.
+    pub seed: u64,
+    /// Window length in seconds.
+    pub window_secs: f64,
+    /// Probability a given window hosts a burst (0..1).
+    pub burst_probability: f64,
+    /// Smallest burst load.
+    pub magnitude_min: f64,
+    /// Largest burst load.
+    pub magnitude_max: f64,
+}
+
+impl Bursty {
+    fn window_hash(&self, window: u64) -> u64 {
+        splitmix64(self.seed ^ window.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+}
+
+impl TrafficModel for Bursty {
+    fn load_at(&self, t_secs: f64) -> f64 {
+        if t_secs < 0.0 || self.window_secs <= 0.0 {
+            return 0.0;
+        }
+        let window = (t_secs / self.window_secs) as u64;
+        let h = self.window_hash(window);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.burst_probability {
+            return 0.0;
+        }
+        let h2 = splitmix64(h);
+        let v = (h2 >> 11) as f64 / (1u64 << 53) as f64;
+        let magnitude = self.magnitude_min + v * (self.magnitude_max - self.magnitude_min);
+        // Shape the burst: ramp up over the first quarter of the window and
+        // down over the last quarter, so adjacent accesses see a trend the
+        // model can learn rather than a square wave.
+        let frac = (t_secs / self.window_secs).fract();
+        let shape = if frac < 0.25 {
+            frac / 0.25
+        } else if frac > 0.75 {
+            (1.0 - frac) / 0.25
+        } else {
+            1.0
+        };
+        (magnitude * shape).max(0.0)
+    }
+}
+
+/// Sum of several traffic models (e.g. diurnal swell plus storms).
+#[derive(Debug)]
+pub struct Composite(pub Vec<Box<dyn TrafficModel>>);
+
+impl TrafficModel for Composite {
+    fn load_at(&self, t_secs: f64) -> f64 {
+        self.0.iter().map(|m| m.load_at(t_secs)).sum()
+    }
+}
+
+/// SplitMix64 — a tiny, high-quality hash for window scheduling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant_and_clamped() {
+        assert_eq!(Constant(0.5).load_at(0.0), 0.5);
+        assert_eq!(Constant(0.5).load_at(1e6), 0.5);
+        assert_eq!(Constant(-1.0).load_at(3.0), 0.0);
+    }
+
+    #[test]
+    fn diurnal_oscillates_between_base_and_peak() {
+        let d = Diurnal {
+            base: 0.2,
+            amplitude: 1.0,
+            period_secs: 100.0,
+            phase_secs: 0.0,
+        };
+        assert!((d.load_at(0.0) - 0.2).abs() < 1e-9); // trough at t=0
+        assert!((d.load_at(50.0) - 1.2).abs() < 1e-9); // peak at half period
+        for t in 0..200 {
+            let l = d.load_at(t as f64);
+            assert!((0.2..=1.2 + 1e-9).contains(&l));
+        }
+    }
+
+    #[test]
+    fn bursty_is_deterministic() {
+        let b = Bursty {
+            seed: 42,
+            window_secs: 10.0,
+            burst_probability: 0.5,
+            magnitude_min: 1.0,
+            magnitude_max: 3.0,
+        };
+        for t in [0.0, 5.0, 33.3, 100.0] {
+            assert_eq!(b.load_at(t), b.load_at(t));
+        }
+    }
+
+    #[test]
+    fn bursty_produces_both_quiet_and_busy_windows() {
+        let b = Bursty {
+            seed: 7,
+            window_secs: 10.0,
+            burst_probability: 0.5,
+            magnitude_min: 1.0,
+            magnitude_max: 3.0,
+        };
+        // Sample mid-window (shape = 1) over many windows.
+        let loads: Vec<f64> = (0..200).map(|w| b.load_at(w as f64 * 10.0 + 5.0)).collect();
+        let busy = loads.iter().filter(|&&l| l > 0.0).count();
+        assert!(busy > 40, "too few bursts: {busy}");
+        assert!(busy < 160, "too many bursts: {busy}");
+        for &l in &loads {
+            assert!(l == 0.0 || (1.0..=3.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn bursty_zero_probability_is_always_quiet() {
+        let b = Bursty {
+            seed: 1,
+            window_secs: 5.0,
+            burst_probability: 0.0,
+            magnitude_min: 1.0,
+            magnitude_max: 2.0,
+        };
+        assert!((0..100).all(|t| b.load_at(t as f64) == 0.0));
+    }
+
+    #[test]
+    fn bursty_negative_time_is_quiet() {
+        let b = Bursty {
+            seed: 1,
+            window_secs: 5.0,
+            burst_probability: 1.0,
+            magnitude_min: 1.0,
+            magnitude_max: 2.0,
+        };
+        assert_eq!(b.load_at(-10.0), 0.0);
+    }
+
+    #[test]
+    fn composite_sums_components() {
+        let c = Composite(vec![Box::new(Constant(0.3)), Box::new(Constant(0.7))]);
+        assert!((c.load_at(12.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let mk = |seed| Bursty {
+            seed,
+            window_secs: 10.0,
+            burst_probability: 0.5,
+            magnitude_min: 1.0,
+            magnitude_max: 3.0,
+        };
+        let a: Vec<f64> = (0..50).map(|w| mk(1).load_at(w as f64 * 10.0 + 5.0)).collect();
+        let b: Vec<f64> = (0..50).map(|w| mk(2).load_at(w as f64 * 10.0 + 5.0)).collect();
+        assert_ne!(a, b);
+    }
+}

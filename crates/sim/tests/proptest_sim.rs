@@ -1,0 +1,185 @@
+//! Property-based tests of the simulator's core invariants.
+
+use geomancy_sim::clock::SimClock;
+use geomancy_sim::cluster::{FileMeta, StorageSystem};
+use geomancy_sim::device::{Device, DeviceSpec};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+use geomancy_sim::traffic::{Bursty, Constant, Diurnal, TrafficModel};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn throughput_is_never_negative(
+        rb in 0u64..10_000_000_000,
+        wb in 0u64..10_000_000_000,
+        ots in 0u64..1_000_000,
+        otms in 0u16..1000,
+        dsecs in 0u64..10_000,
+        ctms in 0u16..1000,
+    ) {
+        let record = AccessRecord {
+            access_number: 0,
+            fid: FileId(1),
+            fsid: DeviceId(0),
+            rb,
+            wb,
+            ots,
+            otms,
+            cts: ots + dsecs,
+            ctms,
+        };
+        let tp = record.throughput();
+        prop_assert!(tp.is_finite());
+        prop_assert!(tp >= 0.0);
+    }
+
+    #[test]
+    fn clock_is_monotone(advances in proptest::collection::vec(0.0..100.0f64, 1..50)) {
+        let mut clock = SimClock::new();
+        let mut last = 0u64;
+        for secs in advances {
+            clock.advance_secs(secs);
+            prop_assert!(clock.now_micros() >= last);
+            last = clock.now_micros();
+        }
+    }
+
+    #[test]
+    fn clock_secs_ms_split_is_consistent(advances in proptest::collection::vec(0.001..50.0f64, 1..30)) {
+        let mut clock = SimClock::new();
+        for secs in advances {
+            clock.advance_secs(secs);
+            let (s, ms) = clock.now_secs_ms();
+            prop_assert!(ms < 1000);
+            let reconstructed = s as f64 + ms as f64 / 1000.0;
+            prop_assert!((reconstructed - clock.now_secs()).abs() < 0.001 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn service_time_positive_and_grows_with_bytes(
+        small in 1_000u64..1_000_000,
+        factor in 2u64..100,
+        load in 0.0..5.0f64,
+    ) {
+        let spec = DeviceSpec::new("d", 1e9, 1e9, 0.001, u64::MAX / 2, 0.0, 0.0);
+        let mut a = Device::new(DeviceId(0), spec.clone());
+        let mut b = Device::new(DeviceId(0), spec);
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(0);
+        let t_small = a.serve(small, 0, 0.0, load, &mut rng_a);
+        let t_big = b.serve(small * factor, 0, 0.0, load, &mut rng_b);
+        prop_assert!(t_small > 0.0);
+        prop_assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn more_external_load_never_speeds_up_a_device(
+        load_a in 0.0..4.0f64,
+        extra in 0.1..4.0f64,
+    ) {
+        let spec = DeviceSpec::new("d", 1e9, 8e8, 0.0, u64::MAX / 2, 1.0, 0.0);
+        let d = Device::new(DeviceId(0), spec);
+        let fast = d.effective_read_bandwidth(0.0, load_a);
+        let slow = d.effective_read_bandwidth(0.0, load_a + extra);
+        prop_assert!(slow < fast);
+    }
+
+    #[test]
+    fn traffic_models_are_non_negative(t in 0.0..1e6f64, seed in 0u64..1000) {
+        let models: Vec<Box<dyn TrafficModel>> = vec![
+            Box::new(Constant(0.3)),
+            Box::new(Diurnal { base: 0.1, amplitude: 1.0, period_secs: 600.0, phase_secs: 30.0 }),
+            Box::new(Bursty {
+                seed,
+                window_secs: 60.0,
+                burst_probability: 0.5,
+                magnitude_min: 0.5,
+                magnitude_max: 3.0,
+            }),
+        ];
+        for m in &models {
+            prop_assert!(m.load_at(t) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn capacity_accounting_never_goes_negative(
+        sizes in proptest::collection::vec(1u64..1_000_000, 1..20),
+    ) {
+        let mut system = StorageSystem::builder()
+            .device(
+                DeviceSpec::new("d", 1e9, 1e9, 0.0, u64::MAX / 2, 0.0, 0.0),
+                Box::new(Constant(0.0)),
+            )
+            .build();
+        let total: u64 = sizes.iter().sum();
+        for (i, &size) in sizes.iter().enumerate() {
+            system
+                .add_file(
+                    FileId(i as u64),
+                    FileMeta { size, path: format!("f{i}") },
+                    DeviceId(0),
+                )
+                .unwrap();
+        }
+        prop_assert_eq!(system.device(DeviceId(0)).unwrap().used_bytes(), total);
+    }
+
+    #[test]
+    fn access_records_are_well_formed(
+        size in 1_000u64..100_000_000,
+        n_accesses in 1usize..20,
+    ) {
+        let mut system = StorageSystem::builder()
+            .device(
+                DeviceSpec::new("d", 1e9, 1e9, 0.001, u64::MAX / 2, 1.0, 0.1),
+                Box::new(Constant(0.2)),
+            )
+            .seed(7)
+            .build();
+        system
+            .add_file(FileId(0), FileMeta { size, path: "f".into() }, DeviceId(0))
+            .unwrap();
+        let mut last_access = None;
+        for _ in 0..n_accesses {
+            let r = system.read_file(FileId(0), None).unwrap();
+            // Close is never before open.
+            let open = r.ots as f64 + r.otms as f64 / 1000.0;
+            let close = r.cts as f64 + r.ctms as f64 / 1000.0;
+            prop_assert!(close >= open);
+            prop_assert_eq!(r.rb, size);
+            prop_assert!(r.otms < 1000 && r.ctms < 1000);
+            // Access numbers strictly increase.
+            if let Some(last) = last_access {
+                prop_assert!(r.access_number > last);
+            }
+            last_access = Some(r.access_number);
+        }
+    }
+
+    #[test]
+    fn migration_conserves_bytes(
+        size in 1_000u64..50_000_000,
+        hops in proptest::collection::vec(0u32..3, 1..8),
+    ) {
+        let mut builder = StorageSystem::builder();
+        for i in 0..3 {
+            builder = builder.device(
+                DeviceSpec::new(format!("d{i}"), 1e9, 1e9, 0.0, u64::MAX / 2, 0.0, 0.0),
+                Box::new(Constant(0.0)),
+            );
+        }
+        let mut system = builder.build();
+        system
+            .add_file(FileId(0), FileMeta { size, path: "f".into() }, DeviceId(0))
+            .unwrap();
+        for hop in hops {
+            system.move_file(FileId(0), DeviceId(hop)).unwrap();
+            let total: u64 = system.devices().iter().map(|d| d.used_bytes()).sum();
+            prop_assert_eq!(total, size, "bytes leaked during migration");
+            prop_assert_eq!(system.location_of(FileId(0)).unwrap(), DeviceId(hop));
+        }
+    }
+}

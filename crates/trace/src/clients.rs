@@ -1,0 +1,139 @@
+//! Multi-client workloads — the paper's closing future work: "we will be
+//! able to get a better idea on how our workload scales when the system
+//! and the number of clients increases."
+//!
+//! A [`ClientFleet`] runs `n` BELLE II-style clients, each with a private
+//! file population, interleaving their operations round-robin the way
+//! concurrent jobs interleave on a shared system.
+
+use crate::belle2::{Belle2Workload, WorkloadFile, WorkloadOp};
+
+/// An operation tagged with the client that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientOp {
+    /// Issuing client (0-based).
+    pub client: usize,
+    /// The operation.
+    pub op: WorkloadOp,
+}
+
+/// A fleet of concurrent workload clients.
+#[derive(Debug, Clone)]
+pub struct ClientFleet {
+    clients: Vec<Belle2Workload>,
+}
+
+impl ClientFleet {
+    /// Creates `clients` workloads of `files_per_client` files each, with
+    /// disjoint file-id ranges (client `i` owns ids starting at
+    /// `i * 10_000`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` or `files_per_client` is zero.
+    pub fn new(seed: u64, clients: usize, files_per_client: usize) -> Self {
+        assert!(clients > 0, "a fleet needs at least one client");
+        let clients = (0..clients)
+            .map(|i| {
+                Belle2Workload::with_params(
+                    seed.wrapping_add(i as u64),
+                    files_per_client,
+                    i as u64 * 10_000,
+                )
+            })
+            .collect();
+        ClientFleet { clients }
+    }
+
+    /// Number of clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether the fleet is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Every client's file population, in client order.
+    pub fn files(&self) -> Vec<&[WorkloadFile]> {
+        self.clients.iter().map(|c| c.files()).collect()
+    }
+
+    /// Generates one interleaved round: each client produces one run and
+    /// the operations are merged round-robin (client 0's op, client 1's op,
+    /// …), modeling concurrent execution on a shared system.
+    pub fn next_round(&mut self) -> Vec<ClientOp> {
+        let runs: Vec<Vec<WorkloadOp>> =
+            self.clients.iter_mut().map(|c| c.next_run()).collect();
+        let longest = runs.iter().map(|r| r.len()).max().unwrap_or(0);
+        let mut merged = Vec::with_capacity(runs.iter().map(|r| r.len()).sum());
+        for i in 0..longest {
+            for (client, run) in runs.iter().enumerate() {
+                if let Some(&op) = run.get(i) {
+                    merged.push(ClientOp { client, op });
+                }
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn fleet_has_disjoint_file_ids() {
+        let fleet = ClientFleet::new(1, 4, 6);
+        let mut seen = BTreeSet::new();
+        for files in fleet.files() {
+            for f in files {
+                assert!(seen.insert(f.fid), "{} duplicated across clients", f.fid);
+            }
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn round_interleaves_clients() {
+        let mut fleet = ClientFleet::new(2, 3, 4);
+        let round = fleet.next_round();
+        // The first three ops come from three distinct clients.
+        let first_three: BTreeSet<usize> = round[..3].iter().map(|o| o.client).collect();
+        assert_eq!(first_three.len(), 3);
+        // Every client contributed.
+        let all: BTreeSet<usize> = round.iter().map(|o| o.client).collect();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn round_preserves_per_client_op_order() {
+        let mut fleet = ClientFleet::new(3, 2, 5);
+        let mut reference = ClientFleet::new(3, 2, 5);
+        let round = fleet.next_round();
+        for client in 0..2 {
+            let from_round: Vec<_> = round
+                .iter()
+                .filter(|o| o.client == client)
+                .map(|o| o.op)
+                .collect();
+            let direct = reference.clients[client].next_run();
+            assert_eq!(from_round, direct);
+        }
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let mut a = ClientFleet::new(9, 3, 4);
+        let mut b = ClientFleet::new(9, 3, 4);
+        assert_eq!(a.next_round(), b.next_round());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_fleet_panics() {
+        let _ = ClientFleet::new(0, 0, 4);
+    }
+}

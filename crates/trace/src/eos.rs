@@ -1,0 +1,387 @@
+//! Synthetic CERN EOS access-log generator (§IV, §V-D).
+//!
+//! The paper mined the EOS file-transfer logs — 32 values per file
+//! interaction — to discover which features correlate with throughput
+//! (Figure 4). The real logs are not public, so this module generates a
+//! synthetic trace whose *correlation structure* matches the figure:
+//!
+//! - `rb`, `wb` (bytes moved) — moderately positive,
+//! - `ots`/`cts` (timestamps) — mildly positive (traffic drifts up),
+//! - `otms`/`ctms` — weakly positive,
+//! - `rt`, `wt` (read/write time) — strongly negative,
+//! - `fid`, security/identity fields — near zero,
+//! - `fsid` — mildly positive (faster pools get higher ids).
+//!
+//! The planted couplings are documented inline; everything is deterministic
+//! for a given seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stats::pearson;
+
+/// One synthetic EOS log entry: 32 values describing a file interaction from
+/// open to close, mirroring the schema of the EOS file-access reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EosRecord {
+    /// EOS file id.
+    pub fid: u64,
+    /// Filesystem (pool member) id.
+    pub fsid: u32,
+    /// Open timestamp, seconds.
+    pub ots: u64,
+    /// Open timestamp, millisecond part.
+    pub otms: u16,
+    /// Close timestamp, seconds.
+    pub cts: u64,
+    /// Close timestamp, millisecond part.
+    pub ctms: u16,
+    /// Bytes read.
+    pub rb: u64,
+    /// Bytes written.
+    pub wb: u64,
+    /// Cumulative read time, milliseconds.
+    pub rt: f64,
+    /// Cumulative write time, milliseconds.
+    pub wt: f64,
+    /// Number of read calls.
+    pub nrc: u32,
+    /// Number of write calls.
+    pub nwc: u32,
+    /// File size at open.
+    pub osize: u64,
+    /// File size at close.
+    pub csize: u64,
+    /// Forward seeks.
+    pub sfwd: u32,
+    /// Backward seeks.
+    pub sbwd: u32,
+    /// Large (>128 kB) forward seeks.
+    pub sxlfwd: u32,
+    /// Large backward seeks.
+    pub sxlbwd: u32,
+    /// Bytes traversed by forward seeks.
+    pub nfwds: u64,
+    /// Bytes traversed by backward seeks.
+    pub nbwds: u64,
+    /// Vector-read operations.
+    pub rv_ops: u32,
+    /// Bytes moved by vector reads.
+    pub rvb: u64,
+    /// Requesting user id.
+    pub ruid: u32,
+    /// Requesting group id.
+    pub rgid: u32,
+    /// Trace/session id.
+    pub td: u64,
+    /// Client host id.
+    pub host: u32,
+    /// Layout id.
+    pub lid: u32,
+    /// Encoded file path.
+    pub path_id: u64,
+    /// Application identifier (`secapp`).
+    pub sec_app: u32,
+    /// Client group (`secgrps`).
+    pub sec_grps: u32,
+    /// Client role (`secrole`).
+    pub sec_role: u32,
+    /// Transport protocol id.
+    pub prot: u32,
+}
+
+impl EosRecord {
+    /// Names of all 32 fields, in [`EosRecord::to_row`] order.
+    pub const FIELD_NAMES: [&'static str; 32] = [
+        "fid", "fsid", "ots", "otms", "cts", "ctms", "rb", "wb", "rt", "wt", "nrc", "nwc",
+        "osize", "csize", "sfwd", "sbwd", "sxlfwd", "sxlbwd", "nfwds", "nbwds", "rv_ops", "rvb",
+        "ruid", "rgid", "td", "host", "lid", "path_id", "sec_app", "sec_grps", "sec_role", "prot",
+    ];
+
+    /// All 32 values as a numeric row (categorical ids cast to `f64`).
+    pub fn to_row(&self) -> [f64; 32] {
+        [
+            self.fid as f64,
+            self.fsid as f64,
+            self.ots as f64,
+            self.otms as f64,
+            self.cts as f64,
+            self.ctms as f64,
+            self.rb as f64,
+            self.wb as f64,
+            self.rt,
+            self.wt,
+            self.nrc as f64,
+            self.nwc as f64,
+            self.osize as f64,
+            self.csize as f64,
+            self.sfwd as f64,
+            self.sbwd as f64,
+            self.sxlfwd as f64,
+            self.sxlbwd as f64,
+            self.nfwds as f64,
+            self.nbwds as f64,
+            self.rv_ops as f64,
+            self.rvb as f64,
+            self.ruid as f64,
+            self.rgid as f64,
+            self.td as f64,
+            self.host as f64,
+            self.lid as f64,
+            self.path_id as f64,
+            self.sec_app as f64,
+            self.sec_grps as f64,
+            self.sec_role as f64,
+            self.prot as f64,
+        ]
+    }
+
+    /// Observed throughput of the interaction, bytes/second (the Figure 4
+    /// correlation target).
+    pub fn throughput(&self) -> f64 {
+        let open = self.ots as f64 + self.otms as f64 / 1000.0;
+        let close = self.cts as f64 + self.ctms as f64 / 1000.0;
+        let dt = close - open;
+        if dt <= 0.0 {
+            0.0
+        } else {
+            (self.rb + self.wb) as f64 / dt
+        }
+    }
+}
+
+/// Deterministic generator of EOS-style traces.
+#[derive(Debug, Clone)]
+pub struct EosTraceGenerator {
+    rng: StdRng,
+    /// Number of filesystem pool members; ids are ordered slow → fast.
+    pub pool_size: u32,
+    /// Trace duration in seconds over which demand drifts upward.
+    pub duration_secs: f64,
+    clock: f64,
+    next_td: u64,
+}
+
+impl EosTraceGenerator {
+    /// Creates a generator with an EOS-like pool of 16 filesystems.
+    pub fn new(seed: u64) -> Self {
+        EosTraceGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            pool_size: 16,
+            duration_secs: 86_400.0,
+            clock: 0.0,
+            next_td: 1,
+        }
+    }
+
+    /// Generates `n` records in timestamp order.
+    pub fn generate(&mut self, n: usize) -> Vec<EosRecord> {
+        (0..n).map(|_| self.next_record()).collect()
+    }
+
+    fn next_record(&mut self) -> EosRecord {
+        let rng = &mut self.rng;
+        // Inter-arrival: accesses land every few seconds.
+        self.clock += rng.gen_range(0.2..6.0);
+        let t = self.clock;
+
+        // Pool member: higher fsid = faster disk pool (planting the mild
+        // positive fsid correlation the paper observes for location).
+        let fsid = rng.gen_range(0..self.pool_size);
+        let base_speed = 40e6 + 25e6 * fsid as f64; // 40 MB/s .. ~440 MB/s
+
+        // Demand drift: throughput improves slowly over the trace (the
+        // analysis pool warms its caches), planting the mild positive
+        // ots/cts correlation at any trace length.
+        let drift = 1.0 + 0.25 * (t / 3_600.0);
+        let noise = (0.35 * box_muller(rng)).exp();
+        let tp = base_speed * drift * noise;
+
+        // Interaction length: slower transfers hold files open longer
+        // (d ∝ tp^-0.5), which simultaneously plants the positive bytes
+        // correlation (w = tp·d ∝ tp^0.5) and the strongly negative rt/wt —
+        // time *spent* inside reads is time the pool was slow.
+        let d0 = 10f64.powf(rng.gen_range(-0.5..1.5)); // 0.3 s .. 30 s
+        let duration = (d0 * (tp / 1e8).powf(-0.5)).clamp(0.005, 3_600.0)
+            + rng.gen_range(0.002..0.010);
+        let w = tp * duration;
+        let read_heavy = rng.gen_bool(0.8);
+        let (rb, wb) = if read_heavy {
+            (w, w * rng.gen_range(0.0..0.05))
+        } else {
+            (w * rng.gen_range(0.1..0.4), w)
+        };
+
+        let rt = if rb > 0.0 { rb / tp * 1000.0 * rng.gen_range(0.85..1.0) } else { 0.0 };
+        let wt = if wb > 0.0 { wb / tp * 1000.0 * rng.gen_range(0.85..1.0) } else { 0.0 };
+        let rb_u = rb as u64;
+        let wb_u = wb as u64;
+
+        let ots = t as u64;
+        let otms = ((t.fract()) * 1000.0) as u16;
+        let close = t + duration;
+        let cts = close as u64;
+        let ctms = ((close.fract()) * 1000.0) as u16;
+
+        let nrc = (rb / 131_072.0).ceil() as u32;
+        let nwc = (wb / 131_072.0).ceil() as u32;
+        let sfwd = rng.gen_range(0..(1 + (duration as u32).min(50)));
+        let sbwd = rng.gen_range(0..(1 + sfwd / 2 + 1));
+
+        EosRecord {
+            fid: rng.gen_range(1..5_000_000),
+            fsid,
+            ots,
+            otms,
+            cts,
+            ctms,
+            rb: rb_u,
+            wb: wb_u,
+            rt,
+            wt,
+            nrc,
+            nwc,
+            osize: rb_u + rng.gen_range(0..1_000_000),
+            csize: rb_u + wb_u,
+            sfwd,
+            sbwd,
+            sxlfwd: sfwd / 3,
+            sxlbwd: sbwd / 3,
+            nfwds: sfwd as u64 * 262_144,
+            nbwds: sbwd as u64 * 262_144,
+            rv_ops: rng.gen_range(0..8),
+            rvb: rng.gen_range(0..2_000_000),
+            ruid: rng.gen_range(1000..1200),
+            rgid: rng.gen_range(100..120),
+            td: {
+                self.next_td += 1;
+                self.next_td
+            },
+            host: rng.gen_range(0..400),
+            lid: rng.gen_range(0..6),
+            path_id: rng.gen_range(1..1_000_000),
+            sec_app: rng.gen_range(0..12),
+            sec_grps: rng.gen_range(0..8),
+            sec_role: rng.gen_range(0..4),
+            prot: rng.gen_range(0..3),
+        }
+    }
+}
+
+/// Pearson correlation of every EOS field against throughput — the data
+/// behind Figure 4. Returns `(field name, correlation)` in schema order.
+///
+/// # Panics
+///
+/// Panics if `records` is empty.
+pub fn correlation_table(records: &[EosRecord]) -> Vec<(&'static str, f64)> {
+    assert!(!records.is_empty(), "correlation of an empty trace");
+    let tp: Vec<f64> = records.iter().map(|r| r.throughput()).collect();
+    let rows: Vec<[f64; 32]> = records.iter().map(|r| r.to_row()).collect();
+    EosRecord::FIELD_NAMES
+        .iter()
+        .enumerate()
+        .map(|(col, &name)| {
+            let xs: Vec<f64> = rows.iter().map(|row| row[col]).collect();
+            (name, pearson(&xs, &tp))
+        })
+        .collect()
+}
+
+fn box_muller(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(seed: u64, n: usize) -> Vec<(&'static str, f64)> {
+        let mut gen = EosTraceGenerator::new(seed);
+        correlation_table(&gen.generate(n))
+    }
+
+    fn corr_of(table: &[(&str, f64)], name: &str) -> f64 {
+        table.iter().find(|(n, _)| *n == name).unwrap().1
+    }
+
+    #[test]
+    fn record_has_32_fields() {
+        assert_eq!(EosRecord::FIELD_NAMES.len(), 32);
+        let mut gen = EosTraceGenerator::new(0);
+        let rec = &gen.generate(1)[0];
+        assert_eq!(rec.to_row().len(), 32);
+    }
+
+    #[test]
+    fn throughput_positive_and_finite() {
+        let mut gen = EosTraceGenerator::new(1);
+        for rec in gen.generate(500) {
+            let tp = rec.throughput();
+            assert!(tp.is_finite() && tp > 0.0, "bad throughput {tp}");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_ordered() {
+        let mut gen = EosTraceGenerator::new(2);
+        let recs = gen.generate(100);
+        for r in &recs {
+            let open = r.ots as f64 + r.otms as f64 / 1000.0;
+            let close = r.cts as f64 + r.ctms as f64 / 1000.0;
+            assert!(close >= open);
+        }
+        for w in recs.windows(2) {
+            assert!(w[1].ots >= w[0].ots, "trace not time-ordered");
+        }
+    }
+
+    #[test]
+    fn bytes_positively_correlated_with_throughput() {
+        let t = table(3, 8000);
+        assert!(corr_of(&t, "rb") > 0.15, "rb corr {}", corr_of(&t, "rb"));
+        assert!(corr_of(&t, "wb") > 0.05, "wb corr {}", corr_of(&t, "wb"));
+    }
+
+    #[test]
+    fn service_times_strongly_negative() {
+        let t = table(4, 8000);
+        // rt/wt are time *spent*, so more time = less throughput.
+        assert!(corr_of(&t, "rt") < corr_of(&t, "rb"));
+        assert!(corr_of(&t, "rt") < -0.05, "rt corr {}", corr_of(&t, "rt"));
+    }
+
+    #[test]
+    fn timestamps_mildly_positive() {
+        let t = table(5, 8000);
+        assert!(corr_of(&t, "ots") > 0.03, "ots corr {}", corr_of(&t, "ots"));
+        assert!(corr_of(&t, "cts") > 0.03, "cts corr {}", corr_of(&t, "cts"));
+    }
+
+    #[test]
+    fn identity_fields_near_zero() {
+        let t = table(6, 8000);
+        for name in ["fid", "ruid", "rgid", "sec_role", "prot"] {
+            assert!(
+                corr_of(&t, name).abs() < 0.08,
+                "{name} corr {} should be ~0",
+                corr_of(&t, name)
+            );
+        }
+    }
+
+    #[test]
+    fn fsid_mildly_positive() {
+        let t = table(7, 8000);
+        assert!(corr_of(&t, "fsid") > 0.1, "fsid corr {}", corr_of(&t, "fsid"));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = EosTraceGenerator::new(42);
+        let mut b = EosTraceGenerator::new(42);
+        assert_eq!(a.generate(50), b.generate(50));
+    }
+}

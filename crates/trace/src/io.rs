@@ -1,0 +1,232 @@
+//! Trace interchange: CSV export/import of access records.
+//!
+//! Lets a deployment feed real telemetry (e.g. parsed EOS logs) into the
+//! pipeline, and lets simulated traces be inspected with standard tools.
+//! The column set is exactly the record schema: `access_number, fid, fsid,
+//! rb, wb, ots, otms, cts, ctms`.
+
+use std::io::{BufRead, Write};
+
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+/// Errors raised while reading a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number (including the header).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// The CSV header line.
+pub const CSV_HEADER: &str = "access_number,fid,fsid,rb,wb,ots,otms,cts,ctms";
+
+/// Writes records as CSV (with header) to any writer.
+///
+/// # Errors
+///
+/// Returns an I/O error if writing fails.
+pub fn write_csv<W: Write>(mut writer: W, records: &[AccessRecord]) -> Result<(), TraceIoError> {
+    writeln!(writer, "{CSV_HEADER}")?;
+    for r in records {
+        writeln!(
+            writer,
+            "{},{},{},{},{},{},{},{},{}",
+            r.access_number, r.fid.0, r.fsid.0, r.rb, r.wb, r.ots, r.otms, r.cts, r.ctms
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads records from CSV (expects the [`CSV_HEADER`] header) from any
+/// buffered reader.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] on a bad header, wrong column count, or
+/// unparsable field, identifying the offending line.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Vec<AccessRecord>, TraceIoError> {
+    let mut lines = reader.lines().enumerate();
+    match lines.next() {
+        Some((_, Ok(header))) if header.trim() == CSV_HEADER => {}
+        Some((_, Ok(header))) => {
+            return Err(TraceIoError::Parse {
+                line: 1,
+                message: format!("unexpected header {header:?}"),
+            })
+        }
+        Some((_, Err(e))) => return Err(e.into()),
+        None => return Ok(Vec::new()),
+    }
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 9 {
+            return Err(TraceIoError::Parse {
+                line: idx + 1,
+                message: format!("expected 9 columns, found {}", fields.len()),
+            });
+        }
+        let parse_u64 = |i: usize| -> Result<u64, TraceIoError> {
+            fields[i].trim().parse().map_err(|_| TraceIoError::Parse {
+                line: idx + 1,
+                message: format!("column {} ({:?}) is not an integer", i + 1, fields[i]),
+            })
+        };
+        records.push(AccessRecord {
+            access_number: parse_u64(0)?,
+            fid: FileId(parse_u64(1)?),
+            fsid: DeviceId(parse_u64(2)? as u32),
+            rb: parse_u64(3)?,
+            wb: parse_u64(4)?,
+            ots: parse_u64(5)?,
+            otms: parse_u64(6)? as u16,
+            cts: parse_u64(7)?,
+            ctms: parse_u64(8)? as u16,
+        });
+    }
+    Ok(records)
+}
+
+/// Writes records to a CSV file.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be written.
+pub fn save_csv(path: impl AsRef<std::path::Path>, records: &[AccessRecord]) -> Result<(), TraceIoError> {
+    let file = std::fs::File::create(path)?;
+    write_csv(std::io::BufWriter::new(file), records)
+}
+
+/// Reads records from a CSV file.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read or parsed.
+pub fn load_csv(path: impl AsRef<std::path::Path>) -> Result<Vec<AccessRecord>, TraceIoError> {
+    let file = std::fs::File::open(path)?;
+    read_csv(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: u64) -> Vec<AccessRecord> {
+        (0..n)
+            .map(|i| AccessRecord {
+                access_number: i,
+                fid: FileId(i % 5),
+                fsid: DeviceId((i % 3) as u32),
+                rb: 1000 * i,
+                wb: i,
+                ots: i * 2,
+                otms: (i % 1000) as u16,
+                cts: i * 2 + 1,
+                ctms: ((i * 7) % 1000) as u16,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let records = sample(20);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records).unwrap();
+        let restored = read_csv(&buf[..]).unwrap();
+        assert_eq!(restored, records);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[]).unwrap();
+        assert!(read_csv(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        assert!(read_csv(&b""[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_header_is_reported() {
+        let err = read_csv(&b"nope,nope\n1,2,3\n"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_column_count_is_reported_with_line() {
+        let input = format!("{CSV_HEADER}\n1,2,3\n");
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        match err {
+            TraceIoError::Parse { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("9 columns"));
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn non_integer_field_is_reported() {
+        let input = format!("{CSV_HEADER}\n1,2,3,x,5,6,7,8,9\n");
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("not an integer"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let input = format!("{CSV_HEADER}\n\n0,1,2,3,4,5,6,7,8\n\n");
+        let records = read_csv(input.as_bytes()).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].fid, FileId(1));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let records = sample(5);
+        let dir = std::env::temp_dir().join("geomancy_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        save_csv(&path, &records).unwrap();
+        assert_eq!(load_csv(&path).unwrap(), records);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,187 @@
+//! Statistics used for feature discovery and smoothing: Pearson correlation
+//! (Figure 4), moving average (§V-E), and summary statistics.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for fewer than two values.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Returns `0.0` when either series is constant (correlation undefined),
+/// matching how the paper treats uninformative features.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    assert!(!xs.is_empty(), "correlation of empty series");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Trailing moving average with the given window ("we remove smaller
+/// variations from data in the ReplayDB by applying a moving average").
+///
+/// Output has the same length as the input; the first `window - 1` entries
+/// average the prefix seen so far.
+///
+/// # Panics
+///
+/// Panics if `window` is zero.
+pub fn moving_average(xs: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be non-zero");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        sum += x;
+        if i >= window {
+            sum -= xs[i - window];
+        }
+        let n = (i + 1).min(window);
+        out.push(sum / n as f64);
+    }
+    out
+}
+
+/// Cumulative (running) average — the alternative smoother the paper rejects
+/// because it "loses short term fluctuations".
+pub fn cumulative_average(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        sum += x;
+        out.push(sum / (i + 1) as f64);
+    }
+    out
+}
+
+/// Mean and population standard deviation as a pair (Table IV cells).
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    (mean(xs), std_dev(xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_known_values() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        let xs = [1.0, 1.0, 1.0];
+        let ys = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_near_zero() {
+        // Symmetric pattern: y identical for low and high x.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 2.0, 2.0, 1.0];
+        assert!(pearson(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let xs = [0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        let smoothed = moving_average(&xs, 2);
+        assert_eq!(smoothed.len(), xs.len());
+        assert_eq!(smoothed[0], 0.0);
+        for &v in &smoothed[1..] {
+            assert_eq!(v, 5.0);
+        }
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let xs = [3.0, 1.0, 4.0];
+        assert_eq!(moving_average(&xs, 1), xs.to_vec());
+    }
+
+    #[test]
+    fn moving_average_prefix_before_window_full() {
+        let xs = [2.0, 4.0, 6.0, 8.0];
+        let out = moving_average(&xs, 4);
+        assert_eq!(out, vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn cumulative_average_converges_to_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let out = cumulative_average(&xs);
+        assert_eq!(out, vec![1.0, 1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn cumulative_loses_short_term_fluctuation_vs_moving() {
+        // A late spike: moving average with a short window reacts more than
+        // the cumulative average — the paper's reason for preferring it.
+        let mut xs = vec![1.0; 50];
+        xs.push(10.0);
+        let ma = moving_average(&xs, 5);
+        let ca = cumulative_average(&xs);
+        let spike_idx = xs.len() - 1;
+        assert!(ma[spike_idx] > ca[spike_idx] * 2.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of statistics, feature encoding, and generators.
+
+use geomancy_trace::belle2::Belle2Workload;
+use geomancy_trace::eos::EosTraceGenerator;
+use geomancy_trace::features::{MinMaxNormalizer, PathEncoder, ScalarNormalizer};
+use geomancy_trace::stats::{cumulative_average, mean, moving_average, pearson, std_dev};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pearson_is_in_unit_interval(
+        pairs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 2..50),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+    }
+
+    #[test]
+    fn pearson_is_symmetric(
+        pairs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 2..40),
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_self_correlation_is_one(
+        xs in proptest::collection::vec(-100.0..100.0f64, 3..40),
+    ) {
+        prop_assume!(std_dev(&xs) > 1e-6);
+        prop_assert!((pearson(&xs, &xs) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moving_average_stays_within_series_bounds(
+        xs in proptest::collection::vec(-100.0..100.0f64, 1..60),
+        window in 1usize..10,
+    ) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in moving_average(&xs, window) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant(
+        c in -50.0..50.0f64,
+        n in 1usize..40,
+        window in 1usize..10,
+    ) {
+        let xs = vec![c; n];
+        for v in moving_average(&xs, window) {
+            prop_assert!((v - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cumulative_average_ends_at_mean(
+        xs in proptest::collection::vec(-100.0..100.0f64, 1..60),
+    ) {
+        let ca = cumulative_average(&xs);
+        prop_assert!((ca.last().unwrap() - mean(&xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minmax_output_in_unit_interval_for_fitted_rows(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-1000.0..1000.0f64, 3),
+            2..30,
+        ),
+    ) {
+        let norm = MinMaxNormalizer::fit(rows.iter().map(|r| r.as_slice()));
+        for row in &rows {
+            let mut r = row.clone();
+            norm.normalize(&mut r);
+            for v in r {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_normalizer_round_trips(
+        values in proptest::collection::vec(0.0..1e9f64, 2..30),
+        probe in 0.0..1e9f64,
+    ) {
+        let n = ScalarNormalizer::fit(&values);
+        let range = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(range > 1e-6);
+        let back = n.denormalize(n.normalize(probe));
+        prop_assert!((back - probe).abs() < 1e-6 * probe.abs().max(1.0));
+    }
+
+    #[test]
+    fn scale_only_normalizer_preserves_ratios(
+        values in proptest::collection::vec(1.0..1e9f64, 2..30),
+    ) {
+        let n = ScalarNormalizer::fit_scale_only(&values);
+        let a = values[0];
+        let b = values[1];
+        prop_assume!(n.normalize(b) > 1e-12);
+        let ratio_before = a / b;
+        let ratio_after = n.normalize(a) / n.normalize(b);
+        prop_assert!((ratio_before - ratio_after).abs() < 1e-6 * ratio_before.abs());
+    }
+
+    #[test]
+    fn path_encoder_is_injective_on_distinct_paths(
+        names in proptest::collection::btree_set("[a-z]{1,8}", 2..20),
+    ) {
+        let mut enc = PathEncoder::new();
+        let ids: Vec<f64> = names.iter().map(|n| enc.encode(&format!("dir/{n}"))).collect();
+        let unique: std::collections::BTreeSet<u64> = ids.iter().map(|&x| x as u64).collect();
+        prop_assert_eq!(unique.len(), names.len(), "collision in path encoding");
+    }
+
+    #[test]
+    fn belle2_runs_have_expected_size_bounds(seed in 0u64..500) {
+        let mut w = Belle2Workload::new(seed);
+        let run = w.next_run();
+        // 24 files x 10..=20 accesses each.
+        prop_assert!(run.len() >= 240 && run.len() <= 480);
+    }
+
+    #[test]
+    fn eos_generator_records_are_consistent(seed in 0u64..200) {
+        let mut gen = EosTraceGenerator::new(seed);
+        for rec in gen.generate(50) {
+            prop_assert!(rec.otms < 1000 && rec.ctms < 1000);
+            prop_assert!(rec.cts >= rec.ots);
+            prop_assert!(rec.throughput() > 0.0);
+            prop_assert_eq!(rec.csize, rec.rb + rec.wb);
+        }
+    }
+}

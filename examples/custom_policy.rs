@@ -1,0 +1,106 @@
+//! Extending Geomancy: implement your own placement policy and race it
+//! against the built-ins through the experiment driver.
+//!
+//! The example policy is a *capacity-weighted* spread: faster devices get
+//! proportionally more files, recomputed at every decision point — a
+//! middle ground between the even spread and the learned layouts.
+//!
+//! Run with `cargo run --example custom_policy --release`.
+
+use geomancy::core::experiment::{run_policy_experiment, ExperimentConfig};
+use geomancy::core::policy::{
+    rank_devices_by_throughput, Lfu, PlacementPolicy, PolicyContext, SpreadStatic,
+};
+use geomancy::sim::cluster::Layout;
+
+/// Assigns files to devices proportionally to each device's observed mean
+/// throughput: a device twice as fast gets twice the files.
+#[derive(Debug, Default)]
+struct ThroughputWeightedSpread;
+
+impl PlacementPolicy for ThroughputWeightedSpread {
+    fn name(&self) -> String {
+        "Weighted spread".to_string()
+    }
+
+    fn update(&mut self, ctx: &PolicyContext<'_>) -> Option<Layout> {
+        // Observed mean throughput per device (fall back to uniform).
+        let weights: Vec<f64> = ctx
+            .devices
+            .iter()
+            .map(|&d| ctx.db.mean_device_throughput(d, ctx.lookback).unwrap_or(1.0))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        // Quota per device, largest-remainder rounded.
+        let n_files = ctx.files.len();
+        let mut quotas: Vec<usize> = weights
+            .iter()
+            .map(|w| ((w / total) * n_files as f64).floor() as usize)
+            .collect();
+        let mut leftover = n_files - quotas.iter().sum::<usize>();
+        // Hand leftovers to the fastest devices.
+        let ranked = rank_devices_by_throughput(ctx.db, ctx.devices, ctx.lookback);
+        for device in &ranked {
+            if leftover == 0 {
+                break;
+            }
+            let idx = ctx.devices.iter().position(|d| d == device).expect("ranked ⊆ devices");
+            quotas[idx] += 1;
+            leftover -= 1;
+        }
+        // Fill quotas in file order, fastest devices first.
+        let mut layout = Layout::new();
+        let mut files = ctx.files.keys().copied();
+        for device in ranked {
+            let idx = ctx.devices.iter().position(|d| *d == device).expect("ranked ⊆ devices");
+            for _ in 0..quotas[idx] {
+                if let Some(fid) = files.next() {
+                    layout.insert(fid, device);
+                }
+            }
+        }
+        for fid in files {
+            layout.insert(fid, *ctx.devices.last().expect("non-empty devices"));
+        }
+        Some(layout)
+    }
+}
+
+fn main() {
+    let config = ExperimentConfig {
+        seed: 5,
+        warmup_accesses: 2_000,
+        runs: 12,
+        move_every_runs: 3,
+        lookback: 2_000,
+        transfer_budget: None,
+        file_count: 24,
+        inter_run_gap_secs: 3.0,
+        early_retrain_on_drift: false,
+    };
+    println!("racing three policies over {} runs…", config.runs);
+    let mut contenders: Vec<Box<dyn PlacementPolicy>> = vec![
+        Box::new(SpreadStatic::new()),
+        Box::new(Lfu),
+        Box::new(ThroughputWeightedSpread),
+    ];
+    let mut best: Option<(String, f64)> = None;
+    for policy in &mut contenders {
+        let result = run_policy_experiment(policy.as_mut(), &config);
+        println!(
+            "  {:<16} {:.2} ± {:.2} GB/s over {} accesses",
+            result.policy,
+            result.avg_throughput / 1e9,
+            result.std_throughput / 1e9,
+            result.series.len()
+        );
+        if best.as_ref().map(|(_, tp)| result.avg_throughput > *tp).unwrap_or(true) {
+            best = Some((result.policy.clone(), result.avg_throughput));
+        }
+    }
+    let (winner, tp) = best.expect("at least one policy ran");
+    println!("\nwinner: {winner} at {:.2} GB/s", tp / 1e9);
+}

@@ -1,0 +1,22 @@
+//! # geomancy
+//!
+//! Facade crate for the Geomancy reproduction ("Geomancy: Automated
+//! Performance Enhancement through Data Layout Optimization", ISPASS 2020):
+//! re-exports the workspace crates under one roof and hosts the runnable
+//! examples and cross-crate integration tests.
+//!
+//! - [`core`] — DRL engine, Action Checker, placement policies, experiments
+//! - [`nn`] — from-scratch neural networks (dense, SimpleRNN, LSTM, GRU)
+//! - [`sim`] — the simulated Bluesky storage substrate
+//! - [`trace`] — BELLE II / EOS workload and trace generators
+//! - [`replaydb`] — the timestamp-indexed performance record store
+//!
+//! See `examples/quickstart.rs` for the end-to-end loop.
+
+#![warn(missing_docs)]
+
+pub use geomancy_core as core;
+pub use geomancy_nn as nn;
+pub use geomancy_replaydb as replaydb;
+pub use geomancy_sim as sim;
+pub use geomancy_trace as trace;

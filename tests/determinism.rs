@@ -1,0 +1,156 @@
+//! Reproducibility: every stochastic component must be exactly
+//! deterministic for a fixed seed — the property that makes the paper's
+//! experiments regenerable.
+
+use geomancy::core::drl::{DrlConfig, DrlEngine, PlacementQuery};
+use geomancy::core::experiment::{run_policy_experiment, ExperimentConfig};
+use geomancy::core::policy::GeomancyDynamic;
+use geomancy::core::ActionChecker;
+use geomancy::nn::init::seeded_rng;
+use geomancy::replaydb::ReplayDb;
+use geomancy::sim::bluesky::bluesky_system;
+use geomancy::sim::cluster::FileMeta;
+use geomancy::sim::record::{DeviceId, FileId};
+use geomancy::trace::belle2::Belle2Workload;
+use geomancy::trace::eos::EosTraceGenerator;
+
+fn tiny_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        warmup_accesses: 300,
+        runs: 4,
+        move_every_runs: 2,
+        lookback: 600,
+        transfer_budget: None,
+        file_count: 6,
+        inter_run_gap_secs: 2.0,
+        early_retrain_on_drift: false,
+    }
+}
+
+#[test]
+fn full_geomancy_experiment_is_bitwise_deterministic() {
+    let run = || {
+        let mut policy = GeomancyDynamic::with_config(
+            DrlConfig {
+                train_window: 200,
+                epochs: 8,
+                smoothing_window: 4,
+                seed: 5,
+                ..DrlConfig::default()
+            },
+            0.1,
+        );
+        let result = run_policy_experiment(&mut policy, &tiny_config(5));
+        (
+            result.avg_throughput,
+            result.series.len(),
+            result
+                .movements
+                .iter()
+                .map(|m| (m.at_access, m.files_moved))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn engine_training_is_deterministic() {
+    let mut db = ReplayDb::new();
+    let mut system = bluesky_system(8);
+    let mut workload = Belle2Workload::with_params(8, 6, 0);
+    for (i, f) in workload.files().iter().enumerate() {
+        system
+            .add_file(
+                f.fid,
+                FileMeta {
+                    size: f.size,
+                    path: f.path.clone(),
+                },
+                DeviceId((i % 6) as u32),
+            )
+            .unwrap();
+    }
+    for op in workload.next_run() {
+        let rec = system.read_file(op.fid, op.bytes).unwrap();
+        db.insert(system.clock().now_micros(), rec);
+    }
+    let rank = || {
+        let mut engine = DrlEngine::new(DrlConfig {
+            train_window: 200,
+            epochs: 10,
+            smoothing_window: 4,
+            seed: 8,
+            ..DrlConfig::default()
+        });
+        engine.retrain(&db).unwrap();
+        engine.rank_locations(
+            &PlacementQuery {
+                fid: FileId(0),
+                read_bytes: 1_000_000,
+                write_bytes: 0,
+                now_secs: 500,
+                now_ms: 0,
+            },
+            &[DeviceId(0), DeviceId(1), DeviceId(2)],
+        )
+    };
+    assert_eq!(rank(), rank());
+}
+
+#[test]
+fn checker_decisions_replay_identically() {
+    let ranked: Vec<(DeviceId, f64)> = (0..6).map(|i| (DeviceId(i), i as f64)).collect();
+    let decide = || {
+        let mut checker = ActionChecker::new(99);
+        (0..100)
+            .map(|_| checker.check(&ranked, |d| d.0 != 3).device)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(decide(), decide());
+}
+
+#[test]
+fn generators_are_deterministic_and_seed_sensitive() {
+    let eos = |seed| EosTraceGenerator::new(seed).generate(50);
+    assert_eq!(eos(1), eos(1));
+    assert_ne!(eos(1), eos(2));
+
+    let belle = |seed| Belle2Workload::new(seed).next_run();
+    assert_eq!(belle(1), belle(1));
+    assert_ne!(belle(1), belle(2));
+}
+
+#[test]
+fn weight_initialization_is_deterministic() {
+    use geomancy::core::models::{build_model, ModelId};
+    let weights = |seed| {
+        let mut rng = seeded_rng(seed);
+        build_model(ModelId::new(1), 6, 8, &mut rng).export_weights()
+    };
+    assert_eq!(weights(3), weights(3));
+    assert_ne!(weights(3), weights(4));
+}
+
+#[test]
+fn simulator_noise_is_seeded() {
+    let run = |seed| {
+        let mut system = bluesky_system(seed);
+        system
+            .add_file(
+                FileId(0),
+                FileMeta {
+                    size: 5_000_000,
+                    path: "det.root".into(),
+                },
+                DeviceId(3),
+            )
+            .unwrap();
+        (0..20)
+            .map(|_| system.read_file(FileId(0), None).unwrap().throughput())
+            .collect::<Vec<f64>>()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
