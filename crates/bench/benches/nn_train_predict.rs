@@ -42,7 +42,11 @@ fn bench_train_epoch(c: &mut Criterion) {
         ("model12_lstm", 12u8),
         ("model18_simplernn", 18u8),
     ] {
-        let ds = if ModelId::new(id).is_recurrent() { &windowed } else { &dense };
+        let ds = if ModelId::new(id).is_recurrent() {
+            &windowed
+        } else {
+            &dense
+        };
         group.bench_function(label, |b| {
             b.iter_batched(
                 || {

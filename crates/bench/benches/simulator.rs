@@ -48,7 +48,11 @@ fn bench_migration(c: &mut Criterion) {
                     .unwrap();
                 system
             },
-            |mut system| system.move_file(FileId(0), Mount::File0.device_id()).unwrap(),
+            |mut system| {
+                system
+                    .move_file(FileId(0), Mount::File0.device_id())
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });
@@ -93,5 +97,10 @@ fn bench_full_workload_run(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_access, bench_migration, bench_full_workload_run);
+criterion_group!(
+    benches,
+    bench_access,
+    bench_migration,
+    bench_full_workload_run
+);
 criterion_main!(benches);

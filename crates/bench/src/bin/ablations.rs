@@ -45,7 +45,11 @@ fn main() {
         };
         println!("smoothing window {window}…");
         let (avg, std) = run(seed, drl, 0.1, base_cadence);
-        rows.push(vec![window.to_string(), format!("{avg:.2}"), format!("{std:.2}")]);
+        rows.push(vec![
+            window.to_string(),
+            format!("{avg:.2}"),
+            format!("{std:.2}"),
+        ]);
         entries.push(serde_json::json!({"window": window, "avg_gbps": avg, "std_gbps": std}));
     }
     print_table(
@@ -61,7 +65,11 @@ fn main() {
     for rate in [0.0, 0.1, 0.5] {
         println!("exploration rate {rate}…");
         let (avg, std) = run(seed, live_drl_config(seed), rate, base_cadence);
-        rows.push(vec![format!("{rate}"), format!("{avg:.2}"), format!("{std:.2}")]);
+        rows.push(vec![
+            format!("{rate}"),
+            format!("{avg:.2}"),
+            format!("{std:.2}"),
+        ]);
         entries.push(serde_json::json!({"rate": rate, "avg_gbps": avg, "std_gbps": std}));
     }
     print_table(
@@ -74,10 +82,18 @@ fn main() {
     // 3. Move cadence.
     let mut rows = Vec::new();
     let mut entries = Vec::new();
-    for cadence in [base_cadence.saturating_sub(base_cadence / 2).max(1), base_cadence, base_cadence * 3] {
+    for cadence in [
+        base_cadence.saturating_sub(base_cadence / 2).max(1),
+        base_cadence,
+        base_cadence * 3,
+    ] {
         println!("move cadence: every {cadence} runs…");
         let (avg, std) = run(seed, live_drl_config(seed), 0.1, cadence);
-        rows.push(vec![cadence.to_string(), format!("{avg:.2}"), format!("{std:.2}")]);
+        rows.push(vec![
+            cadence.to_string(),
+            format!("{avg:.2}"),
+            format!("{std:.2}"),
+        ]);
         entries.push(serde_json::json!({"every_runs": cadence, "avg_gbps": avg, "std_gbps": std}));
     }
     print_table(
@@ -92,10 +108,13 @@ fn main() {
     let mut entries = Vec::new();
     for cap in [4usize, 14, 24] {
         println!("move cap {cap}…");
-        let policy =
-            GeomancyDynamic::with_config(live_drl_config(seed), 0.1).with_move_cap(cap);
+        let policy = GeomancyDynamic::with_config(live_drl_config(seed), 0.1).with_move_cap(cap);
         let (avg, std) = run_policy(seed, policy, base_cadence);
-        rows.push(vec![cap.to_string(), format!("{avg:.2}"), format!("{std:.2}")]);
+        rows.push(vec![
+            cap.to_string(),
+            format!("{avg:.2}"),
+            format!("{std:.2}"),
+        ]);
         entries.push(serde_json::json!({"cap": cap, "avg_gbps": avg, "std_gbps": std}));
     }
     print_table(
@@ -114,7 +133,11 @@ fn main() {
         let policy =
             GeomancyDynamic::with_config(live_drl_config(seed), 0.1).with_cooldown(cooldown);
         let (avg, std) = run_policy(seed, policy, base_cadence);
-        rows.push(vec![cooldown.to_string(), format!("{avg:.2}"), format!("{std:.2}")]);
+        rows.push(vec![
+            cooldown.to_string(),
+            format!("{avg:.2}"),
+            format!("{std:.2}"),
+        ]);
         entries.push(serde_json::json!({"rounds": cooldown, "avg_gbps": avg, "std_gbps": std}));
     }
     print_table(

@@ -31,7 +31,11 @@ fn main() {
             vec![
                 name.to_string(),
                 format!("{corr:+.3}"),
-                if SELECTED.contains(name) { "selected".to_string() } else { String::new() },
+                if SELECTED.contains(name) {
+                    "selected".to_string()
+                } else {
+                    String::new()
+                },
                 bar,
             ]
         })

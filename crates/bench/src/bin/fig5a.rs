@@ -64,7 +64,11 @@ fn main() {
     println!("\nThroughput over access number (first seed):");
     for per_seed in &results {
         let r = &per_seed[0];
-        let tps: Vec<f64> = r.smoothed_series(200).iter().map(|p| p.throughput).collect();
+        let tps: Vec<f64> = r
+            .smoothed_series(200)
+            .iter()
+            .map(|p| p.throughput)
+            .collect();
         println!("{}", sparkline(&r.policy, &tps, 60));
     }
 
@@ -81,8 +85,9 @@ fn main() {
         println!("  at most {max_moved} files per movement (paper: 1-14 files, at most 14)");
     }
 
-    let mean =
-        |rs: &[ExperimentResult]| rs.iter().map(|r| r.avg_throughput).sum::<f64>() / rs.len() as f64;
+    let mean = |rs: &[ExperimentResult]| {
+        rs.iter().map(|r| r.avg_throughput).sum::<f64>() / rs.len() as f64
+    };
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|per_seed| {

@@ -25,7 +25,12 @@ fn seeds() -> Vec<u64> {
     }
 }
 
-const POLICY_NAMES: [&str; 4] = ["Spread static", "Random static", "Geomancy static", "Geomancy"];
+const POLICY_NAMES: [&str; 4] = [
+    "Spread static",
+    "Random static",
+    "Geomancy static",
+    "Geomancy",
+];
 
 fn make_policy(name: &str, seed: u64) -> Box<dyn PlacementPolicy> {
     match name {
@@ -62,12 +67,17 @@ fn main() {
     println!("\nThroughput over access number (first seed):");
     for per_seed in &results {
         let r = &per_seed[0];
-        let tps: Vec<f64> = r.smoothed_series(200).iter().map(|p| p.throughput).collect();
+        let tps: Vec<f64> = r
+            .smoothed_series(200)
+            .iter()
+            .map(|p| p.throughput)
+            .collect();
         println!("{}", sparkline(&r.policy, &tps, 60));
     }
 
-    let mean =
-        |rs: &[ExperimentResult]| rs.iter().map(|r| r.avg_throughput).sum::<f64>() / rs.len() as f64;
+    let mean = |rs: &[ExperimentResult]| {
+        rs.iter().map(|r| r.avg_throughput).sum::<f64>() / rs.len() as f64
+    };
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|per_seed| {

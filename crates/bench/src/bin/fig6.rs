@@ -30,7 +30,10 @@ fn main() {
 
     let tuned: Vec<f64> = result.tuned.iter().map(|p| p.throughput).collect();
     let untuned: Vec<f64> = result.untuned.iter().map(|p| p.throughput).collect();
-    println!("\nThroughput over access number (onset at access {}):", result.onset_access);
+    println!(
+        "\nThroughput over access number (onset at access {}):",
+        result.onset_access
+    );
     println!("{}", sparkline("tuned (Geomancy)", &tuned, 60));
     println!("{}", sparkline("untuned duplicate", &untuned, 60));
 
@@ -51,7 +54,11 @@ fn main() {
         .map(|p| p.throughput)
         .collect();
     let before: Vec<f64> = solo.iter().copied().skip(solo.len() * 3 / 4).collect();
-    let disruption: Vec<f64> = after_all.iter().copied().take(after_all.len() / 4).collect();
+    let disruption: Vec<f64> = after_all
+        .iter()
+        .copied()
+        .take(after_all.len() / 4)
+        .collect();
     let recovery: Vec<f64> = after_all
         .iter()
         .copied()
@@ -84,8 +91,11 @@ fn main() {
         .copied()
         .skip(control_solo.len() * 3 / 4)
         .collect();
-    let control_disruption: Vec<f64> =
-        control_late.iter().copied().take(control_late.len() / 4).collect();
+    let control_disruption: Vec<f64> = control_late
+        .iter()
+        .copied()
+        .take(control_late.len() / 4)
+        .collect();
     let (cb_mean, _) = mean_std(&control_before);
     let (cd_mean, _) = mean_std(&control_disruption);
     let control_recovery: Vec<f64> = control_late
@@ -94,8 +104,10 @@ fn main() {
         .skip(3 * control_late.len() / 4)
         .collect();
     let (c_mean, _) = mean_std(&control_recovery);
-    println!("
-No-adaptation control phases (same system, no moves):");
+    println!(
+        "
+No-adaptation control phases (same system, no moves):"
+    );
     println!("  before onset:      {:.2} GB/s", cb_mean / 1e9);
     println!(
         "  right after onset: {:.2} GB/s ({:+.1} % — the duplicate's cost)",

@@ -1,0 +1,312 @@
+//! Before/after benchmark of the fused NN kernel layer: model 1's
+//! train-epoch and batch-predict times under the seed's allocation-heavy
+//! scalar path versus the blocked, fused, scratch-reusing kernels now
+//! backing `Sequential`.
+//!
+//! The "before" side is a faithful in-bin replica of the seed
+//! implementation: zero-skip scalar `dot`, materialized `transpose()`,
+//! per-call `clone()` caches, broadcast/activation/hadamard each allocating
+//! a fresh matrix, and an SGD step that clones every gradient. The "after"
+//! side is the live `Sequential::train_batch_view` / `predict` path on
+//! identical weights and data.
+//!
+//! Run with `cargo run -p geomancy-bench --bin nn_kernels --release`.
+//! Writes `BENCH_nn.json` at the workspace root.
+
+use std::time::Instant;
+
+use geomancy_bench::output::{fast_mode, print_table};
+use geomancy_nn::activation::Activation;
+use geomancy_nn::init::seeded_rng;
+use geomancy_nn::layers::Dense;
+use geomancy_nn::loss::Loss;
+use geomancy_nn::matrix::Matrix;
+use geomancy_nn::network::Sequential;
+use geomancy_nn::optimizer::Sgd;
+
+/// The seed's scalar `dot` with the data-dependent zero-skip branch.
+fn naive_dot(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "shape mismatch");
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a[(i, k)];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..b.cols() {
+                out[(i, j)] += av * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Seed-style dense layer: every forward clones its caches, every backward
+/// materializes transposes and intermediate matrices.
+struct NaiveDense {
+    weight: Matrix,
+    bias: Matrix,
+    w_grad: Matrix,
+    b_grad: Matrix,
+    activation: Activation,
+    input: Option<Matrix>,
+    output: Option<Matrix>,
+}
+
+impl NaiveDense {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let pre = naive_dot(input, &self.weight).add_row_broadcast(&self.bias);
+        let out = self.activation.apply(&pre);
+        self.input = Some(input.clone());
+        self.output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("forward first");
+        let output = self.output.as_ref().expect("forward first");
+        let grad_pre = grad_output.hadamard(&self.activation.derivative(output));
+        self.w_grad
+            .add_assign(&naive_dot(&input.transpose(), &grad_pre));
+        self.b_grad.add_assign(&grad_pre.sum_rows());
+        naive_dot(&grad_pre, &self.weight.transpose())
+    }
+}
+
+/// Seed-style network: per-batch `Vec`s of matrices, clone-based SGD step.
+struct NaiveNet {
+    layers: Vec<NaiveDense>,
+    learning_rate: f64,
+    clip: f64,
+}
+
+impl NaiveNet {
+    /// Builds the naive net from the live network's exported weights so both
+    /// sides start from identical parameters.
+    fn from_weights(weights: &[Matrix], acts: &[Activation], lr: f64) -> Self {
+        assert_eq!(weights.len(), acts.len() * 2);
+        let layers = acts
+            .iter()
+            .enumerate()
+            .map(|(i, &activation)| {
+                let weight = weights[2 * i].clone();
+                let bias = weights[2 * i + 1].clone();
+                NaiveDense {
+                    w_grad: Matrix::zeros(weight.rows(), weight.cols()),
+                    b_grad: Matrix::zeros(bias.rows(), bias.cols()),
+                    weight,
+                    bias,
+                    activation,
+                    input: None,
+                    output: None,
+                }
+            })
+            .collect();
+        NaiveNet {
+            layers,
+            learning_rate: lr,
+            clip: 1.0,
+        }
+    }
+
+    fn predict(&mut self, input: &Matrix) -> Matrix {
+        let mut cur = input.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    fn train_batch(&mut self, x: &Matrix, y: &Matrix, loss: Loss) -> f64 {
+        let pred = self.predict(x);
+        let value = loss.compute(&pred, y);
+        let mut grad = loss.gradient(&pred, y);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        // Seed SGD: clone the gradient, clip, scale into a fresh update
+        // matrix, then reallocate the zeroed gradient.
+        for layer in &mut self.layers {
+            for (value_m, grad_m) in [
+                (&mut layer.weight, &mut layer.w_grad),
+                (&mut layer.bias, &mut layer.b_grad),
+            ] {
+                let mut g = grad_m.clone();
+                g.clip_inplace(self.clip);
+                let update = g.scale(-self.learning_rate);
+                value_m.add_assign(&update);
+                *grad_m = Matrix::zeros(grad_m.rows(), grad_m.cols());
+            }
+        }
+        value
+    }
+}
+
+/// Deterministic synthetic workload-shaped data: 6 features in [0, 1].
+fn dataset(rows: usize) -> (Matrix, Matrix) {
+    let x = Matrix::from_vec(
+        rows,
+        6,
+        (0..rows * 6)
+            .map(|i| ((i * 31 + 7) % 101) as f64 / 101.0)
+            .collect(),
+    );
+    let y = Matrix::from_vec(
+        rows,
+        1,
+        (0..rows)
+            .map(|i| {
+                let r = x.row(i);
+                (2.0 * r[0] - r[1] + 0.5 * r[5]).max(0.0)
+            })
+            .collect(),
+    );
+    (x, y)
+}
+
+/// Minimum over `reps` timed runs of `f`, in milliseconds.
+fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let fast = fast_mode();
+    let (train_reps, predict_reps) = if fast { (3, 10) } else { (10, 50) };
+    let train_rows = 1200;
+    let predict_rows = 400;
+    let batch = 64;
+    let lr = 0.01;
+    let acts = [
+        Activation::ReLU,
+        Activation::ReLU,
+        Activation::ReLU,
+        Activation::Linear,
+    ];
+
+    // Model 1: dense 6 -> 96 -> 48 -> 24 -> 1, identical weights both sides.
+    let mut rng = seeded_rng(42);
+    let mut net = Sequential::new();
+    net.push(Dense::new(6, 96, acts[0], &mut rng));
+    net.push(Dense::new(96, 48, acts[1], &mut rng));
+    net.push(Dense::new(48, 24, acts[2], &mut rng));
+    net.push(Dense::new(24, 1, acts[3], &mut rng));
+    let weights = net.export_weights();
+    let mut naive = NaiveNet::from_weights(&weights, &acts, lr);
+
+    let (x, y) = dataset(train_rows);
+    let (px, _) = dataset(predict_rows);
+
+    // Cross-check: both implementations predict the same outputs.
+    let fused_pred = net.predict(&px);
+    let naive_pred = naive.predict(&px);
+    let mut max_rel = 0.0f64;
+    for (a, b) in fused_pred.as_slice().iter().zip(naive_pred.as_slice()) {
+        max_rel = max_rel.max((a - b).abs() / b.abs().max(1.0));
+    }
+    assert!(max_rel < 1e-12, "implementations diverge: {max_rel}");
+
+    // --- train epoch: full pass over train_rows in `batch`-row batches ---
+    let mut opt = Sgd::new(lr);
+    let run_epoch_fused = |net: &mut Sequential, opt: &mut Sgd| {
+        let mut row = 0;
+        while row < x.rows() {
+            let end = (row + batch).min(x.rows());
+            net.train_batch_view(
+                x.view_rows(row..end),
+                y.view_rows(row..end),
+                Loss::MeanSquaredError,
+                opt,
+            );
+            row = end;
+        }
+    };
+    let run_epoch_naive = |naive: &mut NaiveNet| {
+        let mut row = 0;
+        while row < x.rows() {
+            let end = (row + batch).min(x.rows());
+            let bx = x.slice_rows(row..end);
+            let by = y.slice_rows(row..end);
+            naive.train_batch(&bx, &by, Loss::MeanSquaredError);
+            row = end;
+        }
+    };
+    // Warm-up (also sizes the fused path's scratch buffers).
+    run_epoch_fused(&mut net, &mut opt);
+    run_epoch_naive(&mut naive);
+    let train_after_ms = best_ms(train_reps, || run_epoch_fused(&mut net, &mut opt));
+    let train_before_ms = best_ms(train_reps, || run_epoch_naive(&mut naive));
+
+    // --- batch predict: 400 candidate rows, as rank_locations issues ---
+    let _ = net.predict(&px);
+    let _ = naive.predict(&px);
+    let predict_after_ms = best_ms(predict_reps, || {
+        let _ = net.predict(&px);
+    });
+    let predict_before_ms = best_ms(predict_reps, || {
+        let _ = naive.predict(&px);
+    });
+
+    let train_speedup = train_before_ms / train_after_ms;
+    let predict_speedup = predict_before_ms / predict_after_ms;
+
+    print_table(
+        "Fused NN kernels: model 1 before/after",
+        &["operation", "before (ms)", "after (ms)", "speedup"],
+        &[
+            vec![
+                format!("train epoch ({train_rows} rows, batch {batch})"),
+                format!("{train_before_ms:.3}"),
+                format!("{train_after_ms:.3}"),
+                format!("{train_speedup:.2}x"),
+            ],
+            vec![
+                format!("predict ({predict_rows} rows)"),
+                format!("{predict_before_ms:.3}"),
+                format!("{predict_after_ms:.3}"),
+                format!("{predict_speedup:.2}x"),
+            ],
+        ],
+    );
+
+    let json = serde_json::json!({
+        "model": "model1_dense_6_96_48_24_1",
+        "train_rows": train_rows,
+        "batch_size": batch,
+        "predict_rows": predict_rows,
+        "reps": {"train": train_reps, "predict": predict_reps},
+        "train_epoch_ms": {
+            "before": train_before_ms,
+            "after": train_after_ms,
+            "speedup": train_speedup,
+        },
+        "predict_ms": {
+            "before": predict_before_ms,
+            "after": predict_after_ms,
+            "speedup": predict_speedup,
+        },
+        "max_relative_prediction_difference": max_rel,
+    });
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .join("BENCH_nn.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&json).expect("serializable"),
+    )
+    .expect("write BENCH_nn.json");
+    println!("\nwrote {}", path.display());
+
+    assert!(
+        train_speedup >= 2.0 && predict_speedup >= 2.0,
+        "kernel speedup regressed below 2x (train {train_speedup:.2}x, predict {predict_speedup:.2}x)"
+    );
+}

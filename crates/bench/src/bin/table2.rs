@@ -40,7 +40,11 @@ fn main() {
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     for id in ModelId::all() {
-        let ds = if id.is_recurrent() { &windowed_ds } else { &dense_ds };
+        let ds = if id.is_recurrent() {
+            &windowed_ds
+        } else {
+            &dense_ds
+        };
         let split = DataSplit::split_60_20_20(ds.inputs.clone(), ds.targets.clone());
         let mut rng = seeded_rng(1000 + id.number() as u64);
         let mut net = build_model(id, Z, TIMESTEPS, &mut rng);

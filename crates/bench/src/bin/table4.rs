@@ -12,7 +12,10 @@ use geomancy_sim::bluesky::Mount;
 fn main() {
     let config = experiment_config(55);
     let seed = config.seed;
-    println!("Table IV — per-mount pinned runs vs Geomancy, {} runs each", config.runs);
+    println!(
+        "Table IV — per-mount pinned runs vs Geomancy, {} runs each",
+        config.runs
+    );
 
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
@@ -37,7 +40,11 @@ fn main() {
         pinned_avgs.push((mount, result.avg_throughput));
         rows.push(vec![
             mount.name().to_string(),
-            format!("{:.2} ± {:.2}", result.avg_throughput / 1e9, result.std_throughput / 1e9),
+            format!(
+                "{:.2} ± {:.2}",
+                result.avg_throughput / 1e9,
+                result.std_throughput / 1e9
+            ),
             format!("{usage_pct:.2}"),
         ]);
         json_rows.push(serde_json::json!({
@@ -65,7 +72,11 @@ fn main() {
 
     print_table(
         "Table IV — performance and utilization of storage points",
-        &["storage point", "avg throughput (GB/s)", "usage by Geomancy (%)"],
+        &[
+            "storage point",
+            "avg throughput (GB/s)",
+            "usage by Geomancy (%)",
+        ],
         &rows,
     );
 
@@ -93,7 +104,12 @@ fn main() {
     println!(
         "  Geomancy: {:.2} GB/s using file0 for {:.1} % of accesses",
         geomancy_result.avg_throughput / 1e9,
-        geomancy_result.usage_fraction.get("file0").copied().unwrap_or(0.0) * 100.0
+        geomancy_result
+            .usage_fraction
+            .get("file0")
+            .copied()
+            .unwrap_or(0.0)
+            * 100.0
     );
 
     write_json(

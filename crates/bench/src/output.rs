@@ -66,7 +66,11 @@ pub fn sparkline(label: &str, values: &[f64], width: usize) -> String {
             GLYPHS[idx.min(GLYPHS.len() - 1)]
         })
         .collect();
-    format!("{label:<18} {chars}  [{:.2}, {:.2}] GB/s", min / 1e9, max / 1e9)
+    format!(
+        "{label:<18} {chars}  [{:.2}, {:.2}] GB/s",
+        min / 1e9,
+        max / 1e9
+    )
 }
 
 /// Directory where binaries drop machine-readable results.
@@ -83,7 +87,10 @@ pub fn results_dir() -> PathBuf {
 /// Writes a JSON value under `results/<name>.json`, reporting the path.
 pub fn write_json(name: &str, value: &serde_json::Value) {
     let path = results_dir().join(format!("{name}.json"));
-    match std::fs::write(&path, serde_json::to_string_pretty(value).expect("serializable")) {
+    match std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serializable"),
+    ) {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
@@ -91,7 +98,9 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
 
 /// Whether fast (smoke-test) mode is requested via `GEOMANCY_FAST=1`.
 pub fn fast_mode() -> bool {
-    std::env::var("GEOMANCY_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("GEOMANCY_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Formats bytes/second as the paper's GB/s cells.

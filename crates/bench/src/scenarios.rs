@@ -152,9 +152,7 @@ mod tests {
         assert_eq!(telemetry.len(), 6);
         for (mount, records) in &telemetry {
             assert_eq!(records.len(), 50, "{mount} shorted");
-            assert!(records
-                .iter()
-                .all(|r| r.fsid == mount.device_id()));
+            assert!(records.iter().all(|r| r.fsid == mount.device_id()));
         }
     }
 

@@ -37,7 +37,11 @@ impl std::fmt::Display for ArgError {
             ArgError::Duplicate(k) => write!(f, "option --{k} given more than once"),
             ArgError::UnexpectedPositional(v) => write!(f, "unexpected argument {v:?}"),
             ArgError::Missing(k) => write!(f, "missing required option --{k}"),
-            ArgError::Invalid { key, value, expected } => {
+            ArgError::Invalid {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key} expects {expected}, got {value:?}")
             }
         }
@@ -188,7 +192,10 @@ mod tests {
     fn required_string() {
         let args = parse(&["x", "--path", "/tmp/t.csv"]).unwrap();
         assert_eq!(args.str_required("path").unwrap(), "/tmp/t.csv");
-        assert_eq!(args.str_required("nope"), Err(ArgError::Missing("nope".into())));
+        assert_eq!(
+            args.str_required("nope"),
+            Err(ArgError::Missing("nope".into()))
+        );
     }
 
     #[test]

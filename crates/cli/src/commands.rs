@@ -2,13 +2,13 @@
 
 use std::error::Error;
 
+use geomancy_core::drl::DrlConfig;
 use geomancy_core::experiment::{run_policy_experiment, ExperimentConfig, PinAll};
 use geomancy_core::models::{build_model, ModelId};
 use geomancy_core::policy::{
     GeomancyDynamic, GeomancyStatic, Lfu, Lru, Mru, PlacementPolicy, RandomDynamic, RandomStatic,
     SpreadStatic,
 };
-use geomancy_core::drl::DrlConfig;
 use geomancy_nn::init::seeded_rng;
 use geomancy_sim::bluesky::Mount;
 use geomancy_trace::features::Z;
@@ -245,7 +245,10 @@ pub fn train_model(args: &Args) -> Result<(), Box<dyn Error>> {
     for (i, f) in workload.files().iter().enumerate() {
         system.add_file(
             f.fid,
-            FileMeta { size: f.size, path: f.path.clone() },
+            FileMeta {
+                size: f.size,
+                path: f.path.clone(),
+            },
             DeviceId((i % 6) as u32),
         )?;
     }
@@ -269,7 +272,11 @@ pub fn train_model(args: &Args) -> Result<(), Box<dyn Error>> {
     let split = DataSplit::split_60_20_20(ds.inputs.clone(), ds.targets.clone());
     let mut rng = seeded_rng(args.u64_or("seed", 0)?);
     let mut net = build_model(id, Z, timesteps, &mut rng);
-    println!("training {id}: {} ({} params, {epochs} epochs)…", net.describe(), net.param_count());
+    println!(
+        "training {id}: {} ({} params, {epochs} epochs)…",
+        net.describe(),
+        net.param_count()
+    );
     let mut opt = Sgd::new(0.05);
     let report = train(
         &mut net,
@@ -324,10 +331,29 @@ fn model_spec(id: ModelId, z: usize, timesteps: usize) -> geomancy_nn::spec::Net
             other => panic!("unknown activation {other}"),
         };
         let layer = match kind {
-            "(Dense)" => LayerSpec::Dense { input, output: width, activation: act },
-            "(SimpleRNN)" => LayerSpec::SimpleRnn { features: z, hidden: width, timesteps, activation: act },
-            "(LSTM)" => LayerSpec::Lstm { features: z, hidden: width, timesteps, activation: act },
-            "(GRU)" => LayerSpec::Gru { features: z, hidden: width, timesteps, activation: act },
+            "(Dense)" => LayerSpec::Dense {
+                input,
+                output: width,
+                activation: act,
+            },
+            "(SimpleRNN)" => LayerSpec::SimpleRnn {
+                features: z,
+                hidden: width,
+                timesteps,
+                activation: act,
+            },
+            "(LSTM)" => LayerSpec::Lstm {
+                features: z,
+                hidden: width,
+                timesteps,
+                activation: act,
+            },
+            "(GRU)" => LayerSpec::Gru {
+                features: z,
+                hidden: width,
+                timesteps,
+                activation: act,
+            },
             other => panic!("unknown layer kind {other}"),
         };
         input = width;
@@ -385,8 +411,17 @@ mod tests {
         let ckpt = dir.join("model.json");
         let args = Args::parse(
             [
-                "train", "--model", "11", "--records", "300", "--epochs", "10", "--mount",
-                "USBtmp", "--checkpoint", ckpt.to_str().unwrap(),
+                "train",
+                "--model",
+                "11",
+                "--records",
+                "300",
+                "--epochs",
+                "10",
+                "--mount",
+                "USBtmp",
+                "--checkpoint",
+                ckpt.to_str().unwrap(),
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -409,8 +444,19 @@ mod tests {
     fn simulate_tiny_run_end_to_end() {
         let args = Args::parse(
             [
-                "simulate", "--policy", "spread", "--runs", "2", "--files", "4", "--warmup",
-                "150", "--cadence", "1", "--seed", "3",
+                "simulate",
+                "--policy",
+                "spread",
+                "--runs",
+                "2",
+                "--files",
+                "4",
+                "--warmup",
+                "150",
+                "--cadence",
+                "1",
+                "--seed",
+                "3",
             ]
             .iter()
             .map(|s| s.to_string()),

@@ -26,7 +26,9 @@ fn no_args_prints_usage() {
 fn unknown_command_exits_nonzero() {
     let out = geomancy().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown command"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown command"));
 }
 
 #[test]
@@ -36,7 +38,9 @@ fn unknown_policy_reports_error() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(String::from_utf8(out.stderr).unwrap().contains("unknown policy"));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown policy"));
 }
 
 #[test]
@@ -75,7 +79,11 @@ fn simulate_trace_report_analyze_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("Spread static"));
     assert!(stdout.contains("Performance report"));
@@ -90,7 +98,11 @@ fn simulate_trace_report_analyze_pipeline() {
         .args(["analyze", "--trace", csv_path.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("per-device throughput"));
     assert!(stdout.contains("feature correlation"));

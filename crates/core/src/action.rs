@@ -68,7 +68,10 @@ impl ActionChecker {
     ///
     /// Panics if `rate` is outside `[0, 1]`.
     pub fn with_exploration(seed: u64, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "exploration rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "exploration rate must be in [0, 1]"
+        );
         ActionChecker {
             exploration_rate: rate,
             rng: StdRng::seed_from_u64(seed),
@@ -189,7 +192,10 @@ mod tests {
             let _ = checker.check(&ranked(), |_| true);
         }
         let rate = checker.explorations() as f64 / checker.decisions() as f64;
-        assert!((0.06..=0.14).contains(&rate), "observed exploration rate {rate}");
+        assert!(
+            (0.06..=0.14).contains(&rate),
+            "observed exploration rate {rate}"
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ pub fn forecasting_dataset(
     smoothing: usize,
     horizon: usize,
 ) -> Dataset {
-    assert!(window > 0 && smoothing > 0, "window and smoothing must be non-zero");
+    assert!(
+        window > 0 && smoothing > 0,
+        "window and smoothing must be non-zero"
+    );
     assert!(
         records.len() + 1 > window + horizon,
         "need more than {} records, got {}",
@@ -158,14 +161,13 @@ pub fn placement_dataset_with(
     assert!(smoothing > 0, "smoothing must be non-zero");
     assert!(records.len() >= 2, "need at least 2 records");
     let throughput: Vec<f64> = records.iter().map(|r| r.throughput()).collect();
-    let smoothed = moving_average(&throughput, smoothing);
+    let smoothed = smooth_per_device(records, &throughput, smoothing);
     let transformed: Vec<f64> = if log_targets {
         smoothed.iter().map(|&v| v.max(0.0).ln_1p()).collect()
     } else {
         smoothed
     };
-    let raw_rows: Vec<[f64; PLACEMENT_Z]> =
-        records.iter().map(placement_features).collect();
+    let raw_rows: Vec<[f64; PLACEMENT_Z]> = records.iter().map(placement_features).collect();
     let feature_norm = MinMaxNormalizer::fit(raw_rows.iter().map(|r| r.as_slice()));
     let target_norm = ScalarNormalizer::fit_scale_only(&transformed);
     let mut inputs = Matrix::zeros(records.len(), PLACEMENT_Z);
@@ -183,6 +185,31 @@ pub fn placement_dataset_with(
         target_norm,
         log_targets,
     }
+}
+
+/// Applies the §V-E moving average within each device's subsequence of the
+/// merged record stream, scattering the smoothed values back into access
+/// order.
+///
+/// Smoothing the merged stream directly would average *across* devices:
+/// with interleaved fast/slow devices every target collapses toward the
+/// global mean and the location column carries no signal — the network can
+/// then do no better than predicting that mean for every candidate. The
+/// paper smooths each ReplayDB time series (one per device), which this
+/// reproduces; single-device streams are unchanged.
+fn smooth_per_device(records: &[AccessRecord], throughput: &[f64], smoothing: usize) -> Vec<f64> {
+    let mut by_device: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (i, r) in records.iter().enumerate() {
+        by_device.entry(r.fsid.0).or_default().push(i);
+    }
+    let mut smoothed = vec![0.0; throughput.len()];
+    for indices in by_device.values() {
+        let series: Vec<f64> = indices.iter().map(|&i| throughput[i]).collect();
+        for (&i, v) in indices.iter().zip(moving_average(&series, smoothing)) {
+            smoothed[i] = v;
+        }
+    }
+    smoothed
 }
 
 #[cfg(test)]

@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn devices_are_evaluated_independently() {
         let mut db = shifting_db(200, 200, 50, 500); // device 0 drifts
-        // Device 1: stable throughput throughout.
+                                                     // Device 1: stable throughput throughout.
         for i in 0..250u64 {
             db.insert(
                 1_000_000 + i,

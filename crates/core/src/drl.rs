@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::adjust::PredictionAdjuster;
-use crate::dataset::{placement_dataset_with, PLACEMENT_Z};
+use crate::dataset::{placement_dataset_with, Dataset, PLACEMENT_Z};
 use crate::models::{build_model, ModelId};
 
 /// Configuration of the DRL engine.
@@ -106,6 +106,9 @@ pub struct DrlEngine {
     log_targets: bool,
     adjuster: PredictionAdjuster,
     retrains: u64,
+    /// Reusable candidate-feature batch for [`DrlEngine::rank_locations`]
+    /// (resized in place, so steady-state ranking allocates nothing).
+    query_buf: Matrix,
 }
 
 impl std::fmt::Debug for DrlEngine {
@@ -144,6 +147,7 @@ impl DrlEngine {
             log_targets: false,
             adjuster: PredictionAdjuster::identity(),
             retrains: 0,
+            query_buf: Matrix::default(),
         }
     }
 
@@ -198,7 +202,25 @@ impl DrlEngine {
             self.config.smoothing_window,
             self.config.log_targets,
         );
-        let split = DataSplit::split_60_20_20(ds.inputs.clone(), ds.targets.clone());
+        // Destructure so the input/target matrices move into the split
+        // instead of being cloned (the dataset is the retrain's largest
+        // allocation).
+        let Dataset {
+            inputs,
+            targets,
+            feature_norm,
+            target_norm,
+            log_targets,
+        } = ds;
+        let denormalize = |v: f64| {
+            let v = target_norm.denormalize(v);
+            if log_targets {
+                v.exp_m1().max(0.0)
+            } else {
+                v.max(0.0)
+            }
+        };
+        let split = DataSplit::split_60_20_20(inputs, targets);
         let mut opt = Sgd::new(self.config.learning_rate);
         let report = train(
             &mut self.net,
@@ -214,19 +236,17 @@ impl DrlEngine {
         // Calibrate the §V-G adjustment on the validation partition, in
         // *linear* (bytes/second) space regardless of the target transform.
         let val_pred_raw = self.net.predict(&split.validation.0);
-        let to_linear = |m: &Matrix| m.map(|v| ds.denormalize_target(v));
-        let val_error = RelativeError::compute(
-            &to_linear(&val_pred_raw),
-            &to_linear(&split.validation.1),
-        );
+        let to_linear = |m: &Matrix| m.map(denormalize);
+        let val_error =
+            RelativeError::compute(&to_linear(&val_pred_raw), &to_linear(&split.validation.1));
         self.adjuster = if self.config.adjust_predictions {
             PredictionAdjuster::from_error(&val_error)
         } else {
             PredictionAdjuster::identity()
         };
-        self.feature_norm = Some(ds.feature_norm);
-        self.target_norm = Some(ds.target_norm);
-        self.log_targets = ds.log_targets;
+        self.feature_norm = Some(feature_norm);
+        self.target_norm = Some(target_norm);
+        self.log_targets = log_targets;
         self.retrains += 1;
         Some(RetrainOutcome {
             samples: split.train.0.rows(),
@@ -249,13 +269,33 @@ impl DrlEngine {
         query: &PlacementQuery,
         candidates: &[DeviceId],
     ) -> Vec<(DeviceId, f64)> {
+        let mut out = Vec::new();
+        self.rank_locations_into(query, candidates, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`DrlEngine::rank_locations`]: clears
+    /// `out` and fills it with `(device, predicted throughput)` in input
+    /// order. With a warm `out` (capacity ≥ `candidates.len()`) the whole
+    /// query — feature rows, forward pass, ranking — reuses the engine's
+    /// internal buffers and performs no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`DrlEngine::retrain`].
+    pub fn rank_locations_into(
+        &mut self,
+        query: &PlacementQuery,
+        candidates: &[DeviceId],
+        out: &mut Vec<(DeviceId, f64)>,
+    ) {
         let feature_norm = self
             .feature_norm
             .as_ref()
             .expect("rank_locations called before retrain");
         let target_norm = self.target_norm.as_ref().expect("normalizer missing");
         assert!(!candidates.is_empty(), "no candidate locations");
-        let mut inputs = Matrix::zeros(candidates.len(), PLACEMENT_Z);
+        self.query_buf.resize(candidates.len(), PLACEMENT_Z);
         for (i, dev) in candidates.iter().enumerate() {
             let mut row = [
                 query.read_bytes as f64,
@@ -272,30 +312,28 @@ impl DrlEngine {
             for v in &mut row {
                 *v = v.clamp(0.0, 1.0);
             }
-            inputs.set_row(i, &row);
+            self.query_buf.set_row(i, &row);
         }
-        let pred = self.net.predict(&inputs);
-        candidates
-            .iter()
-            .enumerate()
-            .map(|(i, &dev)| {
-                let normalized = pred[(i, 0)];
-                // A non-finite output (a degenerate retrain) carries no
-                // information: treat it as zero expected throughput so the
-                // Action Checker can still rank the finite candidates.
-                let tp = if normalized.is_finite() {
-                    let v = target_norm.denormalize(normalized);
-                    if self.log_targets {
-                        v.exp_m1().max(0.0)
-                    } else {
-                        v.max(0.0)
-                    }
+        let pred = self.net.predict_ref(self.query_buf.view());
+        out.clear();
+        out.reserve(candidates.len());
+        for (i, &dev) in candidates.iter().enumerate() {
+            let normalized = pred[(i, 0)];
+            // A non-finite output (a degenerate retrain) carries no
+            // information: treat it as zero expected throughput so the
+            // Action Checker can still rank the finite candidates.
+            let tp = if normalized.is_finite() {
+                let v = target_norm.denormalize(normalized);
+                if self.log_targets {
+                    v.exp_m1().max(0.0)
                 } else {
-                    0.0
-                };
-                (dev, self.adjuster.adjust(tp))
-            })
-            .collect()
+                    v.max(0.0)
+                }
+            } else {
+                0.0
+            };
+            out.push((dev, self.adjuster.adjust(tp)));
+        }
     }
 
     /// Convenience: the candidate with the highest adjusted prediction.
@@ -370,7 +408,11 @@ mod tests {
         assert!(e.is_trained());
         assert_eq!(e.retrains(), 1);
         assert!(outcome.samples > 100);
-        assert!(!outcome.diverged, "model diverged: {:?}", outcome.validation_error);
+        assert!(
+            !outcome.diverged,
+            "model diverged: {:?}",
+            outcome.validation_error
+        );
     }
 
     #[test]

@@ -177,7 +177,8 @@ struct Bench {
 impl Bench {
     fn new(config: &ExperimentConfig) -> (Self, Belle2Workload) {
         let mut system = bluesky_system(config.seed);
-        let workload = Belle2Workload::with_params(config.seed.wrapping_add(1), config.file_count, 0);
+        let workload =
+            Belle2Workload::with_params(config.seed.wrapping_add(1), config.file_count, 0);
         place_files_spread(&mut system, &workload);
         (
             Bench {

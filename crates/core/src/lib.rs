@@ -72,8 +72,8 @@ pub mod report;
 pub mod scheduler;
 
 pub use action::{ActionChecker, ActionKind, CheckedAction};
-pub use config::{ConfigError, GeomancyConfig};
 pub use adjust::PredictionAdjuster;
+pub use config::{ConfigError, GeomancyConfig};
 pub use daemon::{DaemonClient, InterfaceDaemon};
 pub use drift::{DeviceDrift, DriftDetector};
 pub use drl::{DrlConfig, DrlEngine, PlacementQuery, RetrainOutcome};
@@ -82,10 +82,10 @@ pub use experiment::{
     ExperimentResult, MovementCluster, PinAll, ThroughputPoint,
 };
 pub use models::{build_model, ModelId};
+pub use policy::{
+    GeomancyDynamic, GeomancyStatic, Lfu, Lru, Mru, PlacementPolicy, PolicyContext, RandomDynamic,
+    RandomStatic, SpreadStatic,
+};
 pub use registry::{LocationRegistry, StoragePoint};
 pub use report::PerformanceReport;
 pub use scheduler::{GapPrediction, GapScheduler, ScheduledMove};
-pub use policy::{
-    GeomancyDynamic, GeomancyStatic, Lfu, Lru, Mru, PlacementPolicy, PolicyContext,
-    RandomDynamic, RandomStatic, SpreadStatic,
-};

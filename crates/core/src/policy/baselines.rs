@@ -23,7 +23,13 @@ fn order_files_by<K: Ord + Copy>(
             None => unused.push(fid),
         }
     }
-    used.sort_by(|a, b| if descending { b.1.cmp(&a.1) } else { a.1.cmp(&b.1) });
+    used.sort_by(|a, b| {
+        if descending {
+            b.1.cmp(&a.1)
+        } else {
+            a.1.cmp(&b.1)
+        }
+    });
     (used.into_iter().map(|(f, _)| f).collect(), unused)
 }
 
@@ -205,7 +211,7 @@ mod tests {
     fn fixture() -> (ReplayDb, BTreeMap<FileId, FileMeta>) {
         let mut db = ReplayDb::new();
         let mut n = 0u64;
-        let mut push = |db: &mut ReplayDb, fid: u64, dev: u32, n: &mut u64| {
+        let push = |db: &mut ReplayDb, fid: u64, dev: u32, n: &mut u64| {
             let rb = if dev == 0 { 100 } else { 1000 };
             db.insert(
                 *n,

@@ -35,6 +35,9 @@ pub struct GeomancyDynamic {
     /// Round counter and per-file last-moved round backing the cooldown.
     round: u64,
     last_moved: std::collections::BTreeMap<geomancy_sim::record::FileId, u64>,
+    /// Reusable `(device, throughput)` ranking buffer — the per-file query
+    /// loop refills it in place instead of collecting a fresh `Vec`.
+    rank_buf: Vec<(geomancy_sim::record::DeviceId, f64)>,
 }
 
 impl std::fmt::Debug for GeomancyDynamic {
@@ -49,7 +52,13 @@ impl GeomancyDynamic {
     /// Creates the policy with the paper's defaults (model 1, 10 %
     /// exploration).
     pub fn new(seed: u64) -> Self {
-        Self::with_config(DrlConfig { seed, ..DrlConfig::default() }, 0.1)
+        Self::with_config(
+            DrlConfig {
+                seed,
+                ..DrlConfig::default()
+            },
+            0.1,
+        )
     }
 
     /// Creates the policy with a custom engine configuration and exploration
@@ -62,7 +71,10 @@ impl GeomancyDynamic {
     ///
     /// Panics if `exploration` is outside `[0, 1]`.
     pub fn with_config(config: DrlConfig, exploration: f64) -> Self {
-        assert!((0.0..=1.0).contains(&exploration), "exploration must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&exploration),
+            "exploration must be in [0, 1]"
+        );
         let seed = config.seed;
         GeomancyDynamic {
             engine: DrlEngine::new(config),
@@ -74,6 +86,7 @@ impl GeomancyDynamic {
             cooldown_rounds: 2,
             round: 0,
             last_moved: std::collections::BTreeMap::new(),
+            rank_buf: Vec::new(),
         }
     }
 
@@ -152,8 +165,10 @@ impl GeomancyDynamic {
                 now_secs: ctx.now.0,
                 now_ms: ctx.now.1,
             };
-            let mut ranked = self.engine.rank_locations(&query, ctx.devices);
-            for (device, tp) in &mut ranked {
+            self.engine
+                .rank_locations_into(&query, ctx.devices, &mut self.rank_buf);
+            let ranked = &mut self.rank_buf;
+            for (device, tp) in ranked.iter_mut() {
                 let n = assigned.get(device).copied().unwrap_or(0);
                 *tp *= CONGESTION_DISCOUNT.powi(n as i32);
             }
@@ -161,11 +176,10 @@ impl GeomancyDynamic {
             let predicted_current = current
                 .and_then(|c| ranked.iter().find(|(d, _)| *d == c))
                 .map(|(_, tp)| *tp);
-            let action = self.checker.check(&ranked, |d| {
+            let action = self.checker.check(ranked, |d| {
                 // A device is valid if the file already lives there or it has
                 // room for another copy during migration.
-                current == Some(d)
-                    || ctx.free_bytes.get(&d).copied().unwrap_or(0) >= meta.size
+                current == Some(d) || ctx.free_bytes.get(&d).copied().unwrap_or(0) >= meta.size
             });
             let gain = match (action.predicted_throughput, predicted_current) {
                 (Some(new_tp), Some(cur_tp)) if cur_tp > 0.0 => (new_tp - cur_tp) / cur_tp,
@@ -201,7 +215,12 @@ impl GeomancyDynamic {
         self.round += 1;
         let moved_now: Vec<_> = layout
             .iter()
-            .filter(|(fid, dev)| ctx.current_layout.get(fid).map(|c| c != *dev).unwrap_or(false))
+            .filter(|(fid, dev)| {
+                ctx.current_layout
+                    .get(fid)
+                    .map(|c| c != *dev)
+                    .unwrap_or(false)
+            })
             .map(|(&fid, _)| fid)
             .collect();
         for fid in moved_now {
@@ -210,10 +229,7 @@ impl GeomancyDynamic {
 
         // Round-level ε-exploration: 10 % of decision rounds also perform a
         // random movement, keeping the availability picture fresh (§V-H).
-        if !ctx.files.is_empty()
-            && !ctx.devices.is_empty()
-            && self.rng.gen_bool(self.exploration)
-        {
+        if !ctx.files.is_empty() && !ctx.devices.is_empty() && self.rng.gen_bool(self.exploration) {
             let fids: Vec<_> = ctx.files.keys().copied().collect();
             let fid = fids[self.rng.gen_range(0..fids.len())];
             let device = ctx.devices[self.rng.gen_range(0..ctx.devices.len())];
@@ -253,15 +269,16 @@ impl GeomancyDynamic {
                 now_secs: ctx.now.0,
                 now_ms: ctx.now.1,
             };
-            let mut ranked = self.engine.rank_locations(&query, ctx.devices);
-            for (device, tp) in &mut ranked {
+            self.engine
+                .rank_locations_into(&query, ctx.devices, &mut self.rank_buf);
+            let ranked = &mut self.rank_buf;
+            for (device, tp) in ranked.iter_mut() {
                 let n = assigned.get(device).copied().unwrap_or(0);
                 *tp *= CONGESTION_DISCOUNT.powi(n as i32);
             }
             let current = ctx.current_layout.get(&fid).copied();
-            let action = self.checker.check(&ranked, |d| {
-                current == Some(d)
-                    || ctx.free_bytes.get(&d).copied().unwrap_or(0) >= meta.size
+            let action = self.checker.check(ranked, |d| {
+                current == Some(d) || ctx.free_bytes.get(&d).copied().unwrap_or(0) >= meta.size
             });
             layout.insert(fid, action.device);
             *assigned.entry(action.device).or_insert(0) += 1;
@@ -298,7 +315,10 @@ impl std::fmt::Debug for GeomancyStatic {
 impl GeomancyStatic {
     /// Creates the one-shot policy with default engine settings.
     pub fn new(seed: u64) -> Self {
-        Self::with_config(DrlConfig { seed, ..DrlConfig::default() })
+        Self::with_config(DrlConfig {
+            seed,
+            ..DrlConfig::default()
+        })
     }
 
     /// Creates the one-shot policy with a custom engine configuration, so

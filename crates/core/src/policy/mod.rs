@@ -129,8 +129,7 @@ mod tests {
     #[test]
     fn ranking_orders_fastest_first_and_unknown_last() {
         let db = db_with_speeds();
-        let ranked =
-            rank_devices_by_throughput(&db, &[DeviceId(0), DeviceId(1), DeviceId(2)], 100);
+        let ranked = rank_devices_by_throughput(&db, &[DeviceId(0), DeviceId(1), DeviceId(2)], 100);
         assert_eq!(ranked, vec![DeviceId(1), DeviceId(0), DeviceId(2)]);
     }
 
@@ -156,11 +155,7 @@ mod tests {
 
     #[test]
     fn group_assign_unused_files_go_to_slowest() {
-        let layout = group_assign(
-            &[FileId(0)],
-            &[FileId(9)],
-            &[DeviceId(0), DeviceId(1)],
-        );
+        let layout = group_assign(&[FileId(0)], &[FileId(9)], &[DeviceId(0), DeviceId(1)]);
         assert_eq!(layout[&FileId(9)], DeviceId(1));
     }
 

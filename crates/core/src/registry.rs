@@ -146,7 +146,10 @@ mod tests {
         let system = system_with_file();
         let registry = LocationRegistry::refresh(&system);
         assert_eq!(registry.storage_points.len(), 6);
-        assert_eq!(registry.location_of(FileId(1)), Some(Mount::Tmp.device_id()));
+        assert_eq!(
+            registry.location_of(FileId(1)),
+            Some(Mount::Tmp.device_id())
+        );
         let tmp = &registry.storage_points[Mount::Tmp.device_id().0 as usize];
         assert_eq!(tmp.name, "tmp");
         assert_eq!(tmp.free, tmp.capacity - 1_000_000);
@@ -155,7 +158,10 @@ mod tests {
     #[test]
     fn offline_devices_are_excluded_from_candidates() {
         let mut system = system_with_file();
-        system.device_mut(Mount::Pic.device_id()).unwrap().set_online(false);
+        system
+            .device_mut(Mount::Pic.device_id())
+            .unwrap()
+            .set_online(false);
         let registry = LocationRegistry::refresh(&system);
         let candidates = registry.candidates_for(1000);
         assert!(!candidates.contains(&Mount::Pic.device_id()));
@@ -200,6 +206,9 @@ mod tests {
         let mut layout = Layout::new();
         layout.insert(FileId(1), Mount::File0.device_id());
         registry.record_layout(&layout);
-        assert_eq!(registry.location_of(FileId(1)), Some(Mount::File0.device_id()));
+        assert_eq!(
+            registry.location_of(FileId(1)),
+            Some(Mount::File0.device_id())
+        );
     }
 }

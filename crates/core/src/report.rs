@@ -165,7 +165,11 @@ impl PerformanceReport {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "Performance report over the last {} accesses", self.window);
+        let _ = writeln!(
+            out,
+            "Performance report over the last {} accesses",
+            self.window
+        );
         let _ = writeln!(out, "\ndevices (busiest first):");
         for d in &self.devices {
             let _ = writeln!(

@@ -32,7 +32,8 @@ impl GapPrediction {
     /// Conservative estimate of idle seconds remaining from `now`: the mean
     /// interval minus one standard deviation, measured from the last access.
     pub fn idle_remaining(&self, now_secs: f64) -> f64 {
-        let next_access = self.last_access_end_secs + (self.mean_interval_secs - self.std_interval_secs).max(0.0);
+        let next_access =
+            self.last_access_end_secs + (self.mean_interval_secs - self.std_interval_secs).max(0.0);
         (next_access - now_secs).max(0.0)
     }
 }
@@ -100,11 +101,7 @@ impl Default for GapScheduler {
 impl GapScheduler {
     /// Computes per-file gap statistics from the most recent `lookback`
     /// records.
-    pub fn predict_gaps(
-        &self,
-        db: &ReplayDb,
-        lookback: usize,
-    ) -> BTreeMap<FileId, GapPrediction> {
+    pub fn predict_gaps(&self, db: &ReplayDb, lookback: usize) -> BTreeMap<FileId, GapPrediction> {
         let mut intervals: BTreeMap<FileId, Vec<f64>> = BTreeMap::new();
         let mut last_end: BTreeMap<FileId, f64> = BTreeMap::new();
         for record in db.recent(lookback) {

@@ -1,0 +1,98 @@
+//! Steady-state allocation test for the placement query hot path: after the
+//! first call has sized the engine's query buffer and the caller's ranking
+//! `Vec`, [`DrlEngine::rank_locations_into`] must not touch the heap.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use geomancy_core::drl::{DrlConfig, DrlEngine, PlacementQuery};
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+/// Counts every allocation made through the global allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A ReplayDB where device 1 is consistently faster than device 0.
+fn biased_db(n: u64) -> ReplayDb {
+    let mut db = ReplayDb::new();
+    for i in 0..n {
+        let dev = (i % 2) as u32;
+        let dt_ms: u64 = if dev == 0 { 400 } else { 100 };
+        let open_ms = i * 1000;
+        let close_ms = open_ms + dt_ms;
+        db.insert(
+            i,
+            AccessRecord {
+                access_number: i,
+                fid: FileId(i % 4),
+                fsid: DeviceId(dev),
+                rb: 1_000_000,
+                wb: 0,
+                ots: open_ms / 1000,
+                otms: (open_ms % 1000) as u16,
+                cts: close_ms / 1000,
+                ctms: (close_ms % 1000) as u16,
+            },
+        );
+    }
+    db
+}
+
+#[test]
+fn warm_rank_locations_into_does_not_allocate() {
+    let db = biased_db(200);
+    let mut engine = DrlEngine::new(DrlConfig {
+        epochs: 10,
+        smoothing_window: 4,
+        ..DrlConfig::default()
+    });
+    engine.retrain(&db).expect("enough data to retrain");
+
+    let query = PlacementQuery {
+        fid: FileId(1),
+        read_bytes: 1_000_000,
+        write_bytes: 0,
+        now_secs: 300,
+        now_ms: 0,
+    };
+    let candidates = [DeviceId(0), DeviceId(1), DeviceId(2), DeviceId(3)];
+    let mut ranked = Vec::new();
+    // Warm-up sizes the engine's query batch and the output Vec.
+    engine.rank_locations_into(&query, &candidates, &mut ranked);
+    assert_eq!(ranked.len(), candidates.len());
+
+    let before = allocations();
+    for _ in 0..25 {
+        engine.rank_locations_into(&query, &candidates, &mut ranked);
+    }
+    let delta = allocations() - before;
+    assert_eq!(delta, 0, "warm rank_locations_into allocated {delta} times");
+    assert_eq!(ranked.len(), candidates.len());
+    // The biased data still ranks device 1 above device 0.
+    assert!(ranked[1].1 >= ranked[0].1);
+}

@@ -56,6 +56,33 @@ impl Activation {
         m.map(|x| self.apply_scalar(x))
     }
 
+    /// Applies the activation element-wise in place (no allocation).
+    ///
+    /// The per-variant loops hoist the `match` out of the element loop;
+    /// semantics match [`Activation::apply_scalar`] exactly (including
+    /// `max`'s NaN handling for ReLU).
+    pub fn apply_inplace(self, m: &mut Matrix) {
+        let data = m.as_mut_slice();
+        match self {
+            Activation::ReLU => {
+                for v in data {
+                    *v = v.max(0.0);
+                }
+            }
+            Activation::Linear => {}
+            Activation::Sigmoid => {
+                for v in data {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Activation::Tanh => {
+                for v in data {
+                    *v = v.tanh();
+                }
+            }
+        }
+    }
+
     /// Element-wise derivative matrix computed from the activated output.
     pub fn derivative(self, output: &Matrix) -> Matrix {
         output.map(|y| self.derivative_from_output(y))
@@ -137,6 +164,22 @@ mod tests {
         let m = Matrix::from_rows(&[&[-1.0, 2.0]]);
         let y = Activation::ReLU.apply(&m);
         assert_eq!(y, Matrix::from_rows(&[&[0.0, 2.0]]));
+    }
+
+    #[test]
+    fn apply_inplace_matches_apply() {
+        let m = Matrix::from_rows(&[&[-1.5, 0.0, 0.7], &[3.0, -0.2, 12.0]]);
+        for act in [
+            Activation::ReLU,
+            Activation::Linear,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            let expected = act.apply(&m);
+            let mut inplace = m.clone();
+            act.apply_inplace(&mut inplace);
+            assert_eq!(inplace, expected, "{act} in-place mismatch");
+        }
     }
 
     #[test]

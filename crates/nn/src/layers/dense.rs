@@ -5,10 +5,16 @@ use rand::rngs::StdRng;
 use crate::activation::Activation;
 use crate::init::Init;
 use crate::layers::Layer;
-use crate::matrix::Matrix;
+use crate::matrix::kernels;
+use crate::matrix::{Matrix, MatrixView};
 use crate::param::Param;
 
 /// A fully connected (dense) layer.
+///
+/// The forward pass runs the fused `act(x · W + b)` kernel and the backward
+/// pass accumulates `xᵀ · g` / `g · Wᵀ` through the transpose-aware kernels,
+/// so after the first batch neither direction allocates: the input/output
+/// caches and the pre-activation gradient scratch are resized in place.
 ///
 /// # Examples
 ///
@@ -28,14 +34,25 @@ pub struct Dense {
     weight: Param,
     bias: Param,
     activation: Activation,
-    input: Option<Matrix>,
-    output: Option<Matrix>,
+    /// Cached forward input (reused allocation; valid when `primed`).
+    input: Matrix,
+    /// Cached forward output (reused allocation; valid when `primed`).
+    output: Matrix,
+    /// Scratch for the pre-activation gradient in backward.
+    grad_pre: Matrix,
+    /// Whether a forward pass has populated the caches.
+    primed: bool,
 }
 
 impl Dense {
     /// Creates a dense layer with He initialization for ReLU and Xavier
     /// otherwise, and zero biases.
-    pub fn new(input_size: usize, output_size: usize, activation: Activation, rng: &mut StdRng) -> Self {
+    pub fn new(
+        input_size: usize,
+        output_size: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Self {
         let init = match activation {
             Activation::ReLU => Init::HeUniform,
             _ => Init::XavierUniform,
@@ -44,8 +61,10 @@ impl Dense {
             weight: Param::new(init.sample(input_size, output_size, rng), "dense.w"),
             bias: Param::new(Matrix::zeros(1, output_size), "dense.b"),
             activation,
-            input: None,
-            output: None,
+            input: Matrix::default(),
+            output: Matrix::default(),
+            grad_pre: Matrix::default(),
+            primed: false,
         }
     }
 
@@ -57,13 +76,19 @@ impl Dense {
     /// Panics if `bias` is not a `1 x weight.cols()` row vector.
     pub fn from_weights(weight: Matrix, bias: Matrix, activation: Activation) -> Self {
         assert_eq!(bias.rows(), 1, "bias must be a row vector");
-        assert_eq!(bias.cols(), weight.cols(), "bias width must match weight output");
+        assert_eq!(
+            bias.cols(),
+            weight.cols(),
+            "bias width must match weight output"
+        );
         Dense {
             weight: Param::new(weight, "dense.w"),
             bias: Param::new(bias, "dense.b"),
             activation,
-            input: None,
-            output: None,
+            input: Matrix::default(),
+            output: Matrix::default(),
+            grad_pre: Matrix::default(),
+            primed: false,
         }
     }
 
@@ -75,21 +100,61 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        let pre = input.dot(&self.weight.value).add_row_broadcast(&self.bias.value);
-        let out = self.activation.apply(&pre);
-        self.input = Some(input.clone());
-        self.output = Some(out.clone());
+        let mut out = Matrix::default();
+        self.forward_into(input.view(), &mut out);
         out
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self.input.as_ref().expect("backward called before forward");
-        let output = self.output.as_ref().expect("backward called before forward");
+        let mut grad_input = Matrix::default();
+        self.backward_into(grad_output, &mut grad_input);
+        grad_input
+    }
+
+    fn forward_into(&mut self, input: MatrixView<'_>, out: &mut Matrix) {
+        self.input.copy_from(input);
+        kernels::matmul_bias_act_into(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            self.activation,
+            &mut self.output,
+        );
+        out.copy_from(self.output.view());
+        self.primed = true;
+    }
+
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
+        assert!(self.primed, "backward called before forward");
         // dL/d(pre-activation) = dL/dy ⊙ f'(y)
-        let grad_pre = grad_output.hadamard(&self.activation.derivative(output));
-        self.weight.accumulate(&input.transpose().dot(&grad_pre));
-        self.bias.accumulate(&grad_pre.sum_rows());
-        grad_pre.dot(&self.weight.value.transpose())
+        kernels::hadamard_act_derivative_into(
+            grad_output,
+            &self.output,
+            self.activation,
+            &mut self.grad_pre,
+        );
+        kernels::matmul_at_b_acc(
+            self.input.view(),
+            self.grad_pre.view(),
+            &mut self.weight.grad,
+        );
+        kernels::sum_rows_acc(&self.grad_pre, &mut self.bias.grad);
+        kernels::matmul_a_bt_into(self.grad_pre.view(), &self.weight.value, grad_input);
+    }
+
+    fn forward_inference_into(
+        &self,
+        input: MatrixView<'_>,
+        _scratch: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        kernels::matmul_bias_act_into(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            self.activation,
+            out,
+        );
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -98,6 +163,11 @@ impl Layer for Dense {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     fn input_size(&self) -> usize {
@@ -149,7 +219,10 @@ mod tests {
         let x = Matrix::from_rows(&[&[3.0, 5.0]]);
         let _ = layer.forward(&x);
         let _ = layer.backward(&Matrix::from_rows(&[&[2.0]]));
-        assert_eq!(layer.params()[0].grad, Matrix::from_rows(&[&[6.0], &[10.0]]));
+        assert_eq!(
+            layer.params()[0].grad,
+            Matrix::from_rows(&[&[6.0], &[10.0]])
+        );
         assert_eq!(layer.params()[1].grad, Matrix::from_rows(&[&[2.0]]));
     }
 
@@ -171,6 +244,18 @@ mod tests {
         let mut rng = seeded_rng(0);
         let mut layer = Dense::new(2, 2, Activation::ReLU, &mut rng);
         let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn inference_forward_matches_training_forward() {
+        let mut rng = seeded_rng(3);
+        let layer = Dense::new(5, 4, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.3, -0.1, 0.8, 0.0, -0.6], &[1.0, 2.0, -3.0, 0.5, 0.25]]);
+        let mut scratch = Matrix::default();
+        let mut out = Matrix::default();
+        layer.forward_inference_into(x.view(), &mut scratch, &mut out);
+        let mut training = layer;
+        assert_eq!(out, training.forward(&x));
     }
 
     #[test]

@@ -5,7 +5,8 @@ use rand::rngs::StdRng;
 use crate::activation::Activation;
 use crate::init::Init;
 use crate::layers::Layer;
-use crate::matrix::Matrix;
+use crate::matrix::kernels;
+use crate::matrix::{Matrix, MatrixView};
 use crate::param::Param;
 
 #[derive(Debug, Clone)]
@@ -31,6 +32,10 @@ struct StepCache {
 /// h̃_t = φ(x·Wxh + (r ⊙ h)·Whh + bh)
 /// h_t = (1 - z) ⊙ h_{t-1} + z ⊙ h̃_t
 /// ```
+///
+/// The backward pass runs on the transpose-aware kernels with reusable
+/// scratch buffers: no transposed copies of `x`, `h` or the weights are
+/// materialized, and the per-gate temporaries are resized in place.
 #[derive(Debug)]
 pub struct Gru {
     // Order: update (z), reset (r), candidate (h).
@@ -42,6 +47,18 @@ pub struct Gru {
     timesteps: usize,
     hidden: usize,
     cache: Vec<StepCache>,
+    /// BPTT scratch: running hidden gradient and its predecessor.
+    dh: Matrix,
+    dh_prev: Matrix,
+    /// BPTT scratch: per-gate pre-activation gradients.
+    dz_pre: Matrix,
+    dr_pre: Matrix,
+    dcand_pre: Matrix,
+    /// BPTT scratch: gradient w.r.t. `r ⊙ h_prev` and that product itself.
+    d_rh: Matrix,
+    rh: Matrix,
+    /// BPTT scratch: input gradient of the current timestep.
+    dx: Matrix,
 }
 
 const GATE_NAMES: [&str; 3] = ["z", "r", "h"];
@@ -60,7 +77,10 @@ impl Gru {
         activation: Activation,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(features > 0 && hidden > 0 && timesteps > 0, "dimensions must be non-zero");
+        assert!(
+            features > 0 && hidden > 0 && timesteps > 0,
+            "dimensions must be non-zero"
+        );
         let wx = GATE_NAMES.map(|n| {
             Param::new(
                 Init::XavierUniform.sample(features, hidden, rng),
@@ -83,6 +103,14 @@ impl Gru {
             timesteps,
             hidden,
             cache: Vec::new(),
+            dh: Matrix::default(),
+            dh_prev: Matrix::default(),
+            dz_pre: Matrix::default(),
+            dr_pre: Matrix::default(),
+            dcand_pre: Matrix::default(),
+            d_rh: Matrix::default(),
+            rh: Matrix::default(),
+            dx: Matrix::default(),
         }
     }
 
@@ -122,10 +150,7 @@ impl Layer for Gru {
                     .add(&r.hadamard(&h).dot(&self.wh[2].value))
                     .add_row_broadcast(&self.b[2].value),
             );
-            let h_next = z
-                .map(|v| 1.0 - v)
-                .hadamard(&h)
-                .add(&z.hadamard(&cand));
+            let h_next = z.map(|v| 1.0 - v).hadamard(&h).add(&z.hadamard(&cand));
             self.cache.push(StepCache {
                 x,
                 h_prev: h,
@@ -139,48 +164,125 @@ impl Layer for Gru {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad_input = Matrix::default();
+        self.backward_into(grad_output, &mut grad_input);
+        grad_input
+    }
+
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
         assert!(!self.cache.is_empty(), "backward called before forward");
         let batch = grad_output.rows();
-        let mut grad_input = Matrix::zeros(batch, self.input_size());
-        let mut dh = grad_output.clone();
+        grad_input.resize(batch, self.input_size());
+        self.dh.copy_from(grad_output.view());
+        let act = self.activation;
         for t in (0..self.timesteps).rev() {
             let step = &self.cache[t];
-            // h_t = (1 - z) ⊙ h_prev + z ⊙ h̃
-            let dz = dh.hadamard(&step.cand.sub(&step.h_prev));
-            let dcand = dh.hadamard(&step.z);
-            let mut dh_prev = dh.hadamard(&step.z.map(|v| 1.0 - v));
-            let dz_pre = dz.hadamard(&Activation::Sigmoid.derivative(&step.z));
-            let dcand_pre = dcand.hadamard(&self.activation.derivative(&step.cand));
+            let count = batch * self.hidden;
+            self.dz_pre.resize(batch, self.hidden);
+            self.dcand_pre.resize(batch, self.hidden);
+            self.dh_prev.resize(batch, self.hidden);
+            // h_t = (1 - z) ⊙ h_prev + z ⊙ h̃ — fused element-wise pass.
+            for idx in 0..count {
+                let dh_v = self.dh.as_slice()[idx];
+                let z_v = step.z.as_slice()[idx];
+                let cand_v = step.cand.as_slice()[idx];
+                let h_prev_v = step.h_prev.as_slice()[idx];
+                self.dz_pre.as_mut_slice()[idx] =
+                    dh_v * (cand_v - h_prev_v) * Activation::Sigmoid.derivative_from_output(z_v);
+                self.dcand_pre.as_mut_slice()[idx] =
+                    dh_v * z_v * act.derivative_from_output(cand_v);
+                self.dh_prev.as_mut_slice()[idx] = dh_v * (1.0 - z_v);
+            }
             // Candidate depends on (r ⊙ h_prev).
-            let d_rh = dcand_pre.dot(&self.wh[2].value.transpose());
-            let dr = d_rh.hadamard(&step.h_prev);
-            dh_prev.add_assign(&d_rh.hadamard(&step.r));
-            let dr_pre = dr.hadamard(&Activation::Sigmoid.derivative(&step.r));
-
-            let xt = step.x.transpose();
-            let ht = step.h_prev.transpose();
-            let rh_t = step.r.hadamard(&step.h_prev).transpose();
-            let pres = [&dz_pre, &dr_pre, &dcand_pre];
-            let mut dx = Matrix::zeros(batch, self.features);
+            kernels::matmul_a_bt_into(self.dcand_pre.view(), &self.wh[2].value, &mut self.d_rh);
+            self.dr_pre.resize(batch, self.hidden);
+            self.rh.resize(batch, self.hidden);
+            for idx in 0..count {
+                let d_rh_v = self.d_rh.as_slice()[idx];
+                let r_v = step.r.as_slice()[idx];
+                let h_prev_v = step.h_prev.as_slice()[idx];
+                self.dr_pre.as_mut_slice()[idx] =
+                    d_rh_v * h_prev_v * Activation::Sigmoid.derivative_from_output(r_v);
+                self.dh_prev.as_mut_slice()[idx] += d_rh_v * r_v;
+                self.rh.as_mut_slice()[idx] = r_v * h_prev_v;
+            }
+            self.dx.resize(batch, self.features);
+            self.dx.fill(0.0);
+            let pres = [&self.dz_pre, &self.dr_pre, &self.dcand_pre];
             #[allow(clippy::needless_range_loop)] // k indexes three parallel arrays
             for k in 0..3 {
-                self.wx[k].accumulate(&xt.dot(pres[k]));
-                let recurrent_input = if k == 2 { &rh_t } else { &ht };
-                self.wh[k].accumulate(&recurrent_input.dot(pres[k]));
-                self.b[k].accumulate(&pres[k].sum_rows());
-                dx.add_assign(&pres[k].dot(&self.wx[k].value.transpose()));
+                kernels::matmul_at_b_acc(step.x.view(), pres[k].view(), &mut self.wx[k].grad);
+                let recurrent_input = if k == 2 { &self.rh } else { &step.h_prev };
+                kernels::matmul_at_b_acc(
+                    recurrent_input.view(),
+                    pres[k].view(),
+                    &mut self.wh[k].grad,
+                );
+                kernels::sum_rows_acc(pres[k], &mut self.b[k].grad);
+                kernels::matmul_a_bt_acc(pres[k].view(), &self.wx[k].value, &mut self.dx);
                 if k != 2 {
-                    dh_prev.add_assign(&pres[k].dot(&self.wh[k].value.transpose()));
+                    kernels::matmul_a_bt_acc(pres[k].view(), &self.wh[k].value, &mut self.dh_prev);
                 }
             }
-            for row in 0..batch {
-                for col in 0..self.features {
-                    grad_input[(row, t * self.features + col)] = dx[(row, col)];
-                }
+            let width = self.input_size();
+            for r in 0..batch {
+                grad_input.as_mut_slice()
+                    [r * width + t * self.features..r * width + (t + 1) * self.features]
+                    .copy_from_slice(self.dx.row(r));
             }
-            dh = dh_prev;
+            std::mem::swap(&mut self.dh, &mut self.dh_prev);
         }
-        grad_input
+    }
+
+    fn forward_inference_into(
+        &self,
+        input: MatrixView<'_>,
+        scratch: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            input.cols(),
+            self.input_size(),
+            "Gru expects {} columns ({} timesteps x {} features)",
+            self.input_size(),
+            self.timesteps,
+            self.features
+        );
+        let batch = input.rows();
+        // `scratch` carries the hidden state; the gate buffers are small
+        // per-call locals (the recurrent inference path is not on the
+        // zero-allocation contract — only dense models are).
+        let h = scratch;
+        h.resize(batch, self.hidden);
+        h.fill(0.0);
+        let mut z = Matrix::default();
+        let mut r = Matrix::default();
+        let mut rh = Matrix::default();
+        for t in 0..self.timesteps {
+            let window = t * self.features..(t + 1) * self.features;
+            kernels::broadcast_rows_into(&self.b[0].value, batch, &mut z);
+            kernels::matmul_cols_acc(input, window.clone(), &self.wx[0].value, &mut z);
+            kernels::matmul_acc(h.view(), &self.wh[0].value, &mut z);
+            Activation::Sigmoid.apply_inplace(&mut z);
+            kernels::broadcast_rows_into(&self.b[1].value, batch, &mut r);
+            kernels::matmul_cols_acc(input, window.clone(), &self.wx[1].value, &mut r);
+            kernels::matmul_acc(h.view(), &self.wh[1].value, &mut r);
+            Activation::Sigmoid.apply_inplace(&mut r);
+            rh.resize(batch, self.hidden);
+            for idx in 0..batch * self.hidden {
+                rh.as_mut_slice()[idx] = r.as_slice()[idx] * h.as_slice()[idx];
+            }
+            kernels::broadcast_rows_into(&self.b[2].value, batch, out);
+            kernels::matmul_cols_acc(input, window, &self.wx[2].value, out);
+            kernels::matmul_acc(rh.view(), &self.wh[2].value, out);
+            self.activation.apply_inplace(out);
+            for idx in 0..batch * self.hidden {
+                let z_v = z.as_slice()[idx];
+                let h_v = h.as_slice()[idx];
+                h.as_mut_slice()[idx] = (1.0 - z_v) * h_v + z_v * out.as_slice()[idx];
+            }
+        }
+        out.copy_from(h.view());
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -193,6 +295,12 @@ impl Layer for Gru {
             .chain(&mut self.wh)
             .chain(&mut self.b)
             .collect()
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.wx.iter_mut().chain(&mut self.wh).chain(&mut self.b) {
+            f(p);
+        }
     }
 
     fn input_size(&self) -> usize {
@@ -258,6 +366,21 @@ mod tests {
         let mut rng = seeded_rng(4);
         let mut layer = Gru::new(2, 2, 2, Activation::Tanh, &mut rng);
         let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn inference_forward_matches_training_forward() {
+        let mut rng = seeded_rng(6);
+        let mut layer = Gru::new(3, 4, 3, Activation::Tanh, &mut rng);
+        let x = Matrix::filled(2, 9, 0.3);
+        let expected = layer.forward(&x);
+        let mut scratch = Matrix::default();
+        let mut out = Matrix::default();
+        layer.forward_inference_into(x.view(), &mut scratch, &mut out);
+        assert_eq!(out.shape(), expected.shape());
+        for (a, b) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert!((a - b).abs() < 1e-12, "inference {a} vs training {b}");
+        }
     }
 
     #[test]

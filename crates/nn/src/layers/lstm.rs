@@ -5,7 +5,8 @@ use rand::rngs::StdRng;
 use crate::activation::Activation;
 use crate::init::Init;
 use crate::layers::Layer;
-use crate::matrix::Matrix;
+use crate::matrix::kernels;
+use crate::matrix::{Matrix, MatrixView};
 use crate::param::Param;
 
 /// Per-timestep values cached by the forward pass for BPTT.
@@ -28,6 +29,10 @@ struct StepCache {
 /// cell-output activation use the layer's configured activation (the paper
 /// trains LSTMs with ReLU there). The layer consumes a flattened window of
 /// `timesteps * features` values per row and emits the final hidden state.
+///
+/// The backward pass runs entirely on the transpose-aware kernels and
+/// reusable scratch buffers — no transposed weight copies and no per-gate
+/// temporaries are allocated once the scratch is warm.
 #[derive(Debug)]
 pub struct Lstm {
     // Gate weights: input (i), forget (f), output (o), candidate (g).
@@ -39,6 +44,15 @@ pub struct Lstm {
     timesteps: usize,
     hidden: usize,
     cache: Vec<StepCache>,
+    /// BPTT scratch: per-gate pre-activation gradients.
+    dz: [Matrix; 4],
+    /// BPTT scratch: running hidden/cell gradients and their predecessors.
+    dh: Matrix,
+    dc: Matrix,
+    dh_prev: Matrix,
+    dc_prev: Matrix,
+    /// BPTT scratch: input gradient of the current timestep.
+    dx: Matrix,
 }
 
 const GATE_NAMES: [&str; 4] = ["i", "f", "o", "g"];
@@ -57,7 +71,10 @@ impl Lstm {
         activation: Activation,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(features > 0 && hidden > 0 && timesteps > 0, "dimensions must be non-zero");
+        assert!(
+            features > 0 && hidden > 0 && timesteps > 0,
+            "dimensions must be non-zero"
+        );
         let wx = GATE_NAMES.map(|n| {
             Param::new(
                 Init::XavierUniform.sample(features, hidden, rng),
@@ -85,6 +102,12 @@ impl Lstm {
             timesteps,
             hidden,
             cache: Vec::new(),
+            dz: Default::default(),
+            dh: Matrix::default(),
+            dc: Matrix::default(),
+            dh_prev: Matrix::default(),
+            dc_prev: Matrix::default(),
+            dx: Matrix::default(),
         }
     }
 
@@ -99,6 +122,29 @@ impl Lstm {
             .add(&h.dot(&self.wh[idx].value))
             .add_row_broadcast(&self.b[idx].value);
         act.apply(&pre)
+    }
+
+    /// Computes one gate for the stateless inference path: `pre` is seeded
+    /// with the bias, accumulates `x_t · Wx + h · Wh` via the in-place
+    /// kernels, and is activated in place.
+    fn gate_inference(
+        &self,
+        idx: usize,
+        input: MatrixView<'_>,
+        t: usize,
+        h: &Matrix,
+        act: Activation,
+        pre: &mut Matrix,
+    ) {
+        kernels::broadcast_rows_into(&self.b[idx].value, input.rows(), pre);
+        kernels::matmul_cols_acc(
+            input,
+            t * self.features..(t + 1) * self.features,
+            &self.wx[idx].value,
+            pre,
+        );
+        kernels::matmul_acc(h.view(), &self.wh[idx].value, pre);
+        act.apply_inplace(pre);
     }
 }
 
@@ -142,48 +188,113 @@ impl Layer for Lstm {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad_input = Matrix::default();
+        self.backward_into(grad_output, &mut grad_input);
+        grad_input
+    }
+
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
         assert!(!self.cache.is_empty(), "backward called before forward");
         let batch = grad_output.rows();
-        let mut grad_input = Matrix::zeros(batch, self.input_size());
-        let mut dh = grad_output.clone();
-        let mut dc = Matrix::zeros(batch, self.hidden);
+        grad_input.resize(batch, self.input_size());
+        self.dh.copy_from(grad_output.view());
+        self.dc.resize(batch, self.hidden);
+        self.dc.fill(0.0);
+        let act = self.activation;
         for t in (0..self.timesteps).rev() {
             let step = &self.cache[t];
-            // h_t = o ⊙ φ(c_t)
-            let do_gate = dh.hadamard(&step.a);
-            dc.add_assign(&dh.hadamard(&step.o).hadamard(&self.activation.derivative(&step.a)));
-            // c_t = f ⊙ c_{t-1} + i ⊙ g
-            let df = dc.hadamard(&step.c_prev);
-            let di = dc.hadamard(&step.g);
-            let dg = dc.hadamard(&step.i);
-            let dc_prev = dc.hadamard(&step.f);
-            let dz = [
-                di.hadamard(&Activation::Sigmoid.derivative(&step.i)),
-                df.hadamard(&Activation::Sigmoid.derivative(&step.f)),
-                do_gate.hadamard(&Activation::Sigmoid.derivative(&step.o)),
-                dg.hadamard(&self.activation.derivative(&step.g)),
-            ];
-            let xt = step.x.transpose();
-            let ht = step.h_prev.transpose();
-            let mut dx = Matrix::zeros(batch, self.features);
-            let mut dh_prev = Matrix::zeros(batch, self.hidden);
-            #[allow(clippy::needless_range_loop)] // k indexes four parallel arrays
+            for dz in &mut self.dz {
+                dz.resize(batch, self.hidden);
+            }
+            self.dc_prev.resize(batch, self.hidden);
+            // Element-wise gate gradients in one fused pass:
+            //   h_t = o ⊙ φ(c_t)       → dz_o, dc update
+            //   c_t = f ⊙ c_{t-1} + i ⊙ g → dz_f, dz_i, dz_g, dc_{t-1}
+            let [dz_i, dz_f, dz_o, dz_g] = &mut self.dz;
+            for idx in 0..batch * self.hidden {
+                let dh_v = self.dh.as_slice()[idx];
+                let a_v = step.a.as_slice()[idx];
+                let o_v = step.o.as_slice()[idx];
+                let dc_v = self.dc.as_slice()[idx] + dh_v * o_v * act.derivative_from_output(a_v);
+                let i_v = step.i.as_slice()[idx];
+                let f_v = step.f.as_slice()[idx];
+                let g_v = step.g.as_slice()[idx];
+                dz_o.as_mut_slice()[idx] =
+                    dh_v * a_v * Activation::Sigmoid.derivative_from_output(o_v);
+                dz_f.as_mut_slice()[idx] = dc_v
+                    * step.c_prev.as_slice()[idx]
+                    * Activation::Sigmoid.derivative_from_output(f_v);
+                dz_i.as_mut_slice()[idx] =
+                    dc_v * g_v * Activation::Sigmoid.derivative_from_output(i_v);
+                dz_g.as_mut_slice()[idx] = dc_v * i_v * act.derivative_from_output(g_v);
+                self.dc_prev.as_mut_slice()[idx] = dc_v * f_v;
+            }
+            self.dx.resize(batch, self.features);
+            self.dx.fill(0.0);
+            self.dh_prev.resize(batch, self.hidden);
+            self.dh_prev.fill(0.0);
             for k in 0..4 {
-                self.wx[k].accumulate(&xt.dot(&dz[k]));
-                self.wh[k].accumulate(&ht.dot(&dz[k]));
-                self.b[k].accumulate(&dz[k].sum_rows());
-                dx.add_assign(&dz[k].dot(&self.wx[k].value.transpose()));
-                dh_prev.add_assign(&dz[k].dot(&self.wh[k].value.transpose()));
+                kernels::matmul_at_b_acc(step.x.view(), self.dz[k].view(), &mut self.wx[k].grad);
+                kernels::matmul_at_b_acc(
+                    step.h_prev.view(),
+                    self.dz[k].view(),
+                    &mut self.wh[k].grad,
+                );
+                kernels::sum_rows_acc(&self.dz[k], &mut self.b[k].grad);
+                kernels::matmul_a_bt_acc(self.dz[k].view(), &self.wx[k].value, &mut self.dx);
+                kernels::matmul_a_bt_acc(self.dz[k].view(), &self.wh[k].value, &mut self.dh_prev);
             }
+            let width = self.input_size();
             for r in 0..batch {
-                for cidx in 0..self.features {
-                    grad_input[(r, t * self.features + cidx)] = dx[(r, cidx)];
-                }
+                grad_input.as_mut_slice()
+                    [r * width + t * self.features..r * width + (t + 1) * self.features]
+                    .copy_from_slice(self.dx.row(r));
             }
-            dh = dh_prev;
-            dc = dc_prev;
+            std::mem::swap(&mut self.dh, &mut self.dh_prev);
+            std::mem::swap(&mut self.dc, &mut self.dc_prev);
         }
-        grad_input
+    }
+
+    fn forward_inference_into(
+        &self,
+        input: MatrixView<'_>,
+        scratch: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            input.cols(),
+            self.input_size(),
+            "Lstm expects {} columns ({} timesteps x {} features)",
+            self.input_size(),
+            self.timesteps,
+            self.features
+        );
+        let batch = input.rows();
+        // `scratch` carries the hidden state; the cell state and the gate
+        // buffer are small per-call locals (the recurrent inference path is
+        // not on the zero-allocation contract — only dense models are).
+        let h = scratch;
+        h.resize(batch, self.hidden);
+        h.fill(0.0);
+        let mut c = Matrix::zeros(batch, self.hidden);
+        let mut i = Matrix::default();
+        let mut f = Matrix::default();
+        let mut g = Matrix::default();
+        for t in 0..self.timesteps {
+            self.gate_inference(0, input, t, h, Activation::Sigmoid, &mut i);
+            self.gate_inference(1, input, t, h, Activation::Sigmoid, &mut f);
+            // The output gate needs pre-update h, so it goes to `out` before
+            // h is overwritten.
+            self.gate_inference(2, input, t, h, Activation::Sigmoid, out);
+            self.gate_inference(3, input, t, h, self.activation, &mut g);
+            for idx in 0..batch * self.hidden {
+                let c_v =
+                    f.as_slice()[idx] * c.as_slice()[idx] + i.as_slice()[idx] * g.as_slice()[idx];
+                c.as_mut_slice()[idx] = c_v;
+                h.as_mut_slice()[idx] = out.as_slice()[idx] * self.activation.apply_scalar(c_v);
+            }
+        }
+        out.copy_from(h.view());
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -196,6 +307,12 @@ impl Layer for Lstm {
             .chain(&mut self.wh)
             .chain(&mut self.b)
             .collect()
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.wx.iter_mut().chain(&mut self.wh).chain(&mut self.b) {
+            f(p);
+        }
     }
 
     fn input_size(&self) -> usize {
@@ -240,7 +357,11 @@ mod tests {
     fn forget_bias_initialized_to_one() {
         let mut rng = seeded_rng(2);
         let layer = Lstm::new(2, 3, 2, Activation::Tanh, &mut rng);
-        let bf = layer.params().into_iter().find(|p| p.name == "lstm.b_f").unwrap();
+        let bf = layer
+            .params()
+            .into_iter()
+            .find(|p| p.name == "lstm.b_f")
+            .unwrap();
         assert!(bf.value.as_slice().iter().all(|&x| x == 1.0));
     }
 
@@ -259,6 +380,21 @@ mod tests {
         let mut rng = seeded_rng(4);
         let mut layer = Lstm::new(2, 2, 2, Activation::Tanh, &mut rng);
         let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn inference_forward_matches_training_forward() {
+        let mut rng = seeded_rng(6);
+        let mut layer = Lstm::new(3, 4, 3, Activation::Tanh, &mut rng);
+        let x = Matrix::filled(2, 9, 0.3);
+        let expected = layer.forward(&x);
+        let mut scratch = Matrix::default();
+        let mut out = Matrix::default();
+        layer.forward_inference_into(x.view(), &mut scratch, &mut out);
+        assert_eq!(out.shape(), expected.shape());
+        for (a, b) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert!((a - b).abs() < 1e-12, "inference {a} vs training {b}");
+        }
     }
 
     #[test]

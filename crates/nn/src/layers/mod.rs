@@ -10,17 +10,24 @@ pub use gru::Gru;
 pub use lstm::Lstm;
 pub use simple_rnn::SimpleRnn;
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, MatrixView};
 use crate::param::Param;
 
 /// A differentiable layer of a [`Sequential`](crate::network::Sequential)
 /// network.
 ///
-/// `forward` caches whatever intermediate state the matching `backward` call
+/// The buffer-reusing entry points [`Layer::forward_into`] and
+/// [`Layer::backward_into`] are the training hot path: they take borrowed
+/// inputs and write into caller-provided buffers, so a layer that also
+/// reuses its own caches allocates nothing per batch in steady state.
+/// `forward` caches whatever intermediate state the matching backward call
 /// needs; callers must pair them one-to-one (forward, then backward on the
 /// same batch). Gradients accumulate into the layer's [`Param`]s and are
 /// consumed by an [`Optimizer`](crate::optimizer::Optimizer).
-pub trait Layer: Send {
+///
+/// `Sync` is required so immutable layer stacks can be shared across the
+/// row-parallel inference path ([`Layer::forward_inference_into`]).
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a `batch x input_size` matrix and caches
     /// the intermediates required by [`Layer::backward`].
     fn forward(&mut self, input: &Matrix) -> Matrix;
@@ -33,6 +40,34 @@ pub trait Layer: Send {
     ///
     /// Panics if called before [`Layer::forward`].
     fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Buffer-reusing forward: writes the output for a borrowed
+    /// `batch x input_size` view into `out` (resized as needed) and caches
+    /// backward intermediates, like [`Layer::forward`].
+    ///
+    /// The default delegates to `forward` (allocating); layers override it
+    /// to run allocation-free.
+    fn forward_into(&mut self, input: MatrixView<'_>, out: &mut Matrix) {
+        let produced = self.forward(&input.to_matrix());
+        out.copy_from(produced.view());
+    }
+
+    /// Buffer-reusing backward: like [`Layer::backward`], but writes the
+    /// input gradient into `grad_input` (resized as needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a forward pass.
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
+        let produced = self.backward(grad_output);
+        grad_input.copy_from(produced.view());
+    }
+
+    /// Stateless forward for inference: computes the output without touching
+    /// the layer's backward caches, so one layer stack can serve many
+    /// threads concurrently (`&self`). `scratch` is thread-local working
+    /// space the layer may resize and scribble on freely.
+    fn forward_inference_into(&self, input: MatrixView<'_>, scratch: &mut Matrix, out: &mut Matrix);
 
     /// The layer's trainable parameters.
     fn params(&self) -> Vec<&Param>;
@@ -51,11 +86,20 @@ pub trait Layer: Send {
     /// the notation of the paper's Table I.
     fn describe(&self) -> String;
 
+    /// Visits each trainable parameter mutably, in [`Layer::params`] order.
+    ///
+    /// The default routes through [`Layer::params_mut`] (which allocates a
+    /// `Vec` per call); layers override it to visit parameters directly so
+    /// the optimizer step stays allocation-free.
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
     /// Resets all accumulated gradients.
     fn zero_grad(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
-        }
+        self.for_each_param_mut(&mut |p| p.zero_grad());
     }
 
     /// Total number of trainable scalars.

@@ -5,7 +5,8 @@ use rand::rngs::StdRng;
 use crate::activation::Activation;
 use crate::init::Init;
 use crate::layers::Layer;
-use crate::matrix::Matrix;
+use crate::matrix::kernels;
+use crate::matrix::{Matrix, MatrixView};
 use crate::param::Param;
 
 /// The base recurrent structure from the paper's Table I (`SimpleRNN`).
@@ -13,6 +14,10 @@ use crate::param::Param;
 /// The layer consumes a window of `timesteps` feature rows flattened into one
 /// input row of width `timesteps * features`, and emits the final hidden
 /// state: `h_t = act(x_t · Wx + h_{t-1} · Wh + b)`.
+///
+/// Per-timestep caches and BPTT scratch buffers are reused across batches
+/// (resized in place), so steady-state forward/backward passes perform no
+/// heap allocation.
 #[derive(Debug)]
 pub struct SimpleRnn {
     wx: Param,
@@ -26,6 +31,16 @@ pub struct SimpleRnn {
     cached_inputs: Vec<Matrix>,
     /// Cached hidden states `h_0..h_T` (`timesteps + 1` matrices).
     cached_hidden: Vec<Matrix>,
+    /// BPTT scratch: pre-activation gradient of the current timestep.
+    grad_pre: Matrix,
+    /// BPTT scratch: running hidden-state gradient.
+    dh: Matrix,
+    /// BPTT scratch: hidden-state gradient flowing to the previous timestep.
+    dh_prev: Matrix,
+    /// BPTT scratch: input gradient of the current timestep.
+    dx: Matrix,
+    /// Whether a forward pass has populated the caches.
+    primed: bool,
 }
 
 impl SimpleRnn {
@@ -42,7 +57,10 @@ impl SimpleRnn {
         activation: Activation,
         rng: &mut StdRng,
     ) -> Self {
-        assert!(features > 0 && hidden > 0 && timesteps > 0, "dimensions must be non-zero");
+        assert!(
+            features > 0 && hidden > 0 && timesteps > 0,
+            "dimensions must be non-zero"
+        );
         let init = match activation {
             Activation::ReLU => Init::HeUniform,
             _ => Init::XavierUniform,
@@ -59,6 +77,11 @@ impl SimpleRnn {
             hidden,
             cached_inputs: Vec::new(),
             cached_hidden: Vec::new(),
+            grad_pre: Matrix::default(),
+            dh: Matrix::default(),
+            dh_prev: Matrix::default(),
+            dx: Matrix::default(),
+            primed: false,
         }
     }
 
@@ -71,14 +94,22 @@ impl SimpleRnn {
     pub fn timesteps(&self) -> usize {
         self.timesteps
     }
-
-    fn split_timestep(&self, input: &Matrix, t: usize) -> Matrix {
-        input.slice_cols(t * self.features..(t + 1) * self.features)
-    }
 }
 
 impl Layer for SimpleRnn {
     fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(input.view(), &mut out);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad_input = Matrix::default();
+        self.backward_into(grad_output, &mut grad_input);
+        grad_input
+    }
+
+    fn forward_into(&mut self, input: MatrixView<'_>, out: &mut Matrix) {
         assert_eq!(
             input.cols(),
             self.input_size(),
@@ -88,48 +119,95 @@ impl Layer for SimpleRnn {
             self.features
         );
         let batch = input.rows();
-        self.cached_inputs.clear();
-        self.cached_hidden.clear();
-        let mut h = Matrix::zeros(batch, self.hidden);
-        self.cached_hidden.push(h.clone());
-        for t in 0..self.timesteps {
-            let x_t = self.split_timestep(input, t);
-            let pre = x_t
-                .dot(&self.wx.value)
-                .add(&h.dot(&self.wh.value))
-                .add_row_broadcast(&self.bias.value);
-            h = self.activation.apply(&pre);
-            self.cached_inputs.push(x_t);
-            self.cached_hidden.push(h.clone());
+        while self.cached_inputs.len() < self.timesteps {
+            self.cached_inputs.push(Matrix::default());
         }
-        h
+        while self.cached_hidden.len() < self.timesteps + 1 {
+            self.cached_hidden.push(Matrix::default());
+        }
+        self.cached_hidden[0].resize(batch, self.hidden);
+        self.cached_hidden[0].fill(0.0);
+        for t in 0..self.timesteps {
+            kernels::slice_cols_into(
+                input,
+                t * self.features..(t + 1) * self.features,
+                &mut self.cached_inputs[t],
+            );
+            let (prev, cur) = self.cached_hidden.split_at_mut(t + 1);
+            let h_prev = &prev[t];
+            let h_cur = &mut cur[0];
+            kernels::broadcast_rows_into(&self.bias.value, batch, h_cur);
+            kernels::matmul_acc(self.cached_inputs[t].view(), &self.wx.value, h_cur);
+            kernels::matmul_acc(h_prev.view(), &self.wh.value, h_cur);
+            self.activation.apply_inplace(h_cur);
+        }
+        out.copy_from(self.cached_hidden[self.timesteps].view());
+        self.primed = true;
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        assert!(
-            !self.cached_hidden.is_empty(),
-            "backward called before forward"
-        );
+    fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
+        assert!(self.primed, "backward called before forward");
         let batch = grad_output.rows();
-        let mut grad_input = Matrix::zeros(batch, self.input_size());
-        let mut dh = grad_output.clone();
+        grad_input.resize(batch, self.input_size());
+        self.dh.copy_from(grad_output.view());
         for t in (0..self.timesteps).rev() {
             let h_t = &self.cached_hidden[t + 1];
             let h_prev = &self.cached_hidden[t];
             let x_t = &self.cached_inputs[t];
-            let grad_pre = dh.hadamard(&self.activation.derivative(h_t));
-            self.wx.accumulate(&x_t.transpose().dot(&grad_pre));
-            self.wh.accumulate(&h_prev.transpose().dot(&grad_pre));
-            self.bias.accumulate(&grad_pre.sum_rows());
-            let dx = grad_pre.dot(&self.wx.value.transpose());
+            kernels::hadamard_act_derivative_into(
+                &self.dh,
+                h_t,
+                self.activation,
+                &mut self.grad_pre,
+            );
+            kernels::matmul_at_b_acc(x_t.view(), self.grad_pre.view(), &mut self.wx.grad);
+            kernels::matmul_at_b_acc(h_prev.view(), self.grad_pre.view(), &mut self.wh.grad);
+            kernels::sum_rows_acc(&self.grad_pre, &mut self.bias.grad);
+            kernels::matmul_a_bt_into(self.grad_pre.view(), &self.wx.value, &mut self.dx);
+            let width = self.input_size();
             for r in 0..batch {
-                for c in 0..self.features {
-                    grad_input[(r, t * self.features + c)] = dx[(r, c)];
-                }
+                grad_input.as_mut_slice()
+                    [r * width + t * self.features..r * width + (t + 1) * self.features]
+                    .copy_from_slice(self.dx.row(r));
             }
-            dh = grad_pre.dot(&self.wh.value.transpose());
+            kernels::matmul_a_bt_into(self.grad_pre.view(), &self.wh.value, &mut self.dh_prev);
+            std::mem::swap(&mut self.dh, &mut self.dh_prev);
         }
-        grad_input
+    }
+
+    fn forward_inference_into(
+        &self,
+        input: MatrixView<'_>,
+        scratch: &mut Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            input.cols(),
+            self.input_size(),
+            "SimpleRnn expects {} columns ({} timesteps x {} features)",
+            self.input_size(),
+            self.timesteps,
+            self.features
+        );
+        let batch = input.rows();
+        // Ping-pong the hidden state between `scratch` (h_{t-1}) and `out`
+        // (h_t): the timestep input is read in place via the strided
+        // column-window kernel, so no per-step buffers are needed.
+        scratch.resize(batch, self.hidden);
+        scratch.fill(0.0);
+        for t in 0..self.timesteps {
+            kernels::broadcast_rows_into(&self.bias.value, batch, out);
+            kernels::matmul_cols_acc(
+                input,
+                t * self.features..(t + 1) * self.features,
+                &self.wx.value,
+                out,
+            );
+            kernels::matmul_acc(scratch.view(), &self.wh.value, out);
+            self.activation.apply_inplace(out);
+            std::mem::swap(scratch, out);
+        }
+        std::mem::swap(scratch, out);
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -138,6 +216,12 @@ impl Layer for SimpleRnn {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.wx, &mut self.wh, &mut self.bias]
+    }
+
+    fn for_each_param_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wx);
+        f(&mut self.wh);
+        f(&mut self.bias);
     }
 
     fn input_size(&self) -> usize {
@@ -205,6 +289,18 @@ mod tests {
         let mut rng = seeded_rng(4);
         let mut layer = SimpleRnn::new(2, 2, 2, Activation::Tanh, &mut rng);
         let _ = layer.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn inference_forward_matches_training_forward() {
+        let mut rng = seeded_rng(6);
+        let mut layer = SimpleRnn::new(3, 5, 4, Activation::Tanh, &mut rng);
+        let x = Matrix::filled(2, 12, 0.25);
+        let expected = layer.forward(&x);
+        let mut scratch = Matrix::default();
+        let mut out = Matrix::default();
+        layer.forward_inference_into(x.view(), &mut scratch, &mut out);
+        assert_eq!(out, expected);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Loss functions for regression training.
 
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, MatrixView};
 
 /// Loss function used by the training loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,14 +18,22 @@ impl Loss {
     ///
     /// Panics if shapes differ or the batch is empty.
     pub fn compute(self, prediction: &Matrix, target: &Matrix) -> f64 {
+        self.compute_view(prediction.view(), target.view())
+    }
+
+    /// Scalar loss over a batch held in borrowed views (no copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the batch is empty.
+    pub fn compute_view(self, prediction: MatrixView<'_>, target: MatrixView<'_>) -> f64 {
         assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
         assert!(!prediction.is_empty(), "loss over empty batch");
         let n = prediction.len() as f64;
+        let pairs = prediction.as_slice().iter().zip(target.as_slice());
         match self {
-            Loss::MeanSquaredError => {
-                prediction.zip(target, |p, t| (p - t) * (p - t)).sum() / n
-            }
-            Loss::MeanAbsoluteError => prediction.zip(target, |p, t| (p - t).abs()).sum() / n,
+            Loss::MeanSquaredError => pairs.map(|(&p, &t)| (p - t) * (p - t)).sum::<f64>() / n,
+            Loss::MeanAbsoluteError => pairs.map(|(&p, &t)| (p - t).abs()).sum::<f64>() / n,
         }
     }
 
@@ -35,20 +43,48 @@ impl Loss {
     ///
     /// Panics if shapes differ or the batch is empty.
     pub fn gradient(self, prediction: &Matrix, target: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(prediction.rows(), prediction.cols());
+        self.gradient_into(prediction.view(), target.view(), &mut out);
+        out
+    }
+
+    /// Writes the loss gradient into a caller-provided buffer (resized to
+    /// the prediction's shape), allocating nothing in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ or the batch is empty.
+    pub fn gradient_into(
+        self,
+        prediction: MatrixView<'_>,
+        target: MatrixView<'_>,
+        out: &mut Matrix,
+    ) {
         assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
         assert!(!prediction.is_empty(), "loss over empty batch");
         let n = prediction.len() as f64;
+        out.resize(prediction.rows(), prediction.cols());
+        let triples = out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(prediction.as_slice().iter().zip(target.as_slice()));
         match self {
-            Loss::MeanSquaredError => prediction.zip(target, |p, t| 2.0 * (p - t) / n),
-            Loss::MeanAbsoluteError => prediction.zip(target, |p, t| {
-                if p > t {
-                    1.0 / n
-                } else if p < t {
-                    -1.0 / n
-                } else {
-                    0.0
+            Loss::MeanSquaredError => {
+                for (o, (&p, &t)) in triples {
+                    *o = 2.0 * (p - t) / n;
                 }
-            }),
+            }
+            Loss::MeanAbsoluteError => {
+                for (o, (&p, &t)) in triples {
+                    *o = if p > t {
+                        1.0 / n
+                    } else if p < t {
+                        -1.0 / n
+                    } else {
+                        0.0
+                    };
+                }
+            }
         }
     }
 }

@@ -41,7 +41,11 @@ impl RelativeError {
         assert!(!abs_errors.is_empty(), "no non-zero targets to evaluate");
         let n = abs_errors.len() as f64;
         let mean = abs_errors.iter().sum::<f64>() / n;
-        let var = abs_errors.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n;
+        let var = abs_errors
+            .iter()
+            .map(|e| (e - mean) * (e - mean))
+            .sum::<f64>()
+            / n;
         RelativeError {
             mean,
             std_dev: var.sqrt(),

@@ -2,10 +2,24 @@
 
 use crate::layers::Layer;
 use crate::loss::Loss;
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, MatrixView};
 use crate::optimizer::Optimizer;
 
+/// Minimum batch rows before [`Sequential::predict`] fans out across
+/// threads.
+///
+/// The vendored `rayon` shim spawns OS threads per `scope` call instead of
+/// reusing a pool, so parallelism only pays for itself on batches large
+/// enough to amortize thread spawns; smaller batches stay on the serial
+/// in-arena path.
+pub const PARALLEL_MIN_ROWS: usize = 128;
+
 /// A feed-forward stack of layers trained with backpropagation.
+///
+/// The network owns a scratch arena (per-layer activation buffers and a
+/// gradient ping-pong pair) that is reused across batches: after the first
+/// batch, [`Sequential::train_batch`], [`Sequential::train_batch_view`] and
+/// [`Sequential::predict_ref`] perform no per-call heap allocation.
 ///
 /// # Examples
 ///
@@ -35,6 +49,15 @@ use crate::optimizer::Optimizer;
 #[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Activation arena: `acts[i]` holds layer `i`'s output, reused across
+    /// batches.
+    acts: Vec<Matrix>,
+    /// Gradient ping-pong buffers for the backward pass.
+    grad_a: Matrix,
+    grad_b: Matrix,
+    /// Number of parameter tensors across all layers (cached so the
+    /// optimizer protocol never collects them into a `Vec`).
+    n_param_tensors: usize,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -49,7 +72,7 @@ impl std::fmt::Debug for Sequential {
 impl Sequential {
     /// Creates an empty network.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential::default()
     }
 
     /// Appends a layer to the end of the stack.
@@ -68,7 +91,9 @@ impl Sequential {
                 last.output_size()
             );
         }
+        self.n_param_tensors += layer.params().len();
         self.layers.push(Box::new(layer));
+        self.acts.push(Matrix::default());
     }
 
     /// Number of layers.
@@ -91,17 +116,98 @@ impl Sequential {
         self.layers.last().map(|l| l.output_size())
     }
 
-    /// Runs a forward pass (also caching intermediates for a backward pass).
+    /// Serial forward pass through the activation arena, caching layer
+    /// intermediates for a backward pass.
+    fn forward_all(&mut self, input: MatrixView<'_>) {
+        assert!(
+            !self.layers.is_empty(),
+            "cannot predict with an empty network"
+        );
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            if i == 0 {
+                layer.forward_into(input, &mut self.acts[0]);
+            } else {
+                let (prev, cur) = self.acts.split_at_mut(i);
+                layer.forward_into(prev[i - 1].view(), &mut cur[0]);
+            }
+        }
+    }
+
+    /// Runs a forward pass and returns a borrow of the output held in the
+    /// network's reusable activation arena — the zero-copy, zero-allocation
+    /// variant of [`Sequential::predict`]. Also caches intermediates for a
+    /// backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty or the input width is wrong.
+    pub fn predict_ref(&mut self, input: MatrixView<'_>) -> &Matrix {
+        self.forward_all(input);
+        &self.acts[self.layers.len() - 1]
+    }
+
+    /// Runs a forward pass and returns the output.
+    ///
+    /// Batches of at least [`PARALLEL_MIN_ROWS`] rows are split across
+    /// threads using the stateless inference path (which does not populate
+    /// the backward caches); smaller batches run serially through the arena
+    /// like [`Sequential::predict_ref`].
     ///
     /// # Panics
     ///
     /// Panics if the network is empty or the input width is wrong.
     pub fn predict(&mut self, input: &Matrix) -> Matrix {
-        assert!(!self.layers.is_empty(), "cannot predict with an empty network");
-        let mut out = input.clone();
-        for layer in &mut self.layers {
-            out = layer.forward(&out);
+        assert!(
+            !self.layers.is_empty(),
+            "cannot predict with an empty network"
+        );
+        if input.rows() >= PARALLEL_MIN_ROWS && rayon::current_num_threads() > 1 {
+            self.predict_parallel(input.view())
+        } else {
+            self.forward_all(input.view());
+            self.acts[self.layers.len() - 1].clone()
         }
+    }
+
+    /// Row-parallel stateless forward: the batch is split into contiguous
+    /// row chunks, each processed by one thread with its own ping-pong
+    /// buffers via [`Layer::forward_inference_into`].
+    fn predict_parallel(&self, input: MatrixView<'_>) -> Matrix {
+        let out_cols = self
+            .output_size()
+            .expect("cannot predict with an empty network");
+        let rows = input.rows();
+        let mut out = Matrix::zeros(rows, out_cols);
+        let n_chunks = rayon::current_num_threads().clamp(1, rows);
+        let chunk_rows = rows.div_ceil(n_chunks);
+        let layers = &self.layers;
+        rayon::scope(|s| {
+            for (ci, out_chunk) in out
+                .as_mut_slice()
+                .chunks_mut(chunk_rows * out_cols.max(1))
+                .enumerate()
+            {
+                let start = ci * chunk_rows;
+                // A zero-width output degenerates chunks_mut; fall back to
+                // the row arithmetic in that case.
+                let chunk_len = out_chunk
+                    .len()
+                    .checked_div(out_cols)
+                    .unwrap_or_else(|| chunk_rows.min(rows - start));
+                let input_chunk = input.view_rows(start..start + chunk_len);
+                s.spawn(move |_| {
+                    let mut cur = Matrix::default();
+                    let mut next = Matrix::default();
+                    let mut scratch = Matrix::default();
+                    layers[0].forward_inference_into(input_chunk, &mut scratch, &mut cur);
+                    for layer in &layers[1..] {
+                        layer.forward_inference_into(cur.view(), &mut scratch, &mut next);
+                        std::mem::swap(&mut cur, &mut next);
+                    }
+                    out_chunk.copy_from_slice(cur.as_slice());
+                });
+            }
+        });
         out
     }
 
@@ -118,18 +224,34 @@ impl Sequential {
         loss: Loss,
         optimizer: &mut dyn Optimizer,
     ) -> f64 {
-        let prediction = self.predict(input);
-        let loss_value = loss.compute(&prediction, target);
-        let mut grad = loss.gradient(&prediction, target);
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
+        self.train_batch_view(input.view(), target.view(), loss, optimizer)
+    }
+
+    /// [`Sequential::train_batch`] over borrowed views — the epoch-loop hot
+    /// path. Batches sliced out of a larger matrix with
+    /// [`Matrix::view_rows`] train without being copied, and the whole
+    /// cycle (forward, loss, backward, optimizer step) reuses the network's
+    /// scratch arena: zero heap allocations per call in steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty or shapes are inconsistent.
+    pub fn train_batch_view(
+        &mut self,
+        input: MatrixView<'_>,
+        target: MatrixView<'_>,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        let loss_value = self.backward_only_view(input, target, loss);
+        optimizer.begin_step(self.n_param_tensors);
+        let mut index = 0;
+        for layer in self.layers.iter_mut() {
+            layer.for_each_param_mut(&mut |p| {
+                optimizer.step_param(index, p);
+                index += 1;
+            });
         }
-        let mut params: Vec<&mut crate::param::Param> = self
-            .layers
-            .iter_mut()
-            .flat_map(|l| l.params_mut())
-            .collect();
-        optimizer.step(&mut params);
         loss_value
     }
 
@@ -139,11 +261,30 @@ impl Sequential {
     /// want the loss should follow with [`Sequential::zero_grad`]. Exposed
     /// for gradient-checking tests and custom training loops.
     pub fn backward_only(&mut self, input: &Matrix, target: &Matrix, loss: Loss) -> f64 {
-        let prediction = self.predict(input);
-        let loss_value = loss.compute(&prediction, target);
-        let mut grad = loss.gradient(&prediction, target);
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
+        self.backward_only_view(input.view(), target.view(), loss)
+    }
+
+    /// [`Sequential::backward_only`] over borrowed views.
+    pub fn backward_only_view(
+        &mut self,
+        input: MatrixView<'_>,
+        target: MatrixView<'_>,
+        loss: Loss,
+    ) -> f64 {
+        self.forward_all(input);
+        let last = self.layers.len() - 1;
+        let loss_value = loss.compute_view(self.acts[last].view(), target);
+        let Sequential {
+            layers,
+            acts,
+            grad_a,
+            grad_b,
+            ..
+        } = self;
+        loss.gradient_into(acts[last].view(), target, grad_a);
+        for layer in layers.iter_mut().rev() {
+            layer.backward_into(grad_a, grad_b);
+            std::mem::swap(grad_a, grad_b);
         }
         loss_value
     }
@@ -162,7 +303,10 @@ impl Sequential {
 
     /// Mutable access to every parameter, layer by layer.
     pub fn params_mut(&mut self) -> Vec<&mut crate::param::Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Architecture description in the paper's Table I notation, e.g.
@@ -191,7 +335,11 @@ impl Sequential {
     /// Panics if the snapshot length or any shape does not match.
     pub fn import_weights(&mut self, weights: &[Matrix]) {
         let mut params = self.params_mut();
-        assert_eq!(params.len(), weights.len(), "weight snapshot length mismatch");
+        assert_eq!(
+            params.len(),
+            weights.len(),
+            "weight snapshot length mismatch"
+        );
         for (p, w) in params.iter_mut().zip(weights) {
             assert_eq!(p.value.shape(), w.shape(), "weight snapshot shape mismatch");
             p.value = w.clone();
@@ -245,6 +393,48 @@ mod tests {
             last = net.train_batch(&x, &y, Loss::MeanSquaredError, &mut opt);
         }
         assert!(last < first * 0.1, "loss {last} did not drop from {first}");
+    }
+
+    #[test]
+    fn train_batch_view_matches_train_batch() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        let mut net_a = two_layer();
+        let mut net_b = two_layer();
+        let mut opt_a = Sgd::new(0.05);
+        let mut opt_b = Sgd::new(0.05);
+        for _ in 0..20 {
+            let la = net_a.train_batch(&x, &y, Loss::MeanSquaredError, &mut opt_a);
+            let lb = net_b.train_batch_view(x.view(), y.view(), Loss::MeanSquaredError, &mut opt_b);
+            assert_eq!(la, lb);
+        }
+        assert_eq!(net_a.export_weights(), net_b.export_weights());
+    }
+
+    #[test]
+    fn predict_ref_matches_predict() {
+        let mut net = two_layer();
+        let x = Matrix::from_rows(&[&[0.5, -0.25, 1.0], &[0.0, 2.0, -1.0]]);
+        let expected = net.predict(&x);
+        assert_eq!(net.predict_ref(x.view()), &expected);
+    }
+
+    #[test]
+    fn parallel_predict_matches_serial() {
+        // 2x PARALLEL_MIN_ROWS rows forces the parallel path (when more than
+        // one thread is available); the serial arena path is the reference.
+        let mut net = two_layer();
+        let rows = 2 * PARALLEL_MIN_ROWS;
+        let mut x = Matrix::zeros(rows, 3);
+        for r in 0..rows {
+            for c in 0..3 {
+                x[(r, c)] = (r * 3 + c) as f64 * 0.01 - 2.0;
+            }
+        }
+        let parallel = net.predict(&x);
+        net.forward_all(x.view());
+        let serial = net.acts[net.layers.len() - 1].clone();
+        assert_eq!(parallel, serial);
     }
 
     #[test]

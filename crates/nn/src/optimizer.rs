@@ -11,9 +11,33 @@ use crate::param::Param;
 ///
 /// Implementations assume they are stepped with the same parameter list (same
 /// order, same shapes) on every call, which `Sequential` guarantees.
+///
+/// The allocation-free protocol is [`Optimizer::begin_step`] once per batch
+/// followed by [`Optimizer::step_param`] for each parameter in order —
+/// `Sequential` drives it without collecting parameters into a `Vec`.
+/// [`Optimizer::step`] wraps that protocol for slice-based callers.
 pub trait Optimizer: Send {
     /// Applies one update step to `params` and clears their gradients.
-    fn step(&mut self, params: &mut [&mut Param]);
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.begin_step(params.len());
+        for (i, p) in params.iter_mut().enumerate() {
+            self.step_param(i, p);
+        }
+    }
+
+    /// Opens an update step over `param_count` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Implementations with per-parameter state panic if `param_count`
+    /// differs from previous steps.
+    fn begin_step(&mut self, param_count: usize) {
+        let _ = param_count;
+    }
+
+    /// Updates the parameter at position `index` of the (stable) parameter
+    /// ordering and clears its gradient, allocating nothing.
+    fn step_param(&mut self, index: usize, param: &mut Param);
 
     /// The configured learning rate.
     fn learning_rate(&self) -> f64;
@@ -48,15 +72,19 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [&mut Param]) {
-        for p in params.iter_mut() {
-            let mut g = p.grad.clone();
-            if let Some(c) = self.clip {
-                g.clip_inplace(c);
-            }
-            let update = g.scale(-self.learning_rate);
-            p.value.add_assign(&update);
-            p.zero_grad();
+    fn step_param(&mut self, _index: usize, param: &mut Param) {
+        // Clip, update and re-zero in one in-place pass — the old path
+        // cloned the gradient and built a scaled update matrix per step.
+        let lr = self.learning_rate;
+        let clip = self.clip;
+        let Param { value, grad, .. } = param;
+        for (v, g) in value.as_mut_slice().iter_mut().zip(grad.as_mut_slice()) {
+            let gv = match clip {
+                Some(c) => g.clamp(-c, c),
+                None => *g,
+            };
+            *v -= lr * gv;
+            *g = 0.0;
         }
     }
 
@@ -98,34 +126,45 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: &mut [&mut Param]) {
-        if self.moments.is_empty() {
-            self.moments = params
-                .iter()
-                .map(|p| (vec![0.0; p.len()], vec![0.0; p.len()]))
-                .collect();
+    fn begin_step(&mut self, param_count: usize) {
+        if !self.moments.is_empty() {
+            assert_eq!(
+                self.moments.len(),
+                param_count,
+                "optimizer stepped with a different parameter list"
+            );
+        }
+        self.t += 1;
+    }
+
+    fn step_param(&mut self, index: usize, param: &mut Param) {
+        // Moment buffers are keyed by parameter position and grown lazily on
+        // the first step; afterwards every call is allocation-free.
+        while self.moments.len() <= index {
+            self.moments.push((Vec::new(), Vec::new()));
+        }
+        let (m, v) = &mut self.moments[index];
+        if m.is_empty() {
+            m.resize(param.len(), 0.0);
+            v.resize(param.len(), 0.0);
         }
         assert_eq!(
-            self.moments.len(),
-            params.len(),
-            "optimizer stepped with a different parameter list"
+            param.len(),
+            m.len(),
+            "parameter shape changed between steps"
         );
-        self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for (p, (m, v)) in params.iter_mut().zip(&mut self.moments) {
-            assert_eq!(p.len(), m.len(), "parameter shape changed between steps");
-            let values = p.value.as_mut_slice();
-            let grads = p.grad.as_slice();
-            for i in 0..values.len() {
-                let g = grads[i];
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
-                let m_hat = m[i] / bc1;
-                let v_hat = v[i] / bc2;
-                values[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
-            }
-            p.zero_grad();
+        let values = param.value.as_mut_slice();
+        let grads = param.grad.as_mut_slice();
+        for i in 0..values.len() {
+            let g = grads[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            values[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            grads[i] = 0.0;
         }
     }
 

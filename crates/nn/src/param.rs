@@ -40,9 +40,11 @@ impl Param {
         self.value.is_empty()
     }
 
-    /// Resets the accumulated gradient to zero.
+    /// Resets the accumulated gradient to zero in place (the gradient
+    /// buffer's allocation is kept, so per-batch zeroing is free of heap
+    /// traffic).
     pub fn zero_grad(&mut self) {
-        self.grad = Matrix::zeros(self.value.rows(), self.value.cols());
+        self.grad.fill(0.0);
     }
 
     /// Accumulates `g` into the gradient.

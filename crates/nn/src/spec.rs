@@ -158,7 +158,11 @@ impl NetworkSpec {
         let mut rng = crate::init::seeded_rng(0);
         let skeleton = self.build(&mut rng);
         let expected = skeleton.export_weights();
-        assert_eq!(expected.len(), weights.len(), "checkpoint layer-count mismatch");
+        assert_eq!(
+            expected.len(),
+            weights.len(),
+            "checkpoint layer-count mismatch"
+        );
         for (e, w) in expected.iter().zip(&weights) {
             assert_eq!(e.shape(), w.shape(), "checkpoint weight-shape mismatch");
         }
@@ -201,13 +205,19 @@ fn input_size(layer: &LayerSpec) -> usize {
     match *layer {
         LayerSpec::Dense { input, .. } => input,
         LayerSpec::SimpleRnn {
-            features, timesteps, ..
+            features,
+            timesteps,
+            ..
         }
         | LayerSpec::Lstm {
-            features, timesteps, ..
+            features,
+            timesteps,
+            ..
         }
         | LayerSpec::Gru {
-            features, timesteps, ..
+            features,
+            timesteps,
+            ..
         } => features * timesteps,
     }
 }

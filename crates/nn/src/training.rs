@@ -46,7 +46,10 @@ impl DataSplit {
                 inputs.slice_rows(train_end..val_end),
                 targets.slice_rows(train_end..val_end),
             ),
-            test: (inputs.slice_rows(val_end..n), targets.slice_rows(val_end..n)),
+            test: (
+                inputs.slice_rows(val_end..n),
+                targets.slice_rows(val_end..n),
+            ),
         }
     }
 
@@ -146,15 +149,21 @@ pub fn train(
         let mut row = 0;
         while row < train_x.rows() {
             let end = (row + bs).min(train_x.rows());
-            let bx = train_x.slice_rows(row..end);
-            let by = train_y.slice_rows(row..end);
-            epoch_loss += network.train_batch(&bx, &by, config.loss, optimizer);
+            // Borrowed row-range views: the batch trains in place, no copy.
+            epoch_loss += network.train_batch_view(
+                train_x.view_rows(row..end),
+                train_y.view_rows(row..end),
+                config.loss,
+                optimizer,
+            );
             batches += 1;
             row = end;
         }
         epoch_losses.push(epoch_loss / batches.max(1) as f64);
         if let Some(patience) = config.patience {
-            let val_loss = config.loss.compute(&network.predict(val_x), val_y);
+            let val_loss = config
+                .loss
+                .compute_view(network.predict_ref(val_x.view()).view(), val_y.view());
             if val_loss + 1e-12 < best_val {
                 best_val = val_loss;
                 stale = 0;
@@ -169,7 +178,9 @@ pub fn train(
     let training_time = start.elapsed();
     network.zero_grad();
 
-    let validation_loss = config.loss.compute(&network.predict(val_x), val_y);
+    let validation_loss = config
+        .loss
+        .compute_view(network.predict_ref(val_x.view()).view(), val_y.view());
 
     let pred_start = Instant::now();
     let test_pred = network.predict(test_x);
@@ -206,10 +217,7 @@ mod tests {
             xs.extend_from_slice(&[a, b]);
             ys.push(2.0 * a + 3.0 * b + 0.5);
         }
-        (
-            Matrix::from_vec(n, 2, xs),
-            Matrix::from_vec(n, 1, ys),
-        )
+        (Matrix::from_vec(n, 2, xs), Matrix::from_vec(n, 1, ys))
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Property-based equivalence tests: the cache-blocked, fused kernels in
+//! [`geomancy_nn::matrix::kernels`] must agree with the retained naive
+//! reference implementations across random shapes — including shapes that
+//! are not multiples of the blocking factor or the 4-wide unroll, and the
+//! transpose-operand variants used by backpropagation.
+//!
+//! The blocked kernels reassociate floating-point accumulation (4-way
+//! k-unroll inside 32-wide k-panels), so equality is asserted to a 1e-12
+//! *relative* tolerance rather than bitwise.
+
+use geomancy_nn::activation::Activation;
+use geomancy_nn::matrix::{kernels, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with values in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a matrix pair (m×k, k×n) with every dimension drawn from
+/// 1..=40 so shapes cross the 32-wide k-panel and 4-wide unroll boundaries.
+fn matmul_operands() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=40, 1usize..=40, 1usize..=40).prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+}
+
+/// Asserts element-wise agreement to a 1e-12 relative tolerance.
+fn assert_close(got: &Matrix, want: &Matrix) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.shape(), want.shape());
+    for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+        let scale = w.abs().max(1.0);
+        prop_assert!(
+            (g - w).abs() <= 1e-12 * scale,
+            "kernel {} vs reference {}",
+            g,
+            w
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn blocked_matmul_matches_reference((a, b) in matmul_operands()) {
+        let mut out = Matrix::default();
+        kernels::matmul_into(a.view(), &b, &mut out);
+        assert_close(&out, &kernels::reference::matmul(&a, &b))?;
+    }
+
+    #[test]
+    fn dot_matches_reference((a, b) in matmul_operands()) {
+        assert_close(&a.dot(&b), &kernels::reference::matmul(&a, &b))?;
+    }
+
+    #[test]
+    fn at_b_kernel_matches_transposed_reference((a, b) in matmul_operands()) {
+        // out += aᵀ·a-shaped: reuse a (m×k) against c (m×n) so aᵀ·c is k×n.
+        let c = b; // rename for clarity below
+        let m = a.rows();
+        let c = Matrix::from_vec(m, c.cols().clamp(1, 8), {
+            let n = c.cols().clamp(1, 8);
+            c.as_slice().iter().cycle().take(m * n).copied().collect()
+        });
+        let mut out = Matrix::zeros(a.cols(), c.cols());
+        kernels::matmul_at_b_acc(a.view(), c.view(), &mut out);
+        assert_close(&out, &kernels::reference::matmul_at_b(&a, &c))?;
+    }
+
+    #[test]
+    fn a_bt_kernel_matches_transposed_reference((a, b) in matmul_operands()) {
+        // a (m×k) · bᵀ where b is n×k: reshape b's data to n×k.
+        let n = b.cols();
+        let bt = Matrix::from_vec(n, a.cols(), {
+            b.as_slice().iter().cycle().take(n * a.cols()).copied().collect()
+        });
+        let mut out = Matrix::default();
+        kernels::matmul_a_bt_into(a.view(), &bt, &mut out);
+        assert_close(&out, &kernels::reference::matmul_a_bt(&a, &bt))?;
+    }
+
+    #[test]
+    fn fused_dense_forward_matches_reference(
+        (x, w) in matmul_operands(),
+        act_idx in 0usize..4,
+    ) {
+        let act = [
+            Activation::ReLU,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Linear,
+        ][act_idx];
+        let bias = Matrix::filled(1, w.cols(), 0.25);
+        let mut out = Matrix::default();
+        kernels::matmul_bias_act_into(x.view(), &w, &bias, act, &mut out);
+        assert_close(&out, &kernels::reference::dense_forward(&x, &w, &bias, act))?;
+    }
+
+    #[test]
+    fn column_window_matmul_matches_sliced_reference(
+        (a, b) in matmul_operands(),
+        lo in 0usize..40,
+        hi in 1usize..=40,
+    ) {
+        // A strided column window of `a` against `b`-shaped weights must
+        // equal slicing the columns out first and multiplying densely.
+        let lo = lo % a.cols();
+        let hi = lo + 1 + (hi - 1) % (a.cols() - lo);
+        let cols = hi - lo;
+        let w = Matrix::from_vec(cols, b.cols(), {
+            b.as_slice().iter().cycle().take(cols * b.cols()).copied().collect()
+        });
+        let mut out = Matrix::zeros(a.rows(), w.cols());
+        kernels::matmul_cols_acc(a.view(), lo..hi, &w, &mut out);
+        let sliced = a.slice_cols(lo..hi);
+        assert_close(&out, &kernels::reference::matmul(&sliced, &w))?;
+    }
+
+    #[test]
+    fn accumulating_kernels_add_onto_existing_output((a, b) in matmul_operands()) {
+        // matmul_acc must accumulate, not overwrite: seeding the output with
+        // the product once and accumulating again doubles it.
+        let base = kernels::reference::matmul(&a, &b);
+        let mut out = base.clone();
+        kernels::matmul_acc(a.view(), &b, &mut out);
+        assert_close(&out, &base.scale(2.0))?;
+    }
+
+    #[test]
+    fn activation_derivative_fusion_matches_composition(
+        g in matrix(5, 7),
+        y in matrix(5, 7),
+        act_idx in 0usize..3,
+    ) {
+        let act = [Activation::ReLU, Activation::Sigmoid, Activation::Tanh][act_idx];
+        // Sigmoid/Tanh derivatives are computed from the *output*, so map
+        // the random values into each activation's range first.
+        let y = y.map(|v| act.apply_scalar(v));
+        let mut out = Matrix::default();
+        kernels::hadamard_act_derivative_into(&g, &y, act, &mut out);
+        let expected = g.hadamard(&y.map(|v| act.derivative_from_output(v)));
+        assert_close(&out, &expected)?;
+    }
+}
+
+/// The old scalar `dot` skipped `a == 0.0` elements to "exploit sparsity",
+/// which costs a branch per inner-loop iteration on dense data. The blocked
+/// kernel removed the branch; this regression test pins that sparse and
+/// dense inputs flow through the identical code path and produce identical
+/// results.
+#[test]
+fn sparse_and_dense_dot_agree() {
+    fn pseudo(i: usize, mul: usize, add: usize, m: usize, div: f64, off: f64) -> f64 {
+        ((i * mul + add) % m) as f64 / div - off
+    }
+
+    // With inner dimension 3 every k-term falls into the kernel's scalar
+    // remainder loop, whose accumulation order matches the naive reference
+    // exactly — so agreement here is bitwise, sparse or dense.
+    let rows = 17;
+    let cols = 9;
+    for inner in [1usize, 2, 3] {
+        let dense = Matrix::from_vec(
+            rows,
+            inner,
+            (0..rows * inner)
+                .map(|i| pseudo(i, 37, 11, 97, 19.0, 2.5))
+                .collect(),
+        );
+        // ~70 % of entries zeroed: the old `dot` skipped these with a branch;
+        // the blocked kernel must flow them through the same multiply-add
+        // path and land on identical results.
+        let sparse = dense.map(|v| {
+            if (v.abs() * 19.0) as i64 % 10 < 7 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let b = Matrix::from_vec(
+            inner,
+            cols,
+            (0..inner * cols)
+                .map(|i| pseudo(i, 53, 7, 89, 17.0, 2.0))
+                .collect(),
+        );
+        assert_eq!(sparse.dot(&b), kernels::reference::matmul(&sparse, &b));
+        assert_eq!(dense.dot(&b), kernels::reference::matmul(&dense, &b));
+    }
+
+    // For a wide inner dimension the kernel's 4-way unroll reassociates the
+    // sum, so compare to the reference with the 1e-12 relative tolerance —
+    // the point stays: sparse input takes no shortcut branch.
+    let inner = 47;
+    let dense = Matrix::from_vec(
+        rows,
+        inner,
+        (0..rows * inner)
+            .map(|i| pseudo(i, 37, 11, 97, 19.0, 2.5))
+            .collect(),
+    );
+    let sparse = dense.map(|v| {
+        if (v.abs() * 19.0) as i64 % 10 < 7 {
+            0.0
+        } else {
+            v
+        }
+    });
+    let b = Matrix::from_vec(
+        inner,
+        cols,
+        (0..inner * cols)
+            .map(|i| pseudo(i, 53, 7, 89, 17.0, 2.0))
+            .collect(),
+    );
+    for (m, name) in [(&sparse, "sparse"), (&dense, "dense")] {
+        let got = m.dot(&b);
+        let want = kernels::reference::matmul(m, &b);
+        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!(
+                (g - w).abs() <= 1e-12 * w.abs().max(1.0),
+                "{name}: kernel {g} vs reference {w}"
+            );
+        }
+    }
+    // A fully-zero operand yields an exactly-zero product.
+    let zeros = Matrix::zeros(rows, inner);
+    assert!(zeros.dot(&b).as_slice().iter().all(|&v| v == 0.0));
+}

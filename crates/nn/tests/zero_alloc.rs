@@ -1,0 +1,128 @@
+//! Steady-state allocation tests: after a warm-up call has sized every
+//! scratch buffer, the training and prediction hot paths must perform no
+//! heap allocation at all.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the test
+//! snapshots the allocation counter around the measured region. Everything
+//! runs inside a single `#[test]` so no concurrent test can pollute the
+//! counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use geomancy_nn::activation::Activation;
+use geomancy_nn::init::seeded_rng;
+use geomancy_nn::layers::Dense;
+use geomancy_nn::loss::Loss;
+use geomancy_nn::matrix::Matrix;
+use geomancy_nn::network::Sequential;
+use geomancy_nn::optimizer::{Adam, Sgd};
+
+/// Counts every allocation made through the global allocator.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// The paper's model 1: dense 6 -> 96 -> 48 -> 24 -> 1.
+fn model1() -> Sequential {
+    let mut rng = seeded_rng(7);
+    let mut net = Sequential::new();
+    net.push(Dense::new(6, 96, Activation::ReLU, &mut rng));
+    net.push(Dense::new(96, 48, Activation::ReLU, &mut rng));
+    net.push(Dense::new(48, 24, Activation::ReLU, &mut rng));
+    net.push(Dense::new(24, 1, Activation::Linear, &mut rng));
+    net
+}
+
+fn batch(rows: usize) -> (Matrix, Matrix) {
+    let x = Matrix::from_vec(
+        rows,
+        6,
+        (0..rows * 6).map(|i| (i % 13) as f64 / 13.0).collect(),
+    );
+    let y = Matrix::from_vec(rows, 1, (0..rows).map(|i| (i % 5) as f64 / 5.0).collect());
+    (x, y)
+}
+
+#[test]
+fn steady_state_hot_paths_do_not_allocate() {
+    let (x, y) = batch(64);
+
+    // --- train_batch_view with SGD ---
+    let mut net = model1();
+    let mut opt = Sgd::new(0.01);
+    // Warm-up sizes the activation arena, layer scratch and loss gradient.
+    net.train_batch_view(x.view(), y.view(), Loss::MeanSquaredError, &mut opt);
+    let before = allocations();
+    for _ in 0..10 {
+        net.train_batch_view(x.view(), y.view(), Loss::MeanSquaredError, &mut opt);
+    }
+    let sgd_delta = allocations() - before;
+    assert_eq!(
+        sgd_delta, 0,
+        "SGD train_batch_view allocated {sgd_delta} times"
+    );
+
+    // --- train_batch_view with Adam (moments are lazily sized once) ---
+    let mut net = model1();
+    let mut opt = Adam::new(0.001);
+    net.train_batch_view(x.view(), y.view(), Loss::MeanSquaredError, &mut opt);
+    let before = allocations();
+    for _ in 0..10 {
+        net.train_batch_view(x.view(), y.view(), Loss::MeanSquaredError, &mut opt);
+    }
+    let adam_delta = allocations() - before;
+    assert_eq!(
+        adam_delta, 0,
+        "Adam train_batch_view allocated {adam_delta} times"
+    );
+
+    // --- predict_ref (serial inference path) ---
+    let _ = net.predict_ref(x.view());
+    let before = allocations();
+    for _ in 0..10 {
+        let out = net.predict_ref(x.view());
+        assert_eq!(out.rows(), 64);
+    }
+    let predict_delta = allocations() - before;
+    assert_eq!(
+        predict_delta, 0,
+        "predict_ref allocated {predict_delta} times"
+    );
+
+    // --- smaller batch after a larger one: Vec::resize keeps capacity ---
+    let (sx, sy) = batch(16);
+    net.train_batch_view(sx.view(), sy.view(), Loss::MeanSquaredError, &mut opt);
+    let before = allocations();
+    for _ in 0..5 {
+        net.train_batch_view(sx.view(), sy.view(), Loss::MeanSquaredError, &mut opt);
+    }
+    let shrink_delta = allocations() - before;
+    assert_eq!(
+        shrink_delta, 0,
+        "shrunken batch allocated {shrink_delta} times"
+    );
+}

@@ -257,7 +257,10 @@ impl ReplayDb {
         self.by_device.clear();
         self.by_file.clear();
         for (idx, stored) in self.records.iter().enumerate() {
-            self.by_device.entry(stored.record.fsid).or_default().push(idx);
+            self.by_device
+                .entry(stored.record.fsid)
+                .or_default()
+                .push(idx);
             self.by_file.entry(stored.record.fid).or_default().push(idx);
         }
     }

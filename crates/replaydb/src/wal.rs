@@ -62,7 +62,11 @@ impl WalWriter {
     /// # Errors
     ///
     /// Returns an I/O or serialization error.
-    pub fn append(&mut self, timestamp_micros: u64, record: AccessRecord) -> Result<(), PersistError> {
+    pub fn append(
+        &mut self,
+        timestamp_micros: u64,
+        record: AccessRecord,
+    ) -> Result<(), PersistError> {
         let line = serde_json::to_string(&WalEntry {
             t: timestamp_micros,
             r: record,

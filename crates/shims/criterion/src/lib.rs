@@ -1,0 +1,275 @@
+//! Offline shim for `criterion`: a wall-clock timing harness with the same
+//! bench-definition API (`criterion_group!` / `criterion_main!` /
+//! `bench_function` / `iter` / `iter_batched`), minus statistical analysis,
+//! plots, and baselines. Each benchmark warms up briefly, then takes
+//! `sample_size` samples and reports `[min mean max]` per-iteration time.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How per-iteration inputs produced by `iter_batched` setup are grouped.
+/// This shim always uses one input per routine call, so the variants only
+/// document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: real criterion batches many per allocation.
+    SmallInput,
+    /// Large inputs: real criterion allocates one at a time.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Target accumulated routine time per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+/// Warmup budget before sampling starts.
+const WARMUP_TARGET: Duration = Duration::from_millis(150);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of benchmarks reported under a common `group/name` label.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (reporting happens eagerly; this is for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(label: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    bencher.report(label);
+}
+
+/// Per-benchmark measurement state; `iter`/`iter_batched` fill `samples`
+/// with mean per-iteration durations.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` directly; state persists across iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup: estimate per-iteration cost.
+        let mut iters = 0u64;
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            iters += 1;
+        }
+        let per_iter = warmup_start.elapsed() / iters.max(1) as u32;
+        let iters_per_sample = iters_for(per_iter);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup: one run to estimate routine cost (setup excluded).
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let per_iter = start.elapsed();
+        let iters_per_sample = iters_for(per_iter);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            self.samples.push(total / iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        println!(
+            "{label:<50} time: [{} {} {}]",
+            format_duration(*min),
+            format_duration(mean),
+            format_duration(*max),
+        );
+    }
+}
+
+/// Iterations per sample so a sample lasts about `SAMPLE_TARGET`.
+fn iters_for(per_iter: Duration) -> u64 {
+    if per_iter.is_zero() {
+        return 1000;
+    }
+    (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 1_000_000) as u64
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Defines a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given groups, mirroring `criterion::criterion_main!`.
+/// CLI arguments (cargo passes `--bench`) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        c.bench_function("consume", |b| {
+            b.iter_batched(
+                || vec![1, 2, 3],
+                |v| {
+                    // Consumes the input by value: requires a fresh one
+                    // per call, which is the iter_batched contract.
+                    drop(v);
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    #[test]
+    fn groups_report_and_finish() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("x", |b| b.iter(|| black_box(42)));
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline shim for `crossbeam`: the `channel` module only, implemented as
+//! an MPMC queue over `Mutex` + `Condvar` with crossbeam's disconnect
+//! semantics (a `recv` on an empty channel whose senders are all gone
+//! returns `Err`; a `send` after every receiver dropped returns the value).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        capacity: Option<usize>,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when an item arrives or the last sender leaves.
+        recv_ready: Condvar,
+        /// Signalled when space frees up or the last receiver leaves.
+        send_ready: Condvar,
+    }
+
+    /// The sending half of a channel. Cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel. Cloning adds another consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone;
+    /// carries the unsent value back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                capacity,
+            }),
+            recv_ready: Condvar::new(),
+            send_ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    /// Creates a bounded MPMC channel; `send` blocks while the queue holds
+    /// `capacity` items. A capacity of 0 is treated as 1 (this shim has no
+    /// rendezvous channels; the workspace only uses capacities >= 1).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(capacity.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking while a bounded channel is full. Fails
+        /// (returning the value) once every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = state
+                    .capacity
+                    .is_some_and(|cap| state.queue.len() >= cap);
+                if !full {
+                    state.queue.push_back(value);
+                    drop(state);
+                    self.shared.recv_ready.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.send_ready.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.recv_ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a value, blocking until one arrives. Fails once the
+        /// channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.send_ready.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.recv_ready.wait(state).unwrap();
+            }
+        }
+
+        /// Receives without blocking; `None` when empty or disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            let mut state = self.shared.state.lock().unwrap();
+            let value = state.queue.pop_front();
+            if value.is_some() {
+                drop(state);
+                self.shared.send_ready.notify_one();
+            }
+            value
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                // Wake blocked senders so they observe the disconnect.
+                self.shared.send_ready.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_in_order() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_fails_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<i32>();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drops() {
+            let (tx, rx) = unbounded::<i32>();
+            drop(rx);
+            assert_eq!(tx.send(3), Err(SendError(3)));
+        }
+
+        #[test]
+        fn blocked_recv_wakes_on_sender_drop() {
+            let (tx, rx) = unbounded::<i32>();
+            let handle = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(tx);
+            assert_eq!(handle.join().unwrap(), Err(RecvError));
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_recv() {
+            let (tx, rx) = bounded::<i32>(1);
+            tx.send(1).unwrap();
+            let handle = std::thread::spawn(move || {
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn worker_thread_request_reply_pattern() {
+            // Mirrors the daemon: requests flow one way, replies come back
+            // over a bounded(1) channel created per query.
+            let (tx, rx) = unbounded::<(i32, Sender<i32>)>();
+            let worker = std::thread::spawn(move || {
+                while let Ok((n, reply)) = rx.recv() {
+                    let _ = reply.send(n * 2);
+                }
+            });
+            for i in 0..10 {
+                let (reply, reply_rx) = bounded(1);
+                tx.send((i, reply)).unwrap();
+                assert_eq!(reply_rx.recv(), Ok(i * 2));
+            }
+            drop(tx);
+            worker.join().unwrap();
+        }
+    }
+}

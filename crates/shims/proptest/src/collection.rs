@@ -1,0 +1,156 @@
+//! Collection strategies: `vec` and `btree_set` with proptest's
+//! size-specification conventions (exact count, `a..b`, or `a..=b`).
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A length specification: exact or drawn from a range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        if self.min == self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Generates `BTreeSet`s with a size drawn from `size`; duplicate draws are
+/// retried, so the element strategy's domain must be larger than the
+/// requested size.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut attempts = 0usize;
+        while set.len() < target {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+            assert!(
+                attempts < target.max(1) * 1000,
+                "btree_set strategy cannot reach {target} distinct elements"
+            );
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_specs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = vec(0.0..1.0f64, 3).sample(&mut rng);
+            assert_eq!(v.len(), 3);
+            let v = vec(0u32..10, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let v = vec(0u32..10, 1..=2).sample(&mut rng);
+            assert!((1..=2).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_hits_requested_size() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let s = btree_set(0u64..1000, 5..8).sample(&mut rng);
+            assert!((5..8).contains(&s.len()));
+        }
+    }
+
+    #[test]
+    fn vec_of_tuples_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = vec((-1.0..1.0f64, -1.0..1.0f64), 4..6).sample(&mut rng);
+        assert!(v.len() >= 4);
+        assert!(v.iter().all(|(a, b)| a.abs() <= 1.0 && b.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,227 @@
+//! The [`Strategy`] trait and primitive strategies: numeric ranges, tuples,
+//! `Just`, and `prop_map`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating random values of one type. Unlike real proptest
+/// there is no value tree / shrinking — `sample` draws a value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value — the shape
+    /// combinator (`(dims).prop_flat_map(|dims| value_strategy(dims))`).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`; exhausting retries panics.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Strategies can be passed by reference.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> O::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.inner.sample(rng);
+            if (self.pred)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 draws in a row", self.whence);
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {:?}", self
+                    );
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+
+range_strategies!(
+    u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64
+);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+);)+) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategies!(
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let f = (-2.0..3.0f64).sample(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let u = (5u64..9).sample(&mut rng);
+            assert!((5..9).contains(&u));
+            let i = (-4i32..=4).sample(&mut rng);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples() {
+        let mut rng = rng();
+        let strat = (0u32..10, 0.0..1.0f64).prop_map(|(a, b)| a as f64 + b);
+        for _ in 0..50 {
+            let v = strat.sample(&mut rng);
+            assert!((0.0..11.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn just_and_filter() {
+        let mut rng = rng();
+        assert_eq!(Just(7).sample(&mut rng), 7);
+        let even = (0u32..100).prop_filter("even", |n| n % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(even.sample(&mut rng) % 2, 0);
+        }
+    }
+}

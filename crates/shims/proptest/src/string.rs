@@ -1,0 +1,195 @@
+//! String strategies from regex-like patterns. In real proptest any `&str`
+//! is compiled as a full regex; this shim supports the subset the
+//! workspace's tests use: literal characters, character classes
+//! (`[a-z0-9_]`, with ranges and singletons), and the repetitions `{m}`,
+//! `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Cap applied to `*` and `+` so generated strings stay small.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// A character class: the set of allowed characters, expanded.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled pattern: a sequence of repeated atoms.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    pieces: Vec<Piece>,
+}
+
+/// Compiles the supported regex subset, panicking on anything else — a
+/// test author's error, not a runtime condition.
+fn compile(pattern: &str) -> StringPattern {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().unwrap();
+                            let hi = chars.next().unwrap();
+                            assert!(lo <= hi, "bad class range {lo}-{hi} in {pattern:?}");
+                            // `lo` was already pushed as a singleton; extend
+                            // with the rest of the range.
+                            for c in (lo..=hi).skip(1) {
+                                set.push(c);
+                            }
+                        }
+                        Some(c) => {
+                            prev = Some(c);
+                            set.push(c);
+                        }
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(set)
+            }
+            '\\' => Atom::Literal(chars.next().expect("dangling backslash")),
+            '.' | '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+            }
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo: u32 = lo.trim().parse().expect("bad {m,n} bound");
+                        let hi: u32 = hi.trim().parse().expect("bad {m,n} bound");
+                        assert!(lo <= hi, "bad repetition {{{spec}}} in {pattern:?}");
+                        (lo, hi)
+                    }
+                    None => {
+                        let n: u32 = spec.trim().parse().expect("bad {n} bound");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    StringPattern { pieces }
+}
+
+impl StringPattern {
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let count = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.gen_range(piece.min..=piece.max)
+            };
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        out.push(set[rng.gen_range(0..set.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `&str` used directly as a strategy compiles as a pattern, mirroring
+/// proptest's regex string strategies. Compilation happens per sample; the
+/// patterns involved are tiny.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        compile(self).sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_mixed_classes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = Strategy::sample(&"file_[0-9a-f]{4}", &mut rng);
+        assert!(s.starts_with("file_"));
+        assert_eq!(s.len(), 9);
+        assert!(s[5..].chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn optional_and_plus() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let s = Strategy::sample(&"x?y+", &mut rng);
+            let ys = s.trim_start_matches('x');
+            assert!(s.len() - ys.len() <= 1);
+            assert!(!ys.is_empty() && ys.chars().all(|c| c == 'y'));
+        }
+    }
+
+    #[test]
+    fn coverage_of_class_members() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let s = Strategy::sample(&"[ab]", &mut rng);
+            seen.insert(s);
+        }
+        assert_eq!(seen.len(), 2, "both class members should appear");
+    }
+}

@@ -1,0 +1,125 @@
+//! The case-running loop behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; redraw without counting it.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant (used by the `prop_assert*` macros).
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Default number of accepted cases per property (real proptest: 256).
+const DEFAULT_CASES: usize = 64;
+
+fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// FNV-1a, so each property gets a distinct but stable seed stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Runs one property until `PROPTEST_CASES` cases are accepted. Each case
+/// gets a deterministic RNG seeded from the property name and case index,
+/// so failures are reproducible run-to-run without a seed file.
+pub fn run<F>(name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    let name_hash = fnv1a(name);
+    let mut accepted = 0usize;
+    let mut attempt = 0u64;
+    while accepted < cases {
+        attempt += 1;
+        assert!(
+            attempt <= (cases as u64) * 100,
+            "property '{name}' rejected too many draws \
+             ({accepted}/{cases} accepted after {attempt} attempts)"
+        );
+        let mut rng = StdRng::seed_from_u64(name_hash ^ attempt.wrapping_mul(0x9E3779B97F4A7C15));
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property '{name}' failed at case {attempt} \
+                     (seed {name_hash:#x} ^ case):\n{message}"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0usize);
+        run("always_true", |_rng| {
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), case_count());
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let total = std::cell::Cell::new(0usize);
+        run("coin_flip", |rng| {
+            total.set(total.get() + 1);
+            if rng.gen_bool(0.5) {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(total.get() >= case_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failures_panic_with_message() {
+        run("always_fails", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first = Vec::new();
+        run("det", |rng| {
+            first.push(rng.gen::<u64>());
+            Ok(())
+        });
+        let mut second = Vec::new();
+        run("det", |rng| {
+            second.push(rng.gen::<u64>());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline shim for `rayon`: structured parallelism over `std::thread::scope`.
+//!
+//! Unlike real rayon there is no persistent worker pool — every `scope` /
+//! `join` call spawns OS threads (tens of microseconds each). Callers must
+//! therefore gate parallel paths behind a work-size threshold large enough
+//! to amortize spawn cost; `geomancy-nn` only goes parallel for batches of
+//! at least ~128 rows for exactly this reason.
+
+/// A scope in which borrowed-data tasks can be spawned; all tasks complete
+/// before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the enclosing scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs `f` with a [`Scope`]; blocks until every spawned task finishes.
+/// Panics from tasks propagate to the caller (via `std::thread::scope`).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs the two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let handle = s.spawn(a);
+        let rb = b();
+        (handle.join().expect("rayon::join task panicked"), rb)
+    })
+}
+
+/// Available hardware parallelism (real rayon reports its pool size).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_all_tasks_with_borrows() {
+        let mut data = vec![0u64; 8];
+        let chunk = 2;
+        scope(|s| {
+            for (i, slice) in data.chunks_mut(chunk).enumerate() {
+                s.spawn(move |_| {
+                    for (j, v) in slice.iter_mut().enumerate() {
+                        *v = (i * chunk + j) as u64;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".len());
+        assert_eq!((a, b), (4, 2));
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! The JSON data model shared by the `serde` and `serde_json` shims.
+
+use std::fmt;
+
+/// An arbitrary-precision-enough JSON number: i64, u64, or f64, mirroring
+/// `serde_json::Number`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A negative (or small positive) integer.
+    I64(i64),
+    /// A non-negative integer too large for i64, or any u64.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+}
+
+impl Number {
+    /// Wraps an i64; non-negative values normalize to the u64 variant so
+    /// that `1` compares equal however it was produced.
+    pub fn from_i64(n: i64) -> Self {
+        if n >= 0 {
+            Number::U64(n as u64)
+        } else {
+            Number::I64(n)
+        }
+    }
+
+    /// Wraps a u64.
+    pub fn from_u64(n: u64) -> Self {
+        Number::U64(n)
+    }
+
+    /// Wraps an f64.
+    pub fn from_f64(n: f64) -> Self {
+        Number::F64(n)
+    }
+
+    /// The value as f64 (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::I64(n) => n as f64,
+            Number::U64(n) => n as f64,
+            Number::F64(n) => n,
+        }
+    }
+
+    /// The value as u64, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U64(n) => Some(n),
+            Number::I64(n) => u64::try_from(n).ok(),
+            Number::F64(n) if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 => {
+                Some(n as u64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+
+    /// The value as i64, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(n) => Some(n),
+            Number::U64(n) => i64::try_from(n).ok(),
+            Number::F64(n)
+                if n.fract() == 0.0 && n >= i64::MIN as f64 && n <= i64::MAX as f64 =>
+            {
+                Some(n as i64)
+            }
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::F64(a), Number::F64(b)) => a == b,
+            (Number::F64(_), _) | (_, Number::F64(_)) => false,
+            (a, b) => match (a.as_i64(), b.as_i64(), a.as_u64(), b.as_u64()) {
+                (Some(x), Some(y), _, _) => x == y,
+                (_, _, Some(x), Some(y)) => x == y,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::I64(n) => write!(f, "{n}"),
+            Number::U64(n) => write!(f, "{n}"),
+            Number::F64(n) => {
+                if n.is_finite() {
+                    // `{}` on f64 is Rust's shortest round-trip rendering,
+                    // but integral floats print without a decimal point
+                    // ("1"); that is still valid JSON and re-parses as an
+                    // integer, which `as_f64` recovers.
+                    write!(f, "{n}")
+                } else {
+                    // JSON has no non-finite literals; serialize as null
+                    // (serde_json errors instead — the workspace never
+                    // round-trips non-finite values).
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map, mirroring `serde_json::Map`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a key/value pair, replacing (in place) any existing entry
+    /// with the same key. Returns the previous value, if any.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A JSON value, mirroring `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Human-readable kind name, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value as f64, when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as u64, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as i64, when it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, when it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object-member access: `value.get("key")`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_normalizes_small_ints() {
+        assert_eq!(Number::from_i64(5), Number::from_u64(5));
+        assert_ne!(Number::from_i64(-5), Number::from_u64(5));
+        assert_eq!(Number::from_i64(-5).as_i64(), Some(-5));
+        assert_eq!(Number::from_u64(u64::MAX).as_i64(), None);
+    }
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let mut m = Map::new();
+        m.insert("b".to_string(), Value::Null);
+        m.insert("a".to_string(), Value::Bool(true));
+        m.insert("b".to_string(), Value::Bool(false));
+        let keys: Vec<_> = m.keys().cloned().collect();
+        assert_eq!(keys, vec!["b", "a"]);
+        assert_eq!(m.get("b"), Some(&Value::Bool(false)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Number(Number::from_u64(3));
+        assert_eq!(v.as_f64(), Some(3.0));
+        assert_eq!(v.as_u64(), Some(3));
+        assert_eq!(v.as_str(), None);
+        assert_eq!(Value::String("x".into()).as_str(), Some("x"));
+    }
+}

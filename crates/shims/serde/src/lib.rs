@@ -1,0 +1,401 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! serialization surface the workspace uses: the [`Serialize`] /
+//! [`Deserialize`] traits and their derive macros. Unlike real serde (which
+//! abstracts over serialization formats), this shim is specialized to the
+//! one format the workspace uses — JSON — via the in-tree [`json::Value`]
+//! data model. The companion `serde_json` shim supplies the text
+//! encode/decode layer on top.
+
+pub mod json;
+
+pub use json::{Map, Number, Value};
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// Error produced when a [`Value`] cannot be interpreted as the requested
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Standard "expected X, found Y" constructor.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can be converted into the JSON data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// JSON object keys must be strings; map keys are serialized and then
+/// rendered as their string form (numbers keep their decimal rendering,
+/// matching serde_json's integer-keyed-map behaviour).
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::String(s) => s,
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key type: {}", other.kind()),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(key_to_string(k), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(key_to_string(k), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected("unsigned integer", value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected("integer", value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value.as_f64().ok_or_else(|| DeError::expected("number", value))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(VecDeque::from)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("array of length ", $len),
+                        other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Parses a JSON object key back into a map key type: string keys
+/// deserialize directly, numeric keys through their decimal rendering.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, DeError> {
+    if let Ok(k) = K::from_value(&Value::String(key.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::from_i64(n))) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::Number(Number::from_u64(n))) {
+            return Ok(k);
+        }
+    }
+    Err(DeError::new(format!("cannot parse map key {key:?}")))
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}

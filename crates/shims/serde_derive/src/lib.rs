@@ -1,0 +1,442 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! The registry is unreachable in this build environment, so `syn`/`quote`
+//! are unavailable; instead the type definition is parsed with a small
+//! hand-rolled walker over `proc_macro::TokenStream` and the impls are
+//! emitted as source text. Supported shapes — which cover every derived
+//! type in the workspace — are:
+//!
+//! - structs with named fields (honouring `#[serde(skip)]`),
+//! - tuple structs (newtype passthrough for one field, arrays otherwise),
+//! - unit structs,
+//! - enums with unit, newtype/tuple, and struct variants
+//!   (externally tagged, like serde's default).
+//!
+//! Generics and non-`skip` serde attributes are intentionally rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_serialize(&def).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_deserialize(&def).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    /// Tuple struct/variant; the value is the field count.
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Kind {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct TypeDef {
+    name: String,
+    kind: Kind,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive does not support generic types ({name})");
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("unsupported struct body for {name}: {other:?}"),
+            };
+            TypeDef { name, kind: Kind::Struct(body) }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for {name}, found {other:?}"),
+            };
+            TypeDef { name, kind: Kind::Enum(parse_variants(body)) }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility prefix, returning whether a `#[serde(skip)]` was seen.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                    *i += 2;
+                } else {
+                    panic!("malformed attribute");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Whether an attribute body (the `[...]` content) is `serde(skip)`.
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let mut saw_skip = false;
+            for t in args.stream() {
+                if let TokenTree::Ident(arg) = t {
+                    match arg.to_string().as_str() {
+                        "skip" => saw_skip = true,
+                        other => panic!("unsupported serde attribute `{other}` (shim supports only `skip`)"),
+                    }
+                }
+            }
+            saw_skip
+        }
+        (Some(TokenTree::Ident(id)), _) if id.to_string() == "serde" => {
+            panic!("malformed serde attribute")
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for t in stream {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// Serialization of a named-field body into a `Value::Object`, with field
+/// access through the given prefix (`&self.x` for structs, `x` for
+/// destructured enum variants).
+fn ser_named(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from("{ let mut __map = ::serde::Map::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "__map.insert(\"{n}\".to_string(), ::serde::Serialize::to_value({a}));\n",
+            n = f.name,
+            a = access(&f.name)
+        ));
+    }
+    out.push_str("::serde::Value::Object(__map) }");
+    out
+}
+
+/// Construction of a named-field body from an object expression `__obj`.
+fn de_named(type_path: &str, fields: &[Field]) -> String {
+    let mut out = format!("{type_path} {{\n");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value(__obj.get(\"{n}\").ok_or_else(|| \
+                 ::serde::DeError::new(\"missing field `{n}`\"))?)?,\n",
+                n = f.name
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(Body::Named(fields)) => ser_named(fields, |f| format!("&self.{f}")),
+        Kind::Struct(Body::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Body::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Body::Named(fields) => {
+                        let pattern: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = ser_named(fields, |f| format!("{f}"));
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{ let mut __outer = ::serde::Map::new(); \
+                             __outer.insert(\"{vn}\".to_string(), {inner}); ::serde::Value::Object(__outer) }},\n",
+                            pat = pattern.join(", ")
+                        ));
+                    }
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({bind}) => {{ let mut __outer = ::serde::Map::new(); \
+                             __outer.insert(\"{vn}\".to_string(), {payload}); ::serde::Value::Object(__outer) }},\n",
+                            bind = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::Struct(Body::Named(fields)) => {
+            let construct = de_named(name, fields);
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", __value))?;\n\
+                 ::core::result::Result::Ok({construct})"
+            )
+        }
+        Kind::Struct(Body::Tuple(1)) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        Kind::Struct(Body::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", __value))?;\n\
+                 if __items.len() != {n} {{ return ::core::result::Result::Err(\
+                 ::serde::DeError::new(\"wrong tuple length\")); }}\n\
+                 ::core::result::Result::Ok({name}({args}))",
+                args = items.join(", ")
+            )
+        }
+        Kind::Struct(Body::Unit) => format!("::core::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Body::Named(fields) => {
+                        let construct = de_named(&format!("{name}::{vn}"), fields);
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __obj = __payload.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", __payload))?; \
+                             ::core::result::Result::Ok({construct}) }},\n"
+                        ));
+                    }
+                    Body::Tuple(1) => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    Body::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __items = __payload.as_array().ok_or_else(|| \
+                             ::serde::DeError::expected(\"array\", __payload))?; \
+                             if __items.len() != {n} {{ return ::core::result::Result::Err(\
+                             ::serde::DeError::new(\"wrong tuple length\")); }} \
+                             ::core::result::Result::Ok({name}::{vn}({args})) }},\n",
+                            args = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__map) => {{\n\
+                 let (__tag, __payload) = __map.iter().next().ok_or_else(|| \
+                 ::serde::DeError::new(\"empty enum object\"))?;\n\
+                 match __tag.as_str() {{\n{keyed_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::new(\
+                 format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n}},\n\
+                 __other => ::core::result::Result::Err(::serde::DeError::expected(\
+                 \"string or object\", __other)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

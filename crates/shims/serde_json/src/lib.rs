@@ -1,0 +1,351 @@
+//! Offline shim for `serde_json`: JSON text encoding/decoding over the
+//! `serde` shim's [`Value`] data model.
+//!
+//! Provides the workspace's used surface: [`to_string`],
+//! [`to_string_pretty`], [`to_writer`], [`from_str`], [`Value`], [`Map`],
+//! [`Number`], [`Error`], and the [`json!`] macro.
+
+mod parse;
+
+use std::fmt;
+use std::io;
+
+pub use serde::{Map, Number, Value};
+
+/// A serialization or deserialization failure.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a typed value from a [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the value's shape does not match `T`.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::from)
+}
+
+/// Serializes to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; the `Result` mirrors serde_json.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to an indented JSON string (two spaces, like serde_json).
+///
+/// # Errors
+///
+/// Infallible for the shim's data model; the `Result` mirrors serde_json.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Serializes compact JSON into a writer.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the writer fails.
+pub fn to_writer<W: io::Write, T: serde::Serialize>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("write failed: {e}")))
+}
+
+/// Parses a JSON string into a typed value.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s).map_err(Error::new)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<&str>, depth: usize) {
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from JSON-like syntax, mirroring `serde_json::json!`.
+///
+/// Object values, array elements, and bare expressions may be any
+/// `Serialize` type. The implementation is the same token-munching
+/// strategy serde_json uses, so arbitrary expressions (method chains,
+/// closures, nested `json!`) work as values.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => { $crate::json_internal!($($json)+) };
+}
+
+/// Implementation detail of [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- array element munching: @array [built elems] rest... ----
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr),*]) => { vec![$($elems),*] };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- object entry munching: @object map (key tokens) (rest) (copy) ----
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ---- entry points ----
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_internal!(@object map () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&3u64).unwrap(), "3");
+        assert_eq!(to_string(&-4i64).unwrap(), "-4");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"hi".to_string()).unwrap(), "\"hi\"");
+        assert_eq!(from_str::<u64>("3").unwrap(), 3);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<f64>("2").unwrap(), 2.0);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn round_trip_nested() {
+        let v: Vec<Vec<f64>> = vec![vec![1.0, 2.5], vec![]];
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<Vec<f64>>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "a\"b\\c\nd\te\u{1}f".to_string();
+        let enc = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&enc).unwrap(), s);
+    }
+
+    #[test]
+    fn option_round_trips() {
+        assert_eq!(to_string(&Option::<u64>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("7").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "a": 1,
+            "b": [1.5, "x", null],
+            "c": { "nested": true },
+        });
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_array).map(Vec::len), Some(3));
+        assert_eq!(
+            v.get("c").and_then(|c| c.get("nested")).and_then(Value::as_bool),
+            Some(true)
+        );
+        let expr = 21u64 * 2;
+        assert_eq!(json!(expr).as_u64(), Some(42));
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parses_back() {
+        let v = json!({"k": [1, 2]});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"k\""));
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<u64>("\"not a number\"").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>("\"\\u0041\\u00e9\"").unwrap(), "Aé");
+        // Surrogate pair: 😀
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+
+    #[test]
+    fn large_u64_round_trips_exactly() {
+        let n = u64::MAX - 3;
+        let s = to_string(&n).unwrap();
+        assert_eq!(from_str::<u64>(&s).unwrap(), n);
+    }
+}

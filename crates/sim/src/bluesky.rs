@@ -271,10 +271,16 @@ mod tests {
         let read_bw = |m: Mount| sys.device(m.device_id()).unwrap().spec().read_bandwidth;
         for m in Mount::ALL {
             if m != Mount::File0 {
-                assert!(read_bw(Mount::File0) > read_bw(m), "file0 not fastest vs {m}");
+                assert!(
+                    read_bw(Mount::File0) > read_bw(m),
+                    "file0 not fastest vs {m}"
+                );
             }
             if m != Mount::UsbTmp {
-                assert!(read_bw(Mount::UsbTmp) < read_bw(m), "USBtmp not slowest vs {m}");
+                assert!(
+                    read_bw(Mount::UsbTmp) < read_bw(m),
+                    "USBtmp not slowest vs {m}"
+                );
             }
         }
     }

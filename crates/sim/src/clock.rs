@@ -48,7 +48,10 @@ impl SimClock {
     ///
     /// Panics if `secs` is negative, NaN, or infinite.
     pub fn advance_secs(&mut self, secs: f64) {
-        assert!(secs.is_finite() && secs >= 0.0, "clock must advance forward");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "clock must advance forward"
+        );
         self.micros += (secs * 1e6).round() as u64;
     }
 

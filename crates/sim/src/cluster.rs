@@ -100,7 +100,10 @@ impl StorageSystemBuilder {
     ///
     /// Panics if no devices were added.
     pub fn build(self) -> StorageSystem {
-        assert!(!self.devices.is_empty(), "a storage system needs at least one device");
+        assert!(
+            !self.devices.is_empty(),
+            "a storage system needs at least one device"
+        );
         let mut devices = Vec::with_capacity(self.devices.len());
         let mut traffic = Vec::with_capacity(self.devices.len());
         for (i, (spec, model)) in self.devices.into_iter().enumerate() {
@@ -273,7 +276,11 @@ impl StorageSystem {
     /// # Errors
     ///
     /// Returns [`SimError::UnknownFile`] for unregistered files.
-    pub fn write_file(&mut self, fid: FileId, bytes: Option<u64>) -> Result<AccessRecord, SimError> {
+    pub fn write_file(
+        &mut self,
+        fid: FileId,
+        bytes: Option<u64>,
+    ) -> Result<AccessRecord, SimError> {
         self.access(fid, bytes, AccessKind::Write)
     }
 
@@ -523,7 +530,8 @@ mod tests {
     #[test]
     fn read_advances_clock_and_counts() {
         let mut sys = small_system();
-        sys.add_file(FileId(1), meta(1_000_000), DeviceId(0)).unwrap();
+        sys.add_file(FileId(1), meta(1_000_000), DeviceId(0))
+            .unwrap();
         let before = sys.clock().now_secs();
         let rec = sys.read_file(FileId(1), None).unwrap();
         assert!(sys.clock().now_secs() > before);
@@ -538,8 +546,10 @@ mod tests {
     #[test]
     fn fast_device_yields_higher_throughput() {
         let mut sys = small_system();
-        sys.add_file(FileId(1), meta(10_000_000), DeviceId(0)).unwrap();
-        sys.add_file(FileId(2), meta(10_000_000), DeviceId(1)).unwrap();
+        sys.add_file(FileId(1), meta(10_000_000), DeviceId(0))
+            .unwrap();
+        sys.add_file(FileId(2), meta(10_000_000), DeviceId(1))
+            .unwrap();
         let fast = sys.read_file(FileId(1), None).unwrap().throughput();
         let slow = sys.read_file(FileId(2), None).unwrap().throughput();
         assert!(fast > slow * 2.0, "fast {fast} not >> slow {slow}");
@@ -548,7 +558,8 @@ mod tests {
     #[test]
     fn move_file_relocates_and_charges_cost() {
         let mut sys = small_system();
-        sys.add_file(FileId(1), meta(5_000_000), DeviceId(0)).unwrap();
+        sys.add_file(FileId(1), meta(5_000_000), DeviceId(0))
+            .unwrap();
         let before = sys.clock().now_secs();
         let mv = sys.move_file(FileId(1), DeviceId(1)).unwrap();
         assert_eq!(sys.location_of(FileId(1)).unwrap(), DeviceId(1));
@@ -562,7 +573,8 @@ mod tests {
     #[test]
     fn move_to_same_place_is_free() {
         let mut sys = small_system();
-        sys.add_file(FileId(1), meta(5_000_000), DeviceId(0)).unwrap();
+        sys.add_file(FileId(1), meta(5_000_000), DeviceId(0))
+            .unwrap();
         let mv = sys.move_file(FileId(1), DeviceId(0)).unwrap();
         assert_eq!(mv.cost_secs, 0.0);
         assert_eq!(mv.bytes, 0);
@@ -627,7 +639,8 @@ mod tests {
     fn identical_seeds_reproduce_identical_runs() {
         let run = || {
             let mut sys = small_system();
-            sys.add_file(FileId(1), meta(1_000_000), DeviceId(0)).unwrap();
+            sys.add_file(FileId(1), meta(1_000_000), DeviceId(0))
+                .unwrap();
             (0..10)
                 .map(|_| sys.read_file(FileId(1), None).unwrap().throughput())
                 .collect::<Vec<_>>()

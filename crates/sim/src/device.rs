@@ -54,10 +54,16 @@ impl DeviceSpec {
         self_sensitivity: f64,
         noise_sigma: f64,
     ) -> Self {
-        assert!(read_bandwidth > 0.0 && write_bandwidth > 0.0, "bandwidths must be positive");
+        assert!(
+            read_bandwidth > 0.0 && write_bandwidth > 0.0,
+            "bandwidths must be positive"
+        );
         assert!(latency_secs >= 0.0, "latency must be non-negative");
         assert!(capacity > 0, "capacity must be positive");
-        assert!(self_sensitivity >= 0.0 && noise_sigma >= 0.0, "sensitivities must be non-negative");
+        assert!(
+            self_sensitivity >= 0.0 && noise_sigma >= 0.0,
+            "sensitivities must be non-negative"
+        );
         DeviceSpec {
             name: name.into(),
             read_bandwidth,
@@ -148,7 +154,11 @@ impl Device {
     ///
     /// Panics if the file does not fit.
     pub fn place_bytes(&mut self, bytes: u64) {
-        assert!(self.has_capacity_for(bytes), "device {} over capacity", self.spec.name);
+        assert!(
+            self.has_capacity_for(bytes),
+            "device {} over capacity",
+            self.spec.name
+        );
         self.used_bytes += bytes;
     }
 
@@ -271,7 +281,10 @@ mod tests {
         let busy_now = d.utilization(1.001);
         assert!(busy_now > 0.0);
         let later = d.utilization(1.001 + 100.0);
-        assert!(later < busy_now * 0.1, "utilization failed to decay: {later}");
+        assert!(
+            later < busy_now * 0.1,
+            "utilization failed to decay: {later}"
+        );
     }
 
     #[test]
@@ -285,7 +298,10 @@ mod tests {
             last = d.serve(100_000_000, 0, t, 0.0, &mut r);
             t += last;
         }
-        assert!(last > first * 1.2, "no self-contention: first {first}, last {last}");
+        assert!(
+            last > first * 1.2,
+            "no self-contention: first {first}, last {last}"
+        );
     }
 
     #[test]

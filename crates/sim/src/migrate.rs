@@ -56,7 +56,11 @@ impl ChunkedMigration {
     ) -> Result<Self, SimError> {
         assert!(chunk_bytes > 0, "chunk size must be non-zero");
         let from = system.location_of(fid)?;
-        let total = system.files().get(&fid).ok_or(SimError::UnknownFile(fid))?.size;
+        let total = system
+            .files()
+            .get(&fid)
+            .ok_or(SimError::UnknownFile(fid))?
+            .size;
         if to == from {
             return Ok(ChunkedMigration {
                 fid,
@@ -148,7 +152,8 @@ impl ChunkedMigration {
             // Flip placement: release the source copy, keep the reserved
             // destination copy.
             system.device_mut(from)?.remove_bytes(self.total);
-            let record = system.finish_reserved_move(self.fid, from, self.to, self.total, self.cost_secs)?;
+            let record =
+                system.finish_reserved_move(self.fid, from, self.to, self.total, self.cost_secs)?;
             self.state = MigrationState::Complete;
             return Ok(Some(record));
         }
@@ -273,8 +278,7 @@ mod tests {
     fn moving_to_same_device_is_instantly_complete() {
         let mut sys = system();
         add_file(&mut sys, 1_000_000);
-        let migration =
-            ChunkedMigration::start(&mut sys, FileId(0), DeviceId(0), 1_000).unwrap();
+        let migration = ChunkedMigration::start(&mut sys, FileId(0), DeviceId(0), 1_000).unwrap();
         assert_eq!(migration.state(), MigrationState::Complete);
         assert_eq!(migration.progress(), 1.0);
     }

@@ -221,8 +221,12 @@ mod tests {
             magnitude_min: 1.0,
             magnitude_max: 3.0,
         };
-        let a: Vec<f64> = (0..50).map(|w| mk(1).load_at(w as f64 * 10.0 + 5.0)).collect();
-        let b: Vec<f64> = (0..50).map(|w| mk(2).load_at(w as f64 * 10.0 + 5.0)).collect();
+        let a: Vec<f64> = (0..50)
+            .map(|w| mk(1).load_at(w as f64 * 10.0 + 5.0))
+            .collect();
+        let b: Vec<f64> = (0..50)
+            .map(|w| mk(2).load_at(w as f64 * 10.0 + 5.0))
+            .collect();
         assert_ne!(a, b);
     }
 }

@@ -96,7 +96,10 @@ impl Belle2Workload {
     ///
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn with_write_fraction(mut self, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         self.write_fraction = fraction;
         self
     }

@@ -64,8 +64,7 @@ impl ClientFleet {
     /// the operations are merged round-robin (client 0's op, client 1's op,
     /// …), modeling concurrent execution on a shared system.
     pub fn next_round(&mut self) -> Vec<ClientOp> {
-        let runs: Vec<Vec<WorkloadOp>> =
-            self.clients.iter_mut().map(|c| c.next_run()).collect();
+        let runs: Vec<Vec<WorkloadOp>> = self.clients.iter_mut().map(|c| c.next_run()).collect();
         let longest = runs.iter().map(|r| r.len()).max().unwrap_or(0);
         let mut merged = Vec::with_capacity(runs.iter().map(|r| r.len()).sum());
         for i in 0..longest {

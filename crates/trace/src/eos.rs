@@ -93,9 +93,9 @@ pub struct EosRecord {
 impl EosRecord {
     /// Names of all 32 fields, in [`EosRecord::to_row`] order.
     pub const FIELD_NAMES: [&'static str; 32] = [
-        "fid", "fsid", "ots", "otms", "cts", "ctms", "rb", "wb", "rt", "wt", "nrc", "nwc",
-        "osize", "csize", "sfwd", "sbwd", "sxlfwd", "sxlbwd", "nfwds", "nbwds", "rv_ops", "rvb",
-        "ruid", "rgid", "td", "host", "lid", "path_id", "sec_app", "sec_grps", "sec_role", "prot",
+        "fid", "fsid", "ots", "otms", "cts", "ctms", "rb", "wb", "rt", "wt", "nrc", "nwc", "osize",
+        "csize", "sfwd", "sbwd", "sxlfwd", "sxlbwd", "nfwds", "nbwds", "rv_ops", "rvb", "ruid",
+        "rgid", "td", "host", "lid", "path_id", "sec_app", "sec_grps", "sec_role", "prot",
     ];
 
     /// All 32 values as a numeric row (categorical ids cast to `f64`).
@@ -202,8 +202,8 @@ impl EosTraceGenerator {
         // correlation (w = tp·d ∝ tp^0.5) and the strongly negative rt/wt —
         // time *spent* inside reads is time the pool was slow.
         let d0 = 10f64.powf(rng.gen_range(-0.5..1.5)); // 0.3 s .. 30 s
-        let duration = (d0 * (tp / 1e8).powf(-0.5)).clamp(0.005, 3_600.0)
-            + rng.gen_range(0.002..0.010);
+        let duration =
+            (d0 * (tp / 1e8).powf(-0.5)).clamp(0.005, 3_600.0) + rng.gen_range(0.002..0.010);
         let w = tp * duration;
         let read_heavy = rng.gen_bool(0.8);
         let (rb, wb) = if read_heavy {
@@ -212,8 +212,16 @@ impl EosTraceGenerator {
             (w * rng.gen_range(0.1..0.4), w)
         };
 
-        let rt = if rb > 0.0 { rb / tp * 1000.0 * rng.gen_range(0.85..1.0) } else { 0.0 };
-        let wt = if wb > 0.0 { wb / tp * 1000.0 * rng.gen_range(0.85..1.0) } else { 0.0 };
+        let rt = if rb > 0.0 {
+            rb / tp * 1000.0 * rng.gen_range(0.85..1.0)
+        } else {
+            0.0
+        };
+        let wt = if wb > 0.0 {
+            wb / tp * 1000.0 * rng.gen_range(0.85..1.0)
+        } else {
+            0.0
+        };
         let rb_u = rb as u64;
         let wb_u = wb as u64;
 
@@ -375,7 +383,11 @@ mod tests {
     #[test]
     fn fsid_mildly_positive() {
         let t = table(7, 8000);
-        assert!(corr_of(&t, "fsid") > 0.1, "fsid corr {}", corr_of(&t, "fsid"));
+        assert!(
+            corr_of(&t, "fsid") > 0.1,
+            "fsid corr {}",
+            corr_of(&t, "fsid")
+        );
     }
 
     #[test]

@@ -253,7 +253,7 @@ mod tests {
         // 001001001 in base 1000 digits.
         let mut enc = PathEncoder::new();
         let id = enc.encode("foo/bar/bat.root");
-        assert_eq!(id, (1 * 1000 + 1) as f64 * 1000.0 + 1.0);
+        assert_eq!(id, (1000 + 1) as f64 * 1000.0 + 1.0);
     }
 
     #[test]

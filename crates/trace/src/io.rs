@@ -129,7 +129,10 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Vec<AccessRecord>, TraceIoError
 /// # Errors
 ///
 /// Returns an I/O error if the file cannot be written.
-pub fn save_csv(path: impl AsRef<std::path::Path>, records: &[AccessRecord]) -> Result<(), TraceIoError> {
+pub fn save_csv(
+    path: impl AsRef<std::path::Path>,
+    records: &[AccessRecord],
+) -> Result<(), TraceIoError> {
     let file = std::fs::File::create(path)?;
     write_csv(std::io::BufWriter::new(file), records)
 }

@@ -41,5 +41,5 @@ pub mod stats;
 pub use belle2::{Belle2Workload, WorkloadFile, WorkloadOp};
 pub use clients::{ClientFleet, ClientOp};
 pub use eos::{correlation_table, EosRecord, EosTraceGenerator};
-pub use io::{load_csv, read_csv, save_csv, write_csv, TraceIoError};
 pub use features::{MinMaxNormalizer, PathEncoder, ScalarNormalizer, FEATURE_NAMES, Z};
+pub use io::{load_csv, read_csv, save_csv, write_csv, TraceIoError};

@@ -28,7 +28,11 @@ impl PlacementPolicy for ThroughputWeightedSpread {
         let weights: Vec<f64> = ctx
             .devices
             .iter()
-            .map(|&d| ctx.db.mean_device_throughput(d, ctx.lookback).unwrap_or(1.0))
+            .map(|&d| {
+                ctx.db
+                    .mean_device_throughput(d, ctx.lookback)
+                    .unwrap_or(1.0)
+            })
             .collect();
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
@@ -47,7 +51,11 @@ impl PlacementPolicy for ThroughputWeightedSpread {
             if leftover == 0 {
                 break;
             }
-            let idx = ctx.devices.iter().position(|d| d == device).expect("ranked ⊆ devices");
+            let idx = ctx
+                .devices
+                .iter()
+                .position(|d| d == device)
+                .expect("ranked ⊆ devices");
             quotas[idx] += 1;
             leftover -= 1;
         }
@@ -55,7 +63,11 @@ impl PlacementPolicy for ThroughputWeightedSpread {
         let mut layout = Layout::new();
         let mut files = ctx.files.keys().copied();
         for device in ranked {
-            let idx = ctx.devices.iter().position(|d| *d == device).expect("ranked ⊆ devices");
+            let idx = ctx
+                .devices
+                .iter()
+                .position(|d| *d == device)
+                .expect("ranked ⊆ devices");
             for _ in 0..quotas[idx] {
                 if let Some(fid) = files.next() {
                     layout.insert(fid, device);
@@ -97,7 +109,11 @@ fn main() {
             result.std_throughput / 1e9,
             result.series.len()
         );
-        if best.as_ref().map(|(_, tp)| result.avg_throughput > *tp).unwrap_or(true) {
+        if best
+            .as_ref()
+            .map(|(_, tp)| result.avg_throughput > *tp)
+            .unwrap_or(true)
+        {
             best = Some((result.policy.clone(), result.avg_throughput));
         }
     }

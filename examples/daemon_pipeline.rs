@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (i, f) in workload.files().iter().enumerate() {
         system.add_file(
             f.fid,
-            FileMeta { size: f.size, path: f.path.clone() },
+            FileMeta {
+                size: f.size,
+                path: f.path.clone(),
+            },
             DeviceId((i % 6) as u32),
         )?;
     }
@@ -80,7 +83,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     for agent in &monitors {
         let name = system.device(agent.device())?.name().to_string();
-        println!("  agent on {name:>7}: {} records observed", agent.total_observed());
+        println!(
+            "  agent on {name:>7}: {} records observed",
+            agent.total_observed()
+        );
     }
 
     // DRL engine trains from a daemon snapshot, the Action Checker
@@ -133,6 +139,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let db = daemon.shutdown();
-    println!("daemon shut down with {} records persisted in memory", db.len());
+    println!(
+        "daemon shut down with {} records persisted in memory",
+        db.len()
+    );
     Ok(())
 }

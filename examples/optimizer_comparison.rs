@@ -18,7 +18,7 @@ use geomancy::nn::optimizer::{Adam, Optimizer, Sgd};
 use geomancy::nn::training::{train, DataSplit, TrainConfig};
 use geomancy::sim::bluesky::bluesky_system;
 use geomancy::sim::cluster::FileMeta;
-use geomancy::sim::record::{AccessRecord, DeviceId, FileId};
+use geomancy::sim::record::{AccessRecord, DeviceId};
 use geomancy::trace::features::Z;
 
 /// Gathers one mount's record series (the paper's study is per mount; a

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (i, file) in workload.files().iter().enumerate() {
         system.add_file(
             file.fid,
-            FileMeta { size: file.size, path: file.path.clone() },
+            FileMeta {
+                size: file.size,
+                path: file.path.clone(),
+            },
             DeviceId((i % 6) as u32),
         )?;
     }
@@ -100,7 +103,12 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 5. Or drive the whole loop with the policy + control agent.
     let mut policy = GeomancyDynamic::with_config(
-        DrlConfig { train_window: 800, epochs: 40, smoothing_window: 1, ..DrlConfig::default() },
+        DrlConfig {
+            train_window: 800,
+            epochs: 40,
+            smoothing_window: 1,
+            ..DrlConfig::default()
+        },
         0.1,
     );
     let files: BTreeMap<FileId, FileMeta> = system.files().clone();
@@ -123,7 +131,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     if let Some(new_layout) = policy.update(&ctx) {
         let control = ControlAgent::new(None);
         let (moved, errors) = control.apply(&mut system, &new_layout);
-        println!("\nGeomancy moved {} files ({} errors):", moved.len(), errors.len());
+        println!(
+            "\nGeomancy moved {} files ({} errors):",
+            moved.len(),
+            errors.len()
+        );
         for m in &moved {
             let from = system.device(m.from)?.name().to_string();
             let to = system.device(m.to)?.name().to_string();

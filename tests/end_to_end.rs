@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use geomancy::core::daemon::InterfaceDaemon;
 use geomancy::core::drl::{DrlConfig, DrlEngine, PlacementQuery};
 use geomancy::core::experiment::{run_policy_experiment, ExperimentConfig};
-use geomancy::core::policy::{GeomancyDynamic, PlacementPolicy, SpreadStatic};
+use geomancy::core::policy::{GeomancyDynamic, SpreadStatic};
 use geomancy::core::ActionChecker;
 use geomancy::replaydb::ReplayDb;
 use geomancy::sim::agents::{ControlAgent, MonitoringAgent};
@@ -63,7 +63,9 @@ fn figure2_data_flow_end_to_end() {
             };
             for agent in &mut monitors {
                 if let Some(batch) = agent.observe(&record) {
-                    client.store_batch(system.clock().now_micros(), batch).unwrap();
+                    client
+                        .store_batch(system.clock().now_micros(), batch)
+                        .unwrap();
                 }
             }
         }
@@ -72,12 +74,22 @@ fn figure2_data_flow_end_to_end() {
     for agent in &mut monitors {
         let rest = agent.drain();
         if !rest.is_empty() {
-            client.store_batch(system.clock().now_micros(), rest).unwrap();
+            client
+                .store_batch(system.clock().now_micros(), rest)
+                .unwrap();
         }
     }
     let observed: u64 = monitors.iter().map(|m| m.total_observed()).sum();
-    assert_eq!(observed, system.access_count(), "every access observed exactly once");
-    assert_eq!(client.len().unwrap() as u64, observed, "every record reached the db");
+    assert_eq!(
+        observed,
+        system.access_count(),
+        "every access observed exactly once"
+    );
+    assert_eq!(
+        client.len().unwrap() as u64,
+        observed,
+        "every record reached the db"
+    );
 
     // Engine trains from the daemon snapshot and proposes a layout.
     let snapshot = client.snapshot().unwrap();
@@ -106,7 +118,10 @@ fn figure2_data_flow_end_to_end() {
         );
         assert_eq!(ranked.len(), online.len(), "every device predicted");
         for (d, tp) in &ranked {
-            assert!(tp.is_finite() && *tp >= 0.0, "bad prediction {tp} for {d}: {ranked:?}");
+            assert!(
+                tp.is_finite() && *tp >= 0.0,
+                "bad prediction {tp} for {d}: {ranked:?}"
+            );
         }
         let action = checker.check(&ranked, |d| {
             system

@@ -13,7 +13,11 @@ use geomancy::sim::SimError;
 use geomancy::trace::belle2::Belle2Workload;
 
 /// Gathers telemetry with layout shuffles so the engine can train.
-fn telemetry(system: &mut geomancy::sim::cluster::StorageSystem, runs: usize, seed: u64) -> ReplayDb {
+fn telemetry(
+    system: &mut geomancy::sim::cluster::StorageSystem,
+    runs: usize,
+    seed: u64,
+) -> ReplayDb {
     use rand::{Rng, SeedableRng};
     let mut workload = Belle2Workload::with_params(seed, 8, 0);
     for (i, f) in workload.files().iter().enumerate() {
@@ -94,7 +98,10 @@ fn engine_routes_around_offline_devices() {
     });
     engine.retrain(&db).expect("telemetry suffices");
     // file0 goes down; the candidate set excludes it.
-    system.device_mut(Mount::File0.device_id()).unwrap().set_online(false);
+    system
+        .device_mut(Mount::File0.device_id())
+        .unwrap()
+        .set_online(false);
     let online = system.online_devices();
     assert!(!online.contains(&Mount::File0.device_id()));
     let (now_secs, now_ms) = system.clock().now_secs_ms();
@@ -151,7 +158,10 @@ fn gap_scheduler_defers_moves_for_hot_files() {
     let db = telemetry(&mut system, 3, 35);
     let scheduler = GapScheduler::default();
     let predictions = scheduler.predict_gaps(&db, 5_000);
-    assert!(!predictions.is_empty(), "gap stats exist for accessed files");
+    assert!(
+        !predictions.is_empty(),
+        "gap stats exist for accessed files"
+    );
     // A move that takes far longer than any inter-access gap must defer.
     let moves: Vec<ScheduledMove> = predictions
         .keys()
@@ -182,10 +192,18 @@ fn registry_layout_tracks_moves() {
         )
         .unwrap();
     let mut registry = LocationRegistry::refresh(&system);
-    assert_eq!(registry.location_of(FileId(7)), Some(Mount::Tmp.device_id()));
-    system.move_file(FileId(7), Mount::File0.device_id()).unwrap();
+    assert_eq!(
+        registry.location_of(FileId(7)),
+        Some(Mount::Tmp.device_id())
+    );
+    system
+        .move_file(FileId(7), Mount::File0.device_id())
+        .unwrap();
     registry.record_layout(&system.layout());
-    assert_eq!(registry.location_of(FileId(7)), Some(Mount::File0.device_id()));
+    assert_eq!(
+        registry.location_of(FileId(7)),
+        Some(Mount::File0.device_id())
+    );
 }
 
 #[test]
@@ -202,13 +220,9 @@ fn chunked_migration_interoperates_with_live_reads() {
             Mount::UsbTmp.device_id(),
         )
         .unwrap();
-    let mut migration = ChunkedMigration::start(
-        &mut system,
-        FileId(0),
-        Mount::File0.device_id(),
-        50_000_000,
-    )
-    .unwrap();
+    let mut migration =
+        ChunkedMigration::start(&mut system, FileId(0), Mount::File0.device_id(), 50_000_000)
+            .unwrap();
     let mut reads = 0;
     while migration.state() == MigrationState::InProgress {
         let _ = migration.step(&mut system).unwrap();
@@ -231,8 +245,8 @@ fn chunked_migration_interoperates_with_live_reads() {
 
 #[test]
 fn checkpointed_engine_model_survives_restart() {
-    use geomancy::nn::{LayerSpec, NetworkSpec};
     use geomancy::nn::activation::Activation;
+    use geomancy::nn::{LayerSpec, NetworkSpec};
     // Simulate persisting a trained placement model across a restart: the
     // spec mirrors model 4 over the placement features.
     let spec = NetworkSpec::new(vec![
@@ -257,7 +271,9 @@ fn checkpointed_engine_model_survives_restart() {
     let x = geomancy::nn::Matrix::filled(4, 6, 0.3);
     let before = net.predict(&x);
     let json = spec.checkpoint(&net).to_json().unwrap();
-    let mut restored = geomancy::nn::Checkpoint::from_json(&json).unwrap().restore();
+    let mut restored = geomancy::nn::Checkpoint::from_json(&json)
+        .unwrap()
+        .restore();
     let after = restored.predict(&x);
     for (a, b) in after.as_slice().iter().zip(before.as_slice()) {
         assert!((a - b).abs() < 1e-12);
@@ -270,7 +286,10 @@ fn free_bytes_in_context_reflect_offline_state() {
     // consistent: offline devices simply vanish from the candidate list.
     let mut system = bluesky_system(38);
     let db = telemetry(&mut system, 2, 38);
-    system.device_mut(Mount::Pic.device_id()).unwrap().set_online(false);
+    system
+        .device_mut(Mount::Pic.device_id())
+        .unwrap()
+        .set_online(false);
     let files: BTreeMap<FileId, FileMeta> = system.files().clone();
     let online = system.online_devices();
     let layout = system.layout();
@@ -289,7 +308,5 @@ fn free_bytes_in_context_reflect_offline_state() {
     };
     use geomancy::core::{Lfu, PlacementPolicy};
     let new_layout = Lfu.update(&ctx).unwrap();
-    assert!(new_layout
-        .values()
-        .all(|d| *d != Mount::Pic.device_id()));
+    assert!(new_layout.values().all(|d| *d != Mount::Pic.device_id()));
 }

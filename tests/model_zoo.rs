@@ -59,7 +59,10 @@ fn every_table1_model_trains_without_numerical_blowup() {
         // (constant predictions) is allowed — the paper observes it — but
         // NaN/Inf is a bug.
         for (e, loss) in report.epoch_losses.iter().enumerate() {
-            assert!(loss.is_finite(), "{id} produced non-finite loss at epoch {e}");
+            assert!(
+                loss.is_finite(),
+                "{id} produced non-finite loss at epoch {e}"
+            );
         }
         assert!(report.epochs_run == 15, "{id} stopped early unexpectedly");
     }
@@ -122,7 +125,9 @@ fn table1_descriptions_are_scale_correct() {
     // Spot-check that the Z-scaling in the built networks matches Table I.
     let mut rng = seeded_rng(0);
     let m6 = build_model(ModelId::new(6), 6, 4, &mut rng);
-    assert!(m6.describe().starts_with("96 (Dense) ReLU, 96 (Dense) ReLU"));
+    assert!(m6
+        .describe()
+        .starts_with("96 (Dense) ReLU, 96 (Dense) ReLU"));
     let m17 = build_model(ModelId::new(17), 6, 4, &mut rng);
     assert_eq!(
         m17.describe(),
