@@ -1,0 +1,296 @@
+//! Before/after benchmark of the `geomancy-serve` query engine: the
+//! per-file baseline (one request per round trip, `max_batch = 1`)
+//! versus the batched path (whole-run submissions that the engine fuses
+//! into single forward passes after deduplicating repeated shapes).
+//!
+//! Both sides replay the same BELLE II question list against a freshly
+//! trained 4-shard service via [`run_belle2_load`]; only the submission
+//! style and the engine's fusion cap differ. A hot-swap soak follows:
+//! ingest/retrain/query concurrently through several model swaps and
+//! verify zero lost ingest records and zero torn-model decisions.
+//!
+//! Run with `cargo run -p geomancy-bench --bin serve_bench --release`.
+//! Writes `BENCH_serve.json` at the workspace root. `GEOMANCY_FAST=1`
+//! shrinks the workload and relaxes the speedup gate for smoke runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use geomancy_bench::output::{fast_mode, print_table};
+use geomancy_core::drl::DrlConfig;
+use geomancy_serve::{
+    run_belle2_load, LoadConfig, LoadReport, PlacementRequest, PlacementService, QueryError,
+    QueryMode, ServeConfig,
+};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+const SHARDS: usize = 4;
+
+fn drl() -> DrlConfig {
+    DrlConfig {
+        train_window: 800,
+        epochs: 20,
+        smoothing_window: 8,
+        ..DrlConfig::default()
+    }
+}
+
+fn serve_config(max_batch: usize) -> ServeConfig {
+    ServeConfig {
+        shards: SHARDS,
+        max_batch,
+        candidates: (0..6).map(DeviceId).collect(),
+        drl: drl(),
+        ..ServeConfig::default()
+    }
+}
+
+fn run_mode(mode: QueryMode, load: &LoadConfig) -> LoadReport {
+    let max_batch = match mode {
+        QueryMode::PerFile => 1,
+        QueryMode::Batched => 256,
+    };
+    let service = Arc::new(PlacementService::start(serve_config(max_batch)));
+    let report = run_belle2_load(
+        &service,
+        &LoadConfig {
+            mode,
+            ..load.clone()
+        },
+    );
+    Arc::try_unwrap(service)
+        .expect("load driver released the service")
+        .shutdown();
+    report
+}
+
+/// Soak record for the JSON artifact.
+struct Soak {
+    rounds: u64,
+    records_sent: u64,
+    records_in_shards: u64,
+    decisions_served: u64,
+    torn_decisions: u64,
+    model_swaps: u64,
+}
+
+/// Ingest/retrain/query concurrently through `rounds` model swaps, then
+/// account for every record and decision (mirrors the serve crate's soak
+/// test, at benchmark scale).
+fn hot_swap_soak(rounds: u64) -> Soak {
+    let service = Arc::new(PlacementService::start(serve_config(256)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let torn = Arc::new(AtomicU64::new(0));
+    let served = Arc::new(AtomicU64::new(0));
+    let mut clients = Vec::new();
+    for c in 0..2u64 {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let torn = Arc::clone(&torn);
+        let served = Arc::clone(&served);
+        clients.push(std::thread::spawn(move || {
+            let requests: Vec<PlacementRequest> = (0..16)
+                .map(|i| PlacementRequest {
+                    fid: FileId((c * 16 + i) % 8),
+                    read_bytes: 1_000_000,
+                    write_bytes: 0,
+                })
+                .collect();
+            while !stop.load(Ordering::Relaxed) {
+                match service.query_many(&requests) {
+                    Err(QueryError::NotReady) => std::thread::yield_now(),
+                    Err(QueryError::ServiceDown) => break,
+                    Ok(decisions) => {
+                        let published = service.published_epoch();
+                        for d in &decisions {
+                            if d.model_epoch == 0
+                                || d.model_epoch > published
+                                || !d.predicted_tp.is_finite()
+                            {
+                                torn.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        served.fetch_add(decisions.len() as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    let mut sent = 0u64;
+    for round in 1..=rounds {
+        for n in 0..250u64 {
+            let i = sent;
+            let dev = (i % 2) as u32;
+            let open_ms = i * 500;
+            let close_ms = open_ms + if dev == 0 { 400 } else { 100 };
+            let record = AccessRecord {
+                access_number: i,
+                fid: FileId(i % 8),
+                fsid: DeviceId(dev),
+                rb: 1_000_000 + n,
+                wb: 0,
+                ots: open_ms / 1000,
+                otms: (open_ms % 1000) as u16,
+                cts: close_ms / 1000,
+                ctms: (close_ms % 1000) as u16,
+            };
+            service
+                .ingest(i * 1_000_000, &[record])
+                .expect("shard died");
+            sent += 1;
+        }
+        let epoch = service.retrain_now().expect("enough telemetry");
+        assert_eq!(epoch, round, "epochs advance one per retrain");
+        // Force a batch boundary so the swap reaches the engine now.
+        let d = service
+            .query(PlacementRequest {
+                fid: FileId(0),
+                read_bytes: 1_000_000,
+                write_bytes: 0,
+            })
+            .expect("model published");
+        assert_eq!(d.model_epoch, epoch, "fresh model not picked up");
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("soak client panicked");
+    }
+    let metrics = service.metrics();
+    let swaps = metrics.model_swaps;
+    assert_eq!(metrics.dropped_batches, 0, "soak shed ingest batches");
+    let dbs = Arc::try_unwrap(service)
+        .expect("clients released the service")
+        .shutdown();
+    Soak {
+        rounds,
+        records_sent: sent,
+        records_in_shards: dbs.iter().map(|db| db.len() as u64).sum(),
+        decisions_served: served.load(Ordering::Relaxed),
+        torn_decisions: torn.load(Ordering::Relaxed),
+        model_swaps: swaps,
+    }
+}
+
+fn main() {
+    let fast = fast_mode();
+    let load = LoadConfig {
+        seed: 42,
+        file_count: 24,
+        warmup_runs: 2,
+        measured_runs: if fast { 2 } else { 6 },
+        clients: 4,
+        mode: QueryMode::Batched,
+        mid_load_retrains: 0,
+    };
+
+    println!(
+        "serve engine: {SHARDS} shards, {} clients, {} measured runs{}",
+        load.clients,
+        load.measured_runs,
+        if fast { " (fast mode)" } else { "" },
+    );
+    let per_file = run_mode(QueryMode::PerFile, &load);
+    let batched = run_mode(QueryMode::Batched, &load);
+    let speedup = batched.decisions_per_sec / per_file.decisions_per_sec;
+
+    print_table(
+        "Batched query engine: per-file baseline vs fused submissions",
+        &["mode", "decisions", "elapsed (s)", "decisions/sec"],
+        &[
+            vec![
+                "per-file".into(),
+                per_file.decisions.to_string(),
+                format!("{:.3}", per_file.elapsed_secs),
+                format!("{:.0}", per_file.decisions_per_sec),
+            ],
+            vec![
+                "batched".into(),
+                batched.decisions.to_string(),
+                format!("{:.3}", batched.elapsed_secs),
+                format!("{:.0}", batched.decisions_per_sec),
+            ],
+            vec![
+                "speedup".into(),
+                String::new(),
+                String::new(),
+                format!("{speedup:.2}x"),
+            ],
+        ],
+    );
+    assert_eq!(per_file.decisions, batched.decisions, "unequal workloads");
+    assert_eq!(per_file.invalid_epoch_decisions, 0);
+    assert_eq!(batched.invalid_epoch_decisions, 0);
+    assert_eq!(per_file.metrics.dropped_batches, 0);
+    assert_eq!(batched.metrics.dropped_batches, 0);
+
+    let soak = hot_swap_soak(if fast { 3 } else { 4 });
+    println!(
+        "\nhot-swap soak: {} swaps over {} rounds, {} decisions, \
+         {} torn, {}/{} records recovered from shards",
+        soak.model_swaps,
+        soak.rounds,
+        soak.decisions_served,
+        soak.torn_decisions,
+        soak.records_in_shards,
+        soak.records_sent,
+    );
+    assert!(
+        soak.model_swaps >= 3,
+        "fewer than 3 swaps reached the engine"
+    );
+    assert_eq!(soak.torn_decisions, 0, "torn-model decisions observed");
+    assert_eq!(
+        soak.records_in_shards, soak.records_sent,
+        "ingest records lost"
+    );
+
+    let json = serde_json::json!({
+        "shards": SHARDS,
+        "clients": load.clients,
+        "file_count": load.file_count,
+        "measured_runs": load.measured_runs,
+        "fast_mode": fast,
+        "per_file": {
+            "decisions": per_file.decisions,
+            "elapsed_secs": per_file.elapsed_secs,
+            "decisions_per_sec": per_file.decisions_per_sec,
+            "coalesced_decisions": per_file.metrics.coalesced_decisions,
+            "fused_rows": per_file.metrics.fused_rows,
+        },
+        "batched": {
+            "decisions": batched.decisions,
+            "elapsed_secs": batched.elapsed_secs,
+            "decisions_per_sec": batched.decisions_per_sec,
+            "coalesced_decisions": batched.metrics.coalesced_decisions,
+            "fused_rows": batched.metrics.fused_rows,
+        },
+        "speedup": speedup,
+        "hot_swap_soak": {
+            "rounds": soak.rounds,
+            "model_swaps": soak.model_swaps,
+            "decisions_served": soak.decisions_served,
+            "torn_decisions": soak.torn_decisions,
+            "records_sent": soak.records_sent,
+            "records_in_shards": soak.records_in_shards,
+        },
+    });
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .join("BENCH_serve.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&json).expect("serializable"),
+    )
+    .expect("write BENCH_serve.json");
+    println!("\nwrote {}", path.display());
+
+    let gate = if fast { 1.0 } else { 5.0 };
+    assert!(
+        speedup >= gate,
+        "batched engine speedup {speedup:.2}x below the {gate:.0}x gate"
+    );
+}

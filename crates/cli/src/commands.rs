@@ -46,6 +46,22 @@ COMMANDS:
                   --epochs N      training epochs (default 200)
                   --mount NAME    mount to model (default people)
                   --checkpoint P  save the trained model as JSON
+    serve       Run the online placement service on a BELLE II trace
+                  --shards N          ingest shards (default 4)
+                  --clients N         concurrent query clients (default 4)
+                  --runs N            measured workload runs (default 2)
+                  --warmup-runs N     runs ingested before retraining (default 2)
+                  --files N           workload file count (default 24)
+                  --seed N            workload seed (default 42)
+                  --batch-window-us N batching window in µs (default 100)
+                  --max-batch N       max requests fused per pass (default 256)
+                  --queue-capacity N  shard/query queue depth (default 1024)
+                  --retrains N        mid-load retrain cycles (default 1)
+                  --per-file          per-file baseline (no batched submissions)
+                  --wal-dir PATH      per-shard write-ahead log directory
+                  --json-out PATH     write the load report as JSON
+                  --strict            exit nonzero on zero decisions,
+                                      dropped batches, or invalid epochs
     help        Print this message
 ";
 
@@ -360,6 +376,113 @@ fn model_spec(id: ModelId, z: usize, timesteps: usize) -> geomancy_nn::spec::Net
         layers.push(layer);
     }
     NetworkSpec::new(layers)
+}
+
+/// `geomancy serve` — run the sharded online placement service under a
+/// BELLE II load and report decisions/sec plus the full counter snapshot.
+///
+/// # Errors
+///
+/// Returns an error for bad options, JSON-output failures, or — with
+/// `--strict` — a run that served no decisions, dropped ingest batches,
+/// or stamped an invalid model epoch on a decision.
+pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
+    use geomancy_serve::{LoadConfig, PlacementService, QueryMode, ServeConfig};
+    use geomancy_sim::record::DeviceId;
+    use std::sync::Arc;
+
+    let shards = args.u64_or("shards", 4)? as usize;
+    let mode = if args.flag("per-file")? {
+        QueryMode::PerFile
+    } else {
+        QueryMode::Batched
+    };
+    let serve_config = ServeConfig {
+        shards,
+        queue_capacity: args.u64_or("queue-capacity", 1024)? as usize,
+        batch_window_micros: args.u64_or("batch-window-us", 100)?,
+        max_batch: if mode == QueryMode::PerFile {
+            1
+        } else {
+            args.u64_or("max-batch", 256)? as usize
+        },
+        wal_dir: args.options.get("wal-dir").map(std::path::PathBuf::from),
+        // The six Bluesky mounts.
+        candidates: (0..6).map(DeviceId).collect(),
+        drl: DrlConfig {
+            train_window: 800,
+            epochs: 20,
+            smoothing_window: 8,
+            seed: args.u64_or("seed", 42)?,
+            ..DrlConfig::default()
+        },
+        retrain_every_records: None,
+    };
+    let load_config = LoadConfig {
+        seed: args.u64_or("seed", 42)?,
+        file_count: args.u64_or("files", 24)? as usize,
+        warmup_runs: args.u64_or("warmup-runs", 2)? as usize,
+        measured_runs: args.u64_or("runs", 2)? as usize,
+        clients: args.u64_or("clients", 4)? as usize,
+        mode,
+        mid_load_retrains: args.u64_or("retrains", 1)? as usize,
+    };
+    println!(
+        "serving BELLE II load: {} shards, {} clients, mode {:?}…",
+        shards, load_config.clients, load_config.mode
+    );
+    let service = Arc::new(PlacementService::start(serve_config));
+    let report = geomancy_serve::run_belle2_load(&service, &load_config);
+    let shard_dbs = Arc::try_unwrap(service)
+        .expect("load driver released the service")
+        .shutdown();
+
+    println!(
+        "{} decisions in {:.3} s — {:.0} decisions/sec (p99 {} µs)",
+        report.decisions,
+        report.elapsed_secs,
+        report.decisions_per_sec,
+        report.metrics.p99_latency_us(),
+    );
+    println!(
+        "ingested {} records across {} shards ({} dropped batches), {} retrains, {} model swaps",
+        report.ingested_records,
+        shard_dbs.len(),
+        report.metrics.dropped_batches,
+        report.metrics.retrains,
+        report.metrics.model_swaps,
+    );
+    println!(
+        "batched/solo/coalesced decisions: {}/{}/{}; epochs seen {:?}",
+        report.metrics.batched_decisions,
+        report.metrics.solo_decisions,
+        report.metrics.coalesced_decisions,
+        report.epochs_seen,
+    );
+    if let Some(path) = args.options.get("json-out") {
+        std::fs::write(path, serde_json::to_string_pretty(&report)?)?;
+        println!("report written to {path}");
+    }
+    if args.flag("strict")? {
+        if report.decisions == 0 {
+            return Err("strict: no placement decisions were served".into());
+        }
+        if report.metrics.dropped_batches != 0 {
+            return Err(format!(
+                "strict: {} ingest batches dropped",
+                report.metrics.dropped_batches
+            )
+            .into());
+        }
+        if report.invalid_epoch_decisions != 0 {
+            return Err(format!(
+                "strict: {} decisions carried an invalid model epoch",
+                report.invalid_epoch_decisions
+            )
+            .into());
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ fn main() {
         Some("analyze") => commands::analyze(&parsed),
         Some("models") => commands::models(&parsed),
         Some("train") => commands::train_model(&parsed),
+        Some("serve") => commands::serve(&parsed),
         Some("help") | None => {
             println!("{}", commands::USAGE);
             Ok(())

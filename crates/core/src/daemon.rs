@@ -281,6 +281,37 @@ mod tests {
     }
 
     #[test]
+    fn panicked_daemon_reports_gone_instead_of_hanging() {
+        let daemon = InterfaceDaemon::spawn(ReplayDb::new());
+        let client = daemon.client();
+        client.store_batch(10, vec![rec(0, 0)]).unwrap();
+        // Out-of-order timestamps violate the ReplayDb insert contract and
+        // panic the daemon thread mid-request. Every subsequent query must
+        // come back `DaemonGone` — the reply channel's sender is destroyed
+        // when the dead daemon's queue unwinds, not parked forever.
+        let _ = client.store_batch(5, vec![rec(1, 0)]);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match client.len() {
+                Err(DaemonGone) => break,
+                // The panic may still be unwinding; queries sent before the
+                // daemon died can even succeed. Retry until disconnect.
+                Ok(_) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "daemon never reported gone"
+                    );
+                    std::thread::yield_now();
+                }
+            }
+        }
+        assert_eq!(client.recent_per_device(4), Err(DaemonGone));
+        assert_eq!(client.snapshot().map(|db| db.len()), Err(DaemonGone));
+        // Dropping the daemon handle joins the panicked thread harmlessly.
+        drop(daemon);
+    }
+
+    #[test]
     fn layout_events_flow_through() {
         let daemon = InterfaceDaemon::spawn(ReplayDb::new());
         let client = daemon.client();

@@ -109,6 +109,9 @@ pub struct DrlEngine {
     /// Reusable candidate-feature batch for [`DrlEngine::rank_locations`]
     /// (resized in place, so steady-state ranking allocates nothing).
     query_buf: Matrix,
+    /// Reusable prediction buffer for the fused multi-query path
+    /// ([`DrlEngine::rank_locations_batch_into`]).
+    batch_pred: Matrix,
 }
 
 impl std::fmt::Debug for DrlEngine {
@@ -148,6 +151,7 @@ impl DrlEngine {
             adjuster: PredictionAdjuster::identity(),
             retrains: 0,
             query_buf: Matrix::default(),
+            batch_pred: Matrix::default(),
         }
     }
 
@@ -296,43 +300,69 @@ impl DrlEngine {
         let target_norm = self.target_norm.as_ref().expect("normalizer missing");
         assert!(!candidates.is_empty(), "no candidate locations");
         self.query_buf.resize(candidates.len(), PLACEMENT_Z);
-        for (i, dev) in candidates.iter().enumerate() {
-            let mut row = [
-                query.read_bytes as f64,
-                query.write_bytes as f64,
-                query.now_secs as f64,
-                query.now_ms as f64,
-                query.fid.0 as f64,
-                dev.0 as f64,
-            ];
-            feature_norm.normalize(&mut row);
-            // Queries are asked at "now", which lies just past the training
-            // window; clamp into the trained range so the ReLU tower
-            // interpolates instead of extrapolating the time trend.
-            for v in &mut row {
-                *v = v.clamp(0.0, 1.0);
-            }
+        for (i, &dev) in candidates.iter().enumerate() {
+            let row = query_row(feature_norm, query, dev);
             self.query_buf.set_row(i, &row);
         }
         let pred = self.net.predict_ref(self.query_buf.view());
         out.clear();
         out.reserve(candidates.len());
         for (i, &dev) in candidates.iter().enumerate() {
-            let normalized = pred[(i, 0)];
-            // A non-finite output (a degenerate retrain) carries no
-            // information: treat it as zero expected throughput so the
-            // Action Checker can still rank the finite candidates.
-            let tp = if normalized.is_finite() {
-                let v = target_norm.denormalize(normalized);
-                if self.log_targets {
-                    v.exp_m1().max(0.0)
-                } else {
-                    v.max(0.0)
-                }
-            } else {
-                0.0
-            };
-            out.push((dev, self.adjuster.adjust(tp)));
+            let tp = finish_prediction(pred[(i, 0)], target_norm, self.log_targets, self.adjuster);
+            out.push((dev, tp));
+        }
+    }
+
+    /// Fused multi-query ranking: one forward pass over
+    /// `queries.len() x candidates.len()` rows — the serving layer's batched
+    /// entry point, amortizing per-call dispatch across every placement
+    /// decision coalesced into the batch (and crossing the network's
+    /// parallel threshold far sooner than per-query passes would).
+    ///
+    /// Results land flat in `out`, chunked per query: entries
+    /// `[q * candidates.len() .. (q + 1) * candidates.len()]` are query
+    /// `q`'s `(device, predicted throughput)` pairs in candidate order.
+    /// Like [`DrlEngine::rank_locations_into`], warm buffers make the
+    /// steady state allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a successful [`DrlEngine::retrain`] or with
+    /// no candidates.
+    pub fn rank_locations_batch_into(
+        &mut self,
+        queries: &[PlacementQuery],
+        candidates: &[DeviceId],
+        out: &mut Vec<(DeviceId, f64)>,
+    ) {
+        let feature_norm = self
+            .feature_norm
+            .as_ref()
+            .expect("rank_locations called before retrain");
+        assert!(!candidates.is_empty(), "no candidate locations");
+        let per = candidates.len();
+        out.clear();
+        if queries.is_empty() {
+            return;
+        }
+        self.query_buf.resize(queries.len() * per, PLACEMENT_Z);
+        for (qi, query) in queries.iter().enumerate() {
+            for (ci, &dev) in candidates.iter().enumerate() {
+                let row = query_row(feature_norm, query, dev);
+                self.query_buf.set_row(qi * per + ci, &row);
+            }
+        }
+        self.net
+            .predict_into(self.query_buf.view(), &mut self.batch_pred);
+        let target_norm = self.target_norm.as_ref().expect("normalizer missing");
+        out.reserve(queries.len() * per);
+        for qi in 0..queries.len() {
+            for (ci, &dev) in candidates.iter().enumerate() {
+                let normalized = self.batch_pred[(qi * per + ci, 0)];
+                let tp =
+                    finish_prediction(normalized, target_norm, self.log_targets, self.adjuster);
+                out.push((dev, tp));
+            }
         }
     }
 
@@ -351,6 +381,53 @@ impl DrlEngine {
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("no candidates")
     }
+}
+
+/// Builds one normalized §V-C feature row for `(query, dev)`.
+fn query_row(
+    feature_norm: &MinMaxNormalizer,
+    query: &PlacementQuery,
+    dev: DeviceId,
+) -> [f64; PLACEMENT_Z] {
+    let mut row = [
+        query.read_bytes as f64,
+        query.write_bytes as f64,
+        query.now_secs as f64,
+        query.now_ms as f64,
+        query.fid.0 as f64,
+        dev.0 as f64,
+    ];
+    feature_norm.normalize(&mut row);
+    // Queries are asked at "now", which lies just past the training window;
+    // clamp into the trained range so the ReLU tower interpolates instead of
+    // extrapolating the time trend.
+    for v in &mut row {
+        *v = v.clamp(0.0, 1.0);
+    }
+    row
+}
+
+/// Maps one raw network output to an adjusted throughput in bytes/second.
+fn finish_prediction(
+    normalized: f64,
+    target_norm: &ScalarNormalizer,
+    log_targets: bool,
+    adjuster: PredictionAdjuster,
+) -> f64 {
+    // A non-finite output (a degenerate retrain) carries no information:
+    // treat it as zero expected throughput so the Action Checker can still
+    // rank the finite candidates.
+    let tp = if normalized.is_finite() {
+        let v = target_norm.denormalize(normalized);
+        if log_targets {
+            v.exp_m1().max(0.0)
+        } else {
+            v.max(0.0)
+        }
+    } else {
+        0.0
+    };
+    adjuster.adjust(tp)
 }
 
 #[cfg(test)]
@@ -448,6 +525,42 @@ mod tests {
         assert_eq!(ranked.len(), 2);
         assert_eq!(ranked[0].0, DeviceId(1));
         assert_eq!(ranked[1].0, DeviceId(0));
+    }
+
+    #[test]
+    fn batch_rank_matches_per_query_rank() {
+        let db = biased_db(400);
+        let mut e = engine();
+        e.retrain(&db).unwrap();
+        let candidates = [DeviceId(0), DeviceId(1)];
+        let queries: Vec<PlacementQuery> = (0..5)
+            .map(|i| PlacementQuery {
+                fid: FileId(i % 4),
+                read_bytes: 100_000 * (i + 1),
+                write_bytes: 0,
+                now_secs: 500 + i,
+                now_ms: 0,
+            })
+            .collect();
+        let mut batched = Vec::new();
+        e.rank_locations_batch_into(&queries, &candidates, &mut batched);
+        assert_eq!(batched.len(), queries.len() * candidates.len());
+        for (qi, query) in queries.iter().enumerate() {
+            let solo = e.rank_locations(query, &candidates);
+            let chunk = &batched[qi * candidates.len()..(qi + 1) * candidates.len()];
+            for (s, b) in solo.iter().zip(chunk) {
+                assert_eq!(s.0, b.0);
+                assert!(
+                    (s.1 - b.1).abs() <= 1e-9 * s.1.abs().max(1.0),
+                    "query {qi}: solo {} vs batched {}",
+                    s.1,
+                    b.1
+                );
+            }
+        }
+        // Empty batch clears the output and predicts nothing.
+        e.rank_locations_batch_into(&[], &candidates, &mut batched);
+        assert!(batched.is_empty());
     }
 
     #[test]

@@ -264,8 +264,9 @@ fn warmup(bench: &mut Bench, workload: &mut Belle2Workload, config: &ExperimentC
 }
 
 /// Registers the workload's files spread evenly across all mounts — the
-/// common starting layout of every experiment.
-fn place_files_spread(system: &mut StorageSystem, workload: &Belle2Workload) {
+/// common starting layout of every experiment (and of the serving layer's
+/// load driver).
+pub fn place_files_spread(system: &mut StorageSystem, workload: &Belle2Workload) {
     let device_count = system.devices().len();
     for (i, file) in workload.files().iter().enumerate() {
         let device = DeviceId((i % device_count) as u32);

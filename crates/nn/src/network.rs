@@ -8,11 +8,12 @@ use crate::optimizer::Optimizer;
 /// Minimum batch rows before [`Sequential::predict`] fans out across
 /// threads.
 ///
-/// The vendored `rayon` shim spawns OS threads per `scope` call instead of
-/// reusing a pool, so parallelism only pays for itself on batches large
-/// enough to amortize thread spawns; smaller batches stay on the serial
+/// The vendored `rayon` shim dispatches onto a persistent worker pool
+/// (~1 µs per task), so even modest batches — a few coalesced placement
+/// queries — amortize the dispatch. Below this row count the per-chunk
+/// buffer setup still outweighs the win and batches stay on the serial
 /// in-arena path.
-pub const PARALLEL_MIN_ROWS: usize = 128;
+pub const PARALLEL_MIN_ROWS: usize = 32;
 
 /// A feed-forward stack of layers trained with backpropagation.
 ///
@@ -157,27 +158,45 @@ impl Sequential {
     ///
     /// Panics if the network is empty or the input width is wrong.
     pub fn predict(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.predict_into(input.view(), &mut out);
+        out
+    }
+
+    /// Forward pass written into a caller-owned buffer — the batched-query
+    /// entry point of the serving layer. `out` is resized to
+    /// `input.rows() x output_size`; with a warm buffer the serial path
+    /// performs no allocation, and batches of at least
+    /// [`PARALLEL_MIN_ROWS`] rows fan out across the worker pool exactly
+    /// like [`Sequential::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is empty or the input width is wrong.
+    pub fn predict_into(&mut self, input: MatrixView<'_>, out: &mut Matrix) {
         assert!(
             !self.layers.is_empty(),
             "cannot predict with an empty network"
         );
         if input.rows() >= PARALLEL_MIN_ROWS && rayon::current_num_threads() > 1 {
-            self.predict_parallel(input.view())
+            self.predict_parallel_into(input, out);
         } else {
-            self.forward_all(input.view());
-            self.acts[self.layers.len() - 1].clone()
+            self.forward_all(input);
+            let last = &self.acts[self.layers.len() - 1];
+            out.resize(last.rows(), last.cols());
+            out.as_mut_slice().copy_from_slice(last.as_slice());
         }
     }
 
     /// Row-parallel stateless forward: the batch is split into contiguous
-    /// row chunks, each processed by one thread with its own ping-pong
+    /// row chunks, each processed by one pool task with its own ping-pong
     /// buffers via [`Layer::forward_inference_into`].
-    fn predict_parallel(&self, input: MatrixView<'_>) -> Matrix {
+    fn predict_parallel_into(&self, input: MatrixView<'_>, out: &mut Matrix) {
         let out_cols = self
             .output_size()
             .expect("cannot predict with an empty network");
         let rows = input.rows();
-        let mut out = Matrix::zeros(rows, out_cols);
+        out.resize(rows, out_cols);
         let n_chunks = rayon::current_num_threads().clamp(1, rows);
         let chunk_rows = rows.div_ceil(n_chunks);
         let layers = &self.layers;
@@ -208,7 +227,6 @@ impl Sequential {
                 });
             }
         });
-        out
     }
 
     /// Runs one forward/backward/update cycle over a batch and returns the
@@ -435,6 +453,25 @@ mod tests {
         net.forward_all(x.view());
         let serial = net.acts[net.layers.len() - 1].clone();
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn predict_into_matches_predict() {
+        let mut net = two_layer();
+        // Reused output buffer, deliberately wrong-sized, across both the
+        // serial (small) and parallel (large) paths.
+        let mut out = Matrix::zeros(1, 7);
+        for rows in [3, 2 * PARALLEL_MIN_ROWS] {
+            let mut x = Matrix::zeros(rows, 3);
+            for r in 0..rows {
+                for c in 0..3 {
+                    x[(r, c)] = (r * 3 + c) as f64 * 0.01 - 2.0;
+                }
+            }
+            let expected = net.predict(&x);
+            net.predict_into(x.view(), &mut out);
+            assert_eq!(out, expected);
+        }
     }
 
     #[test]

@@ -90,6 +90,30 @@ impl ReplayDb {
         }
     }
 
+    /// Builds one time-ordered database from per-shard snapshots.
+    ///
+    /// The serving layer shards ingest by file id, so each shard holds a
+    /// time-ordered *subset* of the global log; retraining wants the global
+    /// view back. Records are merged by `(timestamp_micros, access_number)`
+    /// to restore a deterministic total order, and layout events are merged
+    /// by timestamp.
+    pub fn merged<'a>(shards: impl IntoIterator<Item = &'a ReplayDb>) -> ReplayDb {
+        let mut stored: Vec<StoredRecord> = Vec::new();
+        let mut events: Vec<LayoutEvent> = Vec::new();
+        for shard in shards {
+            stored.extend(shard.records.iter().copied());
+            events.extend(shard.layout_events.iter().cloned());
+        }
+        stored.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
+        events.sort_by_key(|e| e.timestamp_micros);
+        let mut db = ReplayDb::new();
+        for s in stored {
+            db.insert(s.timestamp_micros, s.record);
+        }
+        db.layout_events = events;
+        db
+    }
+
     /// Records a layout change.
     pub fn record_layout_event(&mut self, event: LayoutEvent) {
         self.layout_events.push(event);

@@ -1,0 +1,407 @@
+//! The batched query engine: one thread owning the live model, coalescing
+//! concurrent placement requests into fused forward passes.
+//!
+//! ## Coalescing
+//!
+//! Clients submit either one request ([`crate::PlacementService::query`])
+//! or a whole slice ([`crate::PlacementService::query_many`]); each
+//! submission is one channel message. The engine drains queued messages
+//! until it holds `max_batch` requests or the queue momentarily empties,
+//! then waits at most `batch_window` for stragglers before closing the
+//! batch. Within a batch, requests with the same `(file, read, write)`
+//! shape share a single feature row — BELLE II reads each file 10–20 times
+//! in succession, so concurrent request streams are full of exact
+//! duplicates — and the surviving unique rows go through the network in
+//! one fused [`geomancy_core::drl::DrlEngine::rank_locations_batch_into`]
+//! pass.
+//!
+//! ## Hot-swap
+//!
+//! The engine checks the [`ModelSlot`] between batches and adopts any
+//! newly published model there. Because the swap happens only at a batch
+//! boundary and the engine thread is the *only* reader of the live model,
+//! no decision can observe a half-updated network ("torn model") — the
+//! epoch stamped on each decision is exactly the model that produced it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use geomancy_core::drl::{DrlEngine, PlacementQuery};
+use geomancy_sim::record::{DeviceId, FileId};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::metrics::ServeMetrics;
+
+/// A placement question: where should the next access to `fid` of this
+/// shape go? The service stamps the query time itself (its ingest
+/// high-water mark), so identical shapes coalesce across clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlacementRequest {
+    /// File being placed.
+    pub fid: FileId,
+    /// Bytes the next access is expected to read.
+    pub read_bytes: u64,
+    /// Bytes the next access is expected to write.
+    pub write_bytes: u64,
+}
+
+/// One served placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Decision {
+    /// File the decision is for.
+    pub fid: FileId,
+    /// Best candidate device.
+    pub best: DeviceId,
+    /// Predicted throughput (bytes/second, adjusted) at `best`.
+    pub predicted_tp: f64,
+    /// Epoch of the model that served this decision.
+    pub model_epoch: u64,
+    /// Requests coalesced into the fused pass that answered this one.
+    pub batch_requests: u32,
+    /// Unique feature-row groups in that pass (after dedup).
+    pub unique_rows: u32,
+}
+
+/// Why a query could not be answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// No model has been published yet (ingest more and retrain).
+    NotReady,
+    /// The service has shut down.
+    ServiceDown,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::NotReady => f.write_str("no model published yet"),
+            QueryError::ServiceDown => f.write_str("placement service has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The atomic epoch-pointer used to publish retrained models.
+///
+/// The trainer moves a whole [`DrlEngine`] into `incoming` and bumps
+/// `epoch`; the query engine takes it at the next batch boundary. At most
+/// one model is in flight — publishing twice before a pickup replaces the
+/// unconsumed one (the newer model wins, which is the right staleness
+/// policy for serving).
+#[derive(Debug, Default)]
+pub struct ModelSlot {
+    epoch: AtomicU64,
+    incoming: Mutex<Option<(u64, DrlEngine)>>,
+}
+
+impl ModelSlot {
+    /// Creates an empty slot (epoch 0 = "nothing published").
+    pub fn new() -> Self {
+        ModelSlot::default()
+    }
+
+    /// Epoch of the most recently *published* model (not necessarily
+    /// picked up yet). 0 means none.
+    pub fn published_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes `engine` as the next model; returns its epoch.
+    pub fn publish(&self, engine: DrlEngine) -> u64 {
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        *self.incoming.lock().expect("model slot poisoned") = Some((epoch, engine));
+        self.epoch.store(epoch, Ordering::Release);
+        epoch
+    }
+
+    /// Takes the pending model, if any (query engine only).
+    fn take(&self) -> Option<(u64, DrlEngine)> {
+        // Cheap fast path: don't touch the mutex unless an unconsumed
+        // publish could exist.
+        if self.epoch.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        self.incoming.lock().expect("model slot poisoned").take()
+    }
+}
+
+/// One submission: requests plus the channel to answer them on.
+struct Submission {
+    requests: Vec<PlacementRequest>,
+    enqueued: Instant,
+    reply: Sender<Result<Vec<Decision>, QueryError>>,
+}
+
+enum BatchMsg {
+    Submit(Submission),
+    Shutdown,
+}
+
+/// Handle to the query engine thread.
+#[derive(Debug)]
+pub struct BatchEngine {
+    tx: Sender<BatchMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Tuning knobs for the engine loop (split out so the loop signature stays
+/// readable).
+pub(crate) struct BatchParams {
+    /// Maximum requests fused into one pass.
+    pub max_batch: usize,
+    /// How long to hold an open batch waiting for stragglers.
+    pub window: Duration,
+    /// Candidate devices ranked for every request.
+    pub candidates: Vec<DeviceId>,
+}
+
+impl BatchEngine {
+    /// Spawns the engine thread. `clock_micros` is the service's ingest
+    /// high-water mark, read once per batch to stamp query times.
+    pub(crate) fn spawn(
+        params: BatchParams,
+        slot: Arc<ModelSlot>,
+        clock_micros: Arc<AtomicU64>,
+        metrics: Arc<ServeMetrics>,
+        queue_capacity: usize,
+    ) -> Self {
+        assert!(params.max_batch > 0, "max_batch must be positive");
+        assert!(!params.candidates.is_empty(), "need candidate devices");
+        let (tx, rx) = bounded(queue_capacity);
+        let handle = std::thread::Builder::new()
+            .name("geomancy-query".into())
+            .spawn(move || engine_loop(rx, params, slot, clock_micros, metrics))
+            .expect("failed to spawn query engine");
+        BatchEngine {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Submits `requests` as one message; blocks for the decisions.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::NotReady`] before the first model publish,
+    /// [`QueryError::ServiceDown`] after shutdown.
+    pub fn query_many(&self, requests: &[PlacementRequest]) -> Result<Vec<Decision>, QueryError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(BatchMsg::Submit(Submission {
+                requests: requests.to_vec(),
+                enqueued: Instant::now(),
+                reply,
+            }))
+            .map_err(|_| QueryError::ServiceDown)?;
+        rx.recv().map_err(|_| QueryError::ServiceDown)?
+    }
+
+    /// Stops the engine after in-flight submissions are answered.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(BatchMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for BatchEngine {
+    fn drop(&mut self) {
+        let _ = self.tx.send(BatchMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn engine_loop(
+    rx: Receiver<BatchMsg>,
+    params: BatchParams,
+    slot: Arc<ModelSlot>,
+    clock_micros: Arc<AtomicU64>,
+    metrics: Arc<ServeMetrics>,
+) {
+    let mut engine: Option<DrlEngine> = None;
+    let mut epoch = 0u64;
+    let mut pending: Vec<Submission> = Vec::new();
+    let mut unique: Vec<PlacementQuery> = Vec::new();
+    let mut row_of: HashMap<PlacementRequest, usize> = HashMap::new();
+    let mut ranked: Vec<(DeviceId, f64)> = Vec::new();
+    'serve: loop {
+        // Block for the batch's first submission.
+        match rx.recv() {
+            Err(_) => break,
+            Ok(BatchMsg::Shutdown) => break,
+            Ok(BatchMsg::Submit(s)) => pending.push(s),
+        }
+        // Coalesce: drain whatever is queued, then give stragglers one
+        // window to arrive. The deadline is from the batch's opening so a
+        // trickle of messages cannot hold the batch open indefinitely.
+        let deadline = Instant::now() + params.window;
+        let mut batch_requests: usize = pending[0].requests.len();
+        while batch_requests < params.max_batch {
+            let msg = match rx.try_recv() {
+                Some(m) => m,
+                None => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match rx.recv_timeout(deadline - now) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            };
+            match msg {
+                BatchMsg::Shutdown => {
+                    // Answer what we hold, then stop.
+                    serve_batch(
+                        &mut engine,
+                        &mut epoch,
+                        &slot,
+                        &params,
+                        &clock_micros,
+                        &metrics,
+                        &mut pending,
+                        &mut unique,
+                        &mut row_of,
+                        &mut ranked,
+                    );
+                    break 'serve;
+                }
+                BatchMsg::Submit(s) => {
+                    batch_requests += s.requests.len();
+                    pending.push(s);
+                }
+            }
+        }
+        serve_batch(
+            &mut engine,
+            &mut epoch,
+            &slot,
+            &params,
+            &clock_micros,
+            &metrics,
+            &mut pending,
+            &mut unique,
+            &mut row_of,
+            &mut ranked,
+        );
+    }
+    // Disconnected or shut down: refuse anything still queued.
+    for sub in pending.drain(..) {
+        let _ = sub.reply.send(Err(QueryError::ServiceDown));
+    }
+}
+
+/// Answers every pending submission with one fused pass.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch(
+    engine: &mut Option<DrlEngine>,
+    epoch: &mut u64,
+    slot: &ModelSlot,
+    params: &BatchParams,
+    clock_micros: &AtomicU64,
+    metrics: &ServeMetrics,
+    pending: &mut Vec<Submission>,
+    unique: &mut Vec<PlacementQuery>,
+    row_of: &mut HashMap<PlacementRequest, usize>,
+    ranked: &mut Vec<(DeviceId, f64)>,
+) {
+    // Batch boundary: adopt a newly published model, if any.
+    if let Some((e, model)) = slot.take() {
+        *engine = Some(model);
+        *epoch = e;
+        metrics.model_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+    let batch_requests: usize = pending.iter().map(|s| s.requests.len()).sum();
+    let Some(model) = engine.as_mut() else {
+        for sub in pending.drain(..) {
+            let _ = sub.reply.send(Err(QueryError::NotReady));
+        }
+        return;
+    };
+    // Dedup identical request shapes into shared feature rows, stamped
+    // with one query time for the whole batch.
+    let now_micros = clock_micros.load(Ordering::Relaxed);
+    let (now_secs, now_ms) = (
+        now_micros / 1_000_000,
+        ((now_micros / 1_000) % 1_000) as u16,
+    );
+    unique.clear();
+    row_of.clear();
+    for sub in pending.iter() {
+        for req in &sub.requests {
+            row_of.entry(*req).or_insert_with(|| {
+                unique.push(PlacementQuery {
+                    fid: req.fid,
+                    read_bytes: req.read_bytes,
+                    write_bytes: req.write_bytes,
+                    now_secs,
+                    now_ms,
+                });
+                unique.len() - 1
+            });
+        }
+    }
+    model.rank_locations_batch_into(unique, &params.candidates, ranked);
+    let per = params.candidates.len();
+    let unique_rows = unique.len();
+    metrics
+        .fused_rows
+        .fetch_add((unique_rows * per) as u64, Ordering::Relaxed);
+    // All of the batch's accounting lands before any reply goes out: a
+    // woken client must see the full counters for its own batch.
+    if batch_requests > unique_rows {
+        metrics
+            .coalesced_decisions
+            .fetch_add((batch_requests - unique_rows) as u64, Ordering::Relaxed);
+    }
+    metrics
+        .decisions
+        .fetch_add(batch_requests as u64, Ordering::Relaxed);
+    if batch_requests > 1 {
+        metrics
+            .batched_decisions
+            .fetch_add(batch_requests as u64, Ordering::Relaxed);
+    } else {
+        metrics
+            .solo_decisions
+            .fetch_add(batch_requests as u64, Ordering::Relaxed);
+    }
+    for sub in pending.drain(..) {
+        let decisions: Vec<Decision> = sub
+            .requests
+            .iter()
+            .map(|req| {
+                let row = row_of[req];
+                let (best, tp) = ranked[row * per..(row + 1) * per]
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("candidates are non-empty");
+                Decision {
+                    fid: req.fid,
+                    best,
+                    predicted_tp: tp,
+                    model_epoch: *epoch,
+                    batch_requests: batch_requests as u32,
+                    unique_rows: unique_rows as u32,
+                }
+            })
+            .collect();
+        metrics.observe_latency_us(sub.enqueued.elapsed().as_micros() as u64);
+        let _ = sub.reply.send(Ok(decisions));
+    }
+}

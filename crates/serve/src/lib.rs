@@ -1,0 +1,58 @@
+//! # geomancy-serve
+//!
+//! The online placement serving layer: what the paper's Interface Daemon
+//! (§V-A, "networking middleware that allows parallel requests") grows
+//! into when one actor and one channel stop being enough.
+//!
+//! ```text
+//!            ingest (records)                placement requests
+//!                 │                                 │
+//!        ┌────────┴────────┐              ┌─────────┴─────────┐
+//!        │ shard map        │              │ batched query     │
+//!        │ fid.stable_hash  │              │ engine (1 thread) │
+//!        ▼        ▼        ▼              │  coalesce → dedup │
+//!    shard 0   shard 1   shard N-1        │  → fused NN pass  │
+//!    queue+WAL queue+WAL queue+WAL        └─────────▲─────────┘
+//!        │        │        │                        │ hot-swap
+//!        └────────┴────────┘              ┌─────────┴─────────┐
+//!          snapshots (copies)  ─────────▶ │ background trainer│
+//!                                         │ merge → retrain → │
+//!                                         │ publish epoch N+1 │
+//!                                         └───────────────────┘
+//! ```
+//!
+//! Three independent moving parts, three guarantees:
+//!
+//! - **Sharded ingest** ([`shard`]): records route by
+//!   [`geomancy_sim::record::FileId::stable_hash`], so one file's history
+//!   stays ordered on one shard while shards ingest in parallel. Queues
+//!   are bounded — producers feel backpressure instead of growing an
+//!   unbounded buffer.
+//! - **Batched queries** ([`batch`]): concurrent placement requests
+//!   coalesce into one fused forward pass, with duplicate request shapes
+//!   deduplicated into shared feature rows. The engine thread owns the
+//!   model exclusively.
+//! - **Hot-swap training** ([`trainer`]): retraining runs on shard
+//!   *snapshots* off-thread and publishes finished models through an
+//!   atomic epoch pointer; serving never blocks on training and no
+//!   decision ever sees a half-swapped model.
+//!
+//! [`PlacementService`] wires the three together; [`load`] drives the
+//! whole service with the BELLE II workload (the `geomancy serve` CLI
+//! subcommand and the serve benchmark both run it).
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod load;
+pub mod metrics;
+pub mod service;
+pub mod shard;
+pub mod trainer;
+
+pub use batch::{Decision, ModelSlot, PlacementRequest, QueryError};
+pub use load::{run_belle2_load, LoadConfig, LoadReport, QueryMode};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use service::{PlacementService, ServeConfig};
+pub use shard::{shard_of, Backpressure, ShardSet};
+pub use trainer::{TrainError, Trainer};

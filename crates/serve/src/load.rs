@@ -1,0 +1,215 @@
+//! Drives a [`PlacementService`] with the BELLE II workload on the
+//! simulated Bluesky substrate — the shared engine behind the
+//! `geomancy serve` CLI subcommand and the serve benchmark.
+//!
+//! The driver plays the paper's loop at serving scale: execute workload
+//! operations on the simulator, ingest the resulting telemetry, retrain,
+//! and then hammer the query engine from several concurrent client
+//! threads replaying the run's placement questions — either one file per
+//! round trip (the baseline) or whole runs per submission (the batched
+//! path the engine fuses and dedups).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use geomancy_core::experiment::place_files_spread;
+use geomancy_sim::bluesky::bluesky_system;
+use geomancy_sim::record::AccessRecord;
+use geomancy_trace::belle2::Belle2Workload;
+use serde::Serialize;
+
+use crate::batch::{PlacementRequest, QueryError};
+use crate::metrics::MetricsSnapshot;
+use crate::service::PlacementService;
+
+/// How the measured phase submits queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum QueryMode {
+    /// One request per round trip — the per-file baseline.
+    PerFile,
+    /// One run's worth of requests per submission — the batched path.
+    Batched,
+}
+
+/// Load-driver configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Workload/system seed.
+    pub seed: u64,
+    /// BELLE II working-set size (the paper's suite: 24 files).
+    pub file_count: usize,
+    /// Workload runs executed and ingested before the first retrain.
+    pub warmup_runs: usize,
+    /// Workload runs whose placement questions the measured phase replays.
+    pub measured_runs: usize,
+    /// Concurrent client threads in the measured phase.
+    pub clients: usize,
+    /// Submission style.
+    pub mode: QueryMode,
+    /// Retrain cycles requested mid-measurement (hot-swap under load).
+    pub mid_load_retrains: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            seed: 42,
+            file_count: 24,
+            warmup_runs: 2,
+            measured_runs: 2,
+            clients: 4,
+            mode: QueryMode::Batched,
+            mid_load_retrains: 0,
+        }
+    }
+}
+
+/// What the driver observed.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Submission style used.
+    pub mode: QueryMode,
+    /// Placement decisions served in the measured phase.
+    pub decisions: u64,
+    /// Measured-phase wall-clock seconds.
+    pub elapsed_secs: f64,
+    /// Decisions per wall-clock second.
+    pub decisions_per_sec: f64,
+    /// Records ingested across warm-up and measurement.
+    pub ingested_records: u64,
+    /// Model epochs observed stamped on decisions (sorted, deduped).
+    pub epochs_seen: Vec<u64>,
+    /// Highest epoch published by the trainer.
+    pub published_epoch: u64,
+    /// Decisions whose epoch was not in `1..=published_epoch` at the time
+    /// they were checked — must be zero (a nonzero count would mean a
+    /// torn or phantom model served traffic).
+    pub invalid_epoch_decisions: u64,
+    /// Full counter snapshot at the end of the run.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Executes the workload and drives `service`; see the module docs.
+///
+/// # Panics
+///
+/// Panics if the service cannot ingest (a shard died), if retraining
+/// fails with enough data, or if a query client errors.
+pub fn run_belle2_load(service: &Arc<PlacementService>, config: &LoadConfig) -> LoadReport {
+    let mut system = bluesky_system(config.seed);
+    let mut workload =
+        Belle2Workload::with_params(config.seed.wrapping_add(1), config.file_count, 0);
+    place_files_spread(&mut system, &workload);
+
+    // Warm-up: execute and ingest telemetry (blocking ingest — the CI
+    // smoke asserts zero dropped batches, so nothing may be shed here).
+    let mut batch: Vec<AccessRecord> = Vec::new();
+    for _ in 0..config.warmup_runs.max(1) {
+        for op in workload.next_run() {
+            let record = if op.write {
+                system.write_file(op.fid, op.bytes)
+            } else {
+                system.read_file(op.fid, op.bytes)
+            }
+            .expect("workload references a registered file");
+            batch.push(record);
+            if batch.len() >= 32 {
+                service
+                    .ingest(system.clock().now_micros(), &batch)
+                    .expect("ingest shard died");
+                batch.clear();
+            }
+        }
+        system.idle(5.0);
+    }
+    if !batch.is_empty() {
+        service
+            .ingest(system.clock().now_micros(), &batch)
+            .expect("ingest shard died");
+    }
+    service
+        .retrain_now()
+        .expect("warm-up produced enough telemetry");
+
+    // Build the measured phase's question list from real runs: per op, ask
+    // where the file's next access (whole-file read/write) should land.
+    let files: std::collections::BTreeMap<_, _> =
+        workload.files().iter().map(|f| (f.fid, f.size)).collect();
+    let mut requests: Vec<PlacementRequest> = Vec::new();
+    for _ in 0..config.measured_runs.max(1) {
+        for op in workload.next_run() {
+            let bytes = op.bytes.unwrap_or(files[&op.fid]);
+            requests.push(PlacementRequest {
+                fid: op.fid,
+                read_bytes: if op.write { 0 } else { bytes },
+                write_bytes: if op.write { bytes } else { 0 },
+            });
+        }
+    }
+
+    // Measured phase: `clients` threads replay the question list
+    // concurrently while the main thread optionally retrains mid-load.
+    let invalid_epochs = AtomicU64::new(0);
+    let decisions = AtomicU64::new(0);
+    let epoch_mask = std::sync::Mutex::new(std::collections::BTreeSet::new());
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..config.clients.max(1) {
+            s.spawn(|| {
+                let mut seen: Vec<u64> = Vec::new();
+                let mut run = |ds: Result<Vec<crate::batch::Decision>, QueryError>| match ds {
+                    Err(e) => panic!("query client failed: {e}"),
+                    Ok(ds) => {
+                        for d in &ds {
+                            if d.model_epoch == 0 || d.model_epoch > service.published_epoch() {
+                                invalid_epochs.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if !seen.contains(&d.model_epoch) {
+                                seen.push(d.model_epoch);
+                            }
+                        }
+                        decisions.fetch_add(ds.len() as u64, Ordering::Relaxed);
+                    }
+                };
+                match config.mode {
+                    QueryMode::PerFile => {
+                        for req in &requests {
+                            run(service.query(*req).map(|d| vec![d]));
+                        }
+                    }
+                    QueryMode::Batched => {
+                        // One submission per workload-run-sized chunk.
+                        let chunk = (requests.len() / config.measured_runs.max(1)).max(1);
+                        for part in requests.chunks(chunk) {
+                            run(service.query_many(part));
+                        }
+                    }
+                }
+                epoch_mask.lock().unwrap().extend(seen);
+            });
+        }
+        for _ in 0..config.mid_load_retrains {
+            service.retrain_now().expect("mid-load retrain failed");
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let metrics = service.metrics();
+    let served = decisions.load(Ordering::Relaxed);
+    LoadReport {
+        mode: config.mode,
+        decisions: served,
+        elapsed_secs: elapsed,
+        decisions_per_sec: if elapsed > 0.0 {
+            served as f64 / elapsed
+        } else {
+            0.0
+        },
+        ingested_records: metrics.ingested_records,
+        epochs_seen: epoch_mask.into_inner().unwrap().into_iter().collect(),
+        published_epoch: service.published_epoch(),
+        invalid_epoch_decisions: invalid_epochs.load(Ordering::Relaxed),
+        metrics,
+    }
+}

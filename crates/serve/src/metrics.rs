@@ -1,0 +1,191 @@
+//! Serving-layer counters: cheap atomics sampled into a serializable
+//! snapshot.
+//!
+//! Every hot-path touch is a single relaxed atomic op; nothing here takes a
+//! lock, so the ingest shards and the query engine can bump counters from
+//! their own threads without coupling.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use serde::Serialize;
+
+/// Number of power-of-two latency buckets (covers < 1 µs up to > 1 s).
+pub const LATENCY_BUCKETS: usize = 21;
+
+/// Live counters shared by the service's threads.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Access records accepted into shard queues.
+    pub ingested_records: AtomicU64,
+    /// Ingest batches accepted (post-routing, one per shard touched).
+    pub ingest_batches: AtomicU64,
+    /// Ingest batches rejected by backpressure (`try_ingest` on a full
+    /// shard queue). The records of a rejected batch are *not* ingested.
+    pub dropped_batches: AtomicU64,
+    /// Per-shard queued-batch depth (incremented on enqueue, decremented
+    /// when the shard actor finishes the batch).
+    pub queue_depth: Vec<AtomicUsize>,
+    /// Placement decisions served.
+    pub decisions: AtomicU64,
+    /// Decisions answered from a fused pass covering more than one request.
+    pub batched_decisions: AtomicU64,
+    /// Decisions answered by a single-request pass.
+    pub solo_decisions: AtomicU64,
+    /// Decisions that shared a deduplicated feature row with another
+    /// request in the same batch (same file, same access shape).
+    pub coalesced_decisions: AtomicU64,
+    /// Feature rows actually pushed through the network.
+    pub fused_rows: AtomicU64,
+    /// Model hot-swaps picked up by the query engine.
+    pub model_swaps: AtomicU64,
+    /// Retrain cycles completed by the background trainer.
+    pub retrains: AtomicU64,
+    /// Decision latency histogram; bucket `i` counts latencies in
+    /// `[2^i, 2^(i+1))` microseconds (bucket 0 is `< 2 µs`, the last
+    /// bucket is open-ended).
+    pub latency_us: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl ServeMetrics {
+    /// Fresh zeroed counters for `shards` ingest shards.
+    pub fn new(shards: usize) -> Self {
+        ServeMetrics {
+            ingested_records: AtomicU64::new(0),
+            ingest_batches: AtomicU64::new(0),
+            dropped_batches: AtomicU64::new(0),
+            queue_depth: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
+            decisions: AtomicU64::new(0),
+            batched_decisions: AtomicU64::new(0),
+            solo_decisions: AtomicU64::new(0),
+            coalesced_decisions: AtomicU64::new(0),
+            fused_rows: AtomicU64::new(0),
+            model_swaps: AtomicU64::new(0),
+            retrains: AtomicU64::new(0),
+            latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one decision latency in microseconds.
+    pub fn observe_latency_us(&self, micros: u64) {
+        let bucket = (64 - micros.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(LATENCY_BUCKETS - 1);
+        self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            ingested_records: self.ingested_records.load(Ordering::Relaxed),
+            ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
+            dropped_batches: self.dropped_batches.load(Ordering::Relaxed),
+            queue_depth: self
+                .queue_depth
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+            decisions: self.decisions.load(Ordering::Relaxed),
+            batched_decisions: self.batched_decisions.load(Ordering::Relaxed),
+            solo_decisions: self.solo_decisions.load(Ordering::Relaxed),
+            coalesced_decisions: self.coalesced_decisions.load(Ordering::Relaxed),
+            fused_rows: self.fused_rows.load(Ordering::Relaxed),
+            model_swaps: self.model_swaps.load(Ordering::Relaxed),
+            retrains: self.retrains.load(Ordering::Relaxed),
+            latency_us: self
+                .latency_us
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data copy of [`ServeMetrics`], for reports and JSON output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct MetricsSnapshot {
+    /// See [`ServeMetrics::ingested_records`].
+    pub ingested_records: u64,
+    /// See [`ServeMetrics::ingest_batches`].
+    pub ingest_batches: u64,
+    /// See [`ServeMetrics::dropped_batches`].
+    pub dropped_batches: u64,
+    /// See [`ServeMetrics::queue_depth`].
+    pub queue_depth: Vec<usize>,
+    /// See [`ServeMetrics::decisions`].
+    pub decisions: u64,
+    /// See [`ServeMetrics::batched_decisions`].
+    pub batched_decisions: u64,
+    /// See [`ServeMetrics::solo_decisions`].
+    pub solo_decisions: u64,
+    /// See [`ServeMetrics::coalesced_decisions`].
+    pub coalesced_decisions: u64,
+    /// See [`ServeMetrics::fused_rows`].
+    pub fused_rows: u64,
+    /// See [`ServeMetrics::model_swaps`].
+    pub model_swaps: u64,
+    /// See [`ServeMetrics::retrains`].
+    pub retrains: u64,
+    /// See [`ServeMetrics::latency_us`].
+    pub latency_us: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Approximate p99 decision latency in microseconds (upper edge of the
+    /// bucket containing the 99th percentile), or 0 with no data.
+    pub fn p99_latency_us(&self) -> u64 {
+        let total: u64 = self.latency_us.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (total * 99).div_ceil(100);
+        let mut seen = 0;
+        for (i, &count) in self.latency_us.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 1 << (i + 1);
+            }
+        }
+        1 << LATENCY_BUCKETS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        let m = ServeMetrics::new(2);
+        m.observe_latency_us(0); // bucket 0
+        m.observe_latency_us(1); // bucket 0
+        m.observe_latency_us(2); // bucket 1
+        m.observe_latency_us(3); // bucket 1
+        m.observe_latency_us(1024); // bucket 10
+        m.observe_latency_us(u64::MAX); // clamped to last bucket
+        let snap = m.snapshot();
+        assert_eq!(snap.latency_us[0], 2);
+        assert_eq!(snap.latency_us[1], 2);
+        assert_eq!(snap.latency_us[10], 1);
+        assert_eq!(snap.latency_us[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(snap.queue_depth.len(), 2);
+    }
+
+    #[test]
+    fn p99_is_bucket_upper_edge() {
+        let m = ServeMetrics::new(1);
+        for _ in 0..99 {
+            m.observe_latency_us(1);
+        }
+        m.observe_latency_us(5000);
+        let snap = m.snapshot();
+        assert_eq!(snap.p99_latency_us(), 2);
+        assert_eq!(
+            MetricsSnapshot {
+                latency_us: vec![0; LATENCY_BUCKETS],
+                ..snap
+            }
+            .p99_latency_us(),
+            0
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! [`PlacementService`]: the public face of the serving layer, wiring the
+//! ingest shards, the batched query engine, and the background trainer
+//! together behind one handle.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use geomancy_core::drl::DrlConfig;
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::record::{AccessRecord, DeviceId};
+
+use crate::batch::{BatchEngine, BatchParams, Decision, ModelSlot, PlacementRequest, QueryError};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::shard::{Backpressure, ShardSet};
+use crate::trainer::{TrainError, Trainer};
+
+/// Configuration of a [`PlacementService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Ingest shards (each an independent actor with its own queue/WAL).
+    pub shards: usize,
+    /// Bounded depth of each shard queue and of the query queue, in
+    /// messages.
+    pub queue_capacity: usize,
+    /// How long the query engine holds an open batch for stragglers, in
+    /// microseconds. 0 fuses only what is already queued.
+    pub batch_window_micros: u64,
+    /// Maximum placement requests fused into one forward pass. 1 disables
+    /// coalescing entirely (the per-file baseline).
+    pub max_batch: usize,
+    /// Directory for per-shard WALs; `None` keeps shards memory-only.
+    pub wal_dir: Option<PathBuf>,
+    /// Candidate devices ranked for every placement request.
+    pub candidates: Vec<DeviceId>,
+    /// DRL engine configuration used by the background trainer.
+    pub drl: DrlConfig,
+    /// Auto-retrain after this many newly ingested records (`None`
+    /// retrains only on explicit [`PlacementService::retrain_now`]).
+    pub retrain_every_records: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            batch_window_micros: 100,
+            max_batch: 256,
+            wal_dir: None,
+            candidates: (0..4).map(DeviceId).collect(),
+            drl: DrlConfig::default(),
+            retrain_every_records: None,
+        }
+    }
+}
+
+/// The online placement service (see the crate docs for the architecture).
+#[derive(Debug)]
+pub struct PlacementService {
+    shards: Arc<ShardSet>,
+    engine: Option<BatchEngine>,
+    trainer: Option<Trainer>,
+    slot: Arc<ModelSlot>,
+    metrics: Arc<ServeMetrics>,
+    /// Ingest high-water mark in simulated microseconds; stamps query
+    /// times so identical request shapes coalesce.
+    clock_micros: Arc<AtomicU64>,
+    /// Records ingested at the last auto-retrain trigger.
+    last_retrain_at: AtomicU64,
+    retrain_every_records: Option<u64>,
+}
+
+impl PlacementService {
+    /// Starts the service: spawns `config.shards` ingest actors, the query
+    /// engine, and the trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero shard count, zero queue capacity, zero
+    /// `max_batch`, empty candidate list, or an unopenable WAL directory.
+    pub fn start(config: ServeConfig) -> Self {
+        let metrics = Arc::new(ServeMetrics::new(config.shards));
+        let shards = Arc::new(ShardSet::spawn(
+            config.shards,
+            config.queue_capacity,
+            config.wal_dir.clone(),
+            Arc::clone(&metrics),
+        ));
+        let slot = Arc::new(ModelSlot::new());
+        let clock_micros = Arc::new(AtomicU64::new(0));
+        let engine = BatchEngine::spawn(
+            BatchParams {
+                max_batch: config.max_batch,
+                window: std::time::Duration::from_micros(config.batch_window_micros),
+                candidates: config.candidates.clone(),
+            },
+            Arc::clone(&slot),
+            Arc::clone(&clock_micros),
+            Arc::clone(&metrics),
+            config.queue_capacity,
+        );
+        let trainer = Trainer::spawn(
+            config.drl.clone(),
+            &shards,
+            Arc::clone(&slot),
+            Arc::clone(&metrics),
+        );
+        PlacementService {
+            shards,
+            engine: Some(engine),
+            trainer: Some(trainer),
+            slot,
+            metrics,
+            clock_micros,
+            last_retrain_at: AtomicU64::new(0),
+            retrain_every_records: config.retrain_every_records,
+        }
+    }
+
+    /// Blocking ingest: waits on full shard queues, drops nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Backpressure`] only if a shard actor has died.
+    pub fn ingest(
+        &self,
+        timestamp_micros: u64,
+        records: &[AccessRecord],
+    ) -> Result<(), Backpressure> {
+        self.clock_micros
+            .fetch_max(timestamp_micros, Ordering::Relaxed);
+        let result = self.shards.ingest(timestamp_micros, records);
+        self.maybe_auto_retrain();
+        result
+    }
+
+    /// Non-blocking ingest: a full shard queue rejects the call with
+    /// [`Backpressure`] (counted in `dropped_batches`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Backpressure`] naming the full shard.
+    pub fn try_ingest(
+        &self,
+        timestamp_micros: u64,
+        records: &[AccessRecord],
+    ) -> Result<(), Backpressure> {
+        self.clock_micros
+            .fetch_max(timestamp_micros, Ordering::Relaxed);
+        let result = self.shards.try_ingest(timestamp_micros, records);
+        self.maybe_auto_retrain();
+        result
+    }
+
+    fn maybe_auto_retrain(&self) {
+        let Some(every) = self.retrain_every_records else {
+            return;
+        };
+        let ingested = self.metrics.ingested_records.load(Ordering::Relaxed);
+        let last = self.last_retrain_at.load(Ordering::Relaxed);
+        if ingested.saturating_sub(last) >= every
+            && self
+                .last_retrain_at
+                .compare_exchange(last, ingested, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            if let Some(t) = &self.trainer {
+                t.request_retrain();
+            }
+        }
+    }
+
+    /// One placement decision (the per-file baseline path).
+    ///
+    /// # Errors
+    ///
+    /// See [`QueryError`].
+    pub fn query(&self, request: PlacementRequest) -> Result<Decision, QueryError> {
+        let mut v = self.query_many(std::slice::from_ref(&request))?;
+        Ok(v.pop().expect("one decision per request"))
+    }
+
+    /// Decisions for a whole slice of requests, submitted as one message —
+    /// the batched path the engine fuses and dedups.
+    ///
+    /// # Errors
+    ///
+    /// See [`QueryError`].
+    pub fn query_many(&self, requests: &[PlacementRequest]) -> Result<Vec<Decision>, QueryError> {
+        self.engine
+            .as_ref()
+            .expect("engine alive until shutdown")
+            .query_many(requests)
+    }
+
+    /// Runs a retrain cycle now and waits for its model to publish;
+    /// returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrainError`].
+    pub fn retrain_now(&self) -> Result<u64, TrainError> {
+        self.trainer
+            .as_ref()
+            .expect("trainer alive until shutdown")
+            .retrain_now()
+    }
+
+    /// Epoch of the most recently published model (0 = none yet).
+    pub fn published_epoch(&self) -> u64 {
+        self.slot.published_epoch()
+    }
+
+    /// Point-in-time copy of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Orderly shutdown: trainer first (no more publishes), then the query
+    /// engine (drains in-flight submissions), then the shards (drain their
+    /// queues, flush WALs). Returns the final per-shard databases.
+    pub fn shutdown(mut self) -> Vec<ReplayDb> {
+        if let Some(t) = self.trainer.take() {
+            t.shutdown();
+        }
+        if let Some(e) = self.engine.take() {
+            e.shutdown();
+        }
+        let shards = Arc::clone(&self.shards);
+        drop(self); // release the service's Arc before unwrapping
+        Arc::try_unwrap(shards)
+            .expect("all shard handles released at shutdown")
+            .shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::record::FileId;
+
+    fn rec(n: u64, fid: u64, dev: u32, dt_ms: u64) -> AccessRecord {
+        let open_ms = n * 1000;
+        let close_ms = open_ms + dt_ms;
+        AccessRecord {
+            access_number: n,
+            fid: FileId(fid),
+            fsid: DeviceId(dev),
+            rb: 1_000_000,
+            wb: 0,
+            ots: open_ms / 1000,
+            otms: (open_ms % 1000) as u16,
+            cts: close_ms / 1000,
+            ctms: (close_ms % 1000) as u16,
+        }
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig {
+            shards: 2,
+            candidates: vec![DeviceId(0), DeviceId(1)],
+            drl: DrlConfig {
+                epochs: 20,
+                smoothing_window: 4,
+                ..DrlConfig::default()
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Device 1 is ~4x faster than device 0.
+    fn ingest_biased(service: &PlacementService, n: u64) {
+        for i in 0..n {
+            let dev = (i % 2) as u32;
+            let dt = if dev == 0 { 400 } else { 100 };
+            service
+                .ingest(i * 1_000_000, &[rec(i, i % 4, dev, dt)])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn query_before_model_is_not_ready() {
+        let service = PlacementService::start(test_config());
+        let err = service
+            .query(PlacementRequest {
+                fid: FileId(0),
+                read_bytes: 1,
+                write_bytes: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err, QueryError::NotReady);
+        service.shutdown();
+    }
+
+    #[test]
+    fn ingest_retrain_query_round_trip() {
+        let service = PlacementService::start(test_config());
+        ingest_biased(&service, 300);
+        let epoch = service.retrain_now().expect("enough data");
+        assert_eq!(epoch, 1);
+        let decision = service
+            .query(PlacementRequest {
+                fid: FileId(1),
+                read_bytes: 1_000_000,
+                write_bytes: 0,
+            })
+            .expect("model published");
+        assert_eq!(decision.model_epoch, 1);
+        assert_eq!(decision.best, DeviceId(1), "picked the slower device");
+        let dbs = service.shutdown();
+        let total: usize = dbs.iter().map(|db| db.len()).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn query_many_fuses_and_dedups() {
+        let service = PlacementService::start(test_config());
+        ingest_biased(&service, 300);
+        service.retrain_now().expect("enough data");
+        // 30 requests over 3 distinct shapes → 3 unique rows.
+        let requests: Vec<PlacementRequest> = (0..30)
+            .map(|i| PlacementRequest {
+                fid: FileId(i % 3),
+                read_bytes: 1_000_000,
+                write_bytes: 0,
+            })
+            .collect();
+        let decisions = service.query_many(&requests).unwrap();
+        assert_eq!(decisions.len(), 30);
+        for d in &decisions {
+            assert_eq!(d.batch_requests, 30);
+            assert_eq!(d.unique_rows, 3);
+        }
+        let m = service.metrics();
+        assert_eq!(m.decisions, 30);
+        assert_eq!(m.batched_decisions, 30);
+        assert_eq!(m.coalesced_decisions, 27);
+        service.shutdown();
+    }
+
+    #[test]
+    fn retrain_without_data_reports_not_enough() {
+        let service = PlacementService::start(test_config());
+        assert_eq!(service.retrain_now(), Err(TrainError::NotEnoughData));
+        service.shutdown();
+    }
+
+    #[test]
+    fn auto_retrain_fires_on_ingest_volume() {
+        let mut config = test_config();
+        config.retrain_every_records = Some(100);
+        let service = PlacementService::start(config);
+        ingest_biased(&service, 250);
+        // The trigger is async; wait for a publish.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while service.published_epoch() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "auto retrain never published"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(service.metrics().retrains >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn queries_after_shutdown_error_cleanly() {
+        let service = PlacementService::start(test_config());
+        let shards = service.metrics().queue_depth.len();
+        assert_eq!(shards, 2);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,372 @@
+//! Sharded ReplayDB ingest: N independent actors, each owning one shard.
+//!
+//! The single-threaded Interface Daemon serializes every ingest batch and
+//! query through one channel; here the record stream is split N ways by
+//! [`FileId::stable_hash`], so all telemetry for one file always lands on
+//! the same shard (per-file order is preserved by channel FIFO) while
+//! different files ingest in parallel. Each shard's queue is *bounded*:
+//! when a shard falls behind, [`ShardSet::try_ingest`] reports
+//! backpressure instead of buffering without limit, and the blocking
+//! [`ShardSet::ingest`] path simply waits.
+//!
+//! Durability mirrors the daemon's WAL story, but per shard: each actor
+//! appends to its own `shard-<i>.wal`, so a crash loses at most one
+//! partial line per shard and recovery rebuilds exactly the per-shard
+//! databases (see [`geomancy_replaydb::wal::recover_shards`]).
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use geomancy_replaydb::wal::{shard_path, WalWriter};
+use geomancy_replaydb::ReplayDb;
+use geomancy_sim::record::{AccessRecord, FileId};
+
+use crate::metrics::ServeMetrics;
+
+/// Ingest refused because a shard queue is full (the caller should retry,
+/// shed load, or switch to the blocking path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backpressure {
+    /// The shard whose queue was full.
+    pub shard: usize,
+}
+
+impl std::fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ingest shard {} queue is full", self.shard)
+    }
+}
+
+impl std::error::Error for Backpressure {}
+
+/// Messages a shard actor accepts.
+#[derive(Debug)]
+enum ShardMsg {
+    Batch {
+        timestamp_micros: u64,
+        records: Vec<AccessRecord>,
+    },
+    Snapshot {
+        reply: Sender<ReplayDb>,
+    },
+    Shutdown,
+}
+
+/// Maps a file to its ingest shard.
+pub fn shard_of(fid: FileId, shards: usize) -> usize {
+    (fid.stable_hash() % shards as u64) as usize
+}
+
+/// A set of ingest shard actors.
+#[derive(Debug)]
+pub struct ShardSet {
+    senders: Vec<Sender<ShardMsg>>,
+    handles: Vec<JoinHandle<ReplayDb>>,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl ShardSet {
+    /// Spawns `shards` actors with `queue_capacity`-deep bounded queues.
+    ///
+    /// With `wal_dir` set, each shard appends to `shard-<i>.wal` in that
+    /// directory and starts from whatever an existing log replays to
+    /// (crash recovery); without it, shards are memory-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `queue_capacity` is zero, or if a WAL cannot
+    /// be opened or recovered.
+    pub fn spawn(
+        shards: usize,
+        queue_capacity: usize,
+        wal_dir: Option<PathBuf>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        assert!(shards > 0, "need at least one ingest shard");
+        assert!(
+            queue_capacity > 0,
+            "shard queues must hold at least one batch"
+        );
+        if let Some(dir) = &wal_dir {
+            std::fs::create_dir_all(dir).expect("failed to create WAL directory");
+        }
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = bounded(queue_capacity);
+            let (db, wal) = match &wal_dir {
+                None => (ReplayDb::new(), None),
+                Some(dir) => {
+                    let path = shard_path(dir, i);
+                    let db = if path.exists() {
+                        geomancy_replaydb::wal::recover(&path)
+                            .expect("shard WAL recovery failed")
+                            .0
+                    } else {
+                        ReplayDb::new()
+                    };
+                    let wal = WalWriter::open(&path).expect("failed to open shard WAL");
+                    (db, Some(wal))
+                }
+            };
+            let m = Arc::clone(&metrics);
+            let handle = std::thread::Builder::new()
+                .name(format!("geomancy-shard-{i}"))
+                .spawn(move || shard_loop(i, rx, db, wal, m))
+                .expect("failed to spawn shard actor");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        ShardSet {
+            senders,
+            handles,
+            metrics,
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Whether the set is empty (never true for a spawned set).
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Routes `records` to their shards. Returns one `(shard, sub-batch)`
+    /// per shard touched, preserving input order within each sub-batch.
+    fn route(&self, records: &[AccessRecord]) -> Vec<(usize, Vec<AccessRecord>)> {
+        let shards = self.senders.len();
+        let mut buckets: Vec<Vec<AccessRecord>> = vec![Vec::new(); shards];
+        for &r in records {
+            buckets[shard_of(r.fid, shards)].push(r);
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .collect()
+    }
+
+    /// Blocking ingest: routes the batch and waits on any full shard queue
+    /// (backpressure by blocking — nothing is dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Backpressure`] only if a shard actor is gone (its channel
+    /// disconnected), which should not happen before shutdown.
+    pub fn ingest(
+        &self,
+        timestamp_micros: u64,
+        records: &[AccessRecord],
+    ) -> Result<(), Backpressure> {
+        for (shard, sub) in self.route(records) {
+            let n = sub.len() as u64;
+            self.metrics.queue_depth[shard].fetch_add(1, Ordering::Relaxed);
+            if self.senders[shard]
+                .send(ShardMsg::Batch {
+                    timestamp_micros,
+                    records: sub,
+                })
+                .is_err()
+            {
+                self.metrics.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
+                return Err(Backpressure { shard });
+            }
+            self.metrics.ingest_batches.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .ingested_records
+                .fetch_add(n, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Non-blocking ingest: any full shard queue rejects the *whole* call
+    /// (sub-batches already queued on other shards stay queued — per-file
+    /// streams are unaffected since a file maps to exactly one shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Backpressure`] naming the full shard; the metrics'
+    /// `dropped_batches` counter is bumped.
+    pub fn try_ingest(
+        &self,
+        timestamp_micros: u64,
+        records: &[AccessRecord],
+    ) -> Result<(), Backpressure> {
+        for (shard, sub) in self.route(records) {
+            let n = sub.len() as u64;
+            self.metrics.queue_depth[shard].fetch_add(1, Ordering::Relaxed);
+            match self.senders[shard].try_send(ShardMsg::Batch {
+                timestamp_micros,
+                records: sub,
+            }) {
+                Ok(()) => {
+                    self.metrics.ingest_batches.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .ingested_records
+                        .fetch_add(n, Ordering::Relaxed);
+                }
+                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                    self.metrics.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
+                    self.metrics.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                    return Err(Backpressure { shard });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshots every shard's database (after all batches queued ahead of
+    /// the snapshot request have been applied — the queue is FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard actor has died.
+    pub fn snapshot_all(&self) -> Vec<ReplayDb> {
+        let mut replies = Vec::with_capacity(self.senders.len());
+        for tx in &self.senders {
+            let (reply, rx) = bounded(1);
+            tx.send(ShardMsg::Snapshot { reply })
+                .expect("shard actor gone");
+            replies.push(rx);
+        }
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard actor gone"))
+            .collect()
+    }
+
+    /// Stops every actor after its queue drains; returns the final
+    /// per-shard databases in shard order.
+    pub fn shutdown(self) -> Vec<ReplayDb> {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        drop(self.senders);
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("shard actor panicked"))
+            .collect()
+    }
+}
+
+/// One shard actor: applies batches in arrival order, appending to the WAL
+/// first (write-ahead) and clamping timestamps monotonically — shards see
+/// only a subset of the global stream, so a slow producer can hand a shard
+/// a timestamp older than one it already stored; the clamp keeps the
+/// shard's log time-ordered without rejecting data.
+fn shard_loop(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    mut db: ReplayDb,
+    mut wal: Option<WalWriter>,
+    metrics: Arc<ServeMetrics>,
+) -> ReplayDb {
+    let mut last_ts = db.records().last().map_or(0, |s| s.timestamp_micros);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Batch {
+                timestamp_micros,
+                records,
+            } => {
+                let ts = timestamp_micros.max(last_ts);
+                last_ts = ts;
+                if let Some(w) = &mut wal {
+                    w.append_batch(ts, &records)
+                        .expect("shard WAL append failed");
+                    w.flush().expect("shard WAL flush failed");
+                }
+                db.insert_batch(ts, &records);
+                metrics.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
+            }
+            ShardMsg::Snapshot { reply } => {
+                let _ = reply.send(db.clone());
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+    if let Some(w) = &mut wal {
+        let _ = w.flush();
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::record::DeviceId;
+
+    fn rec(n: u64, fid: u64) -> AccessRecord {
+        AccessRecord {
+            access_number: n,
+            fid: FileId(fid),
+            fsid: DeviceId(0),
+            rb: 10,
+            wb: 0,
+            ots: n,
+            otms: 0,
+            cts: n + 1,
+            ctms: 0,
+        }
+    }
+
+    #[test]
+    fn ingest_routes_by_file_hash() {
+        let metrics = Arc::new(ServeMetrics::new(4));
+        let set = ShardSet::spawn(4, 16, None, Arc::clone(&metrics));
+        let records: Vec<AccessRecord> = (0..40).map(|n| rec(n, n % 10)).collect();
+        set.ingest(0, &records).unwrap();
+        let dbs = set.shutdown();
+        let total: usize = dbs.iter().map(|db| db.len()).sum();
+        assert_eq!(total, 40);
+        for (i, db) in dbs.iter().enumerate() {
+            for stored in db.records() {
+                assert_eq!(shard_of(stored.record.fid, 4), i);
+            }
+        }
+        assert_eq!(metrics.snapshot().ingested_records, 40);
+    }
+
+    #[test]
+    fn try_ingest_reports_backpressure_when_queue_full() {
+        let metrics = Arc::new(ServeMetrics::new(1));
+        let set = ShardSet::spawn(1, 1, None, Arc::clone(&metrics));
+        // Stall the single shard behind a snapshot of a big queue: fill the
+        // 1-slot queue, then try to add more.
+        let mut queued = 0;
+        let mut dropped = 0;
+        for n in 0..200u64 {
+            match set.try_ingest(n, &[rec(n, 0)]) {
+                Ok(()) => queued += 1,
+                Err(Backpressure { shard: 0 }) => dropped += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert_eq!(queued + dropped, 200);
+        let dbs = set.shutdown();
+        assert_eq!(dbs[0].len(), queued);
+        assert_eq!(metrics.snapshot().dropped_batches, dropped as u64);
+    }
+
+    #[test]
+    fn out_of_order_timestamps_are_clamped_not_fatal() {
+        let metrics = Arc::new(ServeMetrics::new(2));
+        let set = ShardSet::spawn(2, 16, None, metrics);
+        set.ingest(100, &[rec(0, 0), rec(1, 1)]).unwrap();
+        // Older timestamp: would panic ReplayDb::insert if unclamped.
+        set.ingest(50, &[rec(2, 0), rec(3, 1)]).unwrap();
+        let dbs = set.shutdown();
+        let total: usize = dbs.iter().map(|db| db.len()).sum();
+        assert_eq!(total, 4);
+        for db in &dbs {
+            for stored in db.records() {
+                assert!(stored.timestamp_micros >= 100);
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Background retraining: snapshot the shards, train off to the side,
+//! publish through the [`ModelSlot`].
+//!
+//! Serving never blocks on training: the trainer thread works on merged
+//! *copies* of the shard databases, and the only synchronization with the
+//! query engine is the epoch-pointer publish. Each cycle trains a fresh
+//! engine from the same seeded initialization (plus the epoch, so cycles
+//! differ) — retrain-from-scratch keeps every published model a pure
+//! function of the telemetry window, which is what makes the hot-swap
+//! soak test's "no torn model" claim checkable.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use geomancy_core::drl::{DrlConfig, DrlEngine};
+use geomancy_replaydb::ReplayDb;
+
+use crate::batch::ModelSlot;
+use crate::metrics::ServeMetrics;
+use crate::shard::ShardSet;
+
+/// Why a retrain cycle produced no model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainError {
+    /// The merged shard snapshot holds too few records to train on.
+    NotEnoughData,
+    /// The trainer thread has shut down.
+    TrainerDown,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::NotEnoughData => f.write_str("not enough telemetry to retrain"),
+            TrainError::TrainerDown => f.write_str("trainer has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+enum TrainerMsg {
+    /// Snapshot, retrain, publish; reply with the new epoch.
+    TrainNow {
+        reply: Option<Sender<Result<u64, TrainError>>>,
+    },
+    Shutdown,
+}
+
+/// Handle to the background trainer thread.
+#[derive(Debug)]
+pub struct Trainer {
+    tx: Sender<TrainerMsg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Everything one retrain cycle needs, bundled for the thread.
+struct TrainerState {
+    drl: DrlConfig,
+    snapshot: SnapshotFn,
+    slot: Arc<ModelSlot>,
+    metrics: Arc<ServeMetrics>,
+}
+
+type SnapshotFn = Box<dyn Fn() -> Vec<ReplayDb> + Send>;
+
+impl Trainer {
+    /// Spawns the trainer. `shards` is shared with the service; snapshots
+    /// go through its FIFO queues, so a snapshot observes every batch
+    /// ingested before the snapshot request.
+    pub(crate) fn spawn(
+        drl: DrlConfig,
+        shards: &Arc<ShardSet>,
+        slot: Arc<ModelSlot>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
+        let shard_ref = Arc::clone(shards);
+        let state = TrainerState {
+            drl,
+            snapshot: Box::new(move || shard_ref.snapshot_all()),
+            slot,
+            metrics,
+        };
+        let (tx, rx) = unbounded();
+        let handle = std::thread::Builder::new()
+            .name("geomancy-trainer".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        TrainerMsg::Shutdown => break,
+                        TrainerMsg::TrainNow { reply } => {
+                            let outcome = train_once(&state);
+                            if let Some(reply) = reply {
+                                let _ = reply.send(outcome);
+                            }
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn trainer");
+        Trainer {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Runs one retrain cycle and blocks until its model is published.
+    ///
+    /// # Errors
+    ///
+    /// [`TrainError::NotEnoughData`] with a too-small telemetry window,
+    /// [`TrainError::TrainerDown`] after shutdown.
+    pub fn retrain_now(&self) -> Result<u64, TrainError> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(TrainerMsg::TrainNow { reply: Some(reply) })
+            .map_err(|_| TrainError::TrainerDown)?;
+        rx.recv().map_err(|_| TrainError::TrainerDown)?
+    }
+
+    /// Queues a retrain cycle without waiting for it.
+    pub fn request_retrain(&self) {
+        let _ = self.tx.send(TrainerMsg::TrainNow { reply: None });
+    }
+
+    /// Stops the trainer after queued cycles complete.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(TrainerMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Trainer {
+    fn drop(&mut self) {
+        let _ = self.tx.send(TrainerMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One cycle: snapshot → merge → train a fresh engine → publish.
+fn train_once(state: &TrainerState) -> Result<u64, TrainError> {
+    use std::sync::atomic::Ordering;
+    let snapshots = (state.snapshot)();
+    let merged = ReplayDb::merged(snapshots.iter());
+    let mut config = state.drl.clone();
+    // Vary initialization per cycle so consecutive models are
+    // distinguishable in the soak test while staying deterministic.
+    config.seed = config.seed.wrapping_add(state.slot.published_epoch());
+    let mut engine = DrlEngine::new(config);
+    if engine.retrain(&merged).is_none() {
+        return Err(TrainError::NotEnoughData);
+    }
+    state.metrics.retrains.fetch_add(1, Ordering::Relaxed);
+    Ok(state.slot.publish(engine))
+}

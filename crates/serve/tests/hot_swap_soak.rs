@@ -1,0 +1,149 @@
+//! Hot-swap soak: ingest, retrain, and query concurrently through several
+//! model swaps, then check the three serving guarantees:
+//!
+//! - **≥ 3 swaps** actually reach the query engine (not just publishes);
+//! - **zero lost ingest records** — every record sent is in a shard at
+//!   shutdown;
+//! - **no torn-model decision** — every decision carries an epoch that was
+//!   fully published at the time it was served, and its prediction is
+//!   finite (a half-swapped network would produce garbage or an epoch
+//!   that never existed).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use geomancy_core::drl::DrlConfig;
+use geomancy_serve::{PlacementRequest, PlacementService, QueryError, ServeConfig};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+fn rec(n: u64, fid: u64) -> AccessRecord {
+    let dev = (n % 2) as u32;
+    let dt_ms = if dev == 0 { 400 } else { 100 };
+    let open_ms = n * 500;
+    let close_ms = open_ms + dt_ms;
+    AccessRecord {
+        access_number: n,
+        fid: FileId(fid),
+        fsid: DeviceId(dev),
+        rb: 1_000_000,
+        wb: 0,
+        ots: open_ms / 1000,
+        otms: (open_ms % 1000) as u16,
+        cts: close_ms / 1000,
+        ctms: (close_ms % 1000) as u16,
+    }
+}
+
+#[test]
+fn soak_three_swaps_no_lost_records_no_torn_decisions() {
+    const ROUNDS: u64 = 4;
+    const RECORDS_PER_ROUND: u64 = 250;
+    let service = Arc::new(PlacementService::start(ServeConfig {
+        shards: 4,
+        candidates: vec![DeviceId(0), DeviceId(1)],
+        drl: DrlConfig {
+            epochs: 10,
+            smoothing_window: 4,
+            ..DrlConfig::default()
+        },
+        ..ServeConfig::default()
+    }));
+
+    // Background query pressure across every swap boundary.
+    let stop = Arc::new(AtomicBool::new(false));
+    let bad_decisions = Arc::new(AtomicU64::new(0));
+    let served = Arc::new(AtomicU64::new(0));
+    let mut clients = Vec::new();
+    for c in 0..3u64 {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let bad = Arc::clone(&bad_decisions);
+        let served = Arc::clone(&served);
+        clients.push(std::thread::spawn(move || {
+            let requests: Vec<PlacementRequest> = (0..16)
+                .map(|i| PlacementRequest {
+                    fid: FileId((c * 16 + i) % 8),
+                    read_bytes: 1_000_000,
+                    write_bytes: 0,
+                })
+                .collect();
+            while !stop.load(Ordering::Relaxed) {
+                match service.query_many(&requests) {
+                    Err(QueryError::NotReady) => std::thread::yield_now(),
+                    Err(QueryError::ServiceDown) => break,
+                    Ok(decisions) => {
+                        // published_epoch is read *after* the reply: the
+                        // serving epoch can never exceed it.
+                        let published = service.published_epoch();
+                        for d in &decisions {
+                            let torn = d.model_epoch == 0
+                                || d.model_epoch > published
+                                || !d.predicted_tp.is_finite();
+                            if torn {
+                                bad.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        served.fetch_add(decisions.len() as u64, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+
+    let mut sent = 0u64;
+    let mut next = 0u64;
+    for round in 1..=ROUNDS {
+        for _ in 0..RECORDS_PER_ROUND {
+            service
+                .ingest(next * 1_000_000, &[rec(next, next % 8)])
+                .unwrap();
+            sent += 1;
+            next += 1;
+        }
+        let epoch = service.retrain_now().expect("enough telemetry");
+        assert_eq!(epoch, round, "epochs advance one per retrain");
+        // Force a batch boundary so the engine picks the new model up, and
+        // verify the very next decision serves it.
+        let d = service
+            .query(PlacementRequest {
+                fid: FileId(0),
+                read_bytes: 1_000_000,
+                write_bytes: 0,
+            })
+            .expect("model published");
+        assert_eq!(d.model_epoch, epoch, "fresh model not picked up");
+    }
+
+    // Let the clients observe the final model too, then stop them.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    for c in clients {
+        c.join().expect("query client panicked");
+    }
+
+    assert!(
+        served.load(Ordering::Relaxed) > 0,
+        "background clients never got a decision"
+    );
+    assert_eq!(
+        bad_decisions.load(Ordering::Relaxed),
+        0,
+        "torn-model decisions observed"
+    );
+
+    let metrics = service.metrics();
+    assert!(
+        metrics.model_swaps >= 3,
+        "only {} swaps reached the engine",
+        metrics.model_swaps
+    );
+    assert_eq!(metrics.retrains, ROUNDS);
+    assert_eq!(metrics.ingested_records, sent);
+    assert_eq!(metrics.dropped_batches, 0);
+
+    // Zero lost ingest records: every record sent is in exactly one shard.
+    let service = Arc::try_unwrap(service).expect("clients released the service");
+    let dbs = service.shutdown();
+    let total: usize = dbs.iter().map(|db| db.len()).sum();
+    assert_eq!(total as u64, sent, "records lost between ingest and shards");
+}

@@ -7,6 +7,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -56,10 +57,60 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]: the channel was full or all
+    /// receivers are gone; carries the unsent value back to the caller.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// The value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on an empty channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
 
     impl fmt::Display for RecvError {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -121,6 +172,24 @@ pub mod channel {
                 state = self.shared.send_ready.wait(state).unwrap();
             }
         }
+
+        /// Sends without blocking: fails with [`TrySendError::Full`] when a
+        /// bounded channel is at capacity (the backpressure signal) and
+        /// [`TrySendError::Disconnected`] once every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let full = state.capacity.is_some_and(|cap| state.queue.len() >= cap);
+            if full {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.recv_ready.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -162,6 +231,41 @@ pub mod channel {
             }
         }
 
+        /// Receives with a deadline: blocks until a value arrives, every
+        /// sender is gone, or `timeout` elapses — the batching-window
+        /// primitive of the serving layer.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.send_ready.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (next, result) = self
+                    .shared
+                    .recv_ready
+                    .wait_timeout(state, remaining)
+                    .unwrap();
+                state = next;
+                if result.timed_out() && state.queue.is_empty() {
+                    return if state.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
         /// Receives without blocking; `None` when empty or disconnected.
         pub fn try_recv(&self) -> Option<T> {
             let mut state = self.shared.state.lock().unwrap();
@@ -188,7 +292,16 @@ pub mod channel {
             let mut state = self.shared.state.lock().unwrap();
             state.receivers -= 1;
             if state.receivers == 0 {
+                // Crossbeam discards undelivered messages once the channel
+                // is receiver-disconnected. Destroying them matters beyond
+                // memory: queued request messages may own *reply* senders,
+                // and clients blocked on those replies only observe the
+                // disconnect when the queued request is dropped. Drop the
+                // messages outside the lock — their destructors may touch
+                // other channels.
+                let orphaned = std::mem::take(&mut state.queue);
                 drop(state);
+                drop(orphaned);
                 // Wake blocked senders so they observe the disconnect.
                 self.shared.send_ready.notify_all();
             }
@@ -244,6 +357,46 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(1));
             assert_eq!(rx.recv(), Ok(2));
             handle.join().unwrap();
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded::<i32>(1);
+            tx.try_send(1).unwrap();
+            assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+            assert_eq!(TrySendError::Full(5).into_inner(), 5);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<i32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn receiver_disconnect_drops_queued_messages() {
+            // A queued request owning a reply sender must be destroyed when
+            // the last receiver goes away, so the reply channel disconnects
+            // instead of leaving its client blocked forever.
+            let (tx, rx) = unbounded::<(i32, Sender<i32>)>();
+            let (reply_tx, reply_rx) = bounded::<i32>(1);
+            tx.send((1, reply_tx)).unwrap();
+            drop(rx); // server died without servicing the request
+            assert_eq!(reply_rx.recv(), Err(RecvError));
         }
 
         #[test]

@@ -1,15 +1,126 @@
-//! Offline shim for `rayon`: structured parallelism over `std::thread::scope`.
+//! Offline shim for `rayon`: structured parallelism over a persistent
+//! worker pool.
 //!
-//! Unlike real rayon there is no persistent worker pool — every `scope` /
-//! `join` call spawns OS threads (tens of microseconds each). Callers must
-//! therefore gate parallel paths behind a work-size threshold large enough
-//! to amortize spawn cost; `geomancy-nn` only goes parallel for batches of
-//! at least ~128 rows for exactly this reason.
+//! Earlier versions of this shim spawned OS threads per `scope` / `join`
+//! call (tens of microseconds each), which forced callers to gate parallel
+//! paths behind large work-size thresholds. The pool removes that spawn
+//! cost: one worker thread per hardware thread is started lazily on first
+//! use and reused for the life of the process, so dispatching a task costs
+//! a queue push plus a condvar wake (~1 µs).
+//!
+//! Deadlock freedom: a thread waiting for its scope's tasks to finish does
+//! not just block — it *helps*, popping and executing queued jobs (its own
+//! scope's or anyone else's). Nested scopes running on workers therefore
+//! always make progress even when every worker is inside a wait.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A queued unit of work. Jobs are erased to `'static` when pushed; the
+/// scope that spawned a job keeps its borrows alive until the job has run
+/// (see the safety comment in [`Scope::spawn`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed *and* when any scope task completes
+    /// (completion wakes helpers so they can re-check their scope's pending
+    /// count — both events share one condvar to avoid lost wakeups).
+    work_ready: Condvar,
+    workers: usize,
+}
+
+impl Pool {
+    fn push(&self, job: Job) {
+        self.queue.lock().expect("pool queue poisoned").push_back(job);
+        self.work_ready.notify_one();
+    }
+
+    fn worker_loop(&self) {
+        let mut queue = self.queue.lock().expect("pool queue poisoned");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                drop(queue);
+                job();
+                queue = self.queue.lock().expect("pool queue poisoned");
+            } else {
+                queue = self.work_ready.wait(queue).expect("pool queue poisoned");
+            }
+        }
+    }
+}
+
+/// The process-wide pool, started on first parallel call.
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+        pool
+    })
+}
+
+/// Shared completion state of one `scope` call.
+struct ScopeState {
+    /// Tasks spawned but not yet finished.
+    pending: AtomicUsize,
+    /// First panic payload raised by a task, rethrown by `scope`.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    /// Marks one task finished and wakes any helper blocked in
+    /// [`wait_for_completion`]. The pool lock is taken briefly before the
+    /// notify so a helper can never check `pending`, decide to sleep, and
+    /// miss this wakeup (the lock serializes the two).
+    fn complete_one(&self) {
+        self.pending.fetch_sub(1, Ordering::Release);
+        drop(pool().queue.lock().expect("pool queue poisoned"));
+        pool().work_ready.notify_all();
+    }
+}
+
+/// Blocks until every task of `state` finished, executing queued jobs while
+/// waiting so nested scopes on pool workers cannot deadlock.
+fn wait_for_completion(state: &ScopeState) {
+    let p = pool();
+    let mut queue = p.queue.lock().expect("pool queue poisoned");
+    loop {
+        if state.pending.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        if let Some(job) = queue.pop_front() {
+            drop(queue);
+            job();
+            queue = p.queue.lock().expect("pool queue poisoned");
+        } else {
+            queue = p.work_ready.wait(queue).expect("pool queue poisoned");
+        }
+    }
+}
 
 /// A scope in which borrowed-data tasks can be spawned; all tasks complete
 /// before [`scope`] returns.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope` (mirrors rayon): tasks may borrow from the
+    /// environment for exactly the scope's lifetime.
+    _marker: PhantomData<&'scope mut &'env ()>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
@@ -18,18 +129,63 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
-        let inner = self.inner;
-        inner.spawn(move || f(&Scope { inner }));
+        self.state.pending.fetch_add(1, Ordering::Release);
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope {
+                state: Arc::clone(&state),
+                _marker: PhantomData,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| f(&nested)));
+            if let Err(payload) = result {
+                state
+                    .panic
+                    .lock()
+                    .expect("scope panic slot poisoned")
+                    .get_or_insert(payload);
+            }
+            state.complete_one();
+        });
+        // SAFETY: the closure borrows data alive for `'scope`. `scope()`
+        // (the only constructor of a root `Scope`) does not return until
+        // `pending` hits zero, i.e. until this job has fully executed, so
+        // every borrow outlives the job. The transmute only erases the
+        // lifetime parameter of the trait object; layout is identical.
+        let task: Job = unsafe { std::mem::transmute(task) };
+        pool().push(task);
     }
 }
 
 /// Runs `f` with a [`Scope`]; blocks until every spawned task finishes.
-/// Panics from tasks propagate to the caller (via `std::thread::scope`).
+/// Panics from tasks propagate to the caller.
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    std::thread::scope(|s| f(&Scope { inner: s }))
+    let state = Arc::new(ScopeState {
+        pending: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    });
+    let scope_handle = Scope {
+        state: Arc::clone(&state),
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope_handle)));
+    // Tasks may still be running and borrowing the environment: always wait
+    // for all of them, even when `f` itself panicked.
+    wait_for_completion(&state);
+    if let Some(payload) = state
+        .panic
+        .lock()
+        .expect("scope panic slot poisoned")
+        .take()
+    {
+        resume_unwind(payload);
+    }
+    match result {
+        Ok(value) => value,
+        Err(payload) => resume_unwind(payload),
+    }
 }
 
 /// Runs the two closures, potentially in parallel, returning both results.
@@ -40,18 +196,21 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let handle = s.spawn(a);
-        let rb = b();
-        (handle.join().expect("rayon::join task panicked"), rb)
-    })
+    let mut ra = None;
+    let rb;
+    {
+        let ra = &mut ra;
+        rb = scope(|s| {
+            s.spawn(move |_| *ra = Some(a()));
+            b()
+        });
+    }
+    (ra.expect("join task completed"), rb)
 }
 
-/// Available hardware parallelism (real rayon reports its pool size).
+/// Number of worker threads in the persistent pool.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool().workers
 }
 
 #[cfg(test)]
@@ -90,13 +249,60 @@ mod tests {
     }
 
     #[test]
+    fn nested_scope_inside_worker_makes_progress() {
+        // Saturate the pool with tasks that each open an inner scope; the
+        // help-while-waiting protocol must drain them all.
+        let counter = AtomicUsize::new(0);
+        let outer = current_num_threads() * 4 + 2;
+        scope(|s| {
+            for _ in 0..outer {
+                s.spawn(|_| {
+                    scope(|inner| {
+                        inner.spawn(|_| {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        });
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), outer);
+    }
+
+    #[test]
     fn join_returns_both_results() {
         let (a, b) = join(|| 2 + 2, || "ok".len());
         assert_eq!((a, b), (4, 2));
     }
 
     #[test]
+    fn task_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task failure"));
+            });
+        });
+        assert!(result.is_err());
+        // The pool must remain usable after a panicking task.
+        let (a, b) = join(|| 1, || 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
     fn num_threads_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn repeated_scopes_reuse_the_pool() {
+        // Thousands of scopes complete quickly only if threads are reused.
+        let counter = AtomicUsize::new(0);
+        for _ in 0..2000 {
+            scope(|s| {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 2000);
     }
 }

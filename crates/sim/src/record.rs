@@ -26,6 +26,22 @@ impl std::fmt::Display for FileId {
     }
 }
 
+impl FileId {
+    /// A well-mixed 64-bit hash of the id (splitmix64 finalizer).
+    ///
+    /// Workload file ids are small sequential integers, so `id % shards`
+    /// would stripe neighbouring files across shards in lockstep; the
+    /// serving layer keys its shard map on this hash instead to spread any
+    /// id distribution evenly. Deterministic across runs and platforms —
+    /// WAL recovery must rebuild the same shard assignment.
+    pub fn stable_hash(self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 /// One monitored file access, from open to close.
 ///
 /// Throughput is *derived*, not stored, via [`AccessRecord::throughput`] —
@@ -159,5 +175,20 @@ mod tests {
     fn ids_display() {
         assert_eq!(DeviceId(3).to_string(), "dev3");
         assert_eq!(FileId(9).to_string(), "file9");
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_mixes() {
+        assert_eq!(FileId(7).stable_hash(), FileId(7).stable_hash());
+        assert_ne!(FileId(7).stable_hash(), FileId(8).stable_hash());
+        // Sequential ids must not stripe modulo a small shard count: over
+        // 1024 consecutive ids, every one of 4 shards gets a fair share.
+        let mut counts = [0usize; 4];
+        for id in 0..1024u64 {
+            counts[(FileId(id).stable_hash() % 4) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((180..=330).contains(&c), "skewed shard counts {counts:?}");
+        }
     }
 }

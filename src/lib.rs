@@ -10,6 +10,7 @@
 //! - [`sim`] — the simulated Bluesky storage substrate
 //! - [`trace`] — BELLE II / EOS workload and trace generators
 //! - [`replaydb`] — the timestamp-indexed performance record store
+//! - [`serve`] — sharded online placement service with batched queries
 //!
 //! See `examples/quickstart.rs` for the end-to-end loop.
 
@@ -18,5 +19,6 @@
 pub use geomancy_core as core;
 pub use geomancy_nn as nn;
 pub use geomancy_replaydb as replaydb;
+pub use geomancy_serve as serve;
 pub use geomancy_sim as sim;
 pub use geomancy_trace as trace;
