@@ -10,6 +10,17 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+/// A replayed WAL: the rebuilt database, how many entries replayed, and
+/// where the committed prefix of the file ends.
+struct Replayed {
+    db: ReplayDb,
+    replayed: u64,
+    /// Byte offset just past the last committed entry — the length to
+    /// truncate the file to before appending to it again (everything
+    /// beyond is a torn tail from a crash mid-append).
+    committed_bytes: u64,
+}
+
 use geomancy_sim::record::AccessRecord;
 use serde::{Deserialize, Serialize};
 
@@ -139,21 +150,66 @@ pub fn recover_shards(
     Ok(out)
 }
 
-/// Replays a WAL into a fresh [`ReplayDb`]. A malformed or truncated final
-/// line (crash mid-append) is tolerated; malformed lines elsewhere are
-/// errors. Returns the database and the number of entries replayed.
+/// Replays a WAL into a fresh [`ReplayDb`]. An entry is *committed* only
+/// if its line is newline-terminated and parses; a malformed or
+/// unterminated final line (crash mid-append) is tolerated and dropped,
+/// while malformed lines elsewhere are errors. Returns the database and
+/// the number of entries replayed.
+///
+/// To recover a log you intend to keep appending to, use
+/// [`recover_for_append`] instead — it also truncates the torn tail so
+/// the next append starts on a fresh line.
 ///
 /// # Errors
 ///
 /// Returns an I/O error, or a format error for corruption before the tail.
 pub fn recover(path: impl AsRef<Path>) -> Result<(ReplayDb, u64), PersistError> {
+    let r = replay(path)?;
+    Ok((r.db, r.replayed))
+}
+
+/// Recovers like [`recover`], then truncates the log to the end of its
+/// committed prefix. Without the truncation, reopening the log in append
+/// mode after a torn-tail crash would concatenate the first new entry onto
+/// the partial line — producing a malformed line in the *middle* of the
+/// file, which a later recovery rightly rejects as corruption.
+///
+/// # Errors
+///
+/// Returns an I/O error, or a format error for corruption before the tail.
+pub fn recover_for_append(path: impl AsRef<Path>) -> Result<(ReplayDb, u64), PersistError> {
+    let path = path.as_ref();
+    let r = replay(path)?;
+    let file = OpenOptions::new().write(true).open(path)?;
+    if file.metadata()?.len() > r.committed_bytes {
+        file.set_len(r.committed_bytes)?;
+        file.sync_all()?;
+    }
+    Ok((r.db, r.replayed))
+}
+
+/// The shared replay scan behind [`recover`] and [`recover_for_append`].
+fn replay(path: impl AsRef<Path>) -> Result<Replayed, PersistError> {
     let file = File::open(path)?;
-    let reader = BufReader::new(file);
+    let mut reader = BufReader::new(file);
     let mut db = ReplayDb::new();
     let mut replayed = 0u64;
+    let mut committed_bytes = 0u64;
+    let mut pos = 0u64;
     let mut pending_error: Option<serde_json::Error> = None;
-    for line in reader.lines() {
-        let line = line?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        pos += n as u64;
+        // Only a newline-terminated line is committed: an unterminated
+        // final line — even one that happens to parse — is a tail the
+        // crash interrupted, so it is dropped rather than replayed (it
+        // would be truncated away by `recover_for_append` anyway).
+        let terminated = line.ends_with('\n');
         if line.trim().is_empty() {
             continue;
         }
@@ -161,16 +217,22 @@ pub fn recover(path: impl AsRef<Path>) -> Result<(ReplayDb, u64), PersistError> 
         if let Some(e) = pending_error.take() {
             return Err(PersistError::Format(e));
         }
-        match serde_json::from_str::<WalEntry>(&line) {
-            Ok(entry) => {
+        match serde_json::from_str::<WalEntry>(line.trim_end()) {
+            Ok(entry) if terminated => {
                 db.insert(entry.t, entry.r);
                 replayed += 1;
+                committed_bytes = pos;
             }
+            Ok(_) => {}
             Err(e) => pending_error = Some(e),
         }
     }
     // A trailing partial line is dropped silently (crash tolerance).
-    Ok((db, replayed))
+    Ok(Replayed {
+        db,
+        replayed,
+        committed_bytes,
+    })
 }
 
 #[cfg(test)]
@@ -253,6 +315,62 @@ mod tests {
         let (db, replayed) = recover(&path).unwrap();
         assert_eq!(replayed, 1);
         assert_eq!(db.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_then_append_recovers_everything() {
+        // The crash-restart cycle: a torn tail must not corrupt the line
+        // the first post-restart append writes, and the NEXT recovery must
+        // see every committed entry plus the new one.
+        let path = temp_path("torn_append.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = WalWriter::open(&path).unwrap();
+            wal.append(0, rec(0)).unwrap();
+            wal.append(1, rec(1)).unwrap();
+            wal.flush().unwrap();
+        }
+        // Crash mid-append: chop the file mid-line.
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &contents[..contents.len() - 20]).unwrap();
+        // Restart: recover for append, then keep writing.
+        let (db, replayed) = recover_for_append(&path).unwrap();
+        assert_eq!(replayed, 1);
+        assert_eq!(db.len(), 1);
+        {
+            let mut wal = WalWriter::open(&path).unwrap();
+            wal.append(2, rec(2)).unwrap();
+            wal.flush().unwrap();
+        }
+        // Second restart: both the surviving prefix and the post-restart
+        // entry replay cleanly (no malformed line mid-file).
+        let (db, replayed) = recover(&path).unwrap();
+        assert_eq!(replayed, 2);
+        assert_eq!(db.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unterminated_final_line_is_not_committed() {
+        // A final line that parses but lacks its newline was interrupted
+        // before the terminator landed: it is dropped, not replayed, and
+        // recover_for_append trims it so the file stays append-safe.
+        let path = temp_path("unterminated.wal");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = WalWriter::open(&path).unwrap();
+            wal.append(0, rec(0)).unwrap();
+            wal.append(1, rec(1)).unwrap();
+            wal.flush().unwrap();
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, contents.trim_end()).unwrap();
+        let (_, replayed) = recover(&path).unwrap();
+        assert_eq!(replayed, 1);
+        let (_, replayed) = recover_for_append(&path).unwrap();
+        assert_eq!(replayed, 1);
+        assert!(std::fs::read_to_string(&path).unwrap().ends_with('\n'));
         std::fs::remove_file(&path).ok();
     }
 

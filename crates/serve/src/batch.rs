@@ -112,10 +112,14 @@ impl ModelSlot {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// Publishes `engine` as the next model; returns its epoch.
+    /// Publishes `engine` as the next model; returns its epoch. The epoch
+    /// is minted while holding `incoming`'s lock, so concurrent publishers
+    /// serialize and every published model gets a distinct epoch (the
+    /// service has a single trainer, but the API does not rely on that).
     pub fn publish(&self, engine: DrlEngine) -> u64 {
+        let mut incoming = self.incoming.lock().expect("model slot poisoned");
         let epoch = self.epoch.load(Ordering::Relaxed) + 1;
-        *self.incoming.lock().expect("model slot poisoned") = Some((epoch, engine));
+        *incoming = Some((epoch, engine));
         self.epoch.store(epoch, Ordering::Release);
         epoch
     }

@@ -19,9 +19,16 @@ pub struct ServeMetrics {
     pub ingested_records: AtomicU64,
     /// Ingest batches accepted (post-routing, one per shard touched).
     pub ingest_batches: AtomicU64,
-    /// Ingest batches rejected by backpressure (`try_ingest` on a full
-    /// shard queue). The records of a rejected batch are *not* ingested.
+    /// Per-shard sub-batches rejected by backpressure: when `try_ingest`
+    /// hits a full shard queue, the failed sub-batch *and* every sub-batch
+    /// it had not yet sent count here (one call can route to several
+    /// shards, so one rejected call may drop several sub-batches).
     pub dropped_batches: AtomicU64,
+    /// Records inside dropped sub-batches — none of these were ingested.
+    /// `ingested_records + dropped_records` equals the records offered to
+    /// `try_ingest`/`ingest` (sub-batches queued before the full shard was
+    /// hit stay queued and count as ingested).
+    pub dropped_records: AtomicU64,
     /// Per-shard queued-batch depth (incremented on enqueue, decremented
     /// when the shard actor finishes the batch).
     pub queue_depth: Vec<AtomicUsize>,
@@ -53,6 +60,7 @@ impl ServeMetrics {
             ingested_records: AtomicU64::new(0),
             ingest_batches: AtomicU64::new(0),
             dropped_batches: AtomicU64::new(0),
+            dropped_records: AtomicU64::new(0),
             queue_depth: (0..shards).map(|_| AtomicUsize::new(0)).collect(),
             decisions: AtomicU64::new(0),
             batched_decisions: AtomicU64::new(0),
@@ -79,6 +87,7 @@ impl ServeMetrics {
             ingested_records: self.ingested_records.load(Ordering::Relaxed),
             ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
             dropped_batches: self.dropped_batches.load(Ordering::Relaxed),
+            dropped_records: self.dropped_records.load(Ordering::Relaxed),
             queue_depth: self
                 .queue_depth
                 .iter()
@@ -109,6 +118,8 @@ pub struct MetricsSnapshot {
     pub ingest_batches: u64,
     /// See [`ServeMetrics::dropped_batches`].
     pub dropped_batches: u64,
+    /// See [`ServeMetrics::dropped_records`].
+    pub dropped_records: u64,
     /// See [`ServeMetrics::queue_depth`].
     pub queue_depth: Vec<usize>,
     /// See [`ServeMetrics::decisions`].

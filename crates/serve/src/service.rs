@@ -136,7 +136,8 @@ impl PlacementService {
     }
 
     /// Non-blocking ingest: a full shard queue rejects the call with
-    /// [`Backpressure`] (counted in `dropped_batches`).
+    /// [`Backpressure`] (unsent sub-batches are counted in
+    /// `dropped_batches` and their records in `dropped_records`).
     ///
     /// # Errors
     ///

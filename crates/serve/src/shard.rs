@@ -101,8 +101,12 @@ impl ShardSet {
                 None => (ReplayDb::new(), None),
                 Some(dir) => {
                     let path = shard_path(dir, i);
+                    // `recover_for_append` also truncates a torn tail left
+                    // by a crash mid-append, so the append-mode reopen
+                    // below starts on a fresh line instead of gluing the
+                    // first new entry onto the partial one.
                     let db = if path.exists() {
-                        geomancy_replaydb::wal::recover(&path)
+                        geomancy_replaydb::wal::recover_for_append(&path)
                             .expect("shard WAL recovery failed")
                             .0
                     } else {
@@ -191,14 +195,18 @@ impl ShardSet {
     ///
     /// # Errors
     ///
-    /// Returns [`Backpressure`] naming the full shard; the metrics'
-    /// `dropped_batches` counter is bumped.
+    /// Returns [`Backpressure`] naming the full shard. The failed
+    /// sub-batch and every sub-batch not yet sent count toward the
+    /// metrics' `dropped_batches`, and their records toward
+    /// `dropped_records`, so shed load is fully accounted even when part
+    /// of the call was already queued.
     pub fn try_ingest(
         &self,
         timestamp_micros: u64,
         records: &[AccessRecord],
     ) -> Result<(), Backpressure> {
-        for (shard, sub) in self.route(records) {
+        let mut routed = self.route(records).into_iter();
+        while let Some((shard, sub)) = routed.next() {
             let n = sub.len() as u64;
             self.metrics.queue_depth[shard].fetch_add(1, Ordering::Relaxed);
             match self.senders[shard].try_send(ShardMsg::Batch {
@@ -213,7 +221,17 @@ impl ShardSet {
                 }
                 Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
                     self.metrics.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
-                    self.metrics.dropped_batches.fetch_add(1, Ordering::Relaxed);
+                    let (mut batches, mut dropped) = (1u64, n);
+                    for (_, rest) in routed {
+                        batches += 1;
+                        dropped += rest.len() as u64;
+                    }
+                    self.metrics
+                        .dropped_batches
+                        .fetch_add(batches, Ordering::Relaxed);
+                    self.metrics
+                        .dropped_records
+                        .fetch_add(dropped, Ordering::Relaxed);
                     return Err(Backpressure { shard });
                 }
             }
@@ -350,7 +368,44 @@ mod tests {
         assert_eq!(queued + dropped, 200);
         let dbs = set.shutdown();
         assert_eq!(dbs[0].len(), queued);
-        assert_eq!(metrics.snapshot().dropped_batches, dropped as u64);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.dropped_batches, dropped as u64);
+        assert_eq!(snap.dropped_records, dropped as u64);
+    }
+
+    #[test]
+    fn dropped_records_account_for_every_unsent_sub_batch() {
+        // Batches spanning both shards: when one shard's queue fills, the
+        // failed sub-batch AND any not-yet-sent sub-batch must be counted,
+        // so ingested + dropped always equals the records offered.
+        let metrics = Arc::new(ServeMetrics::new(2));
+        let set = ShardSet::spawn(2, 1, None, Arc::clone(&metrics));
+        // Two fids guaranteed to land on different shards.
+        let fid_a = (0u64..).find(|&f| shard_of(FileId(f), 2) == 0).unwrap();
+        let fid_b = (0u64..).find(|&f| shard_of(FileId(f), 2) == 1).unwrap();
+        let mut offered = 0u64;
+        let mut saw_drop = false;
+        for round in 0..50_000u64 {
+            let batch = [rec(round * 2, fid_a), rec(round * 2 + 1, fid_b)];
+            offered += batch.len() as u64;
+            if set.try_ingest(round, &batch).is_err() {
+                saw_drop = true;
+                if round > 1000 {
+                    break;
+                }
+            }
+        }
+        let _ = set.shutdown();
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.ingested_records + snap.dropped_records,
+            offered,
+            "shed records must be fully accounted"
+        );
+        if saw_drop {
+            assert!(snap.dropped_batches >= 1);
+            assert!(snap.dropped_records >= snap.dropped_batches);
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! function of the telemetry window, which is what makes the hot-swap
 //! soak test's "no torn model" claim checkable.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -53,6 +54,12 @@ enum TrainerMsg {
 pub struct Trainer {
     tx: Sender<TrainerMsg>,
     handle: Option<JoinHandle<()>>,
+    /// Whether an async (fire-and-forget) retrain request is already
+    /// queued. [`Trainer::request_retrain`] only enqueues when it flips
+    /// this false→true, so a burst of ingest-driven triggers coalesces to
+    /// at most one queued cycle instead of piling up stale back-to-back
+    /// cycles when a retrain takes longer than the trigger interval.
+    async_queued: Arc<AtomicBool>,
 }
 
 /// Everything one retrain cycle needs, bundled for the thread.
@@ -83,6 +90,8 @@ impl Trainer {
             metrics,
         };
         let (tx, rx) = unbounded();
+        let async_queued = Arc::new(AtomicBool::new(false));
+        let queued_flag = Arc::clone(&async_queued);
         let handle = std::thread::Builder::new()
             .name("geomancy-trainer".into())
             .spawn(move || {
@@ -90,6 +99,12 @@ impl Trainer {
                     match msg {
                         TrainerMsg::Shutdown => break,
                         TrainerMsg::TrainNow { reply } => {
+                            // Clear the coalescing flag before training so
+                            // a trigger arriving mid-cycle earns one
+                            // follow-up cycle over the newer data.
+                            if reply.is_none() {
+                                queued_flag.store(false, Ordering::Release);
+                            }
                             let outcome = train_once(&state);
                             if let Some(reply) = reply {
                                 let _ = reply.send(outcome);
@@ -102,6 +117,7 @@ impl Trainer {
         Trainer {
             tx,
             handle: Some(handle),
+            async_queued,
         }
     }
 
@@ -119,9 +135,17 @@ impl Trainer {
         rx.recv().map_err(|_| TrainError::TrainerDown)?
     }
 
-    /// Queues a retrain cycle without waiting for it.
+    /// Queues a retrain cycle without waiting for it. Requests coalesce:
+    /// while one async cycle is already queued, further requests are
+    /// no-ops (the queued cycle will train on the newer data anyway).
     pub fn request_retrain(&self) {
-        let _ = self.tx.send(TrainerMsg::TrainNow { reply: None });
+        if self
+            .async_queued
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            let _ = self.tx.send(TrainerMsg::TrainNow { reply: None });
+        }
     }
 
     /// Stops the trainer after queued cycles complete.

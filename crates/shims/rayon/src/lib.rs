@@ -9,9 +9,16 @@
 //! a queue push plus a condvar wake (~1 µs).
 //!
 //! Deadlock freedom: a thread waiting for its scope's tasks to finish does
-//! not just block — it *helps*, popping and executing queued jobs (its own
-//! scope's or anyone else's). Nested scopes running on workers therefore
-//! always make progress even when every worker is inside a wait.
+//! not just block — it *helps*, popping and executing queued jobs of *its
+//! own scope only*. That is enough for progress: every queued job belongs
+//! to some scope, and every scope's owner ends in [`scope`]'s wait, where
+//! it drains its own jobs inline — so nested scopes on workers always make
+//! progress even when every worker is inside a wait. Restricting help to
+//! the waiter's own scope keeps a latency-critical caller (e.g. the query
+//! engine waiting on a small predict batch) from being drafted into
+//! executing an unrelated large training chunk inline, and bounds the
+//! helper's inline recursion by the scope nesting depth rather than the
+//! queue contents.
 
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -19,10 +26,17 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
-/// A queued unit of work. Jobs are erased to `'static` when pushed; the
-/// scope that spawned a job keeps its borrows alive until the job has run
-/// (see the safety comment in [`Scope::spawn`]).
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A queued unit of work. The closure is erased to `'static` when pushed;
+/// the scope that spawned a job keeps its borrows alive until the job has
+/// run (see the safety comment in [`Scope::spawn`]).
+struct Job {
+    /// Identity of the owning [`ScopeState`] (its allocation address),
+    /// letting a waiter pick its own scope's jobs out of the queue. Only
+    /// compared for equality, and the queued closure holds an `Arc` to the
+    /// state, so the address stays valid while the job is queued.
+    scope_tag: usize,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
 
 struct Pool {
     queue: Mutex<VecDeque<Job>>,
@@ -36,15 +50,20 @@ struct Pool {
 impl Pool {
     fn push(&self, job: Job) {
         self.queue.lock().expect("pool queue poisoned").push_back(job);
-        self.work_ready.notify_one();
+        // notify_all, not notify_one: a single wakeup could land on a
+        // scope waiter that cannot run this (foreign) job and would go
+        // back to sleep, leaving the job stranded until the next notify.
+        self.work_ready.notify_all();
     }
 
+    /// Workers run *any* queued job; only scope waiters restrict
+    /// themselves to their own scope (see [`wait_for_completion`]).
     fn worker_loop(&self) {
         let mut queue = self.queue.lock().expect("pool queue poisoned");
         loop {
             if let Some(job) = queue.pop_front() {
                 drop(queue);
-                job();
+                (job.run)();
                 queue = self.queue.lock().expect("pool queue poisoned");
             } else {
                 queue = self.work_ready.wait(queue).expect("pool queue poisoned");
@@ -95,18 +114,23 @@ impl ScopeState {
     }
 }
 
-/// Blocks until every task of `state` finished, executing queued jobs while
-/// waiting so nested scopes on pool workers cannot deadlock.
+/// Blocks until every task of `state` finished, executing queued jobs *of
+/// this scope only* while waiting — nested scopes on pool workers cannot
+/// deadlock (each waiter can always drain its own scope's queued jobs),
+/// and a waiter is never drafted into running an unrelated scope's work,
+/// which would inflate its latency by an arbitrary foreign job's runtime.
 fn wait_for_completion(state: &ScopeState) {
+    let tag = state as *const ScopeState as usize;
     let p = pool();
     let mut queue = p.queue.lock().expect("pool queue poisoned");
     loop {
         if state.pending.load(Ordering::Acquire) == 0 {
             return;
         }
-        if let Some(job) = queue.pop_front() {
+        if let Some(idx) = queue.iter().position(|j| j.scope_tag == tag) {
+            let job = queue.remove(idx).expect("indexed job present");
             drop(queue);
-            job();
+            (job.run)();
             queue = p.queue.lock().expect("pool queue poisoned");
         } else {
             queue = p.work_ready.wait(queue).expect("pool queue poisoned");
@@ -130,6 +154,7 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
     {
         self.state.pending.fetch_add(1, Ordering::Release);
+        let scope_tag = Arc::as_ptr(&self.state) as usize;
         let state = Arc::clone(&self.state);
         let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             let nested = Scope {
@@ -151,8 +176,8 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // `pending` hits zero, i.e. until this job has fully executed, so
         // every borrow outlives the job. The transmute only erases the
         // lifetime parameter of the trait object; layout is identical.
-        let task: Job = unsafe { std::mem::transmute(task) };
-        pool().push(task);
+        let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        pool().push(Job { scope_tag, run });
     }
 }
 
