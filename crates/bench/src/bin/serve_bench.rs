@@ -26,6 +26,17 @@ use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
 
 const SHARDS: usize = 4;
 
+/// Live thread count of this process (Linux); 0 if unreadable.
+///
+/// Sampled mid-load to show the reactor pool's footprint: the old
+/// thread-per-shard/-client layout scaled with topology, the shared
+/// reactor holds a fixed worker pool regardless of shard count.
+fn process_threads() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
 fn drl() -> DrlConfig {
     DrlConfig {
         train_window: 800,
@@ -45,7 +56,14 @@ fn serve_config(max_batch: usize) -> ServeConfig {
     }
 }
 
-fn run_mode(mode: QueryMode, load: &LoadConfig) -> LoadReport {
+/// Load report plus the runtime footprint observed while serving it.
+struct ModeRun {
+    report: LoadReport,
+    reactor_workers: usize,
+    threads_live: usize,
+}
+
+fn run_mode(mode: QueryMode, load: &LoadConfig) -> ModeRun {
     let max_batch = match mode {
         QueryMode::PerFile => 1,
         QueryMode::Batched => 256,
@@ -58,10 +76,16 @@ fn run_mode(mode: QueryMode, load: &LoadConfig) -> LoadReport {
             ..load.clone()
         },
     );
+    let reactor_workers = service.reactor_workers();
+    let threads_live = process_threads();
     Arc::try_unwrap(service)
         .expect("load driver released the service")
         .shutdown();
-    report
+    ModeRun {
+        report,
+        reactor_workers,
+        threads_live,
+    }
 }
 
 /// Soak record for the JSON artifact.
@@ -98,7 +122,9 @@ fn hot_swap_soak(rounds: u64) -> Soak {
                 .collect();
             while !stop.load(Ordering::Relaxed) {
                 match service.query_many(&requests) {
-                    Err(QueryError::NotReady) => std::thread::yield_now(),
+                    Err(QueryError::NotReady) | Err(QueryError::Overloaded) => {
+                        std::thread::yield_now()
+                    }
                     Err(QueryError::ServiceDown) => break,
                     Ok(decisions) => {
                         let published = service.published_epoch();
@@ -191,9 +217,15 @@ fn main() {
         load.measured_runs,
         if fast { " (fast mode)" } else { "" },
     );
-    let per_file = run_mode(QueryMode::PerFile, &load);
-    let batched = run_mode(QueryMode::Batched, &load);
+    let per_file_run = run_mode(QueryMode::PerFile, &load);
+    let batched_run = run_mode(QueryMode::Batched, &load);
+    let per_file = &per_file_run.report;
+    let batched = &batched_run.report;
     let speedup = batched.decisions_per_sec / per_file.decisions_per_sec;
+    println!(
+        "runtime footprint: {} reactor workers, {} process threads mid-load",
+        batched_run.reactor_workers, batched_run.threads_live,
+    );
 
     print_table(
         "Batched query engine: per-file baseline vs fused submissions",
@@ -252,12 +284,14 @@ fn main() {
         "file_count": load.file_count,
         "measured_runs": load.measured_runs,
         "fast_mode": fast,
+        "reactor_workers": batched_run.reactor_workers,
         "per_file": {
             "decisions": per_file.decisions,
             "elapsed_secs": per_file.elapsed_secs,
             "decisions_per_sec": per_file.decisions_per_sec,
             "coalesced_decisions": per_file.metrics.coalesced_decisions,
             "fused_rows": per_file.metrics.fused_rows,
+            "threads_live": per_file_run.threads_live,
         },
         "batched": {
             "decisions": batched.decisions,
@@ -265,6 +299,7 @@ fn main() {
             "decisions_per_sec": batched.decisions_per_sec,
             "coalesced_decisions": batched.metrics.coalesced_decisions,
             "fused_rows": batched.metrics.fused_rows,
+            "threads_live": batched_run.threads_live,
         },
         "speedup": speedup,
         "hot_swap_soak": {

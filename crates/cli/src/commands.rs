@@ -56,6 +56,8 @@ COMMANDS:
                   --batch-window-us N batching window in µs (default 100)
                   --max-batch N       max requests fused per pass (default 256)
                   --queue-capacity N  shard/query queue depth (default 1024)
+                  --reactor-workers N reactor pool threads (default 0 = auto)
+                  --max-pending N     shed queries above N in flight (default off)
                   --retrains N        mid-load retrain cycles (default 1)
                   --per-file          per-file baseline (no batched submissions)
                   --wal-dir PATH      per-shard write-ahead log directory
@@ -387,7 +389,7 @@ fn model_spec(id: ModelId, z: usize, timesteps: usize) -> geomancy_nn::spec::Net
 /// `--strict` — a run that served no decisions, dropped ingest batches,
 /// or stamped an invalid model epoch on a decision.
 pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
-    use geomancy_serve::{LoadConfig, PlacementService, QueryMode, ServeConfig};
+    use geomancy_serve::{AdmissionConfig, LoadConfig, PlacementService, QueryMode, ServeConfig};
     use geomancy_sim::record::DeviceId;
     use std::sync::Arc;
 
@@ -417,6 +419,15 @@ pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
             ..DrlConfig::default()
         },
         retrain_every_records: None,
+        reactor_workers: args.u64_or("reactor-workers", 0)? as usize,
+        admission: AdmissionConfig {
+            max_pending_requests: args
+                .options
+                .get("max-pending")
+                .map(|v| v.parse())
+                .transpose()?,
+            ..AdmissionConfig::default()
+        },
     };
     let load_config = LoadConfig {
         seed: args.u64_or("seed", 42)?,
@@ -427,11 +438,14 @@ pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
         mode,
         mid_load_retrains: args.u64_or("retrains", 1)? as usize,
     };
-    println!(
-        "serving BELLE II load: {} shards, {} clients, mode {:?}…",
-        shards, load_config.clients, load_config.mode
-    );
     let service = Arc::new(PlacementService::start(serve_config));
+    println!(
+        "serving BELLE II load: {} shards, {} clients, mode {:?}, {} reactor workers…",
+        shards,
+        load_config.clients,
+        load_config.mode,
+        service.reactor_workers(),
+    );
     let report = geomancy_serve::run_belle2_load(&service, &load_config);
     let shard_dbs = Arc::try_unwrap(service)
         .expect("load driver released the service")

@@ -2,19 +2,28 @@
 //! parallel requests to be sent between the target system, Geomancy, and
 //! internally within Geomancy."
 //!
-//! The daemon owns the ReplayDB behind a message channel: monitoring agents
+//! The daemon owns the ReplayDB behind a message mailbox: monitoring agents
 //! push record batches, the DRL engine pulls training batches, and both can
 //! do so concurrently from different threads. In the paper the hops are
-//! network sockets; here they are crossbeam channels with the same ordered
-//! request/response contract.
+//! network sockets; here they are messages to a [`geomancy_runtime`] actor
+//! with the same ordered request/response contract.
+//!
+//! The daemon is a state machine on the reactor, not a thread of its own:
+//! [`InterfaceDaemon::spawn`] gives it a private single-worker reactor for
+//! drop-in use, while [`InterfaceDaemon::spawn_on`] places it on a shared
+//! pool next to other control-plane actors (see
+//! [`crate::scheduler::MovePlanner`]).
 
 use std::collections::BTreeMap;
-use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, Sender};
 use geomancy_replaydb::db::LayoutEvent;
 use geomancy_replaydb::ReplayDb;
+use geomancy_runtime::{Actor, ActorHandle, Addr, Ctx, Reactor, ReactorConfig, StoppedReactor};
 use geomancy_sim::record::{AccessRecord, DeviceId};
+
+/// Mailbox depth before producers feel backpressure (blocking sends).
+const DAEMON_MAILBOX: usize = 1024;
 
 /// Requests the daemon accepts.
 enum Request {
@@ -33,7 +42,37 @@ enum Request {
     Snapshot {
         reply: Sender<ReplayDb>,
     },
-    Shutdown,
+}
+
+/// The actor owning the database. If it panics (e.g. an out-of-order
+/// insert violating the ReplayDb contract), the reactor isolates it and
+/// purges its mailbox, so queued reply senders drop and every waiting
+/// client observes [`DaemonGone`] instead of hanging.
+struct DaemonActor {
+    db: ReplayDb,
+}
+
+impl Actor for DaemonActor {
+    type Msg = Request;
+
+    fn on_msg(&mut self, msg: Request, _ctx: &mut Ctx<'_>) {
+        match msg {
+            Request::StoreBatch {
+                timestamp_micros,
+                records,
+            } => self.db.insert_batch(timestamp_micros, &records),
+            Request::RecordLayoutEvent(event) => self.db.record_layout_event(event),
+            Request::QueryRecentPerDevice { x, reply } => {
+                let _ = reply.send(self.db.recent_per_device(x));
+            }
+            Request::QueryLen { reply } => {
+                let _ = reply.send(self.db.len());
+            }
+            Request::Snapshot { reply } => {
+                let _ = reply.send(self.db.clone());
+            }
+        }
+    }
 }
 
 /// Errors returned by [`DaemonClient`] calls.
@@ -51,7 +90,7 @@ impl std::error::Error for DaemonGone {}
 /// A cloneable handle for talking to the daemon.
 #[derive(Debug, Clone)]
 pub struct DaemonClient {
-    sender: Sender<Request>,
+    addr: Addr<Request>,
 }
 
 impl DaemonClient {
@@ -65,7 +104,7 @@ impl DaemonClient {
         timestamp_micros: u64,
         records: Vec<AccessRecord>,
     ) -> Result<(), DaemonGone> {
-        self.sender
+        self.addr
             .send(Request::StoreBatch {
                 timestamp_micros,
                 records,
@@ -79,12 +118,12 @@ impl DaemonClient {
     ///
     /// Returns [`DaemonGone`] if the daemon has shut down.
     pub fn record_layout_event(&self, event: LayoutEvent) -> Result<(), DaemonGone> {
-        self.sender
+        self.addr
             .send(Request::RecordLayoutEvent(event))
             .map_err(|_| DaemonGone)
     }
 
-    /// The §V-E training-batch query, answered by the daemon thread.
+    /// The §V-E training-batch query, answered by the daemon actor.
     ///
     /// # Errors
     ///
@@ -94,7 +133,7 @@ impl DaemonClient {
         x: usize,
     ) -> Result<BTreeMap<DeviceId, Vec<AccessRecord>>, DaemonGone> {
         let (reply, rx) = bounded(1);
-        self.sender
+        self.addr
             .send(Request::QueryRecentPerDevice { x, reply })
             .map_err(|_| DaemonGone)?;
         rx.recv().map_err(|_| DaemonGone)
@@ -107,7 +146,7 @@ impl DaemonClient {
     /// Returns [`DaemonGone`] if the daemon has shut down.
     pub fn len(&self) -> Result<usize, DaemonGone> {
         let (reply, rx) = bounded(1);
-        self.sender
+        self.addr
             .send(Request::QueryLen { reply })
             .map_err(|_| DaemonGone)?;
         rx.recv().map_err(|_| DaemonGone)
@@ -129,81 +168,83 @@ impl DaemonClient {
     /// Returns [`DaemonGone`] if the daemon has shut down.
     pub fn snapshot(&self) -> Result<ReplayDb, DaemonGone> {
         let (reply, rx) = bounded(1);
-        self.sender
+        self.addr
             .send(Request::Snapshot { reply })
             .map_err(|_| DaemonGone)?;
         rx.recv().map_err(|_| DaemonGone)
     }
 }
 
-/// The daemon: a thread owning the ReplayDB.
+/// The daemon: a reactor actor owning the ReplayDB.
 #[derive(Debug)]
 pub struct InterfaceDaemon {
-    handle: Option<JoinHandle<ReplayDb>>,
-    sender: Sender<Request>,
+    /// Present only for standalone daemons from [`InterfaceDaemon::spawn`].
+    own_reactor: Option<Reactor>,
+    handle: Option<ActorHandle<DaemonActor>>,
+    addr: Addr<Request>,
 }
 
 impl InterfaceDaemon {
-    /// Spawns the daemon thread around an (optionally pre-seeded) database.
+    /// Spawns the daemon on a private single-worker reactor around an
+    /// (optionally pre-seeded) database.
     pub fn spawn(db: ReplayDb) -> Self {
-        let (sender, receiver) = unbounded::<Request>();
-        let handle = std::thread::spawn(move || {
-            let mut db = db;
-            while let Ok(request) = receiver.recv() {
-                match request {
-                    Request::StoreBatch {
-                        timestamp_micros,
-                        records,
-                    } => db.insert_batch(timestamp_micros, &records),
-                    Request::RecordLayoutEvent(event) => db.record_layout_event(event),
-                    Request::QueryRecentPerDevice { x, reply } => {
-                        let _ = reply.send(db.recent_per_device(x));
-                    }
-                    Request::QueryLen { reply } => {
-                        let _ = reply.send(db.len());
-                    }
-                    Request::Snapshot { reply } => {
-                        let _ = reply.send(db.clone());
-                    }
-                    Request::Shutdown => break,
-                }
-            }
-            db
+        let reactor = Reactor::new(ReactorConfig {
+            workers: 1,
+            name: "geomancy-daemon".to_string(),
+            ..ReactorConfig::default()
         });
+        let mut daemon = InterfaceDaemon::spawn_on(&reactor, db);
+        daemon.own_reactor = Some(reactor);
+        daemon
+    }
+
+    /// Spawns the daemon as one actor on a shared reactor. Use
+    /// [`InterfaceDaemon::take_db`] after draining that reactor to recover
+    /// the database; [`InterfaceDaemon::shutdown`] is for standalone
+    /// daemons only.
+    pub fn spawn_on(reactor: &Reactor, db: ReplayDb) -> Self {
+        let (addr, handle) = reactor.spawn("daemon", DAEMON_MAILBOX, DaemonActor { db });
         InterfaceDaemon {
+            own_reactor: None,
             handle: Some(handle),
-            sender,
+            addr,
         }
     }
 
     /// Creates a client handle.
     pub fn client(&self) -> DaemonClient {
         DaemonClient {
-            sender: self.sender.clone(),
+            addr: self.addr.clone(),
         }
     }
 
-    /// Stops the daemon and returns the final database.
+    /// Stops a standalone daemon and returns the final database. Queued
+    /// store requests are drained before the actor stops.
     ///
     /// # Panics
     ///
-    /// Panics if the daemon thread itself panicked.
+    /// Panics if the daemon actor itself panicked, or if the daemon was
+    /// spawned on a shared reactor (drain that reactor and call
+    /// [`InterfaceDaemon::take_db`] instead).
     pub fn shutdown(mut self) -> ReplayDb {
-        let _ = self.sender.send(Request::Shutdown);
-        self.handle
+        let reactor = self
+            .own_reactor
             .take()
-            .expect("daemon already shut down")
-            .join()
-            .expect("daemon thread panicked")
+            .expect("shutdown() is only for standalone daemons");
+        let stopped = reactor.shutdown();
+        self.take_db(&stopped)
     }
-}
 
-impl Drop for InterfaceDaemon {
-    fn drop(&mut self) {
-        let _ = self.sender.send(Request::Shutdown);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+    /// Reclaims the database from a drained shared reactor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the daemon actor panicked (the database was destroyed).
+    pub fn take_db(mut self, stopped: &StoppedReactor) -> ReplayDb {
+        stopped
+            .take(self.handle.take().expect("daemon already taken"))
+            .expect("daemon actor panicked")
+            .db
     }
 }
 
@@ -286,9 +327,9 @@ mod tests {
         let client = daemon.client();
         client.store_batch(10, vec![rec(0, 0)]).unwrap();
         // Out-of-order timestamps violate the ReplayDb insert contract and
-        // panic the daemon thread mid-request. Every subsequent query must
+        // panic the daemon actor mid-request. Every subsequent query must
         // come back `DaemonGone` — the reply channel's sender is destroyed
-        // when the dead daemon's queue unwinds, not parked forever.
+        // when the dead actor's mailbox is purged, not parked forever.
         let _ = client.store_batch(5, vec![rec(1, 0)]);
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         loop {
@@ -307,7 +348,7 @@ mod tests {
         }
         assert_eq!(client.recent_per_device(4), Err(DaemonGone));
         assert_eq!(client.snapshot().map(|db| db.len()), Err(DaemonGone));
-        // Dropping the daemon handle joins the panicked thread harmlessly.
+        // Dropping the daemon handle drains its reactor harmlessly.
         drop(daemon);
     }
 

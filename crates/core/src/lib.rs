@@ -74,7 +74,7 @@ pub mod scheduler;
 pub use action::{ActionChecker, ActionKind, CheckedAction};
 pub use adjust::PredictionAdjuster;
 pub use config::{ConfigError, GeomancyConfig};
-pub use daemon::{DaemonClient, InterfaceDaemon};
+pub use daemon::{DaemonClient, DaemonGone, InterfaceDaemon};
 pub use drift::{DeviceDrift, DriftDetector};
 pub use drl::{DrlConfig, DrlEngine, PlacementQuery, RetrainOutcome};
 pub use experiment::{
@@ -88,4 +88,6 @@ pub use policy::{
 };
 pub use registry::{LocationRegistry, StoragePoint};
 pub use report::PerformanceReport;
-pub use scheduler::{GapPrediction, GapScheduler, ScheduledMove};
+pub use scheduler::{
+    GapPrediction, GapScheduler, MovePlanner, PlannerConfig, PlannerGone, ScheduledMove,
+};

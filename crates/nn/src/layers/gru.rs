@@ -33,9 +33,11 @@ struct StepCache {
 /// h_t = (1 - z) ⊙ h_{t-1} + z ⊙ h̃_t
 /// ```
 ///
-/// The backward pass runs on the transpose-aware kernels with reusable
-/// scratch buffers: no transposed copies of `x`, `h` or the weights are
-/// materialized, and the per-gate temporaries are resized in place.
+/// Both training passes run on the transpose-aware kernels with reusable
+/// scratch buffers: the forward pass writes gates and states into the
+/// per-timestep caches in place, no transposed copies of `x`, `h` or the
+/// weights are materialized, and the per-gate temporaries are resized in
+/// place — no per-batch allocation once the buffers are warm.
 #[derive(Debug)]
 pub struct Gru {
     // Order: update (z), reset (r), candidate (h).
@@ -47,6 +49,10 @@ pub struct Gru {
     timesteps: usize,
     hidden: usize,
     cache: Vec<StepCache>,
+    /// Training-forward scratch: the running hidden state.
+    fwd_h: Matrix,
+    /// Whether a forward pass has populated the caches.
+    primed: bool,
     /// BPTT scratch: running hidden gradient and its predecessor.
     dh: Matrix,
     dh_prev: Matrix,
@@ -103,6 +109,8 @@ impl Gru {
             timesteps,
             hidden,
             cache: Vec::new(),
+            fwd_h: Matrix::default(),
+            primed: false,
             dh: Matrix::default(),
             dh_prev: Matrix::default(),
             dz_pre: Matrix::default(),
@@ -122,6 +130,12 @@ impl Gru {
 
 impl Layer for Gru {
     fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(input.view(), &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: MatrixView<'_>, out: &mut Matrix) {
         assert_eq!(
             input.cols(),
             self.input_size(),
@@ -131,36 +145,57 @@ impl Layer for Gru {
             self.features
         );
         let batch = input.rows();
-        self.cache.clear();
-        let mut h = Matrix::zeros(batch, self.hidden);
-        for t in 0..self.timesteps {
-            let x = input.slice_cols(t * self.features..(t + 1) * self.features);
-            let z = Activation::Sigmoid.apply(
-                &x.dot(&self.wx[0].value)
-                    .add(&h.dot(&self.wh[0].value))
-                    .add_row_broadcast(&self.b[0].value),
-            );
-            let r = Activation::Sigmoid.apply(
-                &x.dot(&self.wx[1].value)
-                    .add(&h.dot(&self.wh[1].value))
-                    .add_row_broadcast(&self.b[1].value),
-            );
-            let cand = self.activation.apply(
-                &x.dot(&self.wx[2].value)
-                    .add(&r.hadamard(&h).dot(&self.wh[2].value))
-                    .add_row_broadcast(&self.b[2].value),
-            );
-            let h_next = z.map(|v| 1.0 - v).hadamard(&h).add(&z.hadamard(&cand));
+        while self.cache.len() < self.timesteps {
             self.cache.push(StepCache {
+                x: Matrix::default(),
+                h_prev: Matrix::default(),
+                z: Matrix::default(),
+                r: Matrix::default(),
+                cand: Matrix::default(),
+            });
+        }
+        let act = self.activation;
+        self.fwd_h.resize(batch, self.hidden);
+        self.fwd_h.fill(0.0);
+        for t in 0..self.timesteps {
+            let step = &mut self.cache[t];
+            kernels::slice_cols_into(
+                input,
+                t * self.features..(t + 1) * self.features,
+                &mut step.x,
+            );
+            step.h_prev.copy_from(self.fwd_h.view());
+            let StepCache {
                 x,
-                h_prev: h,
+                h_prev,
                 z,
                 r,
                 cand,
-            });
-            h = h_next;
+            } = step;
+            for (gate, k) in [(&mut *z, 0), (&mut *r, 1)] {
+                kernels::broadcast_rows_into(&self.b[k].value, batch, gate);
+                kernels::matmul_acc(x.view(), &self.wx[k].value, gate);
+                kernels::matmul_acc(h_prev.view(), &self.wh[k].value, gate);
+                Activation::Sigmoid.apply_inplace(gate);
+            }
+            // Candidate reads r ⊙ h_prev through the (shared) `rh` scratch.
+            self.rh.resize(batch, self.hidden);
+            for idx in 0..batch * self.hidden {
+                self.rh.as_mut_slice()[idx] = r.as_slice()[idx] * h_prev.as_slice()[idx];
+            }
+            kernels::broadcast_rows_into(&self.b[2].value, batch, cand);
+            kernels::matmul_acc(x.view(), &self.wx[2].value, cand);
+            kernels::matmul_acc(self.rh.view(), &self.wh[2].value, cand);
+            act.apply_inplace(cand);
+            // Fused state update: h_t = (1 - z) ⊙ h_prev + z ⊙ h̃.
+            for idx in 0..batch * self.hidden {
+                let z_v = z.as_slice()[idx];
+                self.fwd_h.as_mut_slice()[idx] =
+                    (1.0 - z_v) * h_prev.as_slice()[idx] + z_v * cand.as_slice()[idx];
+            }
         }
-        h
+        out.copy_from(self.fwd_h.view());
+        self.primed = true;
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -170,7 +205,7 @@ impl Layer for Gru {
     }
 
     fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
-        assert!(!self.cache.is_empty(), "backward called before forward");
+        assert!(self.primed, "backward called before forward");
         let batch = grad_output.rows();
         grad_input.resize(batch, self.input_size());
         self.dh.copy_from(grad_output.view());

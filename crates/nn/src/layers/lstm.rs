@@ -30,9 +30,10 @@ struct StepCache {
 /// trains LSTMs with ReLU there). The layer consumes a flattened window of
 /// `timesteps * features` values per row and emits the final hidden state.
 ///
-/// The backward pass runs entirely on the transpose-aware kernels and
-/// reusable scratch buffers — no transposed weight copies and no per-gate
-/// temporaries are allocated once the scratch is warm.
+/// Both training passes run entirely on the transpose-aware kernels and
+/// reusable scratch buffers: the forward pass writes gates and states into
+/// the per-timestep caches in place, and the backward pass reuses its
+/// gradient scratch — no per-batch allocation once the buffers are warm.
 #[derive(Debug)]
 pub struct Lstm {
     // Gate weights: input (i), forget (f), output (o), candidate (g).
@@ -44,6 +45,11 @@ pub struct Lstm {
     timesteps: usize,
     hidden: usize,
     cache: Vec<StepCache>,
+    /// Training-forward scratch: the running hidden and cell states.
+    fwd_h: Matrix,
+    fwd_c: Matrix,
+    /// Whether a forward pass has populated the caches.
+    primed: bool,
     /// BPTT scratch: per-gate pre-activation gradients.
     dz: [Matrix; 4],
     /// BPTT scratch: running hidden/cell gradients and their predecessors.
@@ -102,6 +108,9 @@ impl Lstm {
             timesteps,
             hidden,
             cache: Vec::new(),
+            fwd_h: Matrix::default(),
+            fwd_c: Matrix::default(),
+            primed: false,
             dz: Default::default(),
             dh: Matrix::default(),
             dc: Matrix::default(),
@@ -114,14 +123,6 @@ impl Lstm {
     /// Number of hidden units.
     pub fn hidden_size(&self) -> usize {
         self.hidden
-    }
-
-    fn gate(&self, idx: usize, x: &Matrix, h: &Matrix, act: Activation) -> Matrix {
-        let pre = x
-            .dot(&self.wx[idx].value)
-            .add(&h.dot(&self.wh[idx].value))
-            .add_row_broadcast(&self.b[idx].value);
-        act.apply(&pre)
     }
 
     /// Computes one gate for the stateless inference path: `pre` is seeded
@@ -150,6 +151,12 @@ impl Lstm {
 
 impl Layer for Lstm {
     fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut out = Matrix::default();
+        self.forward_into(input.view(), &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, input: MatrixView<'_>, out: &mut Matrix) {
         assert_eq!(
             input.cols(),
             self.input_size(),
@@ -159,32 +166,68 @@ impl Layer for Lstm {
             self.features
         );
         let batch = input.rows();
-        self.cache.clear();
-        let mut h = Matrix::zeros(batch, self.hidden);
-        let mut c = Matrix::zeros(batch, self.hidden);
-        for t in 0..self.timesteps {
-            let x = input.slice_cols(t * self.features..(t + 1) * self.features);
-            let i = self.gate(0, &x, &h, Activation::Sigmoid);
-            let f = self.gate(1, &x, &h, Activation::Sigmoid);
-            let o = self.gate(2, &x, &h, Activation::Sigmoid);
-            let g = self.gate(3, &x, &h, self.activation);
-            let c_next = f.hadamard(&c).add(&i.hadamard(&g));
-            let a = self.activation.apply(&c_next);
-            let h_next = o.hadamard(&a);
+        while self.cache.len() < self.timesteps {
             self.cache.push(StepCache {
+                x: Matrix::default(),
+                h_prev: Matrix::default(),
+                c_prev: Matrix::default(),
+                i: Matrix::default(),
+                f: Matrix::default(),
+                o: Matrix::default(),
+                g: Matrix::default(),
+                a: Matrix::default(),
+            });
+        }
+        let act = self.activation;
+        self.fwd_h.resize(batch, self.hidden);
+        self.fwd_h.fill(0.0);
+        self.fwd_c.resize(batch, self.hidden);
+        self.fwd_c.fill(0.0);
+        for t in 0..self.timesteps {
+            let step = &mut self.cache[t];
+            kernels::slice_cols_into(
+                input,
+                t * self.features..(t + 1) * self.features,
+                &mut step.x,
+            );
+            step.h_prev.copy_from(self.fwd_h.view());
+            step.c_prev.copy_from(self.fwd_c.view());
+            let StepCache {
                 x,
-                h_prev: h,
-                c_prev: c,
+                h_prev,
+                c_prev,
                 i,
                 f,
                 o,
                 g,
                 a,
-            });
-            h = h_next;
-            c = c_next;
+            } = step;
+            let gates: [(&mut Matrix, usize, Activation); 4] = [
+                (i, 0, Activation::Sigmoid),
+                (f, 1, Activation::Sigmoid),
+                (o, 2, Activation::Sigmoid),
+                (g, 3, act),
+            ];
+            for (gate, k, gate_act) in gates {
+                kernels::broadcast_rows_into(&self.b[k].value, batch, gate);
+                kernels::matmul_acc(x.view(), &self.wx[k].value, gate);
+                kernels::matmul_acc(h_prev.view(), &self.wh[k].value, gate);
+                gate_act.apply_inplace(gate);
+            }
+            a.resize(batch, self.hidden);
+            // Fused state update: c_t = f ⊙ c_{t-1} + i ⊙ g, a = φ(c_t),
+            // h_t = o ⊙ a.
+            for idx in 0..batch * self.hidden {
+                let c_v = f.as_slice()[idx] * c_prev.as_slice()[idx]
+                    + i.as_slice()[idx] * g.as_slice()[idx];
+                self.fwd_c.as_mut_slice()[idx] = c_v;
+                let a_v = act.apply_scalar(c_v);
+                a.as_mut_slice()[idx] = a_v;
+                self.fwd_h.as_mut_slice()[idx] = o.as_slice()[idx] * a_v;
+            }
         }
-        h
+        out.copy_from(self.fwd_h.view());
+        self.primed = true;
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
@@ -194,7 +237,7 @@ impl Layer for Lstm {
     }
 
     fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
-        assert!(!self.cache.is_empty(), "backward called before forward");
+        assert!(self.primed, "backward called before forward");
         let batch = grad_output.rows();
         grad_input.resize(batch, self.input_size());
         self.dh.copy_from(grad_output.view());

@@ -1,0 +1,223 @@
+//! Bounded per-actor mailboxes.
+//!
+//! A mailbox has two closing stages: *closed* rejects new sends but keeps
+//! the queue intact so the reactor can drain it during graceful shutdown,
+//! and *dead* (actor panicked, or reactor fully stopped) additionally
+//! purges the queue so queued reply handles drop and blocked clients
+//! observe disconnection instead of hanging.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error from a non-blocking send.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<M> {
+    /// The mailbox was at capacity; the message is handed back.
+    Full(M),
+    /// The mailbox no longer accepts messages; the message is handed back.
+    Closed(M),
+}
+
+/// Error from a blocking or control-plane send: the mailbox no longer
+/// accepts messages. Carries the rejected message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Closed<M>(pub M);
+
+pub(crate) struct Mailbox<M> {
+    state: Mutex<State<M>>,
+    /// Signalled when capacity frees up or the mailbox closes, to release
+    /// blocked senders.
+    send_ready: Condvar,
+    capacity: usize,
+}
+
+struct State<M> {
+    queue: VecDeque<M>,
+    closed: bool,
+    dead: bool,
+    max_depth: usize,
+}
+
+impl<M> Mailbox<M> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be at least 1");
+        Mailbox {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+                dead: false,
+                max_depth: 0,
+            }),
+            send_ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking; fails on a full or closed mailbox.
+    pub(crate) fn try_send(&self, msg: M) -> Result<(), TrySendError<M>> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed || st.dead {
+            return Err(TrySendError::Closed(msg));
+        }
+        if st.queue.len() >= self.capacity {
+            return Err(TrySendError::Full(msg));
+        }
+        push(&mut st, msg);
+        Ok(())
+    }
+
+    /// Enqueues, blocking while the mailbox is at capacity.
+    pub(crate) fn send(&self, msg: M) -> Result<(), Closed<M>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.closed || st.dead {
+                return Err(Closed(msg));
+            }
+            if st.queue.len() < self.capacity {
+                push(&mut st, msg);
+                return Ok(());
+            }
+            st = self.send_ready.wait(st).unwrap();
+        }
+    }
+
+    /// Control-plane enqueue: ignores capacity and the external-close flag
+    /// so reactor-internal messages (snapshot replies, drain notices) still
+    /// land while shutdown is draining. Fails only on a dead mailbox.
+    pub(crate) fn send_now(&self, msg: M) -> Result<(), Closed<M>> {
+        let mut st = self.state.lock().unwrap();
+        if st.dead {
+            return Err(Closed(msg));
+        }
+        push(&mut st, msg);
+        Ok(())
+    }
+
+    pub(crate) fn pop(&self) -> Option<M> {
+        let mut st = self.state.lock().unwrap();
+        let msg = st.queue.pop_front();
+        if msg.is_some() {
+            // Capacity freed: release one blocked sender.
+            self.send_ready.notify_one();
+        }
+        msg
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    pub(crate) fn max_depth(&self) -> usize {
+        self.state.lock().unwrap().max_depth
+    }
+
+    /// Rejects external senders from now on; queued messages stay for the
+    /// drain. Blocked senders wake with [`Closed`].
+    pub(crate) fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.send_ready.notify_all();
+    }
+
+    /// Terminal close: rejects everything (even `send_now`) and drops any
+    /// queued messages on the caller's thread.
+    pub(crate) fn kill(&self) {
+        let purged = {
+            let mut st = self.state.lock().unwrap();
+            st.closed = true;
+            st.dead = true;
+            self.send_ready.notify_all();
+            std::mem::take(&mut st.queue)
+        };
+        // Dropped outside the lock: these may carry channels or user types
+        // with Drop impls that must not run under our mutex.
+        drop(purged);
+    }
+}
+
+fn push<M>(st: &mut State<M>, msg: M) {
+    st.queue.push_back(msg);
+    st.max_depth = st.max_depth.max(st.queue.len());
+}
+
+/// Type-erased mailbox control used by reactor slots.
+pub(crate) trait MailboxCtl: Send + Sync {
+    fn len(&self) -> usize;
+    fn max_depth(&self) -> usize;
+    fn close(&self);
+    fn kill(&self);
+}
+
+impl<M: Send> MailboxCtl for Mailbox<M> {
+    fn len(&self) -> usize {
+        Mailbox::len(self)
+    }
+
+    fn max_depth(&self) -> usize {
+        Mailbox::max_depth(self)
+    }
+
+    fn close(&self) {
+        Mailbox::close(self)
+    }
+
+    fn kill(&self) {
+        Mailbox::kill(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_and_fifo() {
+        let mb = Mailbox::new(2);
+        mb.try_send(1).unwrap();
+        mb.try_send(2).unwrap();
+        assert_eq!(mb.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(mb.pop(), Some(1));
+        mb.try_send(3).unwrap();
+        assert_eq!(mb.pop(), Some(2));
+        assert_eq!(mb.pop(), Some(3));
+        assert_eq!(mb.pop(), None);
+        assert_eq!(mb.max_depth(), 2);
+    }
+
+    #[test]
+    fn close_keeps_queue_kill_purges_it() {
+        let mb = Mailbox::new(4);
+        mb.try_send(1).unwrap();
+        mb.close();
+        assert_eq!(mb.try_send(2), Err(TrySendError::Closed(2)));
+        mb.send_now(3).unwrap(); // control plane still lands after close
+        assert_eq!(mb.len(), 2);
+        mb.kill();
+        assert_eq!(mb.len(), 0);
+        assert_eq!(mb.send_now(4), Err(Closed(4)));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_close() {
+        let mb = Arc::new(Mailbox::new(1));
+        mb.try_send(0u32).unwrap();
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.send(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        mb.close();
+        assert_eq!(t.join().unwrap(), Err(Closed(1)));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_pop() {
+        let mb = Arc::new(Mailbox::new(1));
+        mb.try_send(0u32).unwrap();
+        let mb2 = Arc::clone(&mb);
+        let t = std::thread::spawn(move || mb2.send(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(mb.pop(), Some(0));
+        t.join().unwrap().unwrap();
+        assert_eq!(mb.pop(), Some(1));
+    }
+}

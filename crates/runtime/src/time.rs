@@ -1,0 +1,149 @@
+//! Pluggable clocks: the reactor, the serve telemetry path, and the sim
+//! all read time through one trait so tests can drive timers by hand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A monotonic clock in integer microseconds.
+///
+/// `autonomous` distinguishes clocks that advance on their own (wall time:
+/// the reactor sleeps with a timeout to catch due timers) from clocks that
+/// only move when told (manual/sim: the reactor parks until the clock's
+/// registered wakers fire).
+pub trait TimeSource: Send + Sync {
+    /// Current time in microseconds from an arbitrary fixed origin.
+    fn now_micros(&self) -> u64;
+
+    /// True if time advances without external `advance` calls.
+    fn autonomous(&self) -> bool {
+        true
+    }
+
+    /// Registers a callback invoked whenever the clock is advanced
+    /// externally. Autonomous clocks ignore this.
+    fn register_waker(&self, _waker: Arc<dyn Fn() + Send + Sync>) {}
+}
+
+/// Real time, measured from construction.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl TimeSource for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A clock that only moves when `advance_micros` is called. Cloning shares
+/// the underlying time, so a test can hold one handle while the reactor
+/// holds another.
+#[derive(Clone, Default)]
+pub struct ManualClock {
+    inner: Arc<ManualInner>,
+}
+
+#[derive(Default)]
+struct ManualInner {
+    micros: AtomicU64,
+    wakers: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for ManualClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ManualClock")
+            .field("micros", &self.inner.micros.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Moves time forward and notifies every registered waker.
+    pub fn advance_micros(&self, delta: u64) {
+        self.inner.micros.fetch_add(delta, Ordering::SeqCst);
+        self.wake();
+    }
+
+    /// Sets the absolute time; never moves backwards.
+    pub fn set_micros(&self, micros: u64) {
+        self.inner.micros.fetch_max(micros, Ordering::SeqCst);
+        self.wake();
+    }
+
+    fn wake(&self) {
+        let wakers = self.inner.wakers.lock().unwrap();
+        for w in wakers.iter() {
+            w();
+        }
+    }
+}
+
+impl TimeSource for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.inner.micros.load(Ordering::SeqCst)
+    }
+
+    fn autonomous(&self) -> bool {
+        false
+    }
+
+    fn register_waker(&self, waker: Arc<dyn Fn() + Send + Sync>) {
+        self.inner.wakers.lock().unwrap().push(waker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_moves_forward() {
+        let c = WallClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+        assert!(c.autonomous());
+    }
+
+    #[test]
+    fn manual_clock_is_explicit_and_shared() {
+        let c = ManualClock::new();
+        let fired = Arc::new(AtomicU64::new(0));
+        let fired2 = Arc::clone(&fired);
+        c.register_waker(Arc::new(move || {
+            fired2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(c.now_micros(), 0);
+        assert!(!c.autonomous());
+        let other = c.clone();
+        c.advance_micros(250);
+        assert_eq!(other.now_micros(), 250);
+        other.set_micros(100); // never goes backwards
+        assert_eq!(c.now_micros(), 250);
+        other.set_micros(300);
+        assert_eq!(c.now_micros(), 300);
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+    }
+}

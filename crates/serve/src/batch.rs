@@ -1,39 +1,42 @@
-//! The batched query engine: one thread owning the live model, coalescing
-//! concurrent placement requests into fused forward passes.
+//! The batched query engine: a reactor actor owning the live model,
+//! coalescing concurrent placement requests into fused forward passes.
 //!
 //! ## Coalescing
 //!
 //! Clients submit either one request ([`crate::PlacementService::query`])
 //! or a whole slice ([`crate::PlacementService::query_many`]); each
-//! submission is one channel message. The engine drains queued messages
-//! until it holds `max_batch` requests or the queue momentarily empties,
-//! then waits at most `batch_window` for stragglers before closing the
-//! batch. Within a batch, requests with the same `(file, read, write)`
-//! shape share a single feature row — BELLE II reads each file 10–20 times
-//! in succession, so concurrent request streams are full of exact
-//! duplicates — and the surviving unique rows go through the network in
-//! one fused [`geomancy_core::drl::DrlEngine::rank_locations_batch_into`]
-//! pass.
+//! submission is one mailbox message. The first submission opens a batch
+//! and arms a *window timer*; the batch closes — one fused pass answering
+//! every held submission — when it reaches `max_batch` requests, when the
+//! window expires, or (with a zero window) the moment the mailbox
+//! momentarily empties. Timers are generation-tagged: closing a batch
+//! bumps the generation, so a stale timer from an already-served batch is
+//! ignored instead of slicing the next batch short. Within a batch,
+//! requests with the same `(file, read, write)` shape share a single
+//! feature row — BELLE II reads each file 10–20 times in succession, so
+//! concurrent request streams are full of exact duplicates — and the
+//! surviving unique rows go through the network in one fused
+//! [`geomancy_core::drl::DrlEngine::rank_locations_batch_into`] pass.
 //!
 //! ## Hot-swap
 //!
-//! The engine checks the [`ModelSlot`] between batches and adopts any
-//! newly published model there. Because the swap happens only at a batch
-//! boundary and the engine thread is the *only* reader of the live model,
-//! no decision can observe a half-updated network ("torn model") — the
-//! epoch stamped on each decision is exactly the model that produced it.
+//! The engine checks the [`ModelSlot`] at each batch boundary and adopts
+//! any newly published model there. Because the swap happens only at a
+//! batch boundary and the engine actor is the *only* reader of the live
+//! model (the reactor runs an actor on one worker at a time), no decision
+//! can observe a half-updated network ("torn model") — the epoch stamped
+//! on each decision is exactly the model that produced it.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use geomancy_core::drl::{DrlEngine, PlacementQuery};
-use geomancy_sim::record::{DeviceId, FileId};
-use serde::Serialize;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crossbeam::channel::{bounded, Sender};
+use geomancy_core::drl::{DrlEngine, PlacementQuery};
+use geomancy_runtime::{Actor, Addr, Ctx, Reactor, TimeSource};
+use geomancy_sim::record::{DeviceId, FileId};
+use geomancy_sim::SharedSimClock;
+use serde::Serialize;
 
 use crate::metrics::ServeMetrics;
 
@@ -72,6 +75,9 @@ pub struct Decision {
 pub enum QueryError {
     /// No model has been published yet (ingest more and retrain).
     NotReady,
+    /// The admission controller shed this request: the service is over
+    /// its queue-depth or latency watermark. Back off and retry.
+    Overloaded,
     /// The service has shut down.
     ServiceDown,
 }
@@ -80,6 +86,7 @@ impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::NotReady => f.write_str("no model published yet"),
+            QueryError::Overloaded => f.write_str("service overloaded, request shed"),
             QueryError::ServiceDown => f.write_str("placement service has shut down"),
         }
     }
@@ -136,55 +143,71 @@ impl ModelSlot {
 }
 
 /// One submission: requests plus the channel to answer them on.
-struct Submission {
+pub(crate) struct Submission {
     requests: Vec<PlacementRequest>,
-    enqueued: Instant,
+    /// Reactor-time enqueue stamp (microseconds) for latency accounting.
+    enqueued_micros: u64,
     reply: Sender<Result<Vec<Decision>, QueryError>>,
 }
 
-enum BatchMsg {
-    Submit(Submission),
-    Shutdown,
-}
-
-/// Handle to the query engine thread.
-#[derive(Debug)]
-pub struct BatchEngine {
-    tx: Sender<BatchMsg>,
-    handle: Option<JoinHandle<()>>,
-}
-
-/// Tuning knobs for the engine loop (split out so the loop signature stays
-/// readable).
+/// Tuning knobs for the engine (split out so signatures stay readable).
 pub(crate) struct BatchParams {
     /// Maximum requests fused into one pass.
     pub max_batch: usize,
-    /// How long to hold an open batch waiting for stragglers.
-    pub window: Duration,
+    /// How long to hold an open batch waiting for stragglers, in
+    /// microseconds of reactor time.
+    pub window_micros: u64,
     /// Candidate devices ranked for every request.
     pub candidates: Vec<DeviceId>,
 }
 
+/// Handle to the query engine actor.
+pub struct BatchEngine {
+    addr: Addr<Submission>,
+    time: Arc<dyn TimeSource>,
+}
+
+impl std::fmt::Debug for BatchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchEngine")
+            .field("queued", &self.addr.queue_len())
+            .finish()
+    }
+}
+
 impl BatchEngine {
-    /// Spawns the engine thread. `clock_micros` is the service's ingest
-    /// high-water mark, read once per batch to stamp query times.
-    pub(crate) fn spawn(
+    /// Spawns the engine actor on `reactor`. `telemetry` is the service's
+    /// ingest high-water clock, read once per batch to stamp query times.
+    pub(crate) fn spawn_on(
+        reactor: &Reactor,
         params: BatchParams,
         slot: Arc<ModelSlot>,
-        clock_micros: Arc<AtomicU64>,
+        telemetry: SharedSimClock,
         metrics: Arc<ServeMetrics>,
         queue_capacity: usize,
     ) -> Self {
         assert!(params.max_batch > 0, "max_batch must be positive");
         assert!(!params.candidates.is_empty(), "need candidate devices");
-        let (tx, rx) = bounded(queue_capacity);
-        let handle = std::thread::Builder::new()
-            .name("geomancy-query".into())
-            .spawn(move || engine_loop(rx, params, slot, clock_micros, metrics))
-            .expect("failed to spawn query engine");
+        let (addr, _handle) = reactor.spawn(
+            "query-engine",
+            queue_capacity,
+            BatchActor {
+                engine: None,
+                epoch: 0,
+                gen: 0,
+                pending: Vec::new(),
+                params,
+                slot,
+                telemetry,
+                metrics,
+                unique: Vec::new(),
+                row_of: HashMap::new(),
+                ranked: Vec::new(),
+            },
+        );
         BatchEngine {
-            tx,
-            handle: Some(handle),
+            addr,
+            time: reactor.time(),
         }
     }
 
@@ -199,213 +222,170 @@ impl BatchEngine {
             return Ok(Vec::new());
         }
         let (reply, rx) = bounded(1);
-        self.tx
-            .send(BatchMsg::Submit(Submission {
+        self.addr
+            .send(Submission {
                 requests: requests.to_vec(),
-                enqueued: Instant::now(),
+                enqueued_micros: self.time.now_micros(),
                 reply,
-            }))
+            })
             .map_err(|_| QueryError::ServiceDown)?;
         rx.recv().map_err(|_| QueryError::ServiceDown)?
     }
 
-    /// Stops the engine after in-flight submissions are answered.
-    pub fn shutdown(mut self) {
-        let _ = self.tx.send(BatchMsg::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+    /// Submissions currently queued in the engine's mailbox (gauge).
+    pub fn queue_len(&self) -> usize {
+        self.addr.queue_len()
     }
 }
 
-impl Drop for BatchEngine {
-    fn drop(&mut self) {
-        let _ = self.tx.send(BatchMsg::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-fn engine_loop(
-    rx: Receiver<BatchMsg>,
+/// The engine's actor state machine.
+struct BatchActor {
+    engine: Option<DrlEngine>,
+    epoch: u64,
+    /// Batch generation: bumped whenever a batch closes, so an outstanding
+    /// window timer armed for an earlier batch is recognized as stale.
+    gen: u64,
+    pending: Vec<Submission>,
     params: BatchParams,
     slot: Arc<ModelSlot>,
-    clock_micros: Arc<AtomicU64>,
+    telemetry: SharedSimClock,
     metrics: Arc<ServeMetrics>,
-) {
-    let mut engine: Option<DrlEngine> = None;
-    let mut epoch = 0u64;
-    let mut pending: Vec<Submission> = Vec::new();
-    let mut unique: Vec<PlacementQuery> = Vec::new();
-    let mut row_of: HashMap<PlacementRequest, usize> = HashMap::new();
-    let mut ranked: Vec<(DeviceId, f64)> = Vec::new();
-    'serve: loop {
-        // Block for the batch's first submission.
-        match rx.recv() {
-            Err(_) => break,
-            Ok(BatchMsg::Shutdown) => break,
-            Ok(BatchMsg::Submit(s)) => pending.push(s),
+    // Scratch reused across batches (allocation-free steady state).
+    unique: Vec<PlacementQuery>,
+    row_of: HashMap<PlacementRequest, usize>,
+    ranked: Vec<(DeviceId, f64)>,
+}
+
+impl Actor for BatchActor {
+    type Msg = Submission;
+
+    fn on_msg(&mut self, sub: Submission, ctx: &mut Ctx<'_>) {
+        let opening = self.pending.is_empty();
+        self.pending.push(sub);
+        if opening && self.params.window_micros > 0 {
+            ctx.set_timer(self.params.window_micros, self.gen);
         }
-        // Coalesce: drain whatever is queued, then give stragglers one
-        // window to arrive. The deadline is from the batch's opening so a
-        // trickle of messages cannot hold the batch open indefinitely.
-        let deadline = Instant::now() + params.window;
-        let mut batch_requests: usize = pending[0].requests.len();
-        while batch_requests < params.max_batch {
-            let msg = match rx.try_recv() {
-                Some(m) => m,
-                None => {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        break;
-                    }
-                    match rx.recv_timeout(deadline - now) {
-                        Ok(m) => m,
-                        Err(RecvTimeoutError::Timeout) => break,
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                }
-            };
-            match msg {
-                BatchMsg::Shutdown => {
-                    // Answer what we hold, then stop.
-                    serve_batch(
-                        &mut engine,
-                        &mut epoch,
-                        &slot,
-                        &params,
-                        &clock_micros,
-                        &metrics,
-                        &mut pending,
-                        &mut unique,
-                        &mut row_of,
-                        &mut ranked,
-                    );
-                    break 'serve;
-                }
-                BatchMsg::Submit(s) => {
-                    batch_requests += s.requests.len();
-                    pending.push(s);
-                }
-            }
+        let held: usize = self.pending.iter().map(|s| s.requests.len()).sum();
+        if held >= self.params.max_batch {
+            self.serve(ctx);
+        } else if self.params.window_micros == 0 && ctx.pending_msgs() == 0 {
+            // Zero window: close the batch the moment the mailbox
+            // momentarily empties (pure opportunistic coalescing).
+            self.serve(ctx);
         }
-        serve_batch(
-            &mut engine,
-            &mut epoch,
-            &slot,
-            &params,
-            &clock_micros,
-            &metrics,
-            &mut pending,
-            &mut unique,
-            &mut row_of,
-            &mut ranked,
-        );
     }
-    // Disconnected or shut down: refuse anything still queued.
-    for sub in pending.drain(..) {
-        let _ = sub.reply.send(Err(QueryError::ServiceDown));
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        // Only the timer armed for the *current* batch closes it.
+        if token == self.gen && !self.pending.is_empty() {
+            self.serve(ctx);
+        }
+    }
+
+    fn on_stop(&mut self, ctx: &mut Ctx<'_>) {
+        // Drain already delivered every accepted submission; a batch still
+        // waiting on its window timer is served now rather than dropped.
+        if !self.pending.is_empty() {
+            self.serve(ctx);
+        }
     }
 }
 
-/// Answers every pending submission with one fused pass.
-#[allow(clippy::too_many_arguments)]
-fn serve_batch(
-    engine: &mut Option<DrlEngine>,
-    epoch: &mut u64,
-    slot: &ModelSlot,
-    params: &BatchParams,
-    clock_micros: &AtomicU64,
-    metrics: &ServeMetrics,
-    pending: &mut Vec<Submission>,
-    unique: &mut Vec<PlacementQuery>,
-    row_of: &mut HashMap<PlacementRequest, usize>,
-    ranked: &mut Vec<(DeviceId, f64)>,
-) {
-    // Batch boundary: adopt a newly published model, if any.
-    if let Some((e, model)) = slot.take() {
-        *engine = Some(model);
-        *epoch = e;
-        metrics.model_swaps.fetch_add(1, Ordering::Relaxed);
-    }
-    let batch_requests: usize = pending.iter().map(|s| s.requests.len()).sum();
-    let Some(model) = engine.as_mut() else {
-        for sub in pending.drain(..) {
-            let _ = sub.reply.send(Err(QueryError::NotReady));
+impl BatchActor {
+    /// Answers every pending submission with one fused pass.
+    fn serve(&mut self, ctx: &mut Ctx<'_>) {
+        self.gen = self.gen.wrapping_add(1);
+        // Batch boundary: adopt a newly published model, if any.
+        if let Some((e, model)) = self.slot.take() {
+            self.engine = Some(model);
+            self.epoch = e;
+            self.metrics.model_swaps.fetch_add(1, Ordering::Relaxed);
         }
-        return;
-    };
-    // Dedup identical request shapes into shared feature rows, stamped
-    // with one query time for the whole batch.
-    let now_micros = clock_micros.load(Ordering::Relaxed);
-    let (now_secs, now_ms) = (
-        now_micros / 1_000_000,
-        ((now_micros / 1_000) % 1_000) as u16,
-    );
-    unique.clear();
-    row_of.clear();
-    for sub in pending.iter() {
-        for req in &sub.requests {
-            row_of.entry(*req).or_insert_with(|| {
-                unique.push(PlacementQuery {
-                    fid: req.fid,
-                    read_bytes: req.read_bytes,
-                    write_bytes: req.write_bytes,
-                    now_secs,
-                    now_ms,
+        let batch_requests: usize = self.pending.iter().map(|s| s.requests.len()).sum();
+        let Some(model) = self.engine.as_mut() else {
+            for sub in self.pending.drain(..) {
+                let _ = sub.reply.send(Err(QueryError::NotReady));
+            }
+            return;
+        };
+        // Dedup identical request shapes into shared feature rows, stamped
+        // with one query time for the whole batch.
+        let now_micros = self.telemetry.now_micros();
+        let (now_secs, now_ms) = (
+            now_micros / 1_000_000,
+            ((now_micros / 1_000) % 1_000) as u16,
+        );
+        self.unique.clear();
+        self.row_of.clear();
+        for sub in self.pending.iter() {
+            for req in &sub.requests {
+                self.row_of.entry(*req).or_insert_with(|| {
+                    self.unique.push(PlacementQuery {
+                        fid: req.fid,
+                        read_bytes: req.read_bytes,
+                        write_bytes: req.write_bytes,
+                        now_secs,
+                        now_ms,
+                    });
+                    self.unique.len() - 1
                 });
-                unique.len() - 1
-            });
+            }
         }
-    }
-    model.rank_locations_batch_into(unique, &params.candidates, ranked);
-    let per = params.candidates.len();
-    let unique_rows = unique.len();
-    metrics
-        .fused_rows
-        .fetch_add((unique_rows * per) as u64, Ordering::Relaxed);
-    // All of the batch's accounting lands before any reply goes out: a
-    // woken client must see the full counters for its own batch.
-    if batch_requests > unique_rows {
-        metrics
-            .coalesced_decisions
-            .fetch_add((batch_requests - unique_rows) as u64, Ordering::Relaxed);
-    }
-    metrics
-        .decisions
-        .fetch_add(batch_requests as u64, Ordering::Relaxed);
-    if batch_requests > 1 {
-        metrics
-            .batched_decisions
-            .fetch_add(batch_requests as u64, Ordering::Relaxed);
-    } else {
-        metrics
-            .solo_decisions
-            .fetch_add(batch_requests as u64, Ordering::Relaxed);
-    }
-    for sub in pending.drain(..) {
-        let decisions: Vec<Decision> = sub
-            .requests
-            .iter()
-            .map(|req| {
-                let row = row_of[req];
-                let (best, tp) = ranked[row * per..(row + 1) * per]
-                    .iter()
-                    .copied()
-                    .max_by(|a, b| a.1.total_cmp(&b.1))
-                    .expect("candidates are non-empty");
-                Decision {
-                    fid: req.fid,
-                    best,
-                    predicted_tp: tp,
-                    model_epoch: *epoch,
-                    batch_requests: batch_requests as u32,
-                    unique_rows: unique_rows as u32,
-                }
-            })
-            .collect();
-        metrics.observe_latency_us(sub.enqueued.elapsed().as_micros() as u64);
-        let _ = sub.reply.send(Ok(decisions));
+        model.rank_locations_batch_into(&self.unique, &self.params.candidates, &mut self.ranked);
+        let per = self.params.candidates.len();
+        let unique_rows = self.unique.len();
+        // All of the batch's bookkeeping lands in one accounting section,
+        // before any reply goes out: a woken client must see the full,
+        // coherent counters for its own batch.
+        {
+            let _guard = self.metrics.accounting();
+            self.metrics
+                .fused_rows
+                .fetch_add((unique_rows * per) as u64, Ordering::Relaxed);
+            if batch_requests > unique_rows {
+                self.metrics
+                    .coalesced_decisions
+                    .fetch_add((batch_requests - unique_rows) as u64, Ordering::Relaxed);
+            }
+            self.metrics
+                .decisions
+                .fetch_add(batch_requests as u64, Ordering::Relaxed);
+            if batch_requests > 1 {
+                self.metrics
+                    .batched_decisions
+                    .fetch_add(batch_requests as u64, Ordering::Relaxed);
+            } else {
+                self.metrics
+                    .solo_decisions
+                    .fetch_add(batch_requests as u64, Ordering::Relaxed);
+            }
+        }
+        let served_at = ctx.now_micros();
+        for sub in self.pending.drain(..) {
+            let decisions: Vec<Decision> = sub
+                .requests
+                .iter()
+                .map(|req| {
+                    let row = self.row_of[req];
+                    let (best, tp) = self.ranked[row * per..(row + 1) * per]
+                        .iter()
+                        .copied()
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .expect("candidates are non-empty");
+                    Decision {
+                        fid: req.fid,
+                        best,
+                        predicted_tp: tp,
+                        model_epoch: self.epoch,
+                        batch_requests: batch_requests as u32,
+                        unique_rows: unique_rows as u32,
+                    }
+                })
+                .collect();
+            let waited = served_at.saturating_sub(sub.enqueued_micros);
+            self.metrics.observe_latency_us(waited);
+            self.metrics.update_latency_ewma(waited);
+            let _ = sub.reply.send(Ok(decisions));
+        }
     }
 }

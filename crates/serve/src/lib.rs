@@ -7,38 +7,52 @@
 //! ```text
 //!            ingest (records)                placement requests
 //!                 │                                 │
-//!        ┌────────┴────────┐              ┌─────────┴─────────┐
-//!        │ shard map        │              │ batched query     │
-//!        │ fid.stable_hash  │              │ engine (1 thread) │
-//!        ▼        ▼        ▼              │  coalesce → dedup │
-//!    shard 0   shard 1   shard N-1        │  → fused NN pass  │
-//!    queue+WAL queue+WAL queue+WAL        └─────────▲─────────┘
-//!        │        │        │                        │ hot-swap
-//!        └────────┴────────┘              ┌─────────┴─────────┐
-//!          snapshots (copies)  ─────────▶ │ background trainer│
+//!        ┌────────┴────────┐              admission controller
+//!        │ shard map        │             (watermarks → shed)
+//!        │ fid.stable_hash  │              ┌─────────┴─────────┐
+//!        ▼        ▼        ▼              │ batched query     │
+//!    shard 0   shard 1   shard N-1        │ engine (actor)    │
+//!    actor+WAL actor+WAL actor+WAL        │  coalesce → dedup │
+//!        │        │        │              │  → fused NN pass  │
+//!        └────────┴────────┘              └─────────▲─────────┘
+//!          snapshots (parts)                        │ hot-swap
+//!                 ▼                       ┌─────────┴─────────┐
+//!    ═══ one reactor pool (N workers) ═══ │ trainer (actor)   │
 //!                                         │ merge → retrain → │
 //!                                         │ publish epoch N+1 │
 //!                                         └───────────────────┘
 //! ```
 //!
-//! Three independent moving parts, three guarantees:
+//! Every moving part is a state-machine actor on **one shared
+//! [`geomancy_runtime::Reactor`] pool**: the service costs a small fixed
+//! number of threads no matter how many shards it runs, and shutdown is a
+//! single drain (queued batches apply, in-flight queries answer, queued
+//! retrains finish) instead of per-subsystem join choreography.
 //!
 //! - **Sharded ingest** ([`shard`]): records route by
 //!   [`geomancy_sim::record::FileId::stable_hash`], so one file's history
-//!   stays ordered on one shard while shards ingest in parallel. Queues
-//!   are bounded — producers feel backpressure instead of growing an
-//!   unbounded buffer.
+//!   stays ordered on one shard while shards ingest in parallel.
+//!   Mailboxes are bounded — producers feel backpressure instead of
+//!   growing an unbounded buffer.
 //! - **Batched queries** ([`batch`]): concurrent placement requests
 //!   coalesce into one fused forward pass, with duplicate request shapes
-//!   deduplicated into shared feature rows. The engine thread owns the
-//!   model exclusively.
+//!   deduplicated into shared feature rows. The engine actor owns the
+//!   model exclusively; its batch window is a generation-tagged reactor
+//!   timer, so it runs on simulated time when the service is started with
+//!   a [`geomancy_sim::SharedSimClock`].
 //! - **Hot-swap training** ([`trainer`]): retraining runs on shard
-//!   *snapshots* off-thread and publishes finished models through an
-//!   atomic epoch pointer; serving never blocks on training and no
-//!   decision ever sees a half-swapped model.
+//!   *snapshots* gathered by message fan-out and publishes finished
+//!   models through an atomic epoch pointer; serving never blocks on
+//!   training and no decision ever sees a half-swapped model.
+//! - **Admission control** ([`service`]): over a pending-request or
+//!   latency-EWMA watermark, `query_many` defers once then sheds with
+//!   [`QueryError::Overloaded`] — and the [`metrics`] snapshot is
+//!   coherent, so `queries_offered == queries_admitted + queries_shed`
+//!   holds in every observation, mirroring ingest's
+//!   `ingested + dropped == offered`.
 //!
-//! [`PlacementService`] wires the three together; [`load`] drives the
-//! whole service with the BELLE II workload (the `geomancy serve` CLI
+//! [`PlacementService`] wires it all together; [`load`] drives the whole
+//! service with the BELLE II workload (the `geomancy serve` CLI
 //! subcommand and the serve benchmark both run it).
 
 #![warn(missing_docs)]
@@ -53,6 +67,6 @@ pub mod trainer;
 pub use batch::{Decision, ModelSlot, PlacementRequest, QueryError};
 pub use load::{run_belle2_load, LoadConfig, LoadReport, QueryMode};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use service::{PlacementService, ServeConfig};
+pub use service::{AdmissionConfig, PlacementService, ServeConfig};
 pub use shard::{shard_of, Backpressure, ShardSet};
 pub use trainer::{TrainError, Trainer};

@@ -158,9 +158,18 @@ pub fn run_belle2_load(service: &Arc<PlacementService>, config: &LoadConfig) -> 
         for _ in 0..config.clients.max(1) {
             s.spawn(|| {
                 let mut seen: Vec<u64> = Vec::new();
-                let mut run = |ds: Result<Vec<crate::batch::Decision>, QueryError>| match ds {
-                    Err(e) => panic!("query client failed: {e}"),
-                    Ok(ds) => {
+                // A shed submission (admission control under overload) is
+                // the client's to retry: yield and resubmit until admitted,
+                // so every question is eventually answered exactly once.
+                let mut run =
+                    |query: &mut dyn FnMut() -> Result<Vec<crate::batch::Decision>, QueryError>| {
+                        let ds = loop {
+                            match query() {
+                                Ok(ds) => break ds,
+                                Err(QueryError::Overloaded) => std::thread::yield_now(),
+                                Err(e) => panic!("query client failed: {e}"),
+                            }
+                        };
                         for d in &ds {
                             if d.model_epoch == 0 || d.model_epoch > service.published_epoch() {
                                 invalid_epochs.fetch_add(1, Ordering::Relaxed);
@@ -170,19 +179,18 @@ pub fn run_belle2_load(service: &Arc<PlacementService>, config: &LoadConfig) -> 
                             }
                         }
                         decisions.fetch_add(ds.len() as u64, Ordering::Relaxed);
-                    }
-                };
+                    };
                 match config.mode {
                     QueryMode::PerFile => {
                         for req in &requests {
-                            run(service.query(*req).map(|d| vec![d]));
+                            run(&mut || service.query(*req).map(|d| vec![d]));
                         }
                     }
                     QueryMode::Batched => {
                         // One submission per workload-run-sized chunk.
                         let chunk = (requests.len() / config.measured_runs.max(1)).max(1);
                         for part in requests.chunks(chunk) {
-                            run(service.query_many(part));
+                            run(&mut || service.query_many(part));
                         }
                     }
                 }

@@ -4,6 +4,17 @@
 //! Every hot-path touch is a single relaxed atomic op; nothing here takes a
 //! lock, so the ingest shards and the query engine can bump counters from
 //! their own threads without coupling.
+//!
+//! ## Snapshot coherence
+//!
+//! Counters that must satisfy cross-counter invariants (`decisions ==
+//! batched + solo`, `ingested + dropped == offered`, and `offered ==
+//! admitted + shed`) are updated inside an *accounting section*
+//! ([`ServeMetrics::accounting`]): a seqlock-style enter/exit pair.
+//! [`ServeMetrics::snapshot`] retries until it observes no section in
+//! flight and no section completed while it read, so a snapshot taken
+//! mid-batch can no longer show half of a batch's bookkeeping. Gauges
+//! (queue depths, pending requests) are exempt — they are racy by nature.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -11,6 +22,11 @@ use serde::Serialize;
 
 /// Number of power-of-two latency buckets (covers < 1 µs up to > 1 s).
 pub const LATENCY_BUCKETS: usize = 21;
+
+/// Bounded coherent-snapshot retries: accounting sections are a handful of
+/// atomic ops, so this is generous; after it, return what we have rather
+/// than wedge a monitoring thread.
+const SNAPSHOT_RETRIES: usize = 100_000;
 
 /// Live counters shared by the service's threads.
 #[derive(Debug)]
@@ -47,10 +63,42 @@ pub struct ServeMetrics {
     pub model_swaps: AtomicU64,
     /// Retrain cycles completed by the background trainer.
     pub retrains: AtomicU64,
+    /// Requests offered to `query_many` (admission controller input).
+    pub queries_offered: AtomicU64,
+    /// Requests the admission controller let through.
+    pub queries_admitted: AtomicU64,
+    /// Requests shed by the admission controller (`Overloaded`). Always
+    /// `queries_offered == queries_admitted + queries_shed`.
+    pub queries_shed: AtomicU64,
+    /// Requests admitted but not yet answered (gauge).
+    pub pending_requests: AtomicU64,
+    /// High-water mark of `pending_requests`.
+    pub pending_peak: AtomicU64,
+    /// Exponentially weighted moving average of decision latency in
+    /// microseconds (α = 1/8; the admission controller's latency signal).
+    pub latency_ewma_us: AtomicU64,
     /// Decision latency histogram; bucket `i` counts latencies in
     /// `[2^i, 2^(i+1))` microseconds (bucket 0 is `< 2 µs`, the last
     /// bucket is open-ended).
     pub latency_us: [AtomicU64; LATENCY_BUCKETS],
+    /// Accounting sections entered (see module docs).
+    accounting_enter: AtomicU64,
+    /// Accounting sections exited.
+    accounting_exit: AtomicU64,
+}
+
+/// RAII marker for an accounting section: invariant-coupled counters
+/// updated while one of these is alive appear atomically to
+/// [`ServeMetrics::snapshot`]. Keep sections short and never block while
+/// holding one.
+pub struct AccountingGuard<'a> {
+    metrics: &'a ServeMetrics,
+}
+
+impl Drop for AccountingGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.accounting_exit.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 impl ServeMetrics {
@@ -69,8 +117,22 @@ impl ServeMetrics {
             fused_rows: AtomicU64::new(0),
             model_swaps: AtomicU64::new(0),
             retrains: AtomicU64::new(0),
+            queries_offered: AtomicU64::new(0),
+            queries_admitted: AtomicU64::new(0),
+            queries_shed: AtomicU64::new(0),
+            pending_requests: AtomicU64::new(0),
+            pending_peak: AtomicU64::new(0),
+            latency_ewma_us: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            accounting_enter: AtomicU64::new(0),
+            accounting_exit: AtomicU64::new(0),
         }
+    }
+
+    /// Opens an accounting section (see the module docs).
+    pub fn accounting(&self) -> AccountingGuard<'_> {
+        self.accounting_enter.fetch_add(1, Ordering::SeqCst);
+        AccountingGuard { metrics: self }
     }
 
     /// Records one decision latency in microseconds.
@@ -81,8 +143,38 @@ impl ServeMetrics {
         self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A consistent-enough point-in-time copy of every counter.
+    /// Folds one latency sample into the EWMA. Single-writer (the query
+    /// engine actor), so plain load/store is race-free.
+    pub fn update_latency_ewma(&self, sample_us: u64) {
+        let prev = self.latency_ewma_us.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            sample_us
+        } else {
+            (prev * 7 + sample_us) / 8
+        };
+        self.latency_ewma_us.store(next, Ordering::Relaxed);
+    }
+
+    /// A coherent point-in-time copy of every counter: retries while an
+    /// accounting section is in flight so cross-counter invariants hold in
+    /// the result (bounded — falls back to a best-effort read rather than
+    /// spinning forever).
     pub fn snapshot(&self) -> MetricsSnapshot {
+        for _ in 0..SNAPSHOT_RETRIES {
+            let before = self.accounting_enter.load(Ordering::SeqCst);
+            if before != self.accounting_exit.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+                continue;
+            }
+            let snap = self.read_all();
+            if self.accounting_enter.load(Ordering::SeqCst) == before {
+                return snap;
+            }
+        }
+        self.read_all()
+    }
+
+    fn read_all(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             ingested_records: self.ingested_records.load(Ordering::Relaxed),
             ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
@@ -100,6 +192,13 @@ impl ServeMetrics {
             fused_rows: self.fused_rows.load(Ordering::Relaxed),
             model_swaps: self.model_swaps.load(Ordering::Relaxed),
             retrains: self.retrains.load(Ordering::Relaxed),
+            queries_offered: self.queries_offered.load(Ordering::Relaxed),
+            queries_admitted: self.queries_admitted.load(Ordering::Relaxed),
+            queries_shed: self.queries_shed.load(Ordering::Relaxed),
+            pending_requests: self.pending_requests.load(Ordering::Relaxed),
+            pending_peak: self.pending_peak.load(Ordering::Relaxed),
+            latency_ewma_us: self.latency_ewma_us.load(Ordering::Relaxed),
+            engine_queue: 0,
             latency_us: self
                 .latency_us
                 .iter()
@@ -136,6 +235,21 @@ pub struct MetricsSnapshot {
     pub model_swaps: u64,
     /// See [`ServeMetrics::retrains`].
     pub retrains: u64,
+    /// See [`ServeMetrics::queries_offered`].
+    pub queries_offered: u64,
+    /// See [`ServeMetrics::queries_admitted`].
+    pub queries_admitted: u64,
+    /// See [`ServeMetrics::queries_shed`].
+    pub queries_shed: u64,
+    /// See [`ServeMetrics::pending_requests`].
+    pub pending_requests: u64,
+    /// See [`ServeMetrics::pending_peak`].
+    pub pending_peak: u64,
+    /// See [`ServeMetrics::latency_ewma_us`].
+    pub latency_ewma_us: u64,
+    /// Query-engine mailbox depth at snapshot time (gauge; filled in by
+    /// the service, 0 when sampled from raw [`ServeMetrics`]).
+    pub engine_queue: usize,
     /// See [`ServeMetrics::latency_us`].
     pub latency_us: Vec<u64>,
 }
@@ -163,6 +277,7 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn latency_buckets_are_log2() {
@@ -198,5 +313,36 @@ mod tests {
             .p99_latency_us(),
             0
         );
+    }
+
+    #[test]
+    fn ewma_converges_towards_samples() {
+        let m = ServeMetrics::new(1);
+        m.update_latency_ewma(800);
+        assert_eq!(m.latency_ewma_us.load(Ordering::Relaxed), 800);
+        for _ in 0..64 {
+            m.update_latency_ewma(0);
+        }
+        assert!(m.latency_ewma_us.load(Ordering::Relaxed) < 800 / 8);
+    }
+
+    /// A snapshot never observes half of an accounting section: it waits
+    /// for the section to close and then sees all of its updates.
+    #[test]
+    fn snapshot_waits_for_open_accounting_sections() {
+        let m = Arc::new(ServeMetrics::new(1));
+        let guard = m.accounting();
+        m.decisions.fetch_add(5, Ordering::Relaxed);
+        let m2 = Arc::clone(&m);
+        let snapper = std::thread::spawn(move || m2.snapshot());
+        // The section stays open while the snapshot thread (if it got that
+        // far) spins; completing the section lets it through with a
+        // consistent view.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        m.batched_decisions.fetch_add(5, Ordering::Relaxed);
+        drop(guard);
+        let snap = snapper.join().unwrap();
+        assert_eq!(snap.decisions, 5);
+        assert_eq!(snap.batched_decisions, 5);
     }
 }

@@ -1,6 +1,16 @@
 //! [`PlacementService`]: the public face of the serving layer, wiring the
 //! ingest shards, the batched query engine, and the background trainer
 //! together behind one handle.
+//!
+//! All three subsystems run as actors on one shared
+//! [`geomancy_runtime::Reactor`] pool, so the service's thread count is
+//! the (small, fixed) worker count instead of `shards + 2`. In front of
+//! the query path sits a cross-shard admission controller: when the
+//! service is over its queue-depth or latency watermark, `query_many`
+//! defers briefly and then sheds with [`QueryError::Overloaded`] instead
+//! of letting queues grow without bound — and every shed request is
+//! accounted (`queries_offered == queries_admitted + queries_shed`),
+//! mirroring the ingest side's `ingested + dropped == offered`.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -8,19 +18,42 @@ use std::sync::Arc;
 
 use geomancy_core::drl::DrlConfig;
 use geomancy_replaydb::ReplayDb;
+use geomancy_runtime::{Reactor, ReactorConfig, TimeSource};
 use geomancy_sim::record::{AccessRecord, DeviceId};
+use geomancy_sim::SharedSimClock;
 
 use crate::batch::{BatchEngine, BatchParams, Decision, ModelSlot, PlacementRequest, QueryError};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::shard::{Backpressure, ShardSet};
 use crate::trainer::{TrainError, Trainer};
 
+/// Watermarks for the cross-shard admission controller. Disabled by
+/// default: every field `None`/zero admits everything.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionConfig {
+    /// Shed when admitting would push the in-flight request count past
+    /// this bound.
+    pub max_pending_requests: Option<u64>,
+    /// Shed while the decision-latency EWMA (µs) sits above this bound.
+    pub latency_watermark_us: Option<u64>,
+    /// Before shedding, wait this many wall microseconds once and
+    /// re-check — a momentary spike drains instead of shedding. 0 sheds
+    /// immediately.
+    pub defer_micros: u64,
+}
+
+impl AdmissionConfig {
+    fn enabled(&self) -> bool {
+        self.max_pending_requests.is_some() || self.latency_watermark_us.is_some()
+    }
+}
+
 /// Configuration of a [`PlacementService`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Ingest shards (each an independent actor with its own queue/WAL).
     pub shards: usize,
-    /// Bounded depth of each shard queue and of the query queue, in
+    /// Bounded depth of each shard mailbox and of the query mailbox, in
     /// messages.
     pub queue_capacity: usize,
     /// How long the query engine holds an open batch for stragglers, in
@@ -38,6 +71,10 @@ pub struct ServeConfig {
     /// Auto-retrain after this many newly ingested records (`None`
     /// retrains only on explicit [`PlacementService::retrain_now`]).
     pub retrain_every_records: Option<u64>,
+    /// Reactor pool workers running every actor (0 = auto-size).
+    pub reactor_workers: usize,
+    /// Admission-control watermarks for the query path.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +88,8 @@ impl Default for ServeConfig {
             candidates: (0..4).map(DeviceId).collect(),
             drl: DrlConfig::default(),
             retrain_every_records: None,
+            reactor_workers: 0,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -58,67 +97,105 @@ impl Default for ServeConfig {
 /// The online placement service (see the crate docs for the architecture).
 #[derive(Debug)]
 pub struct PlacementService {
-    shards: Arc<ShardSet>,
+    reactor: Option<Reactor>,
+    shards: Option<ShardSet>,
     engine: Option<BatchEngine>,
     trainer: Option<Trainer>,
     slot: Arc<ModelSlot>,
     metrics: Arc<ServeMetrics>,
     /// Ingest high-water mark in simulated microseconds; stamps query
-    /// times so identical request shapes coalesce.
-    clock_micros: Arc<AtomicU64>,
+    /// times so identical request shapes coalesce, and doubles as a
+    /// publishable [`TimeSource`] a test can drive the reactor with.
+    telemetry: SharedSimClock,
     /// Records ingested at the last auto-retrain trigger.
     last_retrain_at: AtomicU64,
     retrain_every_records: Option<u64>,
+    admission: AdmissionConfig,
 }
 
 impl PlacementService {
-    /// Starts the service: spawns `config.shards` ingest actors, the query
-    /// engine, and the trainer.
+    /// Starts the service: one reactor pool running `config.shards` ingest
+    /// actors, the query engine, and the trainer, timed by the wall clock.
     ///
     /// # Panics
     ///
     /// Panics on a zero shard count, zero queue capacity, zero
     /// `max_batch`, empty candidate list, or an unopenable WAL directory.
     pub fn start(config: ServeConfig) -> Self {
+        let telemetry = SharedSimClock::new();
+        PlacementService::start_inner(config, None, telemetry)
+    }
+
+    /// Starts the service with `clock` as *both* the reactor's time source
+    /// and the telemetry clock: batch-window timers then fire only when
+    /// simulated time is published past them (by ingest timestamps or by
+    /// the test directly), making the whole pipeline deterministic.
+    pub fn start_with_clock(config: ServeConfig, clock: SharedSimClock) -> Self {
+        let time: Arc<dyn TimeSource> = Arc::new(clock.clone());
+        PlacementService::start_inner(config, Some(time), clock)
+    }
+
+    fn start_inner(
+        config: ServeConfig,
+        time: Option<Arc<dyn TimeSource>>,
+        telemetry: SharedSimClock,
+    ) -> Self {
         let metrics = Arc::new(ServeMetrics::new(config.shards));
-        let shards = Arc::new(ShardSet::spawn(
+        let mut reactor_config = ReactorConfig {
+            workers: config.reactor_workers,
+            name: "geomancy-serve".to_string(),
+            ..ReactorConfig::default()
+        };
+        if let Some(time) = time {
+            reactor_config.time = time;
+        }
+        let reactor = Reactor::new(reactor_config);
+        let shards = ShardSet::spawn_on(
+            &reactor,
             config.shards,
             config.queue_capacity,
             config.wal_dir.clone(),
             Arc::clone(&metrics),
-        ));
+        );
         let slot = Arc::new(ModelSlot::new());
-        let clock_micros = Arc::new(AtomicU64::new(0));
-        let engine = BatchEngine::spawn(
+        let engine = BatchEngine::spawn_on(
+            &reactor,
             BatchParams {
                 max_batch: config.max_batch,
-                window: std::time::Duration::from_micros(config.batch_window_micros),
+                window_micros: config.batch_window_micros,
                 candidates: config.candidates.clone(),
             },
             Arc::clone(&slot),
-            Arc::clone(&clock_micros),
+            telemetry.clone(),
             Arc::clone(&metrics),
             config.queue_capacity,
         );
-        let trainer = Trainer::spawn(
+        let trainer = Trainer::spawn_on(
+            &reactor,
             config.drl.clone(),
             &shards,
             Arc::clone(&slot),
             Arc::clone(&metrics),
         );
         PlacementService {
-            shards,
+            reactor: Some(reactor),
+            shards: Some(shards),
             engine: Some(engine),
             trainer: Some(trainer),
             slot,
             metrics,
-            clock_micros,
+            telemetry,
             last_retrain_at: AtomicU64::new(0),
             retrain_every_records: config.retrain_every_records,
+            admission: config.admission,
         }
     }
 
-    /// Blocking ingest: waits on full shard queues, drops nothing.
+    fn shards(&self) -> &ShardSet {
+        self.shards.as_ref().expect("shards alive until shutdown")
+    }
+
+    /// Blocking ingest: waits on full shard mailboxes, drops nothing.
     ///
     /// # Errors
     ///
@@ -128,14 +205,13 @@ impl PlacementService {
         timestamp_micros: u64,
         records: &[AccessRecord],
     ) -> Result<(), Backpressure> {
-        self.clock_micros
-            .fetch_max(timestamp_micros, Ordering::Relaxed);
-        let result = self.shards.ingest(timestamp_micros, records);
+        self.telemetry.publish_micros(timestamp_micros);
+        let result = self.shards().ingest(timestamp_micros, records);
         self.maybe_auto_retrain();
         result
     }
 
-    /// Non-blocking ingest: a full shard queue rejects the call with
+    /// Non-blocking ingest: a full shard mailbox rejects the call with
     /// [`Backpressure`] (unsent sub-batches are counted in
     /// `dropped_batches` and their records in `dropped_records`).
     ///
@@ -147,9 +223,8 @@ impl PlacementService {
         timestamp_micros: u64,
         records: &[AccessRecord],
     ) -> Result<(), Backpressure> {
-        self.clock_micros
-            .fetch_max(timestamp_micros, Ordering::Relaxed);
-        let result = self.shards.try_ingest(timestamp_micros, records);
+        self.telemetry.publish_micros(timestamp_micros);
+        let result = self.shards().try_ingest(timestamp_micros, records);
         self.maybe_auto_retrain();
         result
     }
@@ -172,6 +247,33 @@ impl PlacementService {
         }
     }
 
+    /// Whether admitting `incoming` more requests would cross a watermark.
+    fn over_watermarks(&self, incoming: u64) -> bool {
+        if let Some(max) = self.admission.max_pending_requests {
+            // A single submission larger than a nonzero bound is judged
+            // against current occupancy instead (one oversized batch may
+            // overshoot the watermark while the service is quiet) —
+            // otherwise it could never be admitted and a retrying client
+            // would livelock. `max == 0` stays a hard shed-everything
+            // switch.
+            let pending = self.metrics.pending_requests.load(Ordering::Relaxed);
+            let over = if incoming > max && max > 0 {
+                pending > 0
+            } else {
+                pending + incoming > max
+            };
+            if over {
+                return true;
+            }
+        }
+        if let Some(watermark) = self.admission.latency_watermark_us {
+            if self.metrics.latency_ewma_us.load(Ordering::Relaxed) > watermark {
+                return true;
+            }
+        }
+        false
+    }
+
     /// One placement decision (the per-file baseline path).
     ///
     /// # Errors
@@ -183,16 +285,56 @@ impl PlacementService {
     }
 
     /// Decisions for a whole slice of requests, submitted as one message —
-    /// the batched path the engine fuses and dedups.
+    /// the batched path the engine fuses and dedups. Runs through the
+    /// admission controller first: over the watermarks, the call defers
+    /// once (`defer_micros`) and then sheds with
+    /// [`QueryError::Overloaded`]; shed requests never reach the engine.
     ///
     /// # Errors
     ///
     /// See [`QueryError`].
     pub fn query_many(&self, requests: &[PlacementRequest]) -> Result<Vec<Decision>, QueryError> {
-        self.engine
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = requests.len() as u64;
+        if self.admission.enabled() {
+            if self.over_watermarks(n) && self.admission.defer_micros > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(
+                    self.admission.defer_micros,
+                ));
+            }
+            if self.over_watermarks(n) {
+                let _guard = self.metrics.accounting();
+                self.metrics.queries_offered.fetch_add(n, Ordering::Relaxed);
+                self.metrics.queries_shed.fetch_add(n, Ordering::Relaxed);
+                return Err(QueryError::Overloaded);
+            }
+        }
+        {
+            let _guard = self.metrics.accounting();
+            self.metrics.queries_offered.fetch_add(n, Ordering::Relaxed);
+            self.metrics
+                .queries_admitted
+                .fetch_add(n, Ordering::Relaxed);
+        }
+        let pending = self
+            .metrics
+            .pending_requests
+            .fetch_add(n, Ordering::Relaxed)
+            + n;
+        self.metrics
+            .pending_peak
+            .fetch_max(pending, Ordering::Relaxed);
+        let result = self
+            .engine
             .as_ref()
             .expect("engine alive until shutdown")
-            .query_many(requests)
+            .query_many(requests);
+        self.metrics
+            .pending_requests
+            .fetch_sub(n, Ordering::Relaxed);
+        result
     }
 
     /// Runs a retrain cycle now and waits for its model to publish;
@@ -213,26 +355,35 @@ impl PlacementService {
         self.slot.published_epoch()
     }
 
-    /// Point-in-time copy of the service counters.
-    pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+    /// Number of reactor pool workers running the service's actors.
+    pub fn reactor_workers(&self) -> usize {
+        self.reactor
+            .as_ref()
+            .expect("reactor alive until shutdown")
+            .worker_count()
     }
 
-    /// Orderly shutdown: trainer first (no more publishes), then the query
-    /// engine (drains in-flight submissions), then the shards (drain their
-    /// queues, flush WALs). Returns the final per-shard databases.
+    /// Coherent point-in-time copy of the service counters, with live
+    /// gauges (engine mailbox depth) filled in.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        if let Some(engine) = &self.engine {
+            snap.engine_queue = engine.queue_len();
+        }
+        snap
+    }
+
+    /// Orderly shutdown: the reactor drains every mailbox — queued ingest
+    /// batches apply (WALs flush), in-flight queries answer, queued
+    /// retrain cycles finish — then stops its workers. Returns the final
+    /// per-shard databases.
     pub fn shutdown(mut self) -> Vec<ReplayDb> {
-        if let Some(t) = self.trainer.take() {
-            t.shutdown();
-        }
-        if let Some(e) = self.engine.take() {
-            e.shutdown();
-        }
-        let shards = Arc::clone(&self.shards);
-        drop(self); // release the service's Arc before unwrapping
-        Arc::try_unwrap(shards)
-            .expect("all shard handles released at shutdown")
-            .shutdown()
+        drop(self.trainer.take());
+        drop(self.engine.take());
+        let shards = self.shards.take().expect("shutdown runs once");
+        let reactor = self.reactor.take().expect("shutdown runs once");
+        let stopped = reactor.shutdown();
+        shards.take_dbs(&stopped)
     }
 }
 
@@ -338,6 +489,10 @@ mod tests {
         assert_eq!(m.decisions, 30);
         assert_eq!(m.batched_decisions, 30);
         assert_eq!(m.coalesced_decisions, 27);
+        assert_eq!(m.queries_offered, 30);
+        assert_eq!(m.queries_admitted, 30);
+        assert_eq!(m.queries_shed, 0);
+        assert!(m.pending_peak >= 30);
         service.shutdown();
     }
 
@@ -373,5 +528,60 @@ mod tests {
         let shards = service.metrics().queue_depth.len();
         assert_eq!(shards, 2);
         service.shutdown();
+    }
+
+    #[test]
+    fn runs_on_a_fixed_worker_pool() {
+        let mut config = test_config();
+        config.shards = 8;
+        config.reactor_workers = 3;
+        let service = PlacementService::start(config);
+        assert_eq!(service.reactor_workers(), 3);
+        ingest_biased(&service, 300);
+        service.retrain_now().expect("enough data");
+        let dbs = service.shutdown();
+        assert_eq!(dbs.len(), 8);
+        let total: usize = dbs.iter().map(|db| db.len()).sum();
+        assert_eq!(total, 300);
+    }
+
+    /// The whole pipeline on simulated time: the batch window opens on
+    /// submit and closes only when the shared clock is published past it —
+    /// no wall time involved.
+    #[test]
+    fn batch_window_runs_on_shared_sim_time() {
+        let clock = geomancy_sim::SharedSimClock::new();
+        let mut config = test_config();
+        config.batch_window_micros = 1_000_000; // one *simulated* second
+        let service = Arc::new(PlacementService::start_with_clock(config, clock.clone()));
+        ingest_biased(&service, 300); // publishes sim time up to 299 s
+        service.retrain_now().expect("enough data");
+        let s2 = Arc::clone(&service);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let client = std::thread::spawn(move || {
+            let out = s2.query(PlacementRequest {
+                fid: FileId(1),
+                read_bytes: 1_000_000,
+                write_bytes: 0,
+            });
+            tx.send(out).unwrap();
+        });
+        // The batch stays open: simulated time is frozen at the ingest
+        // high-water mark, so the window timer cannot fire.
+        assert!(
+            rx.recv_timeout(std::time::Duration::from_millis(100))
+                .is_err(),
+            "window closed without simulated time advancing"
+        );
+        clock.publish_micros(301_000_000);
+        let decision = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("window closes once sim time passes it")
+            .expect("model is published");
+        assert_eq!(decision.model_epoch, 1);
+        client.join().unwrap();
+        Arc::try_unwrap(service)
+            .unwrap_or_else(|_| panic!("sole owner"))
+            .shutdown();
     }
 }

@@ -3,10 +3,12 @@
 //! The single-threaded Interface Daemon serializes every ingest batch and
 //! query through one channel; here the record stream is split N ways by
 //! [`FileId::stable_hash`], so all telemetry for one file always lands on
-//! the same shard (per-file order is preserved by channel FIFO) while
-//! different files ingest in parallel. Each shard's queue is *bounded*:
-//! when a shard falls behind, [`ShardSet::try_ingest`] reports
-//! backpressure instead of buffering without limit, and the blocking
+//! the same shard (per-file order is preserved by mailbox FIFO) while
+//! different files ingest in parallel. Shard actors run as state machines
+//! on the service's shared [`geomancy_runtime::Reactor`] pool — N shards
+//! no longer cost N threads. Each shard's mailbox is *bounded*: when a
+//! shard falls behind, [`ShardSet::try_ingest`] reports backpressure
+//! instead of buffering without limit, and the blocking
 //! [`ShardSet::ingest`] path simply waits.
 //!
 //! Durability mirrors the daemon's WAL story, but per shard: each actor
@@ -17,11 +19,13 @@
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::bounded;
 use geomancy_replaydb::wal::{shard_path, WalWriter};
 use geomancy_replaydb::ReplayDb;
+use geomancy_runtime::{
+    Actor, ActorHandle, Addr, Ctx, Reactor, ReactorConfig, StoppedReactor, TrySendError,
+};
 use geomancy_sim::record::{AccessRecord, FileId};
 
 use crate::metrics::ServeMetrics;
@@ -42,17 +46,17 @@ impl std::fmt::Display for Backpressure {
 
 impl std::error::Error for Backpressure {}
 
-/// Messages a shard actor accepts.
-#[derive(Debug)]
-enum ShardMsg {
+/// Messages a shard actor accepts. Snapshot replies are continuations so
+/// both blocking callers (channel send) and other actors (`send_now` back
+/// to their own mailbox) can consume them without the shard knowing which.
+pub(crate) enum ShardMsg {
     Batch {
         timestamp_micros: u64,
         records: Vec<AccessRecord>,
     },
     Snapshot {
-        reply: Sender<ReplayDb>,
+        reply: Box<dyn FnOnce(usize, ReplayDb) + Send>,
     },
-    Shutdown,
 }
 
 /// Maps a file to its ingest shard.
@@ -60,16 +64,72 @@ pub fn shard_of(fid: FileId, shards: usize) -> usize {
     (fid.stable_hash() % shards as u64) as usize
 }
 
-/// A set of ingest shard actors.
-#[derive(Debug)]
-pub struct ShardSet {
-    senders: Vec<Sender<ShardMsg>>,
-    handles: Vec<JoinHandle<ReplayDb>>,
+/// One ingest shard as a reactor actor: applies batches in arrival order,
+/// appending to the WAL first (write-ahead) and clamping timestamps
+/// monotonically — shards see only a subset of the global stream, so a
+/// slow producer can hand a shard a timestamp older than one it already
+/// stored; the clamp keeps the shard's log time-ordered without rejecting
+/// data.
+pub(crate) struct ShardActor {
+    shard: usize,
+    db: ReplayDb,
+    wal: Option<WalWriter>,
+    last_ts: u64,
     metrics: Arc<ServeMetrics>,
 }
 
+impl Actor for ShardActor {
+    type Msg = ShardMsg;
+
+    fn on_msg(&mut self, msg: ShardMsg, _ctx: &mut Ctx<'_>) {
+        match msg {
+            ShardMsg::Batch {
+                timestamp_micros,
+                records,
+            } => {
+                let ts = timestamp_micros.max(self.last_ts);
+                self.last_ts = ts;
+                if let Some(w) = &mut self.wal {
+                    w.append_batch(ts, &records)
+                        .expect("shard WAL append failed");
+                    w.flush().expect("shard WAL flush failed");
+                }
+                self.db.insert_batch(ts, &records);
+                self.metrics.queue_depth[self.shard].fetch_sub(1, Ordering::Relaxed);
+            }
+            ShardMsg::Snapshot { reply } => reply(self.shard, self.db.clone()),
+        }
+    }
+
+    fn on_stop(&mut self, _ctx: &mut Ctx<'_>) {
+        if let Some(w) = &mut self.wal {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// A set of ingest shard actors on a reactor.
+pub struct ShardSet {
+    addrs: Vec<Addr<ShardMsg>>,
+    handles: Vec<ActorHandle<ShardActor>>,
+    metrics: Arc<ServeMetrics>,
+    /// Present when spawned standalone (the set owns a private reactor);
+    /// absent when spawned onto a service-owned reactor.
+    own_reactor: Option<Reactor>,
+}
+
+impl std::fmt::Debug for ShardSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("shards", &self.addrs.len())
+            .field("owns_reactor", &self.own_reactor.is_some())
+            .finish()
+    }
+}
+
 impl ShardSet {
-    /// Spawns `shards` actors with `queue_capacity`-deep bounded queues.
+    /// Spawns `shards` actors on a private reactor pool, with
+    /// `queue_capacity`-deep bounded mailboxes.
     ///
     /// With `wal_dir` set, each shard appends to `shard-<i>.wal` in that
     /// directory and starts from whatever an existing log replays to
@@ -85,6 +145,24 @@ impl ShardSet {
         wal_dir: Option<PathBuf>,
         metrics: Arc<ServeMetrics>,
     ) -> Self {
+        let reactor = Reactor::new(ReactorConfig {
+            name: "geomancy-shards".to_string(),
+            ..ReactorConfig::default()
+        });
+        let mut set = ShardSet::spawn_on(&reactor, shards, queue_capacity, wal_dir, metrics);
+        set.own_reactor = Some(reactor);
+        set
+    }
+
+    /// Spawns the shard actors onto an existing reactor (the service path:
+    /// shards share the pool with the query engine and trainer).
+    pub(crate) fn spawn_on(
+        reactor: &Reactor,
+        shards: usize,
+        queue_capacity: usize,
+        wal_dir: Option<PathBuf>,
+        metrics: Arc<ServeMetrics>,
+    ) -> Self {
         assert!(shards > 0, "need at least one ingest shard");
         assert!(
             queue_capacity > 0,
@@ -93,10 +171,9 @@ impl ShardSet {
         if let Some(dir) = &wal_dir {
             std::fs::create_dir_all(dir).expect("failed to create WAL directory");
         }
-        let mut senders = Vec::with_capacity(shards);
+        let mut addrs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
-            let (tx, rx) = bounded(queue_capacity);
             let (db, wal) = match &wal_dir {
                 None => (ReplayDb::new(), None),
                 Some(dir) => {
@@ -116,35 +193,49 @@ impl ShardSet {
                     (db, Some(wal))
                 }
             };
-            let m = Arc::clone(&metrics);
-            let handle = std::thread::Builder::new()
-                .name(format!("geomancy-shard-{i}"))
-                .spawn(move || shard_loop(i, rx, db, wal, m))
-                .expect("failed to spawn shard actor");
-            senders.push(tx);
+            let last_ts = db.records().last().map_or(0, |s| s.timestamp_micros);
+            let (addr, handle) = reactor.spawn(
+                &format!("shard-{i}"),
+                queue_capacity,
+                ShardActor {
+                    shard: i,
+                    db,
+                    wal,
+                    last_ts,
+                    metrics: Arc::clone(&metrics),
+                },
+            );
+            addrs.push(addr);
             handles.push(handle);
         }
         ShardSet {
-            senders,
+            addrs,
             handles,
             metrics,
+            own_reactor: None,
         }
     }
 
     /// Number of shards.
     pub fn len(&self) -> usize {
-        self.senders.len()
+        self.addrs.len()
     }
 
     /// Whether the set is empty (never true for a spawned set).
     pub fn is_empty(&self) -> bool {
-        self.senders.is_empty()
+        self.addrs.is_empty()
+    }
+
+    /// Shard actor addresses, for peers that talk to shards directly (the
+    /// trainer's snapshot fan-out).
+    pub(crate) fn addrs(&self) -> &[Addr<ShardMsg>] {
+        &self.addrs
     }
 
     /// Routes `records` to their shards. Returns one `(shard, sub-batch)`
     /// per shard touched, preserving input order within each sub-batch.
     fn route(&self, records: &[AccessRecord]) -> Vec<(usize, Vec<AccessRecord>)> {
-        let shards = self.senders.len();
+        let shards = self.addrs.len();
         let mut buckets: Vec<Vec<AccessRecord>> = vec![Vec::new(); shards];
         for &r in records {
             buckets[shard_of(r.fid, shards)].push(r);
@@ -156,22 +247,25 @@ impl ShardSet {
             .collect()
     }
 
-    /// Blocking ingest: routes the batch and waits on any full shard queue
-    /// (backpressure by blocking — nothing is dropped).
+    /// Blocking ingest: routes the batch and waits on any full shard
+    /// mailbox (backpressure by blocking — nothing is dropped).
     ///
     /// # Errors
     ///
-    /// Returns [`Backpressure`] only if a shard actor is gone (its channel
-    /// disconnected), which should not happen before shutdown.
+    /// Returns [`Backpressure`] only if a shard actor is gone (shut down
+    /// or dead), which should not happen before shutdown.
     pub fn ingest(
         &self,
         timestamp_micros: u64,
         records: &[AccessRecord],
     ) -> Result<(), Backpressure> {
+        let mut sent_batches = 0u64;
+        let mut sent_records = 0u64;
+        let mut failed = None;
         for (shard, sub) in self.route(records) {
             let n = sub.len() as u64;
             self.metrics.queue_depth[shard].fetch_add(1, Ordering::Relaxed);
-            if self.senders[shard]
+            if self.addrs[shard]
                 .send(ShardMsg::Batch {
                     timestamp_micros,
                     records: sub,
@@ -179,19 +273,31 @@ impl ShardSet {
                 .is_err()
             {
                 self.metrics.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
-                return Err(Backpressure { shard });
+                failed = Some(shard);
+                break;
             }
-            self.metrics.ingest_batches.fetch_add(1, Ordering::Relaxed);
-            self.metrics
-                .ingested_records
-                .fetch_add(n, Ordering::Relaxed);
+            sent_batches += 1;
+            sent_records += n;
         }
-        Ok(())
+        // All of the call's counter updates land in one accounting section
+        // (after the blocking sends — never block inside a section).
+        let _guard = self.metrics.accounting();
+        self.metrics
+            .ingest_batches
+            .fetch_add(sent_batches, Ordering::Relaxed);
+        self.metrics
+            .ingested_records
+            .fetch_add(sent_records, Ordering::Relaxed);
+        match failed {
+            None => Ok(()),
+            Some(shard) => Err(Backpressure { shard }),
+        }
     }
 
-    /// Non-blocking ingest: any full shard queue rejects the *whole* call
-    /// (sub-batches already queued on other shards stay queued — per-file
-    /// streams are unaffected since a file maps to exactly one shard).
+    /// Non-blocking ingest: any full shard mailbox rejects the *whole*
+    /// call (sub-batches already queued on other shards stay queued —
+    /// per-file streams are unaffected since a file maps to exactly one
+    /// shard).
     ///
     /// # Errors
     ///
@@ -205,27 +311,34 @@ impl ShardSet {
         timestamp_micros: u64,
         records: &[AccessRecord],
     ) -> Result<(), Backpressure> {
+        let mut sent_batches = 0u64;
+        let mut sent_records = 0u64;
         let mut routed = self.route(records).into_iter();
         while let Some((shard, sub)) = routed.next() {
             let n = sub.len() as u64;
             self.metrics.queue_depth[shard].fetch_add(1, Ordering::Relaxed);
-            match self.senders[shard].try_send(ShardMsg::Batch {
+            match self.addrs[shard].try_send(ShardMsg::Batch {
                 timestamp_micros,
                 records: sub,
             }) {
                 Ok(()) => {
-                    self.metrics.ingest_batches.fetch_add(1, Ordering::Relaxed);
-                    self.metrics
-                        .ingested_records
-                        .fetch_add(n, Ordering::Relaxed);
+                    sent_batches += 1;
+                    sent_records += n;
                 }
-                Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                Err(TrySendError::Full(_) | TrySendError::Closed(_)) => {
                     self.metrics.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
                     let (mut batches, mut dropped) = (1u64, n);
                     for (_, rest) in routed {
                         batches += 1;
                         dropped += rest.len() as u64;
                     }
+                    let _guard = self.metrics.accounting();
+                    self.metrics
+                        .ingest_batches
+                        .fetch_add(sent_batches, Ordering::Relaxed);
+                    self.metrics
+                        .ingested_records
+                        .fetch_add(sent_records, Ordering::Relaxed);
                     self.metrics
                         .dropped_batches
                         .fetch_add(batches, Ordering::Relaxed);
@@ -236,21 +349,33 @@ impl ShardSet {
                 }
             }
         }
+        let _guard = self.metrics.accounting();
+        self.metrics
+            .ingest_batches
+            .fetch_add(sent_batches, Ordering::Relaxed);
+        self.metrics
+            .ingested_records
+            .fetch_add(sent_records, Ordering::Relaxed);
         Ok(())
     }
 
     /// Snapshots every shard's database (after all batches queued ahead of
-    /// the snapshot request have been applied — the queue is FIFO).
+    /// the snapshot request have been applied — the mailbox is FIFO).
     ///
     /// # Panics
     ///
     /// Panics if a shard actor has died.
     pub fn snapshot_all(&self) -> Vec<ReplayDb> {
-        let mut replies = Vec::with_capacity(self.senders.len());
-        for tx in &self.senders {
-            let (reply, rx) = bounded(1);
-            tx.send(ShardMsg::Snapshot { reply })
-                .expect("shard actor gone");
+        let mut replies = Vec::with_capacity(self.addrs.len());
+        for addr in &self.addrs {
+            let (tx, rx) = bounded(1);
+            addr.send(ShardMsg::Snapshot {
+                reply: Box::new(move |_, db| {
+                    let _ = tx.send(db);
+                }),
+            })
+            .map_err(|_| ())
+            .expect("shard actor gone");
             replies.push(rx);
         }
         replies
@@ -259,59 +384,35 @@ impl ShardSet {
             .collect()
     }
 
-    /// Stops every actor after its queue drains; returns the final
-    /// per-shard databases in shard order.
-    pub fn shutdown(self) -> Vec<ReplayDb> {
-        for tx in &self.senders {
-            let _ = tx.send(ShardMsg::Shutdown);
-        }
-        drop(self.senders);
+    /// Stops the private reactor after every mailbox drains; returns the
+    /// final per-shard databases in shard order. Only valid for sets
+    /// created with [`ShardSet::spawn`] — service-owned sets are collected
+    /// via `take_dbs` after the service shuts its reactor down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard actor panicked, or if the set does not own its
+    /// reactor.
+    pub fn shutdown(mut self) -> Vec<ReplayDb> {
+        let reactor = self
+            .own_reactor
+            .take()
+            .expect("shutdown() is only for standalone ShardSets");
+        let stopped = reactor.shutdown();
+        self.take_dbs(&stopped)
+    }
+
+    /// Recovers each shard's final database from a stopped reactor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard actor panicked.
+    pub(crate) fn take_dbs(self, stopped: &StoppedReactor) -> Vec<ReplayDb> {
         self.handles
             .into_iter()
-            .map(|h| h.join().expect("shard actor panicked"))
+            .map(|h| stopped.take(h).expect("shard actor panicked").db)
             .collect()
     }
-}
-
-/// One shard actor: applies batches in arrival order, appending to the WAL
-/// first (write-ahead) and clamping timestamps monotonically — shards see
-/// only a subset of the global stream, so a slow producer can hand a shard
-/// a timestamp older than one it already stored; the clamp keeps the
-/// shard's log time-ordered without rejecting data.
-fn shard_loop(
-    shard: usize,
-    rx: Receiver<ShardMsg>,
-    mut db: ReplayDb,
-    mut wal: Option<WalWriter>,
-    metrics: Arc<ServeMetrics>,
-) -> ReplayDb {
-    let mut last_ts = db.records().last().map_or(0, |s| s.timestamp_micros);
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            ShardMsg::Batch {
-                timestamp_micros,
-                records,
-            } => {
-                let ts = timestamp_micros.max(last_ts);
-                last_ts = ts;
-                if let Some(w) = &mut wal {
-                    w.append_batch(ts, &records)
-                        .expect("shard WAL append failed");
-                    w.flush().expect("shard WAL flush failed");
-                }
-                db.insert_batch(ts, &records);
-                metrics.queue_depth[shard].fetch_sub(1, Ordering::Relaxed);
-            }
-            ShardMsg::Snapshot { reply } => {
-                let _ = reply.send(db.clone());
-            }
-            ShardMsg::Shutdown => break,
-        }
-    }
-    if let Some(w) = &mut wal {
-        let _ = w.flush();
-    }
-    db
 }
 
 #[cfg(test)]
@@ -354,8 +455,8 @@ mod tests {
     fn try_ingest_reports_backpressure_when_queue_full() {
         let metrics = Arc::new(ServeMetrics::new(1));
         let set = ShardSet::spawn(1, 1, None, Arc::clone(&metrics));
-        // Stall the single shard behind a snapshot of a big queue: fill the
-        // 1-slot queue, then try to add more.
+        // Hammer the single 1-slot shard mailbox: some batches queue, the
+        // rest bounce with Backpressure.
         let mut queued = 0;
         let mut dropped = 0;
         for n in 0..200u64 {

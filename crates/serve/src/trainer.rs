@@ -1,32 +1,44 @@
 //! Background retraining: snapshot the shards, train off to the side,
 //! publish through the [`ModelSlot`].
 //!
-//! Serving never blocks on training: the trainer thread works on merged
-//! *copies* of the shard databases, and the only synchronization with the
-//! query engine is the epoch-pointer publish. Each cycle trains a fresh
-//! engine from the same seeded initialization (plus the epoch, so cycles
-//! differ) — retrain-from-scratch keeps every published model a pure
-//! function of the telemetry window, which is what makes the hot-swap
-//! soak test's "no torn model" claim checkable.
+//! Serving never blocks on training: the trainer works on merged *copies*
+//! of the shard databases, and the only synchronization with the query
+//! engine is the epoch-pointer publish. Each cycle trains a fresh engine
+//! from the same seeded initialization (plus the epoch, so cycles differ)
+//! — retrain-from-scratch keeps every published model a pure function of
+//! the telemetry window, which is what makes the hot-swap soak test's "no
+//! torn model" claim checkable.
+//!
+//! ## Snapshot protocol
+//!
+//! The trainer is an actor on the service's reactor, so it cannot block
+//! waiting for shard replies (that would wedge a pool worker). A cycle
+//! instead fans out one `Snapshot` message per shard whose reply
+//! continuation `send_now`s a [`TrainerMsg::Part`] back to the trainer's
+//! own mailbox; when the last part lands, the trainer merges, trains, and
+//! publishes inline. Snapshot requests ride each shard's FIFO mailbox, so
+//! a cycle still observes every batch ingested before it was requested.
+//! Cycles are serialized: requests arriving mid-cycle queue behind it.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, Sender};
 use geomancy_core::drl::{DrlConfig, DrlEngine};
 use geomancy_replaydb::ReplayDb;
+use geomancy_runtime::{Actor, Addr, Ctx, Reactor};
 
 use crate::batch::ModelSlot;
 use crate::metrics::ServeMetrics;
-use crate::shard::ShardSet;
+use crate::shard::{ShardMsg, ShardSet};
 
 /// Why a retrain cycle produced no model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrainError {
     /// The merged shard snapshot holds too few records to train on.
     NotEnoughData,
-    /// The trainer thread has shut down.
+    /// The trainer has shut down.
     TrainerDown,
 }
 
@@ -41,19 +53,22 @@ impl std::fmt::Display for TrainError {
 
 impl std::error::Error for TrainError {}
 
-enum TrainerMsg {
+pub(crate) enum TrainerMsg {
+    /// Self-address bootstrap, delivered first (mailbox FIFO) so snapshot
+    /// continuations can route parts home.
+    Init(Addr<TrainerMsg>),
     /// Snapshot, retrain, publish; reply with the new epoch.
     TrainNow {
         reply: Option<Sender<Result<u64, TrainError>>>,
     },
-    Shutdown,
+    /// One shard's snapshot arriving for the in-flight cycle.
+    Part { shard: usize, db: ReplayDb },
 }
 
-/// Handle to the background trainer thread.
+/// Handle to the trainer actor.
 #[derive(Debug)]
 pub struct Trainer {
-    tx: Sender<TrainerMsg>,
-    handle: Option<JoinHandle<()>>,
+    addr: Addr<TrainerMsg>,
     /// Whether an async (fire-and-forget) retrain request is already
     /// queued. [`Trainer::request_retrain`] only enqueues when it flips
     /// this false→true, so a burst of ingest-driven triggers coalesces to
@@ -62,63 +77,38 @@ pub struct Trainer {
     async_queued: Arc<AtomicBool>,
 }
 
-/// Everything one retrain cycle needs, bundled for the thread.
-struct TrainerState {
-    drl: DrlConfig,
-    snapshot: SnapshotFn,
-    slot: Arc<ModelSlot>,
-    metrics: Arc<ServeMetrics>,
-}
-
-type SnapshotFn = Box<dyn Fn() -> Vec<ReplayDb> + Send>;
-
 impl Trainer {
-    /// Spawns the trainer. `shards` is shared with the service; snapshots
-    /// go through its FIFO queues, so a snapshot observes every batch
-    /// ingested before the snapshot request.
-    pub(crate) fn spawn(
+    /// Spawns the trainer actor on `reactor`. Snapshots go through the
+    /// shard mailbox FIFOs, so a cycle observes every batch ingested
+    /// before it started.
+    pub(crate) fn spawn_on(
+        reactor: &Reactor,
         drl: DrlConfig,
-        shards: &Arc<ShardSet>,
+        shards: &ShardSet,
         slot: Arc<ModelSlot>,
         metrics: Arc<ServeMetrics>,
     ) -> Self {
-        let shard_ref = Arc::clone(shards);
-        let state = TrainerState {
-            drl,
-            snapshot: Box::new(move || shard_ref.snapshot_all()),
-            slot,
-            metrics,
-        };
-        let (tx, rx) = unbounded();
         let async_queued = Arc::new(AtomicBool::new(false));
-        let queued_flag = Arc::clone(&async_queued);
-        let handle = std::thread::Builder::new()
-            .name("geomancy-trainer".into())
-            .spawn(move || {
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        TrainerMsg::Shutdown => break,
-                        TrainerMsg::TrainNow { reply } => {
-                            // Clear the coalescing flag before training so
-                            // a trigger arriving mid-cycle earns one
-                            // follow-up cycle over the newer data.
-                            if reply.is_none() {
-                                queued_flag.store(false, Ordering::Release);
-                            }
-                            let outcome = train_once(&state);
-                            if let Some(reply) = reply {
-                                let _ = reply.send(outcome);
-                            }
-                        }
-                    }
-                }
-            })
-            .expect("failed to spawn trainer");
-        Trainer {
-            tx,
-            handle: Some(handle),
-            async_queued,
-        }
+        let n = shards.len();
+        let (addr, _handle) = reactor.spawn(
+            "trainer",
+            16,
+            TrainerActor {
+                self_addr: None,
+                shard_addrs: shards.addrs().to_vec(),
+                drl,
+                slot,
+                metrics,
+                async_queued: Arc::clone(&async_queued),
+                collecting: None,
+                queued: VecDeque::new(),
+                shard_count: n,
+            },
+        );
+        addr.send_now(TrainerMsg::Init(addr.clone()))
+            .ok()
+            .expect("trainer mailbox open at spawn");
+        Trainer { addr, async_queued }
     }
 
     /// Runs one retrain cycle and blocks until its model is published.
@@ -129,7 +119,7 @@ impl Trainer {
     /// [`TrainError::TrainerDown`] after shutdown.
     pub fn retrain_now(&self) -> Result<u64, TrainError> {
         let (reply, rx) = bounded(1);
-        self.tx
+        self.addr
             .send(TrainerMsg::TrainNow { reply: Some(reply) })
             .map_err(|_| TrainError::TrainerDown)?;
         rx.recv().map_err(|_| TrainError::TrainerDown)?
@@ -143,42 +133,136 @@ impl Trainer {
             .async_queued
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
+            && self
+                .addr
+                .try_send(TrainerMsg::TrainNow { reply: None })
+                .is_err()
         {
-            let _ = self.tx.send(TrainerMsg::TrainNow { reply: None });
-        }
-    }
-
-    /// Stops the trainer after queued cycles complete.
-    pub fn shutdown(mut self) {
-        let _ = self.tx.send(TrainerMsg::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+            // Mailbox full or closing: give the next trigger its chance.
+            self.async_queued.store(false, Ordering::Release);
         }
     }
 }
 
-impl Drop for Trainer {
-    fn drop(&mut self) {
-        let _ = self.tx.send(TrainerMsg::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
+/// An in-flight cycle's gathered state.
+struct Collect {
+    reply: Option<Sender<Result<u64, TrainError>>>,
+    parts: Vec<Option<ReplayDb>>,
+    got: usize,
+}
+
+struct TrainerActor {
+    self_addr: Option<Addr<TrainerMsg>>,
+    shard_addrs: Vec<Addr<ShardMsg>>,
+    drl: DrlConfig,
+    slot: Arc<ModelSlot>,
+    metrics: Arc<ServeMetrics>,
+    async_queued: Arc<AtomicBool>,
+    collecting: Option<Collect>,
+    /// Cycles requested while one is in flight (serialized FIFO).
+    queued: VecDeque<Option<Sender<Result<u64, TrainError>>>>,
+    shard_count: usize,
+}
+
+impl Actor for TrainerActor {
+    type Msg = TrainerMsg;
+
+    fn on_msg(&mut self, msg: TrainerMsg, _ctx: &mut Ctx<'_>) {
+        match msg {
+            TrainerMsg::Init(addr) => self.self_addr = Some(addr),
+            TrainerMsg::TrainNow { reply } => {
+                if self.collecting.is_some() {
+                    self.queued.push_back(reply);
+                } else {
+                    self.start_cycle(reply);
+                }
+            }
+            TrainerMsg::Part { shard, db } => {
+                let Some(collect) = self.collecting.as_mut() else {
+                    return; // stale part from an abandoned cycle
+                };
+                if collect.parts[shard].is_none() {
+                    collect.parts[shard] = Some(db);
+                    collect.got += 1;
+                }
+                if collect.got == self.shard_count {
+                    self.finish_cycle();
+                }
+            }
         }
+    }
+
+    fn on_stop(&mut self, _ctx: &mut Ctx<'_>) {
+        // A cycle caught mid-collection at shutdown cannot complete (its
+        // remaining parts were purged with the mailboxes); dropping the
+        // reply senders surfaces TrainerDown to any blocked caller.
+        self.collecting = None;
+        self.queued.clear();
     }
 }
 
-/// One cycle: snapshot → merge → train a fresh engine → publish.
-fn train_once(state: &TrainerState) -> Result<u64, TrainError> {
-    use std::sync::atomic::Ordering;
-    let snapshots = (state.snapshot)();
-    let merged = ReplayDb::merged(snapshots.iter());
-    let mut config = state.drl.clone();
-    // Vary initialization per cycle so consecutive models are
-    // distinguishable in the soak test while staying deterministic.
-    config.seed = config.seed.wrapping_add(state.slot.published_epoch());
-    let mut engine = DrlEngine::new(config);
-    if engine.retrain(&merged).is_none() {
-        return Err(TrainError::NotEnoughData);
+impl TrainerActor {
+    /// Fans the snapshot request out to every shard; parts flow back as
+    /// messages. `send_now` keeps the fan-out non-blocking and lets parts
+    /// land even while the service is draining.
+    fn start_cycle(&mut self, reply: Option<Sender<Result<u64, TrainError>>>) {
+        // Clear the coalescing flag before the cycle trains so a trigger
+        // arriving mid-cycle earns one follow-up cycle over newer data.
+        if reply.is_none() {
+            self.async_queued.store(false, Ordering::Release);
+        }
+        self.collecting = Some(Collect {
+            reply,
+            parts: vec![None; self.shard_count],
+            got: 0,
+        });
+        let me = self
+            .self_addr
+            .clone()
+            .expect("Init is delivered before any TrainNow");
+        for addr in &self.shard_addrs {
+            let home = me.clone();
+            if addr
+                .send_now(ShardMsg::Snapshot {
+                    reply: Box::new(move |shard, db| {
+                        let _ = home.send_now(TrainerMsg::Part { shard, db });
+                    }),
+                })
+                .is_err()
+            {
+                // Shard dead (panicked): abandon the cycle; dropping the
+                // reply sender reports TrainerDown to a blocked caller.
+                self.collecting = None;
+                return;
+            }
+        }
     }
-    state.metrics.retrains.fetch_add(1, Ordering::Relaxed);
-    Ok(state.slot.publish(engine))
+
+    /// All parts in hand: merge → train a fresh engine → publish.
+    fn finish_cycle(&mut self) {
+        let collect = self.collecting.take().expect("cycle in flight");
+        let merged = ReplayDb::merged(
+            collect
+                .parts
+                .iter()
+                .map(|p| p.as_ref().expect("all parts collected")),
+        );
+        let mut config = self.drl.clone();
+        // Vary initialization per cycle so consecutive models are
+        // distinguishable in the soak test while staying deterministic.
+        config.seed = config.seed.wrapping_add(self.slot.published_epoch());
+        let mut engine = DrlEngine::new(config);
+        let outcome = if engine.retrain(&merged).is_none() {
+            Err(TrainError::NotEnoughData)
+        } else {
+            self.metrics.retrains.fetch_add(1, Ordering::Relaxed);
+            Ok(self.slot.publish(engine))
+        };
+        if let Some(reply) = collect.reply {
+            let _ = reply.send(outcome);
+        }
+        if let Some(next) = self.queued.pop_front() {
+            self.start_cycle(next);
+        }
+    }
 }

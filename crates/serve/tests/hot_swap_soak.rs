@@ -69,7 +69,9 @@ fn soak_three_swaps_no_lost_records_no_torn_decisions() {
                 .collect();
             while !stop.load(Ordering::Relaxed) {
                 match service.query_many(&requests) {
-                    Err(QueryError::NotReady) => std::thread::yield_now(),
+                    Err(QueryError::NotReady) | Err(QueryError::Overloaded) => {
+                        std::thread::yield_now()
+                    }
                     Err(QueryError::ServiceDown) => break,
                     Ok(decisions) => {
                         // published_epoch is read *after* the reply: the

@@ -46,7 +46,7 @@ pub mod record;
 pub mod traffic;
 
 pub use agents::{ControlAgent, MonitoringAgent};
-pub use clock::SimClock;
+pub use clock::{SharedSimClock, SimClock};
 pub use cluster::{FileMeta, Layout, StorageSystem, StorageSystemBuilder};
 pub use device::{Device, DeviceSpec};
 pub use error::SimError;
