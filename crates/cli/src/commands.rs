@@ -64,6 +64,25 @@ COMMANDS:
                   --json-out PATH     write the load report as JSON
                   --strict            exit nonzero on zero decisions,
                                       dropped batches, or invalid epochs
+                With --listen, serve over TCP instead of running a load:
+                  --listen ADDR       bind HOST:PORT and serve the wire
+                                      protocol until SIGTERM/Ctrl-C
+                  --retrain-every N   auto-retrain after N ingested records
+                  --shard-pending B   per-shard pending bounds: one integer
+                                      for all shards, or a comma list with
+                                      one bound per shard
+    ingest      Ship synthetic telemetry to a running --listen server
+                  --addr HOST:PORT    server to talk to (required)
+                  --records N         records to send (default 300)
+                  --files N           distinct file ids (default 4)
+                  --batch N           records per batch (default 32)
+                  --retrain           request a retrain afterwards
+    query       Ask a running --listen server for placements
+                  --addr HOST:PORT    server to talk to (required)
+                  --count N           placement requests (default 8)
+                  --files N           distinct file ids (default 4)
+                  --bytes N           read size per request (default 1 MB)
+                  --metrics           print the server's counters too
     help        Print this message
 ";
 

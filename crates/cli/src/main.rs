@@ -4,6 +4,7 @@
 
 mod args;
 mod commands;
+mod netcmd;
 
 use args::Args;
 
@@ -26,7 +27,12 @@ fn main() {
         Some("analyze") => commands::analyze(&parsed),
         Some("models") => commands::models(&parsed),
         Some("train") => commands::train_model(&parsed),
-        Some("serve") => commands::serve(&parsed),
+        Some("serve") => match parsed.options.get("listen") {
+            Some(listen) => netcmd::serve_listen(&parsed, &listen.clone()),
+            None => commands::serve(&parsed),
+        },
+        Some("ingest") => netcmd::ingest(&parsed),
+        Some("query") => netcmd::query(&parsed),
         Some("help") | None => {
             println!("{}", commands::USAGE);
             Ok(())

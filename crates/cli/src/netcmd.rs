@@ -1,0 +1,241 @@
+//! Network-mode subcommands: `serve --listen`, `ingest`, and `query` —
+//! the placement service on a real TCP socket, plus the client verbs
+//! that talk to it.
+
+use std::error::Error;
+use std::sync::Arc;
+
+use geomancy_core::drl::DrlConfig;
+use geomancy_net::{Client, ClientConfig, NetConfig, NetServer};
+use geomancy_serve::{AdmissionConfig, PlacementRequest, PlacementService, ServeConfig};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+use crate::args::Args;
+
+/// Cooperative stop flag flipped by SIGINT/SIGTERM.
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        extern "C" fn handle(_sig: i32) {
+            STOP.store(true, Ordering::SeqCst);
+        }
+        // Raw libc signal(2) via the C ABI — no crate dependency. The
+        // handler only flips an atomic, which is async-signal-safe.
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, handle);
+            signal(SIGTERM, handle);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+/// Builds the service the listener fronts, from the same options the
+/// in-process `serve` load mode uses.
+fn build_service(args: &Args) -> Result<Arc<PlacementService>, Box<dyn Error>> {
+    let shards = args.u64_or("shards", 4)? as usize;
+    let per_shard_pending = match args.options.get("shard-pending") {
+        None => Vec::new(),
+        // Either one bound applied to every shard, or a full
+        // comma-separated list (one bound per shard).
+        Some(spec) => {
+            let bounds: Vec<u64> = spec
+                .split(',')
+                .map(|t| t.trim().parse::<u64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| format!("--shard-pending expects integers, got {spec:?}"))?;
+            match bounds.len() {
+                1 => vec![bounds[0]; shards],
+                n if n == shards => bounds,
+                n => {
+                    return Err(
+                        format!("--shard-pending names {n} bounds for {shards} shards").into(),
+                    )
+                }
+            }
+        }
+    };
+    Ok(Arc::new(PlacementService::start(ServeConfig {
+        shards,
+        queue_capacity: args.u64_or("queue-capacity", 1024)? as usize,
+        batch_window_micros: args.u64_or("batch-window-us", 100)?,
+        max_batch: args.u64_or("max-batch", 256)? as usize,
+        wal_dir: args.options.get("wal-dir").map(std::path::PathBuf::from),
+        candidates: (0..6).map(DeviceId).collect(),
+        drl: DrlConfig {
+            train_window: 800,
+            epochs: 20,
+            smoothing_window: 8,
+            seed: args.u64_or("seed", 42)?,
+            ..DrlConfig::default()
+        },
+        retrain_every_records: match args.u64_or("retrain-every", 0)? {
+            0 => None,
+            n => Some(n),
+        },
+        reactor_workers: args.u64_or("reactor-workers", 0)? as usize,
+        admission: AdmissionConfig {
+            max_pending_requests: args
+                .options
+                .get("max-pending")
+                .map(|v| v.parse())
+                .transpose()?,
+            per_shard_pending,
+            ..AdmissionConfig::default()
+        },
+    })))
+}
+
+/// `geomancy serve --listen ADDR`: run the placement service behind a
+/// TCP listener until SIGTERM/Ctrl-C, then drain and exit 0.
+///
+/// # Errors
+///
+/// Returns an error for bad options or a failed bind.
+pub fn serve_listen(args: &Args, listen: &str) -> Result<(), Box<dyn Error>> {
+    let service = build_service(args)?;
+    let server = NetServer::start(listen, Arc::clone(&service), NetConfig::default())?;
+    sig::install();
+    println!(
+        "geomancy-serve listening on {} ({} shards, {} reactor workers); SIGTERM or Ctrl-C drains and exits",
+        server.local_addr(),
+        service.metrics().queue_depth.len(),
+        service.reactor_workers(),
+    );
+    while !sig::stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    println!("draining: closing listener, flushing in-flight replies…");
+    server.shutdown();
+    let service =
+        Arc::try_unwrap(service).map_err(|_| "connections still hold the service after drain")?;
+    let snapshot = service.metrics();
+    service.shutdown();
+    println!(
+        "drained cleanly: {} decisions served, {} records ingested, {} shed",
+        snapshot.decisions, snapshot.ingested_records, snapshot.queries_shed
+    );
+    Ok(())
+}
+
+/// The synthetic biased telemetry the client verbs replay: device 0 is
+/// slow (400 ms per access), device 1 fast (100 ms), so a trained model
+/// has a real gradient to find.
+fn synthetic_record(n: u64, files: u64) -> AccessRecord {
+    let dev = (n % 2) as u32;
+    let dt_ms = if dev == 0 { 400 } else { 100 };
+    let open_ms = n * 1000;
+    let close_ms = open_ms + dt_ms;
+    AccessRecord {
+        access_number: n,
+        fid: FileId(n % files.max(1)),
+        fsid: DeviceId(dev),
+        rb: 1_000_000,
+        wb: 0,
+        ots: open_ms / 1000,
+        otms: (open_ms % 1000) as u16,
+        cts: close_ms / 1000,
+        ctms: (close_ms % 1000) as u16,
+    }
+}
+
+/// `geomancy ingest --addr HOST:PORT`: ship synthetic telemetry batches
+/// to a running server, optionally retraining afterwards.
+///
+/// # Errors
+///
+/// Returns an error for bad options or transport failures.
+pub fn ingest(args: &Args) -> Result<(), Box<dyn Error>> {
+    let addr = args.str_required("addr")?;
+    let records = args.u64_or("records", 300)?;
+    let files = args.u64_or("files", 4)?;
+    let batch = args.u64_or("batch", 32)?.max(1);
+    let client = Client::connect(addr.as_str(), ClientConfig::default())
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+
+    let mut sent = 0u64;
+    let mut batches = 0u64;
+    while sent < records {
+        let n = batch.min(records - sent);
+        let chunk: Vec<AccessRecord> = (sent..sent + n)
+            .map(|i| synthetic_record(i, files))
+            .collect();
+        client
+            .ingest(sent * 1_000_000, &chunk)
+            .map_err(|e| format!("ingest batch {batches}: {e}"))?;
+        sent += n;
+        batches += 1;
+    }
+    println!("ingested {sent} records in {batches} batches to {addr}");
+    if args.flag("retrain")? {
+        let epoch = client.retrain().map_err(|e| format!("retrain: {e}"))?;
+        println!("retrained: model epoch {epoch} published");
+    }
+    Ok(())
+}
+
+/// `geomancy query --addr HOST:PORT`: ask a running server where the
+/// next accesses should land and print each decision.
+///
+/// # Errors
+///
+/// Returns an error for bad options or transport failures.
+pub fn query(args: &Args) -> Result<(), Box<dyn Error>> {
+    let addr = args.str_required("addr")?;
+    let count = args.u64_or("count", 8)?.max(1);
+    let files = args.u64_or("files", 4)?;
+    let bytes = args.u64_or("bytes", 1_000_000)?;
+    let client = Client::connect(addr.as_str(), ClientConfig::default())
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+
+    let health = client.health().map_err(|e| format!("health: {e}"))?;
+    println!(
+        "server at {addr}: epoch {}, {} shards{}",
+        health.published_epoch,
+        health.shards,
+        if health.draining { ", draining" } else { "" }
+    );
+    let requests: Vec<PlacementRequest> = (0..count)
+        .map(|i| PlacementRequest {
+            fid: FileId(i % files.max(1)),
+            read_bytes: bytes,
+            write_bytes: 0,
+        })
+        .collect();
+    let decisions = client
+        .query_many(&requests)
+        .map_err(|e| format!("query: {e}"))?;
+    for d in &decisions {
+        println!(
+            "  fid {} → dev{} ({:.2} MB/s predicted, epoch {}, fused {}/{})",
+            d.fid.0,
+            d.best.0,
+            d.predicted_tp / 1e6,
+            d.model_epoch,
+            d.batch_requests,
+            d.unique_rows,
+        );
+    }
+    if args.flag("metrics")? {
+        let m = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+        println!(
+            "server metrics: {} decisions, offered/admitted/shed {}/{}/{}, shard sheds {:?}",
+            m.decisions, m.queries_offered, m.queries_admitted, m.queries_shed, m.shard_shed
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,796 @@
+//! The Geomancy wire protocol: length-prefixed, versioned binary frames.
+//!
+//! Every message on the wire is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! ──────  ────  ─────────────────────────────────────────────
+//!      0     4  magic          b"GEOM"
+//!      4     1  version        currently 1
+//!      5     1  kind           [`FrameKind`] discriminant
+//!      6     8  correlation id u64 LE, echoed verbatim in the reply
+//!     14     4  payload length u32 LE, bounded by the peer's max
+//!     18     …  payload        kind-specific binary body
+//! ```
+//!
+//! All integers are little-endian. Floats travel as IEEE-754 bit
+//! patterns. Decoding is *total*: any truncated, corrupted, or
+//! oversized input produces a typed [`DecodeError`] — decoders never
+//! panic and the streaming [`FrameReader`] never blocks waiting for
+//! bytes it can already prove will not parse.
+
+use geomancy_serve::{Decision, MetricsSnapshot, PlacementRequest};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"GEOM";
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header length in bytes.
+pub const HEADER_LEN: usize = 18;
+/// Default cap on a single frame's payload (4 MiB).
+pub const DEFAULT_MAX_PAYLOAD: usize = 4 << 20;
+
+/// Bytes one [`AccessRecord`] occupies on the wire.
+pub const RECORD_WIRE_LEN: usize = 56;
+/// Bytes one [`PlacementRequest`] occupies on the wire.
+pub const REQUEST_WIRE_LEN: usize = 24;
+/// Bytes one [`Decision`] occupies on the wire.
+pub const DECISION_WIRE_LEN: usize = 36;
+
+/// What kind of message a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Telemetry batch → server.
+    IngestReq = 1,
+    /// Ingest outcome ← server.
+    IngestResp = 2,
+    /// Batched placement query → server.
+    QueryReq = 3,
+    /// Placement decisions (or a shed status) ← server.
+    QueryResp = 4,
+    /// Metrics snapshot request → server.
+    MetricsReq = 5,
+    /// Metrics snapshot ← server.
+    MetricsResp = 6,
+    /// Liveness/readiness probe → server.
+    HealthReq = 7,
+    /// Probe answer ← server.
+    HealthResp = 8,
+    /// Synchronous retrain request → server.
+    RetrainReq = 9,
+    /// Retrain outcome ← server.
+    RetrainResp = 10,
+}
+
+impl FrameKind {
+    /// Decodes a kind byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnknownKind`] for bytes this version doesn't speak.
+    pub fn from_u8(b: u8) -> Result<FrameKind, DecodeError> {
+        Ok(match b {
+            1 => FrameKind::IngestReq,
+            2 => FrameKind::IngestResp,
+            3 => FrameKind::QueryReq,
+            4 => FrameKind::QueryResp,
+            5 => FrameKind::MetricsReq,
+            6 => FrameKind::MetricsResp,
+            7 => FrameKind::HealthReq,
+            8 => FrameKind::HealthResp,
+            9 => FrameKind::RetrainReq,
+            10 => FrameKind::RetrainResp,
+            other => return Err(DecodeError::UnknownKind(other)),
+        })
+    }
+}
+
+/// Outcome code carried in every response payload. Overload and
+/// backpressure are *statuses the peer can react to*, never silent
+/// connection drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum WireStatus {
+    /// Request served.
+    Ok = 0,
+    /// No model published yet — ingest and retrain first.
+    NotReady = 1,
+    /// Admission control shed the query; back off and retry.
+    Overloaded = 2,
+    /// The service behind the transport has shut down.
+    ServiceDown = 3,
+    /// An ingest shard's queue is full; back off and retry.
+    Backpressure = 4,
+    /// The request payload did not decode.
+    BadRequest = 5,
+    /// The request frame exceeded the server's payload cap.
+    TooLarge = 6,
+    /// The server is draining: finish in-flight work elsewhere.
+    Draining = 7,
+    /// The server hit an internal error serving this request.
+    Internal = 8,
+    /// Retrain refused: not enough telemetry yet.
+    NotEnoughData = 9,
+}
+
+impl WireStatus {
+    /// Decodes a status byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnknownStatus`] for bytes this version doesn't speak.
+    pub fn from_u8(b: u8) -> Result<WireStatus, DecodeError> {
+        Ok(match b {
+            0 => WireStatus::Ok,
+            1 => WireStatus::NotReady,
+            2 => WireStatus::Overloaded,
+            3 => WireStatus::ServiceDown,
+            4 => WireStatus::Backpressure,
+            5 => WireStatus::BadRequest,
+            6 => WireStatus::TooLarge,
+            7 => WireStatus::Draining,
+            8 => WireStatus::Internal,
+            9 => WireStatus::NotEnoughData,
+            other => return Err(DecodeError::UnknownStatus(other)),
+        })
+    }
+
+    /// Whether a client should retry after a short backoff.
+    pub fn retryable(self) -> bool {
+        matches!(self, WireStatus::Overloaded | WireStatus::Backpressure)
+    }
+}
+
+impl std::fmt::Display for WireStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireStatus::Ok => "ok",
+            WireStatus::NotReady => "model not ready",
+            WireStatus::Overloaded => "overloaded (shed by admission control)",
+            WireStatus::ServiceDown => "service down",
+            WireStatus::Backpressure => "ingest backpressure",
+            WireStatus::BadRequest => "bad request",
+            WireStatus::TooLarge => "frame too large",
+            WireStatus::Draining => "server draining",
+            WireStatus::Internal => "internal server error",
+            WireStatus::NotEnoughData => "not enough telemetry to retrain",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a buffer failed to decode. Every variant is a *diagnosis* — the
+/// decoders return these instead of panicking on hostile input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte names a protocol this build doesn't speak.
+    UnsupportedVersion(u8),
+    /// The kind byte is not a known [`FrameKind`].
+    UnknownKind(u8),
+    /// The status byte is not a known [`WireStatus`].
+    UnknownStatus(u8),
+    /// The declared payload length exceeds the configured cap.
+    Oversized {
+        /// Declared payload length.
+        declared: usize,
+        /// Cap it exceeded.
+        max: usize,
+    },
+    /// The buffer ended before the structure it declared.
+    Truncated,
+    /// The payload decoded but left unconsumed bytes behind.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A payload field held an impossible value.
+    BadPayload(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            DecodeError::UnknownStatus(s) => write!(f, "unknown status code {s}"),
+            DecodeError::Oversized { declared, max } => {
+                write!(f, "payload of {declared} bytes exceeds cap of {max}")
+            }
+            DecodeError::Truncated => f.write_str("buffer truncated mid-structure"),
+            DecodeError::TrailingBytes { extra } => {
+                write!(f, "{extra} unconsumed payload bytes")
+            }
+            DecodeError::BadPayload(what) => write!(f, "bad payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One decoded frame: kind, correlation id, raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message kind.
+    pub kind: FrameKind,
+    /// Correlation id — a reply echoes its request's id.
+    pub corr_id: u64,
+    /// Kind-specific binary payload.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(kind: FrameKind, corr_id: u64, payload: Vec<u8>) -> Frame {
+        Frame {
+            kind,
+            corr_id,
+            payload,
+        }
+    }
+
+    /// Appends this frame's bytes to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds `u32::MAX` bytes — the sender's
+    /// bug, not the peer's.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        assert!(
+            self.payload.len() <= u32::MAX as usize,
+            "frame payload too large to express on the wire"
+        );
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.kind as u8);
+        out.extend_from_slice(&self.corr_id.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+    }
+
+    /// This frame's bytes as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+/// Decodes one frame from the front of `bytes`, returning it and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// [`DecodeError::Truncated`] when `bytes` ends before the declared
+/// frame does; the header errors ([`DecodeError::BadMagic`],
+/// [`DecodeError::UnsupportedVersion`], [`DecodeError::UnknownKind`],
+/// [`DecodeError::Oversized`]) as soon as the header disproves itself.
+pub fn decode_frame(bytes: &[u8], max_payload: usize) -> Result<(Frame, usize), DecodeError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let (frame_len, frame) = parse_header(bytes, max_payload)?;
+    if bytes.len() < frame_len {
+        return Err(DecodeError::Truncated);
+    }
+    let mut frame = frame;
+    frame.payload = bytes[HEADER_LEN..frame_len].to_vec();
+    Ok((frame, frame_len))
+}
+
+/// Validates a header already known to span `HEADER_LEN` bytes and
+/// returns the total frame length plus a payload-less [`Frame`].
+fn parse_header(bytes: &[u8], max_payload: usize) -> Result<(usize, Frame), DecodeError> {
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("4-byte slice");
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    if bytes[4] != VERSION {
+        return Err(DecodeError::UnsupportedVersion(bytes[4]));
+    }
+    let kind = FrameKind::from_u8(bytes[5])?;
+    let corr_id = u64::from_le_bytes(bytes[6..14].try_into().expect("8-byte slice"));
+    let declared = u32::from_le_bytes(bytes[14..18].try_into().expect("4-byte slice")) as usize;
+    if declared > max_payload {
+        return Err(DecodeError::Oversized {
+            declared,
+            max: max_payload,
+        });
+    }
+    Ok((
+        HEADER_LEN + declared,
+        Frame {
+            kind,
+            corr_id,
+            payload: Vec::new(),
+        },
+    ))
+}
+
+/// Resumable streaming frame decoder.
+///
+/// Feed it whatever the socket produced — any split, including
+/// mid-header — and pull complete frames out. State survives short
+/// reads, so a blocking reader using a receive timeout as its poll tick
+/// can resume exactly where it left off.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    max_payload: usize,
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_payload` on every frame it decodes.
+    pub fn new(max_payload: usize) -> FrameReader {
+        FrameReader {
+            buf: Vec::new(),
+            max_payload,
+        }
+    }
+
+    /// Appends raw socket bytes to the internal buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, or `None` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`DecodeError`]s as soon as the buffered header disproves
+    /// itself (bad magic, unknown version/kind, oversized declaration) —
+    /// the reader does not wait for a payload it already knows is
+    /// invalid. After an error the stream is unsynchronized; close it.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let (frame_len, mut frame) = parse_header(&self.buf, self.max_payload)?;
+        if self.buf.len() < frame_len {
+            return Ok(None);
+        }
+        frame.payload = self.buf[HEADER_LEN..frame_len].to_vec();
+        self.buf.drain(..frame_len);
+        Ok(Some(frame))
+    }
+
+    /// Whether a partial frame is sitting in the buffer — at EOF this
+    /// means the peer died mid-frame.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+// ───────────────────────── payload cursor ─────────────────────────
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Cur<'a> {
+    b: &'a [u8],
+    p: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Cur<'a> {
+        Cur { b, p: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.p.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.b.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.b[self.p..end];
+        self.p = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2B")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4B")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8B")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Declares the payload fully consumed.
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.p != self.b.len() {
+            return Err(DecodeError::TrailingBytes {
+                extra: self.b.len() - self.p,
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Caps speculative `Vec::with_capacity` from wire-declared counts so a
+/// corrupted count can't allocate gigabytes before the decode loop hits
+/// [`DecodeError::Truncated`].
+fn sane_cap(declared: u32) -> usize {
+    (declared as usize).min(1 << 16)
+}
+
+// ───────────────────────── ingest codec ─────────────────────────
+
+/// Encodes an ingest request payload: timestamp, then the records.
+pub fn encode_ingest_req(timestamp_micros: u64, records: &[AccessRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + records.len() * RECORD_WIRE_LEN);
+    put_u64(&mut out, timestamp_micros);
+    put_u32(&mut out, records.len() as u32);
+    for r in records {
+        put_u64(&mut out, r.access_number);
+        put_u64(&mut out, r.fid.0);
+        put_u32(&mut out, r.fsid.0);
+        put_u64(&mut out, r.rb);
+        put_u64(&mut out, r.wb);
+        put_u64(&mut out, r.ots);
+        put_u16(&mut out, r.otms);
+        put_u64(&mut out, r.cts);
+        put_u16(&mut out, r.ctms);
+    }
+    out
+}
+
+/// Decodes an ingest request payload.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation or trailing bytes.
+pub fn decode_ingest_req(payload: &[u8]) -> Result<(u64, Vec<AccessRecord>), DecodeError> {
+    let mut c = Cur::new(payload);
+    let ts = c.u64()?;
+    let n = c.u32()?;
+    let mut records = Vec::with_capacity(sane_cap(n));
+    for _ in 0..n {
+        records.push(AccessRecord {
+            access_number: c.u64()?,
+            fid: FileId(c.u64()?),
+            fsid: DeviceId(c.u32()?),
+            rb: c.u64()?,
+            wb: c.u64()?,
+            ots: c.u64()?,
+            otms: c.u16()?,
+            cts: c.u64()?,
+            ctms: c.u16()?,
+        });
+    }
+    c.finish()?;
+    Ok((ts, records))
+}
+
+/// Encodes an ingest response: status plus the backpressured shard
+/// index (0 unless the status is [`WireStatus::Backpressure`]).
+pub fn encode_ingest_resp(status: WireStatus, shard: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5);
+    out.push(status as u8);
+    put_u32(&mut out, shard);
+    out
+}
+
+/// Decodes an ingest response.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, unknown status, or trailing
+/// bytes.
+pub fn decode_ingest_resp(payload: &[u8]) -> Result<(WireStatus, u32), DecodeError> {
+    let mut c = Cur::new(payload);
+    let status = WireStatus::from_u8(c.u8()?)?;
+    let shard = c.u32()?;
+    c.finish()?;
+    Ok((status, shard))
+}
+
+// ───────────────────────── query codec ─────────────────────────
+
+/// Encodes a batched placement query payload.
+pub fn encode_query_req(requests: &[PlacementRequest]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + requests.len() * REQUEST_WIRE_LEN);
+    put_u32(&mut out, requests.len() as u32);
+    for r in requests {
+        put_u64(&mut out, r.fid.0);
+        put_u64(&mut out, r.read_bytes);
+        put_u64(&mut out, r.write_bytes);
+    }
+    out
+}
+
+/// Decodes a batched placement query payload.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation or trailing bytes.
+pub fn decode_query_req(payload: &[u8]) -> Result<Vec<PlacementRequest>, DecodeError> {
+    let mut c = Cur::new(payload);
+    let n = c.u32()?;
+    let mut requests = Vec::with_capacity(sane_cap(n));
+    for _ in 0..n {
+        requests.push(PlacementRequest {
+            fid: FileId(c.u64()?),
+            read_bytes: c.u64()?,
+            write_bytes: c.u64()?,
+        });
+    }
+    c.finish()?;
+    Ok(requests)
+}
+
+/// Encodes a successful query response carrying decisions.
+pub fn encode_query_resp_ok(decisions: &[Decision]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + decisions.len() * DECISION_WIRE_LEN);
+    out.push(WireStatus::Ok as u8);
+    put_u32(&mut out, decisions.len() as u32);
+    for d in decisions {
+        put_u64(&mut out, d.fid.0);
+        put_u32(&mut out, d.best.0);
+        put_u64(&mut out, d.predicted_tp.to_bits());
+        put_u64(&mut out, d.model_epoch);
+        put_u32(&mut out, d.batch_requests);
+        put_u32(&mut out, d.unique_rows);
+    }
+    out
+}
+
+/// Encodes a failed query response carrying only a status.
+pub fn encode_query_resp_err(status: WireStatus) -> Vec<u8> {
+    vec![status as u8]
+}
+
+/// Decodes a query response: `Ok` statuses carry decisions, every
+/// other status stands alone.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, unknown status, or trailing
+/// bytes.
+pub fn decode_query_resp(payload: &[u8]) -> Result<(WireStatus, Vec<Decision>), DecodeError> {
+    let mut c = Cur::new(payload);
+    let status = WireStatus::from_u8(c.u8()?)?;
+    if status != WireStatus::Ok {
+        c.finish()?;
+        return Ok((status, Vec::new()));
+    }
+    let n = c.u32()?;
+    let mut decisions = Vec::with_capacity(sane_cap(n));
+    for _ in 0..n {
+        decisions.push(Decision {
+            fid: FileId(c.u64()?),
+            best: DeviceId(c.u32()?),
+            predicted_tp: c.f64()?,
+            model_epoch: c.u64()?,
+            batch_requests: c.u32()?,
+            unique_rows: c.u32()?,
+        });
+    }
+    c.finish()?;
+    Ok((status, decisions))
+}
+
+// ───────────────────────── metrics codec ─────────────────────────
+
+fn put_u64_vec(out: &mut Vec<u8>, v: &[u64]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_u64(out, x);
+    }
+}
+
+fn get_u64_vec(c: &mut Cur<'_>) -> Result<Vec<u64>, DecodeError> {
+    let n = c.u32()?;
+    let mut v = Vec::with_capacity(sane_cap(n));
+    for _ in 0..n {
+        v.push(c.u64()?);
+    }
+    Ok(v)
+}
+
+/// Encodes a metrics response: status byte, the fixed counters, then
+/// the length-prefixed vectors.
+pub fn encode_metrics_resp(snap: &MetricsSnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.push(WireStatus::Ok as u8);
+    for v in [
+        snap.ingested_records,
+        snap.ingest_batches,
+        snap.dropped_batches,
+        snap.dropped_records,
+        snap.decisions,
+        snap.batched_decisions,
+        snap.solo_decisions,
+        snap.coalesced_decisions,
+        snap.fused_rows,
+        snap.model_swaps,
+        snap.retrains,
+        snap.queries_offered,
+        snap.queries_admitted,
+        snap.queries_shed,
+        snap.pending_requests,
+        snap.pending_peak,
+        snap.latency_ewma_us,
+        snap.engine_queue as u64,
+    ] {
+        put_u64(&mut out, v);
+    }
+    let queue_depth: Vec<u64> = snap.queue_depth.iter().map(|&d| d as u64).collect();
+    put_u64_vec(&mut out, &queue_depth);
+    put_u64_vec(&mut out, &snap.pending_per_shard);
+    put_u64_vec(&mut out, &snap.shard_shed);
+    put_u64_vec(&mut out, &snap.latency_us);
+    out
+}
+
+/// Decodes a metrics response back into a [`MetricsSnapshot`].
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, unknown status, or trailing
+/// bytes.
+pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeError> {
+    let mut c = Cur::new(payload);
+    let status = WireStatus::from_u8(c.u8()?)?;
+    if status != WireStatus::Ok {
+        return Err(DecodeError::BadPayload(
+            "metrics response with non-ok status",
+        ));
+    }
+    let ingested_records = c.u64()?;
+    let ingest_batches = c.u64()?;
+    let dropped_batches = c.u64()?;
+    let dropped_records = c.u64()?;
+    let decisions = c.u64()?;
+    let batched_decisions = c.u64()?;
+    let solo_decisions = c.u64()?;
+    let coalesced_decisions = c.u64()?;
+    let fused_rows = c.u64()?;
+    let model_swaps = c.u64()?;
+    let retrains = c.u64()?;
+    let queries_offered = c.u64()?;
+    let queries_admitted = c.u64()?;
+    let queries_shed = c.u64()?;
+    let pending_requests = c.u64()?;
+    let pending_peak = c.u64()?;
+    let latency_ewma_us = c.u64()?;
+    let engine_queue = c.u64()? as usize;
+    let queue_depth: Vec<usize> = get_u64_vec(&mut c)?
+        .into_iter()
+        .map(|d| d as usize)
+        .collect();
+    let pending_per_shard = get_u64_vec(&mut c)?;
+    let shard_shed = get_u64_vec(&mut c)?;
+    let latency_us = get_u64_vec(&mut c)?;
+    c.finish()?;
+    Ok(MetricsSnapshot {
+        ingested_records,
+        ingest_batches,
+        dropped_batches,
+        dropped_records,
+        queue_depth,
+        decisions,
+        batched_decisions,
+        solo_decisions,
+        coalesced_decisions,
+        fused_rows,
+        model_swaps,
+        retrains,
+        queries_offered,
+        queries_admitted,
+        queries_shed,
+        pending_requests,
+        pending_peak,
+        pending_per_shard,
+        shard_shed,
+        latency_ewma_us,
+        engine_queue,
+        latency_us,
+    })
+}
+
+// ───────────────────────── health codec ─────────────────────────
+
+/// What a health probe reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Health {
+    /// Highest model epoch published so far (0 = not ready).
+    pub published_epoch: u64,
+    /// Ingest shard count.
+    pub shards: u32,
+    /// Whether the server is draining toward shutdown.
+    pub draining: bool,
+}
+
+/// Encodes a health response.
+pub fn encode_health_resp(h: &Health) -> Vec<u8> {
+    let mut out = Vec::with_capacity(14);
+    out.push(if h.draining {
+        WireStatus::Draining as u8
+    } else {
+        WireStatus::Ok as u8
+    });
+    put_u64(&mut out, h.published_epoch);
+    put_u32(&mut out, h.shards);
+    out.push(u8::from(h.draining));
+    out
+}
+
+/// Decodes a health response.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, unknown status, or trailing
+/// bytes.
+pub fn decode_health_resp(payload: &[u8]) -> Result<Health, DecodeError> {
+    let mut c = Cur::new(payload);
+    let _status = WireStatus::from_u8(c.u8()?)?;
+    let published_epoch = c.u64()?;
+    let shards = c.u32()?;
+    let draining = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DecodeError::BadPayload("draining flag out of range")),
+    };
+    c.finish()?;
+    Ok(Health {
+        published_epoch,
+        shards,
+        draining,
+    })
+}
+
+// ───────────────────────── retrain codec ─────────────────────────
+
+/// Encodes a retrain response: status plus the published epoch (0 when
+/// the retrain failed).
+pub fn encode_retrain_resp(status: WireStatus, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(status as u8);
+    put_u64(&mut out, epoch);
+    out
+}
+
+/// Decodes a retrain response.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, unknown status, or trailing
+/// bytes.
+pub fn decode_retrain_resp(payload: &[u8]) -> Result<(WireStatus, u64), DecodeError> {
+    let mut c = Cur::new(payload);
+    let status = WireStatus::from_u8(c.u8()?)?;
+    let epoch = c.u64()?;
+    c.finish()?;
+    Ok((status, epoch))
+}

@@ -1,0 +1,341 @@
+//! End-to-end loopback tests: a real [`NetServer`] on 127.0.0.1, real
+//! [`Client`]s, real frames — ingest, retrain, batched queries, metrics,
+//! health, overload-as-a-status, and a client killed mid-stream.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use geomancy_core::drl::DrlConfig;
+use geomancy_net::{Client, ClientConfig, NetConfig, NetError, NetServer, RetryConfig, WireStatus};
+use geomancy_serve::{AdmissionConfig, PlacementRequest, PlacementService, ServeConfig};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+fn rec(n: u64, fid: u64) -> AccessRecord {
+    let dev = (n % 2) as u32;
+    let dt_ms = if dev == 0 { 400 } else { 100 };
+    let open_ms = n * 1000;
+    let close_ms = open_ms + dt_ms;
+    AccessRecord {
+        access_number: n,
+        fid: FileId(fid),
+        fsid: DeviceId(dev),
+        rb: 1_000_000,
+        wb: 0,
+        ots: open_ms / 1000,
+        otms: (open_ms % 1000) as u16,
+        cts: close_ms / 1000,
+        ctms: (close_ms % 1000) as u16,
+    }
+}
+
+fn service(admission: AdmissionConfig, batch_window_micros: u64) -> Arc<PlacementService> {
+    Arc::new(PlacementService::start(ServeConfig {
+        shards: 2,
+        queue_capacity: 64,
+        batch_window_micros,
+        max_batch: 32,
+        candidates: vec![DeviceId(0), DeviceId(1)],
+        drl: DrlConfig {
+            epochs: 10,
+            smoothing_window: 4,
+            ..DrlConfig::default()
+        },
+        admission,
+        ..ServeConfig::default()
+    }))
+}
+
+fn start(svc: &Arc<PlacementService>) -> NetServer {
+    NetServer::start("127.0.0.1:0", Arc::clone(svc), NetConfig::default()).expect("bind loopback")
+}
+
+fn client(server: &NetServer) -> Client {
+    Client::connect(server.local_addr(), ClientConfig::default()).expect("connect")
+}
+
+/// The whole protocol surface over one live socket: health before and
+/// after readiness, ingest, retrain, solo and batched queries, metrics.
+#[test]
+fn full_protocol_over_loopback() {
+    let svc = service(AdmissionConfig::default(), 0);
+    let server = start(&svc);
+    let c = client(&server);
+
+    // Not ready yet: health says epoch 0, queries answer NotReady.
+    let h = c.health().unwrap();
+    assert_eq!(h.published_epoch, 0);
+    assert_eq!(h.shards, 2);
+    assert!(!h.draining);
+    match c.query(PlacementRequest {
+        fid: FileId(0),
+        read_bytes: 1,
+        write_bytes: 0,
+    }) {
+        Err(NetError::Server(WireStatus::NotReady)) => {}
+        other => panic!("expected NotReady, got {other:?}"),
+    }
+
+    // Retrain without data: NotEnoughData as a status, not a hangup.
+    match c.retrain() {
+        Err(NetError::Server(WireStatus::NotEnoughData)) => {}
+        other => panic!("expected NotEnoughData, got {other:?}"),
+    }
+
+    // Ingest telemetry in batches, then retrain over the wire.
+    for b in 0..10u64 {
+        let records: Vec<AccessRecord> =
+            (0..30).map(|i| rec(b * 30 + i, (b * 30 + i) % 4)).collect();
+        c.ingest(b * 30_000_000, &records).unwrap();
+    }
+    let epoch = c.retrain().unwrap();
+    assert_eq!(epoch, 1);
+
+    // Solo and batched queries.
+    let d = c
+        .query(PlacementRequest {
+            fid: FileId(1),
+            read_bytes: 1_000_000,
+            write_bytes: 0,
+        })
+        .unwrap();
+    assert_eq!(d.model_epoch, 1);
+    let batch: Vec<PlacementRequest> = (0..16)
+        .map(|i| PlacementRequest {
+            fid: FileId(i % 4),
+            read_bytes: 1_000_000,
+            write_bytes: 0,
+        })
+        .collect();
+    let ds = c.query_many(&batch).unwrap();
+    assert_eq!(ds.len(), 16);
+    assert!(ds.iter().all(|d| d.model_epoch == 1));
+    // Decisions come back in request order.
+    for (d, q) in ds.iter().zip(&batch) {
+        assert_eq!(d.fid, q.fid);
+    }
+
+    // The metrics snapshot round-trips coherently.
+    let m = c.metrics().unwrap();
+    assert_eq!(m.ingested_records, 300);
+    assert_eq!(m.queries_offered, m.queries_admitted + m.queries_shed);
+    assert_eq!(m.decisions, 17);
+    assert_eq!(m.pending_per_shard.len(), 2);
+
+    assert!(
+        server
+            .stats()
+            .frames_in
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 15
+    );
+    server.shutdown();
+    Arc::try_unwrap(svc).expect("sole owner").shutdown();
+}
+
+/// Overload round-trips as a *wire status*: a zero watermark sheds every
+/// query, the client sees `Server(Overloaded)` after its retries — and
+/// the connection stays usable (health still answers on the same
+/// sockets).
+#[test]
+fn overload_is_a_status_not_a_reset() {
+    let svc = service(
+        AdmissionConfig {
+            max_pending_requests: Some(0),
+            defer_micros: 0,
+            ..AdmissionConfig::default()
+        },
+        0,
+    );
+    // Publish a model so overload is the only obstacle.
+    for i in 0..300u64 {
+        svc.ingest(i * 1_000_000, &[rec(i, i % 4)]).unwrap();
+    }
+    svc.retrain_now().unwrap();
+
+    let server = start(&svc);
+    let c = Client::connect(
+        server.local_addr(),
+        ClientConfig {
+            retry: RetryConfig {
+                max_retries: 2,
+                base_backoff_millis: 1,
+            },
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+
+    for _ in 0..5 {
+        match c.query(PlacementRequest {
+            fid: FileId(0),
+            read_bytes: 1_000_000,
+            write_bytes: 0,
+        }) {
+            Err(NetError::Server(WireStatus::Overloaded)) => {}
+            other => panic!("expected Overloaded status, got {other:?}"),
+        }
+    }
+    // Same connections, still alive and serving.
+    assert_eq!(c.health().unwrap().published_epoch, 1);
+    let m = c.metrics().unwrap();
+    assert!(m.queries_shed >= 5);
+
+    server.shutdown();
+    Arc::try_unwrap(svc).expect("sole owner").shutdown();
+}
+
+/// Kill-mid-stream: a client vanishes with queries in flight (a long
+/// batch window holds them open). The server must keep serving other
+/// connections and release every orphaned reply path — the admission
+/// controller's pending gauge returns to zero.
+#[test]
+fn killed_client_leaks_nothing_and_neighbors_survive() {
+    let svc = service(
+        AdmissionConfig {
+            max_pending_requests: Some(1_000),
+            defer_micros: 0,
+            ..AdmissionConfig::default()
+        },
+        // A long batch window (200 ms) keeps submissions pending long
+        // enough to yank the socket out from under them.
+        200_000,
+    );
+    for i in 0..300u64 {
+        svc.ingest(i * 1_000_000, &[rec(i, i % 4)]).unwrap();
+    }
+    svc.retrain_now().unwrap();
+    let server = start(&svc);
+
+    // The doomed peer: a raw socket fires queries into the open batch
+    // window and vanishes without ever reading a reply.
+    {
+        let payload = geomancy_net::wire::encode_query_req(&[PlacementRequest {
+            fid: FileId(1),
+            read_bytes: 1_000_000,
+            write_bytes: 0,
+        }]);
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        use std::io::Write;
+        for corr in 0..8u64 {
+            let frame =
+                geomancy_net::Frame::new(geomancy_net::FrameKind::QueryReq, corr, payload.clone());
+            raw.write_all(&frame.encode()).unwrap();
+        }
+        raw.flush().unwrap();
+        // Connection dropped with all 8 queries parked in the window.
+        drop(raw);
+    }
+
+    // A healthy neighbor keeps getting answers the whole time.
+    let healthy = client(&server);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut served = 0;
+    while served < 5 && Instant::now() < deadline {
+        let ds = healthy
+            .query_many(&[PlacementRequest {
+                fid: FileId(2),
+                read_bytes: 1_000_000,
+                write_bytes: 0,
+            }])
+            .expect("healthy client must keep being served");
+        assert_eq!(ds.len(), 1);
+        served += 1;
+    }
+    assert_eq!(served, 5, "healthy neighbor starved after a peer died");
+
+    // The orphaned submissions completed into a dead writer; admission
+    // accounting must still have been released.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let m = svc.metrics();
+        if m.pending_requests == 0 && m.pending_per_shard.iter().all(|&p| p == 0) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pending accounting leaked after client death: {m:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    server.shutdown();
+    Arc::try_unwrap(svc).expect("sole owner").shutdown();
+}
+
+/// An oversized frame is answered with `TooLarge` before the connection
+/// closes — the peer learns *why*, instead of seeing a bare reset.
+#[test]
+fn oversized_frame_gets_too_large_then_close() {
+    let svc = service(AdmissionConfig::default(), 0);
+    let server = NetServer::start(
+        "127.0.0.1:0",
+        Arc::clone(&svc),
+        NetConfig {
+            max_payload: 1024,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+
+    use std::io::{Read, Write};
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    let frame = geomancy_net::Frame::new(
+        geomancy_net::FrameKind::QueryReq,
+        5,
+        vec![0u8; 4096], // over the 1 KiB cap
+    );
+    raw.write_all(&frame.encode()).unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap(); // server closes after replying
+    let (reply, _) = geomancy_net::wire::decode_frame(&buf, 1 << 20).unwrap();
+    let (status, _) = geomancy_net::wire::decode_query_resp(&reply.payload).unwrap();
+    assert_eq!(status, WireStatus::TooLarge);
+
+    server.shutdown();
+    Arc::try_unwrap(svc).expect("sole owner").shutdown();
+}
+
+/// Graceful drain: shutdown with replies still queued flushes them —
+/// clients in flight get answers or clean disconnects, never hangs.
+#[test]
+fn shutdown_drains_cleanly_under_traffic() {
+    let svc = service(AdmissionConfig::default(), 0);
+    for i in 0..300u64 {
+        svc.ingest(i * 1_000_000, &[rec(i, i % 4)]).unwrap();
+    }
+    svc.retrain_now().unwrap();
+    let server = start(&svc);
+    let addr = server.local_addr();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let worker = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let c = Client::connect(addr, ClientConfig::default()).expect("connect");
+            let mut answered = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                match c.query_many(&[PlacementRequest {
+                    fid: FileId(1),
+                    read_bytes: 1_000_000,
+                    write_bytes: 0,
+                }]) {
+                    Ok(_) => answered += 1,
+                    // Draining/down/disconnect are all clean ends.
+                    Err(NetError::Server(WireStatus::Draining))
+                    | Err(NetError::Server(WireStatus::ServiceDown))
+                    | Err(NetError::Disconnected)
+                    | Err(NetError::Io(_)) => break,
+                    Err(e) => panic!("unclean shutdown error: {e}"),
+                }
+            }
+            answered
+        })
+    };
+    // Let the worker get some answers, then pull the plug.
+    std::thread::sleep(Duration::from_millis(150));
+    server.shutdown();
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let answered = worker.join().expect("client thread must exit cleanly");
+    assert!(answered > 0, "client never got an answer before shutdown");
+    Arc::try_unwrap(svc).expect("sole owner").shutdown();
+}

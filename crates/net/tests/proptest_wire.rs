@@ -1,0 +1,362 @@
+//! Property tests of the wire protocol: every codec round-trips, the
+//! streaming reader is split-agnostic, and hostile bytes — truncated,
+//! corrupted, oversized — always produce a typed [`DecodeError`],
+//! never a panic or a hang.
+
+use geomancy_net::wire::{
+    self, decode_frame, DecodeError, Frame, FrameKind, FrameReader, Health, WireStatus, HEADER_LEN,
+};
+use geomancy_serve::{Decision, MetricsSnapshot, PlacementRequest};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+use proptest::prelude::*;
+
+fn record(seed: (u64, u64, u32, u64, u64)) -> AccessRecord {
+    let (n, fid, dev, rb, wb) = seed;
+    AccessRecord {
+        access_number: n,
+        fid: FileId(fid),
+        fsid: DeviceId(dev),
+        rb,
+        wb,
+        ots: n,
+        otms: (n % 1000) as u16,
+        cts: n + 1,
+        ctms: ((n + 7) % 1000) as u16,
+    }
+}
+
+fn all_kinds() -> [FrameKind; 10] {
+    [
+        FrameKind::IngestReq,
+        FrameKind::IngestResp,
+        FrameKind::QueryReq,
+        FrameKind::QueryResp,
+        FrameKind::MetricsReq,
+        FrameKind::MetricsResp,
+        FrameKind::HealthReq,
+        FrameKind::HealthResp,
+        FrameKind::RetrainReq,
+        FrameKind::RetrainResp,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn frame_roundtrips(kind_ix in 0usize..10, corr in 0u64..u64::MAX,
+                        payload in proptest::collection::vec(0u8..=255, 0..256)) {
+        let frame = Frame::new(all_kinds()[kind_ix], corr, payload);
+        let bytes = frame.encode();
+        let (back, used) = decode_frame(&bytes, wire::DEFAULT_MAX_PAYLOAD).unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(back, frame);
+    }
+
+    /// The streaming reader reassembles frames no matter how the bytes
+    /// were split — including mid-header and mid-payload.
+    #[test]
+    fn frame_reader_is_split_agnostic(corr in 0u64..1_000_000,
+                                      payload in proptest::collection::vec(0u8..=255, 0..200),
+                                      split in 1usize..16) {
+        let frames: Vec<Frame> = (0..3)
+            .map(|i| Frame::new(all_kinds()[i % 10], corr + i as u64, payload.clone()))
+            .collect();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut bytes);
+        }
+        let mut reader = FrameReader::new(wire::DEFAULT_MAX_PAYLOAD);
+        let mut out = Vec::new();
+        for chunk in bytes.chunks(split) {
+            reader.push(chunk);
+            while let Some(f) = reader.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        prop_assert_eq!(out, frames);
+        prop_assert!(!reader.has_partial());
+    }
+
+    /// Any prefix of a valid frame decodes to `Truncated` (or waits for
+    /// more bytes in the streaming reader) — never a panic.
+    #[test]
+    fn truncated_frames_yield_typed_errors(cut in 0usize..100,
+                                           payload in proptest::collection::vec(0u8..=255, 1..80)) {
+        let frame = Frame::new(FrameKind::QueryReq, 7, payload);
+        let bytes = frame.encode();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let prefix = &bytes[..cut];
+        prop_assert_eq!(
+            decode_frame(prefix, wire::DEFAULT_MAX_PAYLOAD).unwrap_err(),
+            DecodeError::Truncated
+        );
+        let mut reader = FrameReader::new(wire::DEFAULT_MAX_PAYLOAD);
+        reader.push(prefix);
+        // A partial frame is "not yet", never an error or a panic.
+        prop_assert_eq!(reader.next_frame().unwrap(), None);
+        prop_assert_eq!(reader.has_partial(), cut > 0);
+    }
+
+    /// Flipping any single byte of a frame either still decodes (the
+    /// flip landed in the corr id or an opaque payload byte) or yields
+    /// a typed error — never a panic.
+    #[test]
+    fn corrupted_frames_never_panic(flip in 0usize..200, bit in 0u8..8,
+                                    payload in proptest::collection::vec(0u8..=255, 0..80)) {
+        let frame = Frame::new(FrameKind::IngestResp, 99, payload);
+        let mut bytes = frame.encode();
+        let flip = flip % bytes.len();
+        bytes[flip] ^= 1 << bit;
+        let _ = decode_frame(&bytes, wire::DEFAULT_MAX_PAYLOAD);
+        let mut reader = FrameReader::new(wire::DEFAULT_MAX_PAYLOAD);
+        reader.push(&bytes);
+        let _ = reader.next_frame();
+    }
+
+    #[test]
+    fn ingest_codec_roundtrips(ts in 0u64..u64::MAX,
+                               seeds in proptest::collection::vec(
+                                   (0u64..1_000, 0u64..50, 0u32..4, 0u64..1_000_000, 0u64..1_000_000),
+                                   0..40)) {
+        let records: Vec<AccessRecord> = seeds.into_iter().map(record).collect();
+        let payload = wire::encode_ingest_req(ts, &records);
+        let (ts2, back) = wire::decode_ingest_req(&payload).unwrap();
+        prop_assert_eq!(ts2, ts);
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn query_codec_roundtrips(seeds in proptest::collection::vec(
+            (0u64..100, 0u64..1_000_000, 0u64..1_000_000), 0..60)) {
+        let requests: Vec<PlacementRequest> = seeds
+            .into_iter()
+            .map(|(fid, rb, wb)| PlacementRequest {
+                fid: FileId(fid),
+                read_bytes: rb,
+                write_bytes: wb,
+            })
+            .collect();
+        let payload = wire::encode_query_req(&requests);
+        prop_assert_eq!(wire::decode_query_req(&payload).unwrap(), requests);
+    }
+
+    #[test]
+    fn decision_codec_roundtrips(seeds in proptest::collection::vec(
+            (0u64..100, 0u32..4, 0u64..50, 1u32..64, 1u32..64), 0..40)) {
+        let decisions: Vec<Decision> = seeds
+            .into_iter()
+            .map(|(fid, dev, epoch, batch, rows)| Decision {
+                fid: FileId(fid),
+                best: DeviceId(dev),
+                predicted_tp: fid as f64 * 1234.5,
+                model_epoch: epoch,
+                batch_requests: batch,
+                unique_rows: rows,
+            })
+            .collect();
+        let payload = wire::encode_query_resp_ok(&decisions);
+        let (status, back) = wire::decode_query_resp(&payload).unwrap();
+        prop_assert_eq!(status, WireStatus::Ok);
+        prop_assert_eq!(back, decisions);
+    }
+
+    /// Truncating any payload codec's bytes yields a typed error.
+    #[test]
+    fn truncated_payloads_yield_typed_errors(cut in 0usize..500,
+                                             seeds in proptest::collection::vec(
+                                                 (0u64..100, 0u64..9_999, 0u32..4, 1u64..9_999, 0u64..9_999),
+                                                 1..20)) {
+        let records: Vec<AccessRecord> = seeds.into_iter().map(record).collect();
+        let payload = wire::encode_ingest_req(5, &records);
+        let cut = cut.min(payload.len().saturating_sub(1));
+        prop_assert_eq!(
+            wire::decode_ingest_req(&payload[..cut]).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    /// Appending garbage to a payload yields `TrailingBytes`.
+    #[test]
+    fn trailing_bytes_are_detected(extra in 1usize..32,
+                                   seeds in proptest::collection::vec(
+                                       (0u64..100, 1u64..9_999, 0u64..9_999), 0..20)) {
+        let requests: Vec<PlacementRequest> = seeds
+            .into_iter()
+            .map(|(fid, rb, wb)| PlacementRequest {
+                fid: FileId(fid),
+                read_bytes: rb,
+                write_bytes: wb,
+            })
+            .collect();
+        let mut payload = wire::encode_query_req(&requests);
+        payload.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert_eq!(
+            wire::decode_query_req(&payload).unwrap_err(),
+            DecodeError::TrailingBytes { extra }
+        );
+    }
+}
+
+/// A metrics snapshot with every field populated distinctly.
+fn full_snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        ingested_records: 1,
+        ingest_batches: 2,
+        dropped_batches: 3,
+        dropped_records: 4,
+        queue_depth: vec![5, 6, 7],
+        decisions: 8,
+        batched_decisions: 9,
+        solo_decisions: 10,
+        coalesced_decisions: 11,
+        fused_rows: 12,
+        model_swaps: 13,
+        retrains: 14,
+        queries_offered: 15,
+        queries_admitted: 16,
+        queries_shed: 17,
+        pending_requests: 18,
+        pending_peak: 19,
+        pending_per_shard: vec![20, 21, 22],
+        shard_shed: vec![23, 24, 25],
+        latency_ewma_us: 26,
+        engine_queue: 27,
+        latency_us: vec![28, 29, 30, 31],
+    }
+}
+
+#[test]
+fn metrics_codec_roundtrips_every_field() {
+    let snap = full_snapshot();
+    let payload = wire::encode_metrics_resp(&snap);
+    let back = wire::decode_metrics_resp(&payload).unwrap();
+    // Field-by-field: a silently dropped field would still "round-trip"
+    // under a buggy symmetric codec, but can't survive this.
+    assert_eq!(back.ingested_records, 1);
+    assert_eq!(back.queue_depth, vec![5, 6, 7]);
+    assert_eq!(back.pending_per_shard, vec![20, 21, 22]);
+    assert_eq!(back.shard_shed, vec![23, 24, 25]);
+    assert_eq!(back.latency_us, vec![28, 29, 30, 31]);
+    assert_eq!(back.engine_queue, 27);
+    assert_eq!(back.latency_ewma_us, 26);
+    assert_eq!(back.queries_offered, 15);
+    assert_eq!(back.queries_admitted, 16);
+    assert_eq!(back.queries_shed, 17);
+    assert_eq!(back.pending_requests, 18);
+    assert_eq!(back.pending_peak, 19);
+}
+
+#[test]
+fn health_and_retrain_codecs_roundtrip() {
+    for draining in [false, true] {
+        let h = Health {
+            published_epoch: 42,
+            shards: 4,
+            draining,
+        };
+        let back = wire::decode_health_resp(&wire::encode_health_resp(&h)).unwrap();
+        assert_eq!(back, h);
+    }
+    for status in [
+        WireStatus::Ok,
+        WireStatus::NotEnoughData,
+        WireStatus::ServiceDown,
+    ] {
+        let payload = wire::encode_retrain_resp(status, 7);
+        assert_eq!(wire::decode_retrain_resp(&payload).unwrap(), (status, 7));
+    }
+}
+
+/// A hand-built corpus of hostile frames — each byte pattern names the
+/// exact typed error it must produce.
+#[test]
+fn hostile_frame_corpus_yields_exact_errors() {
+    let good = Frame::new(FrameKind::HealthReq, 1, Vec::new()).encode();
+
+    // Wrong magic.
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    assert_eq!(
+        decode_frame(&bad_magic, 1024).unwrap_err(),
+        DecodeError::BadMagic(*b"XEOM")
+    );
+
+    // Future protocol version.
+    let mut bad_version = good.clone();
+    bad_version[4] = 9;
+    assert_eq!(
+        decode_frame(&bad_version, 1024).unwrap_err(),
+        DecodeError::UnsupportedVersion(9)
+    );
+
+    // Unknown kind byte.
+    let mut bad_kind = good.clone();
+    bad_kind[5] = 200;
+    assert_eq!(
+        decode_frame(&bad_kind, 1024).unwrap_err(),
+        DecodeError::UnknownKind(200)
+    );
+
+    // Declared payload over the cap: rejected from the header alone —
+    // the reader must not wait for (or buffer) the oversized body.
+    let huge = Frame::new(FrameKind::QueryReq, 2, vec![0u8; 64]).encode();
+    let mut reader = FrameReader::new(16);
+    reader.push(&huge[..HEADER_LEN]);
+    assert_eq!(
+        reader.next_frame().unwrap_err(),
+        DecodeError::Oversized {
+            declared: 64,
+            max: 16
+        }
+    );
+
+    // Unknown status byte inside a response payload.
+    assert_eq!(
+        wire::decode_ingest_resp(&[250, 0, 0, 0, 0]).unwrap_err(),
+        DecodeError::UnknownStatus(250)
+    );
+
+    // Draining flag out of range.
+    let mut health = wire::encode_health_resp(&Health {
+        published_epoch: 1,
+        shards: 1,
+        draining: false,
+    });
+    *health.last_mut().unwrap() = 7;
+    assert_eq!(
+        wire::decode_health_resp(&health).unwrap_err(),
+        DecodeError::BadPayload("draining flag out of range")
+    );
+
+    // Empty payloads where structure is required.
+    assert_eq!(
+        wire::decode_query_resp(&[]).unwrap_err(),
+        DecodeError::Truncated
+    );
+    assert_eq!(
+        wire::decode_metrics_resp(&[]).unwrap_err(),
+        DecodeError::Truncated
+    );
+}
+
+/// A corrupted count field cannot make the decoder allocate the
+/// declared size or hang — it hits `Truncated` as soon as the bytes
+/// run out.
+#[test]
+fn corrupted_count_fields_fail_fast() {
+    let mut payload = wire::encode_query_req(&[PlacementRequest {
+        fid: FileId(1),
+        read_bytes: 2,
+        write_bytes: 3,
+    }]);
+    payload[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        wire::decode_query_req(&payload).unwrap_err(),
+        DecodeError::Truncated
+    );
+    let mut ingest = wire::encode_ingest_req(9, &[]);
+    ingest[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(
+        wire::decode_ingest_req(&ingest).unwrap_err(),
+        DecodeError::Truncated
+    );
+}

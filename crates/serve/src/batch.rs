@@ -142,12 +142,37 @@ impl ModelSlot {
     }
 }
 
-/// One submission: requests plus the channel to answer them on.
+/// How a submission wants its decisions delivered.
+///
+/// Blocking callers park on a channel; the transport layer hands in a
+/// callback instead, so the engine actor can answer a wire request
+/// without anybody blocking on anybody (the callback runs inline in the
+/// engine actor and must therefore never block — `geomancy-net` resolves
+/// it to a `send_now` into a writer actor's mailbox).
+pub(crate) enum Reply {
+    /// Complete a parked [`BatchEngine::query_many`] call.
+    Channel(Sender<Result<Vec<Decision>, QueryError>>),
+    /// Invoke a completion (the async / transport path).
+    Callback(Box<dyn FnOnce(Result<Vec<Decision>, QueryError>) + Send>),
+}
+
+impl Reply {
+    fn send(self, result: Result<Vec<Decision>, QueryError>) {
+        match self {
+            Reply::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Reply::Callback(f) => f(result),
+        }
+    }
+}
+
+/// One submission: requests plus the reply path to answer them on.
 pub(crate) struct Submission {
     requests: Vec<PlacementRequest>,
     /// Reactor-time enqueue stamp (microseconds) for latency accounting.
     enqueued_micros: u64,
-    reply: Sender<Result<Vec<Decision>, QueryError>>,
+    reply: Reply,
 }
 
 /// Tuning knobs for the engine (split out so signatures stay readable).
@@ -226,10 +251,35 @@ impl BatchEngine {
             .send(Submission {
                 requests: requests.to_vec(),
                 enqueued_micros: self.time.now_micros(),
-                reply,
+                reply: Reply::Channel(reply),
             })
             .map_err(|_| QueryError::ServiceDown)?;
         rx.recv().map_err(|_| QueryError::ServiceDown)?
+    }
+
+    /// Submits `requests` with a completion instead of blocking: `done`
+    /// runs exactly once, inline in the engine actor when the batch
+    /// closes (so it must not block), or on this thread with
+    /// [`QueryError::ServiceDown`] if the engine is already gone.
+    ///
+    /// The submitting send itself still blocks while the engine mailbox
+    /// is full — that is the transport's backpressure point.
+    pub fn query_many_async(
+        &self,
+        requests: Vec<PlacementRequest>,
+        done: Box<dyn FnOnce(Result<Vec<Decision>, QueryError>) + Send>,
+    ) {
+        if requests.is_empty() {
+            done(Ok(Vec::new()));
+            return;
+        }
+        if let Err(closed) = self.addr.send(Submission {
+            requests,
+            enqueued_micros: self.time.now_micros(),
+            reply: Reply::Callback(done),
+        }) {
+            closed.0.reply.send(Err(QueryError::ServiceDown));
+        }
     }
 
     /// Submissions currently queued in the engine's mailbox (gauge).
@@ -304,7 +354,7 @@ impl BatchActor {
         let batch_requests: usize = self.pending.iter().map(|s| s.requests.len()).sum();
         let Some(model) = self.engine.as_mut() else {
             for sub in self.pending.drain(..) {
-                let _ = sub.reply.send(Err(QueryError::NotReady));
+                sub.reply.send(Err(QueryError::NotReady));
             }
             return;
         };
@@ -385,7 +435,7 @@ impl BatchActor {
             let waited = served_at.saturating_sub(sub.enqueued_micros);
             self.metrics.observe_latency_us(waited);
             self.metrics.update_latency_ewma(waited);
-            let _ = sub.reply.send(Ok(decisions));
+            sub.reply.send(Ok(decisions));
         }
     }
 }

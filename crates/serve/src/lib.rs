@@ -65,7 +65,7 @@ pub mod shard;
 pub mod trainer;
 
 pub use batch::{Decision, ModelSlot, PlacementRequest, QueryError};
-pub use load::{run_belle2_load, LoadConfig, LoadReport, QueryMode};
+pub use load::{prepare_belle2, run_belle2_load, LoadConfig, LoadReport, PreparedLoad, QueryMode};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use service::{AdmissionConfig, PlacementService, ServeConfig};
 pub use shard::{shard_of, Backpressure, ShardSet};

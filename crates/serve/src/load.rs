@@ -90,20 +90,27 @@ pub struct LoadReport {
     pub metrics: MetricsSnapshot,
 }
 
-/// Executes the workload and drives `service`; see the module docs.
-///
-/// # Panics
-///
-/// Panics if the service cannot ingest (a shard died), if retraining
-/// fails with enough data, or if a query client errors.
-pub fn run_belle2_load(service: &Arc<PlacementService>, config: &LoadConfig) -> LoadReport {
+/// The BELLE II load, prepared ahead of driving a service: warm-up
+/// telemetry batches (with their ingest timestamps) and the measured
+/// phase's placement question list. Computing this once lets the same
+/// workload drive the in-process service handle and the TCP wire path.
+#[derive(Debug, Clone)]
+pub struct PreparedLoad {
+    /// `(timestamp_micros, records)` ingest batches, in order.
+    pub warmup_batches: Vec<(u64, Vec<AccessRecord>)>,
+    /// Placement questions the measured phase replays.
+    pub requests: Vec<PlacementRequest>,
+}
+
+/// Executes the BELLE II workload on the simulated Bluesky substrate and
+/// returns its telemetry and question list; see [`PreparedLoad`].
+pub fn prepare_belle2(config: &LoadConfig) -> PreparedLoad {
     let mut system = bluesky_system(config.seed);
     let mut workload =
         Belle2Workload::with_params(config.seed.wrapping_add(1), config.file_count, 0);
     place_files_spread(&mut system, &workload);
 
-    // Warm-up: execute and ingest telemetry (blocking ingest — the CI
-    // smoke asserts zero dropped batches, so nothing may be shed here).
+    let mut warmup_batches: Vec<(u64, Vec<AccessRecord>)> = Vec::new();
     let mut batch: Vec<AccessRecord> = Vec::new();
     for _ in 0..config.warmup_runs.max(1) {
         for op in workload.next_run() {
@@ -115,22 +122,14 @@ pub fn run_belle2_load(service: &Arc<PlacementService>, config: &LoadConfig) -> 
             .expect("workload references a registered file");
             batch.push(record);
             if batch.len() >= 32 {
-                service
-                    .ingest(system.clock().now_micros(), &batch)
-                    .expect("ingest shard died");
-                batch.clear();
+                warmup_batches.push((system.clock().now_micros(), std::mem::take(&mut batch)));
             }
         }
         system.idle(5.0);
     }
     if !batch.is_empty() {
-        service
-            .ingest(system.clock().now_micros(), &batch)
-            .expect("ingest shard died");
+        warmup_batches.push((system.clock().now_micros(), batch));
     }
-    service
-        .retrain_now()
-        .expect("warm-up produced enough telemetry");
 
     // Build the measured phase's question list from real runs: per op, ask
     // where the file's next access (whole-file read/write) should land.
@@ -147,6 +146,30 @@ pub fn run_belle2_load(service: &Arc<PlacementService>, config: &LoadConfig) -> 
             });
         }
     }
+    PreparedLoad {
+        warmup_batches,
+        requests,
+    }
+}
+
+/// Executes the workload and drives `service`; see the module docs.
+///
+/// # Panics
+///
+/// Panics if the service cannot ingest (a shard died), if retraining
+/// fails with enough data, or if a query client errors.
+pub fn run_belle2_load(service: &Arc<PlacementService>, config: &LoadConfig) -> LoadReport {
+    let prepared = prepare_belle2(config);
+
+    // Warm-up: ingest telemetry (blocking ingest — the CI smoke asserts
+    // zero dropped batches, so nothing may be shed here).
+    for (ts, batch) in &prepared.warmup_batches {
+        service.ingest(*ts, batch).expect("ingest shard died");
+    }
+    service
+        .retrain_now()
+        .expect("warm-up produced enough telemetry");
+    let requests = prepared.requests;
 
     // Measured phase: `clients` threads replay the question list
     // concurrently while the main thread optionally retrains mid-load.

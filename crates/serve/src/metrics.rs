@@ -74,6 +74,12 @@ pub struct ServeMetrics {
     pub pending_requests: AtomicU64,
     /// High-water mark of `pending_requests`.
     pub pending_peak: AtomicU64,
+    /// Per-shard slice of `pending_requests` (requests map to shards by
+    /// the queried file's hash, the same map ingest uses). Gauge.
+    pub pending_per_shard: Vec<AtomicU64>,
+    /// Requests shed because one of their target shards was over its
+    /// per-shard pending bound (a subset of `queries_shed`).
+    pub shard_shed: Vec<AtomicU64>,
     /// Exponentially weighted moving average of decision latency in
     /// microseconds (α = 1/8; the admission controller's latency signal).
     pub latency_ewma_us: AtomicU64,
@@ -122,6 +128,8 @@ impl ServeMetrics {
             queries_shed: AtomicU64::new(0),
             pending_requests: AtomicU64::new(0),
             pending_peak: AtomicU64::new(0),
+            pending_per_shard: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_shed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             latency_ewma_us: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
             accounting_enter: AtomicU64::new(0),
@@ -197,6 +205,16 @@ impl ServeMetrics {
             queries_shed: self.queries_shed.load(Ordering::Relaxed),
             pending_requests: self.pending_requests.load(Ordering::Relaxed),
             pending_peak: self.pending_peak.load(Ordering::Relaxed),
+            pending_per_shard: self
+                .pending_per_shard
+                .iter()
+                .map(|p| p.load(Ordering::Relaxed))
+                .collect(),
+            shard_shed: self
+                .shard_shed
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .collect(),
             latency_ewma_us: self.latency_ewma_us.load(Ordering::Relaxed),
             engine_queue: 0,
             latency_us: self
@@ -245,6 +263,10 @@ pub struct MetricsSnapshot {
     pub pending_requests: u64,
     /// See [`ServeMetrics::pending_peak`].
     pub pending_peak: u64,
+    /// See [`ServeMetrics::pending_per_shard`].
+    pub pending_per_shard: Vec<u64>,
+    /// See [`ServeMetrics::shard_shed`].
+    pub shard_shed: Vec<u64>,
     /// See [`ServeMetrics::latency_ewma_us`].
     pub latency_ewma_us: u64,
     /// Query-engine mailbox depth at snapshot time (gauge; filled in by

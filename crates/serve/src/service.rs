@@ -28,7 +28,7 @@ use crate::shard::{Backpressure, ShardSet};
 use crate::trainer::{TrainError, Trainer};
 
 /// Watermarks for the cross-shard admission controller. Disabled by
-/// default: every field `None`/zero admits everything.
+/// default: every field `None`/zero/empty admits everything.
 #[derive(Debug, Clone, Default)]
 pub struct AdmissionConfig {
     /// Shed when admitting would push the in-flight request count past
@@ -36,6 +36,13 @@ pub struct AdmissionConfig {
     pub max_pending_requests: Option<u64>,
     /// Shed while the decision-latency EWMA (µs) sits above this bound.
     pub latency_watermark_us: Option<u64>,
+    /// Per-shard pending bounds, one entry per ingest shard (requests map
+    /// to shards by the queried file's [`crate::shard_of`] hash): a
+    /// submission sheds when any shard it targets would exceed its own
+    /// bound, so one hot shard sheds without starving queries aimed at
+    /// the others. Empty disables per-shard admission; a non-empty vector
+    /// must have exactly `shards` entries.
+    pub per_shard_pending: Vec<u64>,
     /// Before shedding, wait this many wall microseconds once and
     /// re-check — a momentary spike drains instead of shedding. 0 sheds
     /// immediately.
@@ -44,7 +51,9 @@ pub struct AdmissionConfig {
 
 impl AdmissionConfig {
     fn enabled(&self) -> bool {
-        self.max_pending_requests.is_some() || self.latency_watermark_us.is_some()
+        self.max_pending_requests.is_some()
+            || self.latency_watermark_us.is_some()
+            || !self.per_shard_pending.is_empty()
     }
 }
 
@@ -111,6 +120,18 @@ pub struct PlacementService {
     last_retrain_at: AtomicU64,
     retrain_every_records: Option<u64>,
     admission: AdmissionConfig,
+    /// Shard count, for mapping queried files to shards in per-shard
+    /// admission.
+    shard_count: usize,
+}
+
+/// Receipt for an admitted submission: what [`PlacementService::admit`]
+/// charged to the pending gauges, so the release after the reply (or after
+/// an orphaned completion) subtracts exactly the same amounts.
+struct Admitted {
+    total: u64,
+    /// Per-shard request counts; empty when per-shard admission is off.
+    per_shard: Vec<u64>,
 }
 
 impl PlacementService {
@@ -140,6 +161,11 @@ impl PlacementService {
         time: Option<Arc<dyn TimeSource>>,
         telemetry: SharedSimClock,
     ) -> Self {
+        assert!(
+            config.admission.per_shard_pending.is_empty()
+                || config.admission.per_shard_pending.len() == config.shards,
+            "per_shard_pending must have one bound per shard"
+        );
         let metrics = Arc::new(ServeMetrics::new(config.shards));
         let mut reactor_config = ReactorConfig {
             workers: config.reactor_workers,
@@ -188,6 +214,7 @@ impl PlacementService {
             last_retrain_at: AtomicU64::new(0),
             retrain_every_records: config.retrain_every_records,
             admission: config.admission,
+            shard_count: config.shards,
         }
     }
 
@@ -247,22 +274,27 @@ impl PlacementService {
         }
     }
 
-    /// Whether admitting `incoming` more requests would cross a watermark.
-    fn over_watermarks(&self, incoming: u64) -> bool {
+    /// The watermark rule shared by the global and per-shard bounds: a
+    /// single submission larger than a nonzero bound is judged against
+    /// current occupancy instead (one oversized batch may overshoot the
+    /// watermark while the service is quiet) — otherwise it could never
+    /// be admitted and a retrying client would livelock. `max == 0` stays
+    /// a hard shed-everything switch.
+    fn bound_breached(pending: u64, incoming: u64, max: u64) -> bool {
+        if incoming > max && max > 0 {
+            pending > 0
+        } else {
+            pending + incoming > max
+        }
+    }
+
+    /// Whether admitting `incoming` more requests (distributed over the
+    /// shards as `per_shard`, when per-shard admission is on) would cross
+    /// a watermark.
+    fn over_watermarks(&self, incoming: u64, per_shard: &[u64]) -> bool {
         if let Some(max) = self.admission.max_pending_requests {
-            // A single submission larger than a nonzero bound is judged
-            // against current occupancy instead (one oversized batch may
-            // overshoot the watermark while the service is quiet) —
-            // otherwise it could never be admitted and a retrying client
-            // would livelock. `max == 0` stays a hard shed-everything
-            // switch.
             let pending = self.metrics.pending_requests.load(Ordering::Relaxed);
-            let over = if incoming > max && max > 0 {
-                pending > 0
-            } else {
-                pending + incoming > max
-            };
-            if over {
+            if PlacementService::bound_breached(pending, incoming, max) {
                 return true;
             }
         }
@@ -271,7 +303,96 @@ impl PlacementService {
                 return true;
             }
         }
-        false
+        self.breached_shards(per_shard).next().is_some()
+    }
+
+    /// Shards whose per-shard bound the submission would breach.
+    fn breached_shards<'a>(&'a self, per_shard: &'a [u64]) -> impl Iterator<Item = usize> + 'a {
+        self.admission
+            .per_shard_pending
+            .iter()
+            .zip(per_shard)
+            .enumerate()
+            .filter(|(k, (&max, &incoming))| {
+                incoming > 0
+                    && PlacementService::bound_breached(
+                        self.metrics.pending_per_shard[*k].load(Ordering::Relaxed),
+                        incoming,
+                        max,
+                    )
+            })
+            .map(|(k, _)| k)
+    }
+
+    /// Runs the admission controller for one submission: over the
+    /// watermarks, the call defers once (`defer_micros`) and then sheds;
+    /// otherwise every offered request is accounted and charged to the
+    /// pending gauges. The returned receipt must be passed to
+    /// [`PlacementService::release`] exactly once after the submission is
+    /// answered (or abandoned).
+    fn admit(&self, requests: &[PlacementRequest]) -> Result<Admitted, QueryError> {
+        let n = requests.len() as u64;
+        let per_shard: Vec<u64> = if self.admission.per_shard_pending.is_empty() {
+            Vec::new()
+        } else {
+            let mut counts = vec![0u64; self.shard_count];
+            for req in requests {
+                counts[crate::shard::shard_of(req.fid, self.shard_count)] += 1;
+            }
+            counts
+        };
+        if self.admission.enabled() {
+            if self.over_watermarks(n, &per_shard) && self.admission.defer_micros > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(
+                    self.admission.defer_micros,
+                ));
+            }
+            if self.over_watermarks(n, &per_shard) {
+                let _guard = self.metrics.accounting();
+                self.metrics.queries_offered.fetch_add(n, Ordering::Relaxed);
+                self.metrics.queries_shed.fetch_add(n, Ordering::Relaxed);
+                for k in self.breached_shards(&per_shard) {
+                    self.metrics.shard_shed[k].fetch_add(per_shard[k], Ordering::Relaxed);
+                }
+                return Err(QueryError::Overloaded);
+            }
+        }
+        {
+            let _guard = self.metrics.accounting();
+            self.metrics.queries_offered.fetch_add(n, Ordering::Relaxed);
+            self.metrics
+                .queries_admitted
+                .fetch_add(n, Ordering::Relaxed);
+        }
+        let pending = self
+            .metrics
+            .pending_requests
+            .fetch_add(n, Ordering::Relaxed)
+            + n;
+        self.metrics
+            .pending_peak
+            .fetch_max(pending, Ordering::Relaxed);
+        for (k, &count) in per_shard.iter().enumerate() {
+            if count > 0 {
+                self.metrics.pending_per_shard[k].fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        Ok(Admitted {
+            total: n,
+            per_shard,
+        })
+    }
+
+    /// Returns an admitted submission's charge to the pending gauges.
+    fn release(&self, admitted: &Admitted) {
+        self.metrics
+            .pending_requests
+            .fetch_sub(admitted.total, Ordering::Relaxed);
+        for (k, &count) in admitted.per_shard.iter().enumerate() {
+            if count > 0 {
+                self.metrics.pending_per_shard[k].fetch_sub(count, Ordering::Relaxed);
+            }
+        }
     }
 
     /// One placement decision (the per-file baseline path).
@@ -297,44 +418,61 @@ impl PlacementService {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
-        let n = requests.len() as u64;
-        if self.admission.enabled() {
-            if self.over_watermarks(n) && self.admission.defer_micros > 0 {
-                std::thread::sleep(std::time::Duration::from_micros(
-                    self.admission.defer_micros,
-                ));
-            }
-            if self.over_watermarks(n) {
-                let _guard = self.metrics.accounting();
-                self.metrics.queries_offered.fetch_add(n, Ordering::Relaxed);
-                self.metrics.queries_shed.fetch_add(n, Ordering::Relaxed);
-                return Err(QueryError::Overloaded);
-            }
-        }
-        {
-            let _guard = self.metrics.accounting();
-            self.metrics.queries_offered.fetch_add(n, Ordering::Relaxed);
-            self.metrics
-                .queries_admitted
-                .fetch_add(n, Ordering::Relaxed);
-        }
-        let pending = self
-            .metrics
-            .pending_requests
-            .fetch_add(n, Ordering::Relaxed)
-            + n;
-        self.metrics
-            .pending_peak
-            .fetch_max(pending, Ordering::Relaxed);
+        let admitted = self.admit(requests)?;
         let result = self
             .engine
             .as_ref()
             .expect("engine alive until shutdown")
             .query_many(requests);
-        self.metrics
-            .pending_requests
-            .fetch_sub(n, Ordering::Relaxed);
+        self.release(&admitted);
         result
+    }
+
+    /// Asynchronous [`PlacementService::query_many`]: runs the same
+    /// admission controller, then hands the submission to the engine with
+    /// a completion instead of blocking. `done` runs exactly once — on
+    /// this thread for shed (`Overloaded`) or empty submissions, inline
+    /// in the engine actor otherwise, so it must not block (the transport
+    /// layer resolves it to a non-blocking send into a writer actor).
+    ///
+    /// Pending accounting is released when the completion fires even if
+    /// the caller that submitted the request is gone (a disconnected
+    /// client never leaks admission budget).
+    pub fn query_many_async(
+        &self,
+        requests: Vec<PlacementRequest>,
+        done: impl FnOnce(Result<Vec<Decision>, QueryError>) + Send + 'static,
+    ) {
+        if requests.is_empty() {
+            done(Ok(Vec::new()));
+            return;
+        }
+        let admitted = match self.admit(&requests) {
+            Ok(admitted) => admitted,
+            Err(e) => {
+                done(Err(e));
+                return;
+            }
+        };
+        let metrics = Arc::clone(&self.metrics);
+        self.engine
+            .as_ref()
+            .expect("engine alive until shutdown")
+            .query_many_async(
+                requests,
+                Box::new(move |result| {
+                    // Inline release (self may be gone by completion time).
+                    metrics
+                        .pending_requests
+                        .fetch_sub(admitted.total, Ordering::Relaxed);
+                    for (k, &count) in admitted.per_shard.iter().enumerate() {
+                        if count > 0 {
+                            metrics.pending_per_shard[k].fetch_sub(count, Ordering::Relaxed);
+                        }
+                    }
+                    done(result);
+                }),
+            );
     }
 
     /// Runs a retrain cycle now and waits for its model to publish;

@@ -71,6 +71,7 @@ fn zero_watermark_sheds_every_request() {
             max_pending_requests: Some(0),
             latency_watermark_us: None,
             defer_micros: 0,
+            ..AdmissionConfig::default()
         },
         0,
     );
@@ -103,6 +104,7 @@ fn oversized_submission_admitted_when_quiet() {
             max_pending_requests: Some(4),
             latency_watermark_us: None,
             defer_micros: 0,
+            ..AdmissionConfig::default()
         },
         0,
     );
@@ -134,6 +136,7 @@ fn latency_watermark_sheds_after_slow_decisions() {
             max_pending_requests: None,
             latency_watermark_us: Some(0),
             defer_micros: 0,
+            ..AdmissionConfig::default()
         },
         2_000,
     );
@@ -167,6 +170,7 @@ fn overload_soak_sheds_are_fully_accounted_and_latency_bounded() {
             max_pending_requests: Some(WATERMARK),
             latency_watermark_us: None,
             defer_micros: 50,
+            ..AdmissionConfig::default()
         },
         0,
     );
@@ -269,4 +273,95 @@ fn overload_soak_sheds_are_fully_accounted_and_latency_bounded() {
         stored as u64, snap.ingested_records,
         "every ingested record is in a shard"
     );
+}
+
+/// Per-shard pending bounds: a hard bound (0) on one shard sheds only the
+/// submissions that target it — queries aimed at the other shard keep
+/// flowing, so one hot shard cannot starve the rest of the service.
+#[test]
+fn per_shard_bound_sheds_hot_shard_without_starving_others() {
+    use geomancy_serve::shard_of;
+    // Files guaranteed to map to shard 0 ("hot") and shard 1 ("cool").
+    let hot_fid = (0u64..).find(|&f| shard_of(FileId(f), 2) == 0).unwrap();
+    let cool_fid = (0u64..).find(|&f| shard_of(FileId(f), 2) == 1).unwrap();
+    let service = ready_service(
+        AdmissionConfig {
+            per_shard_pending: vec![0, 1_000],
+            defer_micros: 0,
+            ..AdmissionConfig::default()
+        },
+        0,
+    );
+    let hot = PlacementRequest {
+        fid: FileId(hot_fid),
+        read_bytes: 1_000_000,
+        write_bytes: 0,
+    };
+    let cool = PlacementRequest {
+        fid: FileId(cool_fid),
+        read_bytes: 1_000_000,
+        write_bytes: 0,
+    };
+    for _ in 0..20 {
+        assert_eq!(service.query(hot).unwrap_err(), QueryError::Overloaded);
+        service.query(cool).expect("cool shard stays admitted");
+    }
+    // A mixed submission touching the hot shard sheds as a unit.
+    assert_eq!(
+        service.query_many(&[hot, cool]).unwrap_err(),
+        QueryError::Overloaded
+    );
+    let snap = service.metrics();
+    assert_eq!(snap.queries_offered, 42);
+    assert_eq!(snap.queries_admitted, 20);
+    assert_eq!(snap.queries_shed, 22);
+    assert_eq!(snap.shard_shed, vec![21, 0], "only the hot shard shed");
+    assert_eq!(snap.pending_per_shard, vec![0, 0], "gauges drain to zero");
+    assert_eq!(snap.decisions, 20);
+    Arc::try_unwrap(service).expect("sole owner").shutdown();
+}
+
+/// The async query path runs the same admission controller and releases
+/// its pending accounting when the completion fires — including for shed
+/// submissions, which complete inline with `Overloaded`.
+#[test]
+fn async_queries_account_and_release_pending() {
+    let service = ready_service(
+        AdmissionConfig {
+            max_pending_requests: Some(64),
+            defer_micros: 0,
+            ..AdmissionConfig::default()
+        },
+        0,
+    );
+    let (tx, rx) = std::sync::mpsc::channel();
+    for i in 0..8u64 {
+        let tx = tx.clone();
+        let requests: Vec<PlacementRequest> = (0..4)
+            .map(|j| PlacementRequest {
+                fid: FileId((i * 4 + j) % 8),
+                read_bytes: 1_000_000,
+                write_bytes: 0,
+            })
+            .collect();
+        service.query_many_async(requests, move |result| {
+            tx.send(result).unwrap();
+        });
+    }
+    drop(tx);
+    let mut served = 0u64;
+    for result in rx {
+        let decisions = result.expect("model is published and under watermark");
+        served += decisions.len() as u64;
+    }
+    assert_eq!(served, 32);
+    let snap = service.metrics();
+    assert_eq!(snap.queries_offered, 32);
+    assert_eq!(snap.queries_admitted, 32);
+    assert_eq!(snap.decisions, 32);
+    assert_eq!(
+        snap.pending_requests, 0,
+        "async completions release pending"
+    );
+    Arc::try_unwrap(service).expect("sole owner").shutdown();
 }
