@@ -22,7 +22,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use geomancy_bench::output::{fast_mode, print_table};
 use geomancy_core::drl::DrlConfig;
@@ -224,6 +224,10 @@ struct NetRun {
     frames_in: u64,
     frames_out: u64,
     overload_roundtrip: bool,
+    /// Writer actors retired over the run — one per connection torn down.
+    writers_retired: u64,
+    /// Writer-slot slab high-water mark; flat slabs mean slots were reused.
+    writer_slot_capacity: u64,
 }
 
 /// Replays the same batched BELLE II question list over loopback TCP:
@@ -291,6 +295,20 @@ fn run_net_mode(load: &LoadConfig) -> NetRun {
     let frames_in = server.stats().frames_in.load(Ordering::Relaxed);
     let frames_out = server.stats().frames_out.load(Ordering::Relaxed);
     drop(client);
+    // Dropping the pool tears down every connection; the transport
+    // gauges must return to baseline or the run leaked writer actors.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.live_connections() != 0 || server.live_writer_actors() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "wire teardown leaked: {} connections, {} writer actors still live",
+            server.live_connections(),
+            server.live_writer_actors(),
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let writers_retired = server.retired_writers();
+    let writer_slot_capacity = server.writer_slot_capacity() as u64;
     server.shutdown();
     Arc::try_unwrap(service)
         .expect("bench released the service")
@@ -308,6 +326,8 @@ fn run_net_mode(load: &LoadConfig) -> NetRun {
         frames_in,
         frames_out,
         overload_roundtrip: overload_roundtrips(),
+        writers_retired,
+        writer_slot_capacity,
     }
 }
 
@@ -433,6 +453,11 @@ fn main() {
         net.frames_out,
         net.overload_roundtrip,
     );
+    println!(
+        "wire teardown: {} writer actors retired, slab high-water {} slots, \
+         all gauges back to baseline",
+        net.writers_retired, net.writer_slot_capacity,
+    );
     assert_eq!(
         net.decisions, batched.decisions,
         "wire served a different workload"
@@ -502,6 +527,8 @@ fn main() {
             "frames_in": net.frames_in,
             "frames_out": net.frames_out,
             "overload_roundtrip": net.overload_roundtrip,
+            "writers_retired": net.writers_retired,
+            "writer_slot_capacity": net.writer_slot_capacity,
         },
         "hot_swap_soak": soak.as_ref().map(|soak| serde_json::json!({
             "rounds": soak.rounds,

@@ -236,6 +236,10 @@ pub fn query(args: &Args) -> Result<(), Box<dyn Error>> {
             "server metrics: {} decisions, offered/admitted/shed {}/{}/{}, shard sheds {:?}",
             m.decisions, m.queries_offered, m.queries_admitted, m.queries_shed, m.shard_shed
         );
+        println!(
+            "transport: {} live connections, {} live writer actors",
+            m.net_connections_live, m.net_writers_live
+        );
     }
     Ok(())
 }

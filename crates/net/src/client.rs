@@ -233,21 +233,48 @@ impl Client {
 
     /// Round-robins to a live connection, transparently replacing dead
     /// pool slots.
+    ///
+    /// A dead slot is replaced the moment round-robin rotates onto it —
+    /// the old connection's reader thread is joined and its socket and
+    /// pending map dropped — rather than being skipped while a neighbor
+    /// is alive, which used to shrink the pool one death at a time and
+    /// park the dead connection's state until the client dropped.
     fn conn(&self) -> Result<Arc<Conn>, NetError> {
         let mut conns = self.conns.lock().expect("connection pool");
         let n = conns.len();
         let start = self.rr.fetch_add(1, Ordering::Relaxed) % n;
-        for i in 0..n {
-            let idx = (start + i) % n;
-            if conns[idx].alive.load(Ordering::SeqCst) {
-                return Ok(Arc::clone(&conns[idx]));
+        if conns[start].alive.load(Ordering::SeqCst) {
+            return Ok(Arc::clone(&conns[start]));
+        }
+        match Conn::open(self.addr, self.config.max_payload) {
+            Ok(fresh) => {
+                let old = std::mem::replace(&mut conns[start], Arc::clone(&fresh));
+                old.close();
+                Ok(fresh)
+            }
+            Err(e) => {
+                // Server unreachable right now: fall back to any live
+                // neighbor before giving up.
+                for i in 1..n {
+                    let idx = (start + i) % n;
+                    if conns[idx].alive.load(Ordering::SeqCst) {
+                        return Ok(Arc::clone(&conns[idx]));
+                    }
+                }
+                Err(e)
             }
         }
-        // Whole pool is dead: reconnect the slot we landed on.
-        let fresh = Conn::open(self.addr, self.config.max_payload)?;
-        conns[start].close();
-        conns[start] = Arc::clone(&fresh);
-        Ok(fresh)
+    }
+
+    /// Pool observability for tests and monitoring: `(live, total)`
+    /// connections right now.
+    pub fn pool_health(&self) -> (usize, usize) {
+        let conns = self.conns.lock().expect("connection pool");
+        let live = conns
+            .iter()
+            .filter(|c| c.alive.load(Ordering::SeqCst))
+            .count();
+        (live, conns.len())
     }
 
     /// One request/response round trip (no retries at this layer).

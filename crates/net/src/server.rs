@@ -80,6 +80,12 @@ pub struct NetStats {
     /// Queries answered [`WireStatus::Overloaded`] at the wire layer
     /// (per-connection in-flight cap), before reaching admission.
     pub wire_shed: AtomicU64,
+    /// Connections currently open (gauge: reader thread still running).
+    pub live_connections: AtomicU64,
+    /// Writer actors currently occupying a net-reactor slot (gauge;
+    /// decremented from `Writer::on_stop`, so it covers both despawn on
+    /// connection close and reactor shutdown).
+    pub writers_live: AtomicU64,
 }
 
 /// Messages to a connection's writer actor.
@@ -104,7 +110,7 @@ struct Writer {
 impl Actor for Writer {
     type Msg = WriteMsg;
 
-    fn on_msg(&mut self, msg: WriteMsg, _ctx: &mut Ctx<'_>) {
+    fn on_msg(&mut self, msg: WriteMsg, ctx: &mut Ctx<'_>) {
         match msg {
             WriteMsg::Frame(frame) => {
                 if self.dead {
@@ -113,22 +119,33 @@ impl Actor for Writer {
                 self.scratch.clear();
                 frame.encode_into(&mut self.scratch);
                 if self.stream.write_all(&self.scratch).is_err() {
-                    // Peer is gone: wake the reader (it sees EOF/reset)
-                    // and drop every later reply on the floor.
+                    // Peer is gone: wake the reader (it sees EOF/reset),
+                    // drop queued replies on the floor (retire purges the
+                    // mailbox), and give the slot back.
                     self.dead = true;
                     let _ = self.stream.shutdown(Shutdown::Both);
+                    ctx.stop_self();
                     return;
                 }
                 self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
             }
             WriteMsg::Close => {
+                // Teardown ordering: every reply queued before Close has
+                // already been written (one mailbox, FIFO), so flush,
+                // half-close, and retire — the slot is reused by the next
+                // accepted connection.
                 if !self.dead {
                     let _ = self.stream.flush();
                     let _ = self.stream.shutdown(Shutdown::Write);
                     self.dead = true;
                 }
+                ctx.stop_self();
             }
         }
+    }
+
+    fn on_stop(&mut self, _ctx: &mut Ctx<'_>) {
+        self.stats.writers_live.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -205,6 +222,20 @@ impl NetServer {
                 .spawn(move || {
                     let mut conn_seq = 0u64;
                     while !stop.load(Ordering::SeqCst) {
+                        // Reap readers that already exited so the registry
+                        // stays bounded under connection churn (joining a
+                        // finished thread is immediate).
+                        {
+                            let mut reg = readers.lock().expect("reader registry");
+                            let mut i = 0;
+                            while i < reg.len() {
+                                if reg[i].is_finished() {
+                                    let _ = reg.swap_remove(i).join();
+                                } else {
+                                    i += 1;
+                                }
+                            }
+                        }
                         match listener.accept() {
                             Ok((stream, _peer)) => {
                                 conn_seq += 1;
@@ -255,6 +286,30 @@ impl NetServer {
     /// Transport-layer counters.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Connections currently open (reader thread still running).
+    pub fn live_connections(&self) -> u64 {
+        self.stats.live_connections.load(Ordering::SeqCst)
+    }
+
+    /// Writer actors currently occupying a slot on the net reactor —
+    /// ground truth from the reactor's own slot table, not a shadow
+    /// counter.
+    pub fn live_writer_actors(&self) -> u64 {
+        self.reactor.as_ref().map_or(0, |r| r.stats().live as u64)
+    }
+
+    /// Writer actors retired (despawned) over the server's lifetime.
+    pub fn retired_writers(&self) -> u64 {
+        self.reactor.as_ref().map_or(0, |r| r.stats().retired_total)
+    }
+
+    /// Net-reactor slot-table length: the high-water mark of concurrently
+    /// live writers. Stays flat under churn because retired slots are
+    /// reused.
+    pub fn writer_slot_capacity(&self) -> usize {
+        self.reactor.as_ref().map_or(0, |r| r.stats().slot_capacity)
     }
 
     /// Graceful shutdown: stop accepting, let readers finish their
@@ -330,6 +385,8 @@ fn spawn_connection(
             scratch: Vec::new(),
         },
     );
+    stats.writers_live.fetch_add(1, Ordering::SeqCst);
+    stats.live_connections.fetch_add(1, Ordering::SeqCst);
     let shared = Arc::new(ConnShared {
         writer,
         inflight: AtomicUsize::new(0),
@@ -337,11 +394,21 @@ fn spawn_connection(
         stats,
     });
     let config = config.clone();
-    std::thread::Builder::new()
-        .name(format!("geomancy-net-read-{conn_seq}"))
-        .spawn(move || {
-            read_loop(stream, service, shared, &config, stop, draining);
-        })
+    let spawned = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("geomancy-net-read-{conn_seq}"))
+            .spawn(move || {
+                read_loop(stream, service, shared, &config, stop, draining);
+            })
+    };
+    if spawned.is_err() {
+        // The reader never started, so nobody will tear this connection
+        // down — do it here or the writer slot leaks.
+        shared.stats.live_connections.fetch_sub(1, Ordering::SeqCst);
+        shared.writer.retire();
+    }
+    spawned
 }
 
 /// The per-connection blocking read loop: socket → [`FrameReader`] →
@@ -402,7 +469,13 @@ fn read_loop(
         }
     }
     let _ = stream.shutdown(Shutdown::Read);
-    let _ = shared.writer.send_now(WriteMsg::Close);
+    // Close retires the writer after it flushes queued replies. If the
+    // send fails the writer is already dead or retiring (write-error
+    // path) — retire directly so the slot is reclaimed either way.
+    if shared.writer.send_now(WriteMsg::Close).is_err() {
+        shared.writer.retire();
+    }
+    shared.stats.live_connections.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Routes one decoded frame to the service and queues the reply.
@@ -495,10 +568,15 @@ fn dispatch(
             });
         }
         FrameKind::MetricsReq => {
+            let mut snap = service.metrics();
+            // Transport gauges only the server knows; in-process
+            // snapshots leave them zero.
+            snap.net_connections_live = shared.stats.live_connections.load(Ordering::SeqCst);
+            snap.net_writers_live = shared.stats.writers_live.load(Ordering::SeqCst);
             shared.reply(Frame::new(
                 FrameKind::MetricsResp,
                 corr,
-                wire::encode_metrics_resp(&service.metrics()),
+                wire::encode_metrics_resp(&snap),
             ));
         }
         FrameKind::HealthReq => {

@@ -642,6 +642,8 @@ pub fn encode_metrics_resp(snap: &MetricsSnapshot) -> Vec<u8> {
         snap.pending_peak,
         snap.latency_ewma_us,
         snap.engine_queue as u64,
+        snap.net_connections_live,
+        snap.net_writers_live,
     ] {
         put_u64(&mut out, v);
     }
@@ -685,6 +687,8 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
     let pending_peak = c.u64()?;
     let latency_ewma_us = c.u64()?;
     let engine_queue = c.u64()? as usize;
+    let net_connections_live = c.u64()?;
+    let net_writers_live = c.u64()?;
     let queue_depth: Vec<usize> = get_u64_vec(&mut c)?
         .into_iter()
         .map(|d| d as usize)
@@ -715,6 +719,8 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
         shard_shed,
         latency_ewma_us,
         engine_queue,
+        net_connections_live,
+        net_writers_live,
         latency_us,
     })
 }

@@ -1,0 +1,231 @@
+//! Connection-churn hardening: a thousand connect/query/disconnect
+//! cycles against a live server must retire every writer actor, return
+//! every transport gauge to its baseline, and keep the writer-slot slab
+//! flat (slots are reused, not leaked). Plus a reconnect storm proving
+//! the client pool replaces dead connections without leaking state tied
+//! to the old ones.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use geomancy_core::drl::DrlConfig;
+use geomancy_net::{Client, ClientConfig, NetConfig, NetServer, RetryConfig};
+use geomancy_serve::{AdmissionConfig, PlacementRequest, PlacementService, ServeConfig};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+const DEADLINE: Duration = Duration::from_secs(30);
+
+fn rec(n: u64, fid: u64) -> AccessRecord {
+    let dev = (n % 2) as u32;
+    let dt_ms = if dev == 0 { 400 } else { 100 };
+    let open_ms = n * 1000;
+    let close_ms = open_ms + dt_ms;
+    AccessRecord {
+        access_number: n,
+        fid: FileId(fid),
+        fsid: DeviceId(dev),
+        rb: 1_000_000,
+        wb: 0,
+        ots: open_ms / 1000,
+        otms: (open_ms % 1000) as u16,
+        cts: close_ms / 1000,
+        ctms: (close_ms % 1000) as u16,
+    }
+}
+
+/// A trained placement service, ready to answer queries immediately.
+fn trained_service() -> Arc<PlacementService> {
+    let svc = Arc::new(PlacementService::start(ServeConfig {
+        shards: 2,
+        queue_capacity: 64,
+        batch_window_micros: 0,
+        max_batch: 32,
+        candidates: vec![DeviceId(0), DeviceId(1)],
+        drl: DrlConfig {
+            epochs: 10,
+            smoothing_window: 4,
+            ..DrlConfig::default()
+        },
+        admission: AdmissionConfig::default(),
+        ..ServeConfig::default()
+    }));
+    for i in 0..300u64 {
+        svc.ingest(i * 1_000_000, &[rec(i, i % 4)]).unwrap();
+    }
+    svc.retrain_now().unwrap();
+    svc
+}
+
+fn query() -> PlacementRequest {
+    PlacementRequest {
+        fid: FileId(1),
+        read_bytes: 1_000_000,
+        write_bytes: 0,
+    }
+}
+
+/// Polls the transport gauges until every connection and writer actor is
+/// gone and the admission controller holds no pending work.
+fn wait_for_baseline(server: &NetServer, svc: &PlacementService, what: &str) {
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        let m = svc.metrics();
+        if server.live_connections() == 0
+            && server.live_writer_actors() == 0
+            && m.pending_requests == 0
+            && m.pending_per_shard.iter().all(|&p| p == 0)
+        {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what}: gauges never returned to baseline \
+             (connections={}, writers={}, pending={})",
+            server.live_connections(),
+            server.live_writer_actors(),
+            m.pending_requests,
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// 1,000 connect/query/disconnect cycles, alternating a polite client
+/// (full handshake, reads its reply) with a rude one (fires a query and
+/// vanishes without reading). Afterwards: zero live connections, zero
+/// live writer actors, zero pending admissions, every writer retired,
+/// and a slab that stayed flat instead of growing with churn.
+#[test]
+fn thousand_cycle_churn_returns_gauges_to_baseline() {
+    const CYCLES: usize = 1_000;
+    let svc = trained_service();
+    let server = NetServer::start("127.0.0.1:0", Arc::clone(&svc), NetConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    wait_for_baseline(&server, &svc, "pre-churn");
+    let retired_before = server.retired_writers();
+
+    let polite_config = ClientConfig {
+        pool_size: 1,
+        ..ClientConfig::default()
+    };
+    let req_payload = geomancy_net::wire::encode_query_req(&[query()]);
+    for i in 0..CYCLES {
+        // Odd cycles are polite, so the final cycle reads a reply: the
+        // acceptor is sequential, so a served reply proves every earlier
+        // connection was accepted and its writer spawned — the baseline
+        // wait below can then never race with a not-yet-spawned writer.
+        if i % 2 == 1 {
+            let c = Client::connect(addr, polite_config.clone()).expect("connect");
+            let ds = c.query_many(&[query()]).expect("live server answers");
+            assert_eq!(ds.len(), 1);
+            drop(c);
+        } else {
+            // Rude peer: one query on a raw socket, then gone. The reply
+            // hits a dead socket; the writer must retire, not linger.
+            use std::io::Write;
+            let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
+            let frame =
+                geomancy_net::Frame::new(geomancy_net::FrameKind::QueryReq, i as u64, req_payload.clone());
+            raw.write_all(&frame.encode()).expect("write frame");
+            drop(raw);
+        }
+        // Churn must not accumulate: spot-check mid-soak that the slab
+        // stays flat while connections come and go.
+        if i % 250 == 249 {
+            assert!(
+                server.writer_slot_capacity() <= 64,
+                "cycle {i}: writer slab ballooned to {}",
+                server.writer_slot_capacity()
+            );
+        }
+    }
+
+    wait_for_baseline(&server, &svc, "post-churn");
+    let retired = server.retired_writers() - retired_before;
+    assert_eq!(
+        retired, CYCLES as u64,
+        "every churned connection must retire exactly one writer actor"
+    );
+    assert!(
+        server.writer_slot_capacity() <= 64,
+        "writer slab leaked slots under churn: {}",
+        server.writer_slot_capacity()
+    );
+
+    // The server is still healthy after the storm.
+    let c = Client::connect(addr, ClientConfig::default()).expect("connect");
+    assert_eq!(c.health().expect("health").published_epoch, 1);
+    drop(c);
+
+    server.shutdown();
+    Arc::try_unwrap(svc).expect("sole owner").shutdown();
+}
+
+/// Reconnect storm: the server dies under a pooled client and comes back
+/// on the same port. The pool must replace every dead connection on use
+/// — full health restored, no permanently dead slots, and the pool never
+/// grows or shrinks.
+#[test]
+fn reconnect_storm_restores_full_pool_health() {
+    let svc = trained_service();
+    let server = NetServer::start("127.0.0.1:0", Arc::clone(&svc), NetConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+
+    let c = Client::connect(
+        addr,
+        ClientConfig {
+            pool_size: 4,
+            retry: RetryConfig {
+                max_retries: 0,
+                base_backoff_millis: 1,
+            },
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect");
+    assert_eq!(c.pool_health(), (4, 4));
+    c.query_many(&[query()]).expect("server A answers");
+
+    // Kill the server; every pooled connection dies underneath the client.
+    server.shutdown();
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        // Dead connections surface as errors, marking pool slots dead.
+        if c.query_many(&[query()]).is_err() && c.pool_health().0 == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "pool never noticed the server died: health {:?}",
+            c.pool_health()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(c.pool_health(), (0, 4), "pool must keep its dead slots");
+
+    // Same port, new server: the pool must heal itself lazily, slot by
+    // slot, replacing (never resurrecting) each dead connection.
+    let server = NetServer::start(addr, Arc::clone(&svc), NetConfig::default())
+        .expect("rebind same port");
+    let deadline = Instant::now() + DEADLINE;
+    while c.pool_health().0 < 4 {
+        let _ = c.query_many(&[query()]);
+        assert!(
+            Instant::now() < deadline,
+            "pool never healed: health {:?}",
+            c.pool_health()
+        );
+    }
+    assert_eq!(c.pool_health(), (4, 4), "every slot replaced and live");
+    // And the healed pool actually works end to end.
+    for _ in 0..8 {
+        let ds = c.query_many(&[query()]).expect("healed pool answers");
+        assert_eq!(ds.len(), 1);
+    }
+
+    drop(c);
+    wait_for_baseline(&server, &svc, "post-storm");
+    server.shutdown();
+    Arc::try_unwrap(svc).expect("sole owner").shutdown();
+}

@@ -220,6 +220,8 @@ fn full_snapshot() -> MetricsSnapshot {
         shard_shed: vec![23, 24, 25],
         latency_ewma_us: 26,
         engine_queue: 27,
+        net_connections_live: 32,
+        net_writers_live: 33,
         latency_us: vec![28, 29, 30, 31],
     }
 }
@@ -243,6 +245,8 @@ fn metrics_codec_roundtrips_every_field() {
     assert_eq!(back.queries_shed, 17);
     assert_eq!(back.pending_requests, 18);
     assert_eq!(back.pending_peak, 19);
+    assert_eq!(back.net_connections_live, 32);
+    assert_eq!(back.net_writers_live, 33);
 }
 
 #[test]

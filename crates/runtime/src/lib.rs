@@ -22,6 +22,13 @@
 //! - **Graceful shutdown.** `shutdown` closes mailboxes to external
 //!   senders, drains every message already queued, runs `on_stop`, and
 //!   hands actor state back to the caller via [`StoppedReactor::take`].
+//! - **First-class despawn.** [`Reactor::despawn`], [`Addr::retire`], and
+//!   [`Ctx::stop_self`] retire one actor without stopping the reactor:
+//!   pending timers are cancelled, the mailbox is purged (queued reply
+//!   senders drop, so callers get typed errors), `on_stop` runs exactly
+//!   once, and the generation-tagged slot is freed for reuse — stale
+//!   `Addr`s and handles fail safely instead of addressing the slot's
+//!   next occupant.
 //! - **Panic containment.** A panicking actor is marked dead and its
 //!   mailbox purged (dropping queued reply handles so clients unblock);
 //!   the worker and every other actor keep running.

@@ -1,0 +1,201 @@
+//! Property tests for actor despawn: random interleavings of
+//! spawn / send / timer-arm / despawn / clock-advance never panic,
+//! never leak a slot, and account for every `on_stop` exactly once —
+//! plus a long spawn→despawn cycle proving a single slot is reused
+//! thousands of times.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use geomancy_runtime::{Actor, Addr, Ctx, ManualClock, Reactor, ReactorConfig};
+use proptest::prelude::*;
+
+const DEADLINE: Duration = Duration::from_secs(30);
+
+#[derive(Debug)]
+enum NodeMsg {
+    Work(u64),
+    Arm(u64, u64),
+    Ping(mpsc::Sender<()>),
+}
+
+/// A minimal actor that counts what happened to it via shared atomics,
+/// so the test can audit the whole population after shutdown.
+struct Node {
+    work: Arc<AtomicU64>,
+    timers: Arc<AtomicU64>,
+    stops: Arc<AtomicU64>,
+}
+
+impl Actor for Node {
+    type Msg = NodeMsg;
+
+    fn on_msg(&mut self, msg: NodeMsg, ctx: &mut Ctx<'_>) {
+        match msg {
+            NodeMsg::Work(_) => {
+                self.work.fetch_add(1, Ordering::SeqCst);
+            }
+            NodeMsg::Arm(delay, token) => ctx.set_timer(delay, token),
+            NodeMsg::Ping(tx) => {
+                let _ = tx.send(());
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {
+        self.timers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_stop(&mut self, _ctx: &mut Ctx<'_>) {
+        self.stops.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn manual_reactor(workers: usize, clock: &ManualClock) -> Reactor {
+    Reactor::new(ReactorConfig {
+        workers,
+        name: "despawn-prop".to_string(),
+        time: Arc::new(clock.clone()),
+        ..ReactorConfig::default()
+    })
+}
+
+fn wait_until(what: &str, mut ok: impl FnMut() -> bool) {
+    let deadline = Instant::now() + DEADLINE;
+    while !ok() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::yield_now();
+    }
+}
+
+proptest! {
+    /// Ops are `(kind, target, param)` triples decoded below. Whatever
+    /// the interleaving: retire succeeds exactly once per actor, sends
+    /// to retired actors always fail with a typed error, the reactor's
+    /// books balance (`live == spawned - despawned`, every retirement
+    /// counted), and after shutdown every actor ever spawned has run
+    /// `on_stop` exactly once.
+    #[test]
+    fn random_interleavings_never_leak(
+        workers in 1usize..4,
+        ops in proptest::collection::vec((0u64..5, 0u64..16, 1u64..400), 1..80),
+    ) {
+        let clock = ManualClock::new();
+        let reactor = manual_reactor(workers, &clock);
+        let work = Arc::new(AtomicU64::new(0));
+        let timers = Arc::new(AtomicU64::new(0));
+        let stops = Arc::new(AtomicU64::new(0));
+        // (addr, retired-by-us) for every actor ever spawned.
+        let mut actors: Vec<(Addr<NodeMsg>, bool)> = Vec::new();
+        let mut spawned = 0u64;
+        let mut despawned = 0u64;
+
+        for (kind, target, param) in ops {
+            match kind {
+                0 => {
+                    let node = Node {
+                        work: Arc::clone(&work),
+                        timers: Arc::clone(&timers),
+                        stops: Arc::clone(&stops),
+                    };
+                    let (addr, _handle) = reactor.spawn("node", 256, node);
+                    actors.push((addr, false));
+                    spawned += 1;
+                }
+                1 | 2 if !actors.is_empty() => {
+                    let (addr, retired) = &actors[target as usize % actors.len()];
+                    let msg = if kind == 1 {
+                        NodeMsg::Work(param)
+                    } else {
+                        NodeMsg::Arm(param, target)
+                    };
+                    // Typed error iff the target is retired; a retired
+                    // mailbox never silently swallows a message.
+                    prop_assert_eq!(addr.send(msg).is_err(), *retired);
+                }
+                3 if !actors.is_empty() => {
+                    let idx = target as usize % actors.len();
+                    let (addr, retired) = &mut actors[idx];
+                    let initiated = addr.retire();
+                    prop_assert_eq!(initiated, !*retired, "retire is once-only");
+                    if initiated {
+                        *retired = true;
+                        despawned += 1;
+                    }
+                }
+                4 => clock.advance_micros(param),
+                _ => {} // send/despawn with nothing spawned yet
+            }
+        }
+
+        // Every initiated retirement must complete (slot freed, counted).
+        wait_until("retirements to finalize", || {
+            reactor.stats().retired_total == despawned
+        });
+        let stats = reactor.stats();
+        prop_assert_eq!(stats.spawned_total, spawned);
+        prop_assert_eq!(stats.live as u64, spawned - despawned);
+        prop_assert_eq!(stats.actors.len() as u64, spawned - despawned);
+
+        // Drain delivers everything still queued to the survivors, then
+        // stops them; nobody stops twice, nobody is skipped.
+        reactor.shutdown();
+        prop_assert_eq!(stops.load(Ordering::SeqCst), spawned);
+    }
+}
+
+/// Thousands of spawn→despawn cycles recycle one physical slot: the slab
+/// never grows past a single entry, the books count every cycle, and the
+/// reactor still drains cleanly afterwards.
+#[test]
+fn two_thousand_retire_cycles_reuse_one_slot() {
+    const CYCLES: u64 = 2_000;
+    let clock = ManualClock::new();
+    let reactor = manual_reactor(1, &clock);
+    let work = Arc::new(AtomicU64::new(0));
+    let timers = Arc::new(AtomicU64::new(0));
+    let stops = Arc::new(AtomicU64::new(0));
+
+    for i in 0..CYCLES {
+        let node = Node {
+            work: Arc::clone(&work),
+            timers: Arc::clone(&timers),
+            stops: Arc::clone(&stops),
+        };
+        let (addr, _handle) = reactor.spawn("cycle", 8, node);
+        addr.send(NodeMsg::Work(i)).expect("live actor takes work");
+        assert!(addr.retire(), "cycle {i}: first retire initiates");
+        assert!(!addr.retire(), "cycle {i}: second retire is a no-op");
+        // The slot must be reclaimed before the next spawn can reuse it.
+        wait_until("slot to free", || reactor.stats().live == 0);
+        assert_eq!(
+            reactor.stats().slot_capacity,
+            1,
+            "cycle {i}: slab grew instead of reusing the freed slot"
+        );
+    }
+
+    let stats = reactor.stats();
+    assert_eq!(stats.spawned_total, CYCLES);
+    assert_eq!(stats.retired_total, CYCLES);
+    assert_eq!(stats.live, 0);
+    assert_eq!(stops.load(Ordering::SeqCst), CYCLES, "one on_stop per cycle");
+    // Work sent before retire was either processed or purged — but the
+    // reactor itself stayed healthy throughout: prove it with a fresh
+    // actor round-trip, then a clean drain.
+    let probe = Node {
+        work: Arc::clone(&work),
+        timers: Arc::clone(&timers),
+        stops: Arc::clone(&stops),
+    };
+    let (addr, _handle) = reactor.spawn("probe", 8, probe);
+    let (tx, rx) = mpsc::channel();
+    addr.send(NodeMsg::Ping(tx)).expect("fresh actor is live");
+    rx.recv_timeout(DEADLINE).expect("fresh actor replies");
+    let stopped = reactor.shutdown();
+    assert_eq!(stops.load(Ordering::SeqCst), CYCLES + 1);
+    // Only the probe's slot survives into the stopped reactor; the 2,000
+    // retired actors are long gone.
+    assert_eq!(stopped.stats().len(), 1);
+}

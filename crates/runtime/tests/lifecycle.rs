@@ -1,0 +1,328 @@
+//! Actor lifecycle tests: spawn → despawn under a manual clock, proving
+//! timer cancellation, `on_stop` exactly-once, generation-tagged slot
+//! reuse, and typed errors on stale `Addr`s. Deterministic: a single
+//! worker plus `ManualClock`, no sleeps — `recv_timeout` appears only as
+//! a failure deadline, never as a synchronization point.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use geomancy_runtime::{
+    Actor, Addr, Ctx, ManualClock, Reactor, ReactorConfig, TrySendError,
+};
+
+const DEADLINE: Duration = Duration::from_secs(10);
+
+fn single_worker(clock: &ManualClock) -> Reactor {
+    Reactor::new(ReactorConfig {
+        workers: 1,
+        name: "lifecycle".to_string(),
+        time: Arc::new(clock.clone()),
+        ..ReactorConfig::default()
+    })
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Ev {
+    Started,
+    Stopped,
+}
+
+#[derive(Debug)]
+enum LcMsg {
+    /// Arm a timer `delay` µs out with `token`.
+    Arm(u64, u64),
+    /// Round-trip marker: reply so the sender knows every earlier
+    /// message has been processed.
+    Ping(mpsc::Sender<()>),
+    /// Announce entry on the first channel, then park until the gate
+    /// yields (holds the worker).
+    Wait(mpsc::Sender<()>, mpsc::Receiver<()>),
+    /// Carry a reply channel; if purged unprocessed, the sender drops.
+    Reply(mpsc::Sender<u8>),
+    /// Ask the actor to retire itself from inside a callback.
+    StopSelf,
+}
+
+struct Lifecycle {
+    events: mpsc::Sender<Ev>,
+    timers_fired: Arc<AtomicU64>,
+    stops: Arc<AtomicU64>,
+}
+
+impl Lifecycle {
+    fn new(events: mpsc::Sender<Ev>) -> (Self, Arc<AtomicU64>, Arc<AtomicU64>) {
+        let timers_fired = Arc::new(AtomicU64::new(0));
+        let stops = Arc::new(AtomicU64::new(0));
+        (
+            Lifecycle {
+                events,
+                timers_fired: Arc::clone(&timers_fired),
+                stops: Arc::clone(&stops),
+            },
+            timers_fired,
+            stops,
+        )
+    }
+}
+
+impl Actor for Lifecycle {
+    type Msg = LcMsg;
+
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {
+        let _ = self.events.send(Ev::Started);
+    }
+
+    fn on_msg(&mut self, msg: LcMsg, ctx: &mut Ctx<'_>) {
+        match msg {
+            LcMsg::Arm(delay, token) => ctx.set_timer(delay, token),
+            LcMsg::Ping(tx) => {
+                let _ = tx.send(());
+            }
+            LcMsg::Wait(entered, gate) => {
+                let _ = entered.send(());
+                let _ = gate.recv();
+            }
+            LcMsg::Reply(tx) => {
+                let _ = tx.send(7);
+            }
+            LcMsg::StopSelf => ctx.stop_self(),
+        }
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {
+        self.timers_fired.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn on_stop(&mut self, _ctx: &mut Ctx<'_>) {
+        self.stops.fetch_add(1, Ordering::SeqCst);
+        let _ = self.events.send(Ev::Stopped);
+    }
+}
+
+fn ping(addr: &Addr<LcMsg>) {
+    let (tx, rx) = mpsc::channel();
+    addr.send(LcMsg::Ping(tx)).expect("ping a live actor");
+    rx.recv_timeout(DEADLINE).expect("ping reply");
+}
+
+/// Despawn cancels a pending timer: the deadline passes on the manual
+/// clock and the token is never delivered, while a sibling's identical
+/// timer fires — proving the clock really moved past the deadline.
+#[test]
+fn despawn_cancels_pending_timers() {
+    let clock = ManualClock::new();
+    let reactor = single_worker(&clock);
+    let (ev_tx, ev_rx) = mpsc::channel();
+    let (victim_actor, victim_timers, victim_stops) = Lifecycle::new(ev_tx.clone());
+    let (victim, victim_handle) = reactor.spawn("victim", 8, victim_actor);
+    let (witness_actor, witness_timers, _) = Lifecycle::new(ev_tx);
+    let (witness, _wh) = reactor.spawn("witness", 8, witness_actor);
+    assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Started));
+    assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Started));
+
+    // Identical deadlines on both actors; processed before we proceed.
+    victim.send(LcMsg::Arm(1_000, 7)).unwrap();
+    witness.send(LcMsg::Arm(1_000, 7)).unwrap();
+    ping(&victim);
+    ping(&witness);
+
+    assert!(reactor.despawn(victim_handle), "first despawn initiates");
+    assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Stopped));
+    assert_eq!(victim_stops.load(Ordering::SeqCst), 1);
+
+    // Past both deadlines: the witness fires, the victim cannot.
+    clock.advance_micros(2_000);
+    let deadline = Instant::now() + DEADLINE;
+    while witness_timers.load(Ordering::SeqCst) == 0 {
+        assert!(Instant::now() < deadline, "witness timer never fired");
+        std::thread::yield_now();
+    }
+    ping(&witness); // one more full turn, then read the victim's count
+    assert_eq!(
+        victim_timers.load(Ordering::SeqCst),
+        0,
+        "cancelled timer fired after despawn"
+    );
+
+    let stats = reactor.stats();
+    assert_eq!(stats.live, 1);
+    assert_eq!(stats.spawned_total, 2);
+    assert_eq!(stats.retired_total, 1);
+    drop(reactor);
+    assert_eq!(victim_stops.load(Ordering::SeqCst), 1, "on_stop ran twice");
+}
+
+/// All three retire entry points — `Reactor::despawn`, `Addr::retire`,
+/// `Ctx::stop_self` — run `on_stop` exactly once each, and a second
+/// retire attempt reports false instead of double-stopping.
+#[test]
+fn every_retire_path_stops_exactly_once() {
+    let clock = ManualClock::new();
+    let reactor = single_worker(&clock);
+    let (ev_tx, ev_rx) = mpsc::channel();
+
+    let (a_actor, _, a_stops) = Lifecycle::new(ev_tx.clone());
+    let (_a_addr, a_handle) = reactor.spawn("via-handle", 8, a_actor);
+    let (b_actor, _, b_stops) = Lifecycle::new(ev_tx.clone());
+    let (b_addr, _bh) = reactor.spawn("via-addr", 8, b_actor);
+    let (c_actor, _, c_stops) = Lifecycle::new(ev_tx);
+    let (c_addr, _ch) = reactor.spawn("via-stop-self", 8, c_actor);
+
+    for _ in 0..3 {
+        assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Started));
+    }
+
+    assert!(reactor.despawn(a_handle));
+    assert!(b_addr.retire(), "first addr-retire initiates");
+    assert!(!b_addr.retire(), "second addr-retire is a no-op");
+    c_addr.send(LcMsg::StopSelf).unwrap();
+
+    for _ in 0..3 {
+        assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Stopped));
+    }
+    assert_eq!(a_stops.load(Ordering::SeqCst), 1);
+    assert_eq!(b_stops.load(Ordering::SeqCst), 1);
+    assert_eq!(c_stops.load(Ordering::SeqCst), 1);
+
+    // Retired actors reject every send path with a typed error.
+    assert!(b_addr.send(LcMsg::Arm(1, 1)).is_err());
+    assert!(b_addr.send_now(LcMsg::Arm(1, 1)).is_err());
+    assert!(matches!(
+        b_addr.try_send(LcMsg::Arm(1, 1)),
+        Err(TrySendError::Closed(_))
+    ));
+
+    let stats = reactor.stats();
+    assert_eq!((stats.live, stats.retired_total), (0, 3));
+    let stopped = reactor.shutdown();
+    assert_eq!(
+        a_stops.load(Ordering::SeqCst) + b_stops.load(Ordering::SeqCst)
+            + c_stops.load(Ordering::SeqCst),
+        3,
+        "shutdown re-ran on_stop for a retired actor"
+    );
+    assert!(stopped.stats().is_empty(), "no live slots remain");
+}
+
+/// A despawned actor's slot is reused by the next spawn; the stale
+/// `Addr` and stale `ActorHandle` both fail safely against the slot's
+/// new occupant (generation tags).
+#[test]
+fn slot_reuse_defeats_stale_references() {
+    let clock = ManualClock::new();
+    let reactor = single_worker(&clock);
+    let (ev_tx, ev_rx) = mpsc::channel();
+
+    let (old_actor, _, _) = Lifecycle::new(ev_tx.clone());
+    let (old_addr, old_handle) = reactor.spawn("first-occupant", 8, old_actor);
+    assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Started));
+    assert_eq!(reactor.stats().slot_capacity, 1);
+
+    assert!(old_addr.retire());
+    assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Stopped));
+    let deadline = Instant::now() + DEADLINE;
+    while reactor.stats().live != 0 {
+        assert!(Instant::now() < deadline, "retired slot never freed");
+        std::thread::yield_now();
+    }
+
+    let (new_actor, _, new_stops) = Lifecycle::new(ev_tx);
+    let (new_addr, new_handle) = reactor.spawn("second-occupant", 8, new_actor);
+    assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Started));
+    let stats = reactor.stats();
+    assert_eq!(stats.slot_capacity, 1, "spawn must reuse the freed slot");
+    assert_eq!(stats.live, 1);
+
+    // The stale Addr points at the killed mailbox, never the newcomer.
+    assert!(old_addr.send(LcMsg::Arm(1, 1)).is_err());
+    assert!(old_addr.send_now(LcMsg::Arm(1, 1)).is_err());
+    assert!(!old_addr.retire(), "stale retire must not kill the newcomer");
+    ping(&new_addr); // newcomer unharmed and still serving
+
+    let stopped = reactor.shutdown();
+    // The stale handle's generation no longer matches the slot.
+    assert!(stopped.take(old_handle).is_none());
+    assert!(stopped.take(new_handle).is_some());
+    assert_eq!(new_stops.load(Ordering::SeqCst), 1);
+}
+
+/// Retiring a busy actor purges its queued messages: a reply channel
+/// parked behind a slow handler is dropped, so the waiting caller gets
+/// a disconnect error instead of hanging forever.
+#[test]
+fn retire_drops_queued_reply_senders() {
+    let clock = ManualClock::new();
+    let reactor = single_worker(&clock);
+    let (ev_tx, ev_rx) = mpsc::channel();
+    let (actor, _, stops) = Lifecycle::new(ev_tx);
+    let (addr, _h) = reactor.spawn("busy", 8, actor);
+    assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Started));
+
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (gate_tx, gate_rx) = mpsc::channel();
+    addr.send(LcMsg::Wait(entered_tx, gate_rx)).unwrap();
+    entered_rx
+        .recv_timeout(DEADLINE)
+        .expect("worker parked inside Wait");
+    let (reply_tx, reply_rx) = mpsc::channel();
+    addr.send(LcMsg::Reply(reply_tx)).unwrap();
+
+    // Retire while the worker is parked inside Wait: the queued Reply is
+    // purged immediately (kill is synchronous), before the gate opens.
+    assert!(addr.retire());
+    assert!(
+        reply_rx.recv_timeout(DEADLINE).is_err(),
+        "purged reply sender must drop, unblocking the caller"
+    );
+    assert!(addr.send(LcMsg::StopSelf).is_err(), "retired rejects sends");
+
+    gate_tx.send(()).unwrap();
+    assert_eq!(ev_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Stopped));
+    assert_eq!(stops.load(Ordering::SeqCst), 1);
+    reactor.shutdown();
+    assert_eq!(stops.load(Ordering::SeqCst), 1, "on_stop ran twice");
+}
+
+/// Despawn landing before the actor's first turn: `on_start` never runs
+/// (the worker is held elsewhere), yet `on_stop` still runs exactly once
+/// and the slot is reclaimed.
+#[test]
+fn despawn_before_first_turn_skips_on_start() {
+    let clock = ManualClock::new();
+    let reactor = single_worker(&clock);
+    let (hold_tx, hold_rx) = mpsc::channel();
+    let (holder_actor, _, _) = Lifecycle::new(hold_tx);
+    let (holder, _hh) = reactor.spawn("holder", 8, holder_actor);
+    assert_eq!(hold_rx.recv_timeout(DEADLINE).ok(), Some(Ev::Started));
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let (gate_tx, gate_rx) = mpsc::channel();
+    holder.send(LcMsg::Wait(entered_tx, gate_rx)).unwrap();
+    // The worker is provably parked inside the handler from here on.
+    entered_rx
+        .recv_timeout(DEADLINE)
+        .expect("worker parked inside Wait");
+
+    // The newcomer's on_start is queued behind the parked worker; the
+    // despawn must win.
+    let (ev_tx, ev_rx) = mpsc::channel();
+    let (new_actor, _, stops) = Lifecycle::new(ev_tx);
+    let (_addr, handle) = reactor.spawn("never-started", 8, new_actor);
+    assert!(reactor.despawn(handle));
+
+    gate_tx.send(()).unwrap();
+    assert_eq!(
+        ev_rx.recv_timeout(DEADLINE).ok(),
+        Some(Ev::Stopped),
+        "on_stop must run even when on_start never did"
+    );
+    assert_eq!(stops.load(Ordering::SeqCst), 1);
+    let deadline = Instant::now() + DEADLINE;
+    while reactor.stats().live != 1 {
+        assert!(Instant::now() < deadline, "despawned slot never freed");
+        std::thread::yield_now();
+    }
+    reactor.shutdown();
+    assert_eq!(stops.load(Ordering::SeqCst), 1);
+}

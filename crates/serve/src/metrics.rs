@@ -217,6 +217,8 @@ impl ServeMetrics {
                 .collect(),
             latency_ewma_us: self.latency_ewma_us.load(Ordering::Relaxed),
             engine_queue: 0,
+            net_connections_live: 0,
+            net_writers_live: 0,
             latency_us: self
                 .latency_us
                 .iter()
@@ -272,6 +274,12 @@ pub struct MetricsSnapshot {
     /// Query-engine mailbox depth at snapshot time (gauge; filled in by
     /// the service, 0 when sampled from raw [`ServeMetrics`]).
     pub engine_queue: usize,
+    /// TCP connections currently open at the transport layer (gauge;
+    /// filled in by the net server, 0 for in-process snapshots).
+    pub net_connections_live: u64,
+    /// Per-connection writer actors currently live on the net reactor
+    /// (gauge; filled in by the net server, 0 for in-process snapshots).
+    pub net_writers_live: u64,
     /// See [`ServeMetrics::latency_us`].
     pub latency_us: Vec<u64>,
 }
