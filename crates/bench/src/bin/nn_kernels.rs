@@ -1,26 +1,30 @@
-//! Before/after benchmark of the fused NN kernel layer: model 1's
-//! train-epoch and batch-predict times under the seed's allocation-heavy
-//! scalar path versus the blocked, fused, scratch-reusing kernels now
-//! backing `Sequential`.
+//! Before/after benchmark of the fused NN kernel layer, in two tiers:
 //!
-//! The "before" side is a faithful in-bin replica of the seed
-//! implementation: zero-skip scalar `dot`, materialized `transpose()`,
-//! per-call `clone()` caches, broadcast/activation/hadamard each allocating
-//! a fresh matrix, and an SGD step that clones every gradient. The "after"
-//! side is the live `Sequential::train_batch_view` / `predict` path on
-//! identical weights and data.
+//! 1. **Seed vs live (dense model 1)** — train-epoch and batch-predict
+//!    times under the seed's allocation-heavy scalar path versus the
+//!    blocked, fused, scratch-reusing kernels now backing `Sequential`.
+//!    The "before" side is a faithful in-bin replica of the seed
+//!    implementation: zero-skip scalar `dot`, materialized `transpose()`,
+//!    per-call `clone()` caches, and an SGD step that clones every
+//!    gradient.
+//! 2. **Scalar vs SIMD backend** (AVX2/FMA hosts) — per-kernel
+//!    micro-benchmarks at model-1 shapes and end-to-end train/predict for
+//!    both the dense model and a recurrent (LSTM) model, pinning each
+//!    backend in turn via `force_backend` (safe here: this binary is
+//!    single-threaded).
 //!
 //! Run with `cargo run -p geomancy-bench --bin nn_kernels --release`.
-//! Writes `BENCH_nn.json` at the workspace root.
+//! Writes `BENCH_nn.json` at the workspace root, stamped with the
+//! detected kernel backend.
 
 use std::time::Instant;
 
 use geomancy_bench::output::{fast_mode, print_table};
 use geomancy_nn::activation::Activation;
 use geomancy_nn::init::seeded_rng;
-use geomancy_nn::layers::Dense;
+use geomancy_nn::layers::{Dense, Lstm};
 use geomancy_nn::loss::Loss;
-use geomancy_nn::matrix::Matrix;
+use geomancy_nn::matrix::{kernels, Matrix};
 use geomancy_nn::network::Sequential;
 use geomancy_nn::optimizer::Sgd;
 
@@ -165,6 +169,40 @@ fn dataset(rows: usize) -> (Matrix, Matrix) {
     (x, y)
 }
 
+/// Deterministic synthetic recurrent windows: `timesteps * features`
+/// flattened columns per row, values in [-0.4, 0.6).
+fn lstm_dataset(rows: usize, cols: usize) -> (Matrix, Matrix) {
+    let x = Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| ((i * 29 + 11) % 97) as f64 / 97.0 - 0.4)
+            .collect(),
+    );
+    let y = Matrix::from_vec(
+        rows,
+        1,
+        (0..rows)
+            .map(|i| {
+                let r = x.row(i);
+                (r[0] + 0.5 * r[7] - r[cols - 8]).tanh()
+            })
+            .collect(),
+    );
+    (x, y)
+}
+
+/// Deterministic filler matrix for kernel micro-benchmarks.
+fn pseudo(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| ((i * 31 + seed * 17 + 7) % 103) as f64 / 103.0 - 0.4)
+            .collect(),
+    )
+}
+
 /// Minimum over `reps` timed runs of `f`, in milliseconds.
 fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut best = f64::INFINITY;
@@ -174,6 +212,53 @@ fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
         best = best.min(start.elapsed().as_secs_f64() * 1e3);
     }
     best
+}
+
+/// Times `f` once per backend: scalar always, AVX2/FMA when the host
+/// supports it. Only sound in this single-threaded binary — `force_backend`
+/// flips process-global dispatch.
+fn time_backends(simd_available: bool, reps: usize, mut f: impl FnMut()) -> (f64, Option<f64>) {
+    assert!(kernels::force_backend(kernels::KernelBackend::Scalar));
+    f(); // warm-up sizes scratch buffers under the scalar backend
+    let scalar = best_ms(reps, &mut f);
+    let simd = if simd_available {
+        assert!(kernels::force_backend(kernels::KernelBackend::Avx2Fma));
+        f();
+        Some(best_ms(reps, &mut f))
+    } else {
+        None
+    };
+    (scalar, simd)
+}
+
+/// JSON blob for a scalar/SIMD timing pair.
+fn pair_json(scalar_ms: f64, simd_ms: Option<f64>) -> serde_json::Value {
+    match simd_ms {
+        Some(s) => serde_json::json!({
+            "scalar": scalar_ms,
+            "avx2_fma": s,
+            "speedup": scalar_ms / s,
+        }),
+        None => serde_json::json!({ "scalar": scalar_ms }),
+    }
+}
+
+/// Table row for a scalar/SIMD timing pair.
+fn pair_row(label: &str, scalar_ms: f64, simd_ms: Option<f64>) -> Vec<String> {
+    match simd_ms {
+        Some(s) => vec![
+            label.to_string(),
+            format!("{scalar_ms:.3}"),
+            format!("{s:.3}"),
+            format!("{:.2}x", scalar_ms / s),
+        ],
+        None => vec![
+            label.to_string(),
+            format!("{scalar_ms:.3}"),
+            "n/a".to_string(),
+            "n/a".to_string(),
+        ],
+    }
 }
 
 fn main() {
@@ -275,8 +360,180 @@ fn main() {
         ],
     );
 
+    // ------------------------------------------------------------------
+    // Tier 2: scalar vs AVX2/FMA backend. The detected backend is pinned
+    // per measurement and restored afterwards.
+    let detected = kernels::backend();
+    let backend_name = kernels::backend_name();
+    let simd_available = detected == kernels::KernelBackend::Avx2Fma;
+    let (micro_reps, micro_iters) = if fast { (5, 50) } else { (20, 400) };
+
+    // Per-kernel micro-benches at model-1 shapes (batch 64, 96 -> 48 being
+    // the dominant GEMM). Each timed rep runs `micro_iters` kernel calls.
+    let a1 = pseudo(64, 96, 1);
+    let b1 = pseudo(96, 48, 2);
+    let g1 = pseudo(64, 48, 3);
+    let bias1 = pseudo(1, 48, 4);
+    let mut o_acc = Matrix::zeros(64, 48);
+    let (mm_scalar, mm_simd) = time_backends(simd_available, micro_reps, || {
+        o_acc.fill(0.0);
+        for _ in 0..micro_iters {
+            kernels::matmul_acc(a1.view(), &b1, &mut o_acc);
+        }
+    });
+    let mut w_grad = Matrix::zeros(96, 48);
+    let (atb_scalar, atb_simd) = time_backends(simd_available, micro_reps, || {
+        w_grad.fill(0.0);
+        for _ in 0..micro_iters {
+            kernels::matmul_at_b_acc(a1.view(), g1.view(), &mut w_grad);
+        }
+    });
+    let mut dx = Matrix::default();
+    let (abt_scalar, abt_simd) = time_backends(simd_available, micro_reps, || {
+        for _ in 0..micro_iters {
+            kernels::matmul_a_bt_into(g1.view(), &b1, &mut dx);
+        }
+    });
+    let mut fwd = Matrix::default();
+    let (mba_scalar, mba_simd) = time_backends(simd_available, micro_reps, || {
+        for _ in 0..micro_iters {
+            kernels::matmul_bias_act_into(a1.view(), &b1, &bias1, Activation::ReLU, &mut fwd);
+        }
+    });
+    // LSTM fused element-wise backward at batch 64 x 32 hidden units.
+    let gates: Vec<Matrix> = (0..8).map(|s| pseudo(64, 32, 10 + s)).collect();
+    let mut z = [
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+    ];
+    let (lstm_ew_scalar, lstm_ew_simd) = time_backends(simd_available, micro_reps, || {
+        let [z1, z2, z3, z4, z5] = &mut z;
+        for _ in 0..micro_iters {
+            kernels::lstm_backward_elementwise(
+                &gates[0],
+                &gates[1],
+                &gates[2],
+                &gates[3],
+                &gates[4],
+                &gates[5],
+                &gates[6],
+                &gates[7],
+                Activation::Tanh,
+                z1,
+                z2,
+                z3,
+                z4,
+                z5,
+            );
+        }
+    });
+
+    print_table(
+        &format!("Kernel micro-benches, {micro_iters} calls/rep (scalar vs AVX2/FMA)"),
+        &["kernel", "scalar (ms)", "avx2_fma (ms)", "speedup"],
+        &[
+            pair_row("matmul_acc 64x96 . 96x48", mm_scalar, mm_simd),
+            pair_row("matmul_at_b_acc 96x64 . 64x48", atb_scalar, atb_simd),
+            pair_row("matmul_a_bt_into 64x48 . 48x96", abt_scalar, abt_simd),
+            pair_row("matmul_bias_act_into + ReLU", mba_scalar, mba_simd),
+            pair_row(
+                "lstm_backward_elementwise 64x32",
+                lstm_ew_scalar,
+                lstm_ew_simd,
+            ),
+        ],
+    );
+
+    // Dense end-to-end under each backend (fresh net so scratch sizing is
+    // part of the warm-up, not the measurement).
+    let mut rng2 = seeded_rng(43);
+    let mut dnet = Sequential::new();
+    dnet.push(Dense::new(6, 96, acts[0], &mut rng2));
+    dnet.push(Dense::new(96, 48, acts[1], &mut rng2));
+    dnet.push(Dense::new(48, 24, acts[2], &mut rng2));
+    dnet.push(Dense::new(24, 1, acts[3], &mut rng2));
+    let mut dopt = Sgd::new(lr);
+    let (dense_train_scalar, dense_train_simd) = time_backends(simd_available, train_reps, || {
+        run_epoch_fused(&mut dnet, &mut dopt);
+    });
+    let (dense_pred_scalar, dense_pred_simd) = time_backends(simd_available, predict_reps, || {
+        let _ = dnet.predict(&px);
+    });
+
+    // Recurrent end-to-end: LSTM over 8 timesteps of 6 features, 32 hidden
+    // units, dense linear head — exercises the fused gate/state kernels.
+    let (lstm_features, lstm_steps, lstm_hidden) = (6, 8, 32);
+    let lstm_train_rows = 600;
+    let lstm_predict_rows = 200;
+    let (lx, ly) = lstm_dataset(lstm_train_rows, lstm_features * lstm_steps);
+    let (lpx, _) = lstm_dataset(lstm_predict_rows, lstm_features * lstm_steps);
+    let mut rng3 = seeded_rng(44);
+    let mut lnet = Sequential::new();
+    lnet.push(Lstm::new(
+        lstm_features,
+        lstm_hidden,
+        lstm_steps,
+        Activation::Tanh,
+        &mut rng3,
+    ));
+    lnet.push(Dense::new(lstm_hidden, 1, Activation::Linear, &mut rng3));
+    let mut lopt = Sgd::new(lr);
+    let run_epoch_lstm = |net: &mut Sequential, opt: &mut Sgd| {
+        let mut row = 0;
+        while row < lx.rows() {
+            let end = (row + batch).min(lx.rows());
+            net.train_batch_view(
+                lx.view_rows(row..end),
+                ly.view_rows(row..end),
+                Loss::MeanSquaredError,
+                opt,
+            );
+            row = end;
+        }
+    };
+    let (lstm_train_scalar, lstm_train_simd) = time_backends(simd_available, train_reps, || {
+        run_epoch_lstm(&mut lnet, &mut lopt);
+    });
+    let (lstm_pred_scalar, lstm_pred_simd) = time_backends(simd_available, predict_reps, || {
+        let _ = lnet.predict(&lpx);
+    });
+
+    // Restore the detected backend before anything else runs.
+    assert!(kernels::force_backend(detected));
+
+    print_table(
+        "End-to-end scalar vs AVX2/FMA",
+        &["scenario", "scalar (ms)", "avx2_fma (ms)", "speedup"],
+        &[
+            pair_row(
+                &format!("dense train epoch ({train_rows} rows)"),
+                dense_train_scalar,
+                dense_train_simd,
+            ),
+            pair_row(
+                &format!("dense predict ({predict_rows} rows)"),
+                dense_pred_scalar,
+                dense_pred_simd,
+            ),
+            pair_row(
+                &format!("lstm train epoch ({lstm_train_rows} rows)"),
+                lstm_train_scalar,
+                lstm_train_simd,
+            ),
+            pair_row(
+                &format!("lstm predict ({lstm_predict_rows} rows)"),
+                lstm_pred_scalar,
+                lstm_pred_simd,
+            ),
+        ],
+    );
+
     let json = serde_json::json!({
         "model": "model1_dense_6_96_48_24_1",
+        "kernel_backend": backend_name,
         "train_rows": train_rows,
         "batch_size": batch,
         "predict_rows": predict_rows,
@@ -292,6 +549,28 @@ fn main() {
             "speedup": predict_speedup,
         },
         "max_relative_prediction_difference": max_rel,
+        "simd": {
+            "available": simd_available,
+            "micro_iters": micro_iters,
+            "kernels_ms": {
+                "matmul_acc_64x96x48": pair_json(mm_scalar, mm_simd),
+                "matmul_at_b_acc_96x64x48": pair_json(atb_scalar, atb_simd),
+                "matmul_a_bt_into_64x48x96": pair_json(abt_scalar, abt_simd),
+                "matmul_bias_act_relu_64x96x48": pair_json(mba_scalar, mba_simd),
+                "lstm_backward_elementwise_64x32": pair_json(lstm_ew_scalar, lstm_ew_simd),
+            },
+            "dense_end_to_end": {
+                "train_epoch_ms": pair_json(dense_train_scalar, dense_train_simd),
+                "predict_ms": pair_json(dense_pred_scalar, dense_pred_simd),
+            },
+            "lstm_end_to_end": {
+                "model": "lstm_6f_8t_h32_dense_1",
+                "train_rows": lstm_train_rows,
+                "predict_rows": lstm_predict_rows,
+                "train_epoch_ms": pair_json(lstm_train_scalar, lstm_train_simd),
+                "predict_ms": pair_json(lstm_pred_scalar, lstm_pred_simd),
+            },
+        },
     });
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
@@ -309,4 +588,26 @@ fn main() {
         train_speedup >= 2.0 && predict_speedup >= 2.0,
         "kernel speedup regressed below 2x (train {train_speedup:.2}x, predict {predict_speedup:.2}x)"
     );
+
+    // SIMD acceptance gates (skipped under GEOMANCY_FAST: too few reps to
+    // be noise-proof, and skipped entirely on hosts without AVX2/FMA).
+    if simd_available && !fast {
+        let mm_speedup = mm_scalar / mm_simd.expect("measured on AVX2 host");
+        assert!(
+            mm_speedup >= 1.5,
+            "matmul_acc SIMD speedup below 1.5x: {mm_speedup:.2}x"
+        );
+        for (label, scalar, simd) in [
+            ("dense train", dense_train_scalar, dense_train_simd),
+            ("dense predict", dense_pred_scalar, dense_pred_simd),
+            ("lstm train", lstm_train_scalar, lstm_train_simd),
+            ("lstm predict", lstm_pred_scalar, lstm_pred_simd),
+        ] {
+            let speedup = scalar / simd.expect("measured on AVX2 host");
+            assert!(
+                speedup > 1.0,
+                "{label}: SIMD backend not faster end-to-end ({speedup:.2}x)"
+            );
+        }
+    }
 }

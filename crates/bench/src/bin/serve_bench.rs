@@ -495,12 +495,15 @@ fn main() {
         );
     }
 
+    let kernel_backend = geomancy_nn::matrix::kernels::backend_name();
+    println!("kernel backend: {kernel_backend}");
     let json = serde_json::json!({
         "shards": SHARDS,
         "clients": load.clients,
         "file_count": load.file_count,
         "measured_runs": load.measured_runs,
         "fast_mode": fast,
+        "kernel_backend": kernel_backend,
         "reactor_workers": batched_run.reactor_workers,
         "per_file": {
             "decisions": per_file.decisions,

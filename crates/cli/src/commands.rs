@@ -459,11 +459,12 @@ pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
     };
     let service = Arc::new(PlacementService::start(serve_config));
     println!(
-        "serving BELLE II load: {} shards, {} clients, mode {:?}, {} reactor workers…",
+        "serving BELLE II load: {} shards, {} clients, mode {:?}, {} reactor workers, {} kernels…",
         shards,
         load_config.clients,
         load_config.mode,
         service.reactor_workers(),
+        geomancy_nn::matrix::kernels::backend_name(),
     );
     let report = geomancy_serve::run_belle2_load(&service, &load_config);
     let shard_dbs = Arc::try_unwrap(service)

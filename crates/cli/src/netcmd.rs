@@ -240,6 +240,7 @@ pub fn query(args: &Args) -> Result<(), Box<dyn Error>> {
             "transport: {} live connections, {} live writer actors",
             m.net_connections_live, m.net_writers_live
         );
+        println!("server kernel backend: {}", m.kernel_backend);
     }
     Ok(())
 }

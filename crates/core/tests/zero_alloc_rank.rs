@@ -86,12 +86,25 @@ fn warm_rank_locations_into_does_not_allocate() {
     engine.rank_locations_into(&query, &candidates, &mut ranked);
     assert_eq!(ranked.len(), candidates.len());
 
-    let before = allocations();
-    for _ in 0..25 {
-        engine.rank_locations_into(&query, &candidates, &mut ranked);
+    // The counter is process-global, so another thread (libtest
+    // bookkeeping) can leak the odd allocation into a measured window; a
+    // genuinely allocating hot path fails every attempt, noise does not.
+    let mut last_delta = 0;
+    for attempt in 0..3 {
+        let before = allocations();
+        for _ in 0..25 {
+            engine.rank_locations_into(&query, &candidates, &mut ranked);
+        }
+        last_delta = allocations() - before;
+        if last_delta == 0 {
+            break;
+        }
+        assert!(
+            attempt < 2,
+            "warm rank_locations_into allocated {last_delta} times in all 3 attempts"
+        );
     }
-    let delta = allocations() - before;
-    assert_eq!(delta, 0, "warm rank_locations_into allocated {delta} times");
+    assert_eq!(last_delta, 0);
     assert_eq!(ranked.len(), candidates.len());
     // The biased data still ranks device 1 above device 0.
     assert!(ranked[1].1 >= ranked[0].1);

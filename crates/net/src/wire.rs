@@ -6,7 +6,7 @@
 //! offset  size  field
 //! ──────  ────  ─────────────────────────────────────────────
 //!      0     4  magic          b"GEOM"
-//!      4     1  version        currently 1
+//!      4     1  version        currently 2
 //!      5     1  kind           [`FrameKind`] discriminant
 //!      6     8  correlation id u64 LE, echoed verbatim in the reply
 //!     14     4  payload length u32 LE, bounded by the peer's max
@@ -24,8 +24,9 @@ use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
 
 /// The four magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"GEOM";
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks. Version 2 appended the kernel
+/// backend byte to the metrics response.
+pub const VERSION: u8 = 2;
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 18;
 /// Default cap on a single frame's payload (4 MiB).
@@ -647,6 +648,12 @@ pub fn encode_metrics_resp(snap: &MetricsSnapshot) -> Vec<u8> {
     ] {
         put_u64(&mut out, v);
     }
+    // Version 2: kernel backend byte after the fixed counters.
+    out.push(match snap.kernel_backend.as_str() {
+        "scalar" => 0,
+        "avx2_fma" => 1,
+        _ => 255,
+    });
     let queue_depth: Vec<u64> = snap.queue_depth.iter().map(|&d| d as u64).collect();
     put_u64_vec(&mut out, &queue_depth);
     put_u64_vec(&mut out, &snap.pending_per_shard);
@@ -689,6 +696,12 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
     let engine_queue = c.u64()? as usize;
     let net_connections_live = c.u64()?;
     let net_writers_live = c.u64()?;
+    let kernel_backend = match c.u8()? {
+        0 => "scalar",
+        1 => "avx2_fma",
+        _ => "unknown",
+    }
+    .to_string();
     let queue_depth: Vec<usize> = get_u64_vec(&mut c)?
         .into_iter()
         .map(|d| d as usize)
@@ -721,6 +734,7 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
         engine_queue,
         net_connections_live,
         net_writers_live,
+        kernel_backend,
         latency_us,
     })
 }

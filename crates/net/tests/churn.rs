@@ -124,8 +124,11 @@ fn thousand_cycle_churn_returns_gauges_to_baseline() {
             // hits a dead socket; the writer must retire, not linger.
             use std::io::Write;
             let mut raw = std::net::TcpStream::connect(addr).expect("connect raw");
-            let frame =
-                geomancy_net::Frame::new(geomancy_net::FrameKind::QueryReq, i as u64, req_payload.clone());
+            let frame = geomancy_net::Frame::new(
+                geomancy_net::FrameKind::QueryReq,
+                i as u64,
+                req_payload.clone(),
+            );
             raw.write_all(&frame.encode()).expect("write frame");
             drop(raw);
         }
@@ -206,8 +209,8 @@ fn reconnect_storm_restores_full_pool_health() {
 
     // Same port, new server: the pool must heal itself lazily, slot by
     // slot, replacing (never resurrecting) each dead connection.
-    let server = NetServer::start(addr, Arc::clone(&svc), NetConfig::default())
-        .expect("rebind same port");
+    let server =
+        NetServer::start(addr, Arc::clone(&svc), NetConfig::default()).expect("rebind same port");
     let deadline = Instant::now() + DEADLINE;
     while c.pool_health().0 < 4 {
         let _ = c.query_many(&[query()]);

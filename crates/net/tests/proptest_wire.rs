@@ -222,6 +222,7 @@ fn full_snapshot() -> MetricsSnapshot {
         engine_queue: 27,
         net_connections_live: 32,
         net_writers_live: 33,
+        kernel_backend: "avx2_fma".to_string(),
         latency_us: vec![28, 29, 30, 31],
     }
 }
@@ -247,6 +248,13 @@ fn metrics_codec_roundtrips_every_field() {
     assert_eq!(back.pending_peak, 19);
     assert_eq!(back.net_connections_live, 32);
     assert_eq!(back.net_writers_live, 33);
+    assert_eq!(back.kernel_backend, "avx2_fma");
+
+    // An unrecognized backend byte decodes as "unknown", not an error.
+    let mut snap = full_snapshot();
+    snap.kernel_backend = "future_backend".to_string();
+    let back = wire::decode_metrics_resp(&wire::encode_metrics_resp(&snap)).unwrap();
+    assert_eq!(back.kernel_backend, "unknown");
 }
 
 #[test]

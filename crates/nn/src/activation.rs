@@ -62,7 +62,14 @@ impl Activation {
     /// semantics match [`Activation::apply_scalar`] exactly (including
     /// `max`'s NaN handling for ReLU).
     pub fn apply_inplace(self, m: &mut Matrix) {
-        let data = m.as_mut_slice();
+        self.apply_slice(m.as_mut_slice());
+    }
+
+    /// Applies the activation element-wise to a raw slice, in place — the
+    /// kernel layer's entry point for activation math, shared by both
+    /// backends so sigmoid/tanh evaluate the same `exp`/`tanh` calls
+    /// everywhere.
+    pub fn apply_slice(self, data: &mut [f64]) {
         match self {
             Activation::ReLU => {
                 for v in data {
@@ -78,6 +85,33 @@ impl Activation {
             Activation::Tanh => {
                 for v in data {
                     *v = v.tanh();
+                }
+            }
+        }
+    }
+
+    /// Out-of-place slice activation: `dst[i] = f(src[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn apply_to_slice(self, src: &[f64], dst: &mut [f64]) {
+        assert_eq!(src.len(), dst.len(), "activation slice length mismatch");
+        match self {
+            Activation::ReLU => {
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s.max(0.0);
+                }
+            }
+            Activation::Linear => dst.copy_from_slice(src),
+            Activation::Sigmoid => {
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = 1.0 / (1.0 + (-s).exp());
+                }
+            }
+            Activation::Tanh => {
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s.tanh();
                 }
             }
         }

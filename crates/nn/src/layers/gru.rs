@@ -179,20 +179,13 @@ impl Layer for Gru {
                 Activation::Sigmoid.apply_inplace(gate);
             }
             // Candidate reads r ⊙ h_prev through the (shared) `rh` scratch.
-            self.rh.resize(batch, self.hidden);
-            for idx in 0..batch * self.hidden {
-                self.rh.as_mut_slice()[idx] = r.as_slice()[idx] * h_prev.as_slice()[idx];
-            }
+            kernels::hadamard_into(r, h_prev, &mut self.rh);
             kernels::broadcast_rows_into(&self.b[2].value, batch, cand);
             kernels::matmul_acc(x.view(), &self.wx[2].value, cand);
             kernels::matmul_acc(self.rh.view(), &self.wh[2].value, cand);
             act.apply_inplace(cand);
             // Fused state update: h_t = (1 - z) ⊙ h_prev + z ⊙ h̃.
-            for idx in 0..batch * self.hidden {
-                let z_v = z.as_slice()[idx];
-                self.fwd_h.as_mut_slice()[idx] =
-                    (1.0 - z_v) * h_prev.as_slice()[idx] + z_v * cand.as_slice()[idx];
-            }
+            kernels::convex_combine_into(z, h_prev, cand, &mut self.fwd_h);
         }
         out.copy_from(self.fwd_h.view());
         self.primed = true;
@@ -212,35 +205,27 @@ impl Layer for Gru {
         let act = self.activation;
         for t in (0..self.timesteps).rev() {
             let step = &self.cache[t];
-            let count = batch * self.hidden;
-            self.dz_pre.resize(batch, self.hidden);
-            self.dcand_pre.resize(batch, self.hidden);
-            self.dh_prev.resize(batch, self.hidden);
             // h_t = (1 - z) ⊙ h_prev + z ⊙ h̃ — fused element-wise pass.
-            for idx in 0..count {
-                let dh_v = self.dh.as_slice()[idx];
-                let z_v = step.z.as_slice()[idx];
-                let cand_v = step.cand.as_slice()[idx];
-                let h_prev_v = step.h_prev.as_slice()[idx];
-                self.dz_pre.as_mut_slice()[idx] =
-                    dh_v * (cand_v - h_prev_v) * Activation::Sigmoid.derivative_from_output(z_v);
-                self.dcand_pre.as_mut_slice()[idx] =
-                    dh_v * z_v * act.derivative_from_output(cand_v);
-                self.dh_prev.as_mut_slice()[idx] = dh_v * (1.0 - z_v);
-            }
+            kernels::gru_backward_gates(
+                &self.dh,
+                &step.z,
+                &step.cand,
+                &step.h_prev,
+                act,
+                &mut self.dz_pre,
+                &mut self.dcand_pre,
+                &mut self.dh_prev,
+            );
             // Candidate depends on (r ⊙ h_prev).
             kernels::matmul_a_bt_into(self.dcand_pre.view(), &self.wh[2].value, &mut self.d_rh);
-            self.dr_pre.resize(batch, self.hidden);
-            self.rh.resize(batch, self.hidden);
-            for idx in 0..count {
-                let d_rh_v = self.d_rh.as_slice()[idx];
-                let r_v = step.r.as_slice()[idx];
-                let h_prev_v = step.h_prev.as_slice()[idx];
-                self.dr_pre.as_mut_slice()[idx] =
-                    d_rh_v * h_prev_v * Activation::Sigmoid.derivative_from_output(r_v);
-                self.dh_prev.as_mut_slice()[idx] += d_rh_v * r_v;
-                self.rh.as_mut_slice()[idx] = r_v * h_prev_v;
-            }
+            kernels::gru_backward_reset(
+                &self.d_rh,
+                &step.r,
+                &step.h_prev,
+                &mut self.dr_pre,
+                &mut self.dh_prev,
+                &mut self.rh,
+            );
             self.dx.resize(batch, self.features);
             self.dx.fill(0.0);
             let pres = [&self.dz_pre, &self.dr_pre, &self.dcand_pre];
@@ -259,12 +244,11 @@ impl Layer for Gru {
                     kernels::matmul_a_bt_acc(pres[k].view(), &self.wh[k].value, &mut self.dh_prev);
                 }
             }
-            let width = self.input_size();
-            for r in 0..batch {
-                grad_input.as_mut_slice()
-                    [r * width + t * self.features..r * width + (t + 1) * self.features]
-                    .copy_from_slice(self.dx.row(r));
-            }
+            kernels::scatter_cols_from(
+                grad_input,
+                t * self.features..(t + 1) * self.features,
+                &self.dx,
+            );
             std::mem::swap(&mut self.dh, &mut self.dh_prev);
         }
     }
@@ -293,6 +277,7 @@ impl Layer for Gru {
         let mut z = Matrix::default();
         let mut r = Matrix::default();
         let mut rh = Matrix::default();
+        let mut h_next = Matrix::default();
         for t in 0..self.timesteps {
             let window = t * self.features..(t + 1) * self.features;
             kernels::broadcast_rows_into(&self.b[0].value, batch, &mut z);
@@ -303,19 +288,15 @@ impl Layer for Gru {
             kernels::matmul_cols_acc(input, window.clone(), &self.wx[1].value, &mut r);
             kernels::matmul_acc(h.view(), &self.wh[1].value, &mut r);
             Activation::Sigmoid.apply_inplace(&mut r);
-            rh.resize(batch, self.hidden);
-            for idx in 0..batch * self.hidden {
-                rh.as_mut_slice()[idx] = r.as_slice()[idx] * h.as_slice()[idx];
-            }
+            kernels::hadamard_into(&r, h, &mut rh);
             kernels::broadcast_rows_into(&self.b[2].value, batch, out);
             kernels::matmul_cols_acc(input, window, &self.wx[2].value, out);
             kernels::matmul_acc(rh.view(), &self.wh[2].value, out);
             self.activation.apply_inplace(out);
-            for idx in 0..batch * self.hidden {
-                let z_v = z.as_slice()[idx];
-                let h_v = h.as_slice()[idx];
-                h.as_mut_slice()[idx] = (1.0 - z_v) * h_v + z_v * out.as_slice()[idx];
-            }
+            // The hidden update reads and writes h, so it ping-pongs
+            // between two buffers instead of aliasing.
+            kernels::convex_combine_into(&z, h, out, &mut h_next);
+            std::mem::swap(h, &mut h_next);
         }
         out.copy_from(h.view());
     }

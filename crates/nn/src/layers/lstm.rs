@@ -214,17 +214,19 @@ impl Layer for Lstm {
                 kernels::matmul_acc(h_prev.view(), &self.wh[k].value, gate);
                 gate_act.apply_inplace(gate);
             }
-            a.resize(batch, self.hidden);
             // Fused state update: c_t = f ⊙ c_{t-1} + i ⊙ g, a = φ(c_t),
             // h_t = o ⊙ a.
-            for idx in 0..batch * self.hidden {
-                let c_v = f.as_slice()[idx] * c_prev.as_slice()[idx]
-                    + i.as_slice()[idx] * g.as_slice()[idx];
-                self.fwd_c.as_mut_slice()[idx] = c_v;
-                let a_v = act.apply_scalar(c_v);
-                a.as_mut_slice()[idx] = a_v;
-                self.fwd_h.as_mut_slice()[idx] = o.as_slice()[idx] * a_v;
-            }
+            kernels::lstm_state_forward(
+                i,
+                f,
+                o,
+                g,
+                c_prev,
+                act,
+                &mut self.fwd_c,
+                a,
+                &mut self.fwd_h,
+            );
         }
         out.copy_from(self.fwd_h.view());
         self.primed = true;
@@ -246,32 +248,26 @@ impl Layer for Lstm {
         let act = self.activation;
         for t in (0..self.timesteps).rev() {
             let step = &self.cache[t];
-            for dz in &mut self.dz {
-                dz.resize(batch, self.hidden);
-            }
-            self.dc_prev.resize(batch, self.hidden);
             // Element-wise gate gradients in one fused pass:
             //   h_t = o ⊙ φ(c_t)       → dz_o, dc update
             //   c_t = f ⊙ c_{t-1} + i ⊙ g → dz_f, dz_i, dz_g, dc_{t-1}
             let [dz_i, dz_f, dz_o, dz_g] = &mut self.dz;
-            for idx in 0..batch * self.hidden {
-                let dh_v = self.dh.as_slice()[idx];
-                let a_v = step.a.as_slice()[idx];
-                let o_v = step.o.as_slice()[idx];
-                let dc_v = self.dc.as_slice()[idx] + dh_v * o_v * act.derivative_from_output(a_v);
-                let i_v = step.i.as_slice()[idx];
-                let f_v = step.f.as_slice()[idx];
-                let g_v = step.g.as_slice()[idx];
-                dz_o.as_mut_slice()[idx] =
-                    dh_v * a_v * Activation::Sigmoid.derivative_from_output(o_v);
-                dz_f.as_mut_slice()[idx] = dc_v
-                    * step.c_prev.as_slice()[idx]
-                    * Activation::Sigmoid.derivative_from_output(f_v);
-                dz_i.as_mut_slice()[idx] =
-                    dc_v * g_v * Activation::Sigmoid.derivative_from_output(i_v);
-                dz_g.as_mut_slice()[idx] = dc_v * i_v * act.derivative_from_output(g_v);
-                self.dc_prev.as_mut_slice()[idx] = dc_v * f_v;
-            }
+            kernels::lstm_backward_elementwise(
+                &self.dh,
+                &self.dc,
+                &step.a,
+                &step.o,
+                &step.i,
+                &step.f,
+                &step.g,
+                &step.c_prev,
+                act,
+                dz_i,
+                dz_f,
+                dz_o,
+                dz_g,
+                &mut self.dc_prev,
+            );
             self.dx.resize(batch, self.features);
             self.dx.fill(0.0);
             self.dh_prev.resize(batch, self.hidden);
@@ -287,12 +283,11 @@ impl Layer for Lstm {
                 kernels::matmul_a_bt_acc(self.dz[k].view(), &self.wx[k].value, &mut self.dx);
                 kernels::matmul_a_bt_acc(self.dz[k].view(), &self.wh[k].value, &mut self.dh_prev);
             }
-            let width = self.input_size();
-            for r in 0..batch {
-                grad_input.as_mut_slice()
-                    [r * width + t * self.features..r * width + (t + 1) * self.features]
-                    .copy_from_slice(self.dx.row(r));
-            }
+            kernels::scatter_cols_from(
+                grad_input,
+                t * self.features..(t + 1) * self.features,
+                &self.dx,
+            );
             std::mem::swap(&mut self.dh, &mut self.dh_prev);
             std::mem::swap(&mut self.dc, &mut self.dc_prev);
         }
@@ -320,6 +315,8 @@ impl Layer for Lstm {
         h.resize(batch, self.hidden);
         h.fill(0.0);
         let mut c = Matrix::zeros(batch, self.hidden);
+        let mut c_next = Matrix::default();
+        let mut a = Matrix::default();
         let mut i = Matrix::default();
         let mut f = Matrix::default();
         let mut g = Matrix::default();
@@ -330,12 +327,12 @@ impl Layer for Lstm {
             // h is overwritten.
             self.gate_inference(2, input, t, h, Activation::Sigmoid, out);
             self.gate_inference(3, input, t, h, self.activation, &mut g);
-            for idx in 0..batch * self.hidden {
-                let c_v =
-                    f.as_slice()[idx] * c.as_slice()[idx] + i.as_slice()[idx] * g.as_slice()[idx];
-                c.as_mut_slice()[idx] = c_v;
-                h.as_mut_slice()[idx] = out.as_slice()[idx] * self.activation.apply_scalar(c_v);
-            }
+            // The cell update reads and writes the cell state, so it
+            // ping-pongs between two buffers instead of aliasing.
+            kernels::mul_add_mul_into(&f, &c, &i, &g, &mut c_next);
+            std::mem::swap(&mut c, &mut c_next);
+            kernels::act_into(&c, self.activation, &mut a);
+            kernels::hadamard_into(out, &a, h);
         }
         out.copy_from(h.view());
     }

@@ -164,12 +164,11 @@ impl Layer for SimpleRnn {
             kernels::matmul_at_b_acc(h_prev.view(), self.grad_pre.view(), &mut self.wh.grad);
             kernels::sum_rows_acc(&self.grad_pre, &mut self.bias.grad);
             kernels::matmul_a_bt_into(self.grad_pre.view(), &self.wx.value, &mut self.dx);
-            let width = self.input_size();
-            for r in 0..batch {
-                grad_input.as_mut_slice()
-                    [r * width + t * self.features..r * width + (t + 1) * self.features]
-                    .copy_from_slice(self.dx.row(r));
-            }
+            kernels::scatter_cols_from(
+                grad_input,
+                t * self.features..(t + 1) * self.features,
+                &self.dx,
+            );
             kernels::matmul_a_bt_into(self.grad_pre.view(), &self.wh.value, &mut self.dh_prev);
             std::mem::swap(&mut self.dh, &mut self.dh_prev);
         }

@@ -1,0 +1,44 @@
+//! The original scalar implementations, retained verbatim (minus the
+//! data-dependent zero-skip branch the old `dot` carried) as the oracle
+//! for property-based kernel-equivalence tests and as the "before" side
+//! of the kernel benchmarks.
+
+use super::super::Matrix;
+use crate::activation::Activation;
+
+/// Naive `a · b`: the seed's scalar `i-k-j` triple loop.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "shape mismatch for reference matmul");
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a[(i, k)];
+            for j in 0..b.cols() {
+                out[(i, j)] += av * b[(k, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Naive `aᵀ · b` via a materialized transpose, as the seed layers
+/// computed weight gradients.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul(&a.transpose(), b)
+}
+
+/// Naive `a · bᵀ` via a materialized transpose, as the seed layers
+/// computed input gradients.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul(a, &b.transpose())
+}
+
+/// Naive dense forward `act(x · w + bias)` with a broadcast copy and
+/// a separate activation pass, as the seed `Dense::forward` did.
+pub fn dense_forward(x: &Matrix, w: &Matrix, bias: &Matrix, act: Activation) -> Matrix {
+    act.apply(&matmul(x, w).add_row_broadcast(bias))
+}

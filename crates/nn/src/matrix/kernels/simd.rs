@@ -1,0 +1,789 @@
+//! AVX2+FMA backend and the one-time runtime dispatch that selects it.
+//!
+//! ## Dispatch
+//!
+//! [`backend`] resolves the process-wide [`KernelBackend`] exactly once
+//! (cached in an atomic, `OnceLock`-style): scalar when
+//! `GEOMANCY_FORCE_SCALAR` is set to anything but `0`/empty, otherwise
+//! AVX2+FMA iff `is_x86_feature_detected!` reports both features. On
+//! non-x86-64 targets the intrinsics below are compiled out entirely and
+//! the backend is always [`KernelBackend::Scalar`].
+//!
+//! ## Safety argument
+//!
+//! Every intrinsics function is `unsafe fn` with
+//! `#[target_feature(enable = "avx2", enable = "fma")]`; the only callers
+//! are the dispatched wrappers in the parent module, which reach a SIMD arm
+//! strictly after [`backend`] returned [`KernelBackend::Avx2Fma`] — which
+//! itself requires the feature detection (or [`force_backend`], which
+//! re-checks) to have passed. So the CPU-feature precondition holds on
+//! every call. The memory precondition is plain slice validity: all
+//! pointer arithmetic stays inside the slice bounds the safe wrappers
+//! already asserted (`while j + 4 <= n` guards every 4-lane access, with
+//! scalar tails for the remainder), and unaligned loads/stores
+//! (`_mm256_loadu_pd`/`_mm256_storeu_pd`) are used throughout so no
+//! alignment precondition exists.
+//!
+//! ## Numerical contract
+//!
+//! `_mm256_fmadd_pd` skips the intermediate rounding of a separate
+//! multiply-add and the lane split reassociates reductions, so SIMD
+//! results differ from scalar by normal rounding noise — bounded well
+//! under the 1e-12 relative tolerance the equivalence proptests enforce.
+//! Transcendentals (sigmoid's `exp`, tanh) are never vectorized: both
+//! backends call the identical scalar `f64` routines, so activations are
+//! bit-identical and only polynomial arithmetic differs.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::activation::Activation;
+
+/// Which implementation family the dispatched kernels route to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Portable blocked/unrolled scalar loops ([`super::scalar`]).
+    Scalar,
+    /// Explicit 4×f64 AVX2 lanes with FMA (x86-64 only).
+    Avx2Fma,
+}
+
+impl KernelBackend {
+    /// Stable machine-readable name, as surfaced in bench metadata and the
+    /// serve layer's metrics (`"scalar"` / `"avx2_fma"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2Fma => "avx2_fma",
+        }
+    }
+}
+
+const UNRESOLVED: u8 = 0;
+const SCALAR: u8 = 1;
+const AVX2_FMA: u8 = 2;
+
+/// Cached dispatch decision; resolved at most once per process (benign
+/// race: concurrent first calls all store the same detection result).
+static BACKEND: AtomicU8 = AtomicU8::new(UNRESOLVED);
+
+/// The active kernel backend (detection runs on first call, then cached).
+pub fn backend() -> KernelBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        SCALAR => KernelBackend::Scalar,
+        AVX2_FMA => KernelBackend::Avx2Fma,
+        _ => {
+            let b = detect();
+            BACKEND.store(code(b), Ordering::Relaxed);
+            b
+        }
+    }
+}
+
+/// [`backend`]'s stable name (`"scalar"` / `"avx2_fma"`), for logs,
+/// metrics and bench metadata.
+pub fn backend_name() -> &'static str {
+    backend().name()
+}
+
+/// Overrides the dispatched backend for the rest of the process (or until
+/// called again). Returns `false` — leaving the current choice untouched —
+/// when [`KernelBackend::Avx2Fma`] is requested on a host without
+/// AVX2+FMA, so the unsafe arms stay unreachable on unsupported CPUs.
+///
+/// Intended for single-threaded benchmark drivers that measure both
+/// backends in one process. Tests must not call it: they run concurrently
+/// within one process and would race on the process-global choice — pin a
+/// backend by calling [`super::scalar`] directly instead.
+pub fn force_backend(b: KernelBackend) -> bool {
+    if b == KernelBackend::Avx2Fma && !avx2_fma_supported() {
+        return false;
+    }
+    BACKEND.store(code(b), Ordering::Relaxed);
+    true
+}
+
+fn code(b: KernelBackend) -> u8 {
+    match b {
+        KernelBackend::Scalar => SCALAR,
+        KernelBackend::Avx2Fma => AVX2_FMA,
+    }
+}
+
+fn detect() -> KernelBackend {
+    if force_scalar_env() {
+        return KernelBackend::Scalar;
+    }
+    if avx2_fma_supported() {
+        KernelBackend::Avx2Fma
+    } else {
+        KernelBackend::Scalar
+    }
+}
+
+/// `GEOMANCY_FORCE_SCALAR` set to anything but empty/`0` pins the scalar
+/// backend regardless of host capability.
+fn force_scalar_env() -> bool {
+    std::env::var("GEOMANCY_FORCE_SCALAR")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Host capability, independent of the env override.
+fn avx2_fma_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(super) use x86::*;
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    use super::super::KC;
+    use super::Activation;
+
+    /// Horizontal sum of a 4-lane f64 vector.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (callers are `target_feature(avx2, fma)` functions).
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd::<1>(v);
+        let pair = _mm_add_pd(lo, hi);
+        let swapped = _mm_unpackhi_pd(pair, pair);
+        _mm_cvtsd_f64(_mm_add_sd(pair, swapped))
+    }
+
+    /// Vectorized [`Activation::derivative_from_output`]: the derivative of
+    /// every supported activation is polynomial in the activated output
+    /// (ReLU: `y > 0`, sigmoid: `y(1-y)`, tanh: `1-y²`, linear: `1`), so
+    /// all four vectorize without touching a transcendental. Each arm
+    /// mirrors the scalar formula's operation order exactly.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn act_derivative_v(act: Activation, y: __m256d) -> __m256d {
+        let one = _mm256_set1_pd(1.0);
+        match act {
+            // `y > 0.0` is false for NaN under _CMP_GT_OQ, matching the
+            // scalar `if y > 0.0` branch.
+            Activation::ReLU => {
+                _mm256_and_pd(_mm256_cmp_pd::<_CMP_GT_OQ>(y, _mm256_setzero_pd()), one)
+            }
+            Activation::Linear => one,
+            Activation::Sigmoid => _mm256_mul_pd(y, _mm256_sub_pd(one, y)),
+            Activation::Tanh => _mm256_sub_pd(one, _mm256_mul_pd(y, y)),
+        }
+    }
+
+    /// Shared blocked-matmul body, SIMD mirror of
+    /// [`super::super::scalar::panel_acc`]: `out[m x n] += A_window · b`
+    /// where the `p`-th shared-dim element of out-row `i`'s A operand is
+    /// `ad[i*stride + off + p*astep]` (`astep = 1` walks a contiguous A
+    /// row; `astep = p_cols` walks a column, which is how `aᵀ·b` reuses
+    /// this body). Same [`KC`] shared-dim tiling; the output row is
+    /// register-blocked 32/16/4 columns wide (8/4/1 vector accumulators
+    /// held across the whole panel), so each shared-dim step issues one
+    /// broadcast plus independent `_mm256_fmadd_pd` chains instead of
+    /// reloading the output row per k group.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA, and the caller-validated shape contract:
+    /// `ad` holds at least `(m-1)*stride + off + (k-1)*astep + 1`
+    /// elements, `bd` at least `k*n`, `od` at least `m*n`.
+    #[allow(clippy::too_many_arguments)] // raw-slice mirror of the scalar body
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn matmul_panel_acc(
+        m: usize,
+        k: usize,
+        n: usize,
+        ad: &[f64],
+        stride: usize,
+        off: usize,
+        astep: usize,
+        bd: &[f64],
+        od: &mut [f64],
+    ) {
+        if k < 4 {
+            // mul+add instead of FMA so rounding matches the scalar
+            // backend bit-for-bit — the sparse/dense regression test pins
+            // that k<4 products are exactly the naive reference on every
+            // backend. FMA would skip the intermediate product rounding.
+            matmul_panel_acc_short_k(m, k, n, ad, stride, off, astep, bd, od);
+            return;
+        }
+        let ap = ad.as_ptr();
+        let bp = bd.as_ptr();
+        let op = od.as_mut_ptr();
+        let mut kb = 0;
+        while kb < k {
+            let kend = (kb + KC).min(k);
+            for i in 0..m {
+                let arow = ap.add(i * stride + off);
+                let orow = op.add(i * n);
+                let mut j = 0;
+                while j + 32 <= n {
+                    let oj = orow.add(j);
+                    let mut acc0 = _mm256_loadu_pd(oj);
+                    let mut acc1 = _mm256_loadu_pd(oj.add(4));
+                    let mut acc2 = _mm256_loadu_pd(oj.add(8));
+                    let mut acc3 = _mm256_loadu_pd(oj.add(12));
+                    let mut acc4 = _mm256_loadu_pd(oj.add(16));
+                    let mut acc5 = _mm256_loadu_pd(oj.add(20));
+                    let mut acc6 = _mm256_loadu_pd(oj.add(24));
+                    let mut acc7 = _mm256_loadu_pd(oj.add(28));
+                    for p in kb..kend {
+                        let av = _mm256_set1_pd(*arow.add(p * astep));
+                        let bj = bp.add(p * n + j);
+                        acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj), acc0);
+                        acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(4)), acc1);
+                        acc2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(8)), acc2);
+                        acc3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(12)), acc3);
+                        acc4 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(16)), acc4);
+                        acc5 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(20)), acc5);
+                        acc6 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(24)), acc6);
+                        acc7 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(28)), acc7);
+                    }
+                    _mm256_storeu_pd(oj, acc0);
+                    _mm256_storeu_pd(oj.add(4), acc1);
+                    _mm256_storeu_pd(oj.add(8), acc2);
+                    _mm256_storeu_pd(oj.add(12), acc3);
+                    _mm256_storeu_pd(oj.add(16), acc4);
+                    _mm256_storeu_pd(oj.add(20), acc5);
+                    _mm256_storeu_pd(oj.add(24), acc6);
+                    _mm256_storeu_pd(oj.add(28), acc7);
+                    j += 32;
+                }
+                while j + 16 <= n {
+                    let oj = orow.add(j);
+                    let mut acc0 = _mm256_loadu_pd(oj);
+                    let mut acc1 = _mm256_loadu_pd(oj.add(4));
+                    let mut acc2 = _mm256_loadu_pd(oj.add(8));
+                    let mut acc3 = _mm256_loadu_pd(oj.add(12));
+                    for p in kb..kend {
+                        let av = _mm256_set1_pd(*arow.add(p * astep));
+                        let bj = bp.add(p * n + j);
+                        acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj), acc0);
+                        acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(4)), acc1);
+                        acc2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(8)), acc2);
+                        acc3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(bj.add(12)), acc3);
+                    }
+                    _mm256_storeu_pd(oj, acc0);
+                    _mm256_storeu_pd(oj.add(4), acc1);
+                    _mm256_storeu_pd(oj.add(8), acc2);
+                    _mm256_storeu_pd(oj.add(12), acc3);
+                    j += 16;
+                }
+                while j + 4 <= n {
+                    let oj = orow.add(j);
+                    let mut acc = _mm256_loadu_pd(oj);
+                    for p in kb..kend {
+                        let av = _mm256_set1_pd(*arow.add(p * astep));
+                        acc = _mm256_fmadd_pd(av, _mm256_loadu_pd(bp.add(p * n + j)), acc);
+                    }
+                    _mm256_storeu_pd(oj, acc);
+                    j += 4;
+                }
+                while j < n {
+                    let mut sum = *orow.add(j);
+                    for p in kb..kend {
+                        sum = (*arow.add(p * astep)).mul_add(*bp.add(p * n + j), sum);
+                    }
+                    *orow.add(j) = sum;
+                    j += 1;
+                }
+            }
+            kb = kend;
+        }
+    }
+
+    /// `k < 4` fallback for [`matmul_panel_acc`]: vector mul+add (no FMA)
+    /// in the exact per-k accumulation order of the scalar backend, so
+    /// short-shared-dim products stay bitwise identical to the reference.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`matmul_panel_acc`].
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn matmul_panel_acc_short_k(
+        m: usize,
+        k: usize,
+        n: usize,
+        ad: &[f64],
+        stride: usize,
+        off: usize,
+        astep: usize,
+        bd: &[f64],
+        od: &mut [f64],
+    ) {
+        let ap = ad.as_ptr();
+        let bp = bd.as_ptr();
+        let op = od.as_mut_ptr();
+        for i in 0..m {
+            let arow = ap.add(i * stride + off);
+            let orow = op.add(i * n);
+            for p in 0..k {
+                let s = *arow.add(p * astep);
+                let av = _mm256_set1_pd(s);
+                let brow = bp.add(p * n);
+                let mut j = 0;
+                while j + 4 <= n {
+                    let acc = _mm256_add_pd(
+                        _mm256_loadu_pd(orow.add(j)),
+                        _mm256_mul_pd(av, _mm256_loadu_pd(brow.add(j))),
+                    );
+                    _mm256_storeu_pd(orow.add(j), acc);
+                    j += 4;
+                }
+                while j < n {
+                    *orow.add(j) += s * *brow.add(j);
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// `out[p x n] += aᵀ · b`, reusing the register-blocked panel body:
+    /// out-row `pi` reads A's column `pi` (`ad[pi + i*p]`, so `stride = 1`,
+    /// `astep = p`), with the batch dimension `m` as the shared dimension.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `ad` at least `m*p`, `bd` at least `m*n`, `od`
+    /// at least `p*n`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn matmul_at_b_acc(
+        m: usize,
+        p: usize,
+        n: usize,
+        ad: &[f64],
+        bd: &[f64],
+        od: &mut [f64],
+    ) {
+        matmul_panel_acc(p, m, n, ad, 1, 0, p, bd, od);
+    }
+
+    /// `out[m x q] += a · bᵀ` as row-dot products: two independent 4-lane
+    /// FMA accumulators (8 elements per iteration) with a horizontal
+    /// reduction and scalar tail per output element.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `ad` at least `m*k`, `bd` at least `q*k`, `od`
+    /// at least `m*q`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn matmul_a_bt_acc(
+        m: usize,
+        k: usize,
+        q: usize,
+        ad: &[f64],
+        bd: &[f64],
+        od: &mut [f64],
+    ) {
+        let ap = ad.as_ptr();
+        let bp = bd.as_ptr();
+        let op = od.as_mut_ptr();
+        for i in 0..m {
+            let arow = ap.add(i * k);
+            let orow = op.add(i * q);
+            for r in 0..q {
+                let brow = bp.add(r * k);
+                let mut acc0 = _mm256_setzero_pd();
+                let mut acc1 = _mm256_setzero_pd();
+                let mut p = 0;
+                while p + 8 <= k {
+                    acc0 = _mm256_fmadd_pd(
+                        _mm256_loadu_pd(arow.add(p)),
+                        _mm256_loadu_pd(brow.add(p)),
+                        acc0,
+                    );
+                    acc1 = _mm256_fmadd_pd(
+                        _mm256_loadu_pd(arow.add(p + 4)),
+                        _mm256_loadu_pd(brow.add(p + 4)),
+                        acc1,
+                    );
+                    p += 8;
+                }
+                if p + 4 <= k {
+                    acc0 = _mm256_fmadd_pd(
+                        _mm256_loadu_pd(arow.add(p)),
+                        _mm256_loadu_pd(brow.add(p)),
+                        acc0,
+                    );
+                    p += 4;
+                }
+                let mut s = hsum(_mm256_add_pd(acc0, acc1));
+                while p < k {
+                    s += *arow.add(p) * *brow.add(p);
+                    p += 1;
+                }
+                *orow.add(r) += s;
+            }
+        }
+    }
+
+    /// `out[1 x n] += column sums of a[rows x n]`, 4 columns per lane.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `ad` at least `rows*n`, `od` at least `n`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn sum_rows_acc(rows: usize, n: usize, ad: &[f64], od: &mut [f64]) {
+        let ap = ad.as_ptr();
+        let op = od.as_mut_ptr();
+        for r in 0..rows {
+            let row = ap.add(r * n);
+            let mut j = 0;
+            while j + 4 <= n {
+                let acc = _mm256_add_pd(_mm256_loadu_pd(op.add(j)), _mm256_loadu_pd(row.add(j)));
+                _mm256_storeu_pd(op.add(j), acc);
+                j += 4;
+            }
+            while j < n {
+                *op.add(j) += *row.add(j);
+                j += 1;
+            }
+        }
+    }
+
+    /// In-place ReLU: `v = max(v, 0)` (`_mm256_max_pd(v, 0)` returns the
+    /// second operand for NaN inputs, matching `f64::max(v, 0.0)`).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn relu(data: &mut [f64]) {
+        let zero = _mm256_setzero_pd();
+        let n = data.len();
+        let p = data.as_mut_ptr();
+        let mut j = 0;
+        while j + 4 <= n {
+            _mm256_storeu_pd(p.add(j), _mm256_max_pd(_mm256_loadu_pd(p.add(j)), zero));
+            j += 4;
+        }
+        while j < n {
+            *p.add(j) = (*p.add(j)).max(0.0);
+            j += 1;
+        }
+    }
+
+    /// Out-of-place ReLU: `dst = max(src, 0)`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `src` and `dst` must have equal lengths.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn relu_to(src: &[f64], dst: &mut [f64]) {
+        let zero = _mm256_setzero_pd();
+        let n = src.len();
+        let (sp, dp) = (src.as_ptr(), dst.as_mut_ptr());
+        let mut j = 0;
+        while j + 4 <= n {
+            _mm256_storeu_pd(dp.add(j), _mm256_max_pd(_mm256_loadu_pd(sp.add(j)), zero));
+            j += 4;
+        }
+        while j < n {
+            *dp.add(j) = (*sp.add(j)).max(0.0);
+            j += 1;
+        }
+    }
+
+    /// `out = g ⊙ act'(y)` with the derivative computed on lanes.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; all slices must have equal lengths.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn hadamard_act_derivative(
+        g: &[f64],
+        y: &[f64],
+        act: Activation,
+        out: &mut [f64],
+    ) {
+        let n = out.len();
+        let (gp, yp, op) = (g.as_ptr(), y.as_ptr(), out.as_mut_ptr());
+        let mut j = 0;
+        while j + 4 <= n {
+            let d = act_derivative_v(act, _mm256_loadu_pd(yp.add(j)));
+            _mm256_storeu_pd(op.add(j), _mm256_mul_pd(_mm256_loadu_pd(gp.add(j)), d));
+            j += 4;
+        }
+        while j < n {
+            *op.add(j) = *gp.add(j) * act.derivative_from_output(*yp.add(j));
+            j += 1;
+        }
+    }
+
+    /// `out = a ⊙ b`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; all slices must have equal lengths.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
+        let n = out.len();
+        let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut j = 0;
+        while j + 4 <= n {
+            _mm256_storeu_pd(
+                op.add(j),
+                _mm256_mul_pd(_mm256_loadu_pd(ap.add(j)), _mm256_loadu_pd(bp.add(j))),
+            );
+            j += 4;
+        }
+        while j < n {
+            *op.add(j) = *ap.add(j) * *bp.add(j);
+            j += 1;
+        }
+    }
+
+    /// `out = a ⊙ b + c ⊙ d` (one multiply, one FMA per lane group).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; all slices must have equal lengths.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn mul_add_mul(
+        a: &[f64],
+        b: &[f64],
+        c: &[f64],
+        d: &[f64],
+        out: &mut [f64],
+    ) {
+        let n = out.len();
+        let (ap, bp, cp, dp, op) = (
+            a.as_ptr(),
+            b.as_ptr(),
+            c.as_ptr(),
+            d.as_ptr(),
+            out.as_mut_ptr(),
+        );
+        let mut j = 0;
+        while j + 4 <= n {
+            let ab = _mm256_mul_pd(_mm256_loadu_pd(ap.add(j)), _mm256_loadu_pd(bp.add(j)));
+            let r = _mm256_fmadd_pd(_mm256_loadu_pd(cp.add(j)), _mm256_loadu_pd(dp.add(j)), ab);
+            _mm256_storeu_pd(op.add(j), r);
+            j += 4;
+        }
+        while j < n {
+            *op.add(j) = *ap.add(j) * *bp.add(j) + *cp.add(j) * *dp.add(j);
+            j += 1;
+        }
+    }
+
+    /// `out = (1 - t) ⊙ a + t ⊙ b`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; all slices must have equal lengths.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn convex_combine(
+        t: &[f64],
+        a: &[f64],
+        b: &[f64],
+        out: &mut [f64],
+    ) {
+        let one = _mm256_set1_pd(1.0);
+        let n = out.len();
+        let (tp, ap, bp, op) = (t.as_ptr(), a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut j = 0;
+        while j + 4 <= n {
+            let tv = _mm256_loadu_pd(tp.add(j));
+            let keep = _mm256_mul_pd(_mm256_sub_pd(one, tv), _mm256_loadu_pd(ap.add(j)));
+            let r = _mm256_fmadd_pd(tv, _mm256_loadu_pd(bp.add(j)), keep);
+            _mm256_storeu_pd(op.add(j), r);
+            j += 4;
+        }
+        while j < n {
+            *op.add(j) = (1.0 - *tp.add(j)) * *ap.add(j) + *tp.add(j) * *bp.add(j);
+            j += 1;
+        }
+    }
+
+    /// Fused LSTM backward element-wise pass (equations in the parent
+    /// module's `lstm_backward_elementwise` docs); all derivative math is
+    /// polynomial, so the whole pass runs on lanes.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; every slice must have `dh.len()` elements.
+    #[allow(clippy::too_many_arguments)] // the LSTM cell's full cached state
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn lstm_backward_elementwise(
+        dh: &[f64],
+        dc: &[f64],
+        a: &[f64],
+        o: &[f64],
+        i: &[f64],
+        f: &[f64],
+        g: &[f64],
+        c_prev: &[f64],
+        act: Activation,
+        dz_i: &mut [f64],
+        dz_f: &mut [f64],
+        dz_o: &mut [f64],
+        dz_g: &mut [f64],
+        dc_prev: &mut [f64],
+    ) {
+        let sig = Activation::Sigmoid;
+        let n = dh.len();
+        let (dhp, dcp_in) = (dh.as_ptr(), dc.as_ptr());
+        let (ap, op_, ip, fp, gp, cpp) = (
+            a.as_ptr(),
+            o.as_ptr(),
+            i.as_ptr(),
+            f.as_ptr(),
+            g.as_ptr(),
+            c_prev.as_ptr(),
+        );
+        let (zip, zfp, zop, zgp, dcpp) = (
+            dz_i.as_mut_ptr(),
+            dz_f.as_mut_ptr(),
+            dz_o.as_mut_ptr(),
+            dz_g.as_mut_ptr(),
+            dc_prev.as_mut_ptr(),
+        );
+        let mut j = 0;
+        while j + 4 <= n {
+            let dhv = _mm256_loadu_pd(dhp.add(j));
+            let av = _mm256_loadu_pd(ap.add(j));
+            let ov = _mm256_loadu_pd(op_.add(j));
+            let iv = _mm256_loadu_pd(ip.add(j));
+            let fv = _mm256_loadu_pd(fp.add(j));
+            let gv = _mm256_loadu_pd(gp.add(j));
+            let cpv = _mm256_loadu_pd(cpp.add(j));
+            // dc_total = dc + dh·o·act'(a)
+            let dho = _mm256_mul_pd(dhv, ov);
+            let dc_total = _mm256_fmadd_pd(
+                dho,
+                act_derivative_v(act, av),
+                _mm256_loadu_pd(dcp_in.add(j)),
+            );
+            let dha = _mm256_mul_pd(dhv, av);
+            _mm256_storeu_pd(zop.add(j), _mm256_mul_pd(dha, act_derivative_v(sig, ov)));
+            let dcc = _mm256_mul_pd(dc_total, cpv);
+            _mm256_storeu_pd(zfp.add(j), _mm256_mul_pd(dcc, act_derivative_v(sig, fv)));
+            let dcg = _mm256_mul_pd(dc_total, gv);
+            _mm256_storeu_pd(zip.add(j), _mm256_mul_pd(dcg, act_derivative_v(sig, iv)));
+            let dci = _mm256_mul_pd(dc_total, iv);
+            _mm256_storeu_pd(zgp.add(j), _mm256_mul_pd(dci, act_derivative_v(act, gv)));
+            _mm256_storeu_pd(dcpp.add(j), _mm256_mul_pd(dc_total, fv));
+            j += 4;
+        }
+        while j < n {
+            let dc_total =
+                *dcp_in.add(j) + *dhp.add(j) * *op_.add(j) * act.derivative_from_output(*ap.add(j));
+            *zop.add(j) = *dhp.add(j) * *ap.add(j) * sig.derivative_from_output(*op_.add(j));
+            *zfp.add(j) = dc_total * *cpp.add(j) * sig.derivative_from_output(*fp.add(j));
+            *zip.add(j) = dc_total * *gp.add(j) * sig.derivative_from_output(*ip.add(j));
+            *zgp.add(j) = dc_total * *ip.add(j) * act.derivative_from_output(*gp.add(j));
+            *dcpp.add(j) = dc_total * *fp.add(j);
+            j += 1;
+        }
+    }
+
+    /// Fused GRU update-gate backward pass (equations in the parent
+    /// module's `gru_backward_gates` docs).
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; every slice must have `dh.len()` elements.
+    #[allow(clippy::too_many_arguments)] // the GRU cell's full cached state
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn gru_backward_gates(
+        dh: &[f64],
+        z: &[f64],
+        cand: &[f64],
+        h_prev: &[f64],
+        act: Activation,
+        dz_pre: &mut [f64],
+        dcand_pre: &mut [f64],
+        dh_prev: &mut [f64],
+    ) {
+        let sig = Activation::Sigmoid;
+        let one = _mm256_set1_pd(1.0);
+        let n = dh.len();
+        let (dhp, zp, cp, hpp) = (dh.as_ptr(), z.as_ptr(), cand.as_ptr(), h_prev.as_ptr());
+        let (dzp, dcp, dhpp) = (
+            dz_pre.as_mut_ptr(),
+            dcand_pre.as_mut_ptr(),
+            dh_prev.as_mut_ptr(),
+        );
+        let mut j = 0;
+        while j + 4 <= n {
+            let dhv = _mm256_loadu_pd(dhp.add(j));
+            let zv = _mm256_loadu_pd(zp.add(j));
+            let cv = _mm256_loadu_pd(cp.add(j));
+            let hpv = _mm256_loadu_pd(hpp.add(j));
+            let diff = _mm256_mul_pd(dhv, _mm256_sub_pd(cv, hpv));
+            _mm256_storeu_pd(dzp.add(j), _mm256_mul_pd(diff, act_derivative_v(sig, zv)));
+            let dhz = _mm256_mul_pd(dhv, zv);
+            _mm256_storeu_pd(dcp.add(j), _mm256_mul_pd(dhz, act_derivative_v(act, cv)));
+            _mm256_storeu_pd(dhpp.add(j), _mm256_mul_pd(dhv, _mm256_sub_pd(one, zv)));
+            j += 4;
+        }
+        while j < n {
+            *dzp.add(j) =
+                *dhp.add(j) * (*cp.add(j) - *hpp.add(j)) * sig.derivative_from_output(*zp.add(j));
+            *dcp.add(j) = *dhp.add(j) * *zp.add(j) * act.derivative_from_output(*cp.add(j));
+            *dhpp.add(j) = *dhp.add(j) * (1.0 - *zp.add(j));
+            j += 1;
+        }
+    }
+
+    /// Fused GRU reset-gate backward pass (equations in the parent
+    /// module's `gru_backward_reset` docs); `dh_prev` accumulates.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; every slice must have `d_rh.len()` elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(in super::super) unsafe fn gru_backward_reset(
+        d_rh: &[f64],
+        r: &[f64],
+        h_prev: &[f64],
+        dr_pre: &mut [f64],
+        dh_prev: &mut [f64],
+        rh: &mut [f64],
+    ) {
+        let sig = Activation::Sigmoid;
+        let n = d_rh.len();
+        let (dp, rp, hpp) = (d_rh.as_ptr(), r.as_ptr(), h_prev.as_ptr());
+        let (drp, dhpp, rhp) = (dr_pre.as_mut_ptr(), dh_prev.as_mut_ptr(), rh.as_mut_ptr());
+        let mut j = 0;
+        while j + 4 <= n {
+            let dv = _mm256_loadu_pd(dp.add(j));
+            let rv = _mm256_loadu_pd(rp.add(j));
+            let hpv = _mm256_loadu_pd(hpp.add(j));
+            let dhpv = _mm256_mul_pd(dv, hpv);
+            _mm256_storeu_pd(drp.add(j), _mm256_mul_pd(dhpv, act_derivative_v(sig, rv)));
+            let acc = _mm256_fmadd_pd(dv, rv, _mm256_loadu_pd(dhpp.add(j)));
+            _mm256_storeu_pd(dhpp.add(j), acc);
+            _mm256_storeu_pd(rhp.add(j), _mm256_mul_pd(rv, hpv));
+            j += 4;
+        }
+        while j < n {
+            *drp.add(j) = *dp.add(j) * *hpp.add(j) * sig.derivative_from_output(*rp.add(j));
+            *dhpp.add(j) += *dp.add(j) * *rp.add(j);
+            *rhp.add(j) = *rp.add(j) * *hpp.add(j);
+            j += 1;
+        }
+    }
+}

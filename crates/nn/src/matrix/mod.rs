@@ -613,470 +613,7 @@ impl fmt::Display for Matrix {
     }
 }
 
-/// Allocation-free compute kernels behind the network's hot path.
-///
-/// Every kernel writes into a caller-provided output buffer ([`Matrix`]es
-/// are resized in place, reusing their allocation), takes its batch operand
-/// as a borrowed [`MatrixView`], and handles transposed operands by choosing
-/// a traversal order that never materializes a transposed copy:
-///
-/// - [`matmul_into`] / [`matmul_acc`] — `out = / += a · b`, register-blocked
-///   `i-k-j` with the shared dimension tiled so the `b` panel stays cache
-///   resident while streaming rows of `a`,
-/// - [`matmul_at_b_acc`] — `out += aᵀ · b` (weight gradients `xᵀ · g`)
-///   walked as rank-1 updates over the shared batch dimension, all accesses
-///   contiguous,
-/// - [`matmul_a_bt_into`] / [`matmul_a_bt_acc`] — `out = / += a · bᵀ`
-///   (input gradients `g · Wᵀ`) as row-by-row dot products, both operands
-///   read contiguously,
-/// - [`matmul_bias_act_into`] — the fused dense forward
-///   `out = act(x · W + b)`: bias initialization, product accumulation and
-///   activation in one buffer, no broadcast copy or pre-activation
-///   temporary,
-/// - element-wise helpers ([`hadamard_act_derivative_into`],
-///   [`sum_rows_acc`], [`add_row_broadcast_inplace`], [`slice_cols_into`])
-///   for the backward pass and the recurrent layers' timestep handling.
-///
-/// [`reference`] retains the original naive implementations as the oracle
-/// for the property-based equivalence tests and the "before" side of the
-/// kernel benchmarks.
-pub mod kernels {
-    use super::{Matrix, MatrixView};
-    use crate::activation::Activation;
-
-    /// Tile width of the shared (`k`) dimension: 32 rows of `b` (a panel of
-    /// `32 x n` f64s) stay L1/L2-resident while every row of `a` streams
-    /// over them.
-    const KC: usize = 32;
-
-    fn assert_mul_shapes(m: (usize, usize), n: (usize, usize), op: &str) {
-        assert_eq!(
-            m.1, n.0,
-            "shape mismatch for {op}: {}x{} * {}x{}",
-            m.0, m.1, n.0, n.1
-        );
-    }
-
-    /// `out = a · b`, resizing `out` to `a.rows x b.cols`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `a.cols() != b.rows()`.
-    pub fn matmul_into(a: MatrixView<'_>, b: &Matrix, out: &mut Matrix) {
-        assert_mul_shapes(a.shape(), b.shape(), "matmul");
-        out.resize(a.rows(), b.cols());
-        out.fill(0.0);
-        matmul_acc(a, b, out);
-    }
-
-    /// `out += a · b`; `out` must already be `a.rows x b.cols`.
-    ///
-    /// Register-blocked `i-k-j`: four rows of `b` are combined per pass over
-    /// an output row, and the `k` dimension is tiled by [`KC`] so the active
-    /// panel of `b` stays cache resident.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the shapes are inconsistent.
-    pub fn matmul_acc(a: MatrixView<'_>, b: &Matrix, out: &mut Matrix) {
-        assert_mul_shapes(a.shape(), b.shape(), "matmul");
-        assert_eq!(
-            out.shape(),
-            (a.rows(), b.cols()),
-            "matmul output shape mismatch"
-        );
-        let (m, k, n) = (a.rows(), b.rows(), b.cols());
-        let ad = a.as_slice();
-        let bd = b.as_slice();
-        let od = out.as_mut_slice();
-        let mut kb = 0;
-        while kb < k {
-            let kend = (kb + KC).min(k);
-            for i in 0..m {
-                let arow = &ad[i * k..(i + 1) * k];
-                let orow = &mut od[i * n..(i + 1) * n];
-                let mut p = kb;
-                while p + 4 <= kend {
-                    let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
-                    let b0 = &bd[p * n..(p + 1) * n];
-                    let b1 = &bd[(p + 1) * n..(p + 2) * n];
-                    let b2 = &bd[(p + 2) * n..(p + 3) * n];
-                    let b3 = &bd[(p + 3) * n..(p + 4) * n];
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-                    }
-                    p += 4;
-                }
-                while p < kend {
-                    let av = arow[p];
-                    let brow = &bd[p * n..(p + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                    p += 1;
-                }
-            }
-            kb = kend;
-        }
-    }
-
-    /// `out += aᵀ · b` without materializing `aᵀ`; `out` must already be
-    /// `a.cols x b.cols`.
-    ///
-    /// This is the weight-gradient product `xᵀ · grad`: walking the shared
-    /// batch dimension outermost turns it into a sequence of contiguous
-    /// rank-1 updates.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the shapes are inconsistent.
-    pub fn matmul_at_b_acc(a: MatrixView<'_>, b: MatrixView<'_>, out: &mut Matrix) {
-        assert_eq!(
-            a.rows(),
-            b.rows(),
-            "shape mismatch for matmul_at_b: {}x{}ᵀ * {}x{}",
-            a.rows(),
-            a.cols(),
-            b.rows(),
-            b.cols()
-        );
-        assert_eq!(
-            out.shape(),
-            (a.cols(), b.cols()),
-            "matmul_at_b output shape mismatch"
-        );
-        let (m, p, n) = (a.rows(), a.cols(), b.cols());
-        let ad = a.as_slice();
-        let bd = b.as_slice();
-        let od = out.as_mut_slice();
-        for i in 0..m {
-            let arow = &ad[i * p..(i + 1) * p];
-            let brow = &bd[i * n..(i + 1) * n];
-            for (pi, &av) in arow.iter().enumerate() {
-                let orow = &mut od[pi * n..(pi + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
-        }
-    }
-
-    /// `out = a · bᵀ` without materializing `bᵀ`, resizing `out` to
-    /// `a.rows x b.rows`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `a.cols() != b.cols()`.
-    pub fn matmul_a_bt_into(a: MatrixView<'_>, b: &Matrix, out: &mut Matrix) {
-        out.resize(a.rows(), b.rows());
-        out.fill(0.0);
-        matmul_a_bt_acc(a, b, out);
-    }
-
-    /// `out += a · bᵀ`; `out` must already be `a.rows x b.rows`.
-    ///
-    /// This is the input-gradient product `grad · Wᵀ`: each output element
-    /// is a dot product of two contiguous rows, unrolled four-wide.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the shapes are inconsistent.
-    pub fn matmul_a_bt_acc(a: MatrixView<'_>, b: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            a.cols(),
-            b.cols(),
-            "shape mismatch for matmul_a_bt: {}x{} * {}x{}ᵀ",
-            a.rows(),
-            a.cols(),
-            b.rows(),
-            b.cols()
-        );
-        assert_eq!(
-            out.shape(),
-            (a.rows(), b.rows()),
-            "matmul_a_bt output shape mismatch"
-        );
-        let (m, k, q) = (a.rows(), a.cols(), b.rows());
-        let ad = a.as_slice();
-        let bd = b.as_slice();
-        let od = out.as_mut_slice();
-        for i in 0..m {
-            let arow = &ad[i * k..(i + 1) * k];
-            let orow = &mut od[i * q..(i + 1) * q];
-            for (r, o) in orow.iter_mut().enumerate() {
-                let brow = &bd[r * k..(r + 1) * k];
-                let mut s0 = 0.0;
-                let mut s1 = 0.0;
-                let mut s2 = 0.0;
-                let mut s3 = 0.0;
-                let mut p = 0;
-                while p + 4 <= k {
-                    s0 += arow[p] * brow[p];
-                    s1 += arow[p + 1] * brow[p + 1];
-                    s2 += arow[p + 2] * brow[p + 2];
-                    s3 += arow[p + 3] * brow[p + 3];
-                    p += 4;
-                }
-                let mut s = (s0 + s1) + (s2 + s3);
-                while p < k {
-                    s += arow[p] * brow[p];
-                    p += 1;
-                }
-                *o += s;
-            }
-        }
-    }
-
-    /// Fused dense forward `out = act(x · w + bias)`, resizing `out` to
-    /// `x.rows x w.cols`.
-    ///
-    /// Each output row is initialized with the bias, the product accumulates
-    /// on top, and the activation is applied in place — one buffer, no
-    /// broadcast copy, no pre-activation temporary.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x.cols() != w.rows()` or `bias` is not `1 x w.cols()`.
-    pub fn matmul_bias_act_into(
-        x: MatrixView<'_>,
-        w: &Matrix,
-        bias: &Matrix,
-        act: Activation,
-        out: &mut Matrix,
-    ) {
-        assert_mul_shapes(x.shape(), w.shape(), "matmul");
-        assert_eq!(
-            bias.shape(),
-            (1, w.cols()),
-            "bias must be 1x{} for fused forward",
-            w.cols()
-        );
-        let n = w.cols();
-        out.resize(x.rows(), n);
-        let bias_row = bias.as_slice();
-        for orow in out.as_mut_slice().chunks_exact_mut(n.max(1)) {
-            orow.copy_from_slice(bias_row);
-        }
-        matmul_acc(x, w, out);
-        act.apply_inplace(out);
-    }
-
-    /// `out = grad_output ⊙ act'(output)`, the backward fusion of the
-    /// Hadamard product with the activation derivative (computed from the
-    /// activated output, never materialized as its own matrix). Resizes
-    /// `out` to match.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `grad_output` and `output` shapes differ.
-    pub fn hadamard_act_derivative_into(
-        grad_output: &Matrix,
-        output: &Matrix,
-        act: Activation,
-        out: &mut Matrix,
-    ) {
-        assert_eq!(
-            grad_output.shape(),
-            output.shape(),
-            "shape mismatch for hadamard_act_derivative"
-        );
-        out.resize(grad_output.rows(), grad_output.cols());
-        for ((o, &g), &y) in out
-            .as_mut_slice()
-            .iter_mut()
-            .zip(grad_output.as_slice())
-            .zip(output.as_slice())
-        {
-            *o = g * act.derivative_from_output(y);
-        }
-    }
-
-    /// `out += column sums of a` (the bias gradient); `out` must be
-    /// `1 x a.cols()`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `out` is not `1 x a.cols()`.
-    pub fn sum_rows_acc(a: &Matrix, out: &mut Matrix) {
-        assert_eq!(out.shape(), (1, a.cols()), "sum_rows output shape mismatch");
-        let n = a.cols();
-        let od = out.as_mut_slice();
-        for row in a.as_slice().chunks_exact(n.max(1)) {
-            for (o, &v) in od.iter_mut().zip(row) {
-                *o += v;
-            }
-        }
-    }
-
-    /// Adds a `1 x cols` row vector to every row of `m`, in place (compare
-    /// [`Matrix::add_row_broadcast`], which clones).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bias` is not `1 x m.cols()`.
-    pub fn add_row_broadcast_inplace(m: &mut Matrix, bias: &Matrix) {
-        assert_eq!(bias.shape(), (1, m.cols()), "broadcast width mismatch");
-        let n = m.cols();
-        let bias_row = bias.as_slice();
-        for row in m.as_mut_slice().chunks_exact_mut(n.max(1)) {
-            for (v, &b) in row.iter_mut().zip(bias_row) {
-                *v += b;
-            }
-        }
-    }
-
-    /// Fills `out` (resized to `rows x bias.cols()`) with `bias` repeated on
-    /// every row — the zero-copy way to seed a pre-activation buffer before
-    /// accumulating matrix products on top.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bias` has more than one row.
-    pub fn broadcast_rows_into(bias: &Matrix, rows: usize, out: &mut Matrix) {
-        assert_eq!(bias.rows(), 1, "broadcast source must be a row vector");
-        let n = bias.cols();
-        out.resize(rows, n);
-        let bias_row = bias.as_slice();
-        for row in out.as_mut_slice().chunks_exact_mut(n.max(1)) {
-            row.copy_from_slice(bias_row);
-        }
-    }
-
-    /// `out += a[:, cols] · b` reading the column window of `a` in place —
-    /// the recurrent layers' per-timestep product `x_t · W` without copying
-    /// `x_t` out first.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the column range is out of bounds or `b.rows()` differs
-    /// from the window width, or `out` is not `a.rows x b.cols`.
-    pub fn matmul_cols_acc(
-        a: MatrixView<'_>,
-        cols: std::ops::Range<usize>,
-        b: &Matrix,
-        out: &mut Matrix,
-    ) {
-        assert!(
-            cols.start <= cols.end && cols.end <= a.cols(),
-            "column range out of bounds"
-        );
-        assert_eq!(
-            cols.end - cols.start,
-            b.rows(),
-            "shape mismatch for matmul_cols: window {} * {}x{}",
-            cols.end - cols.start,
-            b.rows(),
-            b.cols()
-        );
-        assert_eq!(
-            out.shape(),
-            (a.rows(), b.cols()),
-            "matmul_cols output shape mismatch"
-        );
-        // Mirrors `matmul_acc`'s traversal (KC blocking + 4-wide unroll) so
-        // results are bit-identical to copying the window out and calling
-        // `matmul_acc` — the layer tests rely on that equivalence.
-        let (k, n) = (cols.end - cols.start, b.cols());
-        let bd = b.as_slice();
-        let od = out.as_mut_slice();
-        let mut kb = 0;
-        while kb < k {
-            let kend = (kb + KC).min(k);
-            for i in 0..a.rows() {
-                let arow = &a.row(i)[cols.start..cols.end];
-                let orow = &mut od[i * n..(i + 1) * n];
-                let mut p = kb;
-                while p + 4 <= kend {
-                    let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
-                    let b0 = &bd[p * n..(p + 1) * n];
-                    let b1 = &bd[(p + 1) * n..(p + 2) * n];
-                    let b2 = &bd[(p + 2) * n..(p + 3) * n];
-                    let b3 = &bd[(p + 3) * n..(p + 4) * n];
-                    for (j, o) in orow.iter_mut().enumerate() {
-                        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
-                    }
-                    p += 4;
-                }
-                while p < kend {
-                    let av = arow[p];
-                    let brow = &bd[p * n..(p + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                    p += 1;
-                }
-            }
-            kb = kend;
-        }
-    }
-
-    /// Copies columns `range` of `src` into `out` (resized to fit) — the
-    /// recurrent layers' per-timestep input extraction, reusing one buffer
-    /// instead of allocating a fresh `slice_cols` copy per step.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the range is out of bounds or reversed.
-    pub fn slice_cols_into(src: MatrixView<'_>, range: std::ops::Range<usize>, out: &mut Matrix) {
-        assert!(
-            range.start <= range.end && range.end <= src.cols(),
-            "column range out of bounds"
-        );
-        let w = range.end - range.start;
-        out.resize(src.rows(), w);
-        let od = out.as_mut_slice();
-        for r in 0..src.rows() {
-            let srow = &src.row(r)[range.start..range.end];
-            od[r * w..(r + 1) * w].copy_from_slice(srow);
-        }
-    }
-
-    /// The original scalar implementations, retained verbatim (minus the
-    /// data-dependent zero-skip branch the old `dot` carried) as the oracle
-    /// for property-based kernel-equivalence tests and as the "before" side
-    /// of the kernel benchmarks.
-    pub mod reference {
-        use super::super::Matrix;
-        use crate::activation::Activation;
-
-        /// Naive `a · b`: the seed's scalar `i-k-j` triple loop.
-        ///
-        /// # Panics
-        ///
-        /// Panics if `a.cols() != b.rows()`.
-        pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-            assert_eq!(a.cols(), b.rows(), "shape mismatch for reference matmul");
-            let mut out = Matrix::zeros(a.rows(), b.cols());
-            for i in 0..a.rows() {
-                for k in 0..a.cols() {
-                    let av = a[(i, k)];
-                    for j in 0..b.cols() {
-                        out[(i, j)] += av * b[(k, j)];
-                    }
-                }
-            }
-            out
-        }
-
-        /// Naive `aᵀ · b` via a materialized transpose, as the seed layers
-        /// computed weight gradients.
-        pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
-            matmul(&a.transpose(), b)
-        }
-
-        /// Naive `a · bᵀ` via a materialized transpose, as the seed layers
-        /// computed input gradients.
-        pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
-            matmul(a, &b.transpose())
-        }
-
-        /// Naive dense forward `act(x · w + bias)` with a broadcast copy and
-        /// a separate activation pass, as the seed `Dense::forward` did.
-        pub fn dense_forward(x: &Matrix, w: &Matrix, bias: &Matrix, act: Activation) -> Matrix {
-            act.apply(&matmul(x, w).add_row_broadcast(bias))
-        }
-    }
-}
+pub mod kernels;
 
 #[cfg(test)]
 mod tests {

@@ -4,9 +4,18 @@
 //! are not multiples of the blocking factor or the 4-wide unroll, and the
 //! transpose-operand variants used by backpropagation.
 //!
+//! Every kernel with a SIMD variant is exercised **three-way**: the naive
+//! `reference` oracle, the pinned portable backend (`kernels::scalar::*`),
+//! and the dispatched entry point (`kernels::*` — AVX2+FMA on capable
+//! hosts, scalar elsewhere or under `GEOMANCY_FORCE_SCALAR=1`; the CI
+//! matrix runs this suite both ways so both arms are covered). Tests never
+//! call `force_backend` — they run concurrently in one process and would
+//! race on the global dispatch choice.
+//!
 //! The blocked kernels reassociate floating-point accumulation (4-way
-//! k-unroll inside 32-wide k-panels), so equality is asserted to a 1e-12
-//! *relative* tolerance rather than bitwise.
+//! k-unroll inside 32-wide k-panels) and the SIMD backend adds FMA and
+//! 4-lane splits, so equality is asserted to a 1e-12 *relative* tolerance
+//! rather than bitwise.
 
 use geomancy_nn::activation::Activation;
 use geomancy_nn::matrix::{kernels, Matrix};
@@ -39,12 +48,22 @@ fn assert_close(got: &Matrix, want: &Matrix) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+/// Strategy: a pair of same-shape matrices for element-wise kernels, with
+/// widths crossing the 4-lane boundary.
+fn elementwise_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=8, 1usize..=19).prop_flat_map(|(m, n)| (matrix(m, n), matrix(m, n)))
+}
+
 proptest! {
     #[test]
     fn blocked_matmul_matches_reference((a, b) in matmul_operands()) {
+        let want = kernels::reference::matmul(&a, &b);
         let mut out = Matrix::default();
         kernels::matmul_into(a.view(), &b, &mut out);
-        assert_close(&out, &kernels::reference::matmul(&a, &b))?;
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::default();
+        kernels::scalar::matmul_into(a.view(), &b, &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
     }
 
     #[test]
@@ -61,9 +80,13 @@ proptest! {
             let n = c.cols().clamp(1, 8);
             c.as_slice().iter().cycle().take(m * n).copied().collect()
         });
+        let want = kernels::reference::matmul_at_b(&a, &c);
         let mut out = Matrix::zeros(a.cols(), c.cols());
         kernels::matmul_at_b_acc(a.view(), c.view(), &mut out);
-        assert_close(&out, &kernels::reference::matmul_at_b(&a, &c))?;
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::zeros(a.cols(), c.cols());
+        kernels::scalar::matmul_at_b_acc(a.view(), c.view(), &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
     }
 
     #[test]
@@ -73,9 +96,13 @@ proptest! {
         let bt = Matrix::from_vec(n, a.cols(), {
             b.as_slice().iter().cycle().take(n * a.cols()).copied().collect()
         });
+        let want = kernels::reference::matmul_a_bt(&a, &bt);
         let mut out = Matrix::default();
         kernels::matmul_a_bt_into(a.view(), &bt, &mut out);
-        assert_close(&out, &kernels::reference::matmul_a_bt(&a, &bt))?;
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::default();
+        kernels::scalar::matmul_a_bt_into(a.view(), &bt, &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
     }
 
     #[test]
@@ -90,9 +117,13 @@ proptest! {
             Activation::Linear,
         ][act_idx];
         let bias = Matrix::filled(1, w.cols(), 0.25);
+        let want = kernels::reference::dense_forward(&x, &w, &bias, act);
         let mut out = Matrix::default();
         kernels::matmul_bias_act_into(x.view(), &w, &bias, act, &mut out);
-        assert_close(&out, &kernels::reference::dense_forward(&x, &w, &bias, act))?;
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::default();
+        kernels::scalar::matmul_bias_act_into(x.view(), &w, &bias, act, &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
     }
 
     #[test]
@@ -109,10 +140,14 @@ proptest! {
         let w = Matrix::from_vec(cols, b.cols(), {
             b.as_slice().iter().cycle().take(cols * b.cols()).copied().collect()
         });
+        let sliced = a.slice_cols(lo..hi);
+        let want = kernels::reference::matmul(&sliced, &w);
         let mut out = Matrix::zeros(a.rows(), w.cols());
         kernels::matmul_cols_acc(a.view(), lo..hi, &w, &mut out);
-        let sliced = a.slice_cols(lo..hi);
-        assert_close(&out, &kernels::reference::matmul(&sliced, &w))?;
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::zeros(a.rows(), w.cols());
+        kernels::scalar::matmul_cols_acc(a.view(), lo..hi, &w, &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
     }
 
     #[test]
@@ -139,6 +174,220 @@ proptest! {
         kernels::hadamard_act_derivative_into(&g, &y, act, &mut out);
         let expected = g.hadamard(&y.map(|v| act.derivative_from_output(v)));
         assert_close(&out, &expected)?;
+        let mut scalar_out = Matrix::default();
+        kernels::scalar::hadamard_act_derivative_into(&g, &y, act, &mut scalar_out);
+        assert_close(&scalar_out, &expected)?;
+    }
+
+    #[test]
+    fn sum_rows_three_way(m in (1usize..=13, 1usize..=19).prop_flat_map(|(r, c)| matrix(r, c))) {
+        let mut want = Matrix::zeros(1, m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                want[(0, c)] += m[(r, c)];
+            }
+        }
+        let mut out = Matrix::zeros(1, m.cols());
+        kernels::sum_rows_acc(&m, &mut out);
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::zeros(1, m.cols());
+        kernels::scalar::sum_rows_acc(&m, &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
+    }
+
+    #[test]
+    fn hadamard_three_way((a, b) in elementwise_pair()) {
+        let want = a.hadamard(&b);
+        let mut out = Matrix::default();
+        kernels::hadamard_into(&a, &b, &mut out);
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::default();
+        kernels::scalar::hadamard_into(&a, &b, &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
+    }
+
+    #[test]
+    fn mul_add_mul_three_way(
+        (a, b) in elementwise_pair(),
+        seed in -5.0..5.0f64,
+    ) {
+        let c = a.map(|v| v + seed);
+        let d = b.map(|v| v - seed);
+        let mut want = Matrix::zeros(a.rows(), a.cols());
+        for i in 0..want.as_slice().len() {
+            want.as_mut_slice()[i] = a.as_slice()[i] * b.as_slice()[i]
+                + c.as_slice()[i] * d.as_slice()[i];
+        }
+        let mut out = Matrix::default();
+        kernels::mul_add_mul_into(&a, &b, &c, &d, &mut out);
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::default();
+        kernels::scalar::mul_add_mul_into(&a, &b, &c, &d, &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
+    }
+
+    #[test]
+    fn convex_combine_three_way((a, b) in elementwise_pair()) {
+        // Map the first operand into [0, 1] so it reads as a gate.
+        let t = a.map(|v| Activation::Sigmoid.apply_scalar(v));
+        let mut want = Matrix::zeros(a.rows(), a.cols());
+        for i in 0..want.as_slice().len() {
+            want.as_mut_slice()[i] = (1.0 - t.as_slice()[i]) * a.as_slice()[i]
+                + t.as_slice()[i] * b.as_slice()[i];
+        }
+        let mut out = Matrix::default();
+        kernels::convex_combine_into(&t, &a, &b, &mut out);
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::default();
+        kernels::scalar::convex_combine_into(&t, &a, &b, &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
+    }
+
+    #[test]
+    fn act_into_three_way(
+        (a, _) in elementwise_pair(),
+        act_idx in 0usize..4,
+    ) {
+        let act = [
+            Activation::ReLU,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::Linear,
+        ][act_idx];
+        let want = act.apply(&a);
+        let mut out = Matrix::default();
+        kernels::act_into(&a, act, &mut out);
+        assert_close(&out, &want)?;
+        let mut scalar_out = Matrix::default();
+        kernels::scalar::act_into(&a, act, &mut scalar_out);
+        assert_close(&scalar_out, &want)?;
+    }
+
+    #[test]
+    fn lstm_backward_elementwise_three_way(
+        (dh, dc) in elementwise_pair(),
+        act_idx in 0usize..3,
+    ) {
+        let act = [Activation::ReLU, Activation::Sigmoid, Activation::Tanh][act_idx];
+        // Gate caches live in their activations' ranges.
+        let sig = Activation::Sigmoid;
+        let a = dh.map(|v| act.apply_scalar(v * 0.7));
+        let o = dc.map(|v| sig.apply_scalar(v));
+        let i = dh.map(|v| sig.apply_scalar(-v));
+        let f = dc.map(|v| sig.apply_scalar(v * 0.3));
+        let g = dh.map(|v| act.apply_scalar(-v * 0.5));
+        let c_prev = dc.map(|v| v * 0.9);
+        let (rows, cols) = dh.shape();
+        let mut want = [Matrix::zeros(rows, cols), Matrix::zeros(rows, cols),
+                        Matrix::zeros(rows, cols), Matrix::zeros(rows, cols),
+                        Matrix::zeros(rows, cols)];
+        for p in 0..rows * cols {
+            let dc_total = dc.as_slice()[p]
+                + dh.as_slice()[p] * o.as_slice()[p] * act.derivative_from_output(a.as_slice()[p]);
+            want[2].as_mut_slice()[p] = dh.as_slice()[p] * a.as_slice()[p]
+                * sig.derivative_from_output(o.as_slice()[p]);
+            want[1].as_mut_slice()[p] = dc_total * c_prev.as_slice()[p]
+                * sig.derivative_from_output(f.as_slice()[p]);
+            want[0].as_mut_slice()[p] = dc_total * g.as_slice()[p]
+                * sig.derivative_from_output(i.as_slice()[p]);
+            want[3].as_mut_slice()[p] = dc_total * i.as_slice()[p]
+                * act.derivative_from_output(g.as_slice()[p]);
+            want[4].as_mut_slice()[p] = dc_total * f.as_slice()[p];
+        }
+        for run in 0..2 {
+            let mut dz_i = Matrix::default();
+            let mut dz_f = Matrix::default();
+            let mut dz_o = Matrix::default();
+            let mut dz_g = Matrix::default();
+            let mut dc_prev = Matrix::default();
+            if run == 0 {
+                kernels::lstm_backward_elementwise(
+                    &dh, &dc, &a, &o, &i, &f, &g, &c_prev, act,
+                    &mut dz_i, &mut dz_f, &mut dz_o, &mut dz_g, &mut dc_prev,
+                );
+            } else {
+                kernels::scalar::lstm_backward_elementwise(
+                    &dh, &dc, &a, &o, &i, &f, &g, &c_prev, act,
+                    &mut dz_i, &mut dz_f, &mut dz_o, &mut dz_g, &mut dc_prev,
+                );
+            }
+            for (got, want) in [&dz_i, &dz_f, &dz_o, &dz_g, &dc_prev]
+                .into_iter()
+                .zip([&want[0], &want[1], &want[2], &want[3], &want[4]])
+            {
+                assert_close(got, want)?;
+            }
+        }
+    }
+
+    #[test]
+    fn gru_backward_gates_three_way((dh, raw) in elementwise_pair()) {
+        let act = Activation::Tanh;
+        let sig = Activation::Sigmoid;
+        let z = raw.map(|v| sig.apply_scalar(v));
+        let cand = raw.map(|v| act.apply_scalar(-v));
+        let h_prev = dh.map(|v| v * 0.8);
+        let (rows, cols) = dh.shape();
+        let mut want = [Matrix::zeros(rows, cols), Matrix::zeros(rows, cols),
+                        Matrix::zeros(rows, cols)];
+        for p in 0..rows * cols {
+            want[0].as_mut_slice()[p] = dh.as_slice()[p]
+                * (cand.as_slice()[p] - h_prev.as_slice()[p])
+                * sig.derivative_from_output(z.as_slice()[p]);
+            want[1].as_mut_slice()[p] = dh.as_slice()[p] * z.as_slice()[p]
+                * act.derivative_from_output(cand.as_slice()[p]);
+            want[2].as_mut_slice()[p] = dh.as_slice()[p] * (1.0 - z.as_slice()[p]);
+        }
+        for run in 0..2 {
+            let mut dz_pre = Matrix::default();
+            let mut dcand_pre = Matrix::default();
+            let mut dh_prev = Matrix::default();
+            if run == 0 {
+                kernels::gru_backward_gates(
+                    &dh, &z, &cand, &h_prev, act,
+                    &mut dz_pre, &mut dcand_pre, &mut dh_prev,
+                );
+            } else {
+                kernels::scalar::gru_backward_gates(
+                    &dh, &z, &cand, &h_prev, act,
+                    &mut dz_pre, &mut dcand_pre, &mut dh_prev,
+                );
+            }
+            assert_close(&dz_pre, &want[0])?;
+            assert_close(&dcand_pre, &want[1])?;
+            assert_close(&dh_prev, &want[2])?;
+        }
+    }
+
+    #[test]
+    fn gru_backward_reset_three_way((d_rh, raw) in elementwise_pair()) {
+        let sig = Activation::Sigmoid;
+        let r = raw.map(|v| sig.apply_scalar(v));
+        let h_prev = d_rh.map(|v| v * 0.6);
+        let seed = raw.map(|v| v * 0.1);
+        let (rows, cols) = d_rh.shape();
+        let mut want = [Matrix::zeros(rows, cols), seed.clone(), Matrix::zeros(rows, cols)];
+        for p in 0..rows * cols {
+            want[0].as_mut_slice()[p] = d_rh.as_slice()[p] * h_prev.as_slice()[p]
+                * sig.derivative_from_output(r.as_slice()[p]);
+            want[1].as_mut_slice()[p] += d_rh.as_slice()[p] * r.as_slice()[p];
+            want[2].as_mut_slice()[p] = r.as_slice()[p] * h_prev.as_slice()[p];
+        }
+        for run in 0..2 {
+            let mut dr_pre = Matrix::default();
+            let mut dh_prev = seed.clone();
+            let mut rh = Matrix::default();
+            if run == 0 {
+                kernels::gru_backward_reset(&d_rh, &r, &h_prev, &mut dr_pre, &mut dh_prev, &mut rh);
+            } else {
+                kernels::scalar::gru_backward_reset(
+                    &d_rh, &r, &h_prev, &mut dr_pre, &mut dh_prev, &mut rh,
+                );
+            }
+            assert_close(&dr_pre, &want[0])?;
+            assert_close(&dh_prev, &want[1])?;
+            assert_close(&rh, &want[2])?;
+        }
     }
 }
 
@@ -225,4 +474,138 @@ fn sparse_and_dense_dot_agree() {
     // A fully-zero operand yields an exactly-zero product.
     let zeros = Matrix::zeros(rows, inner);
     assert!(zeros.dot(&b).as_slice().iter().all(|&v| v == 0.0));
+}
+
+/// Panicking variant of `assert_close` for the deterministic unit tests.
+fn check_close(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+        let scale = w.abs().max(1.0);
+        assert!(
+            (g - w).abs() <= 1e-12 * scale,
+            "{what}: kernel {g} vs reference {w}"
+        );
+    }
+}
+
+fn pseudo_matrix(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| ((i * 37 + seed * 13 + 11) % 97) as f64 / 19.0 - 2.5)
+            .collect(),
+    )
+}
+
+/// Explicit remainder-lane coverage: every n in 1..=9 (odd widths never
+/// fill a 4-wide f64 lane) crossed with k values that leave 1-, 2- and
+/// 3-element tails in the 4-wide k-unroll and cross the 32-wide k-panel.
+#[test]
+fn matmul_family_remainder_shapes() {
+    for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9] {
+        for k in [1usize, 2, 3, 5, 7, 9, 31, 33] {
+            let m = 5;
+            let a = pseudo_matrix(m, k, n);
+            let b = pseudo_matrix(k, n, k);
+            let what = format!("matmul m={m} k={k} n={n}");
+            let want = kernels::reference::matmul(&a, &b);
+            let mut out = Matrix::default();
+            kernels::matmul_into(a.view(), &b, &mut out);
+            check_close(&out, &want, &what);
+            let mut scalar_out = Matrix::default();
+            kernels::scalar::matmul_into(a.view(), &b, &mut scalar_out);
+            check_close(&scalar_out, &want, &what);
+
+            // aᵀ·b with the same awkward widths.
+            let c = pseudo_matrix(m, n, n + k);
+            let want = kernels::reference::matmul_at_b(&a, &c);
+            let mut out = Matrix::zeros(k, n);
+            kernels::matmul_at_b_acc(a.view(), c.view(), &mut out);
+            check_close(&out, &want, &format!("at_b {what}"));
+            let mut scalar_out = Matrix::zeros(k, n);
+            kernels::scalar::matmul_at_b_acc(a.view(), c.view(), &mut scalar_out);
+            check_close(&scalar_out, &want, &format!("at_b {what}"));
+
+            // a·bᵀ: k is the dot length here, so odd k exercises the
+            // horizontal-reduction tail.
+            let bt = pseudo_matrix(n, k, 3 * n + k);
+            let want = kernels::reference::matmul_a_bt(&a, &bt);
+            let mut out = Matrix::default();
+            kernels::matmul_a_bt_into(a.view(), &bt, &mut out);
+            check_close(&out, &want, &format!("a_bt {what}"));
+            let mut scalar_out = Matrix::default();
+            kernels::scalar::matmul_a_bt_into(a.view(), &bt, &mut scalar_out);
+            check_close(&scalar_out, &want, &format!("a_bt {what}"));
+        }
+    }
+}
+
+/// Empty operands (zero rows, zero shared dim, or zero batch) must produce
+/// empty or zero outputs without panicking on either backend.
+#[test]
+fn empty_matrix_cases() {
+    // m = 0: empty output.
+    let a = Matrix::zeros(0, 4);
+    let b = pseudo_matrix(4, 3, 1);
+    let mut out = Matrix::default();
+    kernels::matmul_into(a.view(), &b, &mut out);
+    assert_eq!(out.shape(), (0, 3));
+    let mut scalar_out = Matrix::default();
+    kernels::scalar::matmul_into(a.view(), &b, &mut scalar_out);
+    assert_eq!(scalar_out.shape(), (0, 3));
+
+    // k = 0: a well-defined all-zero product.
+    let a = Matrix::zeros(3, 0);
+    let b = Matrix::zeros(0, 5);
+    let mut out = Matrix::default();
+    kernels::matmul_into(a.view(), &b, &mut out);
+    assert_eq!(out.shape(), (3, 5));
+    assert!(out.as_slice().iter().all(|&v| v == 0.0));
+
+    // Zero-row batch through the transpose kernels and the fused forward.
+    let x = Matrix::zeros(0, 4);
+    let g = Matrix::zeros(0, 2);
+    let mut wgrad = Matrix::zeros(4, 2);
+    kernels::matmul_at_b_acc(x.view(), g.view(), &mut wgrad);
+    assert!(wgrad.as_slice().iter().all(|&v| v == 0.0));
+    let w = pseudo_matrix(4, 2, 2);
+    let bias = pseudo_matrix(1, 2, 3);
+    let mut out = Matrix::default();
+    kernels::matmul_bias_act_into(x.view(), &w, &bias, Activation::ReLU, &mut out);
+    assert_eq!(out.shape(), (0, 2));
+
+    // Empty element-wise inputs.
+    let e = Matrix::zeros(0, 7);
+    let mut out = Matrix::default();
+    kernels::hadamard_into(&e, &e, &mut out);
+    assert_eq!(out.shape(), (0, 7));
+    let mut out = Matrix::default();
+    kernels::act_into(&e, Activation::Tanh, &mut out);
+    assert_eq!(out.shape(), (0, 7));
+    let mut sums = Matrix::zeros(1, 7);
+    kernels::sum_rows_acc(&e, &mut sums);
+    assert!(sums.as_slice().iter().all(|&v| v == 0.0));
+}
+
+/// The dispatch layer resolves to a stable, documented name, and matches
+/// the `GEOMANCY_FORCE_SCALAR` override when set (the CI matrix relies on
+/// this to pin the portable backend).
+#[test]
+fn backend_dispatch_is_coherent() {
+    let b = kernels::backend();
+    let name = kernels::backend_name();
+    assert_eq!(name, b.name());
+    assert!(
+        name == "avx2_fma" || name == "scalar",
+        "unknown backend {name}"
+    );
+    let forced = std::env::var("GEOMANCY_FORCE_SCALAR")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if forced {
+        assert_eq!(name, "scalar", "GEOMANCY_FORCE_SCALAR must pin scalar");
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    assert_eq!(name, "scalar");
 }

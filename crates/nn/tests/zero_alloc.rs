@@ -14,7 +14,7 @@ use geomancy_nn::activation::Activation;
 use geomancy_nn::init::seeded_rng;
 use geomancy_nn::layers::{Dense, Gru, Lstm, SimpleRnn};
 use geomancy_nn::loss::Loss;
-use geomancy_nn::matrix::Matrix;
+use geomancy_nn::matrix::{kernels, Matrix};
 use geomancy_nn::network::Sequential;
 use geomancy_nn::optimizer::{Adam, Sgd};
 
@@ -160,4 +160,141 @@ fn steady_state_hot_paths_do_not_allocate() {
             net.train_batch_view(rx.view(), ry.view(), Loss::MeanSquaredError, &mut opt);
         });
     }
+
+    // --- direct kernel calls on the dispatched backend (SIMD on AVX2/FMA
+    // hosts, scalar otherwise): once output buffers are warm, every kernel
+    // in the hot family must stay allocation-free. Odd widths keep the
+    // SIMD remainder tails on these paths too.
+    let a = Matrix::from_vec(
+        33,
+        7,
+        (0..33 * 7).map(|i| (i % 17) as f64 / 17.0 - 0.4).collect(),
+    );
+    let b = Matrix::from_vec(
+        7,
+        13,
+        (0..7 * 13).map(|i| (i % 19) as f64 / 19.0 - 0.3).collect(),
+    );
+    let bias = Matrix::from_vec(1, 13, (0..13).map(|i| i as f64 / 13.0).collect());
+    let mut out = Matrix::default();
+    let mut out2 = Matrix::default();
+    let mut out3 = Matrix::default();
+    kernels::matmul_into(a.view(), &b, &mut out);
+    assert_zero_alloc("kernel matmul_into", || {
+        kernels::matmul_into(a.view(), &b, &mut out);
+    });
+    kernels::matmul_bias_act_into(a.view(), &b, &bias, Activation::ReLU, &mut out);
+    assert_zero_alloc("kernel matmul_bias_act_into", || {
+        kernels::matmul_bias_act_into(a.view(), &b, &bias, Activation::ReLU, &mut out);
+    });
+    let g = Matrix::from_vec(
+        33,
+        13,
+        (0..33 * 13).map(|i| (i % 23) as f64 / 23.0 - 0.5).collect(),
+    );
+    let mut wgrad = Matrix::zeros(7, 13);
+    assert_zero_alloc("kernel matmul_at_b_acc", || {
+        kernels::matmul_at_b_acc(a.view(), g.view(), &mut wgrad);
+    });
+    kernels::matmul_a_bt_into(g.view(), &b, &mut out);
+    assert_zero_alloc("kernel matmul_a_bt_into", || {
+        kernels::matmul_a_bt_into(g.view(), &b, &mut out);
+    });
+    let mut bias_grad = Matrix::zeros(1, 13);
+    assert_zero_alloc("kernel sum_rows_acc", || {
+        kernels::sum_rows_acc(&g, &mut bias_grad);
+    });
+    kernels::hadamard_act_derivative_into(&g, &g, Activation::Tanh, &mut out);
+    assert_zero_alloc("kernel hadamard_act_derivative_into", || {
+        kernels::hadamard_act_derivative_into(&g, &g, Activation::Tanh, &mut out);
+    });
+    kernels::hadamard_into(&g, &g, &mut out);
+    assert_zero_alloc("kernel hadamard_into", || {
+        kernels::hadamard_into(&g, &g, &mut out);
+    });
+    kernels::mul_add_mul_into(&g, &g, &g, &g, &mut out);
+    assert_zero_alloc("kernel mul_add_mul_into", || {
+        kernels::mul_add_mul_into(&g, &g, &g, &g, &mut out);
+    });
+    kernels::convex_combine_into(&g, &g, &g, &mut out);
+    assert_zero_alloc("kernel convex_combine_into", || {
+        kernels::convex_combine_into(&g, &g, &g, &mut out);
+    });
+    kernels::act_into(&g, Activation::Sigmoid, &mut out);
+    assert_zero_alloc("kernel act_into", || {
+        kernels::act_into(&g, Activation::Sigmoid, &mut out);
+    });
+    kernels::lstm_state_forward(
+        &g,
+        &g,
+        &g,
+        &g,
+        &g,
+        Activation::Tanh,
+        &mut out,
+        &mut out2,
+        &mut out3,
+    );
+    assert_zero_alloc("kernel lstm_state_forward", || {
+        kernels::lstm_state_forward(
+            &g,
+            &g,
+            &g,
+            &g,
+            &g,
+            Activation::Tanh,
+            &mut out,
+            &mut out2,
+            &mut out3,
+        );
+    });
+    let (mut z1, mut z2, mut z3, mut z4, mut z5) = (
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+        Matrix::default(),
+    );
+    kernels::lstm_backward_elementwise(
+        &g,
+        &g,
+        &g,
+        &g,
+        &g,
+        &g,
+        &g,
+        &g,
+        Activation::Tanh,
+        &mut z1,
+        &mut z2,
+        &mut z3,
+        &mut z4,
+        &mut z5,
+    );
+    assert_zero_alloc("kernel lstm_backward_elementwise", || {
+        kernels::lstm_backward_elementwise(
+            &g,
+            &g,
+            &g,
+            &g,
+            &g,
+            &g,
+            &g,
+            &g,
+            Activation::Tanh,
+            &mut z1,
+            &mut z2,
+            &mut z3,
+            &mut z4,
+            &mut z5,
+        );
+    });
+    kernels::gru_backward_gates(&g, &g, &g, &g, Activation::Tanh, &mut z1, &mut z2, &mut z3);
+    assert_zero_alloc("kernel gru_backward_gates", || {
+        kernels::gru_backward_gates(&g, &g, &g, &g, Activation::Tanh, &mut z1, &mut z2, &mut z3);
+    });
+    z2.resize(g.rows(), g.cols());
+    assert_zero_alloc("kernel gru_backward_reset", || {
+        kernels::gru_backward_reset(&g, &g, &g, &mut z1, &mut z2, &mut z3);
+    });
 }

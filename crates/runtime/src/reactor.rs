@@ -464,7 +464,7 @@ impl Core {
             .entries
             .get(id)
             .and_then(|e| e.as_ref())
-            .map_or(false, |s| s.gen == gen);
+            .is_some_and(|s| s.gen == gen);
         if occupied {
             slots.entries[id] = None;
             slots.free.push(id);
@@ -878,7 +878,12 @@ impl Reactor {
     /// Samples per-actor counters and queue depths.
     pub fn stats(&self) -> ReactorStats {
         let slots = self.core.slots.lock().unwrap();
-        let actors: Vec<ActorStats> = slots.entries.iter().flatten().map(|s| slot_stats(s)).collect();
+        let actors: Vec<ActorStats> = slots
+            .entries
+            .iter()
+            .flatten()
+            .map(|s| slot_stats(s))
+            .collect();
         ReactorStats {
             workers: self.workers.len(),
             live: actors.len(),

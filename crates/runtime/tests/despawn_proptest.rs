@@ -15,7 +15,8 @@ const DEADLINE: Duration = Duration::from_secs(30);
 
 #[derive(Debug)]
 enum NodeMsg {
-    Work(u64),
+    // Payload models real message data in flight; handlers ignore it.
+    Work(#[allow(dead_code)] u64),
     Arm(u64, u64),
     Ping(mpsc::Sender<()>),
 }
@@ -180,7 +181,11 @@ fn two_thousand_retire_cycles_reuse_one_slot() {
     assert_eq!(stats.spawned_total, CYCLES);
     assert_eq!(stats.retired_total, CYCLES);
     assert_eq!(stats.live, 0);
-    assert_eq!(stops.load(Ordering::SeqCst), CYCLES, "one on_stop per cycle");
+    assert_eq!(
+        stops.load(Ordering::SeqCst),
+        CYCLES,
+        "one on_stop per cycle"
+    );
     // Work sent before retire was either processed or purged — but the
     // reactor itself stayed healthy throughout: prove it with a fresh
     // actor round-trip, then a clean drain.

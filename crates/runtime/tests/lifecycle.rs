@@ -8,9 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use geomancy_runtime::{
-    Actor, Addr, Ctx, ManualClock, Reactor, ReactorConfig, TrySendError,
-};
+use geomancy_runtime::{Actor, Addr, Ctx, ManualClock, Reactor, ReactorConfig, TrySendError};
 
 const DEADLINE: Duration = Duration::from_secs(10);
 
@@ -198,7 +196,8 @@ fn every_retire_path_stops_exactly_once() {
     assert_eq!((stats.live, stats.retired_total), (0, 3));
     let stopped = reactor.shutdown();
     assert_eq!(
-        a_stops.load(Ordering::SeqCst) + b_stops.load(Ordering::SeqCst)
+        a_stops.load(Ordering::SeqCst)
+            + b_stops.load(Ordering::SeqCst)
             + c_stops.load(Ordering::SeqCst),
         3,
         "shutdown re-ran on_stop for a retired actor"
@@ -238,7 +237,10 @@ fn slot_reuse_defeats_stale_references() {
     // The stale Addr points at the killed mailbox, never the newcomer.
     assert!(old_addr.send(LcMsg::Arm(1, 1)).is_err());
     assert!(old_addr.send_now(LcMsg::Arm(1, 1)).is_err());
-    assert!(!old_addr.retire(), "stale retire must not kill the newcomer");
+    assert!(
+        !old_addr.retire(),
+        "stale retire must not kill the newcomer"
+    );
     ping(&new_addr); // newcomer unharmed and still serving
 
     let stopped = reactor.shutdown();

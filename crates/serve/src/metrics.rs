@@ -219,6 +219,7 @@ impl ServeMetrics {
             engine_queue: 0,
             net_connections_live: 0,
             net_writers_live: 0,
+            kernel_backend: geomancy_nn::matrix::kernels::backend_name().to_string(),
             latency_us: self
                 .latency_us
                 .iter()
@@ -280,6 +281,9 @@ pub struct MetricsSnapshot {
     /// Per-connection writer actors currently live on the net reactor
     /// (gauge; filled in by the net server, 0 for in-process snapshots).
     pub net_writers_live: u64,
+    /// NN kernel backend the serving process dispatches to
+    /// (`"avx2_fma"` or `"scalar"`; see `geomancy_nn::matrix::kernels`).
+    pub kernel_backend: String,
     /// See [`ServeMetrics::latency_us`].
     pub latency_us: Vec<u64>,
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Profile the NN kernel benchmark under `perf`, optionally rendering a
+# flamegraph.
+#
+# Usage:
+#   scripts/profile_nn.sh            # perf record + perf report (TUI)
+#   scripts/profile_nn.sh --flame    # also emit target/nn_kernels_flame.svg
+#                                    # (needs `inferno` or `flamegraph.pl`
+#                                    # on PATH)
+#   GEOMANCY_FORCE_SCALAR=1 scripts/profile_nn.sh
+#                                    # profile the portable scalar backend
+#
+# The binary is built with debug symbols in release mode so perf can
+# attribute samples to the individual kernels (matmul_panel_acc, the
+# fused LSTM element-wise passes, …).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v perf >/dev/null 2>&1; then
+    echo "error: perf not found on PATH (install linux-tools for your kernel)" >&2
+    exit 1
+fi
+
+export CARGO_PROFILE_RELEASE_DEBUG=true
+cargo build --release -p geomancy-bench --bin nn_kernels
+
+BIN=target/release/nn_kernels
+PERF_DATA=target/nn_kernels.perf.data
+
+# Frame-pointer call graphs: the workspace builds with frame pointers on
+# x86-64 by default; fall back to DWARF if the stacks look truncated.
+perf record --call-graph fp -o "$PERF_DATA" -- "$BIN"
+
+if [[ "${1:-}" == "--flame" ]]; then
+    SVG=target/nn_kernels_flame.svg
+    if command -v inferno-collapse-perf >/dev/null 2>&1; then
+        perf script -i "$PERF_DATA" | inferno-collapse-perf | inferno-flamegraph > "$SVG"
+    elif command -v stackcollapse-perf.pl >/dev/null 2>&1; then
+        perf script -i "$PERF_DATA" | stackcollapse-perf.pl | flamegraph.pl > "$SVG"
+    else
+        echo "error: no flamegraph tool found (inferno-* or stackcollapse-perf.pl)" >&2
+        exit 1
+    fi
+    echo "flamegraph written to $SVG"
+else
+    perf report -i "$PERF_DATA"
+fi
