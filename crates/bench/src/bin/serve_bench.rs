@@ -385,6 +385,7 @@ fn main() {
         clients: 4,
         mode: QueryMode::Batched,
         mid_load_retrains: 0,
+        access_mix: geomancy_serve::AccessMix::Sequential,
     };
 
     println!(

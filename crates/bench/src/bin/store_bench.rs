@@ -1,0 +1,518 @@
+//! Benchmark of the paged on-disk ReplayDB (`geomancy-store`) at
+//! 100k–1M-file scale, with the gates that prove the tiering pays for
+//! itself:
+//!
+//! 1. **Ingest** — a zipfian access stream into the tiered store
+//!    (bounded hot tail + cold pages + periodic checkpoints) versus the
+//!    same stream into the unbounded in-memory [`ReplayDb`]. Gate: the
+//!    tiered hot path (insert cost with checkpoint pauses accounted
+//!    separately, as the service runs them on a background actor)
+//!    sustains ≥ 0.8× of the in-memory rate (0.5× in fast mode, where
+//!    tiny runs amplify fixed costs).
+//! 2. **Query scaling** — `recent_per_device` latency with a 10k-record
+//!    history versus the full history (far larger than the hot tail, so
+//!    the cold store answers). Gate: flat within 2× (plus a 50 µs noise
+//!    floor).
+//! 3. **Checkpoint pipeline** — the real WAL path (per-shard logs →
+//!    sealed segments → absorb) round after round, recording the absorb
+//!    pause and the WAL footprint after each checkpoint. Gate: WAL bytes
+//!    bounded in steady state.
+//! 4. **Crash recovery** — a fault-injected absorb (killed after the
+//!    page write, before the index/manifest), then a timed reopen.
+//!    Gates: zero lost and zero duplicated records across the crash.
+//!
+//! Run with `cargo run -p geomancy-bench --bin store_bench --release`.
+//! Writes `BENCH_store.json` at the workspace root. `GEOMANCY_FAST=1`
+//! shrinks the population and record counts for smoke runs.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use geomancy_bench::output::{fast_mode, print_table};
+use geomancy_replaydb::{wal, ReplayDb, WalWriter};
+use geomancy_sim::population::{FilePopulation, PopulationConfig};
+use geomancy_sim::record::{AccessRecord, DeviceId};
+use geomancy_store::{FaultPoint, PagedStore, StoreConfig, TieredDb};
+
+const DEVICES: u32 = 6;
+const BATCH: usize = 256;
+const HOT_TAIL: usize = 4096;
+
+struct Scale {
+    files: usize,
+    /// Records ingested in the throughput/query phases.
+    records: u64,
+    /// Records between checkpoints (both tiered and WAL-pipeline phases).
+    checkpoint_every: u64,
+    /// WAL-pipeline rounds.
+    rounds: usize,
+}
+
+impl Scale {
+    fn pick(fast: bool) -> Scale {
+        if fast {
+            Scale {
+                files: 100_000,
+                records: 40_000,
+                checkpoint_every: 8_000,
+                rounds: 5,
+            }
+        } else {
+            Scale {
+                files: 1_000_000,
+                records: 400_000,
+                checkpoint_every: 50_000,
+                rounds: 8,
+            }
+        }
+    }
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("geomancy_store_bench")
+        .join(format!("{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    dir
+}
+
+fn population(scale: &Scale) -> FilePopulation {
+    FilePopulation::generate(
+        42,
+        &PopulationConfig {
+            file_count: scale.files,
+            zipf_exponent: 1.0,
+            ..PopulationConfig::default()
+        },
+    )
+}
+
+/// The shared access stream: record `n` opens at `n * 100` µs on device
+/// `n % DEVICES`, reading a zipf-sampled file.
+fn next_record(pop: &mut FilePopulation, n: u64) -> AccessRecord {
+    pop.next_record(n, DeviceId((n % DEVICES as u64) as u32), n * 100, 50)
+}
+
+struct IngestPhase {
+    mem_rate: f64,
+    /// Hot-path rate: wall clock minus checkpoint pauses.
+    store_rate: f64,
+    /// Checkpoint-inclusive wall-clock rate.
+    wall_rate: f64,
+    ratio: f64,
+    checkpoint_pauses_us: Vec<u64>,
+    tiered: TieredDb,
+    _dir: PathBuf,
+}
+
+fn ingest_phase(scale: &Scale) -> IngestPhase {
+    // In-memory baseline: the pre-tiering ReplayDb, everything resident.
+    let mut pop = population(scale);
+    let mut mem = ReplayDb::new();
+    let started = Instant::now();
+    let mut batch = Vec::with_capacity(BATCH);
+    for n in 0..scale.records {
+        batch.push(next_record(&mut pop, n));
+        if batch.len() == BATCH {
+            mem.insert_batch(n * 100, &batch);
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        mem.insert_batch(scale.records * 100, &batch);
+    }
+    let mem_secs = started.elapsed().as_secs_f64();
+
+    // Tiered: same stream, bounded hot tail, checkpoint every C records.
+    let dir = temp_dir("tiered");
+    let mut pop = population(scale);
+    let (mut tiered, _report) =
+        TieredDb::open(&dir, StoreConfig::default(), HOT_TAIL).expect("open tiered store");
+    let mut pauses = Vec::new();
+    let started = Instant::now();
+    let mut batch = Vec::with_capacity(BATCH);
+    let mut since_checkpoint = 0u64;
+    for n in 0..scale.records {
+        batch.push(next_record(&mut pop, n));
+        if batch.len() == BATCH {
+            tiered.insert_batch(n * 100, &batch);
+            since_checkpoint += batch.len() as u64;
+            batch.clear();
+            if since_checkpoint >= scale.checkpoint_every {
+                let pause = Instant::now();
+                tiered.checkpoint().expect("tiered checkpoint");
+                pauses.push(pause.elapsed().as_micros() as u64);
+                since_checkpoint = 0;
+            }
+        }
+    }
+    if !batch.is_empty() {
+        tiered.insert_batch(scale.records * 100, &batch);
+    }
+    let pause = Instant::now();
+    tiered.checkpoint().expect("final tiered checkpoint");
+    pauses.push(pause.elapsed().as_micros() as u64);
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    // The ingest rate the service's foreground path sees: checkpoints run
+    // on a background actor there, so their fsync-dominated pauses are
+    // accounted separately rather than folded into per-record cost. The
+    // checkpoint-inclusive wall-clock rate still goes into the JSON.
+    let pause_secs = pauses.iter().sum::<u64>() as f64 / 1e6;
+    let store_secs = (wall_secs - pause_secs).max(1e-9);
+
+    assert_eq!(tiered.len(), scale.records, "tiered store lost records");
+    let mem_rate = scale.records as f64 / mem_secs;
+    let store_rate = scale.records as f64 / store_secs;
+    IngestPhase {
+        mem_rate,
+        store_rate,
+        wall_rate: scale.records as f64 / wall_secs,
+        ratio: store_rate / mem_rate,
+        checkpoint_pauses_us: pauses,
+        tiered,
+        _dir: dir,
+    }
+}
+
+/// Best-of-N latency of `recent_per_device` against `db`, in nanoseconds.
+fn query_latency_ns(db: &TieredDb, x: usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..30 {
+        let started = Instant::now();
+        let per_device = db.recent_per_device(x).expect("recent_per_device");
+        assert!(!per_device.is_empty());
+        best = best.min(started.elapsed().as_nanos() as u64);
+    }
+    best
+}
+
+struct QueryPhase {
+    small_history: u64,
+    small_ns: u64,
+    large_history: u64,
+    large_ns: u64,
+    ratio: f64,
+}
+
+fn query_phase(scale: &Scale, full: &TieredDb) -> QueryPhase {
+    // A 10k-record history in its own tiered store (same shape, same
+    // checkpoint discipline) as the scaling baseline.
+    let dir = temp_dir("query-small");
+    let small_history = 10_000u64;
+    let mut pop = population(scale);
+    let (mut small, _) =
+        TieredDb::open(&dir, StoreConfig::default(), HOT_TAIL).expect("open small store");
+    let mut batch = Vec::with_capacity(BATCH);
+    for n in 0..small_history {
+        batch.push(next_record(&mut pop, n));
+        if batch.len() == BATCH {
+            small.insert_batch(n * 100, &batch);
+            batch.clear();
+        }
+    }
+    if !batch.is_empty() {
+        small.insert_batch(small_history * 100, &batch);
+    }
+    small.checkpoint().expect("small checkpoint");
+
+    let x = 32;
+    let small_ns = query_latency_ns(&small, x);
+    let large_ns = query_latency_ns(full, x);
+    drop(small);
+    std::fs::remove_dir_all(&dir).ok();
+    QueryPhase {
+        small_history,
+        small_ns,
+        large_history: full.len(),
+        large_ns,
+        // The noise floor: sub-50µs answers are flat regardless of ratio.
+        ratio: large_ns as f64 / (small_ns.max(50_000)) as f64,
+    }
+}
+
+struct WalPhase {
+    absorb_pauses_us: Vec<u64>,
+    post_absorb_wal_bytes: Vec<u64>,
+    recovery_secs: f64,
+    recovered_records: u64,
+    lost: u64,
+    duplicated: u64,
+}
+
+fn wal_dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// The production pipeline end to end: per-shard WALs → sealed segments
+/// → absorb, then a fault-injected absorb and a timed recovery.
+fn wal_phase(scale: &Scale) -> WalPhase {
+    const SHARDS: usize = 4;
+    let wal_dir = temp_dir("wal");
+    let store_dir = temp_dir("wal-store");
+    let mut pop = population(scale);
+    let (mut store, _) =
+        PagedStore::open(&store_dir, StoreConfig::default()).expect("open pipeline store");
+
+    let mut n = 0u64;
+    let mut expected: BTreeSet<u64> = BTreeSet::new();
+    let mut pauses = Vec::new();
+    let mut post_bytes = Vec::new();
+    let per_round = scale.checkpoint_every;
+
+    let run_round = |store: &mut PagedStore,
+                     pop: &mut FilePopulation,
+                     n: &mut u64,
+                     expected: &mut BTreeSet<u64>,
+                     seq: u64,
+                     fault: Option<FaultPoint>| {
+        let mut writers: Vec<WalWriter> = (0..SHARDS)
+            .map(|s| WalWriter::open(wal::shard_path(&wal_dir, s)).expect("open shard WAL"))
+            .collect();
+        for _ in 0..per_round {
+            let r = next_record(pop, *n);
+            let shard = (*n % SHARDS as u64) as usize;
+            writers[shard]
+                .append(r.access_number * 100, r)
+                .expect("WAL append");
+            expected.insert(*n);
+            *n += 1;
+        }
+        for (s, mut w) in writers.into_iter().enumerate() {
+            w.seal_to(wal::segment_path(&wal_dir, s, seq))
+                .expect("seal");
+        }
+        let started = Instant::now();
+        store
+            .absorb_segments(&wal_dir, SHARDS, fault)
+            .expect("absorb");
+        started.elapsed().as_micros() as u64
+    };
+
+    for round in 0..scale.rounds {
+        let pause = run_round(
+            &mut store,
+            &mut pop,
+            &mut n,
+            &mut expected,
+            round as u64 + 1,
+            None,
+        );
+        pauses.push(pause);
+        post_bytes.push(wal_dir_bytes(&wal_dir));
+    }
+
+    // Crash: one more round whose absorb dies right after the page
+    // write — pages on disk, index and manifest stale, segments intact.
+    run_round(
+        &mut store,
+        &mut pop,
+        &mut n,
+        &mut expected,
+        scale.rounds as u64 + 1,
+        Some(FaultPoint::AfterPageWrite),
+    );
+    drop(store);
+
+    // Recovery: reopen (truncates the uncommitted page tail), absorb the
+    // surviving segments, and account for every record exactly once.
+    let started = Instant::now();
+    let (mut store, _report) =
+        PagedStore::open(&store_dir, StoreConfig::default()).expect("recovery open");
+    store
+        .absorb_segments(&wal_dir, SHARDS, None)
+        .expect("recovery absorb");
+    let recovery_secs = started.elapsed().as_secs_f64();
+
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut duplicated = 0u64;
+    for r in store.recent(expected.len() + 10).expect("recount").iter() {
+        if !seen.insert(r.access_number) {
+            duplicated += 1;
+        }
+    }
+    let lost = expected.difference(&seen).count() as u64;
+    let recovered = store.total_records();
+    drop(store);
+    std::fs::remove_dir_all(&wal_dir).ok();
+    std::fs::remove_dir_all(&store_dir).ok();
+    WalPhase {
+        absorb_pauses_us: pauses,
+        post_absorb_wal_bytes: post_bytes,
+        recovery_secs,
+        recovered_records: recovered,
+        lost,
+        duplicated,
+    }
+}
+
+fn max_u64(v: &[u64]) -> u64 {
+    v.iter().copied().max().unwrap_or(0)
+}
+
+fn mean_u64(v: &[u64]) -> u64 {
+    if v.is_empty() {
+        0
+    } else {
+        v.iter().sum::<u64>() / v.len() as u64
+    }
+}
+
+fn main() {
+    let fast = fast_mode();
+    let scale = Scale::pick(fast);
+    println!(
+        "store bench: {} files (zipf 1.0), {} records, checkpoint every {}{}",
+        scale.files,
+        scale.records,
+        scale.checkpoint_every,
+        if fast { " (fast mode)" } else { "" }
+    );
+
+    let ingest = ingest_phase(&scale);
+    let query = query_phase(&scale, &ingest.tiered);
+    let store_dir = ingest._dir.clone();
+    drop(ingest.tiered);
+    std::fs::remove_dir_all(&store_dir).ok();
+    let pipeline = wal_phase(&scale);
+
+    print_table(
+        "tiered store vs in-memory ReplayDb",
+        &["phase", "value"],
+        &[
+            vec![
+                "in-memory ingest".into(),
+                format!("{:.0} records/s", ingest.mem_rate),
+            ],
+            vec![
+                "tiered ingest (hot path)".into(),
+                format!("{:.0} records/s ({:.2}x)", ingest.store_rate, ingest.ratio),
+            ],
+            vec![
+                "tiered ingest (incl. checkpoints)".into(),
+                format!("{:.0} records/s", ingest.wall_rate),
+            ],
+            vec![
+                "checkpoint pause".into(),
+                format!(
+                    "max {} µs, mean {} µs",
+                    max_u64(&ingest.checkpoint_pauses_us),
+                    mean_u64(&ingest.checkpoint_pauses_us)
+                ),
+            ],
+            vec![
+                "recent_per_device".into(),
+                format!(
+                    "{} ns @ {} records → {} ns @ {} records",
+                    query.small_ns, query.small_history, query.large_ns, query.large_history
+                ),
+            ],
+            vec![
+                "absorb pause".into(),
+                format!(
+                    "max {} µs, mean {} µs",
+                    max_u64(&pipeline.absorb_pauses_us),
+                    mean_u64(&pipeline.absorb_pauses_us)
+                ),
+            ],
+            vec![
+                "post-checkpoint WAL".into(),
+                format!("max {} bytes", max_u64(&pipeline.post_absorb_wal_bytes)),
+            ],
+            vec![
+                "crash recovery".into(),
+                format!(
+                    "{:.3} s for {} records (lost {}, duplicated {})",
+                    pipeline.recovery_secs,
+                    pipeline.recovered_records,
+                    pipeline.lost,
+                    pipeline.duplicated
+                ),
+            ],
+        ],
+    );
+
+    let json = serde_json::json!({
+        "config": {
+            "fast": fast,
+            "files": scale.files,
+            "records": scale.records,
+            "checkpoint_every": scale.checkpoint_every,
+            "hot_tail": HOT_TAIL,
+            "zipf_exponent": 1.0,
+        },
+        "ingest": {
+            "in_memory_records_per_sec": ingest.mem_rate,
+            "tiered_hot_path_records_per_sec": ingest.store_rate,
+            "tiered_wall_clock_records_per_sec": ingest.wall_rate,
+            "tiered_vs_memory": ingest.ratio,
+            "checkpoint_pause_max_us": max_u64(&ingest.checkpoint_pauses_us),
+            "checkpoint_pause_mean_us": mean_u64(&ingest.checkpoint_pauses_us),
+        },
+        "query_scaling": {
+            "recent_per_device_x": 32,
+            "small_history_records": query.small_history,
+            "small_latency_ns": query.small_ns,
+            "large_history_records": query.large_history,
+            "large_latency_ns": query.large_ns,
+            "scaling_ratio": query.ratio,
+        },
+        "wal_pipeline": {
+            "absorb_pause_max_us": max_u64(&pipeline.absorb_pauses_us),
+            "absorb_pause_mean_us": mean_u64(&pipeline.absorb_pauses_us),
+            "post_absorb_wal_bytes": pipeline.post_absorb_wal_bytes,
+            "recovery_secs": pipeline.recovery_secs,
+            "recovered_records": pipeline.recovered_records,
+            "lost_records": pipeline.lost,
+            "duplicated_records": pipeline.duplicated,
+        },
+    });
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .join("BENCH_store.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&json).expect("serializable"),
+    )
+    .expect("write BENCH_store.json");
+    println!("\nwrote {}", path.display());
+
+    // ── gates ──────────────────────────────────────────────────────
+    let ingest_gate = if fast { 0.5 } else { 0.8 };
+    assert!(
+        ingest.ratio >= ingest_gate,
+        "tiered ingest at {:.2}x of in-memory, below the {ingest_gate}x gate",
+        ingest.ratio
+    );
+    assert!(
+        query.ratio <= 2.0,
+        "recent_per_device slowed {:.2}x from {} to {} records — not flat",
+        query.ratio,
+        query.small_history,
+        query.large_history
+    );
+    // Steady state: the WAL footprint after an absorb never grows with
+    // rounds (empty re-created logs only).
+    let first = pipeline.post_absorb_wal_bytes.first().copied().unwrap_or(0);
+    for (round, &bytes) in pipeline.post_absorb_wal_bytes.iter().enumerate() {
+        assert!(
+            bytes <= first.max(1024),
+            "WAL grew with history: {bytes} bytes after round {round} (round 0: {first})"
+        );
+    }
+    assert_eq!(pipeline.lost, 0, "crash recovery lost records");
+    assert_eq!(pipeline.duplicated, 0, "crash recovery duplicated records");
+    println!("all gates passed");
+}

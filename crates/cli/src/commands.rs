@@ -52,6 +52,9 @@ COMMANDS:
                   --runs N            measured workload runs (default 2)
                   --warmup-runs N     runs ingested before retraining (default 2)
                   --files N           workload file count (default 24)
+                  --zipf-ops N        accesses per run, zipf-sampled over
+                                      the files (default 0 = full scan)
+                  --zipf-exponent S   zipf skew for --zipf-ops (default 1.0)
                   --seed N            workload seed (default 42)
                   --batch-window-us N batching window in µs (default 100)
                   --max-batch N       max requests fused per pass (default 256)
@@ -61,6 +64,14 @@ COMMANDS:
                   --retrains N        mid-load retrain cycles (default 1)
                   --per-file          per-file baseline (no batched submissions)
                   --wal-dir PATH      per-shard write-ahead log directory
+                  --store-dir PATH    cold paged store fed by WAL
+                                      checkpoints (requires --wal-dir)
+                  --checkpoint-every-ms N  checkpoint cadence (default
+                                      1000; 0 = only on demand)
+                  --hot-tail N        in-memory records kept per shard
+                                      after a checkpoint (default 4096)
+                  --page-size-kib N   store page size (default 16)
+                  --cache-pages N     store page-cache capacity (default 64)
                   --json-out PATH     write the load report as JSON
                   --strict            exit nonzero on zero decisions,
                                       dropped batches, or invalid epochs
@@ -428,6 +439,7 @@ pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
             args.u64_or("max-batch", 256)? as usize
         },
         wal_dir: args.options.get("wal-dir").map(std::path::PathBuf::from),
+        store: crate::netcmd::store_settings(args)?,
         // The six Bluesky mounts.
         candidates: (0..6).map(DeviceId).collect(),
         drl: DrlConfig {
@@ -456,6 +468,22 @@ pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
         clients: args.u64_or("clients", 4)? as usize,
         mode,
         mid_load_retrains: args.u64_or("retrains", 1)? as usize,
+        // `--zipf-ops N` switches each run from the paper's sequential
+        // scan to N zipf-sampled accesses — the only practical mix once
+        // `--files` reaches the 100k–1M range.
+        access_mix: match args.u64_or("zipf-ops", 0)? {
+            0 => geomancy_serve::AccessMix::Sequential,
+            ops => geomancy_serve::AccessMix::Zipfian {
+                ops_per_run: ops as usize,
+                exponent: args
+                    .options
+                    .get("zipf-exponent")
+                    .map(|v| v.parse::<f64>())
+                    .transpose()
+                    .map_err(|_| "--zipf-exponent expects a number")?
+                    .unwrap_or(1.0),
+            },
+        },
     };
     let service = Arc::new(PlacementService::start(serve_config));
     println!(

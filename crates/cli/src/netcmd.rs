@@ -7,7 +7,9 @@ use std::sync::Arc;
 
 use geomancy_core::drl::DrlConfig;
 use geomancy_net::{Client, ClientConfig, NetConfig, NetServer};
-use geomancy_serve::{AdmissionConfig, PlacementRequest, PlacementService, ServeConfig};
+use geomancy_serve::{
+    AdmissionConfig, PlacementRequest, PlacementService, ServeConfig, StoreSettings,
+};
 use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
 
 use crate::args::Args;
@@ -44,6 +46,27 @@ mod sig {
     pub fn install() {}
 }
 
+/// Parses the cold-store options shared by `serve` and `serve --listen`:
+/// `--store-dir DIR` turns on the paged store, with shard WALs
+/// checkpointed into it every `--checkpoint-every-ms` (0 = only on
+/// demand) and the in-memory hot tail trimmed to `--hot-tail` records.
+pub(crate) fn store_settings(args: &Args) -> Result<Option<StoreSettings>, Box<dyn Error>> {
+    let Some(dir) = args.options.get("store-dir") else {
+        return Ok(None);
+    };
+    if !args.options.contains_key("wal-dir") {
+        return Err("--store-dir requires --wal-dir (the WAL feeds the store)".into());
+    }
+    let defaults = StoreSettings::default();
+    Ok(Some(StoreSettings {
+        dir: std::path::PathBuf::from(dir),
+        page_size: args.u64_or("page-size-kib", 16)? as usize * 1024,
+        cache_pages: args.u64_or("cache-pages", defaults.cache_pages as u64)? as usize,
+        checkpoint_every_micros: args.u64_or("checkpoint-every-ms", 1000)? * 1000,
+        hot_tail: args.u64_or("hot-tail", defaults.hot_tail as u64)? as usize,
+    }))
+}
+
 /// Builds the service the listener fronts, from the same options the
 /// in-process `serve` load mode uses.
 fn build_service(args: &Args) -> Result<Arc<PlacementService>, Box<dyn Error>> {
@@ -69,8 +92,10 @@ fn build_service(args: &Args) -> Result<Arc<PlacementService>, Box<dyn Error>> {
             }
         }
     };
+    let store = store_settings(args)?;
     Ok(Arc::new(PlacementService::start(ServeConfig {
         shards,
+        store,
         queue_capacity: args.u64_or("queue-capacity", 1024)? as usize,
         batch_window_micros: args.u64_or("batch-window-us", 100)?,
         max_batch: args.u64_or("max-batch", 256)? as usize,
@@ -241,6 +266,16 @@ pub fn query(args: &Args) -> Result<(), Box<dyn Error>> {
             m.net_connections_live, m.net_writers_live
         );
         println!("server kernel backend: {}", m.kernel_backend);
+        if m.store_pages > 0 || m.checkpoints > 0 {
+            println!(
+                "cold store: {} pages ({} bytes), {} checkpoints (last absorb {} µs), {} records awaiting checkpoint",
+                m.store_pages,
+                m.store_cold_bytes,
+                m.checkpoints,
+                m.last_checkpoint_micros,
+                m.wal_pending_records,
+            );
+        }
     }
     Ok(())
 }

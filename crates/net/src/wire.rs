@@ -25,8 +25,12 @@ use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
 /// The four magic bytes opening every frame.
 pub const MAGIC: [u8; 4] = *b"GEOM";
 /// Protocol version this build speaks. Version 2 appended the kernel
-/// backend byte to the metrics response.
-pub const VERSION: u8 = 2;
+/// backend byte to the metrics response; version 3 appended the cold-store
+/// block (pages, bytes, checkpoint lag/count/duration) at its end.
+pub const VERSION: u8 = 3;
+/// Oldest protocol version this build still decodes. Version 2 frames
+/// differ only by the absent store block, which decodes as zeros.
+pub const MIN_VERSION: u8 = 2;
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 18;
 /// Default cap on a single frame's payload (4 MiB).
@@ -290,7 +294,7 @@ fn parse_header(bytes: &[u8], max_payload: usize) -> Result<(usize, Frame), Deco
     if magic != MAGIC {
         return Err(DecodeError::BadMagic(magic));
     }
-    if bytes[4] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&bytes[4]) {
         return Err(DecodeError::UnsupportedVersion(bytes[4]));
     }
     let kind = FrameKind::from_u8(bytes[5])?;
@@ -659,6 +663,17 @@ pub fn encode_metrics_resp(snap: &MetricsSnapshot) -> Vec<u8> {
     put_u64_vec(&mut out, &snap.pending_per_shard);
     put_u64_vec(&mut out, &snap.shard_shed);
     put_u64_vec(&mut out, &snap.latency_us);
+    // Version 3: cold-store block at the payload's end, where a version-2
+    // decoder simply never looks.
+    for v in [
+        snap.store_pages,
+        snap.store_cold_bytes,
+        snap.wal_pending_records,
+        snap.checkpoints,
+        snap.last_checkpoint_micros,
+    ] {
+        put_u64(&mut out, v);
+    }
     out
 }
 
@@ -709,6 +724,14 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
     let pending_per_shard = get_u64_vec(&mut c)?;
     let shard_shed = get_u64_vec(&mut c)?;
     let latency_us = get_u64_vec(&mut c)?;
+    // Version-3 store block; a version-2 peer ends here and the store
+    // gauges decode as zeros (no store configured, or an old server).
+    let (store_pages, store_cold_bytes, wal_pending_records, checkpoints, last_checkpoint_micros) =
+        if c.p < c.b.len() {
+            (c.u64()?, c.u64()?, c.u64()?, c.u64()?, c.u64()?)
+        } else {
+            (0, 0, 0, 0, 0)
+        };
     c.finish()?;
     Ok(MetricsSnapshot {
         ingested_records,
@@ -736,6 +759,11 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
         net_writers_live,
         kernel_backend,
         latency_us,
+        store_pages,
+        store_cold_bytes,
+        wal_pending_records,
+        checkpoints,
+        last_checkpoint_micros,
     })
 }
 

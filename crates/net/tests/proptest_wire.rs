@@ -224,6 +224,11 @@ fn full_snapshot() -> MetricsSnapshot {
         net_writers_live: 33,
         kernel_backend: "avx2_fma".to_string(),
         latency_us: vec![28, 29, 30, 31],
+        store_pages: 34,
+        store_cold_bytes: 35,
+        wal_pending_records: 36,
+        checkpoints: 37,
+        last_checkpoint_micros: 38,
     }
 }
 
@@ -249,12 +254,55 @@ fn metrics_codec_roundtrips_every_field() {
     assert_eq!(back.net_connections_live, 32);
     assert_eq!(back.net_writers_live, 33);
     assert_eq!(back.kernel_backend, "avx2_fma");
+    assert_eq!(back.store_pages, 34);
+    assert_eq!(back.store_cold_bytes, 35);
+    assert_eq!(back.wal_pending_records, 36);
+    assert_eq!(back.checkpoints, 37);
+    assert_eq!(back.last_checkpoint_micros, 38);
 
     // An unrecognized backend byte decodes as "unknown", not an error.
     let mut snap = full_snapshot();
     snap.kernel_backend = "future_backend".to_string();
     let back = wire::decode_metrics_resp(&wire::encode_metrics_resp(&snap)).unwrap();
     assert_eq!(back.kernel_backend, "unknown");
+}
+
+/// Version-2 compatibility: a metrics payload that stops after the
+/// latency vector (no store block) decodes with the store gauges zeroed,
+/// and frames stamped with the old version byte still parse.
+#[test]
+fn version_2_metrics_payload_decodes_with_zero_store_gauges() {
+    let payload = wire::encode_metrics_resp(&full_snapshot());
+    // A version-2 peer's payload is exactly ours minus the 40-byte tail.
+    let v2_payload = &payload[..payload.len() - 40];
+    let back = wire::decode_metrics_resp(v2_payload).unwrap();
+    assert_eq!(back.latency_us, vec![28, 29, 30, 31]);
+    assert_eq!(back.kernel_backend, "avx2_fma");
+    assert_eq!(back.store_pages, 0);
+    assert_eq!(back.store_cold_bytes, 0);
+    assert_eq!(back.wal_pending_records, 0);
+    assert_eq!(back.checkpoints, 0);
+    assert_eq!(back.last_checkpoint_micros, 0);
+
+    // A partial store block is corruption, not an old peer.
+    let truncated_tail = &payload[..payload.len() - 8];
+    assert_eq!(
+        wire::decode_metrics_resp(truncated_tail).unwrap_err(),
+        DecodeError::Truncated
+    );
+
+    // Frames from a version-2 peer (one version byte back) still decode.
+    let mut v2_frame = Frame::new(FrameKind::MetricsReq, 77, Vec::new()).encode();
+    v2_frame[4] = 2;
+    let (frame, _) = decode_frame(&v2_frame, 1024).unwrap();
+    assert_eq!(frame.kind, FrameKind::MetricsReq);
+    assert_eq!(frame.corr_id, 77);
+    // Anything older than MIN_VERSION stays rejected.
+    v2_frame[4] = 1;
+    assert_eq!(
+        decode_frame(&v2_frame, 1024).unwrap_err(),
+        DecodeError::UnsupportedVersion(1)
+    );
 }
 
 #[test]

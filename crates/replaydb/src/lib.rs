@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 pub use db::{LayoutEvent, ReplayDb, StoredRecord};
 pub use persist::{from_json, load, save, to_json, PersistError};
-pub use wal::{recover, recover_for_append, WalWriter};
+pub use wal::{list_segments, recover, recover_for_append, segment_path, shard_path, WalWriter};
 
 /// A thread-safe handle to a shared ReplayDB, for deployments where the
 /// interface daemon and the DRL engine run on separate threads.

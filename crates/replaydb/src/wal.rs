@@ -106,12 +106,78 @@ impl WalWriter {
 
     /// Flushes buffered lines to the OS.
     ///
+    /// **Durability contract:** this hands the buffered bytes to the
+    /// kernel but does *not* fsync — the lines survive a process crash,
+    /// but a power loss or kernel panic may still lose them. Callers that
+    /// need the stronger guarantee (checkpoint boundaries, segment seals)
+    /// must use [`WalWriter::sync`] / [`WalWriter::flush_and_sync`], which
+    /// follow the flush with `File::sync_data`.
+    ///
     /// # Errors
     ///
     /// Returns an I/O error if the flush fails.
     pub fn flush(&mut self) -> Result<(), PersistError> {
         self.writer.flush()?;
         Ok(())
+    }
+
+    /// Flushes buffered lines and fsyncs them to stable storage
+    /// (`File::sync_data`) — the durable counterpart of
+    /// [`WalWriter::flush`]. The checkpointer calls this before a WAL is
+    /// sealed into a segment, so the segment's contents are on disk before
+    /// the store ever considers absorbing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the flush or fsync fails.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// Alias for [`WalWriter::sync`], named for call sites that want the
+    /// two-step contract spelled out.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the flush or fsync fails.
+    pub fn flush_and_sync(&mut self) -> Result<(), PersistError> {
+        self.sync()
+    }
+
+    /// Seals this log into `segment` and starts a fresh, empty log at the
+    /// same path: fsync the pending lines ([`WalWriter::sync`]), rename
+    /// the file to `segment`, fsync the parent directory so the rename
+    /// itself is durable, then reopen a new file. Returns the number of
+    /// entries appended through this writer since it was opened or last
+    /// sealed.
+    ///
+    /// The shard actor (the log's single-threaded owner) calls this when
+    /// the checkpointer asks for the WAL to rotate; renaming rather than
+    /// copying means the sealed segment is byte-identical to the WAL and
+    /// replayable with [`recover`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the sync, rename, or reopen fails.
+    pub fn seal_to(&mut self, segment: impl AsRef<Path>) -> Result<u64, PersistError> {
+        self.sync()?;
+        std::fs::rename(&self.path, segment.as_ref())?;
+        if let Some(dir) = self.path.parent() {
+            // Make the rename durable: fsync the directory holding both
+            // names. Without this, a crash can roll the rename back and
+            // resurrect an already-absorbed segment as the live WAL.
+            File::open(dir)?.sync_all()?;
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        let sealed = self.appended;
+        self.appended = 0;
+        Ok(sealed)
     }
 }
 
@@ -122,6 +188,46 @@ impl WalWriter {
 /// shard.
 pub fn shard_path(dir: impl AsRef<Path>, shard: usize) -> PathBuf {
     dir.as_ref().join(format!("shard-{shard}.wal"))
+}
+
+/// Path of shard `shard`'s sealed WAL segment `seq` inside `dir`
+/// (`shard-<i>.seg-<seq>`).
+///
+/// Segments are WAL files frozen by [`WalWriter::seal_to`]: same format,
+/// same recovery. Sequence numbers start at 1 and increase monotonically
+/// per shard; the store's manifest records the highest absorbed sequence
+/// so recovery can tell an orphaned (already-absorbed) segment from one
+/// that still needs replaying.
+pub fn segment_path(dir: impl AsRef<Path>, shard: usize, seq: u64) -> PathBuf {
+    dir.as_ref().join(format!("shard-{shard}.seg-{seq}"))
+}
+
+/// Sealed segments of shard `shard` present in `dir`, as `(seq, path)`
+/// pairs sorted by sequence number. Files that do not match the
+/// `shard-<i>.seg-<seq>` pattern are ignored.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory cannot be read.
+pub fn list_segments(
+    dir: impl AsRef<Path>,
+    shard: usize,
+) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let prefix = format!("shard-{shard}.seg-");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir.as_ref())? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(seq) = name.strip_prefix(&prefix) else {
+            continue;
+        };
+        if let Ok(seq) = seq.parse::<u64>() {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|(seq, _)| *seq);
+    Ok(out)
 }
 
 /// Recovers all `shards` per-shard WALs from `dir` via [`shard_path`].
@@ -414,6 +520,76 @@ mod tests {
         assert_eq!(merged.len(), 8);
         let numbers: Vec<u64> = merged.records().map(|s| s.record.access_number).collect();
         assert_eq!(numbers, (0..8).collect::<Vec<u64>>());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_makes_lines_recoverable() {
+        let path = temp_path("sync.wal");
+        std::fs::remove_file(&path).ok();
+        let mut wal = WalWriter::open(&path).unwrap();
+        wal.append(0, rec(0)).unwrap();
+        wal.sync().unwrap();
+        // The fsynced line is visible to a concurrent recovery even while
+        // the writer stays open.
+        let (db, replayed) = recover(&path).unwrap();
+        assert_eq!(replayed, 1);
+        assert_eq!(db.len(), 1);
+        wal.append(1, rec(1)).unwrap();
+        wal.flush_and_sync().unwrap();
+        let (_, replayed) = recover(&path).unwrap();
+        assert_eq!(replayed, 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seal_rotates_to_segment_and_fresh_wal() {
+        let dir = std::env::temp_dir().join("geomancy_wal_test_seal");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = shard_path(&dir, 0);
+        let mut wal = WalWriter::open(&path).unwrap();
+        wal.append(0, rec(0)).unwrap();
+        wal.append(1, rec(1)).unwrap();
+        let sealed = wal.seal_to(segment_path(&dir, 0, 1)).unwrap();
+        assert_eq!(sealed, 2);
+        assert_eq!(wal.appended(), 0);
+        // The segment replays both entries; the live WAL is empty and
+        // still appendable.
+        let (seg_db, seg_n) = recover(segment_path(&dir, 0, 1)).unwrap();
+        assert_eq!(seg_n, 2);
+        assert_eq!(seg_db.len(), 2);
+        wal.append(2, rec(2)).unwrap();
+        wal.flush().unwrap();
+        let (db, n) = recover(&path).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(db.recent(1)[0].access_number, 2);
+        // A second seal takes the next sequence number.
+        wal.seal_to(segment_path(&dir, 0, 2)).unwrap();
+        let segs = list_segments(&dir, 0).unwrap();
+        assert_eq!(segs.iter().map(|(s, _)| *s).collect::<Vec<_>>(), [1, 2]);
+        // Other shards' segments don't leak into the listing.
+        assert!(list_segments(&dir, 1).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn list_segments_sorts_numerically_not_lexically() {
+        let dir = std::env::temp_dir().join("geomancy_wal_test_seglist");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        for seq in [2u64, 10, 1] {
+            std::fs::write(segment_path(&dir, 3, seq), b"").unwrap();
+        }
+        // Noise the scanner must skip.
+        std::fs::write(dir.join("shard-3.wal"), b"").unwrap();
+        std::fs::write(dir.join("shard-3.seg-nan"), b"").unwrap();
+        let seqs: Vec<u64> = list_segments(&dir, 3)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(seqs, [1, 2, 10]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod load;
 pub mod metrics;
 pub mod service;
@@ -65,8 +66,11 @@ pub mod shard;
 pub mod trainer;
 
 pub use batch::{Decision, ModelSlot, PlacementRequest, QueryError};
-pub use load::{prepare_belle2, run_belle2_load, LoadConfig, LoadReport, PreparedLoad, QueryMode};
+pub use checkpoint::{CheckpointError, Checkpointer};
+pub use load::{
+    prepare_belle2, run_belle2_load, AccessMix, LoadConfig, LoadReport, PreparedLoad, QueryMode,
+};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use service::{AdmissionConfig, PlacementService, ServeConfig};
+pub use service::{AdmissionConfig, PlacementService, ServeConfig, StoreSettings};
 pub use shard::{shard_of, Backpressure, ShardSet};
 pub use trainer::{TrainError, Trainer};

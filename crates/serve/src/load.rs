@@ -14,7 +14,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use geomancy_core::experiment::place_files_spread;
-use geomancy_sim::bluesky::bluesky_system;
+use geomancy_sim::bluesky::{bluesky_builder_scaled, bluesky_system};
+use geomancy_sim::cluster::StorageSystem;
 use geomancy_sim::record::AccessRecord;
 use geomancy_trace::belle2::Belle2Workload;
 use serde::Serialize;
@@ -32,12 +33,30 @@ pub enum QueryMode {
     Batched,
 }
 
+/// How one workload "run" visits the working set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum AccessMix {
+    /// The paper's looping sequential scan: every file read 10–20 times
+    /// in succession. Right for suite-sized working sets (24 files).
+    Sequential,
+    /// `ops_per_run` accesses drawn zipf-distributed over the working
+    /// set — the mix that makes 100k–1M-file populations drivable, where
+    /// a full scan would dwarf any realistic traffic pattern.
+    Zipfian {
+        /// Accesses per run.
+        ops_per_run: usize,
+        /// Zipf exponent (0 = uniform, 1 ≈ classic storage skew).
+        exponent: f64,
+    },
+}
+
 /// Load-driver configuration.
 #[derive(Debug, Clone)]
 pub struct LoadConfig {
     /// Workload/system seed.
     pub seed: u64,
-    /// BELLE II working-set size (the paper's suite: 24 files).
+    /// BELLE II working-set size (the paper's suite: 24 files; the scale
+    /// runs raise this to 100k–1M with a zipfian [`AccessMix`]).
     pub file_count: usize,
     /// Workload runs executed and ingested before the first retrain.
     pub warmup_runs: usize,
@@ -49,6 +68,8 @@ pub struct LoadConfig {
     pub mode: QueryMode,
     /// Retrain cycles requested mid-measurement (hot-swap under load).
     pub mid_load_retrains: usize,
+    /// How each run visits the working set.
+    pub access_mix: AccessMix,
 }
 
 impl Default for LoadConfig {
@@ -61,6 +82,7 @@ impl Default for LoadConfig {
             clients: 4,
             mode: QueryMode::Batched,
             mid_load_retrains: 0,
+            access_mix: AccessMix::Sequential,
         }
     }
 }
@@ -102,18 +124,52 @@ pub struct PreparedLoad {
     pub requests: Vec<PlacementRequest>,
 }
 
+/// The Bluesky system sized for `workload`: the paper's stock capacities
+/// when the working set fits, otherwise every mount scaled up uniformly
+/// (with 25 % headroom over the round-robin spread) so 100k–1M-file
+/// populations place cleanly. Scale runs measure the placement and
+/// telemetry pipeline at file-count scale; capacity pressure is not what
+/// they are about.
+fn bluesky_system_for(seed: u64, workload: &Belle2Workload) -> StorageSystem {
+    let stock = bluesky_system(seed);
+    let device_count = stock.devices().len();
+    let mut need = vec![0u64; device_count];
+    for (i, file) in workload.files().iter().enumerate() {
+        need[i % device_count] += file.size;
+    }
+    let factor = stock
+        .devices()
+        .iter()
+        .zip(&need)
+        .map(|(device, &bytes)| bytes as f64 * 1.25 / device.spec().capacity as f64)
+        .fold(1.0f64, f64::max);
+    if factor <= 1.0 {
+        stock
+    } else {
+        bluesky_builder_scaled(factor).seed(seed).build()
+    }
+}
+
 /// Executes the BELLE II workload on the simulated Bluesky substrate and
 /// returns its telemetry and question list; see [`PreparedLoad`].
 pub fn prepare_belle2(config: &LoadConfig) -> PreparedLoad {
-    let mut system = bluesky_system(config.seed);
     let mut workload =
         Belle2Workload::with_params(config.seed.wrapping_add(1), config.file_count, 0);
+    let mut system = bluesky_system_for(config.seed, &workload);
     place_files_spread(&mut system, &workload);
+
+    let next_run = |workload: &mut Belle2Workload| match config.access_mix {
+        AccessMix::Sequential => workload.next_run(),
+        AccessMix::Zipfian {
+            ops_per_run,
+            exponent,
+        } => workload.zipf_run(ops_per_run, exponent),
+    };
 
     let mut warmup_batches: Vec<(u64, Vec<AccessRecord>)> = Vec::new();
     let mut batch: Vec<AccessRecord> = Vec::new();
     for _ in 0..config.warmup_runs.max(1) {
-        for op in workload.next_run() {
+        for op in next_run(&mut workload) {
             let record = if op.write {
                 system.write_file(op.fid, op.bytes)
             } else {
@@ -137,7 +193,7 @@ pub fn prepare_belle2(config: &LoadConfig) -> PreparedLoad {
         workload.files().iter().map(|f| (f.fid, f.size)).collect();
     let mut requests: Vec<PlacementRequest> = Vec::new();
     for _ in 0..config.measured_runs.max(1) {
-        for op in workload.next_run() {
+        for op in next_run(&mut workload) {
             let bytes = op.bytes.unwrap_or(files[&op.fid]);
             requests.push(PlacementRequest {
                 fid: op.fid,

@@ -87,6 +87,20 @@ pub struct ServeMetrics {
     /// `[2^i, 2^(i+1))` microseconds (bucket 0 is `< 2 µs`, the last
     /// bucket is open-ended).
     pub latency_us: [AtomicU64; LATENCY_BUCKETS],
+    /// Pages committed in the cold paged store (gauge; 0 without a store).
+    pub store_pages: AtomicU64,
+    /// Bytes of cold page storage on disk (gauge; 0 without a store).
+    pub store_cold_bytes: AtomicU64,
+    /// Records sitting in shard WALs (active logs plus sealed segments)
+    /// that no checkpoint has absorbed yet — the checkpoint lag gauge.
+    /// Grows on every WAL append (and WAL recovery at startup), shrinks
+    /// by `records_absorbed` at each checkpoint.
+    pub wal_pending_records: AtomicU64,
+    /// Checkpoint cycles that absorbed at least one segment.
+    pub checkpoints: AtomicU64,
+    /// Wall-clock duration of the most recent absorbing checkpoint, in
+    /// microseconds (the store-write-lock hold the query path can feel).
+    pub last_checkpoint_micros: AtomicU64,
     /// Accounting sections entered (see module docs).
     accounting_enter: AtomicU64,
     /// Accounting sections exited.
@@ -132,6 +146,11 @@ impl ServeMetrics {
             shard_shed: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             latency_ewma_us: AtomicU64::new(0),
             latency_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            store_pages: AtomicU64::new(0),
+            store_cold_bytes: AtomicU64::new(0),
+            wal_pending_records: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            last_checkpoint_micros: AtomicU64::new(0),
             accounting_enter: AtomicU64::new(0),
             accounting_exit: AtomicU64::new(0),
         }
@@ -149,6 +168,23 @@ impl ServeMetrics {
             .saturating_sub(1)
             .min(LATENCY_BUCKETS - 1);
         self.latency_us[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Shrinks the checkpoint-lag gauge by `n` without wrapping (recovery
+    /// paths can absorb records the gauge never saw appended).
+    pub fn sub_wal_pending(&self, n: u64) {
+        let mut cur = self.wal_pending_records.load(Ordering::Relaxed);
+        loop {
+            match self.wal_pending_records.compare_exchange_weak(
+                cur,
+                cur.saturating_sub(n),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// Folds one latency sample into the EWMA. Single-writer (the query
@@ -225,6 +261,11 @@ impl ServeMetrics {
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            store_pages: self.store_pages.load(Ordering::Relaxed),
+            store_cold_bytes: self.store_cold_bytes.load(Ordering::Relaxed),
+            wal_pending_records: self.wal_pending_records.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            last_checkpoint_micros: self.last_checkpoint_micros.load(Ordering::Relaxed),
         }
     }
 }
@@ -286,6 +327,16 @@ pub struct MetricsSnapshot {
     pub kernel_backend: String,
     /// See [`ServeMetrics::latency_us`].
     pub latency_us: Vec<u64>,
+    /// See [`ServeMetrics::store_pages`].
+    pub store_pages: u64,
+    /// See [`ServeMetrics::store_cold_bytes`].
+    pub store_cold_bytes: u64,
+    /// See [`ServeMetrics::wal_pending_records`].
+    pub wal_pending_records: u64,
+    /// See [`ServeMetrics::checkpoints`].
+    pub checkpoints: u64,
+    /// See [`ServeMetrics::last_checkpoint_micros`].
+    pub last_checkpoint_micros: u64,
 }
 
 impl MetricsSnapshot {

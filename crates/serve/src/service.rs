@@ -22,7 +22,10 @@ use geomancy_runtime::{Reactor, ReactorConfig, TimeSource};
 use geomancy_sim::record::{AccessRecord, DeviceId};
 use geomancy_sim::SharedSimClock;
 
+use geomancy_store::{AbsorbReport, PagedStore, SharedPagedStore, StoreConfig};
+
 use crate::batch::{BatchEngine, BatchParams, Decision, ModelSlot, PlacementRequest, QueryError};
+use crate::checkpoint::{CheckpointError, Checkpointer};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::shard::{Backpressure, ShardSet};
 use crate::trainer::{TrainError, Trainer};
@@ -57,6 +60,38 @@ impl AdmissionConfig {
     }
 }
 
+/// Cold-store settings: where checkpointed history pages live and how the
+/// checkpointer behaves. Requires [`ServeConfig::wal_dir`] to be set —
+/// the store is filled by absorbing sealed shard WAL segments.
+#[derive(Debug, Clone)]
+pub struct StoreSettings {
+    /// Directory holding `pages.bin`, `index.json`, and the manifest.
+    pub dir: PathBuf,
+    /// Fixed page size in bytes (4–64 KiB).
+    pub page_size: usize,
+    /// Pages held decoded in the in-process page cache.
+    pub cache_pages: usize,
+    /// Checkpoint cadence in reactor microseconds (0 = only explicit
+    /// [`PlacementService::checkpoint_now`] calls checkpoint).
+    pub checkpoint_every_micros: u64,
+    /// Records each shard keeps in memory after a checkpoint trims it —
+    /// the hot tail the trainer and snapshot queries see.
+    pub hot_tail: usize,
+}
+
+impl Default for StoreSettings {
+    fn default() -> Self {
+        let store = StoreConfig::default();
+        StoreSettings {
+            dir: PathBuf::from("geomancy-store"),
+            page_size: store.page_size,
+            cache_pages: store.cache_pages,
+            checkpoint_every_micros: 0,
+            hot_tail: 4096,
+        }
+    }
+}
+
 /// Configuration of a [`PlacementService`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -84,6 +119,10 @@ pub struct ServeConfig {
     pub reactor_workers: usize,
     /// Admission-control watermarks for the query path.
     pub admission: AdmissionConfig,
+    /// Cold paged store + background checkpointer; `None` keeps shard
+    /// WALs growing unboundedly (the pre-store behavior). Requires
+    /// `wal_dir`.
+    pub store: Option<StoreSettings>,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +138,7 @@ impl Default for ServeConfig {
             retrain_every_records: None,
             reactor_workers: 0,
             admission: AdmissionConfig::default(),
+            store: None,
         }
     }
 }
@@ -110,6 +150,8 @@ pub struct PlacementService {
     shards: Option<ShardSet>,
     engine: Option<BatchEngine>,
     trainer: Option<Trainer>,
+    checkpointer: Option<Checkpointer>,
+    store: Option<SharedPagedStore>,
     slot: Arc<ModelSlot>,
     metrics: Arc<ServeMetrics>,
     /// Ingest high-water mark in simulated microseconds; stamps query
@@ -176,12 +218,48 @@ impl PlacementService {
             reactor_config.time = time;
         }
         let reactor = Reactor::new(reactor_config);
+
+        // Open the cold store first: startup absorption replays any WAL
+        // segments a crashed checkpoint left behind (exactly once — see
+        // geomancy-store's crash tests), and the store's committed state
+        // then floors the shards' timestamp clamp and segment numbering.
+        let mut min_last_ts = 0u64;
+        let mut seq_floors: Vec<u64> = Vec::new();
+        let store = config.store.as_ref().map(|settings| {
+            let wal_dir = config
+                .wal_dir
+                .clone()
+                .expect("ServeConfig.store requires wal_dir");
+            std::fs::create_dir_all(&wal_dir).expect("failed to create WAL directory");
+            let (mut store, _report) = PagedStore::open(
+                &settings.dir,
+                StoreConfig {
+                    page_size: settings.page_size,
+                    cache_pages: settings.cache_pages,
+                },
+            )
+            .expect("failed to open cold store");
+            store
+                .absorb_segments(&wal_dir, config.shards, None)
+                .expect("startup WAL-segment absorption failed");
+            min_last_ts = store.max_timestamp_micros().unwrap_or(0);
+            seq_floors = store.absorbed().to_vec();
+            metrics
+                .store_pages
+                .store(store.page_count() as u64, Ordering::Relaxed);
+            metrics
+                .store_cold_bytes
+                .store(store.cold_bytes(), Ordering::Relaxed);
+            store.into_shared()
+        });
         let shards = ShardSet::spawn_on(
             &reactor,
             config.shards,
             config.queue_capacity,
             config.wal_dir.clone(),
             Arc::clone(&metrics),
+            min_last_ts,
+            &seq_floors,
         );
         let slot = Arc::new(ModelSlot::new());
         let engine = BatchEngine::spawn_on(
@@ -203,11 +281,25 @@ impl PlacementService {
             Arc::clone(&slot),
             Arc::clone(&metrics),
         );
+        let checkpointer = store.as_ref().map(|store| {
+            let settings = config.store.as_ref().expect("store settings present");
+            Checkpointer::spawn_on(
+                &reactor,
+                &shards,
+                Arc::clone(store),
+                config.wal_dir.clone().expect("store requires wal_dir"),
+                settings.checkpoint_every_micros,
+                settings.hot_tail,
+                Arc::clone(&metrics),
+            )
+        });
         PlacementService {
             reactor: Some(reactor),
             shards: Some(shards),
             engine: Some(engine),
             trainer: Some(trainer),
+            checkpointer,
+            store,
             slot,
             metrics,
             telemetry,
@@ -488,6 +580,28 @@ impl PlacementService {
             .retrain_now()
     }
 
+    /// Runs one checkpoint cycle now — seal every shard WAL, absorb the
+    /// segments into the cold store, trim the hot tails — and blocks
+    /// until the store commit lands. Returns what was absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Down`] when the service runs without a store
+    /// (or after shutdown), [`CheckpointError::Store`] if the absorption
+    /// failed.
+    pub fn checkpoint_now(&self) -> Result<AbsorbReport, CheckpointError> {
+        self.checkpointer
+            .as_ref()
+            .ok_or(CheckpointError::Down)?
+            .checkpoint_now()
+    }
+
+    /// The shared cold store, when the service runs with one — readers
+    /// can query checkpointed history concurrently with serving.
+    pub fn store(&self) -> Option<&SharedPagedStore> {
+        self.store.as_ref()
+    }
+
     /// Epoch of the most recently published model (0 = none yet).
     pub fn published_epoch(&self) -> u64 {
         self.slot.published_epoch()
@@ -508,6 +622,11 @@ impl PlacementService {
         if let Some(engine) = &self.engine {
             snap.engine_queue = engine.queue_len();
         }
+        if let Some(store) = &self.store {
+            let store = store.read();
+            snap.store_pages = store.page_count() as u64;
+            snap.store_cold_bytes = store.cold_bytes();
+        }
         snap
     }
 
@@ -516,6 +635,7 @@ impl PlacementService {
     /// retrain cycles finish — then stops its workers. Returns the final
     /// per-shard databases.
     pub fn shutdown(mut self) -> Vec<ReplayDb> {
+        drop(self.checkpointer.take());
         drop(self.trainer.take());
         drop(self.engine.take());
         let shards = self.shards.take().expect("shutdown runs once");

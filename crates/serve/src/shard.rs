@@ -57,6 +57,16 @@ pub(crate) enum ShardMsg {
     Snapshot {
         reply: Box<dyn FnOnce(usize, ReplayDb) + Send>,
     },
+    /// Seal the active WAL into a numbered segment for the checkpointer
+    /// to absorb. Replies `(shard, seq)`; `seq == 0` means the WAL held
+    /// nothing (or the shard runs memory-only) and no segment was cut.
+    SealWal {
+        reply: Box<dyn FnOnce(usize, u64) + Send>,
+    },
+    /// Drop all but the newest `keep` records from the in-memory
+    /// database — sent by the checkpointer after the trimmed records'
+    /// segments have durably committed to the cold store.
+    TrimHot { keep: usize },
 }
 
 /// Maps a file to its ingest shard.
@@ -74,6 +84,17 @@ pub(crate) struct ShardActor {
     shard: usize,
     db: ReplayDb,
     wal: Option<WalWriter>,
+    /// Directory holding the WAL and its sealed segments (set iff `wal`
+    /// is).
+    wal_dir: Option<PathBuf>,
+    /// Entries in the active WAL (recovered + appended since the last
+    /// seal): a seal with zero entries is skipped instead of cutting an
+    /// empty segment.
+    wal_records: u64,
+    /// Sequence number the next sealed segment gets. Starts above both
+    /// the highest segment on disk and the store's absorbed floor, so a
+    /// fresh segment is never mistaken for an already-absorbed orphan.
+    next_seq: u64,
     last_ts: u64,
     metrics: Arc<ServeMetrics>,
 }
@@ -93,11 +114,34 @@ impl Actor for ShardActor {
                     w.append_batch(ts, &records)
                         .expect("shard WAL append failed");
                     w.flush().expect("shard WAL flush failed");
+                    self.wal_records += records.len() as u64;
+                    self.metrics
+                        .wal_pending_records
+                        .fetch_add(records.len() as u64, Ordering::Relaxed);
                 }
                 self.db.insert_batch(ts, &records);
                 self.metrics.queue_depth[self.shard].fetch_sub(1, Ordering::Relaxed);
             }
             ShardMsg::Snapshot { reply } => reply(self.shard, self.db.clone()),
+            ShardMsg::SealWal { reply } => {
+                let seq = match (&mut self.wal, &self.wal_dir) {
+                    (Some(w), Some(dir)) if self.wal_records > 0 => {
+                        let seq = self.next_seq;
+                        w.seal_to(geomancy_replaydb::wal::segment_path(dir, self.shard, seq))
+                            .expect("shard WAL seal failed");
+                        self.next_seq += 1;
+                        self.wal_records = 0;
+                        seq
+                    }
+                    _ => 0,
+                };
+                reply(self.shard, seq);
+            }
+            ShardMsg::TrimHot { keep } => {
+                if self.db.len() > keep {
+                    self.db.compact(keep);
+                }
+            }
         }
     }
 
@@ -149,19 +193,29 @@ impl ShardSet {
             name: "geomancy-shards".to_string(),
             ..ReactorConfig::default()
         });
-        let mut set = ShardSet::spawn_on(&reactor, shards, queue_capacity, wal_dir, metrics);
+        let mut set =
+            ShardSet::spawn_on(&reactor, shards, queue_capacity, wal_dir, metrics, 0, &[]);
         set.own_reactor = Some(reactor);
         set
     }
 
     /// Spawns the shard actors onto an existing reactor (the service path:
     /// shards share the pool with the query engine and trainer).
+    ///
+    /// `min_last_ts` floors each shard's monotonic timestamp clamp — the
+    /// service passes the cold store's max timestamp so records ingested
+    /// after a restart can never be stamped older than checkpointed
+    /// history. `seq_floors` (one entry per shard, or empty) floors each
+    /// shard's next WAL-segment sequence number at the store's absorbed
+    /// floor, so fresh segments are never numbered like absorbed orphans.
     pub(crate) fn spawn_on(
         reactor: &Reactor,
         shards: usize,
         queue_capacity: usize,
         wal_dir: Option<PathBuf>,
         metrics: Arc<ServeMetrics>,
+        min_last_ts: u64,
+        seq_floors: &[u64],
     ) -> Self {
         assert!(shards > 0, "need at least one ingest shard");
         assert!(
@@ -174,26 +228,42 @@ impl ShardSet {
         let mut addrs = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
-            let (db, wal) = match &wal_dir {
-                None => (ReplayDb::new(), None),
+            let (db, wal, wal_records) = match &wal_dir {
+                None => (ReplayDb::new(), None, 0),
                 Some(dir) => {
                     let path = shard_path(dir, i);
                     // `recover_for_append` also truncates a torn tail left
                     // by a crash mid-append, so the append-mode reopen
                     // below starts on a fresh line instead of gluing the
                     // first new entry onto the partial one.
-                    let db = if path.exists() {
+                    let (db, recovered) = if path.exists() {
                         geomancy_replaydb::wal::recover_for_append(&path)
                             .expect("shard WAL recovery failed")
-                            .0
                     } else {
-                        ReplayDb::new()
+                        (ReplayDb::new(), 0)
                     };
                     let wal = WalWriter::open(&path).expect("failed to open shard WAL");
-                    (db, Some(wal))
+                    (db, Some(wal), recovered)
                 }
             };
-            let last_ts = db.records().last().map_or(0, |s| s.timestamp_micros);
+            metrics
+                .wal_pending_records
+                .fetch_add(wal_records, Ordering::Relaxed);
+            let next_seq = match &wal_dir {
+                None => 1,
+                Some(dir) => {
+                    let on_disk = geomancy_replaydb::wal::list_segments(dir, i)
+                        .expect("failed to list WAL segments")
+                        .last()
+                        .map_or(0, |(seq, _)| *seq);
+                    on_disk.max(seq_floors.get(i).copied().unwrap_or(0)) + 1
+                }
+            };
+            let last_ts = db
+                .records()
+                .last()
+                .map_or(0, |s| s.timestamp_micros)
+                .max(min_last_ts);
             let (addr, handle) = reactor.spawn(
                 &format!("shard-{i}"),
                 queue_capacity,
@@ -201,6 +271,9 @@ impl ShardSet {
                     shard: i,
                     db,
                     wal,
+                    wal_dir: wal_dir.clone(),
+                    wal_records,
+                    next_seq,
                     last_ts,
                     metrics: Arc::clone(&metrics),
                 },

@@ -131,8 +131,7 @@ impl Bencher {
             for _ in 0..iters_per_sample {
                 black_box(routine());
             }
-            self.samples
-                .push(start.elapsed() / iters_per_sample as u32);
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
         }
     }
 
@@ -184,8 +183,7 @@ fn iters_for(per_iter: Duration) -> u64 {
     if per_iter.is_zero() {
         return 1000;
     }
-    (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1))
-        .clamp(1, 1_000_000) as u64
+    (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
 }
 
 fn format_duration(d: Duration) -> String {

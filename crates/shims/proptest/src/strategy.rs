@@ -156,9 +156,7 @@ macro_rules! range_strategies {
     };
 }
 
-range_strategies!(
-    u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64
-);
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
 macro_rules! tuple_strategies {
     ($(($($s:ident $idx:tt),+);)+) => {

@@ -103,9 +103,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "property 'always_fails' failed")]
     fn failures_panic_with_message() {
-        run("always_fails", |_rng| {
-            Err(TestCaseError::fail("nope"))
-        });
+        run("always_fails", |_rng| Err(TestCaseError::fail("nope")));
     }
 
     #[test]

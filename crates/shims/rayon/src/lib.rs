@@ -49,7 +49,10 @@ struct Pool {
 
 impl Pool {
     fn push(&self, job: Job) {
-        self.queue.lock().expect("pool queue poisoned").push_back(job);
+        self.queue
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(job);
         // notify_all, not notify_one: a single wakeup could land on a
         // scope waiter that cannot run this (foreign) job and would go
         // back to sleep, leaving the job stranded until the next notify.

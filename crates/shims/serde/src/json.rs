@@ -61,9 +61,7 @@ impl Number {
         match *self {
             Number::I64(n) => Some(n),
             Number::U64(n) => i64::try_from(n).ok(),
-            Number::F64(n)
-                if n.fract() == 0.0 && n >= i64::MIN as f64 && n <= i64::MAX as f64 =>
-            {
+            Number::F64(n) if n.fract() == 0.0 && n >= i64::MIN as f64 && n <= i64::MAX as f64 => {
                 Some(n as i64)
             }
             Number::F64(_) => None,

@@ -266,7 +266,9 @@ de_signed!(i8, i16, i32, i64, isize);
 
 impl Deserialize for f64 {
     fn from_value(value: &Value) -> Result<Self, DeError> {
-        value.as_f64().ok_or_else(|| DeError::expected("number", value))
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", value))
     }
 }
 

@@ -20,14 +20,18 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
-    gen_serialize(&def).parse().expect("generated Serialize impl parses")
+    gen_serialize(&def)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives `serde::Deserialize` for a struct or enum.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
-    gen_deserialize(&def).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&def)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -100,14 +104,20 @@ fn parse_type(input: TokenStream) -> TypeDef {
                 Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
                 other => panic!("unsupported struct body for {name}: {other:?}"),
             };
-            TypeDef { name, kind: Kind::Struct(body) }
+            TypeDef {
+                name,
+                kind: Kind::Struct(body),
+            }
         }
         "enum" => {
             let body = match tokens.get(i) {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
                 other => panic!("expected enum body for {name}, found {other:?}"),
             };
-            TypeDef { name, kind: Kind::Enum(parse_variants(body)) }
+            TypeDef {
+                name,
+                kind: Kind::Enum(parse_variants(body)),
+            }
         }
         other => panic!("cannot derive for `{other}` items"),
     }
@@ -152,7 +162,9 @@ fn attr_is_serde_skip(stream: TokenStream) -> bool {
                 if let TokenTree::Ident(arg) = t {
                     match arg.to_string().as_str() {
                         "skip" => saw_skip = true,
-                        other => panic!("unsupported serde attribute `{other}` (shim supports only `skip`)"),
+                        other => panic!(
+                            "unsupported serde attribute `{other}` (shim supports only `skip`)"
+                        ),
                     }
                 }
             }
@@ -283,7 +295,10 @@ fn de_named(type_path: &str, fields: &[Field]) -> String {
     let mut out = format!("{type_path} {{\n");
     for f in fields {
         if f.skip {
-            out.push_str(&format!("{}: ::core::default::Default::default(),\n", f.name));
+            out.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
         } else {
             out.push_str(&format!(
                 "{n}: ::serde::Deserialize::from_value(__obj.get(\"{n}\").ok_or_else(|| \
@@ -317,8 +332,7 @@ fn gen_serialize(def: &TypeDef) -> String {
                         "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
                     )),
                     Body::Named(fields) => {
-                        let pattern: Vec<&str> =
-                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let pattern: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         let inner = ser_named(fields, |f| format!("{f}"));
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {pat} }} => {{ let mut __outer = ::serde::Map::new(); \

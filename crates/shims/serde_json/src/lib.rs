@@ -311,7 +311,9 @@ mod tests {
         assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
         assert_eq!(v.get("b").and_then(Value::as_array).map(Vec::len), Some(3));
         assert_eq!(
-            v.get("c").and_then(|c| c.get("nested")).and_then(Value::as_bool),
+            v.get("c")
+                .and_then(|c| c.get("nested"))
+                .and_then(Value::as_bool),
             Some(true)
         );
         let expr = 21u64 * 2;

@@ -42,10 +42,7 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!(
-                "expected '{}' at offset {}",
-                b as char, self.pos
-            ))
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
         }
     }
 
@@ -158,12 +155,7 @@ impl<'a> Parser<'a> {
                             // hex digit; skip the shared `pos += 1` below.
                             continue;
                         }
-                        _ => {
-                            return Err(format!(
-                                "invalid escape at offset {}",
-                                self.pos
-                            ))
-                        }
+                        _ => return Err(format!("invalid escape at offset {}", self.pos)),
                     }
                     self.pos += 1;
                 }
@@ -172,9 +164,7 @@ impl<'a> Parser<'a> {
                     // bytes are valid UTF-8).
                     let start = self.pos;
                     self.pos += 1;
-                    while self.pos < self.bytes.len()
-                        && (self.bytes[self.pos] & 0xC0) == 0x80
-                    {
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
                     let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -197,8 +187,7 @@ impl<'a> Parser<'a> {
                 let lo = self.hex4()?;
                 if (0xDC00..0xE000).contains(&lo) {
                     let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                    return char::from_u32(c)
-                        .ok_or_else(|| "invalid surrogate pair".to_string());
+                    return char::from_u32(c).ok_or_else(|| "invalid surrogate pair".to_string());
                 }
             }
             Err(format!("unpaired surrogate at offset {}", self.pos))
@@ -262,8 +251,7 @@ impl<'a> Parser<'a> {
                 return Err(format!("invalid number at offset {}", start));
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| e.to_string())?;
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
         if !is_float {
             // Prefer exact integer representations; fall back to f64 for
             // out-of-range magnitudes.

@@ -229,9 +229,26 @@ pub fn bluesky_system(seed: u64) -> StorageSystem {
 
 /// The Bluesky device set as a builder, for callers that want to tweak it.
 pub fn bluesky_builder() -> StorageSystemBuilder {
+    bluesky_builder_scaled(1.0)
+}
+
+/// [`bluesky_builder`] with every mount's capacity multiplied by
+/// `capacity_factor` (relative sizes, bandwidths, and traffic untouched).
+/// The serving layer's scale runs use this: a 100k–1M-file population
+/// dwarfs the paper's 24-file suite, and what those runs measure is the
+/// placement/telemetry pipeline at count scale, not capacity pressure.
+///
+/// # Panics
+///
+/// Panics if `capacity_factor` is not finite and ≥ 1.0.
+pub fn bluesky_builder_scaled(capacity_factor: f64) -> StorageSystemBuilder {
+    assert!(
+        capacity_factor.is_finite() && capacity_factor >= 1.0,
+        "capacity factor must be finite and >= 1.0, got {capacity_factor}"
+    );
     let mut b = StorageSystem::builder();
     for mount in Mount::ALL {
-        let (spec, traffic) = match mount {
+        let (mut spec, traffic) = match mount {
             Mount::People => people_spec(),
             Mount::Var => var_spec(),
             Mount::Tmp => tmp_spec(),
@@ -239,6 +256,7 @@ pub fn bluesky_builder() -> StorageSystemBuilder {
             Mount::Pic => pic_spec(),
             Mount::UsbTmp => usbtmp_spec(),
         };
+        spec.capacity = (spec.capacity as f64 * capacity_factor).ceil() as u64;
         b = b.device(spec, traffic);
     }
     b

@@ -1,0 +1,331 @@
+//! Configurable file populations with zipfian access sampling.
+//!
+//! The paper's BELLE II suite is 24 ROOT files scanned sequentially; the
+//! serving stack has to hold up when the working set is 100k–1M files and
+//! access is skewed the way real archival telemetry is — a hot head of
+//! files absorbing most of the traffic over a long cold tail. This module
+//! generates such populations deterministically from a seed: file sizes
+//! drawn log-uniform over a configurable range and a [`ZipfSampler`] that
+//! turns uniform randoms into rank-skewed file picks via one CDF binary
+//! search per access.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::record::{AccessRecord, DeviceId, FileId};
+
+/// Shape of a generated file population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationConfig {
+    /// Number of files in the working set.
+    pub file_count: usize,
+    /// Zipf exponent `s` for the access distribution: 0 = uniform, 1 ≈
+    /// classic web/storage skew, larger = hotter head.
+    pub zipf_exponent: f64,
+    /// Smallest file size generated, in bytes.
+    pub min_bytes: u64,
+    /// Largest file size generated, in bytes.
+    pub max_bytes: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            file_count: 100_000,
+            zipf_exponent: 1.0,
+            // The BELLE II suite's span (583 KB – 1.1 GB).
+            min_bytes: 583_000,
+            max_bytes: 1_100_000_000,
+        }
+    }
+}
+
+/// One file of a generated population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationFile {
+    /// File identifier (`0..file_count`).
+    pub fid: FileId,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+/// Samples ranks `0..n` with probability proportional to
+/// `1 / (rank + 1)^s` — a precomputed CDF plus one binary search per
+/// sample, so a million-file population costs the same per access as a
+/// tiny one.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative, NaN, or infinite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "sampler needs at least one rank");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        // Normalize so the last entry is exactly 1.0 and sampling can't
+        // fall off the end from float rounding.
+        for c in &mut cdf {
+            *c /= total;
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true — construction
+    /// requires at least one).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A deterministic file population plus its access sampler: the working
+/// set the scale benchmarks and soak tests draw from.
+#[derive(Debug, Clone)]
+pub struct FilePopulation {
+    files: Vec<PopulationFile>,
+    sampler: ZipfSampler,
+    rng: StdRng,
+    accesses_drawn: u64,
+}
+
+impl FilePopulation {
+    /// Generates the population. Same `seed` and config → the same files
+    /// and the same access sequence, no matter where it runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file_count` is zero or the size range is inverted.
+    pub fn generate(seed: u64, config: &PopulationConfig) -> Self {
+        assert!(config.file_count > 0, "population needs at least one file");
+        assert!(
+            config.min_bytes <= config.max_bytes,
+            "population size range is inverted"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let log_min = (config.min_bytes.max(1) as f64).ln();
+        let log_max = (config.max_bytes.max(1) as f64).ln();
+        let files = (0..config.file_count)
+            .map(|i| {
+                let u: f64 = rng.gen();
+                let bytes = (log_min + u * (log_max - log_min)).exp() as u64;
+                PopulationFile {
+                    fid: FileId(i as u64),
+                    bytes: bytes.clamp(config.min_bytes, config.max_bytes),
+                }
+            })
+            .collect();
+        FilePopulation {
+            files,
+            sampler: ZipfSampler::new(config.file_count, config.zipf_exponent),
+            rng,
+            accesses_drawn: 0,
+        }
+    }
+
+    /// The working set, ordered by file id. Rank in the zipf distribution
+    /// equals index: file 0 is the hottest.
+    pub fn files(&self) -> &[PopulationFile] {
+        &self.files
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the population is empty (never true — construction
+    /// requires at least one file).
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Accesses drawn so far.
+    pub fn accesses_drawn(&self) -> u64 {
+        self.accesses_drawn
+    }
+
+    /// Draws the next zipf-distributed access.
+    pub fn next_access(&mut self) -> PopulationFile {
+        self.accesses_drawn += 1;
+        self.files[self.sampler.sample(&mut self.rng)]
+    }
+
+    /// Draws the next access as a full telemetry record: a whole-file
+    /// read of the sampled file on `device`, opened at
+    /// `timestamp_micros` and closed `duration_micros` later.
+    pub fn next_record(
+        &mut self,
+        access_number: u64,
+        device: DeviceId,
+        timestamp_micros: u64,
+        duration_micros: u64,
+    ) -> AccessRecord {
+        let file = self.next_access();
+        let close_micros = timestamp_micros + duration_micros.max(1);
+        AccessRecord {
+            access_number,
+            fid: file.fid,
+            fsid: device,
+            rb: file.bytes,
+            wb: 0,
+            ots: timestamp_micros / 1_000_000,
+            otms: ((timestamp_micros / 1000) % 1000) as u16,
+            cts: close_micros / 1_000_000,
+            ctms: ((close_micros / 1000) % 1000) as u16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(n: usize, s: f64) -> PopulationConfig {
+        PopulationConfig {
+            file_count: n,
+            zipf_exponent: s,
+            min_bytes: 1_000,
+            max_bytes: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = FilePopulation::generate(7, &small_config(500, 1.0));
+        let b = FilePopulation::generate(7, &small_config(500, 1.0));
+        assert_eq!(a.files(), b.files());
+        let mut a = a;
+        let mut b = b;
+        for _ in 0..100 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FilePopulation::generate(1, &small_config(500, 1.0));
+        let mut b = FilePopulation::generate(2, &small_config(500, 1.0));
+        let draws_a: Vec<u64> = (0..50).map(|_| a.next_access().fid.0).collect();
+        let draws_b: Vec<u64> = (0..50).map(|_| b.next_access().fid.0).collect();
+        assert_ne!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let sampler = ZipfSampler::new(10_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0u64;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if sampler.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // Under zipf(1.0) the top 1 % of 10k ranks carries roughly half
+        // the mass; uniform would give 1 %.
+        assert!(
+            head > draws / 4,
+            "head too cold for zipf: {head}/{draws} draws in the top 100 ranks"
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let sampler = ZipfSampler::new(1000, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut head = 0u64;
+        let draws = 20_000;
+        for _ in 0..draws {
+            if sampler.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // The top 10 % of ranks should carry about 10 % of draws.
+        let frac = head as f64 / draws as f64;
+        assert!((0.05..0.2).contains(&frac), "not uniform: {frac}");
+    }
+
+    #[test]
+    fn samples_cover_the_range_and_stay_in_bounds() {
+        let sampler = ZipfSampler::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 50];
+        for _ in 0..5_000 {
+            let rank = sampler.sample(&mut rng);
+            assert!(rank < 50);
+            seen[rank] = true;
+        }
+        assert!(seen[0], "hottest rank never drawn");
+        assert!(
+            seen.iter().filter(|&&s| s).count() > 25,
+            "sampler never reaches the tail"
+        );
+    }
+
+    #[test]
+    fn records_are_well_formed() {
+        let mut pop = FilePopulation::generate(9, &small_config(100, 1.0));
+        let r = pop.next_record(42, DeviceId(3), 1_500_000, 250_000);
+        assert_eq!(r.access_number, 42);
+        assert_eq!(r.fsid, DeviceId(3));
+        assert!(r.fid.0 < 100);
+        assert_eq!((r.ots, r.otms), (1, 500));
+        assert_eq!((r.cts, r.ctms), (1, 750));
+        assert!(r.rb >= 1_000 && r.rb <= 1_000_000);
+        assert_eq!(pop.accesses_drawn(), 1);
+    }
+
+    #[test]
+    fn scales_to_a_large_population() {
+        let config = PopulationConfig {
+            file_count: 200_000,
+            ..PopulationConfig::default()
+        };
+        let mut pop = FilePopulation::generate(11, &config);
+        assert_eq!(pop.len(), 200_000);
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..10_000 {
+            distinct.insert(pop.next_access().fid.0);
+        }
+        // Zipf(1.0) over 200k files: plenty of head heat, but the tail
+        // still gets visits.
+        assert!(
+            distinct.len() > 1_000,
+            "only {} distinct files",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one file")]
+    fn zero_files_panics() {
+        let _ = FilePopulation::generate(0, &small_config(0, 1.0));
+    }
+}

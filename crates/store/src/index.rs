@@ -1,0 +1,368 @@
+//! Timestamp indexes over pages: which pages hold which time ranges, per
+//! device and per file.
+//!
+//! Each index entry is a [`PageSpan`] — a page reference plus the
+//! key-specific time range and record count that page contributes. The
+//! per-device and per-file maps are B-trees keyed by id; each key's span
+//! list is appended in page order. Spans are *key-specific*: a page
+//! containing records for many devices appears once per device, with
+//! min/max timestamps of that device's records only, so a per-device
+//! query skips pages whose other tenants dominate the page's global span.
+//!
+//! The index is persisted at checkpoint time as JSON-lines rows
+//! ([`TimeIndex::save`]) so the store never scans every page on open; a
+//! missing or out-of-date file (detected against the manifest) falls back
+//! to a rebuild from the committed pages.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use geomancy_replaydb::StoredRecord;
+use geomancy_sim::record::{DeviceId, FileId};
+use serde::{Deserialize, Serialize};
+
+use crate::StoreError;
+
+/// One page's contribution to an index key: the page id, the time range
+/// of the key's records inside it, and how many there are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageSpan {
+    /// Page number (byte offset = `page * page_size`).
+    pub page: u32,
+    /// Smallest ingest timestamp of the key's records in the page.
+    pub min_ts: u64,
+    /// Largest ingest timestamp of the key's records in the page.
+    pub max_ts: u64,
+    /// Number of the key's records in the page.
+    pub count: u32,
+}
+
+/// Row kinds in the persisted index file.
+const ROW_PAGE: u8 = 0;
+const ROW_DEVICE: u8 = 1;
+const ROW_FILE: u8 = 2;
+
+/// One JSON line of the persisted index.
+#[derive(Debug, Serialize, Deserialize)]
+struct IndexRow {
+    k: u8,
+    key: u64,
+    page: u32,
+    min_ts: u64,
+    max_ts: u64,
+    count: u32,
+}
+
+/// In-memory index over every committed (and, between append and commit,
+/// in-flight) page.
+#[derive(Debug, Clone, Default)]
+pub struct TimeIndex {
+    /// Global span per page, in page order (`pages[i].page == i`).
+    pages: Vec<PageSpan>,
+    by_device: BTreeMap<DeviceId, Vec<PageSpan>>,
+    by_file: BTreeMap<FileId, Vec<PageSpan>>,
+    total_records: u64,
+}
+
+impl TimeIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        TimeIndex::default()
+    }
+
+    /// Number of indexed pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total records across all indexed pages.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Global spans of every page, in page order.
+    pub fn pages(&self) -> &[PageSpan] {
+        &self.pages
+    }
+
+    /// Spans holding records of `device`, in page order.
+    pub fn spans_for_device(&self, device: DeviceId) -> &[PageSpan] {
+        self.by_device.get(&device).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Spans holding records of `fid`, in page order.
+    pub fn spans_for_file(&self, fid: FileId) -> &[PageSpan] {
+        self.by_file.get(&fid).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Devices with at least one indexed record.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.by_device.keys().copied()
+    }
+
+    /// Files with at least one indexed record.
+    pub fn files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.by_file.keys().copied()
+    }
+
+    /// Indexes one freshly written page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not the next page number or `records` is empty
+    /// (pages are appended in order and never empty).
+    pub fn add_page(&mut self, page: u32, records: &[StoredRecord]) {
+        assert_eq!(page as usize, self.pages.len(), "pages are append-only");
+        assert!(!records.is_empty(), "pages are never empty");
+        let min_ts = records.iter().map(|s| s.timestamp_micros).min().unwrap();
+        let max_ts = records.iter().map(|s| s.timestamp_micros).max().unwrap();
+        self.pages.push(PageSpan {
+            page,
+            min_ts,
+            max_ts,
+            count: records.len() as u32,
+        });
+        self.total_records += records.len() as u64;
+        let mut per_device: BTreeMap<DeviceId, PageSpan> = BTreeMap::new();
+        let mut per_file: BTreeMap<FileId, PageSpan> = BTreeMap::new();
+        for s in records {
+            let ts = s.timestamp_micros;
+            per_device
+                .entry(s.record.fsid)
+                .and_modify(|span| {
+                    span.min_ts = span.min_ts.min(ts);
+                    span.max_ts = span.max_ts.max(ts);
+                    span.count += 1;
+                })
+                .or_insert(PageSpan {
+                    page,
+                    min_ts: ts,
+                    max_ts: ts,
+                    count: 1,
+                });
+            per_file
+                .entry(s.record.fid)
+                .and_modify(|span| {
+                    span.min_ts = span.min_ts.min(ts);
+                    span.max_ts = span.max_ts.max(ts);
+                    span.count += 1;
+                })
+                .or_insert(PageSpan {
+                    page,
+                    min_ts: ts,
+                    max_ts: ts,
+                    count: 1,
+                });
+        }
+        for (dev, span) in per_device {
+            self.by_device.entry(dev).or_default().push(span);
+        }
+        for (fid, span) in per_file {
+            self.by_file.entry(fid).or_default().push(span);
+        }
+    }
+
+    /// Writes the index as JSON-lines to `path` atomically: a temp file is
+    /// written and fsynced, then renamed over `path` and the directory
+    /// fsynced, so a crash leaves either the old index or the new one —
+    /// never a torn mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or serialization error.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let file = File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            for span in &self.pages {
+                write_row(&mut w, ROW_PAGE, 0, span)?;
+            }
+            for (dev, spans) in &self.by_device {
+                for span in spans {
+                    write_row(&mut w, ROW_DEVICE, dev.0 as u64, span)?;
+                }
+            }
+            for (fid, spans) in &self.by_file {
+                for span in spans {
+                    write_row(&mut w, ROW_FILE, fid.0, span)?;
+                }
+            }
+            w.flush()?;
+            w.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            File::open(dir)?.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Loads an index previously written by [`TimeIndex::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error, or [`StoreError::Corrupt`] on a malformed
+    /// row (the file is written atomically, so any damage is real
+    /// corruption, not a crash artifact).
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let reader = BufReader::new(file);
+        let mut index = TimeIndex::new();
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let row: IndexRow = serde_json::from_str(&line)
+                .map_err(|e| StoreError::Corrupt(format!("bad index row: {e}")))?;
+            let span = PageSpan {
+                page: row.page,
+                min_ts: row.min_ts,
+                max_ts: row.max_ts,
+                count: row.count,
+            };
+            match row.k {
+                ROW_PAGE => {
+                    if row.page as usize != index.pages.len() {
+                        return Err(StoreError::Corrupt(format!(
+                            "page rows out of order at page {}",
+                            row.page
+                        )));
+                    }
+                    index.total_records += span.count as u64;
+                    index.pages.push(span);
+                }
+                ROW_DEVICE => index
+                    .by_device
+                    .entry(DeviceId(row.key as u32))
+                    .or_default()
+                    .push(span),
+                ROW_FILE => index.by_file.entry(FileId(row.key)).or_default().push(span),
+                other => {
+                    return Err(StoreError::Corrupt(format!(
+                        "unknown index row kind {other}"
+                    )));
+                }
+            }
+        }
+        Ok(index)
+    }
+}
+
+fn write_row(w: &mut impl Write, k: u8, key: u64, span: &PageSpan) -> Result<(), StoreError> {
+    let row = IndexRow {
+        k,
+        key,
+        page: span.page,
+        min_ts: span.min_ts,
+        max_ts: span.max_ts,
+        count: span.count,
+    };
+    let line = serde_json::to_string(&row).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geomancy_sim::record::AccessRecord;
+
+    fn stored(ts: u64, fid: u64, dev: u32) -> StoredRecord {
+        StoredRecord {
+            timestamp_micros: ts,
+            record: AccessRecord {
+                access_number: ts,
+                fid: FileId(fid),
+                fsid: DeviceId(dev),
+                rb: 1,
+                wb: 0,
+                ots: 0,
+                otms: 0,
+                cts: 1,
+                ctms: 0,
+            },
+        }
+    }
+
+    fn sample() -> TimeIndex {
+        let mut index = TimeIndex::new();
+        index.add_page(0, &[stored(10, 1, 0), stored(11, 2, 1), stored(12, 1, 0)]);
+        index.add_page(1, &[stored(13, 2, 1), stored(14, 3, 2)]);
+        index
+    }
+
+    #[test]
+    fn spans_are_key_specific() {
+        let index = sample();
+        assert_eq!(index.page_count(), 2);
+        assert_eq!(index.total_records(), 5);
+        let dev0 = index.spans_for_device(DeviceId(0));
+        assert_eq!(dev0.len(), 1);
+        assert_eq!(
+            dev0[0],
+            PageSpan {
+                page: 0,
+                min_ts: 10,
+                max_ts: 12,
+                count: 2
+            }
+        );
+        let dev1 = index.spans_for_device(DeviceId(1));
+        assert_eq!(dev1.len(), 2);
+        assert_eq!(dev1[0].min_ts, 11);
+        assert_eq!(dev1[0].max_ts, 11);
+        let f1 = index.spans_for_file(FileId(1));
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f1[0].count, 2);
+        assert!(index.spans_for_device(DeviceId(9)).is_empty());
+        assert_eq!(index.devices().count(), 3);
+        assert_eq!(index.files().count(), 3);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = std::env::temp_dir().join("geomancy_store_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.json");
+        let index = sample();
+        index.save(&path).unwrap();
+        let back = TimeIndex::load(&path).unwrap();
+        assert_eq!(back.page_count(), index.page_count());
+        assert_eq!(back.total_records(), index.total_records());
+        assert_eq!(back.pages(), index.pages());
+        assert_eq!(
+            back.spans_for_device(DeviceId(1)),
+            index.spans_for_device(DeviceId(1))
+        );
+        assert_eq!(
+            back.spans_for_file(FileId(2)),
+            index.spans_for_file(FileId(2))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_rows_are_corruption() {
+        let dir = std::env::temp_dir().join("geomancy_store_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad_index.json");
+        std::fs::write(&path, "{nope\n").unwrap();
+        assert!(matches!(
+            TimeIndex::load(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "append-only")]
+    fn out_of_order_page_panics() {
+        let mut index = TimeIndex::new();
+        index.add_page(1, &[stored(0, 0, 0)]);
+    }
+}

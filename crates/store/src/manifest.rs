@@ -1,0 +1,155 @@
+//! The store manifest: the single atomic commit point of a checkpoint.
+//!
+//! A checkpoint writes pages, fsyncs them, writes the index, fsyncs it —
+//! and then commits by renaming a fresh manifest into place. Until that
+//! rename lands, recovery sees the *previous* manifest and rolls the
+//! store back to it (truncating any uncommitted page tail); after it,
+//! the absorbed WAL segments are recorded as consumed, so they are
+//! deleted instead of replayed. One atomic rename therefore decides, for
+//! every record in the checkpoint, whether it lives in the store or
+//! still lives in its segment — never both, never neither.
+
+use std::fs::File;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::StoreError;
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Committed state of the store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version ([`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// Page size this store was created with; a mismatch with the opening
+    /// configuration is a hard error, not a reinterpretation.
+    pub page_size: u64,
+    /// Pages committed to `pages.bin` — anything beyond
+    /// `committed_pages * page_size` is an uncommitted tail to truncate.
+    pub committed_pages: u32,
+    /// Records inside the committed pages.
+    pub total_records: u64,
+    /// Per-shard highest absorbed WAL-segment sequence number (0 = none).
+    /// A surviving segment with `seq <= absorbed[shard]` has already been
+    /// absorbed (the crash hit after commit, before deletion): delete it.
+    /// One with `seq > absorbed[shard]` has not: replay it.
+    pub absorbed: Vec<u64>,
+}
+
+impl Manifest {
+    /// The empty-store manifest.
+    pub fn empty(page_size: usize) -> Self {
+        Manifest {
+            version: MANIFEST_VERSION,
+            page_size: page_size as u64,
+            committed_pages: 0,
+            total_records: 0,
+            absorbed: Vec::new(),
+        }
+    }
+
+    /// Loads the manifest at `path`; `Ok(None)` when the file does not
+    /// exist (a fresh store).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error, or [`StoreError::Corrupt`] on malformed
+    /// contents or a version this build does not understand.
+    pub fn load(path: &Path) -> Result<Option<Self>, StoreError> {
+        let json = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let manifest: Manifest = serde_json::from_str(&json)
+            .map_err(|e| StoreError::Corrupt(format!("bad manifest: {e}")))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "manifest version {} unsupported",
+                manifest.version
+            )));
+        }
+        Ok(Some(manifest))
+    }
+
+    /// Commits this manifest to `path`: write a temp file, fsync it,
+    /// rename it over `path`, fsync the directory. The rename is the
+    /// atomic commit — a crash anywhere before it leaves the previous
+    /// manifest intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or serialization error.
+    pub fn commit(&self, path: &Path) -> Result<(), StoreError> {
+        let tmp = path.with_extension("tmp");
+        let json = serde_json::to_string(self).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        {
+            let mut file = File::create(&tmp)?;
+            use std::io::Write;
+            file.write_all(json.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            File::open(dir)?.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("geomancy_store_manifest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn missing_manifest_is_none() {
+        let path = temp_dir().join("nope.manifest");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(Manifest::load(&path).unwrap(), None);
+    }
+
+    #[test]
+    fn commit_load_round_trip() {
+        let path = temp_dir().join("roundtrip.manifest");
+        let m = Manifest {
+            version: MANIFEST_VERSION,
+            page_size: 4096,
+            committed_pages: 7,
+            total_records: 421,
+            absorbed: vec![3, 0, 5],
+        };
+        m.commit(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), Some(m.clone()));
+        // Re-commit overwrites atomically.
+        let m2 = Manifest {
+            committed_pages: 9,
+            ..m
+        };
+        m2.commit(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), Some(m2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_and_future_versions_are_corruption() {
+        let path = temp_dir().join("garbage.manifest");
+        std::fs::write(&path, "not a manifest").unwrap();
+        assert!(matches!(Manifest::load(&path), Err(StoreError::Corrupt(_))));
+        let future = Manifest {
+            version: MANIFEST_VERSION + 1,
+            ..Manifest::empty(4096)
+        };
+        std::fs::write(&path, serde_json::to_string(&future).unwrap()).unwrap();
+        assert!(matches!(Manifest::load(&path), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,295 @@
+//! The on-disk page format: a fixed-size block of packed access records.
+//!
+//! Every page is exactly `page_size` bytes on disk (4–64 KiB, chosen at
+//! store creation) so page `i` always lives at byte offset
+//! `i * page_size` — positioned reads need no directory. A page is a
+//! 32-byte header followed by `record_count` packed 64-byte records and
+//! zero padding:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "GPAG"
+//! 4       1     format version (1)
+//! 5       1     reserved (0)
+//! 6       2     record_count (LE u16)
+//! 8       8     min_ts: smallest ingest timestamp in the page (LE u64)
+//! 16      8     max_ts: largest ingest timestamp in the page (LE u64)
+//! 24      8     FNV-1a checksum of count/min/max + record bytes (LE u64)
+//! 32      64×n  packed records
+//! ...     —     zero padding to page_size
+//! ```
+//!
+//! Records are packed little-endian, 64 bytes each: ingest timestamp,
+//! then the [`AccessRecord`] fields in declaration order. Pages are
+//! immutable once written — the store is append-only, and the final
+//! partial page of a checkpoint is sealed as-is (internal fragmentation
+//! is accepted in exchange for never rewriting a page in place).
+
+use geomancy_replaydb::StoredRecord;
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+
+use crate::StoreError;
+
+/// First bytes of every page.
+pub const PAGE_MAGIC: [u8; 4] = *b"GPAG";
+/// On-disk page format version.
+pub const PAGE_VERSION: u8 = 1;
+/// Bytes of page header before the packed records.
+pub const HEADER_LEN: usize = 32;
+/// Bytes per packed record (8-byte timestamp + 56 bytes of fields).
+pub const RECORD_LEN: usize = 64;
+/// Smallest allowed page size (4 KiB).
+pub const MIN_PAGE_SIZE: usize = 4 * 1024;
+/// Largest allowed page size (64 KiB).
+pub const MAX_PAGE_SIZE: usize = 64 * 1024;
+
+/// Records a page of `page_size` bytes can hold.
+pub fn page_capacity(page_size: usize) -> usize {
+    (page_size - HEADER_LEN) / RECORD_LEN
+}
+
+/// Validates a configured page size: within [4 KiB, 64 KiB].
+///
+/// # Errors
+///
+/// Returns [`StoreError::Config`] when out of range.
+pub fn check_page_size(page_size: usize) -> Result<(), StoreError> {
+    if !(MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size) {
+        return Err(StoreError::Config(format!(
+            "page size {page_size} outside [{MIN_PAGE_SIZE}, {MAX_PAGE_SIZE}]"
+        )));
+    }
+    Ok(())
+}
+
+fn put_u64(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u16(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(buf[at..at + 2].try_into().expect("2 bytes"))
+}
+
+/// FNV-1a over `bytes` — cheap, dependency-free corruption detection (the
+/// threat model is torn writes and bit rot, not adversaries).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn pack_record(buf: &mut [u8], at: usize, s: &StoredRecord) {
+    put_u64(buf, at, s.timestamp_micros);
+    put_u64(buf, at + 8, s.record.access_number);
+    put_u64(buf, at + 16, s.record.fid.0);
+    put_u32(buf, at + 24, s.record.fsid.0);
+    put_u64(buf, at + 28, s.record.rb);
+    put_u64(buf, at + 36, s.record.wb);
+    put_u64(buf, at + 44, s.record.ots);
+    put_u16(buf, at + 52, s.record.otms);
+    put_u64(buf, at + 54, s.record.cts);
+    put_u16(buf, at + 62, s.record.ctms);
+}
+
+fn unpack_record(buf: &[u8], at: usize) -> StoredRecord {
+    StoredRecord {
+        timestamp_micros: get_u64(buf, at),
+        record: AccessRecord {
+            access_number: get_u64(buf, at + 8),
+            fid: FileId(get_u64(buf, at + 16)),
+            fsid: DeviceId(get_u32(buf, at + 24)),
+            rb: get_u64(buf, at + 28),
+            wb: get_u64(buf, at + 36),
+            ots: get_u64(buf, at + 44),
+            otms: get_u16(buf, at + 52),
+            cts: get_u64(buf, at + 54),
+            ctms: get_u16(buf, at + 62),
+        },
+    }
+}
+
+/// Encodes `records` into one page of exactly `page_size` bytes.
+///
+/// # Panics
+///
+/// Panics if `records` is empty or exceeds [`page_capacity`] — the store
+/// packs pages itself, so either is a logic error, not an input error.
+pub fn encode_page(page_size: usize, records: &[StoredRecord]) -> Vec<u8> {
+    assert!(!records.is_empty(), "a page holds at least one record");
+    assert!(
+        records.len() <= page_capacity(page_size),
+        "page overflow: {} records > capacity {}",
+        records.len(),
+        page_capacity(page_size)
+    );
+    let mut buf = vec![0u8; page_size];
+    buf[0..4].copy_from_slice(&PAGE_MAGIC);
+    buf[4] = PAGE_VERSION;
+    let count = records.len() as u16;
+    put_u16(&mut buf, 6, count);
+    let min_ts = records.iter().map(|s| s.timestamp_micros).min().unwrap();
+    let max_ts = records.iter().map(|s| s.timestamp_micros).max().unwrap();
+    put_u64(&mut buf, 8, min_ts);
+    put_u64(&mut buf, 16, max_ts);
+    for (i, s) in records.iter().enumerate() {
+        pack_record(&mut buf, HEADER_LEN + i * RECORD_LEN, s);
+    }
+    let sum = fnv1a(&buf[6..HEADER_LEN - 8]) ^ fnv1a(&buf[HEADER_LEN..]);
+    put_u64(&mut buf, 24, sum);
+    buf
+}
+
+/// Decodes one page buffer back into its records, verifying magic,
+/// version, bounds, and checksum.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Corrupt`] naming what failed to verify.
+pub fn decode_page(buf: &[u8]) -> Result<Vec<StoredRecord>, StoreError> {
+    if buf.len() < HEADER_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "page buffer of {} bytes is shorter than the header",
+            buf.len()
+        )));
+    }
+    if buf[0..4] != PAGE_MAGIC {
+        return Err(StoreError::Corrupt("bad page magic".to_string()));
+    }
+    if buf[4] != PAGE_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported page version {}",
+            buf[4]
+        )));
+    }
+    let count = get_u16(buf, 6) as usize;
+    if HEADER_LEN + count * RECORD_LEN > buf.len() {
+        return Err(StoreError::Corrupt(format!(
+            "page claims {count} records, more than fit in {} bytes",
+            buf.len()
+        )));
+    }
+    let sum = fnv1a(&buf[6..HEADER_LEN - 8]) ^ fnv1a(&buf[HEADER_LEN..]);
+    if sum != get_u64(buf, 24) {
+        return Err(StoreError::Corrupt("page checksum mismatch".to_string()));
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        out.push(unpack_record(buf, HEADER_LEN + i * RECORD_LEN));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stored(n: u64) -> StoredRecord {
+        StoredRecord {
+            timestamp_micros: 1000 + n,
+            record: AccessRecord {
+                access_number: n,
+                fid: FileId(n * 7),
+                fsid: DeviceId((n % 5) as u32),
+                rb: n * 100,
+                wb: n,
+                ots: n,
+                otms: (n % 1000) as u16,
+                cts: n + 1,
+                ctms: ((n + 3) % 1000) as u16,
+            },
+        }
+    }
+
+    #[test]
+    fn capacity_accounts_for_header() {
+        assert_eq!(page_capacity(4096), (4096 - 32) / 64);
+        assert_eq!(page_capacity(65536), (65536 - 32) / 64);
+    }
+
+    #[test]
+    fn page_size_bounds() {
+        assert!(check_page_size(4096).is_ok());
+        assert!(check_page_size(65536).is_ok());
+        assert!(check_page_size(2048).is_err());
+        assert!(check_page_size(128 * 1024).is_err());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let records: Vec<StoredRecord> = (0..50).map(stored).collect();
+        let buf = encode_page(4096, &records);
+        assert_eq!(buf.len(), 4096);
+        let back = decode_page(&buf).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn header_carries_time_span() {
+        let records: Vec<StoredRecord> = (0..10).map(stored).collect();
+        let buf = encode_page(4096, &records);
+        assert_eq!(get_u64(&buf, 8), 1000);
+        assert_eq!(get_u64(&buf, 16), 1009);
+    }
+
+    #[test]
+    fn full_page_round_trips() {
+        let cap = page_capacity(4096);
+        let records: Vec<StoredRecord> = (0..cap as u64).map(stored).collect();
+        let back = decode_page(&encode_page(4096, &records)).unwrap();
+        assert_eq!(back.len(), cap);
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    #[should_panic(expected = "page overflow")]
+    fn over_capacity_panics() {
+        let cap = page_capacity(4096);
+        let records: Vec<StoredRecord> = (0..=cap as u64).map(stored).collect();
+        encode_page(4096, &records);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let records: Vec<StoredRecord> = (0..8).map(stored).collect();
+        let mut buf = encode_page(4096, &records);
+        // Flip one record byte: checksum must catch it.
+        buf[HEADER_LEN + 5] ^= 0xff;
+        assert!(matches!(decode_page(&buf), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn bad_magic_version_and_count_are_rejected() {
+        let records = vec![stored(0)];
+        let good = encode_page(4096, &records);
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(decode_page(&bad).is_err());
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert!(decode_page(&bad).is_err());
+        let mut bad = good.clone();
+        // Claim more records than the buffer holds.
+        put_u16(&mut bad, 6, 9999);
+        assert!(decode_page(&bad).is_err());
+        assert!(decode_page(&good[..16]).is_err());
+    }
+}

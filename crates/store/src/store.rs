@@ -1,0 +1,851 @@
+//! [`PagedStore`]: the cold half of the ReplayDB — packed pages on disk,
+//! timestamp indexes in memory, positioned reads through a small cache.
+//!
+//! ## Layout
+//!
+//! A store directory holds three files:
+//!
+//! * `pages.bin` — fixed-size pages appended end-to-end (see
+//!   [`crate::page`]). Page `i` lives at `i * page_size`, read via
+//!   `pread` (no seek, no global file lock).
+//! * `index.json` — the persisted [`TimeIndex`], rewritten atomically at
+//!   each checkpoint so open never scans every page.
+//! * `store.manifest` — the [`Manifest`]: the commit point. Pages and
+//!   index beyond the manifest are an uncommitted tail, rolled back on
+//!   open.
+//!
+//! ## Crash-safe checkpoint ordering
+//!
+//! [`PagedStore::absorb_segments`] drains sealed WAL segments in four
+//! ordered steps — append pages, fsync pages + write index, commit
+//! manifest (atomic rename), delete segments. A crash between any two
+//! steps recovers exactly-once: before the manifest commit the new pages
+//! are truncated away and the segments replay in full; after it the
+//! segments are recorded as absorbed and are deleted, not replayed. The
+//! [`FaultPoint`] hook lets tests kill the pipeline at each boundary and
+//! prove that argument.
+//!
+//! ## Queries over overlapping pages
+//!
+//! Shards clamp time independently, so pages from different checkpoint
+//! cycles may overlap in time. "The x most recent" therefore walks spans
+//! in descending `max_ts` order and keeps reading while a span could
+//! still contain a record newer than the x-th-newest seen so far — the
+//! walk stops at the first span whose `max_ts` falls below that
+//! threshold, which is correct because thresholds only rise.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use geomancy_replaydb::wal as rwal;
+use geomancy_replaydb::StoredRecord;
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+use parking_lot::{Mutex, RwLock};
+
+use crate::index::{PageSpan, TimeIndex};
+use crate::manifest::Manifest;
+use crate::page::{check_page_size, decode_page, encode_page, page_capacity};
+use crate::StoreError;
+
+/// Page-file name inside a store directory.
+pub const PAGES_FILE: &str = "pages.bin";
+/// Index-file name inside a store directory.
+pub const INDEX_FILE: &str = "index.json";
+/// Manifest-file name inside a store directory.
+pub const MANIFEST_FILE: &str = "store.manifest";
+
+/// Store tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Fixed page size in bytes (4–64 KiB). Baked into the store at
+    /// creation; reopening with a different size is an error.
+    pub page_size: usize,
+    /// Pages held decoded in the in-process cache.
+    pub cache_pages: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            page_size: 16 * 1024,
+            cache_pages: 64,
+        }
+    }
+}
+
+/// What [`PagedStore::open`] had to repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Bytes of uncommitted page tail truncated from `pages.bin` (a
+    /// crash between page append and manifest commit).
+    pub truncated_bytes: u64,
+    /// Whether the index was rebuilt by scanning committed pages (index
+    /// file missing, stale, or corrupt).
+    pub index_rebuilt: bool,
+}
+
+/// Where [`PagedStore::absorb_segments`] is killed, for crash-injection
+/// tests. Each point simulates a crash *after* the named step completed
+/// and before the next began.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Pages appended to `pages.bin`; index and manifest untouched.
+    AfterPageWrite,
+    /// Pages fsynced and index written; manifest not committed.
+    AfterIndexWrite,
+    /// Manifest committed; absorbed segments not yet deleted.
+    AfterManifestCommit,
+}
+
+/// Summary of one [`PagedStore::absorb_segments`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AbsorbReport {
+    /// Segments replayed into pages this run.
+    pub segments_absorbed: usize,
+    /// Records appended to the store this run.
+    pub records_absorbed: u64,
+    /// Pages appended this run.
+    pub pages_added: u32,
+    /// Already-absorbed orphan segments deleted without replaying (crash
+    /// between a previous run's manifest commit and its deletions).
+    pub orphans_deleted: usize,
+}
+
+/// Decoded-page LRU cache keyed by page number. Pages are immutable once
+/// written, so cached copies never go stale.
+#[derive(Debug, Default)]
+struct PageCache {
+    entries: HashMap<u32, (Arc<Vec<StoredRecord>>, u64)>,
+    tick: u64,
+}
+
+impl PageCache {
+    fn get(&mut self, page: u32) -> Option<Arc<Vec<StoredRecord>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&page).map(|(records, used)| {
+            *used = tick;
+            Arc::clone(records)
+        })
+    }
+
+    fn insert(&mut self, page: u32, records: Arc<Vec<StoredRecord>>, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.entries.len() >= capacity && !self.entries.contains_key(&page) {
+            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (_, used))| *used) {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(page, (records, self.tick));
+    }
+}
+
+/// The paged cold store. Writers need `&mut self`; queries take `&self`
+/// (the page cache hides behind its own mutex), so a shared store behind
+/// an `RwLock` serves concurrent readers.
+#[derive(Debug)]
+pub struct PagedStore {
+    dir: PathBuf,
+    config: StoreConfig,
+    file: File,
+    /// Pages written (committed + uncommitted tail).
+    pages: u32,
+    index: TimeIndex,
+    manifest: Manifest,
+    cache: Mutex<PageCache>,
+    /// Positioned page reads that went to disk.
+    pub preads: AtomicU64,
+    /// Page reads served from the cache.
+    pub cache_hits: AtomicU64,
+}
+
+/// A shared handle: many readers, one writer (the checkpointer).
+pub type SharedPagedStore = Arc<RwLock<PagedStore>>;
+
+impl PagedStore {
+    /// Opens (creating if needed) the store in `dir`, rolling back any
+    /// uncommitted tail and rebuilding the index if it is missing, stale,
+    /// or corrupt. Returns the store and what recovery had to do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Config`] on a bad page size or a page-size
+    /// mismatch with an existing store, [`StoreError::Corrupt`] when
+    /// `pages.bin` is shorter than the manifest commits, or any I/O
+    /// error.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        check_page_size(config.page_size)?;
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest =
+            Manifest::load(&manifest_path)?.unwrap_or_else(|| Manifest::empty(config.page_size));
+        if manifest.page_size != config.page_size as u64 {
+            return Err(StoreError::Config(format!(
+                "store was created with {}-byte pages, asked to open with {}",
+                manifest.page_size, config.page_size
+            )));
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(dir.join(PAGES_FILE))?;
+        let committed_len = manifest.committed_pages as u64 * config.page_size as u64;
+        let len = file.metadata()?.len();
+        let mut report = RecoveryReport::default();
+        if len > committed_len {
+            // Uncommitted tail from a crash between page append and
+            // manifest commit: those records still live in their WAL
+            // segments, so dropping the tail loses nothing.
+            file.set_len(committed_len)?;
+            file.sync_all()?;
+            report.truncated_bytes = len - committed_len;
+        } else if len < committed_len {
+            return Err(StoreError::Corrupt(format!(
+                "pages.bin is {len} bytes but the manifest commits {committed_len}"
+            )));
+        }
+        let index_path = dir.join(INDEX_FILE);
+        let index = match TimeIndex::load(&index_path) {
+            Ok(ix)
+                if ix.page_count() == manifest.committed_pages as usize
+                    && ix.total_records() == manifest.total_records =>
+            {
+                ix
+            }
+            Err(StoreError::Io(e))
+                if e.kind() == std::io::ErrorKind::NotFound && manifest.committed_pages == 0 =>
+            {
+                TimeIndex::new()
+            }
+            // Missing-but-nonempty, stale (crash after an index write
+            // whose manifest never committed), or corrupt: the index is
+            // derived data — rebuild it from the committed pages.
+            Ok(_) | Err(StoreError::Io(_)) | Err(StoreError::Corrupt(_)) => {
+                report.index_rebuilt = true;
+                Self::scan_index(&file, config.page_size, manifest.committed_pages)?
+            }
+            Err(e) => return Err(e),
+        };
+        let pages = manifest.committed_pages;
+        Ok((
+            PagedStore {
+                dir,
+                config,
+                file,
+                pages,
+                index,
+                manifest,
+                cache: Mutex::new(PageCache::default()),
+                preads: AtomicU64::new(0),
+                cache_hits: AtomicU64::new(0),
+            },
+            report,
+        ))
+    }
+
+    /// Rebuilds a [`TimeIndex`] by decoding every committed page.
+    fn scan_index(file: &File, page_size: usize, pages: u32) -> Result<TimeIndex, StoreError> {
+        let mut index = TimeIndex::new();
+        let mut buf = vec![0u8; page_size];
+        for page in 0..pages {
+            read_exact_at(file, &mut buf, page as u64 * page_size as u64)?;
+            let records = decode_page(&buf)?;
+            index.add_page(page, &records);
+        }
+        Ok(index)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Wraps the store in the shared many-readers/one-writer handle.
+    pub fn into_shared(self) -> SharedPagedStore {
+        Arc::new(RwLock::new(self))
+    }
+
+    /// The configured page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.config.page_size
+    }
+
+    /// Pages written (committed plus any uncommitted tail).
+    pub fn page_count(&self) -> u32 {
+        self.pages
+    }
+
+    /// Bytes of page storage on disk.
+    pub fn cold_bytes(&self) -> u64 {
+        self.pages as u64 * self.config.page_size as u64
+    }
+
+    /// Records stored (committed plus any uncommitted tail).
+    pub fn total_records(&self) -> u64 {
+        self.index.total_records()
+    }
+
+    /// Largest ingest timestamp in the store, or `None` when empty.
+    pub fn max_timestamp_micros(&self) -> Option<u64> {
+        self.index.pages().iter().map(|s| s.max_ts).max()
+    }
+
+    /// Devices with at least one stored record.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        self.index.devices().collect()
+    }
+
+    /// Appends `records` as new pages (full pages plus one sealed partial
+    /// page). The pages are written and indexed but **not committed** —
+    /// they become durable only at the next [`PagedStore::commit`] (or
+    /// the commit inside [`PagedStore::absorb_segments`]); until then a
+    /// reopen rolls them back. Returns the number of pages added.
+    ///
+    /// `records` must be sorted by `(timestamp_micros, access_number)` —
+    /// the caller merges shard streams before appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if a page write fails.
+    pub fn append_records(&mut self, records: &[StoredRecord]) -> Result<u32, StoreError> {
+        debug_assert!(
+            records.windows(2).all(|w| {
+                (w[0].timestamp_micros, w[0].record.access_number)
+                    <= (w[1].timestamp_micros, w[1].record.access_number)
+            }),
+            "append_records requires (timestamp, access_number) order"
+        );
+        let capacity = page_capacity(self.config.page_size);
+        let mut added = 0u32;
+        for chunk in records.chunks(capacity) {
+            let page = self.pages;
+            let buf = encode_page(self.config.page_size, chunk);
+            write_all_at(&self.file, &buf, page as u64 * self.config.page_size as u64)?;
+            self.index.add_page(page, chunk);
+            self.pages += 1;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Commits everything appended so far: fsync the pages, persist the
+    /// index, then atomically commit the manifest (optionally updating
+    /// the per-shard absorbed-segment floors). On return the appended
+    /// records are durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from any of the three steps; the store is
+    /// safe to reopen regardless of where it failed (the manifest rename
+    /// is the only commit point).
+    pub fn commit(&mut self, absorbed: Option<Vec<u64>>) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        self.index.save(&self.dir.join(INDEX_FILE))?;
+        self.commit_manifest(absorbed)
+    }
+
+    /// The manifest half of [`PagedStore::commit`], split out so the
+    /// fault-injection hook can stop between index write and commit.
+    fn commit_manifest(&mut self, absorbed: Option<Vec<u64>>) -> Result<(), StoreError> {
+        let mut manifest = self.manifest.clone();
+        manifest.committed_pages = self.pages;
+        manifest.total_records = self.index.total_records();
+        if let Some(absorbed) = absorbed {
+            manifest.absorbed = absorbed;
+        }
+        manifest.commit(&self.dir.join(MANIFEST_FILE))?;
+        self.manifest = manifest;
+        Ok(())
+    }
+
+    /// Per-shard absorbed-segment floors from the manifest (empty until
+    /// the first absorb).
+    pub fn absorbed(&self) -> &[u64] {
+        &self.manifest.absorbed
+    }
+
+    /// Drains sealed WAL segments from `wal_dir` into the store — the
+    /// checkpointer's core, and the recovery path at open (one call with
+    /// no fault absorbs whatever a crash left behind).
+    ///
+    /// For each of `shards` shards: segments with `seq` at or below the
+    /// manifest's absorbed floor are deleted unreplayed (they committed
+    /// in a previous run); the rest replay, merge into one
+    /// `(timestamp, access_number)`-ordered stream, append as pages, and
+    /// commit, after which the consumed segments are deleted.
+    ///
+    /// `fault` kills the pipeline at the named boundary (see
+    /// [`FaultPoint`]) for crash-injection tests; production passes
+    /// `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error, or [`StoreError::Wal`] if a segment fails to
+    /// replay (corruption before its tail).
+    pub fn absorb_segments(
+        &mut self,
+        wal_dir: &Path,
+        shards: usize,
+        fault: Option<FaultPoint>,
+    ) -> Result<AbsorbReport, StoreError> {
+        let mut report = AbsorbReport::default();
+        let mut absorbed = self.manifest.absorbed.clone();
+        if absorbed.len() < shards {
+            absorbed.resize(shards, 0);
+        }
+        let mut records: Vec<StoredRecord> = Vec::new();
+        let mut consumed: Vec<PathBuf> = Vec::new();
+        for (shard, floor) in absorbed.iter_mut().enumerate().take(shards) {
+            for (seq, path) in rwal::list_segments(wal_dir, shard)? {
+                if seq <= *floor {
+                    // Absorbed by a committed checkpoint whose deletions a
+                    // crash interrupted: replaying it would double-apply.
+                    std::fs::remove_file(&path)?;
+                    report.orphans_deleted += 1;
+                    continue;
+                }
+                let (db, replayed) = rwal::recover(&path).map_err(StoreError::Wal)?;
+                records.extend(db.records().copied());
+                report.segments_absorbed += 1;
+                report.records_absorbed += replayed;
+                *floor = seq;
+                consumed.push(path);
+            }
+        }
+        if records.is_empty() {
+            // Nothing to absorb; only commit if orphan floors moved (they
+            // did not — floors only move when a segment replays), so this
+            // is a pure no-op apart from orphan deletion.
+            return Ok(report);
+        }
+        records.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
+        report.pages_added = self.append_records(&records)?;
+        if fault == Some(FaultPoint::AfterPageWrite) {
+            return Ok(report);
+        }
+        self.file.sync_data()?;
+        self.index.save(&self.dir.join(INDEX_FILE))?;
+        if fault == Some(FaultPoint::AfterIndexWrite) {
+            return Ok(report);
+        }
+        self.commit_manifest(Some(absorbed))?;
+        if fault == Some(FaultPoint::AfterManifestCommit) {
+            return Ok(report);
+        }
+        for path in consumed {
+            std::fs::remove_file(path)?;
+        }
+        File::open(wal_dir)?.sync_all()?;
+        Ok(report)
+    }
+
+    /// Reads one page through the cache.
+    fn read_page(&self, page: u32) -> Result<Arc<Vec<StoredRecord>>, StoreError> {
+        if let Some(hit) = self.cache.lock().get(page) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        let mut buf = vec![0u8; self.config.page_size];
+        read_exact_at(
+            &self.file,
+            &mut buf,
+            page as u64 * self.config.page_size as u64,
+        )?;
+        self.preads.fetch_add(1, Ordering::Relaxed);
+        let records = Arc::new(decode_page(&buf)?);
+        self.cache
+            .lock()
+            .insert(page, Arc::clone(&records), self.config.cache_pages);
+        Ok(records)
+    }
+
+    /// The threshold walk of the module docs: newest-first over `spans`,
+    /// filtered by `keep`, stopping once no remaining span can beat the
+    /// x-th-newest record found. Returns the newest `x`, oldest first.
+    fn collect_recent(
+        &self,
+        spans: &[PageSpan],
+        x: usize,
+        keep: impl Fn(&StoredRecord) -> bool,
+    ) -> Result<Vec<AccessRecord>, StoreError> {
+        if x == 0 || spans.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut order: Vec<PageSpan> = spans.to_vec();
+        order.sort_by(|a, b| b.max_ts.cmp(&a.max_ts).then(b.page.cmp(&a.page)));
+        let mut collected: Vec<StoredRecord> = Vec::new();
+        let mut threshold: Option<u64> = None;
+        for span in &order {
+            if let Some(t) = threshold {
+                if span.max_ts < t {
+                    break;
+                }
+            }
+            let page = self.read_page(span.page)?;
+            collected.extend(page.iter().filter(|s| keep(s)).copied());
+            if collected.len() >= x {
+                collected.sort_by_key(|s| {
+                    std::cmp::Reverse((s.timestamp_micros, s.record.access_number))
+                });
+                // Dropping past x is safe: a dropped record is older than
+                // the current x-th newest, and the threshold only rises.
+                collected.truncate(x);
+                threshold = Some(collected[x - 1].timestamp_micros);
+            }
+        }
+        collected.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
+        let start = collected.len().saturating_sub(x);
+        Ok(collected[start..].iter().map(|s| s.record).collect())
+    }
+
+    /// The `x` most recent records overall, oldest of them first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or corruption error from page reads.
+    pub fn recent(&self, x: usize) -> Result<Vec<AccessRecord>, StoreError> {
+        self.collect_recent(self.index.pages(), x, |_| true)
+    }
+
+    /// The `x` most recent records for one device, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or corruption error from page reads.
+    pub fn recent_for_device(
+        &self,
+        device: DeviceId,
+        x: usize,
+    ) -> Result<Vec<AccessRecord>, StoreError> {
+        self.collect_recent(self.index.spans_for_device(device), x, move |s| {
+            s.record.fsid == device
+        })
+    }
+
+    /// The `x` most recent records for one file, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or corruption error from page reads.
+    pub fn recent_for_file(&self, fid: FileId, x: usize) -> Result<Vec<AccessRecord>, StoreError> {
+        self.collect_recent(self.index.spans_for_file(fid), x, move |s| {
+            s.record.fid == fid
+        })
+    }
+
+    /// The `x` most recent records for every device with any, keyed by
+    /// device — the training-batch query.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or corruption error from page reads.
+    pub fn recent_per_device(
+        &self,
+        x: usize,
+    ) -> Result<BTreeMap<DeviceId, Vec<AccessRecord>>, StoreError> {
+        let mut out = BTreeMap::new();
+        for device in self.index.devices().collect::<Vec<_>>() {
+            let records = self.recent_for_device(device, x)?;
+            if !records.is_empty() {
+                out.insert(device, records);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Records ingested in `[from_micros, to_micros)`, ordered by
+    /// `(timestamp, access_number)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or corruption error from page reads.
+    pub fn range(&self, from_micros: u64, to_micros: u64) -> Result<Vec<AccessRecord>, StoreError> {
+        if from_micros >= to_micros {
+            return Ok(Vec::new());
+        }
+        let mut hits: Vec<StoredRecord> = Vec::new();
+        for span in self.index.pages() {
+            if span.max_ts < from_micros || span.min_ts >= to_micros {
+                continue;
+            }
+            let page = self.read_page(span.page)?;
+            hits.extend(
+                page.iter()
+                    .filter(|s| (from_micros..to_micros).contains(&s.timestamp_micros))
+                    .copied(),
+            );
+        }
+        hits.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
+        Ok(hits.into_iter().map(|s| s.record).collect())
+    }
+}
+
+/// Positioned read: `pread` on unix, seek-and-read elsewhere.
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.read_exact_at(buf, offset)?;
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)?;
+    }
+    Ok(())
+}
+
+/// Positioned write: `pwrite` on unix, seek-and-write elsewhere.
+fn write_all_at(file: &File, buf: &[u8], offset: u64) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.write_all_at(buf, offset)?;
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut f = file;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(buf)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stored(ts: u64, n: u64, fid: u64, dev: u32) -> StoredRecord {
+        StoredRecord {
+            timestamp_micros: ts,
+            record: AccessRecord {
+                access_number: n,
+                fid: FileId(fid),
+                fsid: DeviceId(dev),
+                rb: 100,
+                wb: 0,
+                ots: ts,
+                otms: 0,
+                cts: ts + 1,
+                ctms: 0,
+            },
+        }
+    }
+
+    fn temp_store(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("geomancy_store_test").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            page_size: 4096,
+            cache_pages: 4,
+        }
+    }
+
+    #[test]
+    fn append_commit_reopen_round_trip() {
+        let dir = temp_store("roundtrip");
+        let records: Vec<StoredRecord> = (0..300)
+            .map(|n| stored(n, n, n % 7, (n % 3) as u32))
+            .collect();
+        {
+            let (mut store, report) = PagedStore::open(&dir, small_config()).unwrap();
+            assert_eq!(report, RecoveryReport::default());
+            store.append_records(&records).unwrap();
+            store.commit(None).unwrap();
+            assert_eq!(store.total_records(), 300);
+        }
+        let (store, report) = PagedStore::open(&dir, small_config()).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(store.total_records(), 300);
+        assert_eq!(
+            store.page_count() as usize,
+            300usize.div_ceil(page_capacity(4096))
+        );
+        let recent = store.recent(5).unwrap();
+        assert_eq!(recent.len(), 5);
+        assert_eq!(recent[0].access_number, 295);
+        assert_eq!(recent[4].access_number, 299);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_tail_rolls_back_on_open() {
+        let dir = temp_store("rollback");
+        let first: Vec<StoredRecord> = (0..100).map(|n| stored(n, n, 0, 0)).collect();
+        let extra: Vec<StoredRecord> = (100..200).map(|n| stored(n, n, 0, 0)).collect();
+        {
+            let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+            store.append_records(&first).unwrap();
+            store.commit(None).unwrap();
+            // Appended but never committed: must vanish on reopen.
+            store.append_records(&extra).unwrap();
+            assert_eq!(store.total_records(), 200);
+        }
+        let (store, report) = PagedStore::open(&dir, small_config()).unwrap();
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(store.total_records(), 100);
+        assert_eq!(store.recent(1).unwrap()[0].access_number, 99);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_index_is_rebuilt_from_pages() {
+        let dir = temp_store("reindex");
+        let records: Vec<StoredRecord> = (0..150)
+            .map(|n| stored(n, n, n % 5, (n % 2) as u32))
+            .collect();
+        {
+            let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+            store.append_records(&records).unwrap();
+            store.commit(None).unwrap();
+        }
+        std::fs::remove_file(dir.join(INDEX_FILE)).unwrap();
+        let (store, report) = PagedStore::open(&dir, small_config()).unwrap();
+        assert!(report.index_rebuilt);
+        assert_eq!(store.total_records(), 150);
+        let dev0 = store.recent_for_device(DeviceId(0), 10).unwrap();
+        assert_eq!(dev0.len(), 10);
+        assert!(dev0.iter().all(|r| r.fsid == DeviceId(0)));
+        // Corrupt index also rebuilds rather than failing open.
+        std::fs::write(dir.join(INDEX_FILE), "garbage\n").unwrap();
+        let (_, report) = PagedStore::open(&dir, small_config()).unwrap();
+        assert!(report.index_rebuilt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn page_size_mismatch_is_refused() {
+        let dir = temp_store("pagesize");
+        {
+            let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+            store.append_records(&[stored(0, 0, 0, 0)]).unwrap();
+            store.commit(None).unwrap();
+        }
+        let other = StoreConfig {
+            page_size: 8192,
+            cache_pages: 4,
+        };
+        assert!(matches!(
+            PagedStore::open(&dir, other),
+            Err(StoreError::Config(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queries_match_replaydb_semantics() {
+        // The store must answer exactly like an in-memory ReplayDb over
+        // the same records — the facade's contract.
+        use geomancy_replaydb::ReplayDb;
+        let dir = temp_store("contract");
+        let mut db = ReplayDb::new();
+        let mut records = Vec::new();
+        for n in 0..500u64 {
+            let s = stored(n / 3, n, n % 11, (n % 4) as u32);
+            db.insert(s.timestamp_micros, s.record);
+            records.push(s);
+        }
+        let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+        store.append_records(&records).unwrap();
+        store.commit(None).unwrap();
+        for x in [1usize, 7, 100, 1000] {
+            assert_eq!(store.recent(x).unwrap(), db.recent(x), "recent({x})");
+            for d in 0..4u32 {
+                assert_eq!(
+                    store.recent_for_device(DeviceId(d), x).unwrap(),
+                    db.recent_for_device(DeviceId(d), x),
+                    "recent_for_device({d}, {x})"
+                );
+            }
+            for f in 0..11u64 {
+                assert_eq!(
+                    store.recent_for_file(FileId(f), x).unwrap(),
+                    db.recent_for_file(FileId(f), x),
+                    "recent_for_file({f}, {x})"
+                );
+            }
+            assert_eq!(
+                store.recent_per_device(x).unwrap(),
+                db.recent_per_device(x),
+                "recent_per_device({x})"
+            );
+        }
+        assert_eq!(store.range(50, 120).unwrap(), db.range(50, 120));
+        assert_eq!(store.range(120, 50).unwrap(), db.range(120, 50));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recent_is_correct_across_overlapping_appends() {
+        // Two appends whose time ranges interleave (different shards
+        // lagging differently): the threshold walk must still find the
+        // true newest x.
+        let dir = temp_store("overlap");
+        let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+        let a: Vec<StoredRecord> = (0..100).map(|n| stored(n * 2, n, 0, 0)).collect();
+        store.append_records(&a).unwrap();
+        // Second batch overlaps the first's range [0, 200).
+        let b: Vec<StoredRecord> = (0..100)
+            .map(|n| stored(n * 2 + 1, 1000 + n, 1, 1))
+            .collect();
+        store.append_records(&b).unwrap();
+        store.commit(None).unwrap();
+        let recent = store.recent(4).unwrap();
+        let ts: Vec<u64> = recent.iter().map(|r| r.ots).collect();
+        assert_eq!(ts, [196, 197, 198, 199]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_serves_repeat_reads() {
+        let dir = temp_store("cache");
+        let records: Vec<StoredRecord> = (0..200).map(|n| stored(n, n, 0, 0)).collect();
+        let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+        store.append_records(&records).unwrap();
+        store.commit(None).unwrap();
+        store.recent(10).unwrap();
+        let preads_after_first = store.preads.load(Ordering::Relaxed);
+        assert!(preads_after_first >= 1);
+        store.recent(10).unwrap();
+        assert_eq!(store.preads.load(Ordering::Relaxed), preads_after_first);
+        assert!(store.cache_hits.load(Ordering::Relaxed) >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_report_pages_and_bytes() {
+        let dir = temp_store("stats");
+        let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+        assert_eq!(store.page_count(), 0);
+        assert_eq!(store.cold_bytes(), 0);
+        assert_eq!(store.max_timestamp_micros(), None);
+        let records: Vec<StoredRecord> = (0..100).map(|n| stored(n, n, 0, 0)).collect();
+        store.append_records(&records).unwrap();
+        store.commit(None).unwrap();
+        assert!(store.page_count() >= 2);
+        assert_eq!(store.cold_bytes(), store.page_count() as u64 * 4096);
+        assert_eq!(store.max_timestamp_micros(), Some(99));
+        assert_eq!(store.devices(), vec![DeviceId(0)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,283 @@
+//! Crash-injection tests for the checkpoint pipeline.
+//!
+//! [`PagedStore::absorb_segments`] drains sealed WAL segments in four
+//! ordered steps: append pages, fsync + write index, commit manifest,
+//! delete segments. These tests kill the pipeline at every
+//! [`FaultPoint`] boundary, "crash" by dropping the store, reopen, and
+//! prove the invariant the ordering exists to guarantee: **every sealed
+//! record is recovered exactly once** — never lost (a pre-commit crash
+//! replays the segments), never double-applied (a post-commit crash
+//! deletes the already-absorbed orphans instead of replaying them).
+//! Directed tests pin each boundary; a property test drives random
+//! multi-round interleavings of seals, faults, and recoveries.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use geomancy_replaydb::{list_segments, segment_path, shard_path, WalWriter};
+use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
+use geomancy_store::{FaultPoint, PagedStore, StoreConfig};
+use proptest::prelude::*;
+
+/// Unique per-test temp dirs: parallel tests and repeated proptest cases
+/// must never share a store directory.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dirs(name: &str) -> (PathBuf, PathBuf) {
+    let unique = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let base = std::env::temp_dir()
+        .join("geomancy_store_crash_test")
+        .join(format!("{name}-{}-{unique}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let store = base.join("store");
+    let wal = base.join("wal");
+    std::fs::create_dir_all(&store).unwrap();
+    std::fs::create_dir_all(&wal).unwrap();
+    (store, wal)
+}
+
+fn cleanup(store_dir: &Path) {
+    if let Some(base) = store_dir.parent() {
+        std::fs::remove_dir_all(base).ok();
+    }
+}
+
+fn config() -> StoreConfig {
+    StoreConfig {
+        page_size: 4096,
+        cache_pages: 4,
+    }
+}
+
+fn record(n: u64) -> AccessRecord {
+    AccessRecord {
+        access_number: n,
+        fid: FileId(n % 7),
+        fsid: DeviceId((n % 3) as u32),
+        rb: 64,
+        wb: 0,
+        ots: n,
+        otms: 0,
+        cts: n + 1,
+        ctms: 0,
+    }
+}
+
+/// Appends `count` records (globally numbered from `*next_n`) to shard
+/// `shard`'s WAL and seals it as segment `seq` — the shard actor's side
+/// of a checkpoint. Returns the access numbers sealed.
+fn seal_segment(
+    wal_dir: &Path,
+    shard: usize,
+    seq: u64,
+    next_n: &mut u64,
+    count: usize,
+) -> Vec<u64> {
+    let mut wal = WalWriter::open(shard_path(wal_dir, shard)).unwrap();
+    let mut sealed = Vec::with_capacity(count);
+    for _ in 0..count {
+        let n = *next_n;
+        *next_n += 1;
+        wal.append(n, record(n)).unwrap();
+        sealed.push(n);
+    }
+    wal.seal_to(segment_path(wal_dir, shard, seq)).unwrap();
+    sealed
+}
+
+/// Every access number in the store, sorted — compared against the
+/// sealed set, this catches both a lost record and a double-applied one.
+fn stored_access_numbers(store: &PagedStore) -> Vec<u64> {
+    let total = store.total_records() as usize;
+    let mut ns: Vec<u64> = store
+        .recent(total + 10)
+        .unwrap()
+        .iter()
+        .map(|r| r.access_number)
+        .collect();
+    ns.sort_unstable();
+    ns
+}
+
+/// Seals 30 records on each of two shards, kills the absorb at `fault`,
+/// reopens, recovers, and asserts exactly-once.
+fn crash_at(name: &str, fault: FaultPoint) {
+    const SHARDS: usize = 2;
+    let (store_dir, wal_dir) = temp_dirs(name);
+    let mut n = 0u64;
+    let mut sealed = Vec::new();
+    for shard in 0..SHARDS {
+        sealed.extend(seal_segment(&wal_dir, shard, 1, &mut n, 30));
+    }
+
+    {
+        let (mut store, _) = PagedStore::open(&store_dir, config()).unwrap();
+        store
+            .absorb_segments(&wal_dir, SHARDS, Some(fault))
+            .unwrap();
+        // Crash: the store drops here with the pipeline half-done.
+    }
+
+    let (mut store, report) = PagedStore::open(&store_dir, config()).unwrap();
+    match fault {
+        // Nothing committed: the appended tail must roll back and the
+        // records must still live in their segments.
+        FaultPoint::AfterPageWrite | FaultPoint::AfterIndexWrite => {
+            assert!(
+                report.truncated_bytes > 0,
+                "uncommitted tail must roll back"
+            );
+            assert_eq!(store.total_records(), 0);
+        }
+        // Committed: the records are durable, only deletions are pending.
+        FaultPoint::AfterManifestCommit => {
+            assert_eq!(report.truncated_bytes, 0);
+            assert_eq!(store.total_records(), 60);
+        }
+    }
+    if fault == FaultPoint::AfterIndexWrite {
+        // The index on disk describes pages the manifest never committed:
+        // open must detect the mismatch and rebuild from committed pages.
+        assert!(report.index_rebuilt);
+    }
+
+    let recovery = store.absorb_segments(&wal_dir, SHARDS, None).unwrap();
+    match fault {
+        FaultPoint::AfterManifestCommit => {
+            assert_eq!(
+                recovery.orphans_deleted, SHARDS,
+                "absorbed segments are deleted, not replayed"
+            );
+            assert_eq!(recovery.records_absorbed, 0);
+        }
+        _ => {
+            assert_eq!(recovery.segments_absorbed, SHARDS);
+            assert_eq!(recovery.records_absorbed, 60);
+        }
+    }
+
+    sealed.sort_unstable();
+    assert_eq!(
+        stored_access_numbers(&store),
+        sealed,
+        "exactly-once violated"
+    );
+    for shard in 0..SHARDS {
+        assert!(
+            list_segments(&wal_dir, shard).unwrap().is_empty(),
+            "recovery must drain the WAL dir"
+        );
+    }
+    cleanup(&store_dir);
+}
+
+#[test]
+fn crash_after_page_write_replays_segments() {
+    crash_at("page-write", FaultPoint::AfterPageWrite);
+}
+
+#[test]
+fn crash_after_index_write_rolls_back_and_rebuilds() {
+    crash_at("index-write", FaultPoint::AfterIndexWrite);
+}
+
+#[test]
+fn crash_after_manifest_commit_never_double_applies() {
+    crash_at("manifest-commit", FaultPoint::AfterManifestCommit);
+}
+
+/// A crash between seal and absorb — the checkpointer died before ever
+/// touching the store. The segments simply replay at the next absorb.
+#[test]
+fn crash_before_absorb_loses_nothing() {
+    let (store_dir, wal_dir) = temp_dirs("pre-absorb");
+    let mut n = 0u64;
+    let mut sealed = Vec::new();
+    for shard in 0..3 {
+        sealed.extend(seal_segment(&wal_dir, shard, 1, &mut n, 10));
+    }
+    let (mut store, _) = PagedStore::open(&store_dir, config()).unwrap();
+    let report = store.absorb_segments(&wal_dir, 3, None).unwrap();
+    assert_eq!(report.segments_absorbed, 3);
+    sealed.sort_unstable();
+    assert_eq!(stored_access_numbers(&store), sealed);
+    cleanup(&store_dir);
+}
+
+/// The recovery absorb itself crashes — a second fault on top of the
+/// first. Exactly-once must still hold once a recovery finally lands.
+#[test]
+fn crash_during_recovery_still_converges() {
+    let (store_dir, wal_dir) = temp_dirs("double-fault");
+    let mut n = 0u64;
+    let mut sealed = Vec::new();
+    sealed.extend(seal_segment(&wal_dir, 0, 1, &mut n, 25));
+
+    // First crash: index written, manifest not.
+    {
+        let (mut store, _) = PagedStore::open(&store_dir, config()).unwrap();
+        store
+            .absorb_segments(&wal_dir, 1, Some(FaultPoint::AfterIndexWrite))
+            .unwrap();
+    }
+    // More records arrive while the service is "down", sealed at restart.
+    sealed.extend(seal_segment(&wal_dir, 0, 2, &mut n, 15));
+    // Second crash: recovery absorbs both segments but dies right after
+    // the page write.
+    {
+        let (mut store, _) = PagedStore::open(&store_dir, config()).unwrap();
+        store
+            .absorb_segments(&wal_dir, 1, Some(FaultPoint::AfterPageWrite))
+            .unwrap();
+    }
+    // Third time lucky.
+    let (mut store, report) = PagedStore::open(&store_dir, config()).unwrap();
+    assert!(report.truncated_bytes > 0);
+    store.absorb_segments(&wal_dir, 1, None).unwrap();
+    sealed.sort_unstable();
+    assert_eq!(stored_access_numbers(&store), sealed);
+    cleanup(&store_dir);
+}
+
+proptest! {
+    /// Random multi-round interleavings: each round seals fresh records
+    /// on every shard and runs an absorb that is killed at a random
+    /// boundary (or not at all), crashing and reopening between rounds.
+    /// After a final clean recovery, the store must hold every record
+    /// ever sealed — each exactly once — and the WAL dir must be empty.
+    #[test]
+    fn sealed_records_survive_any_fault_interleaving(
+        shards in 1usize..4,
+        rounds in proptest::collection::vec((1usize..12, 0u8..4), 1..6),
+    ) {
+        let (store_dir, wal_dir) = temp_dirs("interleave");
+        let mut n = 0u64;
+        let mut seq = vec![0u64; shards];
+        let mut sealed: Vec<u64> = Vec::new();
+        for &(count, fault_code) in &rounds {
+            for (shard, s) in seq.iter_mut().enumerate() {
+                *s += 1;
+                sealed.extend(seal_segment(&wal_dir, shard, *s, &mut n, count));
+            }
+            let fault = match fault_code {
+                0 => None,
+                1 => Some(FaultPoint::AfterPageWrite),
+                2 => Some(FaultPoint::AfterIndexWrite),
+                _ => Some(FaultPoint::AfterManifestCommit),
+            };
+            // Each round is its own process lifetime: open, absorb (and
+            // maybe die mid-pipeline), drop.
+            let (mut store, _) = PagedStore::open(&store_dir, config()).unwrap();
+            store.absorb_segments(&wal_dir, shards, fault).unwrap();
+        }
+        // Final restart and clean recovery.
+        let (mut store, _) = PagedStore::open(&store_dir, config()).unwrap();
+        store.absorb_segments(&wal_dir, shards, None).unwrap();
+        sealed.sort_unstable();
+        prop_assert_eq!(stored_access_numbers(&store), sealed);
+        for shard in 0..shards {
+            prop_assert!(list_segments(&wal_dir, shard).unwrap().is_empty());
+        }
+        cleanup(&store_dir);
+    }
+}

@@ -8,6 +8,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use geomancy_sim::population::ZipfSampler;
 use geomancy_sim::record::FileId;
 
 /// Smallest ROOT file in the suite (583 KB).
@@ -48,6 +49,8 @@ pub struct Belle2Workload {
     /// Fraction of accesses that are writes (read-heavy default: 5 %).
     write_fraction: f64,
     runs_generated: u64,
+    /// Cached zipf sampler for [`Self::zipf_run`], keyed by its exponent.
+    zipf: Option<(f64, ZipfSampler)>,
 }
 
 impl Belle2Workload {
@@ -87,6 +90,7 @@ impl Belle2Workload {
             rng,
             write_fraction: 0.05,
             runs_generated: 0,
+            zipf: None,
         }
     }
 
@@ -132,6 +136,38 @@ impl Belle2Workload {
         }
         self.runs_generated += 1;
         ops
+    }
+
+    /// Generates one zipf-sampled run: `ops` accesses drawn rank-skewed
+    /// over the working set (file index = rank, so file 0 is hottest),
+    /// with the configured write sprinkle. This is the access mix for
+    /// populations far too large to scan sequentially — 100k–1M files
+    /// where real traffic concentrates on a hot head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is negative, NaN, or infinite.
+    pub fn zipf_run(&mut self, ops: usize, exponent: f64) -> Vec<WorkloadOp> {
+        let stale = match &self.zipf {
+            Some((s, sampler)) => *s != exponent || sampler.len() != self.files.len(),
+            None => true,
+        };
+        if stale {
+            self.zipf = Some((exponent, ZipfSampler::new(self.files.len(), exponent)));
+        }
+        let (_, sampler) = self.zipf.as_ref().expect("sampler built above");
+        let mut out = Vec::with_capacity(ops);
+        for _ in 0..ops {
+            let idx = sampler.sample(&mut self.rng);
+            let write = self.rng.gen_bool(self.write_fraction);
+            out.push(WorkloadOp {
+                fid: self.files[idx].fid,
+                write,
+                bytes: None,
+            });
+        }
+        self.runs_generated += 1;
+        out
     }
 
     /// Generates a short run touching each file `repeats` times — used by
@@ -241,5 +277,29 @@ mod tests {
     #[should_panic(expected = "at least one file")]
     fn zero_files_panics() {
         let _ = Belle2Workload::with_params(0, 0, 0);
+    }
+
+    #[test]
+    fn zipf_run_is_skewed_deterministic_and_exact_length() {
+        let mut a = Belle2Workload::with_params(5, 1_000, 0);
+        let mut b = Belle2Workload::with_params(5, 1_000, 0);
+        let run_a = a.zipf_run(5_000, 1.0);
+        assert_eq!(run_a, b.zipf_run(5_000, 1.0));
+        assert_eq!(run_a.len(), 5_000);
+        assert_eq!(a.runs_generated(), 1);
+        // Low-rank files absorb most traffic under zipf(1.0).
+        let head = run_a.iter().filter(|op| op.fid.0 < 10).count();
+        assert!(
+            head > run_a.len() / 5,
+            "head too cold: {head}/{} ops in the top 10 of 1000 files",
+            run_a.len()
+        );
+        // The tail is still visited.
+        let distinct: std::collections::BTreeSet<u64> = run_a.iter().map(|op| op.fid.0).collect();
+        assert!(
+            distinct.len() > 100,
+            "only {} distinct files",
+            distinct.len()
+        );
     }
 }
