@@ -8,7 +8,8 @@ use std::sync::Arc;
 use geomancy_core::drl::DrlConfig;
 use geomancy_net::{Client, ClientConfig, NetConfig, NetServer};
 use geomancy_serve::{
-    AdmissionConfig, PlacementRequest, PlacementService, ServeConfig, StoreSettings,
+    AdmissionConfig, PlacementRequest, PlacementService, RetrainMode, ServeConfig, StoreSettings,
+    TrainerConfig,
 };
 use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
 
@@ -111,6 +112,13 @@ fn build_service(args: &Args) -> Result<Arc<PlacementService>, Box<dyn Error>> {
         retrain_every_records: match args.u64_or("retrain-every", 0)? {
             0 => None,
             n => Some(n),
+        },
+        trainer: TrainerConfig {
+            mode: match args.options.get("retrain-mode") {
+                None => RetrainMode::default(),
+                Some(spec) => spec.parse().map_err(|e| format!("--retrain-mode: {e}"))?,
+            },
+            ..TrainerConfig::default()
         },
         reactor_workers: args.u64_or("reactor-workers", 0)? as usize,
         admission: AdmissionConfig {
@@ -274,6 +282,12 @@ pub fn query(args: &Args) -> Result<(), Box<dyn Error>> {
                 m.checkpoints,
                 m.last_checkpoint_micros,
                 m.wal_pending_records,
+            );
+        }
+        if m.retrains > 0 {
+            println!(
+                "trainer: {} retrains ({} warm starts, {} full), {} snapshot records moved, {} µs training",
+                m.retrains, m.warm_starts, m.full_retrains, m.retrain_records, m.retrain_micros,
             );
         }
     }

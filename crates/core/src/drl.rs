@@ -8,7 +8,7 @@
 //! flows back in as fresh training data on the next retrain cycle.
 
 use geomancy_nn::loss::Loss;
-use geomancy_nn::matrix::Matrix;
+use geomancy_nn::matrix::{Matrix, MatrixView};
 use geomancy_nn::metrics::RelativeError;
 use geomancy_nn::network::Sequential;
 use geomancy_nn::optimizer::Sgd;
@@ -198,11 +198,83 @@ impl DrlEngine {
     /// 60/20/20 split (fewer than 5).
     pub fn retrain(&mut self, db: &ReplayDb) -> Option<RetrainOutcome> {
         let records = self.training_records(db);
+        self.fit(&records)
+    }
+
+    /// Warm-start incremental fit: continues training the *current*
+    /// weights on `fresh` delta records mixed with `replay` records
+    /// sampled from older history (the anti-catastrophic-forgetting mix;
+    /// see `TrainerConfig::replay_ratio` in the serve layer). Unlike
+    /// [`DrlEngine::retrain`] there is no re-initialization, so the cost
+    /// scales with the delta, not the history. Normalizers and the §V-G
+    /// adjuster are refit on the mixed batch — the replay records anchor
+    /// the feature ranges so a small delta cannot collapse them.
+    ///
+    /// Returns `None` (engine untouched) when the mix holds too few
+    /// records to form a 60/20/20 split (fewer than 5).
+    pub fn retrain_incremental(
+        &mut self,
+        fresh: &[AccessRecord],
+        replay: &[AccessRecord],
+    ) -> Option<RetrainOutcome> {
+        let mut records: Vec<AccessRecord> = Vec::with_capacity(fresh.len() + replay.len());
+        records.extend_from_slice(replay);
+        records.extend_from_slice(fresh);
+        records.sort_by_key(|r| r.access_number);
+        self.fit(&records)
+    }
+
+    /// One warm gradient step on a pre-built normalized batch — the
+    /// inner unit of an incremental fit, exposed so steady-state
+    /// behaviour is testable: with warmed scratch arenas (one prior fit)
+    /// a step performs no heap allocation. Returns the batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch shapes do not match the network.
+    pub fn incremental_step(
+        &mut self,
+        inputs: MatrixView<'_>,
+        targets: MatrixView<'_>,
+        optimizer: &mut Sgd,
+    ) -> f64 {
+        self.net
+            .train_batch_view(inputs, targets, Loss::MeanSquaredError, optimizer)
+    }
+
+    /// The model architecture in the paper's Table I notation — the
+    /// trainer's spec-change detector: a published model whose spec
+    /// differs from the configured one forces a full retrain.
+    pub fn spec(&self) -> String {
+        self.net.describe()
+    }
+
+    /// Deep copy of the trained state: a new engine with the same
+    /// weights, normalizers, and adjuster, but cold (empty) scratch
+    /// buffers. The trainer keeps the master engine for the next warm
+    /// start and publishes forks to the model slot, since publication
+    /// moves the engine out to the serving thread.
+    pub fn fork(&self) -> DrlEngine {
+        let mut copy = DrlEngine::new(self.config.clone());
+        copy.net.import_weights(&self.net.export_weights());
+        copy.feature_norm = self.feature_norm.clone();
+        copy.target_norm = self.target_norm.clone();
+        copy.log_targets = self.log_targets;
+        copy.adjuster = self.adjuster;
+        copy.retrains = self.retrains;
+        copy
+    }
+
+    /// Shared training core: builds the §V-C dataset from `records`,
+    /// trains the current weights (fresh weights after
+    /// [`DrlEngine::new`], warm weights on an incremental fit), and
+    /// recalibrates normalizers and the adjuster.
+    fn fit(&mut self, records: &[AccessRecord]) -> Option<RetrainOutcome> {
         if records.len() < 5 {
             return None;
         }
         let ds = placement_dataset_with(
-            &records,
+            records,
             self.config.smoothing_window,
             self.config.log_targets,
         );
@@ -584,6 +656,72 @@ mod tests {
             model: 12,
             ..DrlConfig::default()
         });
+    }
+
+    #[test]
+    fn incremental_fit_learns_from_the_delta() {
+        let db = biased_db(600);
+        let mut e = engine();
+        e.retrain(&db).unwrap();
+        // Delta: 200 more records of the same bias, replayed with a slice
+        // of the original history.
+        let delta: Vec<AccessRecord> = biased_db(800)
+            .records()
+            .skip(600)
+            .map(|s| s.record)
+            .collect();
+        let replay = db.recent(100);
+        let outcome = e.retrain_incremental(&delta, &replay).expect("enough data");
+        assert_eq!(e.retrains(), 2);
+        assert!(!outcome.diverged);
+        let query = PlacementQuery {
+            fid: FileId(1),
+            read_bytes: 1_000_000,
+            write_bytes: 0,
+            now_secs: 900,
+            now_ms: 0,
+        };
+        let (best, _) = e.best_location(&query, &[DeviceId(0), DeviceId(1)]);
+        assert_eq!(best, DeviceId(1), "warm-started model lost the bias");
+    }
+
+    #[test]
+    fn incremental_fit_with_too_little_data_returns_none() {
+        let mut e = engine();
+        e.retrain(&biased_db(400)).unwrap();
+        let tiny = biased_db(3).recent(3);
+        assert!(e.retrain_incremental(&tiny, &[]).is_none());
+        assert_eq!(e.retrains(), 1, "a refused fit must not count");
+    }
+
+    #[test]
+    fn fork_predicts_identically_to_the_master() {
+        let db = biased_db(400);
+        let mut e = engine();
+        e.retrain(&db).unwrap();
+        let mut forked = e.fork();
+        assert_eq!(forked.retrains(), e.retrains());
+        assert_eq!(forked.spec(), e.spec());
+        let query = PlacementQuery {
+            fid: FileId(2),
+            read_bytes: 750_000,
+            write_bytes: 0,
+            now_secs: 500,
+            now_ms: 0,
+        };
+        let candidates = [DeviceId(0), DeviceId(1)];
+        let master = e.rank_locations(&query, &candidates);
+        let copy = forked.rank_locations(&query, &candidates);
+        assert_eq!(master.len(), copy.len());
+        for (m, c) in master.iter().zip(&copy) {
+            assert_eq!(m.0, c.0);
+            assert!(
+                (m.1 - c.1).abs() <= 1e-12 * m.1.abs().max(1.0),
+                "fork diverged: {} vs {}",
+                m.1,
+                c.1
+            );
+        }
     }
 
     #[test]

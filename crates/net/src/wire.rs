@@ -26,10 +26,12 @@ use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
 pub const MAGIC: [u8; 4] = *b"GEOM";
 /// Protocol version this build speaks. Version 2 appended the kernel
 /// backend byte to the metrics response; version 3 appended the cold-store
-/// block (pages, bytes, checkpoint lag/count/duration) at its end.
-pub const VERSION: u8 = 3;
-/// Oldest protocol version this build still decodes. Version 2 frames
-/// differ only by the absent store block, which decodes as zeros.
+/// block (pages, bytes, checkpoint lag/count/duration) at its end;
+/// version 4 appended the trainer block (retrain records/micros,
+/// warm-start and full-retrain counts) after the store block.
+pub const VERSION: u8 = 4;
+/// Oldest protocol version this build still decodes. Versions 2 and 3
+/// differ only by absent trailing blocks, which decode as zeros.
 pub const MIN_VERSION: u8 = 2;
 /// Fixed frame-header length in bytes.
 pub const HEADER_LEN: usize = 18;
@@ -674,6 +676,16 @@ pub fn encode_metrics_resp(snap: &MetricsSnapshot) -> Vec<u8> {
     ] {
         put_u64(&mut out, v);
     }
+    // Version 4: trainer block after the store block — append-only, so
+    // version-2 and version-3 decoders never look this far.
+    for v in [
+        snap.retrain_records,
+        snap.retrain_micros,
+        snap.warm_starts,
+        snap.full_retrains,
+    ] {
+        put_u64(&mut out, v);
+    }
     out
 }
 
@@ -732,6 +744,13 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
         } else {
             (0, 0, 0, 0, 0)
         };
+    // Version-4 trainer block; version-2 and version-3 peers end before
+    // it and the trainer gauges decode as zeros.
+    let (retrain_records, retrain_micros, warm_starts, full_retrains) = if c.p < c.b.len() {
+        (c.u64()?, c.u64()?, c.u64()?, c.u64()?)
+    } else {
+        (0, 0, 0, 0)
+    };
     c.finish()?;
     Ok(MetricsSnapshot {
         ingested_records,
@@ -764,6 +783,10 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
         wal_pending_records,
         checkpoints,
         last_checkpoint_micros,
+        retrain_records,
+        retrain_micros,
+        warm_starts,
+        full_retrains,
     })
 }
 

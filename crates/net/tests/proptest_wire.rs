@@ -229,6 +229,10 @@ fn full_snapshot() -> MetricsSnapshot {
         wal_pending_records: 36,
         checkpoints: 37,
         last_checkpoint_micros: 38,
+        retrain_records: 39,
+        retrain_micros: 40,
+        warm_starts: 41,
+        full_retrains: 42,
     }
 }
 
@@ -259,6 +263,10 @@ fn metrics_codec_roundtrips_every_field() {
     assert_eq!(back.wal_pending_records, 36);
     assert_eq!(back.checkpoints, 37);
     assert_eq!(back.last_checkpoint_micros, 38);
+    assert_eq!(back.retrain_records, 39);
+    assert_eq!(back.retrain_micros, 40);
+    assert_eq!(back.warm_starts, 41);
+    assert_eq!(back.full_retrains, 42);
 
     // An unrecognized backend byte decodes as "unknown", not an error.
     let mut snap = full_snapshot();
@@ -267,14 +275,16 @@ fn metrics_codec_roundtrips_every_field() {
     assert_eq!(back.kernel_backend, "unknown");
 }
 
-/// Version-2 compatibility: a metrics payload that stops after the
-/// latency vector (no store block) decodes with the store gauges zeroed,
-/// and frames stamped with the old version byte still parse.
+/// Old-peer compatibility: a version-2 payload (no store or trainer
+/// block) and a version-3 payload (store block but no trainer block)
+/// both decode with the missing trailing gauges zeroed, and frames
+/// stamped with the old version byte still parse.
 #[test]
 fn version_2_metrics_payload_decodes_with_zero_store_gauges() {
     let payload = wire::encode_metrics_resp(&full_snapshot());
-    // A version-2 peer's payload is exactly ours minus the 40-byte tail.
-    let v2_payload = &payload[..payload.len() - 40];
+    // A version-2 peer's payload is exactly ours minus the 40-byte store
+    // block and the 32-byte trainer block.
+    let v2_payload = &payload[..payload.len() - 72];
     let back = wire::decode_metrics_resp(v2_payload).unwrap();
     assert_eq!(back.latency_us, vec![28, 29, 30, 31]);
     assert_eq!(back.kernel_backend, "avx2_fma");
@@ -283,8 +293,21 @@ fn version_2_metrics_payload_decodes_with_zero_store_gauges() {
     assert_eq!(back.wal_pending_records, 0);
     assert_eq!(back.checkpoints, 0);
     assert_eq!(back.last_checkpoint_micros, 0);
+    assert_eq!(back.retrain_records, 0);
+    assert_eq!(back.warm_starts, 0);
 
-    // A partial store block is corruption, not an old peer.
+    // A version-3 peer's payload stops after the store block: the store
+    // gauges survive, the trainer gauges decode as zeros.
+    let v3_payload = &payload[..payload.len() - 32];
+    let back = wire::decode_metrics_resp(v3_payload).unwrap();
+    assert_eq!(back.store_pages, 34);
+    assert_eq!(back.last_checkpoint_micros, 38);
+    assert_eq!(back.retrain_records, 0);
+    assert_eq!(back.retrain_micros, 0);
+    assert_eq!(back.warm_starts, 0);
+    assert_eq!(back.full_retrains, 0);
+
+    // A partial trailing block is corruption, not an old peer.
     let truncated_tail = &payload[..payload.len() - 8];
     assert_eq!(
         wire::decode_metrics_resp(truncated_tail).unwrap_err(),

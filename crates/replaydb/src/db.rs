@@ -230,6 +230,20 @@ impl ReplayDb {
         self.records[start..end].iter().map(|s| s.record).collect()
     }
 
+    /// Stored records ingested strictly after `after_micros`, oldest
+    /// first — the delta query behind incremental retraining. Binary-
+    /// searches the time-ordered log, so the cost is logarithmic in the
+    /// log size plus the result length. Records sharing the watermark
+    /// timestamp are *excluded*; callers that need tie-proof watermarks
+    /// (shard batches can share a clamped timestamp) should track record
+    /// counts instead and use this only for timestamp-indexed stores.
+    pub fn records_since(&self, after_micros: u64) -> Vec<StoredRecord> {
+        let start = self
+            .records
+            .partition_point(|s| s.timestamp_micros <= after_micros);
+        self.records[start..].to_vec()
+    }
+
     /// Ingest timestamps of the oldest and newest records, if any.
     pub fn time_span_micros(&self) -> Option<(u64, u64)> {
         match (self.records.first(), self.records.last()) {
@@ -335,6 +349,25 @@ mod tests {
         assert_eq!(window.len(), 3);
         assert_eq!(window[0].access_number, 7);
         assert_eq!(window[2].access_number, 9);
+    }
+
+    #[test]
+    fn records_since_is_strictly_after_the_watermark() {
+        let mut db = ReplayDb::new();
+        for n in 0..10u64 {
+            // Two records per timestamp: ties must stay on the *excluded*
+            // side of the watermark.
+            db.insert(n / 2, rec(n, 1, 0));
+        }
+        let delta = db.records_since(2);
+        assert_eq!(delta.len(), 4);
+        assert_eq!(delta[0].timestamp_micros, 3);
+        assert_eq!(delta[0].record.access_number, 6);
+        assert_eq!(delta.last().unwrap().record.access_number, 9);
+        assert!(db.records_since(0).len() == 8);
+        assert!(db.records_since(4).is_empty());
+        let everything = ReplayDb::new().records_since(0);
+        assert!(everything.is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@ use geomancy_sim::SharedSimClock;
 use serde::Serialize;
 
 use crate::metrics::ServeMetrics;
+use crate::trainer::TrainedMeta;
 
 /// A placement question: where should the next access to `fid` of this
 /// shape go? The service stamps the query time itself (its ingest
@@ -105,6 +106,12 @@ impl std::error::Error for QueryError {}
 pub struct ModelSlot {
     epoch: AtomicU64,
     incoming: Mutex<Option<(u64, DrlEngine)>>,
+    /// Provenance of the newest published model. Kept beside the engine
+    /// (not inside `incoming`) because the engine moves out to the query
+    /// actor on pickup while the metadata must stay inspectable — it
+    /// carries the per-shard watermarks the published weights trained
+    /// through.
+    meta: Mutex<Option<TrainedMeta>>,
 }
 
 impl ModelSlot {
@@ -129,6 +136,19 @@ impl ModelSlot {
         *incoming = Some((epoch, engine));
         self.epoch.store(epoch, Ordering::Release);
         epoch
+    }
+
+    /// [`ModelSlot::publish`] with training provenance attached — the
+    /// trainer's path, recording the watermarks/policy behind the model.
+    pub fn publish_with_meta(&self, engine: DrlEngine, meta: TrainedMeta) -> u64 {
+        *self.meta.lock().expect("model slot poisoned") = Some(meta);
+        self.publish(engine)
+    }
+
+    /// Provenance of the most recently published model, if the publisher
+    /// attached any.
+    pub fn trained_meta(&self) -> Option<TrainedMeta> {
+        self.meta.lock().expect("model slot poisoned").clone()
     }
 
     /// Takes the pending model, if any (query engine only).

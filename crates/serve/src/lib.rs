@@ -73,4 +73,4 @@ pub use load::{
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use service::{AdmissionConfig, PlacementService, ServeConfig, StoreSettings};
 pub use shard::{shard_of, Backpressure, ShardSet};
-pub use trainer::{TrainError, Trainer};
+pub use trainer::{RetrainMode, TrainError, TrainedMeta, Trainer, TrainerConfig};

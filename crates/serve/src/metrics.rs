@@ -101,6 +101,19 @@ pub struct ServeMetrics {
     /// Wall-clock duration of the most recent absorbing checkpoint, in
     /// microseconds (the store-write-lock hold the query path can feel).
     pub last_checkpoint_micros: AtomicU64,
+    /// Records moved by trainer snapshots (full or delta) — with
+    /// incremental retraining this tracks the *delta* stream, not the
+    /// history, which is the whole point.
+    pub retrain_records: AtomicU64,
+    /// Cumulative wall-clock time spent training, in microseconds
+    /// (successful or not; the retrain-latency gauge).
+    pub retrain_micros: AtomicU64,
+    /// Cycles that published a warm-started (incrementally trained)
+    /// model.
+    pub warm_starts: AtomicU64,
+    /// Cycles that published a from-scratch model (bootstrap, forced
+    /// full mode, or an `auto` quality fallback).
+    pub full_retrains: AtomicU64,
     /// Accounting sections entered (see module docs).
     accounting_enter: AtomicU64,
     /// Accounting sections exited.
@@ -151,6 +164,10 @@ impl ServeMetrics {
             wal_pending_records: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             last_checkpoint_micros: AtomicU64::new(0),
+            retrain_records: AtomicU64::new(0),
+            retrain_micros: AtomicU64::new(0),
+            warm_starts: AtomicU64::new(0),
+            full_retrains: AtomicU64::new(0),
             accounting_enter: AtomicU64::new(0),
             accounting_exit: AtomicU64::new(0),
         }
@@ -266,6 +283,10 @@ impl ServeMetrics {
             wal_pending_records: self.wal_pending_records.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             last_checkpoint_micros: self.last_checkpoint_micros.load(Ordering::Relaxed),
+            retrain_records: self.retrain_records.load(Ordering::Relaxed),
+            retrain_micros: self.retrain_micros.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            full_retrains: self.full_retrains.load(Ordering::Relaxed),
         }
     }
 }
@@ -337,6 +358,14 @@ pub struct MetricsSnapshot {
     pub checkpoints: u64,
     /// See [`ServeMetrics::last_checkpoint_micros`].
     pub last_checkpoint_micros: u64,
+    /// See [`ServeMetrics::retrain_records`].
+    pub retrain_records: u64,
+    /// See [`ServeMetrics::retrain_micros`].
+    pub retrain_micros: u64,
+    /// See [`ServeMetrics::warm_starts`].
+    pub warm_starts: u64,
+    /// See [`ServeMetrics::full_retrains`].
+    pub full_retrains: u64,
 }
 
 impl MetricsSnapshot {

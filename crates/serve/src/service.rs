@@ -28,7 +28,7 @@ use crate::batch::{BatchEngine, BatchParams, Decision, ModelSlot, PlacementReque
 use crate::checkpoint::{CheckpointError, Checkpointer};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::shard::{Backpressure, ShardSet};
-use crate::trainer::{TrainError, Trainer};
+use crate::trainer::{TrainError, TrainedMeta, Trainer, TrainerConfig};
 
 /// Watermarks for the cross-shard admission controller. Disabled by
 /// default: every field `None`/zero/empty admits everything.
@@ -123,6 +123,9 @@ pub struct ServeConfig {
     /// WALs growing unboundedly (the pre-store behavior). Requires
     /// `wal_dir`.
     pub store: Option<StoreSettings>,
+    /// Retraining policy: warm-start vs. full cycles, replay mix, and
+    /// the `auto` fallback threshold.
+    pub trainer: TrainerConfig,
 }
 
 impl Default for ServeConfig {
@@ -139,6 +142,7 @@ impl Default for ServeConfig {
             reactor_workers: 0,
             admission: AdmissionConfig::default(),
             store: None,
+            trainer: TrainerConfig::default(),
         }
     }
 }
@@ -277,9 +281,11 @@ impl PlacementService {
         let trainer = Trainer::spawn_on(
             &reactor,
             config.drl.clone(),
+            config.trainer.clone(),
             &shards,
             Arc::clone(&slot),
             Arc::clone(&metrics),
+            store.clone(),
         );
         let checkpointer = store.as_ref().map(|store| {
             let settings = config.store.as_ref().expect("store settings present");
@@ -605,6 +611,13 @@ impl PlacementService {
     /// Epoch of the most recently published model (0 = none yet).
     pub fn published_epoch(&self) -> u64 {
         self.slot.published_epoch()
+    }
+
+    /// Metadata recorded alongside the most recently published model:
+    /// per-shard watermarks, whether the cycle warm-started, the model
+    /// spec, and the validation MAE. `None` until the first publish.
+    pub fn trained_meta(&self) -> Option<TrainedMeta> {
+        self.slot.trained_meta()
     }
 
     /// Number of reactor pool workers running the service's actors.

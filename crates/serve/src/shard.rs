@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::bounded;
 use geomancy_replaydb::wal::{shard_path, WalWriter};
-use geomancy_replaydb::ReplayDb;
+use geomancy_replaydb::{ReplayDb, StoredRecord};
 use geomancy_runtime::{
     Actor, ActorHandle, Addr, Ctx, Reactor, ReactorConfig, StoppedReactor, TrySendError,
 };
@@ -46,6 +46,29 @@ impl std::fmt::Display for Backpressure {
 
 impl std::error::Error for Backpressure {}
 
+/// One shard's answer to a delta [`ShardMsg::Snapshot`]: the records the
+/// requester has not seen yet, plus the shard's new watermark.
+///
+/// Watermarks are *applied-record counts*, not timestamps: shard
+/// timestamps are monotonically clamped but not strictly increasing (a
+/// whole batch shares one clamp), so a timestamp watermark could silently
+/// skip or double-deliver records sharing the boundary instant. Counts
+/// are tie-proof. Timestamp-based deltas remain the right tool for the
+/// timestamp-indexed stores (`records_since`).
+pub(crate) struct SnapshotDelta {
+    /// The replying shard.
+    pub shard: usize,
+    /// Records applied after the requester's watermark, oldest first.
+    /// Bounded by the hot database: records the checkpointer already
+    /// trimmed to the cold store are not replayed here (the trainer tops
+    /// up old history from the store's timestamp index instead), matching
+    /// what the old full-DB snapshot carried.
+    pub records: Vec<StoredRecord>,
+    /// Total records this shard has ever applied — the requester's next
+    /// watermark.
+    pub applied: u64,
+}
+
 /// Messages a shard actor accepts. Snapshot replies are continuations so
 /// both blocking callers (channel send) and other actors (`send_now` back
 /// to their own mailbox) can consume them without the shard knowing which.
@@ -54,8 +77,12 @@ pub(crate) enum ShardMsg {
         timestamp_micros: u64,
         records: Vec<AccessRecord>,
     },
+    /// Delta snapshot: everything applied after the `since` watermark
+    /// (an applied-record count from a previous [`SnapshotDelta`];
+    /// `since == 0` means everything the hot database holds).
     Snapshot {
-        reply: Box<dyn FnOnce(usize, ReplayDb) + Send>,
+        since: u64,
+        reply: Box<dyn FnOnce(SnapshotDelta) + Send>,
     },
     /// Seal the active WAL into a numbered segment for the checkpointer
     /// to absorb. Replies `(shard, seq)`; `seq == 0` means the WAL held
@@ -96,6 +123,11 @@ pub(crate) struct ShardActor {
     /// fresh segment is never mistaken for an already-absorbed orphan.
     next_seq: u64,
     last_ts: u64,
+    /// Total records ever applied to this shard (recovered + ingested) —
+    /// the monotonic count that delta-snapshot watermarks are measured
+    /// against. Unlike timestamps it is strictly increasing per record,
+    /// so a watermark can never straddle a tie.
+    applied: u64,
     metrics: Arc<ServeMetrics>,
 }
 
@@ -120,9 +152,24 @@ impl Actor for ShardActor {
                         .fetch_add(records.len() as u64, Ordering::Relaxed);
                 }
                 self.db.insert_batch(ts, &records);
+                self.applied += records.len() as u64;
                 self.metrics.queue_depth[self.shard].fetch_sub(1, Ordering::Relaxed);
             }
-            ShardMsg::Snapshot { reply } => reply(self.shard, self.db.clone()),
+            ShardMsg::Snapshot { since, reply } => {
+                // `applied - since` records are new since the requester's
+                // watermark; the hot db tail holds the newest of them (the
+                // rest were trimmed to the cold store and are served from
+                // its timestamp index, not re-shipped here).
+                let fresh = self.applied.saturating_sub(since) as usize;
+                let take = fresh.min(self.db.len());
+                let skip = self.db.len() - take;
+                let records: Vec<StoredRecord> = self.db.records().skip(skip).copied().collect();
+                reply(SnapshotDelta {
+                    shard: self.shard,
+                    records,
+                    applied: self.applied,
+                });
+            }
             ShardMsg::SealWal { reply } => {
                 let seq = match (&mut self.wal, &self.wal_dir) {
                     (Some(w), Some(dir)) if self.wal_records > 0 => {
@@ -264,6 +311,7 @@ impl ShardSet {
                 .last()
                 .map_or(0, |s| s.timestamp_micros)
                 .max(min_last_ts);
+            let applied = db.len() as u64;
             let (addr, handle) = reactor.spawn(
                 &format!("shard-{i}"),
                 queue_capacity,
@@ -275,6 +323,7 @@ impl ShardSet {
                     wal_records,
                     next_seq,
                     last_ts,
+                    applied,
                     metrics: Arc::clone(&metrics),
                 },
             );
@@ -443,8 +492,9 @@ impl ShardSet {
         for addr in &self.addrs {
             let (tx, rx) = bounded(1);
             addr.send(ShardMsg::Snapshot {
-                reply: Box::new(move |_, db| {
-                    let _ = tx.send(db);
+                since: 0,
+                reply: Box::new(move |delta: SnapshotDelta| {
+                    let _ = tx.send(delta);
                 }),
             })
             .map_err(|_| ())
@@ -453,7 +503,14 @@ impl ShardSet {
         }
         replies
             .into_iter()
-            .map(|rx| rx.recv().expect("shard actor gone"))
+            .map(|rx| {
+                let delta = rx.recv().expect("shard actor gone");
+                let mut db = ReplayDb::new();
+                for s in delta.records {
+                    db.insert(s.timestamp_micros, s.record);
+                }
+                db
+            })
             .collect()
     }
 
@@ -580,6 +637,44 @@ mod tests {
             assert!(snap.dropped_batches >= 1);
             assert!(snap.dropped_records >= snap.dropped_batches);
         }
+    }
+
+    /// Delta snapshots must carry exactly the records applied after the
+    /// watermark, and an up-to-date watermark must yield an empty delta.
+    #[test]
+    fn delta_snapshot_moves_only_records_past_the_watermark() {
+        let metrics = Arc::new(ServeMetrics::new(1));
+        let set = ShardSet::spawn(1, 16, None, metrics);
+        let snap = |since: u64| {
+            let (tx, rx) = bounded(1);
+            set.addrs()[0]
+                .send(ShardMsg::Snapshot {
+                    since,
+                    reply: Box::new(move |delta: SnapshotDelta| {
+                        let _ = tx.send(delta);
+                    }),
+                })
+                .map_err(|_| ())
+                .unwrap();
+            rx.recv().unwrap()
+        };
+        let recs: Vec<AccessRecord> = (0..30).map(|n| rec(n, 0)).collect();
+        set.ingest(10, &recs[..20]).unwrap();
+        let first = snap(0);
+        assert_eq!(first.records.len(), 20);
+        assert_eq!(first.applied, 20);
+        // No new records: the same watermark returns an empty delta.
+        let idle = snap(first.applied);
+        assert!(idle.records.is_empty());
+        assert_eq!(idle.applied, 20);
+        // Ten more records: the delta is exactly those ten, oldest first.
+        set.ingest(20, &recs[20..]).unwrap();
+        let second = snap(first.applied);
+        assert_eq!(second.records.len(), 10);
+        assert_eq!(second.applied, 30);
+        assert_eq!(second.records[0].record.access_number, 20);
+        assert_eq!(second.records[9].record.access_number, 29);
+        let _ = set.shutdown();
     }
 
     #[test]

@@ -591,6 +591,32 @@ impl PagedStore {
         hits.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
         Ok(hits.into_iter().map(|s| s.record).collect())
     }
+
+    /// Stored records ingested strictly after `after_micros`, ordered by
+    /// `(timestamp, access_number)` — the cold half of the incremental-
+    /// retraining delta query. Pages whose whole span is at or before the
+    /// watermark are skipped without a read, so the cost scales with the
+    /// delta, not the history.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or corruption error from page reads.
+    pub fn records_since(&self, after_micros: u64) -> Result<Vec<StoredRecord>, StoreError> {
+        let mut hits: Vec<StoredRecord> = Vec::new();
+        for span in self.index.pages() {
+            if span.max_ts <= after_micros {
+                continue;
+            }
+            let page = self.read_page(span.page)?;
+            hits.extend(
+                page.iter()
+                    .filter(|s| s.timestamp_micros > after_micros)
+                    .copied(),
+            );
+        }
+        hits.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
+        Ok(hits)
+    }
 }
 
 /// Positioned read: `pread` on unix, seek-and-read elsewhere.
