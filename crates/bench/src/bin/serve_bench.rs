@@ -25,6 +25,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use geomancy_bench::output::{fast_mode, print_table};
+use geomancy_cluster::{
+    reserve_loopback_addrs, ClusterClient, ClusterError, ClusterNode, ClusterNodeConfig,
+};
 use geomancy_core::drl::DrlConfig;
 use geomancy_net::{Client, ClientConfig, NetConfig, NetError, NetServer, WireStatus};
 use geomancy_serve::{
@@ -331,6 +334,245 @@ fn run_net_mode(load: &LoadConfig) -> NetRun {
     }
 }
 
+/// What the three-node failover phase measured.
+struct ClusterRun {
+    nodes: u64,
+    shards: u64,
+    /// Records the routed client got acknowledged before the kill.
+    routed_records: u64,
+    /// Segments / records the doomed primary had ship-acked by its
+    /// replica — the cluster-durable set the kill must not lose.
+    acked_segments: u64,
+    acked_records: u64,
+    /// Acked records missing from the replica store after failover.
+    /// The zero-lost gate.
+    lost_acked_records: u64,
+    /// Kill → first-replica promotion (epoch bump observed).
+    promotion_secs: f64,
+    /// The gate: 3× the configured failover deadline.
+    promotion_deadline_secs: f64,
+    /// Steady-state routed query throughput before the kill.
+    routed_decisions: u64,
+    routed_elapsed_secs: f64,
+    routed_decisions_per_sec: f64,
+    /// Decisions served by the survivors after promotion.
+    post_failover_decisions: u64,
+}
+
+/// Drives a 3-node loopback cluster through the batched question list,
+/// then SIGKILLs the primary of shard 0 mid-stream and accounts for
+/// every acknowledged record on the replica.
+///
+/// Ring topology (sorted ids [1, 2, 3], 3 shards, 1 replica): shard 0 →
+/// primary 1 replica 2, shard 1 → primary 2 replica 3, shard 2 →
+/// primary 3 replica 1. Node 2's replica store therefore receives only
+/// shard-0 segments, which makes the zero-lost check an exact equality
+/// rather than a lower bound.
+fn run_cluster_mode(load: &LoadConfig, fast: bool) -> ClusterRun {
+    const FAILOVER_MICROS: u64 = 700_000;
+    let shards = 3u32;
+    let addrs = reserve_loopback_addrs(3);
+    let peers: Vec<(u64, String)> = (0..3).map(|i| (i as u64 + 1, addrs[i].clone())).collect();
+    let dir = std::env::temp_dir().join(format!("geomancy-cluster-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("cluster bench dir");
+
+    let mut nodes: Vec<Option<ClusterNode>> = peers
+        .iter()
+        .map(|(id, addr)| {
+            Some(
+                ClusterNode::start(ClusterNodeConfig {
+                    node_id: *id,
+                    listen: addr.clone(),
+                    peers: peers.clone(),
+                    replicas: 1,
+                    shards,
+                    dir: dir.join(format!("n{id}")),
+                    heartbeat_micros: 50_000,
+                    failover_after_micros: FAILOVER_MICROS,
+                    serve: serve_config(256),
+                    net: NetConfig::default(),
+                })
+                .expect("start cluster node"),
+            )
+        })
+        .collect();
+
+    let client = ClusterClient::connect(
+        &[addrs[0].clone()],
+        ClientConfig {
+            pool_size: load.clients.max(1),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("bootstrap from seed");
+
+    // Routed warm-up: the BELLE II telemetry plus enough synthetic
+    // records that every node's shard share can train, then a retrain
+    // on each node.
+    let prepared = prepare_belle2(load);
+    let mut routed_records = 0u64;
+    for (ts, batch) in &prepared.warmup_batches {
+        client.ingest(*ts, batch).expect("routed warmup ingest");
+        routed_records += batch.len() as u64;
+    }
+    let filler = if fast { 600 } else { 1800 };
+    for batch in 0..filler / 30 {
+        let records: Vec<AccessRecord> = (0..30)
+            .map(|i| {
+                let n = batch * 30 + i;
+                let dev = (n % 2) as u32;
+                let dt_ms = if dev == 0 { 400 } else { 100 };
+                let open_ms = n * 1000;
+                AccessRecord {
+                    access_number: n,
+                    fid: FileId(n),
+                    fsid: DeviceId(dev),
+                    rb: 1_000_000,
+                    wb: 0,
+                    ots: open_ms / 1000,
+                    otms: (open_ms % 1000) as u16,
+                    cts: (open_ms + dt_ms) / 1000,
+                    ctms: ((open_ms + dt_ms) % 1000) as u16,
+                }
+            })
+            .collect();
+        client
+            .ingest(batch * 30_000_000, &records)
+            .expect("routed filler ingest");
+        routed_records += records.len() as u64;
+    }
+    for n in &client.map().nodes {
+        let c = Client::connect(n.addr.as_str(), ClientConfig::default()).expect("connect node");
+        c.retrain().expect("retrain cluster node");
+    }
+
+    // Steady-state routed throughput: the same question list the
+    // single-node phases replayed, routed by file hash across the three
+    // primaries. Best of MEASURE_ROUNDS, same as the wire phase.
+    let requests = Arc::new(prepared.requests);
+    let chunk = (requests.len() / load.measured_runs.max(1)).max(1);
+    // Each routed call walks its sub-batches shard by shard, so one
+    // client thread keeps at most one node busy at a time; run one
+    // thread per node per configured client to keep all three primaries
+    // saturated, the way a real routed deployment fans out.
+    let routed_clients = load.clients.max(1) * 3;
+    let mut best: Option<(u64, f64)> = None;
+    for _ in 0..MEASURE_ROUNDS {
+        let decisions = AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..routed_clients {
+                let client = &client;
+                let requests = Arc::clone(&requests);
+                let decisions = &decisions;
+                s.spawn(move || {
+                    for part in requests.chunks(chunk) {
+                        let ds = client.query_many(part).expect("routed query failed");
+                        decisions.fetch_add(ds.len() as u64, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let elapsed = start.elapsed().as_secs_f64();
+        let served = decisions.load(Ordering::Relaxed);
+        if best.is_none_or(|(_, e)| elapsed < e) {
+            best = Some((served, elapsed));
+        }
+    }
+    let (routed_decisions, routed_elapsed) = best.expect("at least one routed round");
+
+    // Seal and ship: checkpoint every node, wait for the shard-0
+    // primary's segments to be replica-acked, then kill it mid-load.
+    for node in nodes.iter().flatten() {
+        node.service().checkpoint_now().expect("cluster checkpoint");
+    }
+    let ship_deadline = Instant::now() + Duration::from_secs(30);
+    while nodes[0].as_ref().unwrap().shipped().is_empty() {
+        assert!(
+            Instant::now() < ship_deadline,
+            "primary never got a ship ack"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let acked = nodes[0].as_ref().unwrap().shipped();
+    assert!(
+        acked.iter().all(|s| s.shard == 0),
+        "node 1 only owns shard 0"
+    );
+    assert_eq!(nodes[0].as_ref().unwrap().ship_failures(), 0);
+    let acked_segments = acked.len() as u64;
+    let acked_records: u64 = acked.iter().map(|s| s.records).sum();
+    let acked_seq = acked.iter().map(|s| s.seq).max().expect("acked segment");
+
+    let killed_at = Instant::now();
+    nodes[0].take().unwrap().kill();
+    let node2 = nodes[1].as_ref().unwrap();
+    let promotion_deadline = Duration::from_micros(3 * FAILOVER_MICROS);
+    // Poll well past the gate so a miss reports the measured time
+    // instead of hanging.
+    let poll_until = killed_at + Duration::from_secs(30);
+    while node2.epoch() < 2 {
+        assert!(Instant::now() < poll_until, "first replica never promoted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let promotion = killed_at.elapsed();
+    assert_eq!(node2.map().primary_of(0), Some(2), "wrong node promoted");
+
+    // Zero lost acked records: node 2's replica store holds exactly the
+    // acked shard-0 set.
+    let stats = node2.replica_stats();
+    assert!(
+        stats.floors[0] >= acked_seq,
+        "acked segment past the replica's floor"
+    );
+    let lost = acked_records.saturating_sub(stats.total_records);
+
+    // The routed client keeps serving once the promotion lands: retry
+    // the stale map until the survivors answer.
+    let reqs: Vec<PlacementRequest> = (0..24)
+        .map(|i| PlacementRequest {
+            fid: FileId(i),
+            read_bytes: 1_000_000,
+            write_bytes: 0,
+        })
+        .collect();
+    let settle = Instant::now() + Duration::from_secs(30);
+    let post = loop {
+        match client.query_many(&reqs) {
+            Ok(d) => break d.len() as u64,
+            Err(ClusterError::Exhausted(_) | ClusterError::Net(_)) if Instant::now() < settle => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("post-failover routed query: {e}"),
+        }
+    };
+
+    for node in nodes.into_iter().flatten() {
+        node.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ClusterRun {
+        nodes: 3,
+        shards: u64::from(shards),
+        routed_records,
+        acked_segments,
+        acked_records,
+        lost_acked_records: lost,
+        promotion_secs: promotion.as_secs_f64(),
+        promotion_deadline_secs: promotion_deadline.as_secs_f64(),
+        routed_decisions,
+        routed_elapsed_secs: routed_elapsed,
+        routed_decisions_per_sec: if routed_elapsed > 0.0 {
+            routed_decisions as f64 / routed_elapsed
+        } else {
+            0.0
+        },
+        post_failover_decisions: post,
+    }
+}
+
 /// A zero-watermark service behind the wire must answer queries with
 /// [`WireStatus::Overloaded`] — on a socket that stays usable — rather
 /// than dropping the connection.
@@ -496,6 +738,42 @@ fn main() {
         );
     }
 
+    let cluster = run_cluster_mode(&load, fast);
+    let cluster_ratio = cluster.routed_decisions_per_sec / batched.decisions_per_sec;
+    println!(
+        "\ncluster (3-node loopback): {} decisions in {:.3} s — {:.0} decisions/sec routed \
+         ({:.0}% of single-node batched)",
+        cluster.routed_decisions,
+        cluster.routed_elapsed_secs,
+        cluster.routed_decisions_per_sec,
+        cluster_ratio * 100.0,
+    );
+    println!(
+        "failover: primary killed with {} acked records in {} shipped segments; \
+         promotion in {:.3} s (gate {:.1} s), {} acked records lost, \
+         {} decisions served post-failover",
+        cluster.acked_records,
+        cluster.acked_segments,
+        cluster.promotion_secs,
+        cluster.promotion_deadline_secs,
+        cluster.lost_acked_records,
+        cluster.post_failover_decisions,
+    );
+    assert_eq!(
+        cluster.lost_acked_records, 0,
+        "replica lost acknowledged records across the kill"
+    );
+    assert!(
+        cluster.promotion_secs <= cluster.promotion_deadline_secs,
+        "promotion took {:.3} s, past the {:.1} s gate (3x the failover deadline)",
+        cluster.promotion_secs,
+        cluster.promotion_deadline_secs,
+    );
+    assert!(
+        cluster.post_failover_decisions > 0,
+        "cluster stopped serving"
+    );
+
     let kernel_backend = geomancy_nn::matrix::kernels::backend_name();
     println!("kernel backend: {kernel_backend}");
     let json = serde_json::json!({
@@ -534,6 +812,21 @@ fn main() {
             "writers_retired": net.writers_retired,
             "writer_slot_capacity": net.writer_slot_capacity,
         },
+        "cluster": {
+            "nodes": cluster.nodes,
+            "shards": cluster.shards,
+            "routed_records": cluster.routed_records,
+            "acked_segments": cluster.acked_segments,
+            "acked_records": cluster.acked_records,
+            "lost_acked_records": cluster.lost_acked_records,
+            "promotion_secs": cluster.promotion_secs,
+            "promotion_deadline_secs": cluster.promotion_deadline_secs,
+            "routed_decisions": cluster.routed_decisions,
+            "routed_elapsed_secs": cluster.routed_elapsed_secs,
+            "routed_decisions_per_sec": cluster.routed_decisions_per_sec,
+            "cluster_vs_single_node_batched": cluster_ratio,
+            "post_failover_decisions": cluster.post_failover_decisions,
+        },
         "hot_swap_soak": soak.as_ref().map(|soak| serde_json::json!({
             "rounds": soak.rounds,
             "model_swaps": soak.model_swaps,
@@ -569,5 +862,15 @@ fn main() {
         "wire path at {:.0}% of in-process batched rate, below the {:.0}% gate",
         wire_ratio * 100.0,
         wire_gate * 100.0
+    );
+    // Routing by shard across three processes adds a map lookup, a
+    // split, and per-shard round trips; it must still deliver half the
+    // single-node batched rate (quarter in fast mode).
+    let cluster_gate = if fast { 0.25 } else { 0.5 };
+    assert!(
+        cluster_ratio >= cluster_gate,
+        "routed cluster path at {:.0}% of single-node batched rate, below the {:.0}% gate",
+        cluster_ratio * 100.0,
+        cluster_gate * 100.0
     );
 }

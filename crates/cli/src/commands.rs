@@ -94,6 +94,31 @@ COMMANDS:
                   --files N           distinct file ids (default 4)
                   --bytes N           read size per request (default 1 MB)
                   --metrics           print the server's counters too
+                  --json              with --metrics: emit the counters as
+                                      one JSON object and nothing else
+    cluster     Run one node of the replicated placement cluster, or
+                talk to a running cluster
+                Node mode (default):
+                  --node-id N         this node's id (required)
+                  --peers LIST        1=HOST:PORT,2=HOST:PORT,... shared
+                                      peer list (required, same on all
+                                      nodes)
+                  --listen ADDR       bind address (default: own peers
+                                      entry)
+                  --dir PATH          node state directory (default
+                                      cluster-node-N)
+                  --shards N          cluster shard count (default 4)
+                  --replicas N        replicas per shard (default 1)
+                  --heartbeat-ms N    heartbeat cadence (default 250)
+                  --failover-ms N     promote after this much primary
+                                      silence (default 1500)
+                Client modes:
+                  --info --addr A     print a node's cluster map
+                  --send              route synthetic telemetry through
+                                      the map (--records/--files/--batch,
+                                      seeds from --peers or --addr)
+                  --place             ask for placements, routed by file
+                                      hash (--count/--files/--bytes)
     help        Print this message
 ";
 
@@ -466,6 +491,7 @@ pub fn serve(args: &Args) -> Result<(), Box<dyn Error>> {
                 .transpose()?,
             ..AdmissionConfig::default()
         },
+        ..ServeConfig::default()
     };
     let load_config = LoadConfig {
         seed: args.u64_or("seed", 42)?,

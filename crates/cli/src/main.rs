@@ -3,6 +3,7 @@
 //! See [`commands::USAGE`] or run `geomancy help`.
 
 mod args;
+mod clustercmd;
 mod commands;
 mod netcmd;
 
@@ -33,6 +34,7 @@ fn main() {
         },
         Some("ingest") => netcmd::ingest(&parsed),
         Some("query") => netcmd::query(&parsed),
+        Some("cluster") => clustercmd::cluster(&parsed),
         Some("help") | None => {
             println!("{}", commands::USAGE);
             Ok(())

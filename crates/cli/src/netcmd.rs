@@ -8,15 +8,15 @@ use std::sync::Arc;
 use geomancy_core::drl::DrlConfig;
 use geomancy_net::{Client, ClientConfig, NetConfig, NetServer};
 use geomancy_serve::{
-    AdmissionConfig, PlacementRequest, PlacementService, RetrainMode, ServeConfig, StoreSettings,
-    TrainerConfig,
+    AdmissionConfig, MetricsSnapshot, PlacementRequest, PlacementService, RetrainMode, ServeConfig,
+    StoreSettings, TrainerConfig,
 };
 use geomancy_sim::record::{AccessRecord, DeviceId, FileId};
 
 use crate::args::Args;
 
 /// Cooperative stop flag flipped by SIGINT/SIGTERM.
-mod sig {
+pub(crate) mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     pub static STOP: AtomicBool = AtomicBool::new(false);
@@ -130,6 +130,8 @@ fn build_service(args: &Args) -> Result<Arc<PlacementService>, Box<dyn Error>> {
             per_shard_pending,
             ..AdmissionConfig::default()
         },
+        node_id: args.u64_or("node-id", 0)?,
+        ..ServeConfig::default()
     })))
 }
 
@@ -168,7 +170,7 @@ pub fn serve_listen(args: &Args, listen: &str) -> Result<(), Box<dyn Error>> {
 /// The synthetic biased telemetry the client verbs replay: device 0 is
 /// slow (400 ms per access), device 1 fast (100 ms), so a trained model
 /// has a real gradient to find.
-fn synthetic_record(n: u64, files: u64) -> AccessRecord {
+pub(crate) fn synthetic_record(n: u64, files: u64) -> AccessRecord {
     let dev = (n % 2) as u32;
     let dt_ms = if dev == 0 { 400 } else { 100 };
     let open_ms = n * 1000;
@@ -235,6 +237,17 @@ pub fn query(args: &Args) -> Result<(), Box<dyn Error>> {
     let client = Client::connect(addr.as_str(), ClientConfig::default())
         .map_err(|e| format!("connect {addr}: {e}"))?;
 
+    if args.flag("json")? {
+        if !args.flag("metrics")? {
+            return Err("--json requires --metrics".into());
+        }
+        // Machine-readable mode: emit the metrics object alone, with
+        // no synthetic queries and no prose around it.
+        let m = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+        println!("{}", metrics_json(&m));
+        return Ok(());
+    }
+
     let health = client.health().map_err(|e| format!("health: {e}"))?;
     println!(
         "server at {addr}: epoch {}, {} shards{}",
@@ -266,8 +279,8 @@ pub fn query(args: &Args) -> Result<(), Box<dyn Error>> {
     if args.flag("metrics")? {
         let m = client.metrics().map_err(|e| format!("metrics: {e}"))?;
         println!(
-            "server metrics: {} decisions, offered/admitted/shed {}/{}/{}, shard sheds {:?}",
-            m.decisions, m.queries_offered, m.queries_admitted, m.queries_shed, m.shard_shed
+            "server metrics (node {}): {} decisions, offered/admitted/shed {}/{}/{}, shard sheds {:?}",
+            m.node_id, m.decisions, m.queries_offered, m.queries_admitted, m.queries_shed, m.shard_shed
         );
         println!(
             "transport: {} live connections, {} live writer actors",
@@ -292,4 +305,108 @@ pub fn query(args: &Args) -> Result<(), Box<dyn Error>> {
         }
     }
     Ok(())
+}
+
+/// Renders a metrics snapshot as one flat JSON object, by hand — the
+/// tree carries no serde, and the shape is simple enough (u64s, u64
+/// arrays, one short string) that assembling the text directly is the
+/// honest implementation.
+fn metrics_json(m: &MetricsSnapshot) -> String {
+    fn arr(values: impl Iterator<Item = u64>) -> String {
+        let mut out = String::from("[");
+        for (i, v) in values.enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+        out
+    }
+    // The only string field is the kernel backend name, which is a
+    // fixed identifier — escape the JSON specials anyway so a future
+    // backend name cannot produce invalid output.
+    let backend: String = m
+        .kernel_backend
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let mut s = String::with_capacity(1024);
+    s.push('{');
+    let field = |s: &mut String, name: &str, value: String| {
+        if s.len() > 1 {
+            s.push(',');
+        }
+        s.push('"');
+        s.push_str(name);
+        s.push_str("\":");
+        s.push_str(&value);
+    };
+    field(&mut s, "node_id", m.node_id.to_string());
+    field(&mut s, "ingested_records", m.ingested_records.to_string());
+    field(&mut s, "ingest_batches", m.ingest_batches.to_string());
+    field(&mut s, "dropped_batches", m.dropped_batches.to_string());
+    field(&mut s, "dropped_records", m.dropped_records.to_string());
+    field(
+        &mut s,
+        "queue_depth",
+        arr(m.queue_depth.iter().map(|&d| d as u64)),
+    );
+    field(&mut s, "decisions", m.decisions.to_string());
+    field(&mut s, "batched_decisions", m.batched_decisions.to_string());
+    field(&mut s, "solo_decisions", m.solo_decisions.to_string());
+    field(
+        &mut s,
+        "coalesced_decisions",
+        m.coalesced_decisions.to_string(),
+    );
+    field(&mut s, "fused_rows", m.fused_rows.to_string());
+    field(&mut s, "model_swaps", m.model_swaps.to_string());
+    field(&mut s, "retrains", m.retrains.to_string());
+    field(&mut s, "queries_offered", m.queries_offered.to_string());
+    field(&mut s, "queries_admitted", m.queries_admitted.to_string());
+    field(&mut s, "queries_shed", m.queries_shed.to_string());
+    field(&mut s, "pending_requests", m.pending_requests.to_string());
+    field(&mut s, "pending_peak", m.pending_peak.to_string());
+    field(
+        &mut s,
+        "pending_per_shard",
+        arr(m.pending_per_shard.iter().copied()),
+    );
+    field(&mut s, "shard_shed", arr(m.shard_shed.iter().copied()));
+    field(&mut s, "latency_ewma_us", m.latency_ewma_us.to_string());
+    field(&mut s, "p99_latency_us", m.p99_latency_us().to_string());
+    field(&mut s, "latency_us", arr(m.latency_us.iter().copied()));
+    field(&mut s, "engine_queue", (m.engine_queue as u64).to_string());
+    field(
+        &mut s,
+        "net_connections_live",
+        m.net_connections_live.to_string(),
+    );
+    field(&mut s, "net_writers_live", m.net_writers_live.to_string());
+    field(&mut s, "kernel_backend", format!("\"{backend}\""));
+    field(&mut s, "store_pages", m.store_pages.to_string());
+    field(&mut s, "store_cold_bytes", m.store_cold_bytes.to_string());
+    field(
+        &mut s,
+        "wal_pending_records",
+        m.wal_pending_records.to_string(),
+    );
+    field(&mut s, "checkpoints", m.checkpoints.to_string());
+    field(
+        &mut s,
+        "last_checkpoint_micros",
+        m.last_checkpoint_micros.to_string(),
+    );
+    field(&mut s, "retrain_records", m.retrain_records.to_string());
+    field(&mut s, "retrain_micros", m.retrain_micros.to_string());
+    field(&mut s, "warm_starts", m.warm_starts.to_string());
+    field(&mut s, "full_retrains", m.full_retrains.to_string());
+    s.push('}');
+    s
 }

@@ -1,0 +1,65 @@
+//! # geomancy-cluster
+//!
+//! The replicated multi-node placement service: N
+//! [`geomancy_serve::PlacementService`] processes, each behind a
+//! cluster-aware [`geomancy_net::NetServer`], coordinated by a
+//! versioned [`geomancy_net::ClusterMap`] instead of any external
+//! coordinator. The paper runs Geomancy as a single daemon sampling one
+//! storage system (§V); this layer is what it takes to keep placement
+//! decisions flowing when that daemon's host dies.
+//!
+//! Four pieces:
+//!
+//! - [`map`]: deterministic epoch-1 map construction from the shared
+//!   peer list, file→shard routing ([`map::shard_for`], bit-for-bit the
+//!   service's own [`geomancy_serve::shard_of`]), and the promotion
+//!   rewrite a follower applies when a primary goes silent.
+//! - [`node::ClusterNode`]: one node — the placement service plus the
+//!   primary-side WAL shipper (sealed segments stream to replicas as
+//!   `ShipSegment` frames), the follower-side replica store (applied
+//!   via the store's exactly-once absorb), and the failover controller
+//!   (an actor on the service's own reactor watching heartbeat
+//!   sightings).
+//! - [`client::ClusterClient`]: routes each request to the owning
+//!   node, fails over to replicas on `Draining`/`ServiceDown`/connect
+//!   failure, and adopts fresher maps from `WrongEpoch` rejections.
+//! - The wire vocabulary itself (`ClusterInfo`, `ShipSegment`,
+//!   `Heartbeat`, the `WrongEpoch` status) lives in
+//!   [`geomancy_net::wire`] as protocol-v5 frames.
+//!
+//! Consistency model: a record is *cluster-durable* once the segment
+//! holding it has been acknowledged by every replica of its shard
+//! ([`node::ClusterNode::shipped`]). Failover promotes the first
+//! replica in ring order after a heartbeat-deadline silence; the epoch
+//! bump propagates to peers through heartbeat acks and to clients
+//! through `WrongEpoch` replies carrying the new map.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod map;
+pub mod node;
+
+pub use client::{ClusterClient, ClusterError};
+pub use map::{bootstrap_map, promote, shard_for};
+pub use node::{ClusterNode, ClusterNodeConfig, ClusterNodeError, ReplicaStats, ShippedSeg};
+
+/// Reserves `n` distinct loopback addresses by binding ephemeral
+/// listeners and immediately releasing them — the standard way a test
+/// or bench pins down a peer list before any node starts. The ports
+/// can in principle be re-grabbed between reservation and use; in
+/// practice the window is too short to matter for tests.
+///
+/// # Panics
+///
+/// Panics if the OS refuses an ephemeral loopback bind.
+#[must_use]
+pub fn reserve_loopback_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback bind"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("bound addr").to_string())
+        .collect()
+}

@@ -1,0 +1,148 @@
+//! Deterministic cluster-map construction, routing, and promotion.
+//!
+//! The map itself ([`ClusterMap`]) lives in `geomancy-net` because it
+//! rides the wire; this module owns the *policy*: how a fresh cluster
+//! lays shards over nodes, how a request routes to a shard, and how a
+//! follower rewrites the map when it promotes itself.
+
+use geomancy_net::{ClusterMap, ClusterNodeInfo, ShardAssignment};
+use geomancy_sim::record::FileId;
+
+/// Routes a file to its shard: the same splitmix64-modulus mapping the
+/// placement service uses internally ([`geomancy_serve::shard_of`]), so
+/// a cluster client and a node always agree on ownership bit-for-bit.
+#[must_use]
+pub fn shard_for(fid: FileId, shards: u32) -> u32 {
+    geomancy_serve::shard_of(fid, shards as usize) as u32
+}
+
+/// Builds the epoch-1 bootstrap map every node and client computes
+/// identically from the same peer list: peers are sorted by node id,
+/// shard `s` is assigned primary `peers[s % n]`, and the next
+/// `replicas` peers in ring order follow as replicas. Duplicate node
+/// ids are debug-asserted against; the degenerate single-node cluster
+/// gets every shard with no replicas.
+#[must_use]
+pub fn bootstrap_map(peers: &[(u64, String)], shards: u32, replicas: usize) -> ClusterMap {
+    let mut nodes: Vec<ClusterNodeInfo> = peers
+        .iter()
+        .map(|(node_id, addr)| ClusterNodeInfo {
+            node_id: *node_id,
+            addr: addr.clone(),
+        })
+        .collect();
+    nodes.sort_by_key(|n| n.node_id);
+    debug_assert!(
+        nodes.windows(2).all(|w| w[0].node_id != w[1].node_id),
+        "duplicate node ids in peer list"
+    );
+    let n = nodes.len().max(1);
+    let replicas = replicas.min(n.saturating_sub(1));
+    let assignments = (0..shards)
+        .map(|shard| {
+            let p = shard as usize % n;
+            ShardAssignment {
+                shard,
+                primary: nodes[p].node_id,
+                replicas: (1..=replicas).map(|k| nodes[(p + k) % n].node_id).collect(),
+            }
+        })
+        .collect();
+    ClusterMap {
+        epoch: 1,
+        shards,
+        nodes,
+        assignments,
+    }
+}
+
+/// Rewrites `map` for a failover: every shard whose primary is `dead`
+/// and whose first replica is `successor` flips to `successor` as
+/// primary (dropped from the replica list; the dead node is *not*
+/// retained as a replica). Returns the bumped-epoch map, or `None` if
+/// the successor is not first in line for any of the dead node's
+/// shards — promotion is the first live replica's job, and this keeps
+/// two followers from both claiming the same shard range.
+#[must_use]
+pub fn promote(map: &ClusterMap, dead: u64, successor: u64) -> Option<ClusterMap> {
+    let mut next = map.clone();
+    let mut changed = false;
+    for a in &mut next.assignments {
+        if a.primary == dead && a.replicas.first() == Some(&successor) {
+            a.primary = successor;
+            a.replicas.retain(|&r| r != successor);
+            changed = true;
+        }
+    }
+    if !changed {
+        return None;
+    }
+    next.epoch += 1;
+    Some(next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_peers() -> Vec<(u64, String)> {
+        vec![
+            (3, "c:3".to_string()),
+            (1, "a:1".to_string()),
+            (2, "b:2".to_string()),
+        ]
+    }
+
+    #[test]
+    fn bootstrap_is_order_independent() {
+        let mut peers = three_peers();
+        let a = bootstrap_map(&peers, 8, 1);
+        peers.reverse();
+        let b = bootstrap_map(&peers, 8, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.epoch, 1);
+        assert_eq!(a.nodes.len(), 3);
+    }
+
+    #[test]
+    fn bootstrap_rings_replicas() {
+        let map = bootstrap_map(&three_peers(), 6, 1);
+        // Sorted ids are [1, 2, 3]; shard 0 → primary 1, replica 2.
+        assert_eq!(map.primary_of(0), Some(1));
+        assert_eq!(map.replicas_of(0), &[2]);
+        assert_eq!(map.primary_of(1), Some(2));
+        assert_eq!(map.replicas_of(1), &[3]);
+        assert_eq!(map.primary_of(2), Some(3));
+        assert_eq!(map.replicas_of(2), &[1]);
+    }
+
+    #[test]
+    fn bootstrap_caps_replicas_at_cluster_size() {
+        let map = bootstrap_map(&three_peers(), 4, 9);
+        for a in &map.assignments {
+            assert_eq!(a.replicas.len(), 2);
+            assert!(!a.replicas.contains(&a.primary));
+        }
+        let solo = bootstrap_map(&[(7, "x:1".into())], 4, 2);
+        for a in &solo.assignments {
+            assert_eq!(a.primary, 7);
+            assert!(a.replicas.is_empty());
+        }
+    }
+
+    #[test]
+    fn promote_flips_only_first_replica_shards() {
+        let map = bootstrap_map(&three_peers(), 6, 1);
+        // Node 1 is primary of shards 0 and 3, with node 2 first replica.
+        let next = promote(&map, 1, 2).expect("node 2 is first in line");
+        assert_eq!(next.epoch, map.epoch + 1);
+        assert_eq!(next.primary_of(0), Some(2));
+        assert_eq!(next.replicas_of(0), &[] as &[u64]);
+        assert_eq!(next.primary_of(3), Some(2));
+        // Shards 1/2 untouched.
+        assert_eq!(next.primary_of(1), Some(2));
+        assert_eq!(next.primary_of(2), Some(3));
+        // Node 3 is nobody's first replica for node 1's shards.
+        assert!(promote(&map, 1, 3).is_none());
+    }
+}

@@ -1,0 +1,764 @@
+//! One cluster node: a [`PlacementService`] behind a cluster-aware
+//! [`NetServer`], plus the three background roles that make it a
+//! *replicated* node — the WAL shipper (primary side), the replica
+//! store (follower side), and the failover controller.
+//!
+//! ```text
+//!        seal hook (checkpoint actor)        peers
+//!             │ (shard, seq, bytes)            ▲
+//!             ▼                                │ heartbeats
+//!        shipper thread ── ShipSegment ──► replicas
+//!                                              │ ShipAck
+//!        prober thread  ── Heartbeat ──────────┘
+//!             │ sightings
+//!             ▼
+//!        failover actor (service reactor): silence > deadline
+//!             └─► promote: bump epoch, own the dead node's shards
+//! ```
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use geomancy_net::wire::{
+    self, decode_heartbeat, decode_ship_segment, encode_cluster_info_resp, encode_heartbeat,
+    encode_ship_ack, encode_wrong_epoch,
+};
+use geomancy_net::{
+    Client, ClientConfig, ClusterHandler, ClusterMap, NetConfig, NetError, NetServer, WireStatus,
+};
+use geomancy_runtime::{Actor, Ctx};
+use geomancy_serve::{PlacementService, SealHook, ServeConfig, StoreSettings};
+use geomancy_sim::record::FileId;
+use geomancy_store::{PagedStore, StoreConfig};
+
+use crate::map::{bootstrap_map, promote, shard_for};
+
+/// Everything that can go wrong bringing a node up.
+#[derive(Debug)]
+pub enum ClusterNodeError {
+    /// The peer list does not name this node.
+    SelfNotInPeers(u64),
+    /// Filesystem or socket failure during startup.
+    Io(std::io::Error),
+    /// The replica store failed to open.
+    Store(String),
+}
+
+impl std::fmt::Display for ClusterNodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterNodeError::SelfNotInPeers(id) => {
+                write!(f, "peer list does not include this node (id {id})")
+            }
+            ClusterNodeError::Io(e) => write!(f, "cluster node startup I/O: {e}"),
+            ClusterNodeError::Store(e) => write!(f, "replica store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterNodeError {}
+
+impl From<std::io::Error> for ClusterNodeError {
+    fn from(e: std::io::Error) -> ClusterNodeError {
+        ClusterNodeError::Io(e)
+    }
+}
+
+/// Configuration of one [`ClusterNode`].
+#[derive(Debug, Clone)]
+pub struct ClusterNodeConfig {
+    /// This node's stable id (must appear in `peers`).
+    pub node_id: u64,
+    /// Address to bind the listener on (may be `ip:0`; peers route by
+    /// the *advertised* address in `peers`).
+    pub listen: String,
+    /// Every cluster member as `(node_id, advertised address)`,
+    /// including this node. All members must agree on this list — the
+    /// epoch-1 map is computed from it deterministically.
+    pub peers: Vec<(u64, String)>,
+    /// Replication degree: followers per shard beyond the primary.
+    pub replicas: usize,
+    /// Shard count (also the placement service's ingest shard count).
+    pub shards: u32,
+    /// Base directory; the node keeps `wal/`, `store/`, `replica-wal/`
+    /// and `replica-store/` underneath it.
+    pub dir: PathBuf,
+    /// Cadence of outgoing heartbeat probes, in microseconds.
+    pub heartbeat_micros: u64,
+    /// Primary silence past this deadline triggers promotion.
+    pub failover_after_micros: u64,
+    /// Template for the embedded placement service. `shards`,
+    /// `node_id`, `wal_dir`, the store directory, and `seal_hook` are
+    /// overridden by the cluster layer; everything else (DRL config,
+    /// batching, admission, checkpoint cadence) is honored.
+    pub serve: ServeConfig,
+    /// Transport settings for the node's listener.
+    pub net: NetConfig,
+}
+
+impl Default for ClusterNodeConfig {
+    fn default() -> Self {
+        ClusterNodeConfig {
+            node_id: 1,
+            listen: "127.0.0.1:0".to_string(),
+            peers: vec![(1, "127.0.0.1:0".to_string())],
+            replicas: 1,
+            shards: 4,
+            dir: PathBuf::from("geomancy-node"),
+            heartbeat_micros: 100_000,
+            failover_after_micros: 500_000,
+            serve: ServeConfig::default(),
+            net: NetConfig::default(),
+        }
+    }
+}
+
+/// One WAL segment the shipper got acknowledged by *every* replica of
+/// its shard — the durability unit of the replication protocol: records
+/// in acked segments survive the primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShippedSeg {
+    /// Ingest shard the segment belongs to.
+    pub shard: u32,
+    /// WAL sequence number (monotonic per shard).
+    pub seq: u64,
+    /// Records the segment carried.
+    pub records: u64,
+}
+
+/// Counters for the follower half of a node: segments applied into the
+/// replica store and the per-shard absorb floors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Ship frames durably applied (exactly-once; re-sent segments at
+    /// or under the floor count here too, but add no records).
+    pub segments_applied: u64,
+    /// Records added to the replica store.
+    pub records_applied: u64,
+    /// Total records in the replica store.
+    pub total_records: u64,
+    /// Per-shard absorb floors: every segment with `seq <=` the floor
+    /// is durably in the replica store.
+    pub floors: Vec<u64>,
+}
+
+/// The state shared between the listener's cluster hook, the shipper,
+/// the prober, and the failover actor.
+struct ClusterCore {
+    node_id: u64,
+    map: RwLock<ClusterMap>,
+    replica: Mutex<ReplicaState>,
+    /// Last time each peer was heard from — by an incoming heartbeat
+    /// *or* an answered outgoing probe.
+    seen: Mutex<HashMap<u64, Instant>>,
+    promotions: AtomicU64,
+    ship_rejects: AtomicU64,
+}
+
+struct ReplicaState {
+    store: PagedStore,
+    wal_dir: PathBuf,
+    shards: usize,
+    segments_applied: u64,
+    records_applied: u64,
+}
+
+impl ClusterCore {
+    fn epoch(&self) -> u64 {
+        self.map.read().expect("map lock").epoch
+    }
+
+    fn map(&self) -> ClusterMap {
+        self.map.read().expect("map lock").clone()
+    }
+
+    /// Adopts `map` if strictly newer.
+    fn adopt(&self, map: &ClusterMap) -> bool {
+        let mut held = self.map.write().expect("map lock");
+        if map.epoch > held.epoch {
+            *held = map.clone();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mark_seen(&self, node: u64) {
+        self.seen
+            .lock()
+            .expect("seen lock")
+            .insert(node, Instant::now());
+    }
+
+    /// Peers (other than us) silent for longer than `deadline` that
+    /// still hold primaryship of at least one shard.
+    fn silent_primaries(&self, deadline: Duration) -> Vec<u64> {
+        let map = self.map.read().expect("map lock");
+        let seen = self.seen.lock().expect("seen lock");
+        map.nodes
+            .iter()
+            .map(|n| n.node_id)
+            .filter(|&id| id != self.node_id)
+            .filter(|&id| !map.shards_owned_by(id).is_empty())
+            .filter(|id| seen.get(id).is_none_or(|at| at.elapsed() > deadline))
+            .collect()
+    }
+
+    /// Promotes this node over `dead`'s shards if it is first in line;
+    /// returns the new epoch when the map changed.
+    fn try_promote(&self, dead: u64) -> Option<u64> {
+        let mut held = self.map.write().expect("map lock");
+        let next = promote(&held, dead, self.node_id)?;
+        let epoch = next.epoch;
+        *held = next;
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+        Some(epoch)
+    }
+
+    /// Durably applies one shipped segment: write the bytes under a
+    /// temp name, rename into the replica WAL, fsync, absorb into the
+    /// replica store. Segments at or under the manifest floor are
+    /// deleted unreplayed by the absorb — re-sent segments are
+    /// exactly-once by construction.
+    fn apply_ship(&self, ship: &wire::SegmentShip) -> Result<(), std::io::Error> {
+        let mut replica = self.replica.lock().expect("replica lock");
+        let dest = geomancy_replaydb::segment_path(&replica.wal_dir, ship.shard as usize, ship.seq);
+        let tmp = replica
+            .wal_dir
+            .join(format!("ship-{}-{}.tmp", ship.shard, ship.seq));
+        std::fs::write(&tmp, &ship.bytes)?;
+        let f = std::fs::File::open(&tmp)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, &dest)?;
+        std::fs::File::open(&replica.wal_dir)?.sync_all()?;
+        let shards = replica.shards;
+        let wal_dir = replica.wal_dir.clone();
+        let report = replica
+            .store
+            .absorb_segments(&wal_dir, shards, None)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        replica.segments_applied += 1;
+        replica.records_applied += report.records_absorbed;
+        Ok(())
+    }
+
+    fn replica_stats(&self) -> ReplicaStats {
+        let replica = self.replica.lock().expect("replica lock");
+        ReplicaStats {
+            segments_applied: replica.segments_applied,
+            records_applied: replica.records_applied,
+            total_records: replica.store.total_records(),
+            floors: replica.store.absorbed().to_vec(),
+        }
+    }
+}
+
+impl ClusterHandler for ClusterCore {
+    fn owns(&self, fid: FileId) -> bool {
+        let map = self.map.read().expect("map lock");
+        map.primary_of(shard_for(fid, map.shards)) == Some(self.node_id)
+    }
+
+    fn wrong_epoch_payload(&self) -> Vec<u8> {
+        encode_wrong_epoch(&self.map.read().expect("map lock"))
+    }
+
+    fn cluster_info_payload(&self) -> Vec<u8> {
+        encode_cluster_info_resp(&self.map.read().expect("map lock"))
+    }
+
+    fn on_ship(&self, payload: &[u8]) -> Vec<u8> {
+        let ship = match decode_ship_segment(payload) {
+            Ok(ship) => ship,
+            Err(_) => return encode_ship_ack(WireStatus::BadRequest, 0, 0, None),
+        };
+        let map = self.map();
+        if ship.epoch < map.epoch {
+            self.ship_rejects.fetch_add(1, Ordering::Relaxed);
+            return encode_ship_ack(WireStatus::WrongEpoch, ship.shard, ship.seq, Some(&map));
+        }
+        self.mark_seen(ship.from_node);
+        match self.apply_ship(&ship) {
+            Ok(()) => encode_ship_ack(WireStatus::Ok, ship.shard, ship.seq, None),
+            Err(_) => encode_ship_ack(WireStatus::Internal, ship.shard, ship.seq, None),
+        }
+    }
+
+    fn on_heartbeat(&self, payload: &[u8]) -> Vec<u8> {
+        if let Ok((peer, _epoch)) = decode_heartbeat(payload) {
+            self.mark_seen(peer);
+        }
+        encode_heartbeat(self.node_id, self.epoch())
+    }
+}
+
+/// The failover controller: a reactor actor (co-located on the
+/// placement service's pool) that checks sighting deadlines on a timer
+/// and promotes this node over silent primaries it is first in line
+/// for. Promotion only rewrites the map; correction of *peers* happens
+/// through heartbeat acks (stale nodes see the higher epoch and fetch
+/// the map), and of *clients* through `WrongEpoch` replies.
+struct FailoverActor {
+    core: Arc<ClusterCore>,
+    deadline: Duration,
+    check_every_micros: u64,
+}
+
+impl Actor for FailoverActor {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Grace period: nobody is "silent" before a full deadline has
+        // elapsed from node start.
+        let now = Instant::now();
+        let mut seen = self.core.seen.lock().expect("seen lock");
+        for n in &self.core.map().nodes {
+            seen.entry(n.node_id).or_insert(now);
+        }
+        drop(seen);
+        ctx.set_timer(self.check_every_micros, 0);
+    }
+
+    fn on_msg(&mut self, (): (), _ctx: &mut Ctx<'_>) {}
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        for dead in self.core.silent_primaries(self.deadline) {
+            if self.core.try_promote(dead).is_some() {
+                // The epoch bump is the whole protocol: requests routed
+                // on the old map now answer WrongEpoch with this map.
+            }
+        }
+        ctx.set_timer(self.check_every_micros, 0);
+    }
+}
+
+/// A sealed segment handed from the checkpoint actor's seal hook to the
+/// shipper thread.
+struct SealedSeg {
+    shard: u32,
+    seq: u64,
+    records: u64,
+    bytes: Vec<u8>,
+}
+
+/// One running cluster node. Dropping it without calling
+/// [`ClusterNode::shutdown`] or [`ClusterNode::kill`] leaks the
+/// background threads for the life of the process.
+pub struct ClusterNode {
+    core: Arc<ClusterCore>,
+    service: Option<Arc<PlacementService>>,
+    server: Option<NetServer>,
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    abandon: Arc<AtomicBool>,
+    shipper: Option<std::thread::JoinHandle<()>>,
+    prober: Option<std::thread::JoinHandle<()>>,
+    shipped: Arc<Mutex<Vec<ShippedSeg>>>,
+    ship_failures: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for ClusterNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterNode")
+            .field("node_id", &self.core.node_id)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterNode {
+    /// Brings the node up: opens the replica store, starts the
+    /// placement service with the seal hook wired, binds the
+    /// cluster-aware listener, and spawns the shipper, prober, and
+    /// failover actor.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ClusterNodeError`]s for a bad peer list, store, or bind
+    /// failure.
+    pub fn start(config: ClusterNodeConfig) -> Result<ClusterNode, ClusterNodeError> {
+        if !config.peers.iter().any(|(id, _)| *id == config.node_id) {
+            return Err(ClusterNodeError::SelfNotInPeers(config.node_id));
+        }
+        let map = bootstrap_map(&config.peers, config.shards, config.replicas);
+        let wal_dir = config.dir.join("wal");
+        let store_dir = config.dir.join("store");
+        let replica_wal = config.dir.join("replica-wal");
+        let replica_store_dir = config.dir.join("replica-store");
+        std::fs::create_dir_all(&replica_wal)?;
+
+        let store_settings = config.serve.store.clone().unwrap_or_default();
+        let (replica_store, _recovery) = PagedStore::open(
+            &replica_store_dir,
+            StoreConfig {
+                page_size: store_settings.page_size,
+                cache_pages: store_settings.cache_pages,
+            },
+        )
+        .map_err(|e| ClusterNodeError::Store(e.to_string()))?;
+
+        let core = Arc::new(ClusterCore {
+            node_id: config.node_id,
+            map: RwLock::new(map),
+            replica: Mutex::new(ReplicaState {
+                store: replica_store,
+                wal_dir: replica_wal,
+                shards: config.shards as usize,
+                segments_applied: 0,
+                records_applied: 0,
+            }),
+            seen: Mutex::new(HashMap::new()),
+            promotions: AtomicU64::new(0),
+            ship_rejects: AtomicU64::new(0),
+        });
+
+        // Seal hook: runs on the checkpoint actor's worker in the
+        // absorb window, while the sealed segment file still exists.
+        // Read the bytes (and record count) synchronously, hand them to
+        // the shipper thread, return.
+        let (seal_tx, seal_rx) = mpsc::channel::<SealedSeg>();
+        let hook = SealHook(Arc::new(move |shard: usize, seq: u64, path: &Path| {
+            let Ok(bytes) = std::fs::read(path) else {
+                return;
+            };
+            let records = geomancy_replaydb::recover(path)
+                .map(|(_, replayed)| replayed)
+                .unwrap_or(0);
+            let _ = seal_tx.send(SealedSeg {
+                shard: shard as u32,
+                seq,
+                records,
+                bytes,
+            });
+        }));
+
+        let service = Arc::new(PlacementService::start(ServeConfig {
+            shards: config.shards as usize,
+            node_id: config.node_id,
+            wal_dir: Some(wal_dir),
+            store: Some(StoreSettings {
+                dir: store_dir,
+                ..store_settings
+            }),
+            seal_hook: Some(hook),
+            ..config.serve
+        }));
+
+        // The failover controller shares the service's reactor pool:
+        // one pool runs the whole node.
+        let (fail_addr, _fail_handle) = service.reactor().spawn(
+            "cluster-failover",
+            8,
+            FailoverActor {
+                core: Arc::clone(&core),
+                deadline: Duration::from_micros(config.failover_after_micros),
+                check_every_micros: config.heartbeat_micros.max(1),
+            },
+        );
+        drop(fail_addr);
+
+        let server = NetServer::start_with_cluster(
+            config.listen.as_str(),
+            Arc::clone(&service),
+            config.net.clone(),
+            Arc::clone(&core) as Arc<dyn ClusterHandler>,
+        )
+        .map_err(ClusterNodeError::Io)?;
+        let addr = server.local_addr();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let abandon = Arc::new(AtomicBool::new(false));
+        let shipped = Arc::new(Mutex::new(Vec::new()));
+        let ship_failures = Arc::new(AtomicU64::new(0));
+        let shipper = {
+            let core = Arc::clone(&core);
+            let shipped = Arc::clone(&shipped);
+            let failures = Arc::clone(&ship_failures);
+            let abandon = Arc::clone(&abandon);
+            std::thread::Builder::new()
+                .name(format!("geomancy-ship-{}", config.node_id))
+                .spawn(move || shipper_loop(&core, &seal_rx, &shipped, &failures, &abandon))
+                .expect("spawn shipper")
+        };
+        let prober = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            let interval = Duration::from_micros(config.heartbeat_micros.max(1));
+            std::thread::Builder::new()
+                .name(format!("geomancy-probe-{}", config.node_id))
+                .spawn(move || prober_loop(&core, &stop, interval))
+                .expect("spawn prober")
+        };
+
+        Ok(ClusterNode {
+            core,
+            service: Some(service),
+            server: Some(server),
+            addr,
+            stop,
+            abandon,
+            shipper: Some(shipper),
+            prober: Some(prober),
+            shipped,
+            ship_failures,
+        })
+    }
+
+    /// This node's stable id.
+    #[must_use]
+    pub fn node_id(&self) -> u64 {
+        self.core.node_id
+    }
+
+    /// The bound listener address.
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Starts advertising `Draining` on this node's listener without
+    /// stopping anything: placement requests are refused with the
+    /// fail-over status while heartbeats, shipping, and cluster-info
+    /// keep answering. The decommission handshake — drain first so
+    /// clients move, then [`shutdown`](ClusterNode::shutdown).
+    pub fn begin_drain(&self) {
+        if let Some(server) = &self.server {
+            server.begin_drain();
+        }
+    }
+
+    /// The node's current map view.
+    #[must_use]
+    pub fn map(&self) -> ClusterMap {
+        self.core.map()
+    }
+
+    /// The node's current epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// How many times this node promoted itself over a silent primary.
+    #[must_use]
+    pub fn promotions(&self) -> u64 {
+        self.core.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Segments fully acknowledged by every replica of their shard —
+    /// the records guaranteed to survive this node's death.
+    #[must_use]
+    pub fn shipped(&self) -> Vec<ShippedSeg> {
+        self.shipped.lock().expect("shipped lock").clone()
+    }
+
+    /// Segments the shipper gave up on after retries.
+    #[must_use]
+    pub fn ship_failures(&self) -> u64 {
+        self.ship_failures.load(Ordering::Relaxed)
+    }
+
+    /// Counters for the follower half of this node.
+    #[must_use]
+    pub fn replica_stats(&self) -> ReplicaStats {
+        self.core.replica_stats()
+    }
+
+    /// The embedded placement service (for explicit checkpoints,
+    /// metrics, or in-process queries in tests and benches).
+    #[must_use]
+    pub fn service(&self) -> &Arc<PlacementService> {
+        self.service.as_ref().expect("service alive until shutdown")
+    }
+
+    /// Orderly stop: drain the listener, stop the shipper and prober,
+    /// shut the service down.
+    pub fn shutdown(mut self) {
+        self.teardown(false);
+    }
+
+    /// Crash-like stop for failover tests: the shipper and prober die
+    /// *first* (nothing sealed after this call is shipped), then the
+    /// listener closes. Replicas must recover from acked segments only.
+    pub fn kill(mut self) {
+        self.teardown(true);
+    }
+
+    fn teardown(&mut self, abrupt: bool) {
+        self.stop.store(true, Ordering::SeqCst);
+        if abrupt {
+            // A crash ships nothing more: segments sealed from here on
+            // are dropped unshipped, so replicas must make do with what
+            // was already acknowledged.
+            self.abandon.store(true, Ordering::SeqCst);
+        }
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        let mut service_down = false;
+        if let Some(mut service) = self.service.take() {
+            // Connection threads hold clones briefly while the drain
+            // finishes; give them a moment before abandoning the unwrap.
+            for _ in 0..100 {
+                match Arc::try_unwrap(service) {
+                    Ok(s) => {
+                        let _ = s.shutdown();
+                        service_down = true;
+                        break;
+                    }
+                    Err(back) => {
+                        service = back;
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+        }
+        // The service (and with it the seal hook's sender) is gone:
+        // recv() now disconnects and the shipper exits. If the service
+        // could not be reclaimed (a wedged connection thread), leak the
+        // shipper rather than hang the teardown on its join.
+        if let Some(h) = self.shipper.take() {
+            if service_down {
+                let _ = h.join();
+            }
+        }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ClusterNode {
+    fn drop(&mut self) {
+        if self.server.is_some() || self.service.is_some() {
+            self.teardown(true);
+        }
+    }
+}
+
+/// Ships each sealed segment to every replica of its shard, retrying
+/// transient failures, and records fully-acked segments. Exits when the
+/// seal channel disconnects (service shut down).
+fn shipper_loop(
+    core: &Arc<ClusterCore>,
+    seals: &mpsc::Receiver<SealedSeg>,
+    shipped: &Mutex<Vec<ShippedSeg>>,
+    failures: &AtomicU64,
+    abandon: &AtomicBool,
+) {
+    let mut conns: HashMap<u64, Client> = HashMap::new();
+    while let Ok(seg) = seals.recv() {
+        if abandon.load(Ordering::SeqCst) {
+            continue;
+        }
+        if ship_one(core, &seg, &mut conns) {
+            shipped.lock().expect("shipped lock").push(ShippedSeg {
+                shard: seg.shard,
+                seq: seg.seq,
+                records: seg.records,
+            });
+        } else {
+            failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Ships one segment to all current replicas of its shard. `true` once
+/// every replica acked (vacuously true with no replicas).
+fn ship_one(core: &Arc<ClusterCore>, seg: &SealedSeg, conns: &mut HashMap<u64, Client>) -> bool {
+    const ATTEMPTS: usize = 5;
+    for attempt in 0..ATTEMPTS {
+        let map = core.map();
+        let replicas: Vec<u64> = map
+            .replicas_of(seg.shard)
+            .iter()
+            .copied()
+            .filter(|&r| r != core.node_id)
+            .collect();
+        let ship = wire::SegmentShip {
+            from_node: core.node_id,
+            epoch: map.epoch,
+            shard: seg.shard,
+            seq: seg.seq,
+            bytes: seg.bytes.clone(),
+        };
+        let mut all_ok = true;
+        for replica in replicas {
+            let Some(addr) = map.addr_of(replica).map(str::to_string) else {
+                all_ok = false;
+                continue;
+            };
+            let client = match conns.entry(replica) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    match Client::connect(addr.as_str(), ClientConfig::default()) {
+                        Ok(c) => v.insert(c),
+                        Err(_) => {
+                            all_ok = false;
+                            continue;
+                        }
+                    }
+                }
+            };
+            match client.ship_segment(&ship) {
+                Ok(()) => {}
+                Err(NetError::WrongEpoch(new_map)) => {
+                    core.adopt(&new_map);
+                    all_ok = false;
+                }
+                Err(_) => {
+                    conns.remove(&replica);
+                    all_ok = false;
+                }
+            }
+        }
+        if all_ok {
+            return true;
+        }
+        if attempt + 1 < ATTEMPTS {
+            std::thread::sleep(Duration::from_millis(10 << attempt));
+        }
+    }
+    false
+}
+
+/// Heartbeats every peer on a cadence, recording answered probes as
+/// sightings and chasing higher epochs seen in acks with a map fetch.
+fn prober_loop(core: &Arc<ClusterCore>, stop: &AtomicBool, interval: Duration) {
+    let mut conns: HashMap<u64, Client> = HashMap::new();
+    while !stop.load(Ordering::SeqCst) {
+        let map = core.map();
+        for n in &map.nodes {
+            if n.node_id == core.node_id || stop.load(Ordering::SeqCst) {
+                continue;
+            }
+            let client = match conns.entry(n.node_id) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    match Client::connect(n.addr.as_str(), ClientConfig::default()) {
+                        Ok(c) => v.insert(c),
+                        Err(_) => continue,
+                    }
+                }
+            };
+            match client.heartbeat(core.node_id, map.epoch) {
+                Ok((peer_id, peer_epoch)) => {
+                    core.mark_seen(peer_id);
+                    if peer_epoch > core.epoch() {
+                        if let Ok(new_map) = client.cluster_info() {
+                            core.adopt(&new_map);
+                        }
+                    }
+                }
+                Err(_) => {
+                    conns.remove(&n.node_id);
+                }
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}

@@ -1,0 +1,43 @@
+//! Routing parity: the cluster layer's [`shard_for`] must agree
+//! bit-for-bit with the placement service's own [`shard_of`] — a
+//! divergence would route records to a node whose service files them
+//! under a different internal shard, silently splitting WAL history.
+
+use geomancy_cluster::shard_for;
+use geomancy_serve::shard_of;
+use geomancy_sim::record::FileId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Cluster routing and service sharding agree across the whole
+    /// `FileId` range and every practical shard count.
+    #[test]
+    fn cluster_routing_matches_service_sharding(fid in 0u64..u64::MAX, shards in 1u32..=64) {
+        let cluster = shard_for(FileId(fid), shards);
+        let service = shard_of(FileId(fid), shards as usize);
+        prop_assert_eq!(cluster as usize, service);
+        prop_assert!(cluster < shards);
+    }
+
+    /// The mapping is a pure function of (fid, shards): repeated calls
+    /// agree, and neighbouring fids spread (splitmix64 is not the
+    /// identity).
+    #[test]
+    fn routing_is_stable(fid in 0u64..u64::MAX, shards in 1u32..=64) {
+        prop_assert_eq!(shard_for(FileId(fid), shards), shard_for(FileId(fid), shards));
+    }
+}
+
+/// The boundary fids route in range too (plain test: no shrinking
+/// needed for three constants).
+#[test]
+fn boundary_fids_route_in_range() {
+    for shards in [1u32, 2, 3, 7, 64] {
+        for fid in [0u64, 1, u64::MAX] {
+            assert_eq!(
+                shard_for(FileId(fid), shards) as usize,
+                shard_of(FileId(fid), shards as usize)
+            );
+        }
+    }
+}

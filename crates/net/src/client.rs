@@ -23,7 +23,8 @@ use geomancy_serve::{Decision, MetricsSnapshot, PlacementRequest};
 use geomancy_sim::record::AccessRecord;
 
 use crate::wire::{
-    self, DecodeError, Frame, FrameKind, FrameReader, Health, WireStatus, DEFAULT_MAX_PAYLOAD,
+    self, ClusterMap, DecodeError, Frame, FrameKind, FrameReader, Health, WireStatus,
+    DEFAULT_MAX_PAYLOAD,
 };
 
 /// Everything that can go wrong on the client side of the wire.
@@ -35,6 +36,9 @@ pub enum NetError {
     Protocol(DecodeError),
     /// The server answered with a non-ok status.
     Server(WireStatus),
+    /// The request routed on a stale cluster epoch; the server sent the
+    /// current map back so the caller can re-route.
+    WrongEpoch(Box<ClusterMap>),
     /// The connection died with this request in flight.
     Disconnected,
     /// No reply within the configured request timeout.
@@ -47,6 +51,9 @@ impl std::fmt::Display for NetError {
             NetError::Io(e) => write!(f, "socket error: {e}"),
             NetError::Protocol(e) => write!(f, "protocol error: {e}"),
             NetError::Server(s) => write!(f, "server answered: {s}"),
+            NetError::WrongEpoch(map) => {
+                write!(f, "stale cluster epoch (current is {})", map.epoch)
+            }
             NetError::Disconnected => f.write_str("connection dropped with request in flight"),
             NetError::Timeout => f.write_str("request timed out"),
         }
@@ -315,7 +322,11 @@ impl Client {
     }
 
     /// Runs `attempt`, retrying with exponential backoff while the
-    /// server answers with a retryable status.
+    /// server answers with a [`WireStatus::retry_same`] status. Statuses
+    /// classified [`WireStatus::retry_elsewhere`] (`Draining`,
+    /// `ServiceDown`, `WrongEpoch`) surface immediately: this node has
+    /// stopped serving, so backing off against it only delays the
+    /// failover a cluster-aware caller should perform.
     fn with_retry<T>(
         &self,
         mut attempt: impl FnMut() -> Result<T, NetError>,
@@ -325,7 +336,7 @@ impl Client {
         loop {
             match attempt() {
                 Err(NetError::Server(s))
-                    if s.retryable() && tries < self.config.retry.max_retries =>
+                    if s.retry_same() && tries < self.config.retry.max_retries =>
                 {
                     tries += 1;
                     std::thread::sleep(Duration::from_millis(backoff));
@@ -353,6 +364,7 @@ impl Client {
                 wire::decode_ingest_resp(&reply.payload).map_err(NetError::Protocol)?;
             match status {
                 WireStatus::Ok => Ok(()),
+                WireStatus::WrongEpoch => Err(wrong_epoch(&reply.payload)),
                 other => Err(NetError::Server(other)),
             }
         })
@@ -376,6 +388,7 @@ impl Client {
                 wire::decode_query_resp(&reply.payload).map_err(NetError::Protocol)?;
             match status {
                 WireStatus::Ok => Ok(decisions),
+                WireStatus::WrongEpoch => Err(wrong_epoch(&reply.payload)),
                 other => Err(NetError::Server(other)),
             }
         })
@@ -431,6 +444,75 @@ impl Client {
             WireStatus::Ok => Ok(epoch),
             other => Err(NetError::Server(other)),
         }
+    }
+
+    /// Fetches the node's current [`ClusterMap`] (protocol v5; a
+    /// single-node server answers `BadRequest`).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`NetError`]s.
+    pub fn cluster_info(&self) -> Result<ClusterMap, NetError> {
+        let reply = self.request(
+            FrameKind::ClusterInfoReq,
+            FrameKind::ClusterInfoResp,
+            Vec::new(),
+        )?;
+        if let Some(&status) = reply.payload.first() {
+            if status != WireStatus::Ok as u8 {
+                let status = WireStatus::from_u8(status).map_err(NetError::Protocol)?;
+                return Err(NetError::Server(status));
+            }
+        }
+        wire::decode_cluster_info_resp(&reply.payload).map_err(NetError::Protocol)
+    }
+
+    /// Ships one sealed WAL segment to a follower (protocol v5). Returns
+    /// once the follower has durably applied it.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::WrongEpoch`] when the follower's map has moved on;
+    /// other typed [`NetError`]s for transport or apply failures.
+    pub fn ship_segment(&self, ship: &wire::SegmentShip) -> Result<(), NetError> {
+        let reply = self.request(
+            FrameKind::ShipSegment,
+            FrameKind::ShipAck,
+            wire::encode_ship_segment(ship),
+        )?;
+        let (status, _shard, _seq, map) =
+            wire::decode_ship_ack(&reply.payload).map_err(NetError::Protocol)?;
+        match (status, map) {
+            (WireStatus::Ok, _) => Ok(()),
+            (WireStatus::WrongEpoch, Some(map)) => Err(NetError::WrongEpoch(Box::new(map))),
+            (other, _) => Err(NetError::Server(other)),
+        }
+    }
+
+    /// One heartbeat round trip: sends this node's id and epoch, returns
+    /// the peer's `(node_id, epoch)` view (protocol v5).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`NetError`]s — a timeout or disconnect here is the
+    /// failover detector's signal.
+    pub fn heartbeat(&self, node_id: u64, epoch: u64) -> Result<(u64, u64), NetError> {
+        let reply = self.request(
+            FrameKind::Heartbeat,
+            FrameKind::HeartbeatAck,
+            wire::encode_heartbeat(node_id, epoch),
+        )?;
+        wire::decode_heartbeat(&reply.payload).map_err(NetError::Protocol)
+    }
+}
+
+/// Builds the [`NetError::WrongEpoch`] for a response payload whose
+/// status byte already said so (falling back to a protocol error if the
+/// map does not decode).
+fn wrong_epoch(payload: &[u8]) -> NetError {
+    match wire::decode_wrong_epoch(payload) {
+        Ok(map) => NetError::WrongEpoch(Box::new(map)),
+        Err(e) => NetError::Protocol(e),
     }
 }
 

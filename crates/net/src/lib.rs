@@ -43,5 +43,8 @@ pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientConfig, NetError, RetryConfig};
-pub use server::{NetConfig, NetServer};
-pub use wire::{DecodeError, Frame, FrameKind, FrameReader, Health, WireStatus};
+pub use server::{ClusterHandler, NetConfig, NetServer};
+pub use wire::{
+    ClusterMap, ClusterNodeInfo, DecodeError, Frame, FrameKind, FrameReader, Health, SegmentShip,
+    ShardAssignment, WireStatus,
+};

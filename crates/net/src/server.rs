@@ -25,10 +25,35 @@ use std::time::Duration;
 
 use geomancy_runtime::{Actor, Addr, Ctx, Reactor, ReactorConfig};
 use geomancy_serve::{PlacementService, QueryError};
+use geomancy_sim::record::FileId;
 
 use crate::wire::{
     self, DecodeError, Frame, FrameKind, FrameReader, Health, WireStatus, DEFAULT_MAX_PAYLOAD,
 };
+
+/// Cluster extension a server consults when it runs as a cluster node
+/// (protocol v5). Implemented by `geomancy-cluster`; a plain
+/// single-node server runs without one and answers the cluster frames
+/// with [`WireStatus::BadRequest`].
+///
+/// Methods returning payloads return *complete response payloads* —
+/// the handler owns the epoch checks and the map, the transport only
+/// frames and routes. `on_ship` may block on disk I/O: it runs on the
+/// connection's own reader thread, like synchronous retrain.
+pub trait ClusterHandler: Send + Sync {
+    /// Whether this node currently serves `fid`'s shard (primary by the
+    /// handler's map). A request naming a foreign fid is answered with
+    /// the [`ClusterHandler::wrong_epoch_payload`] instead of served.
+    fn owns(&self, fid: FileId) -> bool;
+    /// `WrongEpoch` + current-map payload for misrouted requests.
+    fn wrong_epoch_payload(&self) -> Vec<u8>;
+    /// `ClusterInfoResp` payload: `Ok` + current map.
+    fn cluster_info_payload(&self) -> Vec<u8>;
+    /// Applies one shipped WAL segment; returns the `ShipAck` payload.
+    fn on_ship(&self, payload: &[u8]) -> Vec<u8>;
+    /// Answers a peer heartbeat; returns the `HeartbeatAck` payload.
+    fn on_heartbeat(&self, payload: &[u8]) -> Vec<u8>;
+}
 
 /// Transport-layer tuning knobs.
 #[derive(Debug, Clone)]
@@ -193,6 +218,31 @@ impl NetServer {
         service: Arc<PlacementService>,
         config: NetConfig,
     ) -> std::io::Result<NetServer> {
+        NetServer::start_inner(addr, service, config, None)
+    }
+
+    /// Binds `addr` and serves `service` as a cluster node: `handler`
+    /// answers the protocol-v5 cluster frames and gates ingest/query on
+    /// shard ownership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start_with_cluster(
+        addr: impl ToSocketAddrs,
+        service: Arc<PlacementService>,
+        config: NetConfig,
+        handler: Arc<dyn ClusterHandler>,
+    ) -> std::io::Result<NetServer> {
+        NetServer::start_inner(addr, service, config, Some(handler))
+    }
+
+    fn start_inner(
+        addr: impl ToSocketAddrs,
+        service: Arc<PlacementService>,
+        config: NetConfig,
+        cluster: Option<Arc<dyn ClusterHandler>>,
+    ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -250,6 +300,7 @@ impl NetServer {
                                     Arc::clone(&draining),
                                     Arc::clone(&global_inflight),
                                     Arc::clone(&stats),
+                                    cluster.clone(),
                                 );
                                 if let Ok(handle) = handle {
                                     readers.lock().expect("reader registry").push(handle);
@@ -312,6 +363,17 @@ impl NetServer {
         self.reactor.as_ref().map_or(0, |r| r.stats().slot_capacity)
     }
 
+    /// Starts advertising [`WireStatus::Draining`] without tearing
+    /// anything down: connections stay open and every subsequent
+    /// ingest or query is answered with `Draining` so clients route
+    /// elsewhere ([`WireStatus::retry_elsewhere`]) while this node
+    /// finishes background work. Non-placement traffic — health,
+    /// metrics, cluster frames — still answers normally. Call
+    /// [`shutdown`](NetServer::shutdown) for the full teardown.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
     /// Graceful shutdown: stop accepting, let readers finish their
     /// current frames, wait (bounded) for in-flight queries to answer,
     /// then drain the writer reactor so every queued reply is written.
@@ -371,6 +433,7 @@ fn spawn_connection(
     draining: Arc<AtomicBool>,
     global_inflight: Arc<AtomicUsize>,
     stats: Arc<NetStats>,
+    cluster: Option<Arc<dyn ClusterHandler>>,
 ) -> std::io::Result<std::thread::JoinHandle<()>> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(config.read_tick_millis.max(1))))?;
@@ -399,7 +462,7 @@ fn spawn_connection(
         std::thread::Builder::new()
             .name(format!("geomancy-net-read-{conn_seq}"))
             .spawn(move || {
-                read_loop(stream, service, shared, &config, stop, draining);
+                read_loop(stream, service, shared, &config, stop, draining, cluster);
             })
     };
     if spawned.is_err() {
@@ -413,6 +476,7 @@ fn spawn_connection(
 
 /// The per-connection blocking read loop: socket → [`FrameReader`] →
 /// dispatch. Exits on EOF, protocol error, stall, or server stop.
+#[allow(clippy::too_many_arguments)]
 fn read_loop(
     mut stream: TcpStream,
     service: Arc<PlacementService>,
@@ -420,6 +484,7 @@ fn read_loop(
     config: &NetConfig,
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
+    cluster: Option<Arc<dyn ClusterHandler>>,
 ) {
     let mut reader = FrameReader::new(config.max_payload);
     let mut scratch = [0u8; 64 * 1024];
@@ -439,7 +504,14 @@ fn read_loop(
                     match reader.next_frame() {
                         Ok(Some(frame)) => {
                             shared.stats.frames_in.fetch_add(1, Ordering::Relaxed);
-                            dispatch(frame, &service, &shared, config, &draining);
+                            dispatch(
+                                frame,
+                                &service,
+                                &shared,
+                                config,
+                                &draining,
+                                cluster.as_ref(),
+                            );
                         }
                         Ok(None) => break,
                         Err(e) => {
@@ -485,6 +557,7 @@ fn dispatch(
     shared: &Arc<ConnShared>,
     config: &NetConfig,
     draining: &AtomicBool,
+    cluster: Option<&Arc<dyn ClusterHandler>>,
 ) {
     let corr = frame.corr_id;
     match frame.kind {
@@ -498,13 +571,28 @@ fn dispatch(
                 return;
             }
             let (status, shard) = match wire::decode_ingest_req(&frame.payload) {
-                // Non-blocking ingest: a full shard maps to an explicit
-                // Backpressure status the client retries, instead of
-                // this thread parking on the shard mailbox.
-                Ok((ts, records)) => match service.try_ingest(ts, &records) {
-                    Ok(()) => (WireStatus::Ok, 0),
-                    Err(bp) => (WireStatus::Backpressure, bp.shard as u32),
-                },
+                Ok((ts, records)) => {
+                    // Cluster ownership gate: a batch naming a shard this
+                    // node no longer owns was routed on a stale map.
+                    if let Some(h) = cluster {
+                        if records.iter().any(|r| !h.owns(r.fid)) {
+                            shared.reply(Frame::new(
+                                FrameKind::IngestResp,
+                                corr,
+                                h.wrong_epoch_payload(),
+                            ));
+                            return;
+                        }
+                    }
+                    // Non-blocking ingest: a full shard maps to an
+                    // explicit Backpressure status the client retries,
+                    // instead of this thread parking on the shard
+                    // mailbox.
+                    match service.try_ingest(ts, &records) {
+                        Ok(()) => (WireStatus::Ok, 0),
+                        Err(bp) => (WireStatus::Backpressure, bp.shard as u32),
+                    }
+                }
                 Err(_) => (WireStatus::BadRequest, 0),
             };
             shared.reply(Frame::new(
@@ -533,6 +621,16 @@ fn dispatch(
                     return;
                 }
             };
+            if let Some(h) = cluster {
+                if requests.iter().any(|r| !h.owns(r.fid)) {
+                    shared.reply(Frame::new(
+                        FrameKind::QueryResp,
+                        corr,
+                        h.wrong_epoch_payload(),
+                    ));
+                    return;
+                }
+            }
             // Per-connection in-flight cap: shed at the wire before
             // admission ever sees the submission.
             let prev = shared.inflight.fetch_add(1, Ordering::SeqCst);
@@ -613,13 +711,42 @@ fn dispatch(
                 wire::encode_retrain_resp(status, epoch),
             ));
         }
+        FrameKind::ClusterInfoReq => {
+            let payload = match cluster {
+                Some(h) => h.cluster_info_payload(),
+                None => vec![WireStatus::BadRequest as u8],
+            };
+            shared.reply(Frame::new(FrameKind::ClusterInfoResp, corr, payload));
+        }
+        FrameKind::ShipSegment => {
+            let payload = match cluster {
+                // Blocking is fine here: this is the connection's own OS
+                // thread, and segment apply is rare, durable work.
+                Some(h) => h.on_ship(&frame.payload),
+                None => wire::encode_ship_ack(WireStatus::BadRequest, 0, 0, None),
+            };
+            shared.reply(Frame::new(FrameKind::ShipAck, corr, payload));
+        }
+        FrameKind::Heartbeat => {
+            let payload = match cluster {
+                Some(h) => h.on_heartbeat(&frame.payload),
+                // A standalone server is trivially alive; answer with the
+                // null node id so a probing cluster peer still gets an
+                // echo.
+                None => wire::encode_heartbeat(0, 0),
+            };
+            shared.reply(Frame::new(FrameKind::HeartbeatAck, corr, payload));
+        }
         // A server receiving response kinds is a confused peer; answer
         // nothing and keep serving (the corr id means nothing to us).
         FrameKind::IngestResp
         | FrameKind::QueryResp
         | FrameKind::MetricsResp
         | FrameKind::HealthResp
-        | FrameKind::RetrainResp => {
+        | FrameKind::RetrainResp
+        | FrameKind::ClusterInfoResp
+        | FrameKind::ShipAck
+        | FrameKind::HeartbeatAck => {
             shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
         }
     }

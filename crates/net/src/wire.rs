@@ -28,8 +28,11 @@ pub const MAGIC: [u8; 4] = *b"GEOM";
 /// backend byte to the metrics response; version 3 appended the cold-store
 /// block (pages, bytes, checkpoint lag/count/duration) at its end;
 /// version 4 appended the trainer block (retrain records/micros,
-/// warm-start and full-retrain counts) after the store block.
-pub const VERSION: u8 = 4;
+/// warm-start and full-retrain counts) after the store block; version 5
+/// appended the cluster block (node id) after the trainer block and
+/// added the cluster frames (ship/heartbeat/cluster-info) plus the
+/// [`WireStatus::WrongEpoch`] status carrying a fresh [`ClusterMap`].
+pub const VERSION: u8 = 5;
 /// Oldest protocol version this build still decodes. Versions 2 and 3
 /// differ only by absent trailing blocks, which decode as zeros.
 pub const MIN_VERSION: u8 = 2;
@@ -69,6 +72,18 @@ pub enum FrameKind {
     RetrainReq = 9,
     /// Retrain outcome ← server.
     RetrainResp = 10,
+    /// Cluster map request → any node (version 5).
+    ClusterInfoReq = 11,
+    /// Cluster map ← node (version 5).
+    ClusterInfoResp = 12,
+    /// Sealed WAL segment shipped primary → follower (version 5).
+    ShipSegment = 13,
+    /// Segment durably applied ← follower (version 5).
+    ShipAck = 14,
+    /// Liveness beacon between cluster nodes (version 5).
+    Heartbeat = 15,
+    /// Heartbeat echo carrying the peer's epoch view (version 5).
+    HeartbeatAck = 16,
 }
 
 impl FrameKind {
@@ -89,6 +104,12 @@ impl FrameKind {
             8 => FrameKind::HealthResp,
             9 => FrameKind::RetrainReq,
             10 => FrameKind::RetrainResp,
+            11 => FrameKind::ClusterInfoReq,
+            12 => FrameKind::ClusterInfoResp,
+            13 => FrameKind::ShipSegment,
+            14 => FrameKind::ShipAck,
+            15 => FrameKind::Heartbeat,
+            16 => FrameKind::HeartbeatAck,
             other => return Err(DecodeError::UnknownKind(other)),
         })
     }
@@ -120,6 +141,9 @@ pub enum WireStatus {
     Internal = 8,
     /// Retrain refused: not enough telemetry yet.
     NotEnoughData = 9,
+    /// The request routed on a stale [`ClusterMap`] epoch; the response
+    /// payload carries the current map (version 5).
+    WrongEpoch = 10,
 }
 
 impl WireStatus {
@@ -140,13 +164,26 @@ impl WireStatus {
             7 => WireStatus::Draining,
             8 => WireStatus::Internal,
             9 => WireStatus::NotEnoughData,
+            10 => WireStatus::WrongEpoch,
             other => return Err(DecodeError::UnknownStatus(other)),
         })
     }
 
-    /// Whether a client should retry after a short backoff.
-    pub fn retryable(self) -> bool {
+    /// Whether retrying the *same* connection after a short backoff can
+    /// succeed: the server is alive and will recover (overload and
+    /// backpressure are transient shedding).
+    pub fn retry_same(self) -> bool {
         matches!(self, WireStatus::Overloaded | WireStatus::Backpressure)
+    }
+
+    /// Whether the request should *fail over to a different replica*
+    /// instead: this node has stopped serving (draining or down) or no
+    /// longer owns the shard, so retrying here is wasted backoff.
+    pub fn retry_elsewhere(self) -> bool {
+        matches!(
+            self,
+            WireStatus::Draining | WireStatus::ServiceDown | WireStatus::WrongEpoch
+        )
     }
 }
 
@@ -163,6 +200,7 @@ impl std::fmt::Display for WireStatus {
             WireStatus::Draining => "server draining",
             WireStatus::Internal => "internal server error",
             WireStatus::NotEnoughData => "not enough telemetry to retrain",
+            WireStatus::WrongEpoch => "stale cluster epoch (refresh the map)",
         };
         f.write_str(s)
     }
@@ -517,6 +555,13 @@ pub fn encode_ingest_resp(status: WireStatus, shard: u32) -> Vec<u8> {
 pub fn decode_ingest_resp(payload: &[u8]) -> Result<(WireStatus, u32), DecodeError> {
     let mut c = Cur::new(payload);
     let status = WireStatus::from_u8(c.u8()?)?;
+    if status == WireStatus::WrongEpoch {
+        // Wrong-epoch replies carry the current ClusterMap instead of a
+        // shard index; use [`decode_wrong_epoch`] to recover it.
+        let _ = get_cluster_map(&mut c)?;
+        c.finish()?;
+        return Ok((status, 0));
+    }
     let shard = c.u32()?;
     c.finish()?;
     Ok((status, shard))
@@ -588,6 +633,11 @@ pub fn decode_query_resp(payload: &[u8]) -> Result<(WireStatus, Vec<Decision>), 
     let mut c = Cur::new(payload);
     let status = WireStatus::from_u8(c.u8()?)?;
     if status != WireStatus::Ok {
+        if status == WireStatus::WrongEpoch {
+            // The fresh map rides behind the status byte; callers who
+            // want it use [`decode_wrong_epoch`].
+            let _ = get_cluster_map(&mut c)?;
+        }
         c.finish()?;
         return Ok((status, Vec::new()));
     }
@@ -686,6 +736,9 @@ pub fn encode_metrics_resp(snap: &MetricsSnapshot) -> Vec<u8> {
     ] {
         put_u64(&mut out, v);
     }
+    // Version 5: cluster block after the trainer block — append-only, so
+    // version-2 through version-4 decoders never look this far.
+    put_u64(&mut out, snap.node_id);
     out
 }
 
@@ -751,6 +804,9 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
     } else {
         (0, 0, 0, 0)
     };
+    // Version-5 cluster block; older peers end before it and the node id
+    // decodes as zero (a single-node server).
+    let node_id = if c.p < c.b.len() { c.u64()? } else { 0 };
     c.finish()?;
     Ok(MetricsSnapshot {
         ingested_records,
@@ -787,6 +843,7 @@ pub fn decode_metrics_resp(payload: &[u8]) -> Result<MetricsSnapshot, DecodeErro
         retrain_micros,
         warm_starts,
         full_retrains,
+        node_id,
     })
 }
 
@@ -864,4 +921,328 @@ pub fn decode_retrain_resp(payload: &[u8]) -> Result<(WireStatus, u64), DecodeEr
     let epoch = c.u64()?;
     c.finish()?;
     Ok((status, epoch))
+}
+
+// ───────────────────────── cluster codec (v5) ─────────────────────────
+
+/// One node's identity in a [`ClusterMap`]: a stable id and the address
+/// its `geomancy-net` listener answers on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterNodeInfo {
+    /// Stable node id, unique within the cluster.
+    pub node_id: u64,
+    /// `host:port` of the node's listener.
+    pub addr: String,
+}
+
+/// Which node owns a shard and which nodes replicate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// Shard index in `0..ClusterMap::shards`.
+    pub shard: u32,
+    /// Node id of the shard's primary (serves ingest and queries).
+    pub primary: u64,
+    /// Node ids receiving shipped WAL segments for this shard.
+    pub replicas: Vec<u64>,
+}
+
+/// The versioned cluster topology every node and client routes by.
+///
+/// The `epoch` is bumped on every membership or ownership change
+/// (promotion after failover); requests routed on an older epoch are
+/// answered with [`WireStatus::WrongEpoch`] carrying the current map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMap {
+    /// Monotonic topology version; higher epoch always wins.
+    pub epoch: u64,
+    /// Global shard count (matches the service's `shard_of` modulus).
+    pub shards: u32,
+    /// Member nodes.
+    pub nodes: Vec<ClusterNodeInfo>,
+    /// Per-shard ownership, one entry per shard in shard order.
+    pub assignments: Vec<ShardAssignment>,
+}
+
+impl ClusterMap {
+    /// Node id of the primary serving `shard`, if assigned.
+    pub fn primary_of(&self, shard: u32) -> Option<u64> {
+        self.assignments
+            .iter()
+            .find(|a| a.shard == shard)
+            .map(|a| a.primary)
+    }
+
+    /// Replica node ids for `shard` (empty when unassigned).
+    pub fn replicas_of(&self, shard: u32) -> &[u64] {
+        self.assignments
+            .iter()
+            .find(|a| a.shard == shard)
+            .map_or(&[][..], |a| &a.replicas)
+    }
+
+    /// The listener address registered for `node_id`.
+    pub fn addr_of(&self, node_id: u64) -> Option<&str> {
+        self.nodes
+            .iter()
+            .find(|n| n.node_id == node_id)
+            .map(|n| n.addr.as_str())
+    }
+
+    /// Shards `node_id` is currently primary for.
+    pub fn shards_owned_by(&self, node_id: u64) -> Vec<u32> {
+        self.assignments
+            .iter()
+            .filter(|a| a.primary == node_id)
+            .map(|a| a.shard)
+            .collect()
+    }
+}
+
+fn put_cluster_map(out: &mut Vec<u8>, map: &ClusterMap) {
+    put_u64(out, map.epoch);
+    put_u32(out, map.shards);
+    put_u32(out, map.nodes.len() as u32);
+    for n in &map.nodes {
+        put_u64(out, n.node_id);
+        put_u16(out, n.addr.len() as u16);
+        out.extend_from_slice(n.addr.as_bytes());
+    }
+    put_u32(out, map.assignments.len() as u32);
+    for a in &map.assignments {
+        put_u32(out, a.shard);
+        put_u64(out, a.primary);
+        put_u32(out, a.replicas.len() as u32);
+        for &r in &a.replicas {
+            put_u64(out, r);
+        }
+    }
+}
+
+fn get_cluster_map(c: &mut Cur<'_>) -> Result<ClusterMap, DecodeError> {
+    let epoch = c.u64()?;
+    let shards = c.u32()?;
+    let n_nodes = c.u32()?;
+    let mut nodes = Vec::with_capacity(sane_cap(n_nodes));
+    for _ in 0..n_nodes {
+        let node_id = c.u64()?;
+        let len = c.u16()? as usize;
+        let addr = std::str::from_utf8(c.take(len)?)
+            .map_err(|_| DecodeError::BadPayload("node address is not utf-8"))?
+            .to_string();
+        nodes.push(ClusterNodeInfo { node_id, addr });
+    }
+    let n_assign = c.u32()?;
+    let mut assignments = Vec::with_capacity(sane_cap(n_assign));
+    for _ in 0..n_assign {
+        let shard = c.u32()?;
+        let primary = c.u64()?;
+        let n_rep = c.u32()?;
+        let mut replicas = Vec::with_capacity(sane_cap(n_rep));
+        for _ in 0..n_rep {
+            replicas.push(c.u64()?);
+        }
+        assignments.push(ShardAssignment {
+            shard,
+            primary,
+            replicas,
+        });
+    }
+    Ok(ClusterMap {
+        epoch,
+        shards,
+        nodes,
+        assignments,
+    })
+}
+
+/// Encodes a [`ClusterMap`] as a standalone byte string (the same layout
+/// it has inside cluster-info and wrong-epoch payloads).
+pub fn encode_cluster_map(map: &ClusterMap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    put_cluster_map(&mut out, map);
+    out
+}
+
+/// Decodes a standalone [`ClusterMap`] byte string.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, bad utf-8, or trailing bytes.
+pub fn decode_cluster_map(payload: &[u8]) -> Result<ClusterMap, DecodeError> {
+    let mut c = Cur::new(payload);
+    let map = get_cluster_map(&mut c)?;
+    c.finish()?;
+    Ok(map)
+}
+
+/// Encodes the response payload every cluster verb uses for a stale
+/// epoch: the [`WireStatus::WrongEpoch`] byte followed by the current
+/// map, so one round trip both rejects and re-routes.
+pub fn encode_wrong_epoch(map: &ClusterMap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(WireStatus::WrongEpoch as u8);
+    put_cluster_map(&mut out, map);
+    out
+}
+
+/// Recovers the fresh [`ClusterMap`] from a wrong-epoch response payload.
+///
+/// # Errors
+///
+/// [`DecodeError::BadPayload`] when the status byte is not
+/// [`WireStatus::WrongEpoch`]; otherwise the usual truncation/trailing
+/// diagnoses.
+pub fn decode_wrong_epoch(payload: &[u8]) -> Result<ClusterMap, DecodeError> {
+    let mut c = Cur::new(payload);
+    let status = WireStatus::from_u8(c.u8()?)?;
+    if status != WireStatus::WrongEpoch {
+        return Err(DecodeError::BadPayload(
+            "wrong-epoch payload with a different status",
+        ));
+    }
+    let map = get_cluster_map(&mut c)?;
+    c.finish()?;
+    Ok(map)
+}
+
+/// Encodes a cluster-info response: `Ok` status byte plus the map.
+pub fn encode_cluster_info_resp(map: &ClusterMap) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.push(WireStatus::Ok as u8);
+    put_cluster_map(&mut out, map);
+    out
+}
+
+/// Decodes a cluster-info response.
+///
+/// # Errors
+///
+/// [`DecodeError::BadPayload`] on a non-ok status (cluster-info always
+/// succeeds on a live node); otherwise truncation/trailing diagnoses.
+pub fn decode_cluster_info_resp(payload: &[u8]) -> Result<ClusterMap, DecodeError> {
+    let mut c = Cur::new(payload);
+    let status = WireStatus::from_u8(c.u8()?)?;
+    if status != WireStatus::Ok {
+        return Err(DecodeError::BadPayload(
+            "cluster-info response with non-ok status",
+        ));
+    }
+    let map = get_cluster_map(&mut c)?;
+    c.finish()?;
+    Ok(map)
+}
+
+/// One sealed WAL segment in flight from a primary to a follower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentShip {
+    /// Shipping node's id.
+    pub from_node: u64,
+    /// Shipping node's map epoch when it sealed the segment.
+    pub epoch: u64,
+    /// Shard the segment belongs to.
+    pub shard: u32,
+    /// Segment sequence number (the `seg-<seq>` suffix on disk).
+    pub seq: u64,
+    /// Verbatim segment file bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Encodes a ship-segment request payload.
+pub fn encode_ship_segment(ship: &SegmentShip) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + ship.bytes.len());
+    put_u64(&mut out, ship.from_node);
+    put_u64(&mut out, ship.epoch);
+    put_u32(&mut out, ship.shard);
+    put_u64(&mut out, ship.seq);
+    put_u32(&mut out, ship.bytes.len() as u32);
+    out.extend_from_slice(&ship.bytes);
+    out
+}
+
+/// Decodes a ship-segment request payload.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation or trailing bytes.
+pub fn decode_ship_segment(payload: &[u8]) -> Result<SegmentShip, DecodeError> {
+    let mut c = Cur::new(payload);
+    let from_node = c.u64()?;
+    let epoch = c.u64()?;
+    let shard = c.u32()?;
+    let seq = c.u64()?;
+    let len = c.u32()? as usize;
+    let bytes = c.take(len)?.to_vec();
+    c.finish()?;
+    Ok(SegmentShip {
+        from_node,
+        epoch,
+        shard,
+        seq,
+        bytes,
+    })
+}
+
+/// Encodes a ship acknowledgement: status, shard, seq — plus the fresh
+/// map when the status is [`WireStatus::WrongEpoch`].
+pub fn encode_ship_ack(
+    status: WireStatus,
+    shard: u32,
+    seq: u64,
+    map: Option<&ClusterMap>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13);
+    out.push(status as u8);
+    put_u32(&mut out, shard);
+    put_u64(&mut out, seq);
+    if status == WireStatus::WrongEpoch {
+        if let Some(m) = map {
+            put_cluster_map(&mut out, m);
+        }
+    }
+    out
+}
+
+/// Decodes a ship acknowledgement.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, unknown status, or trailing
+/// bytes.
+#[allow(clippy::type_complexity)]
+pub fn decode_ship_ack(
+    payload: &[u8],
+) -> Result<(WireStatus, u32, u64, Option<ClusterMap>), DecodeError> {
+    let mut c = Cur::new(payload);
+    let status = WireStatus::from_u8(c.u8()?)?;
+    let shard = c.u32()?;
+    let seq = c.u64()?;
+    let map = if status == WireStatus::WrongEpoch && c.p < c.b.len() {
+        Some(get_cluster_map(&mut c)?)
+    } else {
+        None
+    };
+    c.finish()?;
+    Ok((status, shard, seq, map))
+}
+
+/// Encodes a heartbeat (or heartbeat-ack) payload: the sender's node id
+/// and its current map epoch.
+pub fn encode_heartbeat(node_id: u64, epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    put_u64(&mut out, node_id);
+    put_u64(&mut out, epoch);
+    out
+}
+
+/// Decodes a heartbeat (or heartbeat-ack) payload.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation or trailing bytes.
+pub fn decode_heartbeat(payload: &[u8]) -> Result<(u64, u64), DecodeError> {
+    let mut c = Cur::new(payload);
+    let node_id = c.u64()?;
+    let epoch = c.u64()?;
+    c.finish()?;
+    Ok((node_id, epoch))
 }

@@ -232,3 +232,65 @@ fn reconnect_storm_restores_full_pool_health() {
     server.shutdown();
     Arc::try_unwrap(svc).expect("sole owner").shutdown();
 }
+
+/// Satellite regression for the `retryable()` split: a draining server
+/// answers `Draining` and the client surfaces it *immediately* —
+/// `Draining` is [`geomancy_net::WireStatus::retry_elsewhere`], so
+/// `with_retry` must not burn its same-connection backoff ladder the
+/// way it does for `Backpressure`/`Overloaded`. Pre-split, `Draining`
+/// sat in the single retryable set and this test's latency bound blew
+/// up by seconds.
+#[test]
+fn draining_server_fails_fast_not_retried_on_same_conn() {
+    use geomancy_net::{NetError, WireStatus};
+
+    let svc = trained_service();
+    let server = NetServer::start("127.0.0.1:0", Arc::clone(&svc), NetConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    // Backoff tuned so even ONE same-connection retry would blow the
+    // latency assertion below.
+    let client = Client::connect(
+        &addr,
+        ClientConfig {
+            retry: RetryConfig {
+                max_retries: 6,
+                base_backoff_millis: 400,
+            },
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Healthy path first: both verbs work before the drain begins.
+    client.query_many(&[query()]).unwrap();
+    client.ingest(0, &[rec(0, 1)]).unwrap();
+
+    server.begin_drain();
+
+    let t = Instant::now();
+    let q = client.query_many(&[query()]);
+    let i = client.ingest(1, &[rec(1, 1)]);
+    let elapsed = t.elapsed();
+    assert!(
+        matches!(q, Err(NetError::Server(WireStatus::Draining))),
+        "query during drain: {q:?}"
+    );
+    assert!(
+        matches!(i, Err(NetError::Server(WireStatus::Draining))),
+        "ingest during drain: {i:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(350),
+        "draining replies burned same-connection retry backoff: {elapsed:?}"
+    );
+
+    // The other side of the split still holds: health (non-placement
+    // traffic) answers during the drain and names it, so a prober can
+    // tell "draining" apart from "dead" and steer clients elsewhere.
+    let h = client.health().unwrap();
+    assert!(h.draining, "health must advertise the drain");
+
+    drop(client);
+    server.shutdown();
+    Arc::try_unwrap(svc).expect("sole owner").shutdown();
+}

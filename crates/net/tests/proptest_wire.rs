@@ -25,7 +25,7 @@ fn record(seed: (u64, u64, u32, u64, u64)) -> AccessRecord {
     }
 }
 
-fn all_kinds() -> [FrameKind; 10] {
+fn all_kinds() -> [FrameKind; 16] {
     [
         FrameKind::IngestReq,
         FrameKind::IngestResp,
@@ -37,12 +37,18 @@ fn all_kinds() -> [FrameKind; 10] {
         FrameKind::HealthResp,
         FrameKind::RetrainReq,
         FrameKind::RetrainResp,
+        FrameKind::ClusterInfoReq,
+        FrameKind::ClusterInfoResp,
+        FrameKind::ShipSegment,
+        FrameKind::ShipAck,
+        FrameKind::Heartbeat,
+        FrameKind::HeartbeatAck,
     ]
 }
 
 proptest! {
     #[test]
-    fn frame_roundtrips(kind_ix in 0usize..10, corr in 0u64..u64::MAX,
+    fn frame_roundtrips(kind_ix in 0usize..16, corr in 0u64..u64::MAX,
                         payload in proptest::collection::vec(0u8..=255, 0..256)) {
         let frame = Frame::new(all_kinds()[kind_ix], corr, payload);
         let bytes = frame.encode();
@@ -58,7 +64,7 @@ proptest! {
                                       payload in proptest::collection::vec(0u8..=255, 0..200),
                                       split in 1usize..16) {
         let frames: Vec<Frame> = (0..3)
-            .map(|i| Frame::new(all_kinds()[i % 10], corr + i as u64, payload.clone()))
+            .map(|i| Frame::new(all_kinds()[i % 16], corr + i as u64, payload.clone()))
             .collect();
         let mut bytes = Vec::new();
         for f in &frames {
@@ -233,6 +239,7 @@ fn full_snapshot() -> MetricsSnapshot {
         retrain_micros: 40,
         warm_starts: 41,
         full_retrains: 42,
+        node_id: 43,
     }
 }
 
@@ -267,6 +274,7 @@ fn metrics_codec_roundtrips_every_field() {
     assert_eq!(back.retrain_micros, 40);
     assert_eq!(back.warm_starts, 41);
     assert_eq!(back.full_retrains, 42);
+    assert_eq!(back.node_id, 43);
 
     // An unrecognized backend byte decodes as "unknown", not an error.
     let mut snap = full_snapshot();
@@ -275,16 +283,16 @@ fn metrics_codec_roundtrips_every_field() {
     assert_eq!(back.kernel_backend, "unknown");
 }
 
-/// Old-peer compatibility: a version-2 payload (no store or trainer
-/// block) and a version-3 payload (store block but no trainer block)
-/// both decode with the missing trailing gauges zeroed, and frames
-/// stamped with the old version byte still parse.
+/// Old-peer compatibility: version-2 (no store/trainer/node blocks),
+/// version-3 (store block only), and version-4 (store + trainer, no
+/// node id) payloads all decode with the missing trailing gauges
+/// zeroed, and frames stamped with the old version byte still parse.
 #[test]
 fn version_2_metrics_payload_decodes_with_zero_store_gauges() {
     let payload = wire::encode_metrics_resp(&full_snapshot());
     // A version-2 peer's payload is exactly ours minus the 40-byte store
-    // block and the 32-byte trainer block.
-    let v2_payload = &payload[..payload.len() - 72];
+    // block, the 32-byte trainer block, and the 8-byte node-id block.
+    let v2_payload = &payload[..payload.len() - 80];
     let back = wire::decode_metrics_resp(v2_payload).unwrap();
     assert_eq!(back.latency_us, vec![28, 29, 30, 31]);
     assert_eq!(back.kernel_backend, "avx2_fma");
@@ -295,10 +303,11 @@ fn version_2_metrics_payload_decodes_with_zero_store_gauges() {
     assert_eq!(back.last_checkpoint_micros, 0);
     assert_eq!(back.retrain_records, 0);
     assert_eq!(back.warm_starts, 0);
+    assert_eq!(back.node_id, 0);
 
     // A version-3 peer's payload stops after the store block: the store
-    // gauges survive, the trainer gauges decode as zeros.
-    let v3_payload = &payload[..payload.len() - 32];
+    // gauges survive, the trainer gauges and node id decode as zeros.
+    let v3_payload = &payload[..payload.len() - 40];
     let back = wire::decode_metrics_resp(v3_payload).unwrap();
     assert_eq!(back.store_pages, 34);
     assert_eq!(back.last_checkpoint_micros, 38);
@@ -306,9 +315,18 @@ fn version_2_metrics_payload_decodes_with_zero_store_gauges() {
     assert_eq!(back.retrain_micros, 0);
     assert_eq!(back.warm_starts, 0);
     assert_eq!(back.full_retrains, 0);
+    assert_eq!(back.node_id, 0);
+
+    // A version-4 peer's payload stops after the trainer block: only
+    // the node id is zeroed.
+    let v4_payload = &payload[..payload.len() - 8];
+    let back = wire::decode_metrics_resp(v4_payload).unwrap();
+    assert_eq!(back.retrain_records, 39);
+    assert_eq!(back.full_retrains, 42);
+    assert_eq!(back.node_id, 0);
 
     // A partial trailing block is corruption, not an old peer.
-    let truncated_tail = &payload[..payload.len() - 8];
+    let truncated_tail = &payload[..payload.len() - 4];
     assert_eq!(
         wire::decode_metrics_resp(truncated_tail).unwrap_err(),
         DecodeError::Truncated
@@ -442,4 +460,144 @@ fn corrupted_count_fields_fail_fast() {
         wire::decode_ingest_req(&ingest).unwrap_err(),
         DecodeError::Truncated
     );
+}
+
+// ---- cluster codecs (protocol v5) ------------------------------------
+
+use geomancy_net::wire::SegmentShip;
+use geomancy_net::{ClusterMap, ClusterNodeInfo, ShardAssignment};
+
+fn sample_map(epoch: u64, nodes: usize, shards: u32) -> ClusterMap {
+    let nodes: Vec<ClusterNodeInfo> = (0..nodes as u64)
+        .map(|i| ClusterNodeInfo {
+            node_id: i + 1,
+            addr: format!("10.0.0.{}:{}", i + 1, 7000 + i),
+        })
+        .collect();
+    let n = nodes.len().max(1);
+    let assignments = (0..shards)
+        .map(|shard| ShardAssignment {
+            shard,
+            primary: nodes[shard as usize % n].node_id,
+            replicas: vec![nodes[(shard as usize + 1) % n].node_id],
+        })
+        .collect();
+    ClusterMap {
+        epoch,
+        shards,
+        nodes,
+        assignments,
+    }
+}
+
+proptest! {
+    /// The cluster-map codec round-trips across sizes, both bare and
+    /// wrapped in the WrongEpoch and ClusterInfo envelopes.
+    #[test]
+    fn cluster_map_codec_roundtrips(epoch in 0u64..u64::MAX, nodes in 1usize..8,
+                                    shards in 1u32..32) {
+        let map = sample_map(epoch, nodes, shards);
+        let bare = wire::encode_cluster_map(&map);
+        prop_assert_eq!(&wire::decode_cluster_map(&bare).unwrap(), &map);
+        let we = wire::encode_wrong_epoch(&map);
+        prop_assert_eq!(&wire::decode_wrong_epoch(&we).unwrap(), &map);
+        let info = wire::encode_cluster_info_resp(&map);
+        prop_assert_eq!(&wire::decode_cluster_info_resp(&info).unwrap(), &map);
+    }
+
+    /// Truncating a cluster-map payload anywhere yields a typed error.
+    #[test]
+    fn truncated_cluster_map_yields_typed_errors(cut in 0usize..300,
+                                                 nodes in 1usize..6,
+                                                 shards in 1u32..16) {
+        let payload = wire::encode_cluster_map(&sample_map(3, nodes, shards));
+        let cut = cut.min(payload.len().saturating_sub(1));
+        prop_assert!(wire::decode_cluster_map(&payload[..cut]).is_err());
+    }
+
+    /// The segment-ship codec round-trips with arbitrary segment bytes.
+    #[test]
+    fn ship_segment_codec_roundtrips(from in 1u64..100, epoch in 1u64..1_000,
+                                     shard in 0u32..64, seq in 1u64..10_000,
+                                     bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let ship = SegmentShip { from_node: from, epoch, shard, seq, bytes };
+        let payload = wire::encode_ship_segment(&ship);
+        prop_assert_eq!(&wire::decode_ship_segment(&payload).unwrap(), &ship);
+    }
+
+    /// Heartbeats round-trip.
+    #[test]
+    fn heartbeat_codec_roundtrips(node in 0u64..u64::MAX, epoch in 0u64..u64::MAX) {
+        let payload = wire::encode_heartbeat(node, epoch);
+        prop_assert_eq!(wire::decode_heartbeat(&payload).unwrap(), (node, epoch));
+    }
+}
+
+/// Ship acks round-trip in both shapes: plain, and `WrongEpoch`
+/// carrying the current map.
+#[test]
+fn ship_ack_codec_roundtrips_both_shapes() {
+    let payload = wire::encode_ship_ack(WireStatus::Ok, 3, 17, None);
+    let (status, shard, seq, map) = wire::decode_ship_ack(&payload).unwrap();
+    assert_eq!((status, shard, seq), (WireStatus::Ok, 3, 17));
+    assert!(map.is_none());
+
+    let current = sample_map(9, 3, 8);
+    let payload = wire::encode_ship_ack(WireStatus::WrongEpoch, 3, 17, Some(&current));
+    let (status, shard, seq, map) = wire::decode_ship_ack(&payload).unwrap();
+    assert_eq!((status, shard, seq), (WireStatus::WrongEpoch, 3, 17));
+    assert_eq!(map.unwrap(), current);
+}
+
+/// Hostile cluster payloads: corrupted counts, garbage, and empty
+/// buffers produce typed errors, never panics or huge allocations.
+#[test]
+fn hostile_cluster_payloads_yield_typed_errors() {
+    assert!(wire::decode_cluster_map(&[]).is_err());
+    assert!(wire::decode_wrong_epoch(&[]).is_err());
+    assert!(wire::decode_ship_segment(&[]).is_err());
+    assert!(wire::decode_ship_ack(&[]).is_err());
+    assert!(wire::decode_heartbeat(&[]).is_err());
+
+    // A node count of u32::MAX cannot make the decoder allocate: it
+    // fails fast when the bytes run out.
+    let mut payload = wire::encode_cluster_map(&sample_map(1, 2, 4));
+    payload[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(wire::decode_cluster_map(&payload).is_err());
+
+    // A WrongEpoch ingest reply whose map is garbage is a protocol
+    // error, not a panic.
+    let garbage = [WireStatus::WrongEpoch as u8, 0xFF, 0xFF];
+    assert!(wire::decode_wrong_epoch(&garbage).is_err());
+}
+
+/// The retry-policy split (the Draining regression): `Draining` must
+/// fail over to another replica, never burn backoff retrying the same
+/// connection; `Overloaded`/`Backpressure` stay same-connection
+/// retryable; `WrongEpoch` re-routes.
+#[test]
+fn retry_policy_split_routes_draining_elsewhere() {
+    // Same-connection retries: transient shedding only.
+    assert!(WireStatus::Overloaded.retry_same());
+    assert!(WireStatus::Backpressure.retry_same());
+    assert!(!WireStatus::Draining.retry_same());
+    assert!(!WireStatus::ServiceDown.retry_same());
+    assert!(!WireStatus::WrongEpoch.retry_same());
+
+    // Fail-over statuses: the node has stopped serving or lost the shard.
+    assert!(WireStatus::Draining.retry_elsewhere());
+    assert!(WireStatus::ServiceDown.retry_elsewhere());
+    assert!(WireStatus::WrongEpoch.retry_elsewhere());
+    assert!(!WireStatus::Overloaded.retry_elsewhere());
+    assert!(!WireStatus::Backpressure.retry_elsewhere());
+    assert!(!WireStatus::Ok.retry_elsewhere());
+
+    // No status is both: the policies partition the retryable space.
+    for b in 0u8..=10 {
+        let s = WireStatus::from_u8(b).unwrap();
+        assert!(
+            !(s.retry_same() && s.retry_elsewhere()),
+            "{s:?} is both same-retryable and fail-over"
+        );
+    }
 }

@@ -27,6 +27,7 @@ use geomancy_runtime::{Actor, Addr, Ctx, Reactor};
 use geomancy_store::{AbsorbReport, SharedPagedStore};
 
 use crate::metrics::ServeMetrics;
+use crate::service::SealHook;
 use crate::shard::{ShardMsg, ShardSet};
 
 /// Why a checkpoint cycle failed.
@@ -72,6 +73,7 @@ impl Checkpointer {
     /// Spawns the checkpointer on `reactor`. With `every_micros > 0` it
     /// also checkpoints on that cadence (reactor time, so simulated-time
     /// services checkpoint on simulated cadence).
+    #[allow(clippy::too_many_arguments)] // crate-internal spawn, one call site
     pub(crate) fn spawn_on(
         reactor: &Reactor,
         shards: &ShardSet,
@@ -80,6 +82,7 @@ impl Checkpointer {
         every_micros: u64,
         hot_tail: usize,
         metrics: Arc<ServeMetrics>,
+        seal_hook: Option<SealHook>,
     ) -> Self {
         let n = shards.len();
         let (addr, _handle) = reactor.spawn(
@@ -93,6 +96,7 @@ impl Checkpointer {
                 every_micros,
                 hot_tail,
                 metrics,
+                seal_hook,
                 collecting: None,
                 queued: VecDeque::new(),
                 shard_count: n,
@@ -136,6 +140,9 @@ struct CheckpointActor {
     every_micros: u64,
     hot_tail: usize,
     metrics: Arc<ServeMetrics>,
+    /// Sees each sealed segment before absorption deletes it (WAL
+    /// shipping reads the bytes in this window).
+    seal_hook: Option<SealHook>,
     collecting: Option<Collect>,
     /// Cycles requested while one is in flight (serialized FIFO).
     queued: VecDeque<Option<Sender<Result<AbsorbReport, CheckpointError>>>>,
@@ -229,6 +236,19 @@ impl CheckpointActor {
             .seals
             .iter()
             .any(|s| matches!(s, Some(seq) if *seq > 0));
+        // Surface every sealed segment to the shipping hook *before*
+        // absorption deletes it — the bytes on disk are the replica's
+        // exactly-once unit of replication.
+        if let Some(hook) = &self.seal_hook {
+            for (shard, seal) in collect.seals.iter().enumerate() {
+                if let Some(seq) = seal {
+                    if *seq > 0 {
+                        let path = geomancy_replaydb::wal::segment_path(&self.wal_dir, shard, *seq);
+                        (hook.0)(shard, *seq, &path);
+                    }
+                }
+            }
+        }
         let outcome = if any_sealed {
             let started = Instant::now();
             let mut store = self.store.write();

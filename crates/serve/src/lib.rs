@@ -71,6 +71,6 @@ pub use load::{
     prepare_belle2, run_belle2_load, AccessMix, LoadConfig, LoadReport, PreparedLoad, QueryMode,
 };
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use service::{AdmissionConfig, PlacementService, ServeConfig, StoreSettings};
+pub use service::{AdmissionConfig, PlacementService, SealHook, ServeConfig, StoreSettings};
 pub use shard::{shard_of, Backpressure, ShardSet};
 pub use trainer::{RetrainMode, TrainError, TrainedMeta, Trainer, TrainerConfig};

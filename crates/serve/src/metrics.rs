@@ -114,6 +114,11 @@ pub struct ServeMetrics {
     /// Cycles that published a from-scratch model (bootstrap, forced
     /// full mode, or an `auto` quality fallback).
     pub full_retrains: AtomicU64,
+    /// Stable cluster node id these gauges belong to (0 when the service
+    /// runs single-node). Set once at service start; rides the wire as
+    /// the protocol-v5 cluster block so per-node gauges stay
+    /// attributable after aggregation.
+    pub node_id: AtomicU64,
     /// Accounting sections entered (see module docs).
     accounting_enter: AtomicU64,
     /// Accounting sections exited.
@@ -168,6 +173,7 @@ impl ServeMetrics {
             retrain_micros: AtomicU64::new(0),
             warm_starts: AtomicU64::new(0),
             full_retrains: AtomicU64::new(0),
+            node_id: AtomicU64::new(0),
             accounting_enter: AtomicU64::new(0),
             accounting_exit: AtomicU64::new(0),
         }
@@ -287,6 +293,7 @@ impl ServeMetrics {
             retrain_micros: self.retrain_micros.load(Ordering::Relaxed),
             warm_starts: self.warm_starts.load(Ordering::Relaxed),
             full_retrains: self.full_retrains.load(Ordering::Relaxed),
+            node_id: self.node_id.load(Ordering::Relaxed),
         }
     }
 }
@@ -366,6 +373,8 @@ pub struct MetricsSnapshot {
     pub warm_starts: u64,
     /// See [`ServeMetrics::full_retrains`].
     pub full_retrains: u64,
+    /// See [`ServeMetrics::node_id`].
+    pub node_id: u64,
 }
 
 impl MetricsSnapshot {

@@ -126,6 +126,27 @@ pub struct ServeConfig {
     /// Retraining policy: warm-start vs. full cycles, replay mix, and
     /// the `auto` fallback threshold.
     pub trainer: TrainerConfig,
+    /// Stable cluster node id reported in metrics (0 = single-node).
+    pub node_id: u64,
+    /// Called with each sealed WAL segment `(shard, seq, path)` after the
+    /// checkpointer seals it and *before* absorption deletes it — the
+    /// window in which a cluster node reads the bytes for WAL shipping.
+    /// The hook runs on the checkpoint actor's worker: keep it to a file
+    /// read plus a channel send.
+    pub seal_hook: Option<SealHook>,
+}
+
+/// Callback signature for [`SealHook`]: `(shard, seq, segment_path)`.
+pub type SealFn = dyn Fn(usize, u64, &std::path::Path) + Send + Sync;
+
+/// Observer for sealed WAL segments (see [`ServeConfig::seal_hook`]).
+#[derive(Clone)]
+pub struct SealHook(pub Arc<SealFn>);
+
+impl std::fmt::Debug for SealHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SealHook(..)")
+    }
 }
 
 impl Default for ServeConfig {
@@ -143,6 +164,8 @@ impl Default for ServeConfig {
             admission: AdmissionConfig::default(),
             store: None,
             trainer: TrainerConfig::default(),
+            node_id: 0,
+            seal_hook: None,
         }
     }
 }
@@ -213,6 +236,7 @@ impl PlacementService {
             "per_shard_pending must have one bound per shard"
         );
         let metrics = Arc::new(ServeMetrics::new(config.shards));
+        metrics.node_id.store(config.node_id, Ordering::Relaxed);
         let mut reactor_config = ReactorConfig {
             workers: config.reactor_workers,
             name: "geomancy-serve".to_string(),
@@ -297,6 +321,7 @@ impl PlacementService {
                 settings.checkpoint_every_micros,
                 settings.hot_tail,
                 Arc::clone(&metrics),
+                config.seal_hook.clone(),
             )
         });
         PlacementService {
@@ -618,6 +643,13 @@ impl PlacementService {
     /// spec, and the validation MAE. `None` until the first publish.
     pub fn trained_meta(&self) -> Option<TrainedMeta> {
         self.slot.trained_meta()
+    }
+
+    /// The service's shared reactor pool, for co-locating control-plane
+    /// actors (the cluster failover controller spawns here so one pool
+    /// runs the whole node).
+    pub fn reactor(&self) -> &Reactor {
+        self.reactor.as_ref().expect("reactor alive until shutdown")
     }
 
     /// Number of reactor pool workers running the service's actors.
