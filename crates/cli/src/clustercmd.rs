@@ -3,9 +3,13 @@
 //!
 //! With no mode flag the command runs a node: the placement service
 //! plus WAL shipping, heartbeats, and the failover controller, until
-//! SIGTERM/Ctrl-C. `--info` prints a node's current [`ClusterMap`];
-//! `--send` routes synthetic telemetry through a [`ClusterClient`];
-//! `--place` asks the cluster for placements.
+//! SIGTERM/Ctrl-C. `--join` restarts a recovered node as a rejoiner
+//! (it re-enters as a follower, catches up, and waits for the sitting
+//! emergency primary to demote back to it). `--info` prints a node's
+//! current [`ClusterMap`]; `--rebalance-status` compares that map
+//! against the preferred ring assignment; `--send` routes synthetic
+//! telemetry through a [`ClusterClient`]; `--place` asks the cluster
+//! for placements.
 //!
 //! [`ClusterMap`]: geomancy_net::ClusterMap
 
@@ -13,7 +17,7 @@ use std::error::Error;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use geomancy_cluster::{ClusterClient, ClusterNode, ClusterNodeConfig};
+use geomancy_cluster::{preferred_primary, ClusterClient, ClusterNode, ClusterNodeConfig};
 use geomancy_core::drl::DrlConfig;
 use geomancy_net::{Client, ClientConfig, NetConfig};
 use geomancy_serve::{PlacementRequest, ServeConfig};
@@ -30,6 +34,8 @@ use crate::netcmd::{sig, synthetic_record};
 pub fn cluster(args: &Args) -> Result<(), Box<dyn Error>> {
     if args.flag("info")? {
         info(args)
+    } else if args.flag("rebalance-status")? {
+        rebalance_status(args)
     } else if args.flag("send")? {
         send(args)
     } else if args.flag("place")? {
@@ -116,17 +122,26 @@ fn run_node(args: &Args) -> Result<(), Box<dyn Error>> {
             ..ServeConfig::default()
         },
         net: NetConfig::default(),
+        rejoin: args.flag("join")?,
+        retain_bytes: (args.u64_or("retain-mb", 64)? as usize) << 20,
+        catch_up_max_records: args.u64_or("catch-up-batch", 4096)?.max(1) as u32,
     };
+    let rejoining = config.rejoin;
     let node = ClusterNode::start(config).map_err(|e| format!("start node: {e}"))?;
     sig::install();
     println!(
-        "geomancy cluster node {} on {} (epoch {}, {} shards of which {:?} primary); \
+        "geomancy cluster node {} on {} (epoch {}, {} shards of which {:?} primary{}); \
          SIGTERM or Ctrl-C drains and exits",
         node.node_id(),
         node.local_addr(),
         node.epoch(),
         shards,
         node.map().shards_owned_by(node.node_id()),
+        if rejoining {
+            ", rejoining as follower"
+        } else {
+            ""
+        },
     );
     let mut last_epoch = node.epoch();
     while !sig::stopped() {
@@ -134,9 +149,11 @@ fn run_node(args: &Args) -> Result<(), Box<dyn Error>> {
         let epoch = node.epoch();
         if epoch != last_epoch {
             println!(
-                "epoch {last_epoch} → {epoch}: now primary for {:?} ({} self-promotions)",
+                "epoch {last_epoch} → {epoch}: now primary for {:?} ({} self-promotions, \
+                 {} demotions granted)",
                 node.map().shards_owned_by(node.node_id()),
                 node.promotions(),
+                node.demotions(),
             );
             last_epoch = epoch;
         }
@@ -171,6 +188,50 @@ fn info(args: &Args) -> Result<(), Box<dyn Error>> {
             "  shard {}: primary {}, replicas {:?}",
             a.shard, a.primary, a.replicas
         );
+    }
+    Ok(())
+}
+
+/// `geomancy cluster --rebalance-status --addr HOST:PORT`: fetch the
+/// cluster map and compare every shard's sitting primary against the
+/// preferred ring owner — the CI smoke polls this after a rejoin until
+/// the demotion flip settles every shard back where it belongs.
+fn rebalance_status(args: &Args) -> Result<(), Box<dyn Error>> {
+    let addr = args.str_required("addr")?;
+    let client = Client::connect(addr.as_str(), ClientConfig::default())
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let map = client
+        .cluster_info()
+        .map_err(|e| format!("cluster info: {e}"))?;
+    let mut displaced = 0u32;
+    println!(
+        "rebalance status at {addr}: epoch {}, {} shards, {} nodes",
+        map.epoch,
+        map.shards,
+        map.nodes.len()
+    );
+    for a in &map.assignments {
+        match preferred_primary(&map, a.shard) {
+            Some(pref) if pref == a.primary => {
+                println!("  shard {}: primary {} (preferred)", a.shard, a.primary);
+            }
+            Some(pref) => {
+                displaced += 1;
+                println!(
+                    "  shard {}: primary {} (emergency; preferred owner is {})",
+                    a.shard, a.primary, pref
+                );
+            }
+            None => {
+                displaced += 1;
+                println!("  shard {}: primary {} (no members?)", a.shard, a.primary);
+            }
+        }
+    }
+    if displaced == 0 {
+        println!("REBALANCED: every shard on its preferred owner");
+    } else {
+        println!("REBALANCING: {displaced} shard(s) still on emergency primaries");
     }
     Ok(())
 }

@@ -112,8 +112,19 @@ COMMANDS:
                   --heartbeat-ms N    heartbeat cadence (default 250)
                   --failover-ms N     promote after this much primary
                                       silence (default 1500)
+                  --join              rejoin after a crash: re-enter as a
+                                      follower, catch up from the sitting
+                                      primaries, then take shards back
+                                      via demotion
+                  --retain-mb N       sealed segments kept for catch-up
+                                      (default 64)
+                  --catch-up-batch N  records per catch-up chunk
+                                      (default 4096)
                 Client modes:
                   --info --addr A     print a node's cluster map
+                  --rebalance-status --addr A
+                                      compare sitting primaries against
+                                      the preferred ring owners
                   --send              route synthetic telemetry through
                                       the map (--records/--files/--batch,
                                       seeds from --peers or --addr)

@@ -8,41 +8,59 @@
 //! storage system (§V); this layer is what it takes to keep placement
 //! decisions flowing when that daemon's host dies.
 //!
-//! Four pieces:
+//! Six pieces:
 //!
 //! - [`map`]: deterministic epoch-1 map construction from the shared
 //!   peer list, file→shard routing ([`map::shard_for`], bit-for-bit the
-//!   service's own [`geomancy_serve::shard_of`]), and the promotion
-//!   rewrite a follower applies when a primary goes silent.
+//!   service's own [`geomancy_serve::shard_of`]), and the pure map
+//!   transitions — the promotion rewrite a follower applies when a
+//!   primary goes silent, and the [`map::demote`]/[`map::join`]/
+//!   [`map::leave`] rewrites membership repair uses to hand shards
+//!   back.
 //! - [`node::ClusterNode`]: one node — the placement service plus the
 //!   primary-side WAL shipper (sealed segments stream to replicas as
 //!   `ShipSegment` frames), the follower-side replica store (applied
 //!   via the store's exactly-once absorb), and the failover controller
 //!   (an actor on the service's own reactor watching heartbeat
 //!   sightings).
+//! - [`catchup`]: bounded replica catch-up — a follower whose
+//!   per-shard floor trails the primary pulls the gap as retained
+//!   sealed segments (seq mode) or a timestamp-cursor export (cold
+//!   mode), committing floors exactly-once on the final chunk.
+//! - [`repair`]: the demotion state machine the sitting emergency
+//!   primary walks to hand a shard back to a caught-up preferred owner
+//!   (checkpoint barrier → floor wait → epoch-bumping demote).
 //! - [`client::ClusterClient`]: routes each request to the owning
 //!   node, fails over to replicas on `Draining`/`ServiceDown`/connect
 //!   failure, and adopts fresher maps from `WrongEpoch` rejections.
 //! - The wire vocabulary itself (`ClusterInfo`, `ShipSegment`,
-//!   `Heartbeat`, the `WrongEpoch` status) lives in
-//!   [`geomancy_net::wire`] as protocol-v5 frames.
+//!   `Heartbeat`, the `CatchUp*` family, the `WrongEpoch` status)
+//!   lives in [`geomancy_net::wire`] as protocol-v6 frames.
 //!
 //! Consistency model: a record is *cluster-durable* once the segment
 //! holding it has been acknowledged by every replica of its shard
 //! ([`node::ClusterNode::shipped`]). Failover promotes the first
 //! replica in ring order after a heartbeat-deadline silence; the epoch
 //! bump propagates to peers through heartbeat acks and to clients
-//! through `WrongEpoch` replies carrying the new map.
+//! through `WrongEpoch` replies carrying the new map. A recovered node
+//! restarted with `rejoin` announces itself over heartbeats, catches up
+//! every shard it should host, and the emergency primary demotes back
+//! to the preferred assignment once the rejoiner's floors cover a
+//! checkpoint barrier — the cluster heals to its original shape without
+//! an operator touching the map.
 
 #![warn(missing_docs)]
 
+pub mod catchup;
 pub mod client;
 pub mod map;
 pub mod node;
+pub mod repair;
 
 pub use client::{ClusterClient, ClusterError};
-pub use map::{bootstrap_map, promote, shard_for};
+pub use map::{bootstrap_map, demote, join, leave, preferred_primary, promote, shard_for};
 pub use node::{ClusterNode, ClusterNodeConfig, ClusterNodeError, ReplicaStats, ShippedSeg};
+pub use repair::{DemotionStep, RepairState};
 
 /// Reserves `n` distinct loopback addresses by binding ephemeral
 /// listeners and immediately releasing them — the standard way a test

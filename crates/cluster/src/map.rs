@@ -81,6 +81,114 @@ pub fn promote(map: &ClusterMap, dead: u64, successor: u64) -> Option<ClusterMap
     Some(next)
 }
 
+/// Node ids of `map` in ascending order — the ring every preferred-
+/// assignment computation walks. Maps built by this module keep their
+/// node list sorted, but sorting here keeps the policy correct for any
+/// decodable map.
+fn sorted_ids(map: &ClusterMap) -> Vec<u64> {
+    let mut ids: Vec<u64> = map.nodes.iter().map(|n| n.node_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// The node that *should* own `shard` under the bootstrap placement rule
+/// applied to the map's current node set — the rebalance target a
+/// recovered node converges back to. `None` only for an empty map.
+#[must_use]
+pub fn preferred_primary(map: &ClusterMap, shard: u32) -> Option<u64> {
+    let ids = sorted_ids(map);
+    if ids.is_empty() {
+        return None;
+    }
+    Some(ids[shard as usize % ids.len()])
+}
+
+/// The full preferred assignment for `shard`: ring primary plus the next
+/// `replicas` nodes, capped at cluster size minus one — exactly what
+/// [`bootstrap_map`] would emit for the map's current node set.
+#[must_use]
+pub fn preferred_assignment(map: &ClusterMap, shard: u32, replicas: usize) -> ShardAssignment {
+    let ids = sorted_ids(map);
+    let n = ids.len().max(1);
+    let replicas = replicas.min(n.saturating_sub(1));
+    let p = shard as usize % n;
+    ShardAssignment {
+        shard,
+        primary: ids.get(p).copied().unwrap_or(0),
+        replicas: (1..=replicas).map(|k| ids[(p + k) % n]).collect(),
+    }
+}
+
+/// Adds (or re-addresses) a node in the membership list without touching
+/// any shard assignment: a rejoiner first becomes routable, then earns
+/// its shards back through catch-up and [`demote`]. Returns the
+/// bumped-epoch map, or `None` when the node is already present at that
+/// address — every peer applying the same heartbeat-announced join
+/// computes an identical map, so concurrent joins agree.
+#[must_use]
+pub fn join(map: &ClusterMap, node_id: u64, addr: &str) -> Option<ClusterMap> {
+    let mut next = map.clone();
+    match next.nodes.iter_mut().find(|n| n.node_id == node_id) {
+        Some(existing) if existing.addr == addr => return None,
+        Some(existing) => existing.addr = addr.to_string(),
+        None => next.nodes.push(ClusterNodeInfo {
+            node_id,
+            addr: addr.to_string(),
+        }),
+    }
+    next.nodes.sort_by_key(|n| n.node_id);
+    next.epoch += 1;
+    Some(next)
+}
+
+/// Removes a node from the membership list and every replica set. A node
+/// still holding a primaryship cannot leave — demote it first — so a
+/// map transition never strands a shard without a primary. Returns the
+/// bumped-epoch map, or `None` when the node is absent or still primary
+/// somewhere.
+#[must_use]
+pub fn leave(map: &ClusterMap, node_id: u64) -> Option<ClusterMap> {
+    if !map.nodes.iter().any(|n| n.node_id == node_id)
+        || map.assignments.iter().any(|a| a.primary == node_id)
+    {
+        return None;
+    }
+    let mut next = map.clone();
+    next.nodes.retain(|n| n.node_id != node_id);
+    for a in &mut next.assignments {
+        a.replicas.retain(|&r| r != node_id);
+    }
+    next.epoch += 1;
+    Some(next)
+}
+
+/// Hands shards back after a rejoin: every shard whose current primary
+/// is `from` and whose [`preferred_primary`] is `to` flips to the full
+/// preferred ring assignment (degree `replicas`). The caller — the
+/// *current* primary, the one node entitled to give a shard away —
+/// invokes this only once `to` has proven it is caught up. Returns the
+/// bumped-epoch map, or `None` if no shard qualifies.
+#[must_use]
+pub fn demote(map: &ClusterMap, from: u64, to: u64, replicas: usize) -> Option<ClusterMap> {
+    if from == to || !map.nodes.iter().any(|n| n.node_id == to) {
+        return None;
+    }
+    let mut next = map.clone();
+    let mut changed = false;
+    for a in &mut next.assignments {
+        if a.primary == from && preferred_primary(map, a.shard) == Some(to) {
+            *a = preferred_assignment(map, a.shard, replicas);
+            changed = true;
+        }
+    }
+    if !changed {
+        return None;
+    }
+    next.epoch += 1;
+    Some(next)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +252,92 @@ mod tests {
         assert_eq!(next.primary_of(2), Some(3));
         // Node 3 is nobody's first replica for node 1's shards.
         assert!(promote(&map, 1, 3).is_none());
+    }
+
+    #[test]
+    fn join_is_membership_only_and_deterministic() {
+        let map = bootstrap_map(&three_peers(), 6, 1);
+        let joined = join(&map, 5, "e:5").expect("new node");
+        assert_eq!(joined.epoch, map.epoch + 1);
+        assert_eq!(
+            joined.nodes.iter().map(|n| n.node_id).collect::<Vec<_>>(),
+            vec![1, 2, 3, 5]
+        );
+        // Assignments untouched: the joiner owns nothing yet.
+        assert_eq!(joined.assignments, map.assignments);
+        // Same join applied anywhere produces the identical map.
+        assert_eq!(join(&map, 5, "e:5").unwrap(), joined);
+        // Already present at that address: no transition.
+        assert!(join(&joined, 5, "e:5").is_none());
+        // Present at a new address (restart on a new port): re-address.
+        let moved = join(&joined, 5, "e:6").expect("re-address");
+        assert_eq!(moved.epoch, joined.epoch + 1);
+        assert_eq!(
+            moved.nodes.iter().find(|n| n.node_id == 5).unwrap().addr,
+            "e:6"
+        );
+    }
+
+    #[test]
+    fn demote_returns_shards_to_preferred_owner() {
+        let map = bootstrap_map(&three_peers(), 6, 1);
+        // Node 1 dies; node 2 takes shards 0 and 3.
+        let failed = promote(&map, 1, 2).unwrap();
+        assert_eq!(failed.primary_of(0), Some(2));
+        // Node 1 recovers and is caught up: node 2 (current primary)
+        // hands shards 0 and 3 back with the preferred ring restored.
+        let healed = demote(&failed, 2, 1, 1).expect("shards to hand back");
+        assert_eq!(healed.epoch, failed.epoch + 1);
+        assert_eq!(healed.primary_of(0), Some(1));
+        assert_eq!(healed.replicas_of(0), &[2]);
+        assert_eq!(healed.primary_of(3), Some(1));
+        assert_eq!(healed.replicas_of(3), &[2]);
+        // Untouched shards keep their assignment.
+        assert_eq!(healed.primary_of(1), Some(2));
+        assert_eq!(healed.primary_of(2), Some(3));
+        // Nothing left to demote a second time.
+        assert!(demote(&healed, 2, 1, 1).is_none());
+        // A non-member target never receives shards.
+        assert!(demote(&failed, 2, 9, 1).is_none());
+        assert_eq!(healed, map_with_epoch(&map, healed.epoch));
+    }
+
+    /// `map` with its epoch replaced — demote must restore the bootstrap
+    /// layout exactly, epoch aside.
+    fn map_with_epoch(map: &ClusterMap, epoch: u64) -> ClusterMap {
+        let mut m = map.clone();
+        m.epoch = epoch;
+        m
+    }
+
+    #[test]
+    fn leave_refuses_primaries_and_scrubs_replicas() {
+        let map = bootstrap_map(&three_peers(), 6, 1);
+        // Every node is a primary in the bootstrap map.
+        assert!(leave(&map, 1).is_none());
+        // After node 1's shards move to node 2, node 1 may leave.
+        let failed = promote(&map, 1, 2).unwrap();
+        let left = leave(&failed, 1).expect("no longer primary");
+        assert_eq!(left.epoch, failed.epoch + 1);
+        assert!(!left.nodes.iter().any(|n| n.node_id == 1));
+        for a in &left.assignments {
+            assert!(!a.replicas.contains(&1));
+            assert_ne!(a.primary, 1);
+        }
+        assert!(leave(&map, 42).is_none());
+    }
+
+    #[test]
+    fn preferred_assignment_matches_bootstrap() {
+        let map = bootstrap_map(&three_peers(), 6, 1);
+        for a in &map.assignments {
+            assert_eq!(preferred_primary(&map, a.shard), Some(a.primary));
+            assert_eq!(preferred_assignment(&map, a.shard, 1), *a);
+        }
+        // The preferred ring follows the membership list, not the
+        // current assignments: after a promote, shard 0's preferred
+        // primary is still node 1.
+        let failed = promote(&map, 1, 2).unwrap();
+        assert_eq!(preferred_primary(&failed, 0), Some(1));
     }
 }

@@ -16,26 +16,29 @@
 //!             └─► promote: bump epoch, own the dead node's shards
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, Weak};
 use std::time::{Duration, Instant};
 
 use geomancy_net::wire::{
-    self, decode_heartbeat, decode_ship_segment, encode_cluster_info_resp, encode_heartbeat,
+    self, decode_catch_up_done, decode_catch_up_req, decode_heartbeat_addr, decode_ship_segment,
+    encode_catch_up_ack, encode_catch_up_chunk, encode_cluster_info_resp, encode_heartbeat,
     encode_ship_ack, encode_wrong_epoch,
 };
 use geomancy_net::{
     Client, ClientConfig, ClusterHandler, ClusterMap, NetConfig, NetError, NetServer, WireStatus,
 };
 use geomancy_runtime::{Actor, Ctx};
-use geomancy_serve::{PlacementService, SealHook, ServeConfig, StoreSettings};
+use geomancy_serve::{PlacementService, SealHook, SegmentRetainer, ServeConfig, StoreSettings};
 use geomancy_sim::record::FileId;
-use geomancy_store::{PagedStore, StoreConfig};
+use geomancy_store::{PagedStore, SharedPagedStore, StoreConfig};
 
-use crate::map::{bootstrap_map, promote, shard_for};
+use crate::catchup;
+use crate::map::{bootstrap_map, join, preferred_primary, promote, shard_for};
+use crate::repair::{DemotionStep, RepairState};
 
 /// Everything that can go wrong bringing a node up.
 #[derive(Debug)]
@@ -98,6 +101,21 @@ pub struct ClusterNodeConfig {
     pub serve: ServeConfig,
     /// Transport settings for the node's listener.
     pub net: NetConfig,
+    /// Rejoin mode: the node starts with an epoch-0 map that assigns it
+    /// *no* primaryships (any live peer's real map wins on first
+    /// contact), announces itself through v6 heartbeats, catches each
+    /// wanted shard up, and earns its shards back through the demotion
+    /// protocol. `peers` may omit this node when it is a brand-new
+    /// member.
+    pub rejoin: bool,
+    /// Byte cap on sealed segments retained in memory for seq-mode
+    /// catch-up. Past it, oldest segments evict and stragglers fall back
+    /// to cold-store catch-up — retention never grows unbounded while a
+    /// replica is down.
+    pub retain_bytes: usize,
+    /// Max records per cold catch-up chunk (chunks may run slightly
+    /// longer to close a timestamp tie run).
+    pub catch_up_max_records: u32,
 }
 
 impl Default for ClusterNodeConfig {
@@ -113,6 +131,9 @@ impl Default for ClusterNodeConfig {
             failover_after_micros: 500_000,
             serve: ServeConfig::default(),
             net: NetConfig::default(),
+            rejoin: false,
+            retain_bytes: 64 << 20,
+            catch_up_max_records: 4096,
         }
     }
 }
@@ -152,11 +173,21 @@ struct ClusterCore {
     node_id: u64,
     map: RwLock<ClusterMap>,
     replica: Mutex<ReplicaState>,
-    /// Last time each peer was heard from — by an incoming heartbeat
-    /// *or* an answered outgoing probe.
-    seen: Mutex<HashMap<u64, Instant>>,
+    /// Liveness sightings, reported catch-up floors, and demotion
+    /// barriers — all timestamped off `base`.
+    repair: Mutex<RepairState>,
+    /// Monotonic clock base for the repair state's microsecond domain.
+    base: Instant,
+    /// Sealed segments kept in memory for seq-mode catch-up.
+    retainer: Arc<SegmentRetainer>,
+    /// The embedded service's cold store, filled in right after the
+    /// service starts (catch-up exports read it).
+    store: OnceLock<SharedPagedStore>,
+    shards: u32,
+    replicas_degree: usize,
     promotions: AtomicU64,
     ship_rejects: AtomicU64,
+    catch_up_chunks_served: AtomicU64,
 }
 
 struct ReplicaState {
@@ -165,6 +196,17 @@ struct ReplicaState {
     shards: usize,
     segments_applied: u64,
     records_applied: u64,
+    /// Which node's sequence space each shard's floor lives in. Ships
+    /// are only accepted from the recorded origin, in order; everything
+    /// else goes through catch-up. Persisted in an `origin.json`
+    /// sidecar.
+    origins: HashMap<u32, u64>,
+    /// Shards that rejected an out-of-order or wrong-origin ship and
+    /// need a catch-up round.
+    dirty: HashSet<u32>,
+    /// Shards with a catch-up round in flight; concurrent ships answer
+    /// `Backpressure` instead of racing the round.
+    catching: HashSet<u32>,
 }
 
 impl ClusterCore {
@@ -174,6 +216,10 @@ impl ClusterCore {
 
     fn map(&self) -> ClusterMap {
         self.map.read().expect("map lock").clone()
+    }
+
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.base.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
     /// Adopts `map` if strictly newer.
@@ -188,23 +234,23 @@ impl ClusterCore {
     }
 
     fn mark_seen(&self, node: u64) {
-        self.seen
-            .lock()
-            .expect("seen lock")
-            .insert(node, Instant::now());
+        let now = self.now_micros();
+        self.repair.lock().expect("repair lock").mark_seen(node, now);
     }
 
     /// Peers (other than us) silent for longer than `deadline` that
     /// still hold primaryship of at least one shard.
     fn silent_primaries(&self, deadline: Duration) -> Vec<u64> {
+        let now = self.now_micros();
+        let deadline = u64::try_from(deadline.as_micros()).unwrap_or(u64::MAX);
         let map = self.map.read().expect("map lock");
-        let seen = self.seen.lock().expect("seen lock");
+        let repair = self.repair.lock().expect("repair lock");
         map.nodes
             .iter()
             .map(|n| n.node_id)
             .filter(|&id| id != self.node_id)
             .filter(|&id| !map.shards_owned_by(id).is_empty())
-            .filter(|id| seen.get(id).is_none_or(|at| at.elapsed() > deadline))
+            .filter(|&id| !repair.live(id, now, deadline))
             .collect()
     }
 
@@ -219,13 +265,86 @@ impl ClusterCore {
         Some(epoch)
     }
 
+    /// Applies an unknown node's heartbeat-announced join to the local
+    /// map: membership only, no shard moves, deterministic content so
+    /// every peer computes the identical map.
+    fn apply_join(&self, node: u64, addr: &str) {
+        let mut held = self.map.write().expect("map lock");
+        if held.nodes.iter().any(|n| n.node_id == node) {
+            return;
+        }
+        if let Some(next) = join(&held, node, addr) {
+            *held = next;
+        }
+    }
+
+    /// Gate + apply for one shipped segment. Ships are accepted only
+    /// in-order (`seq <= floor + 1`) from the shard's recorded origin —
+    /// an out-of-order absorb would silently skip the gap and leave a
+    /// permanent hole below the cold cursor that no catch-up round could
+    /// ever see. A virgin shard (no origin, floor 0, no records) adopts
+    /// the map's primary as origin on its first `seq == 1` ship; every
+    /// other mismatch answers `Backpressure` and flags the shard for a
+    /// catch-up round.
+    fn gate_and_apply_ship(&self, ship: &wire::SegmentShip, map: &ClusterMap) -> WireStatus {
+        let mut replica = self.replica.lock().expect("replica lock");
+        let shard = ship.shard;
+        if replica.catching.contains(&shard) {
+            return WireStatus::Backpressure;
+        }
+        let floor = replica
+            .store
+            .absorbed()
+            .get(shard as usize)
+            .copied()
+            .unwrap_or(0);
+        let mut adopt_origin = false;
+        match replica.origins.get(&shard) {
+            Some(&origin) if origin == ship.from_node => {
+                if ship.seq > floor + 1 {
+                    replica.dirty.insert(shard);
+                    return WireStatus::Backpressure;
+                }
+            }
+            Some(_) => {
+                replica.dirty.insert(shard);
+                return WireStatus::Backpressure;
+            }
+            None => {
+                let virgin = floor == 0
+                    && ship.seq == 1
+                    && map.primary_of(shard) == Some(ship.from_node)
+                    && replica
+                        .store
+                        .max_timestamp_matching(catchup::cold_pred(self.shards, shard))
+                        .unwrap_or(None)
+                        .is_none();
+                if !virgin {
+                    replica.dirty.insert(shard);
+                    return WireStatus::Backpressure;
+                }
+                adopt_origin = true;
+            }
+        }
+        match Self::apply_ship(&mut replica, ship) {
+            Ok(()) => {
+                if adopt_origin {
+                    replica.origins.insert(shard, ship.from_node);
+                    let dir = replica.store.dir().to_path_buf();
+                    let _ = catchup::save_origins(&dir, &replica.origins);
+                }
+                WireStatus::Ok
+            }
+            Err(_) => WireStatus::Internal,
+        }
+    }
+
     /// Durably applies one shipped segment: write the bytes under a
     /// temp name, rename into the replica WAL, fsync, absorb into the
     /// replica store. Segments at or under the manifest floor are
     /// deleted unreplayed by the absorb — re-sent segments are
     /// exactly-once by construction.
-    fn apply_ship(&self, ship: &wire::SegmentShip) -> Result<(), std::io::Error> {
-        let mut replica = self.replica.lock().expect("replica lock");
+    fn apply_ship(replica: &mut ReplicaState, ship: &wire::SegmentShip) -> Result<(), std::io::Error> {
         let dest = geomancy_replaydb::segment_path(&replica.wal_dir, ship.shard as usize, ship.seq);
         let tmp = replica
             .wal_dir
@@ -282,17 +401,71 @@ impl ClusterHandler for ClusterCore {
             return encode_ship_ack(WireStatus::WrongEpoch, ship.shard, ship.seq, Some(&map));
         }
         self.mark_seen(ship.from_node);
-        match self.apply_ship(&ship) {
-            Ok(()) => encode_ship_ack(WireStatus::Ok, ship.shard, ship.seq, None),
-            Err(_) => encode_ship_ack(WireStatus::Internal, ship.shard, ship.seq, None),
+        let status = self.gate_and_apply_ship(&ship, &map);
+        if status == WireStatus::Backpressure {
+            self.ship_rejects.fetch_add(1, Ordering::Relaxed);
         }
+        encode_ship_ack(status, ship.shard, ship.seq, None)
     }
 
     fn on_heartbeat(&self, payload: &[u8]) -> Vec<u8> {
-        if let Ok((peer, _epoch)) = decode_heartbeat(payload) {
+        if let Ok((peer, _epoch, addr)) = decode_heartbeat_addr(payload) {
             self.mark_seen(peer);
+            // A v6 heartbeat carries the sender's listener address: an
+            // unknown node announcing itself joins the membership list
+            // (assignments untouched — it earns shards via catch-up).
+            if let Some(addr) = addr {
+                self.apply_join(peer, &addr);
+            }
         }
         encode_heartbeat(self.node_id, self.epoch())
+    }
+
+    fn on_catch_up(&self, payload: &[u8]) -> Vec<u8> {
+        let Ok(req) = decode_catch_up_req(payload) else {
+            return encode_catch_up_chunk(WireStatus::BadRequest, None, None);
+        };
+        let map = self.map();
+        if map.primary_of(req.shard) != Some(self.node_id) {
+            // Not ours to serve: hand back the map so the follower
+            // re-aims, same shape as every WrongEpoch correction.
+            return encode_catch_up_chunk(WireStatus::WrongEpoch, None, Some(&map));
+        }
+        self.mark_seen(req.node_id);
+        let Some(store) = self.store.get() else {
+            return encode_catch_up_chunk(WireStatus::Internal, None, None);
+        };
+        // Lock order everywhere: service store first, then replica. The
+        // shared read guard keeps the exported records and the reported
+        // floor one snapshot — a floor newer than the export would let a
+        // later ship replay records the export already carried.
+        let service = store.read();
+        let replica = self.replica.lock().expect("replica lock");
+        match catchup::build_chunk(
+            &req,
+            Some(&service),
+            Some(&replica.store),
+            Some(&self.retainer),
+            self.shards,
+        ) {
+            Ok(chunk) => {
+                self.catch_up_chunks_served.fetch_add(1, Ordering::Relaxed);
+                encode_catch_up_chunk(WireStatus::Ok, Some(&chunk), None)
+            }
+            Err(_) => encode_catch_up_chunk(WireStatus::Internal, None, None),
+        }
+    }
+
+    fn on_catch_up_done(&self, payload: &[u8]) -> Vec<u8> {
+        let Ok(done) = decode_catch_up_done(payload) else {
+            return encode_catch_up_ack(WireStatus::BadRequest, 0, None);
+        };
+        self.mark_seen(done.node_id);
+        self.repair
+            .lock()
+            .expect("repair lock")
+            .record_done(done.node_id, done.shard, done.floor_seq);
+        encode_catch_up_ack(WireStatus::Ok, self.epoch(), None)
     }
 }
 
@@ -314,12 +487,12 @@ impl Actor for FailoverActor {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         // Grace period: nobody is "silent" before a full deadline has
         // elapsed from node start.
-        let now = Instant::now();
-        let mut seen = self.core.seen.lock().expect("seen lock");
+        let now = self.core.now_micros();
+        let mut repair = self.core.repair.lock().expect("repair lock");
         for n in &self.core.map().nodes {
-            seen.entry(n.node_id).or_insert(now);
+            repair.mark_seen(n.node_id, now);
         }
-        drop(seen);
+        drop(repair);
         ctx.set_timer(self.check_every_micros, 0);
     }
 
@@ -381,10 +554,24 @@ impl ClusterNode {
     /// Typed [`ClusterNodeError`]s for a bad peer list, store, or bind
     /// failure.
     pub fn start(config: ClusterNodeConfig) -> Result<ClusterNode, ClusterNodeError> {
-        if !config.peers.iter().any(|(id, _)| *id == config.node_id) {
+        if !config.rejoin && !config.peers.iter().any(|(id, _)| *id == config.node_id) {
             return Err(ClusterNodeError::SelfNotInPeers(config.node_id));
         }
-        let map = bootstrap_map(&config.peers, config.shards, config.replicas);
+        let mut map = bootstrap_map(&config.peers, config.shards, config.replicas);
+        if config.rejoin {
+            // A rejoiner must not claim shards off a guessed map: demote
+            // itself out of every primaryship and start at epoch 0, so
+            // the first live peer's real map (epoch >= 1) always wins.
+            for a in &mut map.assignments {
+                if a.primary == config.node_id {
+                    if let Some(&succ) = a.replicas.first() {
+                        a.primary = succ;
+                        a.replicas.retain(|&r| r != succ);
+                    }
+                }
+            }
+            map.epoch = 0;
+        }
         let wal_dir = config.dir.join("wal");
         let store_dir = config.dir.join("store");
         let replica_wal = config.dir.join("replica-wal");
@@ -401,6 +588,8 @@ impl ClusterNode {
         )
         .map_err(|e| ClusterNodeError::Store(e.to_string()))?;
 
+        let origins = catchup::load_origins(replica_store.dir());
+        let retainer = Arc::new(SegmentRetainer::new(config.retain_bytes));
         let core = Arc::new(ClusterCore {
             node_id: config.node_id,
             map: RwLock::new(map),
@@ -410,16 +599,25 @@ impl ClusterNode {
                 shards: config.shards as usize,
                 segments_applied: 0,
                 records_applied: 0,
+                origins,
+                dirty: HashSet::new(),
+                catching: HashSet::new(),
             }),
-            seen: Mutex::new(HashMap::new()),
+            repair: Mutex::new(RepairState::default()),
+            base: Instant::now(),
+            retainer: Arc::clone(&retainer),
+            store: OnceLock::new(),
+            shards: config.shards,
+            replicas_degree: config.replicas,
             promotions: AtomicU64::new(0),
             ship_rejects: AtomicU64::new(0),
+            catch_up_chunks_served: AtomicU64::new(0),
         });
 
         // Seal hook: runs on the checkpoint actor's worker in the
         // absorb window, while the sealed segment file still exists.
         // Read the bytes (and record count) synchronously, hand them to
-        // the shipper thread, return.
+        // the shipper thread and the catch-up retainer, return.
         let (seal_tx, seal_rx) = mpsc::channel::<SealedSeg>();
         let hook = SealHook(Arc::new(move |shard: usize, seq: u64, path: &Path| {
             let Ok(bytes) = std::fs::read(path) else {
@@ -428,6 +626,7 @@ impl ClusterNode {
             let records = geomancy_replaydb::recover(path)
                 .map(|(_, replayed)| replayed)
                 .unwrap_or(0);
+            retainer.insert(shard as u32, seq, bytes.clone());
             let _ = seal_tx.send(SealedSeg {
                 shard: shard as u32,
                 seq,
@@ -447,6 +646,9 @@ impl ClusterNode {
             seal_hook: Some(hook),
             ..config.serve
         }));
+        if let Some(store) = service.store() {
+            let _ = core.store.set(store.clone());
+        }
 
         // The failover controller shares the service's reactor pool:
         // one pool runs the whole node.
@@ -488,9 +690,24 @@ impl ClusterNode {
             let core = Arc::clone(&core);
             let stop = Arc::clone(&stop);
             let interval = Duration::from_micros(config.heartbeat_micros.max(1));
+            // The prober holds the service weakly so teardown's
+            // `Arc::try_unwrap` of the service still succeeds.
+            let service = Arc::downgrade(&service);
+            let advertised = config
+                .peers
+                .iter()
+                .find(|(id, _)| *id == config.node_id)
+                .map(|(_, a)| a.clone())
+                .filter(|a| !a.ends_with(":0"))
+                .unwrap_or_else(|| addr.to_string());
+            let knobs = ProberKnobs {
+                advertised,
+                deadline_micros: config.failover_after_micros,
+                catch_up_max_records: config.catch_up_max_records,
+            };
             std::thread::Builder::new()
                 .name(format!("geomancy-probe-{}", config.node_id))
-                .spawn(move || prober_loop(&core, &stop, interval))
+                .spawn(move || prober_loop(&core, &service, &stop, interval, &knobs))
                 .expect("spawn prober")
         };
 
@@ -566,6 +783,53 @@ impl ClusterNode {
     #[must_use]
     pub fn replica_stats(&self) -> ReplicaStats {
         self.core.replica_stats()
+    }
+
+    /// How many shards this node handed back to their preferred owner
+    /// as outgoing primary.
+    #[must_use]
+    pub fn demotions(&self) -> u64 {
+        self.core.repair.lock().expect("repair lock").demotions
+    }
+
+    /// The node this replica currently accepts ships for on `shard`
+    /// (its ship origin), if established.
+    #[must_use]
+    pub fn origin_of(&self, shard: u32) -> Option<u64> {
+        self.core
+            .replica
+            .lock()
+            .expect("replica lock")
+            .origins
+            .get(&shard)
+            .copied()
+    }
+
+    /// Bytes of sealed segments currently retained for seq-mode
+    /// catch-up.
+    #[must_use]
+    pub fn retained_bytes(&self) -> usize {
+        self.core.retainer.bytes()
+    }
+
+    /// Retained segments evicted to stay under the byte cap (those
+    /// ranges fall back to cold-store catch-up).
+    #[must_use]
+    pub fn retainer_evictions(&self) -> u64 {
+        self.core.retainer.evicted()
+    }
+
+    /// Catch-up chunks this node served as primary.
+    #[must_use]
+    pub fn catch_up_chunks_served(&self) -> u64 {
+        self.core.catch_up_chunks_served.load(Ordering::Relaxed)
+    }
+
+    /// Ships rejected by the origin/continuity gate (gap, wrong origin,
+    /// or mid-catch-up backpressure).
+    #[must_use]
+    pub fn ship_rejects(&self) -> u64 {
+        self.core.ship_rejects.load(Ordering::Relaxed)
     }
 
     /// The embedded placement service (for explicit checkpoints,
@@ -726,11 +990,36 @@ fn ship_one(core: &Arc<ClusterCore>, seg: &SealedSeg, conns: &mut HashMap<u64, C
     false
 }
 
+/// Per-prober settings that don't change after startup.
+struct ProberKnobs {
+    /// Listener address announced in v6 heartbeats (drives join).
+    advertised: String,
+    /// Liveness deadline for the demotion state machine, in micros.
+    deadline_micros: u64,
+    /// Cold catch-up chunk size.
+    catch_up_max_records: u32,
+}
+
 /// Heartbeats every peer on a cadence, recording answered probes as
 /// sightings and chasing higher epochs seen in acks with a map fetch.
-fn prober_loop(core: &Arc<ClusterCore>, stop: &AtomicBool, interval: Duration) {
+/// Between probe sweeps it runs the two repair roles: the follower-side
+/// catch-up puller (anti-entropy; the first round runs *before* the
+/// first sleep so fresh clusters establish ship origins promptly) and
+/// the primary-side demotion state machine.
+fn prober_loop(
+    core: &Arc<ClusterCore>,
+    service: &Weak<PlacementService>,
+    stop: &AtomicBool,
+    interval: Duration,
+    knobs: &ProberKnobs,
+) {
     let mut conns: HashMap<u64, Client> = HashMap::new();
     while !stop.load(Ordering::SeqCst) {
+        pull_round(core, &mut conns, knobs.catch_up_max_records, stop);
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        demotion_round(core, service, knobs.deadline_micros);
         let map = core.map();
         for n in &map.nodes {
             if n.node_id == core.node_id || stop.load(Ordering::SeqCst) {
@@ -745,7 +1034,7 @@ fn prober_loop(core: &Arc<ClusterCore>, stop: &AtomicBool, interval: Duration) {
                     }
                 }
             };
-            match client.heartbeat(core.node_id, map.epoch) {
+            match client.heartbeat_addr(core.node_id, map.epoch, &knobs.advertised) {
                 Ok((peer_id, peer_epoch)) => {
                     core.mark_seen(peer_id);
                     if peer_epoch > core.epoch() {
@@ -761,4 +1050,252 @@ fn prober_loop(core: &Arc<ClusterCore>, stop: &AtomicBool, interval: Duration) {
         }
         std::thread::sleep(interval);
     }
+}
+
+/// One demotion-state-machine evaluation by the current primary:
+/// checkpoint to set a barrier when a candidate first qualifies, flip
+/// the map once the candidate's reported floors meet it.
+fn demotion_round(core: &Arc<ClusterCore>, service: &Weak<PlacementService>, deadline_micros: u64) {
+    // Up to two steps per round: NeedCheckpoint then (rarely) an
+    // immediate Demote when the candidate already reported the floors.
+    for _ in 0..2 {
+        let map = core.map();
+        let now = core.now_micros();
+        let step = core.repair.lock().expect("repair lock").plan_demotion(
+            &map,
+            core.node_id,
+            core.replicas_degree,
+            now,
+            deadline_micros,
+        );
+        match step {
+            DemotionStep::NeedCheckpoint { candidate } => {
+                let Some(service) = service.upgrade() else {
+                    return;
+                };
+                if service.checkpoint_now().is_err() {
+                    return;
+                }
+                let floors = core
+                    .store
+                    .get()
+                    .map(|s| s.read().absorbed().to_vec())
+                    .unwrap_or_default();
+                let wants = RepairState::wanted_shards(&map, core.node_id, candidate);
+                core.repair
+                    .lock()
+                    .expect("repair lock")
+                    .set_barrier(candidate, &wants, &floors);
+            }
+            DemotionStep::Demote { map: next, .. } => {
+                core.adopt(&next);
+                return;
+            }
+            DemotionStep::Waiting { .. } | DemotionStep::Idle => return,
+        }
+    }
+}
+
+/// The follower-side catch-up puller: for every shard this node should
+/// track (current replica, or preferred primary waiting to take over),
+/// run bounded catch-up rounds against the shard's primary whenever the
+/// ship origin is missing/mismatched, a gap was flagged, or this node is
+/// the shard's preferred owner chasing the demotion barrier.
+fn pull_round(
+    core: &Arc<ClusterCore>,
+    conns: &mut HashMap<u64, Client>,
+    max_records: u32,
+    stop: &AtomicBool,
+) {
+    let map = core.map();
+    for shard in 0..map.shards {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Some(primary) = map.primary_of(shard) else {
+            continue;
+        };
+        if primary == core.node_id {
+            continue;
+        }
+        let preferred_here = preferred_primary(&map, shard) == Some(core.node_id);
+        let in_scope = preferred_here || map.replicas_of(shard).contains(&core.node_id);
+        if !in_scope {
+            continue;
+        }
+        let needs_pull = {
+            let replica = core.replica.lock().expect("replica lock");
+            preferred_here
+                || replica.dirty.contains(&shard)
+                || replica.origins.get(&shard) != Some(&primary)
+        };
+        if !needs_pull {
+            continue;
+        }
+        let Some(addr) = map.addr_of(primary).map(str::to_string) else {
+            continue;
+        };
+        let client = match conns.entry(primary) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                match Client::connect(addr.as_str(), ClientConfig::default()) {
+                    Ok(c) => v.insert(c),
+                    Err(_) => continue,
+                }
+            }
+        };
+        match pull_shard(core, client, shard, primary, max_records) {
+            Ok(Some(done)) => {
+                let _ = client.catch_up_done(&done);
+            }
+            Ok(None) => {}
+            Err(NetError::WrongEpoch(new_map)) => {
+                core.adopt(&new_map);
+                return;
+            }
+            Err(_) => {
+                conns.remove(&primary);
+            }
+        }
+    }
+}
+
+/// Runs catch-up rounds for one shard until done or a per-tick chunk
+/// budget runs out. Returns the `CatchUpDone` report to send when a
+/// round completed.
+fn pull_shard(
+    core: &Arc<ClusterCore>,
+    client: &Client,
+    shard: u32,
+    primary: u64,
+    max_records: u32,
+) -> Result<Option<wire::CatchUpDone>, NetError> {
+    const CHUNK_BUDGET: usize = 256;
+    {
+        let mut replica = core.replica.lock().expect("replica lock");
+        replica.catching.insert(shard);
+    }
+    let result = pull_shard_inner(core, client, shard, primary, max_records, CHUNK_BUDGET);
+    let mut replica = core.replica.lock().expect("replica lock");
+    replica.catching.remove(&shard);
+    if matches!(result, Ok(Some(_))) {
+        replica.dirty.remove(&shard);
+        replica.origins.insert(shard, primary);
+        let dir = replica.store.dir().to_path_buf();
+        let origins = replica.origins.clone();
+        drop(replica);
+        let _ = catchup::save_origins(&dir, &origins);
+    }
+    result
+}
+
+fn pull_shard_inner(
+    core: &Arc<ClusterCore>,
+    client: &Client,
+    shard: u32,
+    primary: u64,
+    max_records: u32,
+    chunk_budget: usize,
+) -> Result<Option<wire::CatchUpDone>, NetError> {
+    let mut first = true;
+    for _ in 0..chunk_budget {
+        // Plan the request: floor only counts if it is already in the
+        // primary's sequence space; the cold cursor is the union max
+        // over both local stores, recomputed each chunk (crash-safe
+        // resume without a persisted cursor).
+        let (after_seq, after_ts) = {
+            let service = core.store.get().map(|s| s.read());
+            let replica = core.replica.lock().expect("replica lock");
+            let after_seq = if replica.origins.get(&shard) == Some(&primary) {
+                replica
+                    .store
+                    .absorbed()
+                    .get(shard as usize)
+                    .copied()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            let after_ts = catchup::shard_cursor(
+                &replica.store,
+                service.as_deref(),
+                core.shards,
+                shard,
+            )
+            .unwrap_or(0);
+            (after_seq, after_ts)
+        };
+        let req = wire::CatchUpReq {
+            node_id: core.node_id,
+            shard,
+            after_seq,
+            after_ts,
+            include_ties: first,
+            max_records,
+        };
+        first = false;
+        let chunk = client.catch_up(&req)?;
+        let done = chunk.done;
+        let floor_seq = chunk.floor_seq;
+        let applied = {
+            let service = core.store.get().map(|s| s.read());
+            let mut replica = core.replica.lock().expect("replica lock");
+            match chunk.data {
+                wire::CatchUpData::Segment { seq, bytes } => {
+                    let wal_dir = replica.wal_dir.clone();
+                    let shards = core.shards;
+                    catchup::apply_segment_chunk(
+                        &mut replica.store,
+                        &wal_dir,
+                        shards,
+                        shard,
+                        seq,
+                        &bytes,
+                        None,
+                    )
+                }
+                wire::CatchUpData::Cold(records) => catchup::apply_cold_records(
+                    &mut replica.store,
+                    service.as_deref(),
+                    core.shards,
+                    shard,
+                    &records,
+                    done.then_some(floor_seq),
+                    None,
+                ),
+            }
+        };
+        match applied {
+            Ok(records) => {
+                let mut replica = core.replica.lock().expect("replica lock");
+                replica.records_applied += records;
+            }
+            Err(_) => return Ok(None),
+        }
+        if done {
+            let (floor, max_ts) = {
+                let replica = core.replica.lock().expect("replica lock");
+                let floor = replica
+                    .store
+                    .absorbed()
+                    .get(shard as usize)
+                    .copied()
+                    .unwrap_or(0);
+                let max_ts = replica
+                    .store
+                    .max_timestamp_matching(catchup::cold_pred(core.shards, shard))
+                    .ok()
+                    .flatten()
+                    .unwrap_or(0);
+                (floor, max_ts)
+            };
+            return Ok(Some(wire::CatchUpDone {
+                node_id: core.node_id,
+                shard,
+                floor_seq: floor,
+                max_ts,
+            }));
+        }
+    }
+    Ok(None)
 }

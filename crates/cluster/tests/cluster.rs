@@ -76,6 +76,9 @@ fn node_config(
         failover_after_micros,
         serve: test_serve(),
         net: geomancy_net::NetConfig::default(),
+        rejoin: false,
+        retain_bytes: 64 << 20,
+        catch_up_max_records: 4096,
     }
 }
 

@@ -504,6 +504,76 @@ impl Client {
         )?;
         wire::decode_heartbeat(&reply.payload).map_err(NetError::Protocol)
     }
+
+    /// One heartbeat round trip that also announces this node's listener
+    /// address (protocol v6), so a peer that does not know the sender
+    /// can admit it to the map.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`NetError`]s — a timeout or disconnect here is the
+    /// failover detector's signal.
+    pub fn heartbeat_addr(
+        &self,
+        node_id: u64,
+        epoch: u64,
+        addr: &str,
+    ) -> Result<(u64, u64), NetError> {
+        let reply = self.request(
+            FrameKind::Heartbeat,
+            FrameKind::HeartbeatAck,
+            wire::encode_heartbeat_addr(node_id, epoch, addr),
+        )?;
+        wire::decode_heartbeat(&reply.payload).map_err(NetError::Protocol)
+    }
+
+    /// Requests one catch-up chunk for a shard (protocol v6).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::WrongEpoch`] when the target no longer owns the
+    /// shard; [`NetError::Server`] with [`WireStatus::Backpressure`]
+    /// when the primary wants the follower to try again later; other
+    /// typed [`NetError`]s for transport failures.
+    pub fn catch_up(&self, req: &wire::CatchUpReq) -> Result<wire::CatchUpChunk, NetError> {
+        let reply = self.request(
+            FrameKind::CatchUpReq,
+            FrameKind::CatchUpChunk,
+            wire::encode_catch_up_req(req),
+        )?;
+        let (status, chunk, map) =
+            wire::decode_catch_up_chunk(&reply.payload).map_err(NetError::Protocol)?;
+        match (status, chunk, map) {
+            (WireStatus::Ok, Some(chunk), _) => Ok(chunk),
+            (WireStatus::WrongEpoch, _, Some(map)) => Err(NetError::WrongEpoch(Box::new(map))),
+            (WireStatus::Ok, None, _) => Err(NetError::Protocol(DecodeError::BadPayload(
+                "ok catch-up chunk with no body",
+            ))),
+            (other, _, _) => Err(NetError::Server(other)),
+        }
+    }
+
+    /// Reports a completed catch-up round's durable floor to the shard's
+    /// primary (protocol v6). Returns the primary's epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::WrongEpoch`] when the target no longer owns the
+    /// shard; other typed [`NetError`]s for transport failures.
+    pub fn catch_up_done(&self, done: &wire::CatchUpDone) -> Result<u64, NetError> {
+        let reply = self.request(
+            FrameKind::CatchUpDone,
+            FrameKind::CatchUpAck,
+            wire::encode_catch_up_done(done),
+        )?;
+        let (status, epoch, map) =
+            wire::decode_catch_up_ack(&reply.payload).map_err(NetError::Protocol)?;
+        match (status, map) {
+            (WireStatus::Ok, _) => Ok(epoch),
+            (WireStatus::WrongEpoch, Some(map)) => Err(NetError::WrongEpoch(Box::new(map))),
+            (other, _) => Err(NetError::Server(other)),
+        }
+    }
 }
 
 /// Builds the [`NetError::WrongEpoch`] for a response payload whose

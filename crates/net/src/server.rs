@@ -53,6 +53,21 @@ pub trait ClusterHandler: Send + Sync {
     fn on_ship(&self, payload: &[u8]) -> Vec<u8>;
     /// Answers a peer heartbeat; returns the `HeartbeatAck` payload.
     fn on_heartbeat(&self, payload: &[u8]) -> Vec<u8>;
+    /// Serves one catch-up chunk (protocol v6); returns the
+    /// `CatchUpChunk` payload. Like `on_ship`, it may block on disk I/O
+    /// on the connection's own reader thread. The default answers
+    /// `BadRequest` so pre-repair handlers keep compiling.
+    fn on_catch_up(&self, payload: &[u8]) -> Vec<u8> {
+        let _ = payload;
+        wire::encode_catch_up_chunk(WireStatus::BadRequest, None, None)
+    }
+    /// Records a follower's completed catch-up round (protocol v6);
+    /// returns the `CatchUpAck` payload. The default answers
+    /// `BadRequest`.
+    fn on_catch_up_done(&self, payload: &[u8]) -> Vec<u8> {
+        let _ = payload;
+        wire::encode_catch_up_ack(WireStatus::BadRequest, 0, None)
+    }
 }
 
 /// Transport-layer tuning knobs.
@@ -737,6 +752,22 @@ fn dispatch(
             };
             shared.reply(Frame::new(FrameKind::HeartbeatAck, corr, payload));
         }
+        FrameKind::CatchUpReq => {
+            let payload = match cluster {
+                // Blocking is fine here: this is the connection's own OS
+                // thread, and chunk export is rare, bounded disk work.
+                Some(h) => h.on_catch_up(&frame.payload),
+                None => wire::encode_catch_up_chunk(WireStatus::BadRequest, None, None),
+            };
+            shared.reply(Frame::new(FrameKind::CatchUpChunk, corr, payload));
+        }
+        FrameKind::CatchUpDone => {
+            let payload = match cluster {
+                Some(h) => h.on_catch_up_done(&frame.payload),
+                None => wire::encode_catch_up_ack(WireStatus::BadRequest, 0, None),
+            };
+            shared.reply(Frame::new(FrameKind::CatchUpAck, corr, payload));
+        }
         // A server receiving response kinds is a confused peer; answer
         // nothing and keep serving (the corr id means nothing to us).
         FrameKind::IngestResp
@@ -746,7 +777,9 @@ fn dispatch(
         | FrameKind::RetrainResp
         | FrameKind::ClusterInfoResp
         | FrameKind::ShipAck
-        | FrameKind::HeartbeatAck => {
+        | FrameKind::HeartbeatAck
+        | FrameKind::CatchUpChunk
+        | FrameKind::CatchUpAck => {
             shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -31,8 +31,11 @@ pub const MAGIC: [u8; 4] = *b"GEOM";
 /// warm-start and full-retrain counts) after the store block; version 5
 /// appended the cluster block (node id) after the trainer block and
 /// added the cluster frames (ship/heartbeat/cluster-info) plus the
-/// [`WireStatus::WrongEpoch`] status carrying a fresh [`ClusterMap`].
-pub const VERSION: u8 = 5;
+/// [`WireStatus::WrongEpoch`] status carrying a fresh [`ClusterMap`];
+/// version 6 added the catch-up frames (req/chunk/done/ack) for replica
+/// backfill and appended an optional listener address to the heartbeat
+/// payload so unknown rejoining nodes can be admitted to the map.
+pub const VERSION: u8 = 6;
 /// Oldest protocol version this build still decodes. Versions 2 and 3
 /// differ only by absent trailing blocks, which decode as zeros.
 pub const MIN_VERSION: u8 = 2;
@@ -49,7 +52,7 @@ pub const REQUEST_WIRE_LEN: usize = 24;
 pub const DECISION_WIRE_LEN: usize = 36;
 
 /// What kind of message a frame carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum FrameKind {
     /// Telemetry batch → server.
@@ -84,6 +87,14 @@ pub enum FrameKind {
     Heartbeat = 15,
     /// Heartbeat echo carrying the peer's epoch view (version 5).
     HeartbeatAck = 16,
+    /// Bounded backfill request follower → primary (version 6).
+    CatchUpReq = 17,
+    /// One backfill chunk ← primary (version 6).
+    CatchUpChunk = 18,
+    /// Follower reports its new durable floor → primary (version 6).
+    CatchUpDone = 19,
+    /// Done acknowledgement ← primary (version 6).
+    CatchUpAck = 20,
 }
 
 impl FrameKind {
@@ -110,6 +121,10 @@ impl FrameKind {
             14 => FrameKind::ShipAck,
             15 => FrameKind::Heartbeat,
             16 => FrameKind::HeartbeatAck,
+            17 => FrameKind::CatchUpReq,
+            18 => FrameKind::CatchUpChunk,
+            19 => FrameKind::CatchUpDone,
+            20 => FrameKind::CatchUpAck,
             other => return Err(DecodeError::UnknownKind(other)),
         })
     }
@@ -1240,9 +1255,351 @@ pub fn encode_heartbeat(node_id: u64, epoch: u64) -> Vec<u8> {
 ///
 /// Typed [`DecodeError`]s on truncation or trailing bytes.
 pub fn decode_heartbeat(payload: &[u8]) -> Result<(u64, u64), DecodeError> {
+    let (node_id, epoch, _addr) = decode_heartbeat_addr(payload)?;
+    Ok((node_id, epoch))
+}
+
+/// Encodes a heartbeat payload carrying the sender's listener address
+/// (version 6) so a node missing from the receiver's map can be joined.
+pub fn encode_heartbeat_addr(node_id: u64, epoch: u64, addr: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(18 + addr.len());
+    put_u64(&mut out, node_id);
+    put_u64(&mut out, epoch);
+    put_u16(&mut out, addr.len() as u16);
+    out.extend_from_slice(addr.as_bytes());
+    out
+}
+
+/// Decodes a heartbeat payload with its optional version-6 address
+/// tail. A version-5 peer's 16-byte payload decodes with `None`.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, bad utf-8, or trailing bytes.
+pub fn decode_heartbeat_addr(payload: &[u8]) -> Result<(u64, u64, Option<String>), DecodeError> {
     let mut c = Cur::new(payload);
     let node_id = c.u64()?;
     let epoch = c.u64()?;
+    // Version-6 address tail; a version-5 payload ends here.
+    let addr = if c.p < c.b.len() {
+        let len = c.u16()? as usize;
+        Some(
+            std::str::from_utf8(c.take(len)?)
+                .map_err(|_| DecodeError::BadPayload("heartbeat address is not utf-8"))?
+                .to_string(),
+        )
+    } else {
+        None
+    };
     c.finish()?;
-    Ok((node_id, epoch))
+    Ok((node_id, epoch, addr))
+}
+
+// ───────────────────────── catch-up codec (v6) ─────────────────────────
+
+/// A follower's bounded backfill request for one shard.
+///
+/// `after_seq` is the follower's durable absorb floor in the primary's
+/// WAL sequence space (0 when the follower's floor is from a different
+/// origin node and therefore meaningless here); `after_ts` is the
+/// follower's newest stored timestamp for the shard. `include_ties`
+/// marks the first request of a round: the primary then exports records
+/// at exactly `after_ts` too, and the follower deduplicates that tie
+/// run against what it already holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatchUpReq {
+    /// Requesting node's id.
+    pub node_id: u64,
+    /// Shard to backfill.
+    pub shard: u32,
+    /// Follower's absorb floor in the primary's sequence space.
+    pub after_seq: u64,
+    /// Follower's newest stored timestamp for the shard.
+    pub after_ts: u64,
+    /// Whether records at exactly `after_ts` should be included.
+    pub include_ties: bool,
+    /// Upper bound on records per chunk (soft: a chunk always ends on
+    /// a timestamp boundary, so a tie run may exceed it).
+    pub max_records: u32,
+}
+
+/// Encodes a catch-up request payload.
+pub fn encode_catch_up_req(req: &CatchUpReq) -> Vec<u8> {
+    let mut out = Vec::with_capacity(33);
+    put_u64(&mut out, req.node_id);
+    put_u32(&mut out, req.shard);
+    put_u64(&mut out, req.after_seq);
+    put_u64(&mut out, req.after_ts);
+    out.push(u8::from(req.include_ties));
+    put_u32(&mut out, req.max_records);
+    out
+}
+
+/// Decodes a catch-up request payload.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation or trailing bytes.
+pub fn decode_catch_up_req(payload: &[u8]) -> Result<CatchUpReq, DecodeError> {
+    let mut c = Cur::new(payload);
+    let node_id = c.u64()?;
+    let shard = c.u32()?;
+    let after_seq = c.u64()?;
+    let after_ts = c.u64()?;
+    let include_ties = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DecodeError::BadPayload("include_ties flag out of range")),
+    };
+    let max_records = c.u32()?;
+    c.finish()?;
+    Ok(CatchUpReq {
+        node_id,
+        shard,
+        after_seq,
+        after_ts,
+        include_ties,
+        max_records,
+    })
+}
+
+/// The data half of a catch-up chunk: either cold-store records (with
+/// their stored timestamps) or one sealed WAL segment verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatchUpData {
+    /// Timestamped records exported from the primary's cold store,
+    /// sorted by `(timestamp, access_number)`.
+    Cold(Vec<(u64, AccessRecord)>),
+    /// One retained sealed segment, applied via the follower's
+    /// exactly-once absorb path.
+    Segment {
+        /// Segment sequence number in the primary's WAL space.
+        seq: u64,
+        /// Verbatim segment file bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+/// One backfill chunk from the primary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatchUpChunk {
+    /// Shard this chunk belongs to.
+    pub shard: u32,
+    /// Whether the follower is caught up to the primary's durable
+    /// state once this chunk is applied.
+    pub done: bool,
+    /// The primary's durable absorb floor for the shard, captured from
+    /// the same snapshot the chunk was exported from. When `done`, the
+    /// follower adopts it as its own floor.
+    pub floor_seq: u64,
+    /// The follower's next cold cursor after applying this chunk.
+    pub next_ts: u64,
+    /// The chunk body.
+    pub data: CatchUpData,
+}
+
+/// Encodes a catch-up chunk response: status byte, then on `Ok` the
+/// chunk body, or on [`WireStatus::WrongEpoch`] the fresh map.
+pub fn encode_catch_up_chunk(
+    status: WireStatus,
+    chunk: Option<&CatchUpChunk>,
+    map: Option<&ClusterMap>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.push(status as u8);
+    if status == WireStatus::WrongEpoch {
+        if let Some(m) = map {
+            put_cluster_map(&mut out, m);
+        }
+        return out;
+    }
+    let Some(ch) = chunk else { return out };
+    put_u32(&mut out, ch.shard);
+    out.push(u8::from(ch.done));
+    put_u64(&mut out, ch.floor_seq);
+    put_u64(&mut out, ch.next_ts);
+    match &ch.data {
+        CatchUpData::Cold(records) => {
+            out.push(0);
+            put_u32(&mut out, records.len() as u32);
+            for (ts, r) in records {
+                put_u64(&mut out, *ts);
+                put_u64(&mut out, r.access_number);
+                put_u64(&mut out, r.fid.0);
+                put_u32(&mut out, r.fsid.0);
+                put_u64(&mut out, r.rb);
+                put_u64(&mut out, r.wb);
+                put_u64(&mut out, r.ots);
+                put_u16(&mut out, r.otms);
+                put_u64(&mut out, r.cts);
+                put_u16(&mut out, r.ctms);
+            }
+        }
+        CatchUpData::Segment { seq, bytes } => {
+            out.push(1);
+            put_u64(&mut out, *seq);
+            put_u32(&mut out, bytes.len() as u32);
+            out.extend_from_slice(bytes);
+        }
+    }
+    out
+}
+
+/// Decodes a catch-up chunk response.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, unknown status, or trailing
+/// bytes.
+#[allow(clippy::type_complexity)]
+pub fn decode_catch_up_chunk(
+    payload: &[u8],
+) -> Result<(WireStatus, Option<CatchUpChunk>, Option<ClusterMap>), DecodeError> {
+    let mut c = Cur::new(payload);
+    let status = WireStatus::from_u8(c.u8()?)?;
+    if status == WireStatus::WrongEpoch {
+        let map = if c.p < c.b.len() {
+            Some(get_cluster_map(&mut c)?)
+        } else {
+            None
+        };
+        c.finish()?;
+        return Ok((status, None, map));
+    }
+    if status != WireStatus::Ok || c.p == c.b.len() {
+        c.finish()?;
+        return Ok((status, None, None));
+    }
+    let shard = c.u32()?;
+    let done = match c.u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(DecodeError::BadPayload("done flag out of range")),
+    };
+    let floor_seq = c.u64()?;
+    let next_ts = c.u64()?;
+    let data = match c.u8()? {
+        0 => {
+            let n = c.u32()?;
+            let mut records = Vec::with_capacity(sane_cap(n));
+            for _ in 0..n {
+                let ts = c.u64()?;
+                records.push((
+                    ts,
+                    AccessRecord {
+                        access_number: c.u64()?,
+                        fid: FileId(c.u64()?),
+                        fsid: DeviceId(c.u32()?),
+                        rb: c.u64()?,
+                        wb: c.u64()?,
+                        ots: c.u64()?,
+                        otms: c.u16()?,
+                        cts: c.u64()?,
+                        ctms: c.u16()?,
+                    },
+                ));
+            }
+            CatchUpData::Cold(records)
+        }
+        1 => {
+            let seq = c.u64()?;
+            let len = c.u32()? as usize;
+            CatchUpData::Segment {
+                seq,
+                bytes: c.take(len)?.to_vec(),
+            }
+        }
+        _ => return Err(DecodeError::BadPayload("catch-up mode out of range")),
+    };
+    c.finish()?;
+    Ok((
+        status,
+        Some(CatchUpChunk {
+            shard,
+            done,
+            floor_seq,
+            next_ts,
+            data,
+        }),
+        None,
+    ))
+}
+
+/// A follower's report that its shard is durably caught up to `floor_seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatchUpDone {
+    /// Reporting node's id.
+    pub node_id: u64,
+    /// Shard the report covers.
+    pub shard: u32,
+    /// The follower's durable absorb floor in the primary's sequence
+    /// space after the completed round.
+    pub floor_seq: u64,
+    /// The follower's newest stored timestamp for the shard.
+    pub max_ts: u64,
+}
+
+/// Encodes a catch-up-done report payload.
+pub fn encode_catch_up_done(done: &CatchUpDone) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28);
+    put_u64(&mut out, done.node_id);
+    put_u32(&mut out, done.shard);
+    put_u64(&mut out, done.floor_seq);
+    put_u64(&mut out, done.max_ts);
+    out
+}
+
+/// Decodes a catch-up-done report payload.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation or trailing bytes.
+pub fn decode_catch_up_done(payload: &[u8]) -> Result<CatchUpDone, DecodeError> {
+    let mut c = Cur::new(payload);
+    let node_id = c.u64()?;
+    let shard = c.u32()?;
+    let floor_seq = c.u64()?;
+    let max_ts = c.u64()?;
+    c.finish()?;
+    Ok(CatchUpDone {
+        node_id,
+        shard,
+        floor_seq,
+        max_ts,
+    })
+}
+
+/// Encodes a catch-up-done acknowledgement: status and the primary's
+/// epoch, plus the fresh map on [`WireStatus::WrongEpoch`].
+pub fn encode_catch_up_ack(status: WireStatus, epoch: u64, map: Option<&ClusterMap>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.push(status as u8);
+    put_u64(&mut out, epoch);
+    if status == WireStatus::WrongEpoch {
+        if let Some(m) = map {
+            put_cluster_map(&mut out, m);
+        }
+    }
+    out
+}
+
+/// Decodes a catch-up-done acknowledgement.
+///
+/// # Errors
+///
+/// Typed [`DecodeError`]s on truncation, unknown status, or trailing
+/// bytes.
+pub fn decode_catch_up_ack(
+    payload: &[u8],
+) -> Result<(WireStatus, u64, Option<ClusterMap>), DecodeError> {
+    let mut c = Cur::new(payload);
+    let status = WireStatus::from_u8(c.u8()?)?;
+    let epoch = c.u64()?;
+    let map = if status == WireStatus::WrongEpoch && c.p < c.b.len() {
+        Some(get_cluster_map(&mut c)?)
+    } else {
+        None
+    };
+    c.finish()?;
+    Ok((status, epoch, map))
 }

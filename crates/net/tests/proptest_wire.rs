@@ -601,3 +601,142 @@ fn retry_policy_split_routes_draining_elsewhere() {
         );
     }
 }
+
+// ---- catch-up codecs (protocol v6) ------------------------------------
+
+use geomancy_net::wire::{CatchUpChunk, CatchUpData, CatchUpDone, CatchUpReq};
+
+proptest! {
+    /// Catch-up requests round-trip.
+    #[test]
+    fn catch_up_req_codec_roundtrips(node in 1u64..100, shard in 0u32..64,
+                                     seq in 0u64..10_000, ts in 0u64..u64::MAX,
+                                     ties in proptest::bool::ANY, max in 1u32..100_000) {
+        let req = CatchUpReq {
+            node_id: node,
+            shard,
+            after_seq: seq,
+            after_ts: ts,
+            include_ties: ties,
+            max_records: max,
+        };
+        let payload = wire::encode_catch_up_req(&req);
+        prop_assert_eq!(wire::decode_catch_up_req(&payload).unwrap(), req);
+    }
+
+    /// Cold-record chunks round-trip with their timestamps.
+    #[test]
+    fn catch_up_cold_chunk_roundtrips(shard in 0u32..8, done in proptest::bool::ANY,
+                                      floor in 0u64..1_000, next in 0u64..u64::MAX,
+                                      seeds in proptest::collection::vec(
+                                          (0u64..1_000, 0u64..50, 0u32..4, 0u64..9_999, 0u64..9_999),
+                                          0..30)) {
+        let records: Vec<(u64, AccessRecord)> = seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64 * 1_000, record(s)))
+            .collect();
+        let chunk = CatchUpChunk {
+            shard,
+            done,
+            floor_seq: floor,
+            next_ts: next,
+            data: CatchUpData::Cold(records),
+        };
+        let payload = wire::encode_catch_up_chunk(WireStatus::Ok, Some(&chunk), None);
+        let (status, back, map) = wire::decode_catch_up_chunk(&payload).unwrap();
+        prop_assert_eq!(status, WireStatus::Ok);
+        prop_assert_eq!(back.unwrap(), chunk);
+        prop_assert!(map.is_none());
+    }
+
+    /// Segment chunks round-trip with arbitrary bytes.
+    #[test]
+    fn catch_up_segment_chunk_roundtrips(shard in 0u32..8, seq in 1u64..10_000,
+                                         bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+        let chunk = CatchUpChunk {
+            shard,
+            done: false,
+            floor_seq: seq,
+            next_ts: 0,
+            data: CatchUpData::Segment { seq, bytes },
+        };
+        let payload = wire::encode_catch_up_chunk(WireStatus::Ok, Some(&chunk), None);
+        let (_, back, _) = wire::decode_catch_up_chunk(&payload).unwrap();
+        prop_assert_eq!(back.unwrap(), chunk);
+    }
+
+    /// Done reports and their acks round-trip.
+    #[test]
+    fn catch_up_done_codec_roundtrips(node in 1u64..100, shard in 0u32..64,
+                                      floor in 0u64..10_000, ts in 0u64..u64::MAX,
+                                      epoch in 1u64..1_000) {
+        let done = CatchUpDone { node_id: node, shard, floor_seq: floor, max_ts: ts };
+        let payload = wire::encode_catch_up_done(&done);
+        prop_assert_eq!(wire::decode_catch_up_done(&payload).unwrap(), done);
+
+        let ack = wire::encode_catch_up_ack(WireStatus::Ok, epoch, None);
+        let (status, e, map) = wire::decode_catch_up_ack(&ack).unwrap();
+        prop_assert_eq!((status, e), (WireStatus::Ok, epoch));
+        prop_assert!(map.is_none());
+    }
+
+    /// The version-6 heartbeat address tail round-trips, and a bare
+    /// version-5 heartbeat payload still decodes (with no address).
+    #[test]
+    fn heartbeat_addr_codec_roundtrips(node in 0u64..u64::MAX, epoch in 0u64..u64::MAX) {
+        let addr = format!("10.1.2.3:{}", 7000 + (node % 1000));
+        let payload = wire::encode_heartbeat_addr(node, epoch, &addr);
+        prop_assert_eq!(
+            wire::decode_heartbeat_addr(&payload).unwrap(),
+            (node, epoch, Some(addr))
+        );
+        // The plain decoder tolerates the tail; the v5 payload decodes
+        // addr-less through the v6 decoder.
+        prop_assert_eq!(wire::decode_heartbeat(&payload).unwrap(), (node, epoch));
+        let v5 = wire::encode_heartbeat(node, epoch);
+        prop_assert_eq!(wire::decode_heartbeat_addr(&v5).unwrap(), (node, epoch, None));
+    }
+}
+
+/// Catch-up chunk error shapes: WrongEpoch carries a decodable map,
+/// bare statuses decode chunk-less, and truncation is typed.
+#[test]
+fn catch_up_chunk_error_shapes_decode() {
+    let current = sample_map(4, 3, 8);
+    let payload = wire::encode_catch_up_chunk(WireStatus::WrongEpoch, None, Some(&current));
+    let (status, chunk, map) = wire::decode_catch_up_chunk(&payload).unwrap();
+    assert_eq!(status, WireStatus::WrongEpoch);
+    assert!(chunk.is_none());
+    assert_eq!(map.unwrap(), current);
+
+    for s in [WireStatus::Backpressure, WireStatus::Internal] {
+        let payload = wire::encode_catch_up_chunk(s, None, None);
+        let (status, chunk, map) = wire::decode_catch_up_chunk(&payload).unwrap();
+        assert_eq!(status, s);
+        assert!(chunk.is_none() && map.is_none());
+    }
+
+    let ack = wire::encode_catch_up_ack(WireStatus::WrongEpoch, 4, Some(&current));
+    let (status, epoch, map) = wire::decode_catch_up_ack(&ack).unwrap();
+    assert_eq!((status, epoch), (WireStatus::WrongEpoch, 4));
+    assert_eq!(map.unwrap(), current);
+
+    assert!(wire::decode_catch_up_req(&[]).is_err());
+    assert!(wire::decode_catch_up_chunk(&[]).is_err());
+    assert!(wire::decode_catch_up_done(&[]).is_err());
+    assert!(wire::decode_catch_up_ack(&[]).is_err());
+
+    // A corrupted record count fails fast, it cannot allocate.
+    let chunk = CatchUpChunk {
+        shard: 0,
+        done: true,
+        floor_seq: 1,
+        next_ts: 2,
+        data: CatchUpData::Cold(vec![(5, record((1, 2, 0, 3, 4)))]),
+    };
+    let mut payload = wire::encode_catch_up_chunk(WireStatus::Ok, Some(&chunk), None);
+    let count_off = 1 + 4 + 1 + 8 + 8 + 1;
+    payload[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(wire::decode_catch_up_chunk(&payload).is_err());
+}

@@ -617,6 +617,150 @@ impl PagedStore {
         hits.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
         Ok(hits)
     }
+
+    /// Bounded cursor export for replica catch-up: matching records with
+    /// `timestamp_micros > after_ts` (or `>= after_ts` when
+    /// `include_ties`), ordered by `(timestamp, access_number)`, cut near
+    /// `limit` records but always extended to a timestamp boundary — a
+    /// chunk never splits a run of equal timestamps, so the next cursor
+    /// (`last returned ts`) resumes without loss. `limit == 0` means
+    /// unbounded. The second return is `true` when matching records newer
+    /// than the returned chunk remain.
+    ///
+    /// Pages whose span cannot reach past the cursor are skipped without
+    /// a read, and once `limit` candidates are in hand, spans that start
+    /// past the running cutoff are skipped too — cost scales with the
+    /// chunk plus page overlap, not the full history.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or corruption error from page reads.
+    pub fn export_matching(
+        &self,
+        after_ts: u64,
+        include_ties: bool,
+        limit: usize,
+        pred: impl Fn(&StoredRecord) -> bool,
+    ) -> Result<(Vec<StoredRecord>, bool), StoreError> {
+        let keep_ts = |ts: u64| {
+            if include_ties {
+                ts >= after_ts
+            } else {
+                ts > after_ts
+            }
+        };
+        let mut spans: Vec<PageSpan> = self
+            .index
+            .pages()
+            .iter()
+            .filter(|s| keep_ts(s.max_ts))
+            .copied()
+            .collect();
+        spans.sort_by_key(|s| (s.min_ts, s.page));
+        let mut hits: Vec<StoredRecord> = Vec::new();
+        let mut skipped_newer = false;
+        for span in &spans {
+            if limit != 0 && hits.len() >= limit {
+                hits.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
+                let cutoff = hits[limit - 1].timestamp_micros;
+                if span.min_ts > cutoff {
+                    // Every record in this span is strictly newer than the
+                    // running cutoff, so it cannot shrink the chunk or tie
+                    // with its boundary — the next round will read it.
+                    skipped_newer = true;
+                    continue;
+                }
+            }
+            let page = self.read_page(span.page)?;
+            hits.extend(
+                page.iter()
+                    .filter(|s| keep_ts(s.timestamp_micros) && pred(s))
+                    .copied(),
+            );
+        }
+        hits.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
+        let mut more = skipped_newer;
+        if limit != 0 && hits.len() > limit {
+            let cutoff = hits[limit - 1].timestamp_micros;
+            let end = hits.partition_point(|s| s.timestamp_micros <= cutoff);
+            if end < hits.len() {
+                hits.truncate(end);
+                more = true;
+            }
+        }
+        Ok((hits, more))
+    }
+
+    /// Largest `timestamp_micros` among records matching `pred`, or
+    /// `None` when nothing matches — the catch-up cursor recomputed from
+    /// store state alone. Walks spans in descending `max_ts` order and
+    /// stops at the first span that cannot beat the best match, mirroring
+    /// the [`PagedStore::recent`] threshold argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O or corruption error from page reads.
+    pub fn max_timestamp_matching(
+        &self,
+        pred: impl Fn(&StoredRecord) -> bool,
+    ) -> Result<Option<u64>, StoreError> {
+        let mut order: Vec<PageSpan> = self.index.pages().to_vec();
+        order.sort_by(|a, b| b.max_ts.cmp(&a.max_ts).then(b.page.cmp(&a.page)));
+        let mut best: Option<u64> = None;
+        for span in &order {
+            if let Some(b) = best {
+                if span.max_ts <= b {
+                    break;
+                }
+            }
+            let page = self.read_page(span.page)?;
+            if let Some(ts) = page
+                .iter()
+                .filter(|s| pred(s))
+                .map(|s| s.timestamp_micros)
+                .max()
+            {
+                best = Some(best.map_or(ts, |b| b.max(ts)));
+            }
+        }
+        Ok(best)
+    }
+
+    /// Appends `records` (sorted internally) and commits them in the same
+    /// crash-safe order as [`PagedStore::absorb_segments`]: append pages,
+    /// fsync + write index, commit manifest (optionally updating the
+    /// per-shard absorbed floors). The catch-up apply path on a follower.
+    /// Returns the number of pages added.
+    ///
+    /// `fault` kills the pipeline at the named boundary for
+    /// crash-injection tests; a kill before the manifest commit leaves an
+    /// uncommitted tail that reopen rolls back, so a re-driven catch-up
+    /// round re-sends the same chunk exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from any step; the store is safe to reopen
+    /// regardless of where it failed.
+    pub fn import_records(
+        &mut self,
+        records: &[StoredRecord],
+        absorbed: Option<Vec<u64>>,
+        fault: Option<FaultPoint>,
+    ) -> Result<u32, StoreError> {
+        let mut sorted: Vec<StoredRecord> = records.to_vec();
+        sorted.sort_by_key(|s| (s.timestamp_micros, s.record.access_number));
+        let added = self.append_records(&sorted)?;
+        if fault == Some(FaultPoint::AfterPageWrite) {
+            return Ok(added);
+        }
+        self.file.sync_data()?;
+        self.index.save(&self.dir.join(INDEX_FILE))?;
+        if fault == Some(FaultPoint::AfterIndexWrite) {
+            return Ok(added);
+        }
+        self.commit_manifest(absorbed)?;
+        Ok(added)
+    }
 }
 
 /// Positioned read: `pread` on unix, seek-and-read elsewhere.
@@ -856,6 +1000,127 @@ mod tests {
         assert_eq!(store.preads.load(Ordering::Relaxed), preads_after_first);
         assert!(store.cache_hits.load(Ordering::Relaxed) >= 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn export_matching_pages_through_ties_at_boundaries() {
+        // Records with three-way timestamp ties across several pages: a
+        // cursor walk with a small limit must visit every record exactly
+        // once, never splitting a tie run across chunks.
+        let dir = temp_store("export");
+        let records: Vec<StoredRecord> = (0..300u64)
+            .map(|n| stored(n / 3, n, n % 5, (n % 2) as u32))
+            .collect();
+        let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+        store.append_records(&records).unwrap();
+        store.commit(None).unwrap();
+
+        let mut seen: Vec<u64> = Vec::new();
+        let mut cursor = 0u64;
+        let mut first = true;
+        loop {
+            let (chunk, more) = store
+                .export_matching(cursor, first, 7, |s| s.record.fsid == DeviceId(0))
+                .unwrap();
+            first = false;
+            for s in &chunk {
+                assert_eq!(s.record.fsid, DeviceId(0));
+                seen.push(s.record.access_number);
+            }
+            if let Some(last) = chunk.last() {
+                // A chunk must close its tie run: nothing left at its
+                // boundary timestamp.
+                let (tie_check, _) = store
+                    .export_matching(last.timestamp_micros, true, 0, |s| {
+                        s.record.fsid == DeviceId(0)
+                            && s.timestamp_micros == last.timestamp_micros
+                    })
+                    .unwrap();
+                let boundary = chunk
+                    .iter()
+                    .filter(|s| s.timestamp_micros == last.timestamp_micros)
+                    .count();
+                assert_eq!(tie_check.len(), boundary, "tie run split at {cursor}");
+                cursor = last.timestamp_micros;
+            }
+            if !more {
+                break;
+            }
+            assert!(!chunk.is_empty(), "more=true must make progress");
+        }
+        let expect: Vec<u64> = (0..300u64).filter(|n| n % 2 == 0).collect();
+        assert_eq!(seen, expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_timestamp_matching_finds_per_predicate_max() {
+        let dir = temp_store("maxmatch");
+        let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+        assert_eq!(store.max_timestamp_matching(|_| true).unwrap(), None);
+        let records: Vec<StoredRecord> = (0..200u64)
+            .map(|n| stored(n, n, n % 3, (n % 2) as u32))
+            .collect();
+        store.append_records(&records).unwrap();
+        store.commit(None).unwrap();
+        assert_eq!(store.max_timestamp_matching(|_| true).unwrap(), Some(199));
+        assert_eq!(
+            store
+                .max_timestamp_matching(|s| s.record.fsid == DeviceId(0))
+                .unwrap(),
+            Some(198)
+        );
+        assert_eq!(
+            store
+                .max_timestamp_matching(|s| s.record.fsid == DeviceId(1))
+                .unwrap(),
+            Some(199)
+        );
+        assert_eq!(
+            store
+                .max_timestamp_matching(|s| s.record.fid == FileId(99))
+                .unwrap(),
+            None
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn import_records_is_crash_safe_at_every_boundary() {
+        // A fault before the manifest commit must roll the chunk back on
+        // reopen; at or after it, the chunk and its floors are durable.
+        let base: Vec<StoredRecord> = (0..50).map(|n| stored(n, n, 0, 0)).collect();
+        let chunk: Vec<StoredRecord> = (50..120).map(|n| stored(n, n, 1, 1)).collect();
+        for fault in [
+            Some(FaultPoint::AfterPageWrite),
+            Some(FaultPoint::AfterIndexWrite),
+            Some(FaultPoint::AfterManifestCommit),
+            None,
+        ] {
+            let dir = temp_store(&format!("import_{fault:?}"));
+            {
+                let (mut store, _) = PagedStore::open(&dir, small_config()).unwrap();
+                store.import_records(&base, None, None).unwrap();
+                store
+                    .import_records(&chunk, Some(vec![7, 9]), fault)
+                    .unwrap();
+            }
+            let (store, _) = PagedStore::open(&dir, small_config()).unwrap();
+            let durable = !matches!(
+                fault,
+                Some(FaultPoint::AfterPageWrite) | Some(FaultPoint::AfterIndexWrite)
+            );
+            if durable {
+                assert_eq!(store.total_records(), 120, "{fault:?}");
+                assert_eq!(store.absorbed(), &[7, 9], "{fault:?}");
+                assert_eq!(store.max_timestamp_micros(), Some(119));
+            } else {
+                assert_eq!(store.total_records(), 50, "{fault:?}");
+                assert_eq!(store.absorbed(), &[] as &[u64], "{fault:?}");
+                assert_eq!(store.max_timestamp_micros(), Some(49));
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]
